@@ -1,0 +1,263 @@
+//! `agl-baseline` — the single-machine, full-graph, in-memory GNN engine.
+//!
+//! This is the reproduction's stand-in for the systems AGL is compared
+//! against in §4 (DGL and PyTorch Geometric): the whole graph lives in
+//! memory as one sparse matrix, and every epoch runs a full-batch forward
+//! and backward over *all* nodes — no GraphFlat, no per-batch neighborhood
+//! assembly, no disk in the loop. It shares the exact layer implementations
+//! of `agl-nn`, so Table 3 (effectiveness) isolates the *system* difference
+//! and Table 4 (efficiency) compares the execution strategies rather than
+//! different numerics.
+//!
+//! Both training styles in the paper's evaluation are supported:
+//!
+//! * **Transductive** ([`FullGraphEngine::train_transductive`]) — one graph,
+//!   labeled subset of nodes (Cora).
+//! * **Inductive** ([`FullGraphEngine::train_inductive`]) — a list of
+//!   graphs, full-batch per graph per epoch (PPI's 20 training graphs).
+
+use agl_graph::{Graph, NodeId};
+use agl_nn::{Adam, GnnModel, Optimizer};
+use agl_tensor::{seeded_rng, Csr, ExecCtx, Matrix};
+use agl_trainer::metrics::Metrics;
+use std::time::{Duration, Instant};
+
+/// Per-epoch record (mirrors `agl_trainer::EpochStats`).
+#[derive(Debug, Clone)]
+pub struct BaselineEpoch {
+    pub epoch: usize,
+    pub loss: f64,
+    pub duration: Duration,
+}
+
+/// Full-graph training/inference engine.
+#[derive(Debug, Clone)]
+pub struct FullGraphEngine {
+    pub lr: f32,
+    pub epochs: usize,
+    /// Aggregation threads (the baseline systems are multithreaded too).
+    pub partitions: usize,
+    pub seed: u64,
+}
+
+impl Default for FullGraphEngine {
+    fn default() -> Self {
+        Self { lr: 0.01, epochs: 100, partitions: 1, seed: 7 }
+    }
+}
+
+/// A graph pre-vectorized for full-batch work: per-layer prepared
+/// adjacencies + features + labels.
+pub struct FullBatch {
+    pub adjs: Vec<Csr>,
+    pub features: Matrix,
+    pub labels: Matrix,
+}
+
+impl FullGraphEngine {
+    fn ctx(&self) -> ExecCtx {
+        if self.partitions > 1 {
+            ExecCtx::parallel(self.partitions)
+        } else {
+            ExecCtx::sequential()
+        }
+    }
+
+    /// Prepare a graph once for repeated full-batch passes.
+    pub fn prepare(&self, model: &GnnModel, graph: &Graph) -> FullBatch {
+        let labels = graph.labels().cloned().unwrap_or_else(|| Matrix::zeros(graph.n_nodes(), model.config().out_dim));
+        FullBatch {
+            adjs: model.prepare_adjs(graph.in_adj(), None),
+            features: graph.features().clone(),
+            labels,
+        }
+    }
+
+    fn locals(graph: &Graph, ids: &[NodeId]) -> Vec<usize> {
+        ids.iter()
+            .map(|&id| graph.local(id).unwrap_or_else(|| panic!("unknown node {id}")) as usize)
+            .collect()
+    }
+
+    /// Transductive full-batch training on the labeled subset of one graph.
+    pub fn train_transductive(&self, model: &mut GnnModel, graph: &Graph, train_ids: &[NodeId]) -> Vec<BaselineEpoch> {
+        let batch = self.prepare(model, graph);
+        let targets = Self::locals(graph, train_ids);
+        let labels = batch.labels.gather_rows(&targets);
+        let ctx = self.ctx();
+        let mut opt = Adam::new(self.lr);
+        let mut rng = seeded_rng(self.seed);
+        let mut history = Vec::with_capacity(self.epochs);
+        for epoch in 0..self.epochs {
+            let t = Instant::now();
+            model.zero_grads();
+            let pass = model.forward(&batch.adjs, &batch.features, &targets, true, &ctx, &mut rng);
+            let (loss, grad) = model.loss(&pass.logits, &labels);
+            model.backward(&batch.adjs, &pass, &grad, &ctx);
+            let mut p = model.param_vector();
+            opt.step(&mut p, &model.grad_vector());
+            model.load_param_vector(&p);
+            history.push(BaselineEpoch { epoch, loss: loss as f64, duration: t.elapsed() });
+        }
+        history
+    }
+
+    /// Inductive full-batch training: every epoch sweeps all graphs, one
+    /// full-batch step per graph with all of its nodes as targets (the PPI
+    /// protocol).
+    pub fn train_inductive(&self, model: &mut GnnModel, graphs: &[Graph]) -> Vec<BaselineEpoch> {
+        let batches: Vec<FullBatch> = graphs.iter().map(|g| self.prepare(model, g)).collect();
+        let all_targets: Vec<Vec<usize>> = graphs.iter().map(|g| (0..g.n_nodes()).collect()).collect();
+        let ctx = self.ctx();
+        let mut opt = Adam::new(self.lr);
+        let mut rng = seeded_rng(self.seed);
+        let mut history = Vec::with_capacity(self.epochs);
+        for epoch in 0..self.epochs {
+            let t = Instant::now();
+            let mut loss_sum = 0.0f64;
+            for (batch, targets) in batches.iter().zip(&all_targets) {
+                model.zero_grads();
+                let pass = model.forward(&batch.adjs, &batch.features, targets, true, &ctx, &mut rng);
+                let (loss, grad) = model.loss(&pass.logits, &batch.labels);
+                model.backward(&batch.adjs, &pass, &grad, &ctx);
+                let mut p = model.param_vector();
+                opt.step(&mut p, &model.grad_vector());
+                model.load_param_vector(&p);
+                loss_sum += loss as f64;
+            }
+            history.push(BaselineEpoch { epoch, loss: loss_sum / graphs.len() as f64, duration: t.elapsed() });
+        }
+        history
+    }
+
+    /// Logits for every node of a graph (one full forward).
+    pub fn infer_all(&self, model: &GnnModel, graph: &Graph) -> Matrix {
+        let batch = self.prepare(model, graph);
+        let targets: Vec<usize> = (0..graph.n_nodes()).collect();
+        let mut rng = seeded_rng(0);
+        model
+            .forward(&batch.adjs, &batch.features, &targets, false, &self.ctx(), &mut rng)
+            .logits
+    }
+
+    /// Evaluate on a node subset of one graph.
+    pub fn evaluate(&self, model: &GnnModel, graph: &Graph, ids: &[NodeId]) -> Metrics {
+        let batch = self.prepare(model, graph);
+        let targets = Self::locals(graph, ids);
+        let mut rng = seeded_rng(0);
+        let pass = model.forward(&batch.adjs, &batch.features, &targets, false, &self.ctx(), &mut rng);
+        let labels = batch.labels.gather_rows(&targets);
+        Metrics::compute(model.config().loss, &pass.logits, &labels)
+    }
+
+    /// Evaluate over several graphs (inductive test protocol), pooling all
+    /// node predictions.
+    pub fn evaluate_graphs(&self, model: &GnnModel, graphs: &[Graph]) -> Metrics {
+        let out_dim = model.config().out_dim;
+        let total: usize = graphs.iter().map(Graph::n_nodes).sum();
+        let mut logits = Matrix::zeros(total, out_dim);
+        let mut labels = Matrix::zeros(total, out_dim);
+        let mut row = 0;
+        let mut rng = seeded_rng(0);
+        for g in graphs {
+            let batch = self.prepare(model, g);
+            let targets: Vec<usize> = (0..g.n_nodes()).collect();
+            let pass = model.forward(&batch.adjs, &batch.features, &targets, false, &self.ctx(), &mut rng);
+            for i in 0..g.n_nodes() {
+                logits.row_mut(row).copy_from_slice(pass.logits.row(i));
+                labels.row_mut(row).copy_from_slice(batch.labels.row(i));
+                row += 1;
+            }
+        }
+        Metrics::compute(model.config().loss, &logits, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_graph::{EdgeTable, NodeTable};
+    use agl_nn::{Loss, ModelConfig, ModelKind};
+
+    /// Two homophilous clusters with class-correlated features.
+    fn toy_graph(seed_shift: u64) -> Graph {
+        let n: u64 = 24;
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i + seed_shift)).collect();
+        let mut feats = Matrix::zeros(n as usize, 4);
+        let mut labels = Matrix::zeros(n as usize, 2);
+        for i in 0..n as usize {
+            let c = i % 2;
+            labels[(i, c)] = 1.0;
+            let sign = if c == 0 { 1.0 } else { -1.0 };
+            feats[(i, 0)] = sign;
+            feats[(i, 1)] = sign * 0.5;
+            feats[(i, 2)] = ((i / 2) as f32) * 0.01;
+        }
+        let nodes = NodeTable::new(ids.clone(), feats, Some(labels));
+        let mut pairs = Vec::new();
+        for i in (0..n).step_by(2) {
+            let j = (i + 2) % n;
+            pairs.push((ids[i as usize].0, ids[j as usize].0)); // class-0 ring
+            pairs.push((ids[i as usize + 1].0, ids[(j + 1) as usize % n as usize].0)); // class-1 ring
+        }
+        Graph::from_tables(&nodes, &EdgeTable::from_undirected_pairs(pairs))
+    }
+
+    fn model(kind: ModelKind) -> GnnModel {
+        GnnModel::new(ModelConfig::new(kind, 4, 8, 2, 2, Loss::SoftmaxCrossEntropy))
+    }
+
+    #[test]
+    fn transductive_training_learns() {
+        let g = toy_graph(0);
+        // First half trains, second half tests — both halves contain both
+        // classes (class alternates with index parity).
+        let train: Vec<NodeId> = g.node_ids()[..12].to_vec();
+        let test: Vec<NodeId> = g.node_ids()[12..].to_vec();
+        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 2 }] {
+            let mut m = model(kind);
+            let engine = FullGraphEngine { epochs: 40, lr: 0.05, ..Default::default() };
+            let hist = engine.train_transductive(&mut m, &g, &train);
+            assert!(hist.last().unwrap().loss < hist[0].loss, "{kind:?} loss decreased");
+            let metrics = engine.evaluate(&m, &g, &test);
+            assert!(metrics.accuracy.unwrap() > 0.9, "{kind:?} acc {:?}", metrics.accuracy);
+        }
+    }
+
+    #[test]
+    fn inductive_training_generalises_to_held_out_graph() {
+        let train_graphs = vec![toy_graph(0), toy_graph(1000)];
+        let test_graphs = vec![toy_graph(2000)];
+        let mut m = model(ModelKind::Sage);
+        let engine = FullGraphEngine { epochs: 30, lr: 0.05, ..Default::default() };
+        engine.train_inductive(&mut m, &train_graphs);
+        let metrics = engine.evaluate_graphs(&m, &test_graphs);
+        assert!(metrics.accuracy.unwrap() > 0.9, "acc {:?}", metrics.accuracy);
+    }
+
+    #[test]
+    fn infer_all_shapes() {
+        let g = toy_graph(0);
+        let m = model(ModelKind::Gcn);
+        let engine = FullGraphEngine::default();
+        let logits = engine.infer_all(&m, &g);
+        assert_eq!(logits.shape(), (24, 2));
+    }
+
+    #[test]
+    fn partitioned_training_matches_sequential() {
+        let g = toy_graph(0);
+        let train: Vec<NodeId> = g.node_ids().to_vec();
+        let run = |partitions: usize| {
+            let mut m = model(ModelKind::Gcn);
+            let engine = FullGraphEngine { epochs: 3, partitions, ..Default::default() };
+            engine.train_transductive(&mut m, &g, &train);
+            m.param_vector()
+        };
+        let a = run(1);
+        let b = run(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 8 — speedup ratio vs number of training workers (1 → 100).
+//!
+//! Two layers of evidence:
+//!
+//! 1. **Measured**: per-example compute cost from a real `LocalTrainer`
+//!    epoch on this machine (this also calibrates the model below). True
+//!    thread-scaling cannot be shown on a small core count, so the wall
+//!    numbers are reported for transparency, not as the speedup claim.
+//! 2. **Simulated**: the calibrated cluster model replays synchronous PS
+//!    training for 1..100 workers, reproducing the paper's near-linear
+//!    curve with slope ≈ 0.8 (78× at 100 workers).
+
+use agl_bench::{banner, env_usize, flatten_dataset};
+use agl_cluster_sim::{speedup_curve, ClusterConfig, TrainingWorkload};
+use agl_datasets::{uug_like, UugConfig};
+use agl_flat::SamplingStrategy;
+use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_trainer::{LocalTrainer, TrainOptions};
+
+fn main() {
+    banner("Figure 8: Speedup ratio vs number of workers");
+    let n = env_usize("AGL_UUG_NODES", 6_000);
+    let ds = uug_like(UugConfig { n_nodes: n, ..UugConfig::default() });
+    let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).expect("graphflat");
+
+    // ---- calibrate per-example cost from a measured epoch ----
+    let cfg = ModelConfig::new(ModelKind::Gat { heads: 2 }, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits);
+    let mut model = GnnModel::new(cfg.clone());
+    let opts = TrainOptions { epochs: 3, lr: 0.01, batch_size: 32, pruning: true, ..TrainOptions::default() };
+    let result = LocalTrainer::new(opts).train(&mut model, &flat.train);
+    let epoch_secs = result.mean_epoch_time().as_secs_f64();
+    let secs_per_example = epoch_secs / flat.train.len() as f64;
+    let param_bytes = 4 * GnnModel::new(cfg).param_count() as u64;
+    println!(
+        "calibration: {} examples/epoch, measured epoch {:.2}s -> {:.3}ms/example; model {} bytes\n",
+        flat.train.len(),
+        epoch_secs,
+        secs_per_example * 1e3,
+        param_bytes
+    );
+
+    // ---- simulated speedup curve at paper-like workload ----
+    let wl = TrainingWorkload {
+        examples: 1_200_000, // scaled-down stand-in for the paper's 1.2e8
+        secs_per_example,
+        batch_size: 128,
+        epochs: 1,
+        param_bytes,
+    };
+    let workers: Vec<usize> = vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    let curve = speedup_curve(&ClusterConfig::default(), &wl, &workers);
+    println!("{:<10} {:>10} {:>8}", "workers", "speedup", "slope");
+    for (w, s) in &curve {
+        println!("{w:<10} {s:>10.1} {:>8.2}", s / *w as f64);
+    }
+    let (_, s100) = curve.last().unwrap();
+    println!("\n100-worker speedup: {s100:.1}x (paper: 78x, slope ~0.8)");
+}

@@ -1,0 +1,39 @@
+//! Table 2 — summary of datasets.
+//!
+//! Prints the generated datasets' shapes next to the paper's published
+//! numbers. The UUG row shows the generated (laptop-scale) graph plus the
+//! paper-scale reference the cluster simulator targets.
+
+use agl_bench::{banner, env_f64, env_usize};
+use agl_datasets::uug::{UUG_PAPER_EDGES, UUG_PAPER_NODES, UUG_PAPER_TEST, UUG_PAPER_TRAIN, UUG_PAPER_VAL};
+use agl_datasets::{cora_like, ppi_like, uug_like, PpiConfig, UugConfig};
+
+fn main() {
+    banner("Table 2: Summary of datasets (generated vs paper)");
+
+    let cora = cora_like(1);
+    println!("{}", cora.summary());
+    println!("{:<10} | paper: nodes 2708 | edges 5429(undirected) | feat 1433 | classes 7 | 140/500/1000", "");
+
+    let scale = env_f64("AGL_PPI_SCALE", 0.08);
+    let ppi = ppi_like(PpiConfig { seed: 17, scale });
+    println!("{}", ppi.summary());
+    println!(
+        "{:<10} | paper: nodes 56944 (24 graphs) | edges 818716 | feat 50 | classes 121(multilabel) | 20/2/2 graphs (scale={scale})",
+        ""
+    );
+
+    let n = env_usize("AGL_UUG_NODES", 10_000);
+    let uug = uug_like(UugConfig { n_nodes: n, ..UugConfig::default() });
+    println!("{}", uug.summary());
+    println!(
+        "{:<10} | paper: nodes {UUG_PAPER_NODES:.2e} | edges {UUG_PAPER_EDGES:.2e} | feat 656 | classes 2 | {UUG_PAPER_TRAIN:.1e}/{UUG_PAPER_VAL:.0e}/{UUG_PAPER_TEST:.1e}",
+        ""
+    );
+
+    let stats = agl_graph::stats::in_degree_stats(uug.graph()).unwrap();
+    println!(
+        "\nUUG-like degree skew (drives re-indexing/sampling): max={} p99={} p50={} mean={:.1}",
+        stats.max, stats.p99, stats.p50, stats.mean
+    );
+}

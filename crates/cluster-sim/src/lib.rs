@@ -1,0 +1,43 @@
+//! `agl-cluster-sim` — a discrete-event model of the production cluster.
+//!
+//! The paper's scalability results (Fig. 8's near-linear speedup with slope
+//! ≈ 0.8, the 14 h training / 1.2 h inference headline on 6.23×10⁹ nodes)
+//! were measured on >1000 machines. This reproduction runs on one box, so
+//! the *local* measurements calibrate a cluster model that replays the
+//! paper-scale runs:
+//!
+//! * [`simulate_sync_training`] — synchronous PS training: per step, every
+//!   worker computes its batch (with log-extreme straggler noise — the
+//!   shared production cluster of §4.2.2), pulls/pushes the model, and the
+//!   servers apply the averaged update. The speedup curve bends exactly the
+//!   way the paper describes: *"overhead in network communication may
+//!   slightly increase as the number of training workers increases"*.
+//! * [`simulate_mr_job`] — a MapReduce job (GraphFlat / GraphInfer): waves
+//!   of tasks over a worker pool with shuffle I/O per round, reporting the
+//!   paper's Table 5 cost units (time, core·min, GB·min).
+//!
+//! Everything is deterministic given the seed.
+
+pub mod mr;
+pub mod training;
+
+pub use mr::{simulate_mr_job, MrJobModel};
+pub use training::{simulate_sync_training, speedup_curve, ClusterConfig, TrainingWorkload};
+
+use std::time::Duration;
+
+/// Cost report in the paper's Table 5 units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    pub wall: Duration,
+    /// CPU cost in core·minutes.
+    pub cpu_core_min: f64,
+    /// Memory cost in GB·minutes.
+    pub mem_gb_min: f64,
+}
+
+impl SimReport {
+    pub fn hours(&self) -> f64 {
+        self.wall.as_secs_f64() / 3600.0
+    }
+}

@@ -1,0 +1,156 @@
+//! Synchronous parameter-server training model (Fig. 8).
+
+use crate::SimReport;
+use agl_tensor::rng::derive_seed;
+use agl_tensor::seeded_rng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Cluster characteristics (paper §4.2.2: 32-core / 64 GB commodity
+/// machines on a shared, non-exclusive production cluster).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Per-worker link bandwidth to the parameter servers, bytes/s.
+    pub worker_bandwidth: f64,
+    /// Aggregate parameter-server ingest bandwidth, bytes/s (more servers ⇒
+    /// more aggregate bandwidth, but it is shared by all workers).
+    pub ps_bandwidth: f64,
+    /// Relative dispersion of task times on the shared cluster (drives the
+    /// straggler effect — the max of `w` draws grows with `w`).
+    pub straggler_cv: f64,
+    /// Worker memory footprint in GB (the paper reports 5.5 GB/worker).
+    pub worker_mem_gb: f64,
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            worker_bandwidth: 1.25e9 / 10.0, // 1 Gbps effective per worker
+            ps_bandwidth: 2.5e9,             // shared PS ingest
+            straggler_cv: 0.055,
+            worker_mem_gb: 5.5,
+            seed: 42,
+        }
+    }
+}
+
+/// The training job to replay.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingWorkload {
+    /// Training examples per epoch.
+    pub examples: u64,
+    /// Measured (or assumed) seconds of worker compute per example —
+    /// calibrate from a local `LocalTrainer` run.
+    pub secs_per_example: f64,
+    pub batch_size: u64,
+    pub epochs: u64,
+    /// Model size in bytes (pull + push per step each move this much).
+    pub param_bytes: u64,
+}
+
+/// Expected maximum of `w` unit-mean draws with coefficient of variation
+/// `cv` — the Gumbel-ish `max ≈ 1 + cv·√(2 ln w)` approximation, jittered
+/// deterministically per step.
+fn straggler_factor(w: usize, cv: f64, jitter: f64) -> f64 {
+    if w <= 1 {
+        return 1.0;
+    }
+    1.0 + cv * (2.0 * (w as f64).ln()).sqrt() * (1.0 + 0.1 * jitter)
+}
+
+/// One synchronous step's wall time.
+fn step_time(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize, jitter: f64) -> f64 {
+    let compute = wl.batch_size as f64 * wl.secs_per_example * straggler_factor(w, cfg.straggler_cv, jitter);
+    // Pull + push over the worker's own link…
+    let link = 2.0 * wl.param_bytes as f64 / cfg.worker_bandwidth;
+    // …and the shared PS ingest all `w` workers contend on.
+    let ps = 2.0 * wl.param_bytes as f64 * w as f64 / cfg.ps_bandwidth;
+    compute + link + ps
+}
+
+/// Simulate a full synchronous training run on `w` workers.
+pub fn simulate_sync_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize) -> SimReport {
+    assert!(w >= 1);
+    let steps_per_epoch = wl.examples.div_ceil(wl.batch_size * w as u64).max(1);
+    let mut rng = seeded_rng(derive_seed(cfg.seed, w as u64));
+    let mut wall = 0.0f64;
+    // Sample a handful of steps and scale — steps within an epoch are iid
+    // in this model.
+    let probe = 64.min(steps_per_epoch) as usize;
+    let mut probe_sum = 0.0;
+    for _ in 0..probe {
+        probe_sum += step_time(cfg, wl, w, rng.gen_range(-1.0..1.0));
+    }
+    let mean_step = probe_sum / probe as f64;
+    wall += mean_step * steps_per_epoch as f64 * wl.epochs as f64;
+    let wall_min = wall / 60.0;
+    SimReport {
+        wall: Duration::from_secs_f64(wall),
+        cpu_core_min: wall_min * w as f64,
+        mem_gb_min: wall_min * w as f64 * cfg.worker_mem_gb,
+    }
+}
+
+/// Speedup ratios `T(1)/T(w)` for a sweep of worker counts (Fig. 8).
+pub fn speedup_curve(cfg: &ClusterConfig, wl: &TrainingWorkload, workers: &[usize]) -> Vec<(usize, f64)> {
+    let t1 = simulate_sync_training(cfg, wl, 1).wall.as_secs_f64();
+    workers
+        .iter()
+        .map(|&w| (w, t1 / simulate_sync_training(cfg, wl, w).wall.as_secs_f64()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> TrainingWorkload {
+        TrainingWorkload {
+            examples: 1_200_000,
+            secs_per_example: 2e-3,
+            batch_size: 128,
+            epochs: 1,
+            param_bytes: 4 * 200_000,
+        }
+    }
+
+    #[test]
+    fn speedup_is_near_linear_with_slope_around_point_eight() {
+        // The Fig. 8 claim: ~78× at 100 workers, slope ≈ 0.8 throughout.
+        let curve = speedup_curve(&ClusterConfig::default(), &wl(), &[10, 20, 50, 100]);
+        for &(w, s) in &curve {
+            let slope = s / w as f64;
+            assert!(
+                (0.7..=1.0).contains(&slope),
+                "{w} workers: speedup {s:.1} (slope {slope:.2})"
+            );
+        }
+        let (_, s100) = curve.last().copied().unwrap();
+        assert!((70.0..90.0).contains(&s100), "100 workers: {s100:.1}×");
+    }
+
+    #[test]
+    fn speedup_is_monotone() {
+        let curve = speedup_curve(&ClusterConfig::default(), &wl(), &[1, 2, 4, 8, 16, 32, 64, 100]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "{pair:?}");
+        }
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_cost_more_cpu_for_same_job() {
+        let cfg = ClusterConfig::default();
+        let a = simulate_sync_training(&cfg, &wl(), 10);
+        let b = simulate_sync_training(&cfg, &wl(), 100);
+        assert!(b.wall < a.wall, "faster wall-clock");
+        assert!(b.cpu_core_min > a.cpu_core_min, "but more aggregate CPU (imperfect scaling)");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(simulate_sync_training(&cfg, &wl(), 7), simulate_sync_training(&cfg, &wl(), 7));
+    }
+}

@@ -1,0 +1,165 @@
+//! The high-level job API (paper §3.5).
+
+use agl_flat::{FlatConfig, FlatOutput, GraphFlat, SamplingStrategy, TargetSpec};
+use agl_graph::{EdgeTable, NodeTable};
+use agl_infer::{GraphInfer, InferConfig, InferOutput};
+use agl_mapreduce::JobError;
+use agl_nn::GnnModel;
+use agl_trainer::metrics::Metrics;
+use agl_trainer::{DistTrainer, LocalTrainer, TrainOptions};
+
+/// Builder for GraphFlat / GraphInfer runs with shared knobs — the
+/// command-line surface of §3.5 as a typed API.
+#[derive(Debug, Clone, Default)]
+pub struct AglJob {
+    flat: FlatConfig,
+    infer: InferConfig,
+}
+
+impl AglJob {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `-h hops`: neighborhood depth K.
+    pub fn hops(mut self, k: usize) -> Self {
+        self.flat.k_hops = k;
+        self
+    }
+
+    /// `-s sampling_strategy`, applied to both GraphFlat and GraphInfer so
+    /// inference stays consistent with training data (§3.4).
+    pub fn sampling(mut self, s: SamplingStrategy) -> Self {
+        self.flat.sampling = s;
+        self.infer.sampling = s;
+        self
+    }
+
+    /// Hub re-indexing threshold + fanout (§3.2.2).
+    pub fn reindex(mut self, threshold: usize, fanout: u32) -> Self {
+        self.flat.hub_threshold = threshold;
+        self.flat.reindex_fanout = fanout;
+        self
+    }
+
+    /// Seed for the sampling framework.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.flat.seed = seed;
+        self.infer.seed = seed;
+        self
+    }
+
+    /// Engine sizing (map tasks, reduce tasks, thread parallelism).
+    pub fn engine(mut self, map_tasks: usize, reduce_tasks: usize, parallelism: usize) -> Self {
+        self.flat.map_tasks = map_tasks;
+        self.flat.reduce_tasks = reduce_tasks;
+        self.flat.parallelism = parallelism;
+        self.infer.map_tasks = map_tasks;
+        self.infer.reduce_tasks = reduce_tasks;
+        self.infer.parallelism = parallelism;
+        self
+    }
+
+    /// Direct access to the full GraphFlat configuration.
+    pub fn flat_config(&self) -> &FlatConfig {
+        &self.flat
+    }
+
+    /// Direct access to the full GraphInfer configuration.
+    pub fn infer_config(&self) -> &InferConfig {
+        &self.infer
+    }
+
+    /// **GraphFlat**: generate `<TargetedNodeId, Label, GraphFeature>`
+    /// triples (§3.2).
+    pub fn graph_flat(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
+        GraphFlat::new(self.flat.clone()).run(nodes, edges, targets)
+    }
+
+    /// **GraphInfer**: score every node with a trained model via the
+    /// K+1-slice MapReduce pipeline (§3.4).
+    pub fn graph_infer(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
+        GraphInfer::new(self.infer.clone()).run(model, nodes, edges)
+    }
+}
+
+/// **GraphTrainer** in one call: train on triples, evaluate on a held-out
+/// triple set, return the validation metrics (§3.3).
+pub fn train_and_evaluate(
+    model: &mut GnnModel,
+    train: &[agl_flat::TrainingExample],
+    eval: &[agl_flat::TrainingExample],
+    opts: &TrainOptions,
+) -> Metrics {
+    LocalTrainer::new(opts.clone()).train(model, train);
+    LocalTrainer::evaluate(model, eval, opts)
+}
+
+/// Distributed **GraphTrainer**: data-parallel workers against an
+/// in-process parameter server (`-t train_strategy -c dist_configs`).
+pub fn train_distributed(
+    model: &mut GnnModel,
+    train: &[agl_flat::TrainingExample],
+    val: Option<&[agl_flat::TrainingExample]>,
+    n_workers: usize,
+    opts: &TrainOptions,
+) -> agl_trainer::DistTrainResult {
+    DistTrainer::new(n_workers, opts.clone()).train(model, train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_graph::NodeId;
+    use agl_nn::{Loss, ModelConfig, ModelKind};
+    use agl_tensor::Matrix;
+
+    fn toy() -> (NodeTable, EdgeTable) {
+        let n = 20u64;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut feats = Matrix::zeros(n as usize, 2);
+        let mut labels = Matrix::zeros(n as usize, 2);
+        for i in 0..n as usize {
+            let c = i % 2;
+            labels[(i, c)] = 1.0;
+            feats[(i, 0)] = if c == 0 { 1.0 } else { -1.0 };
+            feats[(i, 1)] = 0.1;
+        }
+        let nodes = NodeTable::new(ids, feats, Some(labels));
+        let edges = EdgeTable::from_pairs((0..n - 2).map(|i| (i, i + 2)));
+        (nodes, edges)
+    }
+
+    #[test]
+    fn end_to_end_flat_train_infer() {
+        let (nodes, edges) = toy();
+        let job = AglJob::new().hops(2).seed(5);
+        let flat = job.graph_flat(&nodes, &edges, &TargetSpec::All).unwrap();
+        assert_eq!(flat.examples.len(), 20);
+
+        let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, 2, 8, 2, 2, Loss::SoftmaxCrossEntropy));
+        let opts = TrainOptions { epochs: 15, lr: 0.05, ..TrainOptions::default() };
+        let metrics = train_and_evaluate(&mut model, &flat.examples, &flat.examples, &opts);
+        assert!(metrics.accuracy.unwrap() > 0.9, "{:?}", metrics.accuracy);
+
+        let scores = job.graph_infer(&model, &nodes, &edges).unwrap();
+        assert_eq!(scores.scores.len(), 20);
+    }
+
+    #[test]
+    fn builder_knobs_propagate() {
+        let job = AglJob::new()
+            .hops(3)
+            .sampling(SamplingStrategy::TopK { max_degree: 7 })
+            .reindex(100, 8)
+            .engine(2, 3, 5)
+            .seed(9);
+        assert_eq!(job.flat_config().k_hops, 3);
+        assert_eq!(job.flat_config().hub_threshold, 100);
+        assert_eq!(job.flat_config().reindex_fanout, 8);
+        assert_eq!(job.flat_config().reduce_tasks, 3);
+        assert_eq!(job.infer_config().parallelism, 5);
+        assert_eq!(job.infer_config().sampling, SamplingStrategy::TopK { max_degree: 7 });
+        assert_eq!(job.infer_config().seed, 9);
+    }
+}

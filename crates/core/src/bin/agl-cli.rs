@@ -1,0 +1,305 @@
+//! `agl-cli` — the §3.5 command line:
+//!
+//! ```text
+//! GraphFlat    -n node_table -e edge_table -h hops -s sampling_strategy;
+//! GraphTrainer -m model_name -i input -t train_strategy -c dist_configs;
+//! GraphInfer   -m model -i input -c infer_configs;
+//! ```
+//!
+//! as subcommands over plain tab-separated tables:
+//!
+//! ```text
+//! agl-cli demo  --out-dir data                     # write a synthetic dataset
+//! agl-cli flat  --nodes data/nodes.tsv --edges data/edges.tsv \
+//!               --hops 2 --sampling uniform:10 --out data/features
+//! agl-cli train --store data/features --model gat --hidden 8 --out data/model.agl \
+//!               --epochs 5 --workers 4
+//! agl-cli infer --model data/model.agl --nodes data/nodes.tsv \
+//!               --edges data/edges.tsv --out data/scores.tsv
+//! ```
+//!
+//! Node table: `id \t f1,f2,... \t l1,l2,...` (labels optional).
+//! Edge table: `src \t dst \t weight`.
+
+use agl::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(&parse_flags(&args[1..])),
+        Some("flat") => cmd_flat(&parse_flags(&args[1..])),
+        Some("train") => cmd_train(&parse_flags(&args[1..])),
+        Some("infer") => cmd_infer(&parse_flags(&args[1..])),
+        _ => {
+            eprintln!("usage: agl-cli <demo|flat|train|infer> [--flag value]...");
+            eprintln!("see crate docs for the table formats and flags");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn flag_or<'a>(flags: &'a Flags, name: &str, default: &'a str) -> &'a str {
+    flags.get(name).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_sampling(s: &str) -> Result<SamplingStrategy, String> {
+    if s == "none" {
+        return Ok(SamplingStrategy::None);
+    }
+    let (kind, max) = s.split_once(':').ok_or_else(|| format!("bad sampling {s:?}, want e.g. uniform:10"))?;
+    let max_degree: usize = max.parse().map_err(|_| format!("bad sampling cap {max:?}"))?;
+    match kind {
+        "uniform" => Ok(SamplingStrategy::Uniform { max_degree }),
+        "weighted" => Ok(SamplingStrategy::Weighted { max_degree }),
+        "topk" => Ok(SamplingStrategy::TopK { max_degree }),
+        _ => Err(format!("unknown sampling kind {kind:?}")),
+    }
+}
+
+// ---- table I/O ----
+
+fn parse_floats(s: &str) -> Result<Vec<f32>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|x| x.trim().parse::<f32>().map_err(|e| format!("bad float {x:?}: {e}"))).collect()
+}
+
+fn read_node_table(path: &str) -> Result<NodeTable, Box<dyn std::error::Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut ids = Vec::new();
+    let mut feats: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<Vec<f32>> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let id: u64 = cols.next().ok_or("empty line")?.trim().parse().map_err(|e| format!("{path}:{}: bad id: {e}", ln + 1))?;
+        let f = parse_floats(cols.next().unwrap_or(""))?;
+        let l = parse_floats(cols.next().unwrap_or(""))?;
+        ids.push(NodeId(id));
+        feats.push(f);
+        labels.push(l);
+    }
+    if ids.is_empty() {
+        return Err(format!("{path}: no nodes").into());
+    }
+    let fdim = feats[0].len();
+    let ldim = labels.iter().map(Vec::len).max().unwrap_or(0);
+    let mut fmat = Matrix::zeros(ids.len(), fdim);
+    let mut lmat = Matrix::zeros(ids.len(), ldim);
+    for (i, (f, l)) in feats.iter().zip(&labels).enumerate() {
+        if f.len() != fdim {
+            return Err(format!("{path}: node {} has {} features, expected {fdim}", ids[i], f.len()).into());
+        }
+        fmat.row_mut(i).copy_from_slice(f);
+        lmat.row_mut(i)[..l.len()].copy_from_slice(l);
+    }
+    Ok(NodeTable::new(ids, fmat, (ldim > 0).then_some(lmat)))
+}
+
+fn read_edge_table(path: &str) -> Result<EdgeTable, Box<dyn std::error::Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut pairs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        let src: u64 = cols.next().ok_or("empty")?.trim().parse().map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+        let dst: u64 = cols.next().ok_or("missing dst")?.trim().parse().map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+        let weight: f32 = cols.next().map_or(Ok(1.0), |w| w.trim().parse()).map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+        pairs.push(agl::graph::tables::EdgeRow { src: NodeId(src), dst: NodeId(dst), weight });
+    }
+    Ok(EdgeTable::new(pairs, None))
+}
+
+// ---- subcommands ----
+
+fn cmd_demo(flags: &Flags) -> CliResult {
+    let dir = flag(flags, "out-dir")?;
+    let n: usize = flag_or(flags, "nodes", "2000").parse()?;
+    fs::create_dir_all(dir)?;
+    let ds = uug_like(UugConfig { n_nodes: n, feature_dim: 8, ..UugConfig::default() });
+    let g = ds.graph();
+    let mut nf = String::new();
+    let labels = g.labels().unwrap();
+    for (i, id) in g.node_ids().iter().enumerate() {
+        let feats: Vec<String> = g.features().row(i).iter().map(|v| format!("{v:.4}")).collect();
+        nf.push_str(&format!("{}\t{}\t{}\n", id.0, feats.join(","), labels[(i, 0)]));
+    }
+    fs::write(Path::new(dir).join("nodes.tsv"), nf)?;
+    let mut ef = String::new();
+    for (dst, src, w) in g.in_adj().iter_entries() {
+        ef.push_str(&format!("{}\t{}\t{w}\n", g.node_id(src).0, g.node_id(dst).0));
+    }
+    fs::write(Path::new(dir).join("edges.tsv"), ef)?;
+    let train_ids: Vec<String> = ds.train.node_ids().iter().map(|n| n.0.to_string()).collect();
+    fs::write(Path::new(dir).join("train_ids.txt"), train_ids.join("\n"))?;
+    println!("wrote {} nodes / {} edges / {} train ids under {dir}/", g.n_nodes(), g.n_edges(), ds.train.len());
+    Ok(())
+}
+
+fn cmd_flat(flags: &Flags) -> CliResult {
+    let nodes = read_node_table(flag(flags, "nodes")?)?;
+    let edges = read_edge_table(flag(flags, "edges")?)?;
+    let hops: usize = flag_or(flags, "hops", "2").parse()?;
+    let sampling = parse_sampling(flag_or(flags, "sampling", "none"))?;
+    let out = flag(flags, "out")?;
+    let shards: usize = flag_or(flags, "shards", "8").parse()?;
+    let targets = match flags.get("targets") {
+        None => TargetSpec::All,
+        Some(path) if path == "all" => TargetSpec::All,
+        Some(path) => {
+            let ids = fs::read_to_string(path)?
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| l.trim().parse::<u64>().map(NodeId))
+                .collect::<Result<Vec<_>, _>>()?;
+            TargetSpec::Ids(ids)
+        }
+    };
+    let job = AglJob::new()
+        .hops(hops)
+        .sampling(sampling)
+        .seed(flag_or(flags, "seed", "42").parse()?)
+        .reindex(flag_or(flags, "hub-threshold", "10000").parse()?, flag_or(flags, "fanout", "4").parse()?);
+    let result = job.graph_flat(&nodes, &edges, &targets)?;
+    let store = agl::flat::FeatureStore::create(out, shards, &result.examples)?;
+    println!(
+        "GraphFlat: {} GraphFeatures -> {} ({} shards, {:.1} MB)",
+        result.examples.len(),
+        out,
+        store.n_shards(),
+        store.disk_bytes()? as f64 / 1e6
+    );
+    for (name, v) in result.counters.snapshot() {
+        if name.starts_with("flat.") {
+            println!("  {name} = {v}");
+        }
+    }
+    Ok(())
+}
+
+fn model_kind(name: &str, heads: usize) -> Result<ModelKind, String> {
+    match name {
+        "gcn" => Ok(ModelKind::Gcn),
+        "sage" | "graphsage" => Ok(ModelKind::Sage),
+        "gat" => Ok(ModelKind::Gat { heads }),
+        _ => Err(format!("unknown model {name:?} (gcn|sage|gat)")),
+    }
+}
+
+fn cmd_train(flags: &Flags) -> CliResult {
+    let store = agl::flat::FeatureStore::open(flag(flags, "store")?)?;
+    let examples = store.read_all()?;
+    if examples.is_empty() {
+        return Err("store is empty".into());
+    }
+    let sample = decode_graph_feature(&examples[0].graph_feature).map_err(|e| e.to_string())?;
+    let in_dim = sample.features.cols();
+    let out_dim = examples.iter().map(|e| e.label.len()).max().unwrap_or(1).max(1);
+    let layers: usize = flag_or(flags, "layers", "2").parse()?;
+    let hidden: usize = flag_or(flags, "hidden", "16").parse()?;
+    let heads: usize = flag_or(flags, "heads", "2").parse()?;
+    let loss = match flag_or(flags, "loss", if out_dim == 1 { "bce" } else { "softmax" }) {
+        "softmax" => Loss::SoftmaxCrossEntropy,
+        "bce" => Loss::BceWithLogits,
+        other => return Err(format!("unknown loss {other:?}").into()),
+    };
+    let kind = model_kind(flag_or(flags, "model", "gcn"), heads)?;
+    let cfg = ModelConfig::new(kind, in_dim, hidden, out_dim, layers, loss)
+        .with_dropout(flag_or(flags, "dropout", "0").parse()?)
+        .with_seed(flag_or(flags, "seed", "42").parse()?);
+    let mut model = GnnModel::new(cfg);
+    let opts = TrainOptions {
+        epochs: flag_or(flags, "epochs", "10").parse()?,
+        lr: flag_or(flags, "lr", "0.01").parse()?,
+        batch_size: flag_or(flags, "batch-size", "32").parse()?,
+        pruning: flag_or(flags, "pruning", "true").parse()?,
+        partitions: flag_or(flags, "partitions", "1").parse()?,
+        ..TrainOptions::default()
+    };
+    let workers: usize = flag_or(flags, "workers", "1").parse()?;
+    println!(
+        "training {} ({} params) on {} triples, {} workers",
+        kind.name(),
+        model.param_count(),
+        examples.len(),
+        workers
+    );
+    if workers > 1 {
+        let result = train_distributed(&mut model, &examples, None, workers, &opts);
+        for e in &result.epochs {
+            println!("epoch {:>3}: loss {:.4} ({:.2}s)", e.epoch + 1, e.loss, e.duration.as_secs_f64());
+        }
+    } else {
+        let result = LocalTrainer::new(opts.clone()).train(&mut model, &examples);
+        for e in &result.epochs {
+            println!("epoch {:>3}: loss {:.4} ({:.2}s)", e.epoch + 1, e.loss, e.duration.as_secs_f64());
+        }
+    }
+    let metrics = LocalTrainer::evaluate(&model, &examples, &opts);
+    println!("train metrics: loss {:.4} headline {:.4}", metrics.loss, metrics.headline());
+    let out = flag(flags, "out")?;
+    fs::write(out, model_to_bytes(&model))?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_infer(flags: &Flags) -> CliResult {
+    let model = model_from_bytes(&fs::read(flag(flags, "model")?)?)?;
+    let nodes = read_node_table(flag(flags, "nodes")?)?;
+    let edges = read_edge_table(flag(flags, "edges")?)?;
+    let job = AglJob::new()
+        .sampling(parse_sampling(flag_or(flags, "sampling", "none"))?)
+        .seed(flag_or(flags, "seed", "42").parse()?);
+    let result = job.graph_infer(&model, &nodes, &edges)?;
+    let out = flag(flags, "out")?;
+    let mut f = fs::File::create(out)?;
+    for s in &result.scores {
+        let probs: Vec<String> = s.probs.iter().map(|p| format!("{p:.6}")).collect();
+        writeln!(f, "{}\t{}", s.node.0, probs.join(","))?;
+    }
+    println!(
+        "GraphInfer: {} scores -> {out} ({} embeddings computed)",
+        result.scores.len(),
+        result.counters.get("infer.embeddings_computed")
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `agl` — the integrated AGL system facade.
+//!
+//! This crate wires the three modules of the paper together behind the
+//! §3.5-shaped API:
+//!
+//! ```text
+//! GraphFlat    -n node_table -e edge_table -h hops -s sampling_strategy
+//! GraphTrainer -m model_name -i input -t train_strategy -c dist_configs
+//! GraphInfer   -m model -i input -c infer_configs
+//! ```
+//!
+//! becomes
+//!
+//! ```
+//! use agl::prelude::*;
+//!
+//! // A toy attributed digraph: 0 <- 1 <- 2, labels on every node.
+//! let nodes = NodeTable::new(
+//!     vec![NodeId(0), NodeId(1), NodeId(2)],
+//!     Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+//!     Some(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]])),
+//! );
+//! let edges = EdgeTable::from_pairs([(1, 0), (2, 1)]);
+//!
+//! // GraphFlat: 2-hop GraphFeatures for all nodes.
+//! let flat = AglJob::new()
+//!     .hops(2)
+//!     .graph_flat(&nodes, &edges, &TargetSpec::All)
+//!     .unwrap();
+//! assert_eq!(flat.examples.len(), 3);
+//!
+//! // GraphTrainer: a 2-layer GCN on the triples.
+//! let cfg = ModelConfig::new(ModelKind::Gcn, 2, 4, 2, 2, Loss::SoftmaxCrossEntropy);
+//! let mut model = GnnModel::new(cfg);
+//! let opts = TrainOptions { epochs: 3, ..TrainOptions::default() };
+//! LocalTrainer::new(opts).train(&mut model, &flat.examples);
+//!
+//! // GraphInfer: scores for every node via MapReduce slices.
+//! let scores = AglJob::new().graph_infer(&model, &nodes, &edges).unwrap();
+//! assert_eq!(scores.scores.len(), 3);
+//! ```
+//!
+//! Everything underneath is re-exported: the numeric substrate
+//! (`agl_tensor`), graph structures (`agl_graph`), the MapReduce engine
+//! (`agl_mapreduce`), layers/losses (`agl_nn`), the parameter server
+//! (`agl_ps`), the three AGL modules (`agl_flat`, `agl_trainer`,
+//! `agl_infer`), the in-memory comparison engine (`agl_baseline`), dataset
+//! generators (`agl_datasets`) and the cluster model (`agl_cluster_sim`).
+
+pub use agl_baseline as baseline;
+pub use agl_cluster_sim as cluster_sim;
+pub use agl_datasets as datasets;
+pub use agl_flat as flat;
+pub use agl_graph as graph;
+pub use agl_infer as infer;
+pub use agl_mapreduce as mapreduce;
+pub use agl_nn as nn;
+pub use agl_ps as ps;
+pub use agl_tensor as tensor;
+pub use agl_trainer as trainer;
+
+pub mod api;
+pub mod prelude;
+
+pub use api::AglJob;

@@ -1,0 +1,162 @@
+//! Cora-shaped citation network: 2708 nodes, 5429 undirected citations,
+//! 1433-dimensional bag-of-words features, 7 classes, 140/500/1000 split
+//! (paper Table 2).
+
+use crate::{Dataset, Split};
+use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
+use agl_tensor::{seeded_rng, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+pub const CORA_NODES: usize = 2708;
+pub const CORA_EDGES: usize = 5429;
+pub const CORA_FEATURES: usize = 1433;
+pub const CORA_CLASSES: usize = 7;
+
+/// Generate a Cora-like dataset. Deterministic in `seed`.
+///
+/// Signal: each class owns a block of "topic words"; a node activates words
+/// mostly from its class block (bag-of-words homophily), and citations are
+/// predominantly intra-class — the two properties GCN-style models exploit
+/// on the real Cora.
+pub fn cora_like(seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed);
+    let n = CORA_NODES;
+    let classes: Vec<usize> = (0..n).map(|i| i % CORA_CLASSES).collect();
+
+    // Features: ~20 active words per node, 75% from the class's topic block.
+    let words_per_class = CORA_FEATURES / CORA_CLASSES; // 204
+    let mut features = Matrix::zeros(n, CORA_FEATURES);
+    for i in 0..n {
+        let block = classes[i] * words_per_class;
+        for _ in 0..20 {
+            let w = if rng.gen::<f32>() < 0.75 {
+                block + rng.gen_range(0..words_per_class)
+            } else {
+                rng.gen_range(0..CORA_FEATURES)
+            };
+            features[(i, w)] = 1.0;
+        }
+    }
+
+    let mut labels = Matrix::zeros(n, CORA_CLASSES);
+    for i in 0..n {
+        labels[(i, classes[i])] = 1.0;
+    }
+
+    // Citations: 5429 undirected edges, ~81% intra-class homophily.
+    let mut pairs = std::collections::HashSet::with_capacity(CORA_EDGES);
+    while pairs.len() < CORA_EDGES {
+        let a = rng.gen_range(0..n);
+        let b = if rng.gen::<f32>() < 0.81 {
+            // Same-class partner.
+            let mut b = rng.gen_range(0..n / CORA_CLASSES) * CORA_CLASSES + classes[a];
+            if b >= n {
+                b -= CORA_CLASSES;
+            }
+            b
+        } else {
+            rng.gen_range(0..n)
+        };
+        if a != b {
+            let (lo, hi) = (a.min(b), a.max(b));
+            pairs.insert((lo as u64, hi as u64));
+        }
+    }
+
+    let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    let nodes = NodeTable::new(ids.clone(), features, Some(labels));
+    let mut sorted: Vec<(u64, u64)> = pairs.into_iter().collect();
+    sorted.sort_unstable();
+    let edges = EdgeTable::from_undirected_pairs(sorted);
+    let graph = Graph::from_tables(&nodes, &edges);
+
+    // Split: 20 per class train (140), then 500 val, 1000 test.
+    let mut train = Vec::with_capacity(140);
+    for c in 0..CORA_CLASSES {
+        let mut members: Vec<NodeId> = (0..n).filter(|&i| classes[i] == c).map(|i| ids[i]).collect();
+        members.shuffle(&mut rng);
+        train.extend(members.into_iter().take(20));
+    }
+    let train_set: std::collections::HashSet<NodeId> = train.iter().copied().collect();
+    let mut rest: Vec<NodeId> = ids.iter().copied().filter(|id| !train_set.contains(id)).collect();
+    rest.shuffle(&mut rng);
+    let val = rest[..500].to_vec();
+    let test = rest[500..1500].to_vec();
+
+    Dataset {
+        name: "Cora-like".into(),
+        graphs: vec![graph],
+        label_dim: CORA_CLASSES,
+        multilabel: false,
+        train: Split::Nodes(train),
+        val: Split::Nodes(val),
+        test: Split::Nodes(test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_2() {
+        let d = cora_like(1);
+        assert_eq!(d.n_nodes(), 2708);
+        assert_eq!(d.n_edges(), 2 * 5429, "undirected -> two directed edges");
+        assert_eq!(d.feature_dim(), 1433);
+        assert_eq!(d.label_dim, 7);
+        assert_eq!((d.train.len(), d.val.len(), d.test.len()), (140, 500, 1000));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = cora_like(3);
+        let b = cora_like(3);
+        assert_eq!(a.graph().features(), b.graph().features());
+        assert_eq!(a.train.node_ids(), b.train.node_ids());
+        let c = cora_like(4);
+        assert_ne!(a.graph().features(), c.graph().features());
+    }
+
+    #[test]
+    fn splits_are_disjoint() {
+        let d = cora_like(5);
+        let t: std::collections::HashSet<_> = d.train.node_ids().iter().collect();
+        let v: std::collections::HashSet<_> = d.val.node_ids().iter().collect();
+        let s: std::collections::HashSet<_> = d.test.node_ids().iter().collect();
+        assert!(t.is_disjoint(&v) && t.is_disjoint(&s) && v.is_disjoint(&s));
+    }
+
+    #[test]
+    fn train_split_is_class_balanced() {
+        let d = cora_like(6);
+        let g = d.graph();
+        let labels = g.labels().unwrap();
+        let mut per_class = [0usize; 7];
+        for id in d.train.node_ids() {
+            let local = g.local(*id).unwrap() as usize;
+            let c = labels.row(local).iter().position(|&x| x > 0.0).unwrap();
+            per_class[c] += 1;
+        }
+        assert_eq!(per_class, [20; 7]);
+    }
+
+    #[test]
+    fn homophily_is_planted() {
+        let d = cora_like(7);
+        let g = d.graph();
+        let labels = g.labels().unwrap();
+        let class_of = |v: u32| labels.row(v as usize).iter().position(|&x| x > 0.0).unwrap();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (dst, src, _) in g.in_adj().iter_entries() {
+            total += 1;
+            if class_of(dst) == class_of(src) {
+                intra += 1;
+            }
+        }
+        let ratio = intra as f64 / total as f64;
+        assert!(ratio > 0.7, "homophily ratio {ratio}");
+    }
+}

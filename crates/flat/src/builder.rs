@@ -1,0 +1,231 @@
+//! Subgraph union — the *merging* half of the message-passing scheme.
+//!
+//! A reduce group merges its self info with the payload subgraphs arriving
+//! on in-edges. Nodes are deduplicated by global id (their features are
+//! identical by construction); edges by `(src, dst)` endpoint pair.
+
+use agl_graph::{NodeId, SubEdge, Subgraph};
+use agl_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Incrementally unions subgraphs in global-id space.
+#[derive(Debug, Default)]
+pub struct SubgraphBuilder {
+    local_of: HashMap<u64, u32>,
+    node_ids: Vec<NodeId>,
+    node_features: Vec<Vec<f32>>,
+    f_dim: Option<usize>,
+    edge_set: HashMap<(u64, u64), usize>,
+    edges: Vec<(u64, u64, f32)>,
+    edge_features: Vec<Vec<f32>>,
+    ef_dim: Option<usize>,
+}
+
+impl SubgraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes so far.
+    pub fn n_nodes(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of distinct edges so far.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add (or re-add — idempotent) a node with its feature vector.
+    pub fn add_node(&mut self, id: NodeId, features: &[f32]) {
+        match self.f_dim {
+            Some(d) => assert_eq!(d, features.len(), "inconsistent feature width"),
+            None => self.f_dim = Some(features.len()),
+        }
+        if self.local_of.contains_key(&id.0) {
+            return;
+        }
+        self.local_of.insert(id.0, self.node_ids.len() as u32);
+        self.node_ids.push(id);
+        self.node_features.push(features.to_vec());
+    }
+
+    /// True if the node is already present.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.local_of.contains_key(&id.0)
+    }
+
+    /// Add (or re-add — idempotent) a directed edge in global ids. Both
+    /// endpoints must already be present.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f32, edge_features: Option<&[f32]>) {
+        assert!(self.has_node(src), "edge source {src} not added");
+        assert!(self.has_node(dst), "edge destination {dst} not added");
+        if let Some(ef) = edge_features {
+            match self.ef_dim {
+                Some(d) => assert_eq!(d, ef.len(), "inconsistent edge feature width"),
+                None => self.ef_dim = Some(ef.len()),
+            }
+        }
+        if self.edge_set.contains_key(&(src.0, dst.0)) {
+            return;
+        }
+        self.edge_set.insert((src.0, dst.0), self.edges.len());
+        self.edges.push((src.0, dst.0, weight));
+        self.edge_features.push(edge_features.map(<[f32]>::to_vec).unwrap_or_default());
+    }
+
+    /// Union a whole subgraph (nodes first, then edges).
+    pub fn absorb(&mut self, sub: &Subgraph) {
+        for (l, id) in sub.node_ids.iter().enumerate() {
+            self.add_node(*id, sub.features.row(l));
+        }
+        for (i, e) in sub.edges.iter().enumerate() {
+            let ef = sub.edge_features.as_ref().map(|m| m.row(i));
+            self.add_edge(sub.node_ids[e.src as usize], sub.node_ids[e.dst as usize], e.weight, ef);
+        }
+    }
+
+    /// Finish, declaring `targets` (must all be present). Node order is
+    /// targets first, then remaining nodes sorted by global id for
+    /// determinism across merge orders.
+    pub fn build(self, targets: &[NodeId]) -> Subgraph {
+        let f_dim = self.f_dim.unwrap_or(0);
+        let mut is_target: HashMap<u64, usize> = HashMap::with_capacity(targets.len());
+        for (i, t) in targets.iter().enumerate() {
+            assert!(self.local_of.contains_key(&t.0), "target {t} not in subgraph");
+            is_target.insert(t.0, i);
+        }
+        let mut rest: Vec<u32> = (0..self.node_ids.len() as u32)
+            .filter(|l| !is_target.contains_key(&self.node_ids[*l as usize].0))
+            .collect();
+        rest.sort_unstable_by_key(|&l| self.node_ids[l as usize]);
+        let mut order: Vec<u32> = Vec::with_capacity(self.node_ids.len());
+        for t in targets {
+            order.push(self.local_of[&t.0]);
+        }
+        order.extend(rest);
+
+        let mut new_local = HashMap::with_capacity(order.len());
+        let mut node_ids = Vec::with_capacity(order.len());
+        let mut features = Matrix::zeros(order.len(), f_dim);
+        for (new, &old) in order.iter().enumerate() {
+            let id = self.node_ids[old as usize];
+            new_local.insert(id.0, new as u32);
+            node_ids.push(id);
+            features.row_mut(new).copy_from_slice(&self.node_features[old as usize]);
+        }
+        // Deterministic edge order: sort by (dst, src) global ids.
+        let mut edge_order: Vec<usize> = (0..self.edges.len()).collect();
+        edge_order.sort_unstable_by_key(|&i| (self.edges[i].1, self.edges[i].0));
+        let edges: Vec<SubEdge> = edge_order
+            .iter()
+            .map(|&i| {
+                let (s, d, w) = self.edges[i];
+                SubEdge { src: new_local[&s], dst: new_local[&d], weight: w }
+            })
+            .collect();
+        let edge_features = self.ef_dim.map(|d| {
+            let mut m = Matrix::zeros(edges.len(), d);
+            for (new, &old) in edge_order.iter().enumerate() {
+                if !self.edge_features[old].is_empty() {
+                    m.row_mut(new).copy_from_slice(&self.edge_features[old]);
+                }
+            }
+            m
+        });
+        Subgraph {
+            target_locals: (0..targets.len() as u32).collect(),
+            node_ids,
+            features,
+            edges,
+            edge_features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(id: u64, feat: f32) -> Subgraph {
+        Subgraph {
+            target_locals: vec![0],
+            node_ids: vec![NodeId(id)],
+            features: Matrix::from_rows(&[&[feat]]),
+            edges: vec![],
+            edge_features: None,
+        }
+    }
+
+    #[test]
+    fn absorb_is_idempotent() {
+        let mut b = SubgraphBuilder::new();
+        let s = leaf(1, 0.5);
+        b.absorb(&s);
+        b.absorb(&s);
+        assert_eq!(b.n_nodes(), 1);
+        let out = b.build(&[NodeId(1)]);
+        assert_eq!(out.n_nodes(), 1);
+        assert_eq!(out.features.row(0), &[0.5]);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let build = |order: &[u64]| {
+            let mut b = SubgraphBuilder::new();
+            for &id in order {
+                b.add_node(NodeId(id), &[id as f32]);
+            }
+            b.add_edge(NodeId(2), NodeId(1), 1.0, None);
+            b.add_edge(NodeId(3), NodeId(1), 1.0, None);
+            b.build(&[NodeId(1)])
+        };
+        let a = build(&[1, 2, 3]);
+        let b = build(&[3, 1, 2]);
+        assert_eq!(a, b, "deterministic regardless of insertion order");
+        assert_eq!(a.node_ids[0], NodeId(1), "target first");
+    }
+
+    #[test]
+    fn duplicate_edges_union_once() {
+        let mut b = SubgraphBuilder::new();
+        b.add_node(NodeId(1), &[0.0]);
+        b.add_node(NodeId(2), &[0.0]);
+        b.add_edge(NodeId(2), NodeId(1), 1.0, None);
+        b.add_edge(NodeId(2), NodeId(1), 1.0, None);
+        assert_eq!(b.n_edges(), 1);
+        // Reverse direction is a distinct edge.
+        b.add_edge(NodeId(1), NodeId(2), 1.0, None);
+        assert_eq!(b.n_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not added")]
+    fn edge_without_endpoint_panics() {
+        let mut b = SubgraphBuilder::new();
+        b.add_node(NodeId(1), &[0.0]);
+        b.add_edge(NodeId(2), NodeId(1), 1.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in subgraph")]
+    fn build_with_missing_target_panics() {
+        let b = SubgraphBuilder::new();
+        let _ = b.build(&[NodeId(9)]);
+    }
+
+    #[test]
+    fn edge_features_preserved_through_union() {
+        let mut b = SubgraphBuilder::new();
+        b.add_node(NodeId(1), &[0.0]);
+        b.add_node(NodeId(2), &[0.0]);
+        b.add_node(NodeId(3), &[0.0]);
+        b.add_edge(NodeId(2), NodeId(1), 1.0, Some(&[7.0]));
+        b.add_edge(NodeId(3), NodeId(1), 1.0, Some(&[8.0]));
+        let s = b.build(&[NodeId(1)]);
+        let ef = s.edge_features.as_ref().unwrap();
+        // Edges sorted by (dst, src) global ids: (1<-2) then (1<-3).
+        assert_eq!(ef.row(0), &[7.0]);
+        assert_eq!(ef.row(1), &[8.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! The GraphFeature byte format — the flattened k-hop neighborhood.
+//!
+//! The paper serialises neighborhoods to protobuf strings; we use the
+//! repository's length-prefixed binary codec (DESIGN.md documents the
+//! substitution). Node ids inside the encoding are *global*; decoding
+//! assigns local indices in encoding order, with targets first.
+
+use agl_graph::{NodeId, SubEdge, Subgraph};
+use agl_mapreduce::codec::{
+    get_f32, get_f32s, get_u32, get_u64, put_f32, put_f32s, put_u32, put_u64, CodecError,
+};
+use agl_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Encode a [`Subgraph`] into a flat GraphFeature byte string.
+pub fn encode_graph_feature(sub: &Subgraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + sub.n_nodes() * (8 + 4 * sub.features.cols()) + sub.n_edges() * 20);
+    // Targets (global ids).
+    put_u32(&mut buf, sub.target_locals.len() as u32);
+    for &t in &sub.target_locals {
+        put_u64(&mut buf, sub.node_ids[t as usize].0);
+    }
+    // Nodes.
+    put_u32(&mut buf, sub.n_nodes() as u32);
+    put_u32(&mut buf, sub.features.cols() as u32);
+    for (l, id) in sub.node_ids.iter().enumerate() {
+        put_u64(&mut buf, id.0);
+        for &x in sub.features.row(l) {
+            put_f32(&mut buf, x);
+        }
+    }
+    // Edges (global endpoint ids).
+    put_u32(&mut buf, sub.n_edges() as u32);
+    let ef_dim = sub.edge_features.as_ref().map_or(0, Matrix::cols);
+    put_u32(&mut buf, ef_dim as u32);
+    for (i, e) in sub.edges.iter().enumerate() {
+        put_u64(&mut buf, sub.node_ids[e.src as usize].0);
+        put_u64(&mut buf, sub.node_ids[e.dst as usize].0);
+        put_f32(&mut buf, e.weight);
+        if let Some(ef) = &sub.edge_features {
+            put_f32s(&mut buf, ef.row(i));
+        }
+    }
+    buf
+}
+
+/// Decode a GraphFeature produced by [`encode_graph_feature`].
+///
+/// Local indices are assigned in stored-node order; targets keep whatever
+/// position the encoder stored them at (GraphFlat stores targets first).
+pub fn decode_graph_feature(mut input: &[u8]) -> Result<Subgraph, CodecError> {
+    let r = &mut input;
+    let n_targets = get_u32(r)? as usize;
+    if n_targets.saturating_mul(8) > r.len() {
+        return Err(CodecError(format!("target section ({n_targets}) exceeds input of {} bytes", r.len())));
+    }
+    let mut target_ids = Vec::with_capacity(n_targets);
+    for _ in 0..n_targets {
+        target_ids.push(NodeId(get_u64(r)?));
+    }
+    let n_nodes = get_u32(r)? as usize;
+    let f_dim = get_u32(r)? as usize;
+    // Guard allocations against corrupt counts: every node costs at least
+    // 8 + 4*f_dim bytes of remaining input.
+    if n_nodes.saturating_mul(8 + 4 * f_dim) > r.len() {
+        return Err(CodecError(format!("node section ({n_nodes}×{f_dim}) exceeds input of {} bytes", r.len())));
+    }
+    let mut node_ids = Vec::with_capacity(n_nodes);
+    let mut features = Matrix::zeros(n_nodes, f_dim);
+    let mut local_of: HashMap<u64, u32> = HashMap::with_capacity(n_nodes);
+    for l in 0..n_nodes {
+        let id = get_u64(r)?;
+        if local_of.insert(id, l as u32).is_some() {
+            return Err(CodecError(format!("duplicate node id {id}")));
+        }
+        node_ids.push(NodeId(id));
+        for c in 0..f_dim {
+            features[(l, c)] = get_f32(r)?;
+        }
+    }
+    let n_edges = get_u32(r)? as usize;
+    let ef_dim = get_u32(r)? as usize;
+    if n_edges.saturating_mul(20 + if ef_dim > 0 { 4 + 4 * ef_dim } else { 0 }) > r.len() {
+        return Err(CodecError(format!("edge section ({n_edges}×{ef_dim}) exceeds input of {} bytes", r.len())));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    let mut edge_features = if ef_dim > 0 { Some(Matrix::zeros(n_edges, ef_dim)) } else { None };
+    for i in 0..n_edges {
+        let src = get_u64(r)?;
+        let dst = get_u64(r)?;
+        let w = get_f32(r)?;
+        let lookup = |id: u64| {
+            local_of
+                .get(&id)
+                .copied()
+                .ok_or_else(|| CodecError(format!("edge references unknown node {id}")))
+        };
+        edges.push(SubEdge { src: lookup(src)?, dst: lookup(dst)?, weight: w });
+        if let Some(efm) = &mut edge_features {
+            let row = get_f32s(r)?;
+            if row.len() != ef_dim {
+                return Err(CodecError(format!("edge feature width {} != {ef_dim}", row.len())));
+            }
+            efm.row_mut(i).copy_from_slice(&row);
+        }
+    }
+    if !r.is_empty() {
+        return Err(CodecError(format!("{} trailing bytes", r.len())));
+    }
+    let target_locals = target_ids
+        .iter()
+        .map(|t| {
+            local_of
+                .get(&t.0)
+                .copied()
+                .ok_or_else(|| CodecError(format!("target {t} not among nodes")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sub = Subgraph { target_locals, node_ids, features, edges, edge_features };
+    sub.validate().map_err(CodecError)?;
+    Ok(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(with_ef: bool) -> Subgraph {
+        Subgraph {
+            target_locals: vec![0],
+            node_ids: vec![NodeId(100), NodeId(7), NodeId(33)],
+            features: Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+            edges: vec![
+                SubEdge { src: 1, dst: 0, weight: 1.5 },
+                SubEdge { src: 2, dst: 0, weight: 0.5 },
+                SubEdge { src: 2, dst: 1, weight: 1.0 },
+            ],
+            edge_features: with_ef.then(|| Matrix::from_rows(&[&[9.0], &[8.0], &[7.0]])),
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_edge_features() {
+        let s = sample(false);
+        let back = decode_graph_feature(&encode_graph_feature(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrip_with_edge_features() {
+        let s = sample(true);
+        let back = decode_graph_feature(&encode_graph_feature(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let b = encode_graph_feature(&sample(false));
+        for cut in [1, b.len() / 2, b.len() - 1] {
+            assert!(decode_graph_feature(&b[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_subgraph_single_node() {
+        let s = Subgraph {
+            target_locals: vec![0],
+            node_ids: vec![NodeId(5)],
+            features: Matrix::from_rows(&[&[0.5]]),
+            edges: vec![],
+            edge_features: None,
+        };
+        let back = decode_graph_feature(&encode_graph_feature(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_random_subgraphs(
+            n_nodes in 1usize..12,
+            f_dim in 1usize..5,
+            edge_seed in any::<u64>(),
+        ) {
+            // Build a random valid subgraph.
+            let node_ids: Vec<NodeId> = (0..n_nodes as u64).map(|i| NodeId(i * 13 + 2)).collect();
+            let features = Matrix::from_vec(
+                n_nodes, f_dim,
+                (0..n_nodes * f_dim).map(|i| (i as f32) * 0.25 - 1.0).collect(),
+            );
+            let mut edges = Vec::new();
+            let mut x = edge_seed;
+            for _ in 0..(n_nodes * 2) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let src = (x >> 33) as usize % n_nodes;
+                let dst = (x >> 13) as usize % n_nodes;
+                edges.push(SubEdge { src: src as u32, dst: dst as u32, weight: ((x % 100) as f32) * 0.01 });
+            }
+            let s = Subgraph {
+                target_locals: vec![0],
+                node_ids,
+                features,
+                edges,
+                edge_features: None,
+            };
+            let back = decode_graph_feature(&encode_graph_feature(&s)).unwrap();
+            prop_assert_eq!(back, s);
+        }
+
+        #[test]
+        fn prop_decode_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_graph_feature(&bytes);
+        }
+    }
+}

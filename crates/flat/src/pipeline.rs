@@ -1,0 +1,438 @@
+//! The GraphFlat driver: Map + (K+1)-round Reduce over the MapReduce
+//! substrate, producing `<TargetedNodeId, Label, GraphFeature>` triples.
+//!
+//! Round structure (engine round index in parentheses):
+//!
+//! * **Join (0)** — attach each node's features to its out-edge rows and
+//!   emit the initial self / in-edge / out-edge information. The paper
+//!   presents Map as already emitting in-edge info carrying *"the neighbor
+//!   node"*'s features; a single-record Map cannot know them, so the join
+//!   that industrial pipelines run beforehand is folded in here as the
+//!   first Reduce round.
+//! * **Merge & propagate (1..=K)** — per §3.2.1: merge self + in-edge info
+//!   into the new self info (one more hop of neighborhood), propagate it
+//!   along out-edges, keep out-edge info for the next round.
+//! * **Storing** — round K emits targeted nodes' GraphFeatures; the driver
+//!   unions the partial results of re-indexed hub targets (the tail end of
+//!   inverted indexing) and returns the triples.
+
+use crate::builder::SubgraphBuilder;
+use crate::graphfeature::{decode_graph_feature, encode_graph_feature};
+use crate::messages::{FlatKey, FlatMsg};
+use crate::sampling::SamplingStrategy;
+use agl_graph::{EdgeTable, NodeId, NodeTable, Subgraph};
+use agl_mapreduce::codec::{
+    get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec,
+};
+use agl_mapreduce::hash::fnv1a;
+use agl_mapreduce::{Counters, FaultPlan, JobConfig, JobError, MapReduceJob, Mapper, Reducer, SpillMode};
+use agl_tensor::rng::derive_seed;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// GraphFlat configuration — the `-h hops -s sampling_strategy` knobs of the
+/// §3.5 command line, plus engine sizing.
+#[derive(Debug, Clone)]
+pub struct FlatConfig {
+    /// K — neighborhood depth (= GNN layers the features must support).
+    pub k_hops: usize,
+    /// In-edge sampling per reduce group per round.
+    pub sampling: SamplingStrategy,
+    /// In-degree above which a shuffle key is re-indexed (§3.2.2; the paper
+    /// suggests "like 10k"). `usize::MAX` disables re-indexing.
+    pub hub_threshold: usize,
+    /// Number of sub-keys a hub key is split into.
+    pub reindex_fanout: u32,
+    /// Seed for the sampling framework.
+    pub seed: u64,
+    pub map_tasks: usize,
+    pub reduce_tasks: usize,
+    pub parallelism: usize,
+    pub spill: SpillMode,
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for FlatConfig {
+    fn default() -> Self {
+        Self {
+            k_hops: 2,
+            sampling: SamplingStrategy::None,
+            hub_threshold: usize::MAX,
+            reindex_fanout: 4,
+            seed: 42,
+            map_tasks: 4,
+            reduce_tasks: 4,
+            parallelism: 4,
+            spill: SpillMode::InMemory,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// Which nodes get a GraphFeature.
+#[derive(Debug, Clone)]
+pub enum TargetSpec {
+    /// Every node in the node table (inference over the whole graph).
+    All,
+    /// An explicit id list (the labeled training/validation/test nodes —
+    /// the paper's observation that "the amount of labeled nodes is
+    /// limited" is what makes storing their GraphFeatures cheap).
+    Ids(Vec<NodeId>),
+}
+
+/// One training triple `<TargetedNodeId, Label, GraphFeature>` (§3.3.1).
+#[derive(Debug, Clone)]
+pub struct TrainingExample {
+    pub target: NodeId,
+    pub label: Vec<f32>,
+    /// Flattened k-hop neighborhood (decode with
+    /// [`crate::graphfeature::decode_graph_feature`]).
+    pub graph_feature: Vec<u8>,
+}
+
+/// GraphFlat result.
+#[derive(Debug)]
+pub struct FlatOutput {
+    /// Triples sorted by target id.
+    pub examples: Vec<TrainingExample>,
+    /// Engine + pipeline counters.
+    pub counters: Counters,
+}
+
+/// The GraphFlat pipeline (see crate docs).
+#[derive(Debug, Clone)]
+pub struct GraphFlat {
+    cfg: FlatConfig,
+}
+
+// ---- input record encoding (what "sits in the warehouse tables") ----
+
+const REC_NODE: u8 = 0;
+const REC_EDGE: u8 = 1;
+
+fn encode_node_record(id: NodeId, features: &[f32], is_target: bool, label: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(13 + 4 * (features.len() + label.len()));
+    put_u8(&mut buf, REC_NODE);
+    put_u64(&mut buf, id.0);
+    put_f32s(&mut buf, features);
+    put_u8(&mut buf, u8::from(is_target));
+    put_f32s(&mut buf, label);
+    buf
+}
+
+fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32, efeat: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(21 + 4 * efeat.len());
+    put_u8(&mut buf, REC_EDGE);
+    put_u64(&mut buf, src.0);
+    put_u64(&mut buf, dst.0);
+    put_f32(&mut buf, weight);
+    put_f32s(&mut buf, efeat);
+    buf
+}
+
+/// Shared routing state: which keys are hubs, and the re-index fanout.
+#[derive(Debug)]
+struct Routing {
+    hubs: HashSet<u64>,
+    fanout: u32,
+}
+
+impl Routing {
+    /// Key for a message *about* `member` heading to node `id`.
+    fn key_for(&self, id: u64, member: u64) -> FlatKey {
+        if self.hubs.contains(&id) {
+            FlatKey::reindexed(id, member, self.fanout)
+        } else {
+            FlatKey::plain(id)
+        }
+    }
+
+    /// All suffix groups of `id` (one for non-hubs).
+    fn all_groups(&self, id: u64) -> Vec<FlatKey> {
+        if self.hubs.contains(&id) {
+            (0..self.fanout).map(|s| FlatKey { id, suffix: s }).collect()
+        } else {
+            vec![FlatKey::plain(id)]
+        }
+    }
+}
+
+struct FlatMapper {
+    routing: Arc<Routing>,
+}
+
+impl Mapper for FlatMapper {
+    fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        let mut r = input;
+        match get_u8(&mut r).expect("record tag") {
+            REC_NODE => {
+                let id = get_u64(&mut r).expect("node id");
+                let features = get_f32s(&mut r).expect("node features");
+                let is_target = get_u8(&mut r).expect("target flag") != 0;
+                let label = get_f32s(&mut r).expect("node label");
+                let msg = FlatMsg::NodeRow { features, is_target, label }.to_bytes();
+                // Replicate to every suffix group so each re-indexed piece
+                // of a hub key has the node's own information.
+                for key in self.routing.all_groups(id) {
+                    emit(key.to_bytes(), msg.clone());
+                }
+            }
+            REC_EDGE => {
+                let src = get_u64(&mut r).expect("edge src");
+                let dst = get_u64(&mut r).expect("edge dst");
+                let weight = get_f32(&mut r).expect("edge weight");
+                let efeat = get_f32s(&mut r).expect("edge features");
+                // Keyed by source for the join round; spread over the
+                // source's groups by destination.
+                let key = self.routing.key_for(src, dst);
+                emit(key.to_bytes(), FlatMsg::EdgeBySrc { dst, weight, efeat }.to_bytes());
+            }
+            t => panic!("unknown input record tag {t}"),
+        }
+    }
+}
+
+struct FlatReducer {
+    routing: Arc<Routing>,
+    k_hops: usize,
+    sampling: SamplingStrategy,
+    seed: u64,
+    counters: Counters,
+}
+
+impl FlatReducer {
+    /// Leaf subgraph: just the node itself (the 0-hop neighborhood).
+    fn leaf(id: u64, features: &[f32]) -> Vec<u8> {
+        let sub = Subgraph {
+            target_locals: vec![0],
+            node_ids: vec![NodeId(id)],
+            features: agl_tensor::Matrix::from_vec(1, features.len(), features.to_vec()),
+            edges: vec![],
+            edge_features: None,
+        };
+        encode_graph_feature(&sub)
+    }
+}
+
+impl Reducer for FlatReducer {
+    fn reduce(
+        &self,
+        round: usize,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) {
+        let k = FlatKey::from_bytes(key).expect("flat key");
+        // Bucket the group's messages by kind.
+        let mut node_row: Option<(Vec<f32>, bool, Vec<f32>)> = None;
+        let mut edges_by_src: Vec<(u64, f32, Vec<f32>)> = Vec::new();
+        let mut selfs: Vec<(Vec<u8>, bool, Vec<f32>)> = Vec::new();
+        let mut in_edges: Vec<(u64, f32, Vec<f32>, Vec<u8>)> = Vec::new();
+        let mut out_edges: Vec<(u64, f32, Vec<f32>)> = Vec::new();
+        for v in values {
+            match FlatMsg::from_bytes(v).expect("flat message") {
+                FlatMsg::NodeRow { features, is_target, label } => {
+                    node_row.get_or_insert((features, is_target, label));
+                }
+                FlatMsg::EdgeBySrc { dst, weight, efeat } => edges_by_src.push((dst, weight, efeat)),
+                FlatMsg::SelfInfo { sub, is_target, label } => selfs.push((sub, is_target, label)),
+                FlatMsg::InEdge { src, weight, efeat, sub } => in_edges.push((src, weight, efeat, sub)),
+                FlatMsg::OutEdge { dst, weight, efeat } => out_edges.push((dst, weight, efeat)),
+                FlatMsg::Final { .. } => panic!("Final record re-entered the pipeline"),
+            }
+        }
+
+        if round == 0 {
+            // ---- Join round ----
+            let Some((features, is_target, label)) = node_row else {
+                // Edges whose source never appeared in the node table.
+                self.counters.add("flat.dangling_edge_sources", edges_by_src.len() as u64);
+                return;
+            };
+            let leaf = Self::leaf(k.id, &features);
+            if self.k_hops == 0 {
+                if is_target {
+                    emit(FlatKey::plain(k.id).to_bytes(), FlatMsg::Final { sub: leaf, label }.to_bytes());
+                }
+                return;
+            }
+            emit(key.to_vec(), FlatMsg::SelfInfo { sub: leaf.clone(), is_target, label }.to_bytes());
+            for (dst, weight, efeat) in edges_by_src {
+                let in_key = self.routing.key_for(dst, k.id);
+                emit(
+                    in_key.to_bytes(),
+                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: leaf.clone() }.to_bytes(),
+                );
+                emit(key.to_vec(), FlatMsg::OutEdge { dst, weight, efeat }.to_bytes());
+            }
+            return;
+        }
+
+        // ---- Merge & propagate round (1..=K) ----
+        if selfs.is_empty() {
+            // In-edge info addressed to a node missing from the node table.
+            self.counters.add("flat.dangling_edge_destinations", in_edges.len() as u64);
+            return;
+        }
+        let is_target = selfs.iter().any(|(_, t, _)| *t);
+        let label = selfs.iter().map(|(_, _, l)| l).find(|l| !l.is_empty()).cloned().unwrap_or_default();
+        // Load-balance observability: the largest in-edge group any reducer
+        // had to merge this job — re-indexing exists to shrink this.
+        self.counters.record_max("flat.max_group_in_edges", in_edges.len() as u64);
+
+        // Sampling framework: cap this group's in-edge records. The
+        // candidate list is canonicalised (sorted by source id) and the
+        // seed depends only on the node, so every round — and later
+        // GraphInfer — selects the *same* neighbor subset: the property
+        // behind §3.4's "unbiased inference with the model trained based
+        // on GraphFlat".
+        in_edges.sort_by_key(|(src, _, _, _)| *src);
+        let weights: Vec<f32> = in_edges.iter().map(|(_, w, _, _)| *w).collect();
+        let sample_seed = derive_seed(self.seed, fnv1a(&k.id.to_le_bytes()));
+        let kept = self.sampling.select(&weights, sample_seed);
+        if kept.len() < in_edges.len() {
+            self.counters.add("flat.sampled_out_in_edges", (in_edges.len() - kept.len()) as u64);
+        }
+
+        // Merge: self infos ∪ sampled in-edge payloads + their edges.
+        let mut builder = SubgraphBuilder::new();
+        for (sub, _, _) in &selfs {
+            builder.absorb(&decode_graph_feature(sub).expect("self subgraph"));
+        }
+        for &i in &kept {
+            let (src, weight, efeat, sub) = &in_edges[i];
+            builder.absorb(&decode_graph_feature(sub).expect("in-edge payload"));
+            let ef = (!efeat.is_empty()).then_some(efeat.as_slice());
+            builder.add_edge(NodeId(*src), NodeId(k.id), *weight, ef);
+        }
+        let merged = builder.build(&[NodeId(k.id)]);
+        self.counters.add("flat.merged_nodes", merged.n_nodes() as u64);
+        let merged_bytes = encode_graph_feature(&merged);
+
+        if round < self.k_hops {
+            emit(
+                key.to_vec(),
+                FlatMsg::SelfInfo { sub: merged_bytes.clone(), is_target, label }.to_bytes(),
+            );
+            for (dst, weight, efeat) in out_edges {
+                let in_key = self.routing.key_for(dst, k.id);
+                emit(
+                    in_key.to_bytes(),
+                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: merged_bytes.clone() }
+                        .to_bytes(),
+                );
+                emit(key.to_vec(), FlatMsg::OutEdge { dst, weight, efeat }.to_bytes());
+            }
+        } else if is_target {
+            // Storing step: inverted indexing — emit under the original key.
+            emit(FlatKey::plain(k.id).to_bytes(), FlatMsg::Final { sub: merged_bytes, label }.to_bytes());
+        }
+    }
+}
+
+impl GraphFlat {
+    pub fn new(cfg: FlatConfig) -> Self {
+        assert!(cfg.reindex_fanout >= 1);
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &FlatConfig {
+        &self.cfg
+    }
+
+    /// Run the pipeline over the tables, producing GraphFeatures for the
+    /// targets.
+    pub fn run(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
+        let target_set: Option<HashSet<u64>> = match targets {
+            TargetSpec::All => None,
+            TargetSpec::Ids(ids) => Some(ids.iter().map(|n| n.0).collect()),
+        };
+        let is_target = |id: NodeId| target_set.as_ref().is_none_or(|s| s.contains(&id.0));
+
+        // Hub detection for re-indexing: in-degree drives merge-round group
+        // sizes; out-degree drives the join round. Either qualifies.
+        let mut hubs = HashSet::new();
+        if self.cfg.hub_threshold != usize::MAX {
+            let mut in_deg: HashMap<u64, usize> = HashMap::new();
+            let mut out_deg: HashMap<u64, usize> = HashMap::new();
+            for (row, _) in edges.iter() {
+                *in_deg.entry(row.dst.0).or_default() += 1;
+                *out_deg.entry(row.src.0).or_default() += 1;
+            }
+            for (id, d) in in_deg.iter().chain(out_deg.iter()) {
+                if *d > self.cfg.hub_threshold {
+                    hubs.insert(*id);
+                }
+            }
+        }
+        let routing = Arc::new(Routing { hubs, fanout: self.cfg.reindex_fanout });
+
+        // Serialise the warehouse tables into opaque input records.
+        let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
+        let empty: Vec<f32> = Vec::new();
+        for (i, (id, feat)) in nodes.iter().enumerate() {
+            let label = nodes.labels().map_or(empty.as_slice(), |l| l.row(i));
+            inputs.push(encode_node_record(id, feat, is_target(id), label));
+        }
+        for (row, ef) in edges.iter() {
+            inputs.push(encode_edge_record(row.src, row.dst, row.weight, ef));
+        }
+
+        let counters = Counters::new();
+        let mapper = FlatMapper { routing: routing.clone() };
+        let reducer = FlatReducer {
+            routing,
+            k_hops: self.cfg.k_hops,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.seed,
+            counters: counters.clone(),
+        };
+        let job = MapReduceJob::new(JobConfig {
+            map_tasks: self.cfg.map_tasks,
+            reduce_tasks: self.cfg.reduce_tasks,
+            reduce_rounds: self.cfg.k_hops + 1,
+            parallelism: self.cfg.parallelism,
+            max_attempts: 4,
+            fault_plan: self.cfg.fault_plan.clone(),
+            spill: self.cfg.spill.clone(),
+        });
+        let result = job.run(&inputs, &mapper, &reducer)?;
+        for (name, v) in result.counters.snapshot() {
+            counters.add(&name, v);
+        }
+
+        // Storing: group Final records by target id; union the partial
+        // GraphFeatures of re-indexed hub targets.
+        let mut by_target: HashMap<u64, (Vec<Subgraph>, Vec<f32>)> = HashMap::new();
+        for kv in &result.output {
+            let key = FlatKey::from_bytes(&kv.key).expect("final key");
+            match FlatMsg::from_bytes(&kv.value).expect("final msg") {
+                FlatMsg::Final { sub, label } => {
+                    let sub = decode_graph_feature(&sub).expect("final subgraph");
+                    let entry = by_target.entry(key.id).or_insert_with(|| (Vec::new(), label));
+                    entry.0.push(sub);
+                }
+                other => panic!("unexpected output record {other:?}"),
+            }
+        }
+        let mut examples: Vec<TrainingExample> = by_target
+            .into_iter()
+            .map(|(id, (subs, label))| {
+                let graph_feature = if subs.len() == 1 {
+                    encode_graph_feature(&subs[0])
+                } else {
+                    counters.add("flat.hub_partials_merged", subs.len() as u64);
+                    let mut b = SubgraphBuilder::new();
+                    for s in &subs {
+                        b.absorb(s);
+                    }
+                    encode_graph_feature(&b.build(&[NodeId(id)]))
+                };
+                TrainingExample { target: NodeId(id), label, graph_feature }
+            })
+            .collect();
+        examples.sort_by_key(|e| e.target);
+        counters.add("flat.examples", examples.len() as u64);
+        Ok(FlatOutput { examples, counters })
+    }
+}

@@ -1,0 +1,291 @@
+//! GraphFlat correctness: the MapReduce pipeline must produce exactly the
+//! k-hop neighborhoods of Definition 1 (message-passing edge rule), as
+//! computed by the single-machine reference extractor — plus the §3.2.2
+//! behaviours (sampling caps, re-indexing load spreading, fault tolerance).
+
+use agl_flat::{decode_graph_feature, FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
+use agl_graph::graph::Graph;
+use agl_graph::khop::{khop_subgraph, EdgeRule};
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_mapreduce::{FaultPlan, SpillMode, TaskId};
+use agl_tensor::{seeded_rng, Matrix};
+use rand::Rng;
+
+/// Random sparse directed graph with per-node labels.
+fn random_graph(n: u64, avg_deg: usize, seed: u64) -> (NodeTable, EdgeTable) {
+    let mut rng = seeded_rng(seed);
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let feats = Matrix::from_vec(n as usize, 3, (0..n as usize * 3).map(|i| (i as f32) * 0.01).collect());
+    let labels = Matrix::from_vec(n as usize, 1, (0..n).map(|i| (i % 2) as f32).collect());
+    let nodes = NodeTable::new(ids, feats, Some(labels));
+    let mut pairs = Vec::new();
+    for src in 0..n {
+        let deg = rng.gen_range(0..=2 * avg_deg);
+        for _ in 0..deg {
+            let dst = rng.gen_range(0..n);
+            if dst != src && !pairs.contains(&(src, dst)) {
+                pairs.push((src, dst));
+            }
+        }
+    }
+    (nodes, EdgeTable::from_pairs(pairs))
+}
+
+/// Star: many leaves pointing at one hub (plus a chain behind the leaves so
+/// 2-hop neighborhoods are non-trivial).
+fn hub_graph(n_leaves: u64) -> (NodeTable, EdgeTable) {
+    let n = 2 * n_leaves + 1;
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let feats = Matrix::from_vec(n as usize, 2, (0..n as usize * 2).map(|i| i as f32).collect());
+    let nodes = NodeTable::new(ids, feats, None);
+    let mut pairs = Vec::new();
+    for l in 1..=n_leaves {
+        pairs.push((l, 0)); // leaf -> hub
+        pairs.push((n_leaves + l, l)); // grand-leaf -> leaf
+    }
+    (nodes, EdgeTable::from_pairs(pairs))
+}
+
+fn run_flat(cfg: FlatConfig, nodes: &NodeTable, edges: &EdgeTable, targets: TargetSpec) -> agl_flat::FlatOutput {
+    GraphFlat::new(cfg).run(nodes, edges, &targets).expect("graphflat run")
+}
+
+#[test]
+fn matches_reference_khop_for_all_nodes() {
+    for k in [0usize, 1, 2, 3] {
+        let (nodes, edges) = random_graph(40, 3, 7);
+        let graph = Graph::from_tables(&nodes, &edges);
+        let out = run_flat(FlatConfig { k_hops: k, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::All);
+        assert_eq!(out.examples.len(), 40, "k={k}: one GraphFeature per node");
+        for ex in &out.examples {
+            let got = decode_graph_feature(&ex.graph_feature).unwrap().canonicalize();
+            let want = khop_subgraph(&graph, &[ex.target], k as u32, EdgeRule::Sufficient).canonicalize();
+            assert_eq!(got, want, "k={k} target {}", ex.target);
+        }
+    }
+}
+
+#[test]
+fn labels_ride_along_with_targets() {
+    let (nodes, edges) = random_graph(20, 2, 9);
+    let targets: Vec<NodeId> = vec![NodeId(3), NodeId(7), NodeId(11)];
+    let out = run_flat(FlatConfig::default(), &nodes, &edges, TargetSpec::Ids(targets.clone()));
+    assert_eq!(out.examples.len(), 3);
+    for ex in &out.examples {
+        assert!(targets.contains(&ex.target));
+        assert_eq!(ex.label, vec![(ex.target.0 % 2) as f32]);
+    }
+}
+
+#[test]
+fn fault_injection_does_not_change_output() {
+    let (nodes, edges) = random_graph(30, 3, 11);
+    let clean = run_flat(FlatConfig::default(), &nodes, &edges, TargetSpec::All);
+    let cfg = FlatConfig {
+        fault_plan: FaultPlan::none()
+            .fail_first(TaskId::map(0), 1)
+            .fail_first(TaskId::reduce(0, 1), 2)
+            .fail_first(TaskId::reduce(2, 3), 1),
+        ..FlatConfig::default()
+    };
+    let faulty = run_flat(cfg, &nodes, &edges, TargetSpec::All);
+    assert_eq!(clean.examples.len(), faulty.examples.len());
+    for (a, b) in clean.examples.iter().zip(&faulty.examples) {
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.graph_feature, b.graph_feature, "target {}", a.target);
+    }
+}
+
+#[test]
+fn spill_to_disk_matches_in_memory() {
+    let (nodes, edges) = random_graph(25, 3, 13);
+    let mem = run_flat(FlatConfig::default(), &nodes, &edges, TargetSpec::All);
+    let dir = std::env::temp_dir().join(format!("agl-flat-spill-{}", std::process::id()));
+    let cfg = FlatConfig { spill: SpillMode::Disk(dir.clone()), ..FlatConfig::default() };
+    let disk = run_flat(cfg, &nodes, &edges, TargetSpec::All);
+    for (a, b) in mem.examples.iter().zip(&disk.examples) {
+        assert_eq!(a.graph_feature, b.graph_feature);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sampling_caps_neighborhood_size() {
+    let (nodes, edges) = hub_graph(100);
+    // Unsampled: the hub's 1-hop neighborhood has 101 nodes.
+    let full = run_flat(
+        FlatConfig { k_hops: 1, ..FlatConfig::default() },
+        &nodes,
+        &edges,
+        TargetSpec::Ids(vec![NodeId(0)]),
+    );
+    let full_sub = decode_graph_feature(&full.examples[0].graph_feature).unwrap();
+    assert_eq!(full_sub.n_nodes(), 101);
+    // Sampled: at most 10 in-edges survive.
+    for strategy in [
+        SamplingStrategy::Uniform { max_degree: 10 },
+        SamplingStrategy::Weighted { max_degree: 10 },
+        SamplingStrategy::TopK { max_degree: 10 },
+    ] {
+        let capped = run_flat(
+            FlatConfig { k_hops: 1, sampling: strategy, ..FlatConfig::default() },
+            &nodes,
+            &edges,
+            TargetSpec::Ids(vec![NodeId(0)]),
+        );
+        let sub = decode_graph_feature(&capped.examples[0].graph_feature).unwrap();
+        assert_eq!(sub.n_nodes(), 11, "{strategy:?}");
+        assert_eq!(sub.n_edges(), 10, "{strategy:?}");
+        assert!(capped.counters.get("flat.sampled_out_in_edges") >= 90, "{strategy:?}");
+        // Target must still be present and first.
+        assert_eq!(sub.node_ids[0], NodeId(0));
+    }
+}
+
+#[test]
+fn sampling_is_deterministic_across_runs() {
+    let (nodes, edges) = hub_graph(50);
+    let cfg = || FlatConfig {
+        k_hops: 2,
+        sampling: SamplingStrategy::Uniform { max_degree: 5 },
+        ..FlatConfig::default()
+    };
+    let a = run_flat(cfg(), &nodes, &edges, TargetSpec::All);
+    let b = run_flat(cfg(), &nodes, &edges, TargetSpec::All);
+    for (x, y) in a.examples.iter().zip(&b.examples) {
+        assert_eq!(x.graph_feature, y.graph_feature);
+    }
+    // Different seed -> different sample.
+    let c = run_flat(FlatConfig { seed: 1234, ..cfg() }, &nodes, &edges, TargetSpec::All);
+    let differs = a.examples.iter().zip(&c.examples).any(|(x, y)| x.graph_feature != y.graph_feature);
+    assert!(differs, "a different sampling seed must pick different neighbors somewhere");
+}
+
+#[test]
+fn reindexing_preserves_output_upto_sampling() {
+    // With sampling disabled, re-indexing (hub splitting + partial merge at
+    // the Storing step) must not change any neighborhood.
+    let (nodes, edges) = hub_graph(40);
+    let plain = run_flat(FlatConfig { k_hops: 2, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::All);
+    let reindexed = run_flat(
+        FlatConfig { k_hops: 2, hub_threshold: 10, reindex_fanout: 4, ..FlatConfig::default() },
+        &nodes,
+        &edges,
+        TargetSpec::All,
+    );
+    assert!(reindexed.counters.get("flat.hub_partials_merged") > 0, "hub target was split and re-merged");
+    assert_eq!(plain.examples.len(), reindexed.examples.len());
+    for (a, b) in plain.examples.iter().zip(&reindexed.examples) {
+        assert_eq!(a.target, b.target);
+        let sa = decode_graph_feature(&a.graph_feature).unwrap().canonicalize();
+        let sb = decode_graph_feature(&b.graph_feature).unwrap().canonicalize();
+        assert_eq!(sa, sb, "target {}", a.target);
+    }
+}
+
+#[test]
+fn reindexing_spreads_hub_records_across_groups() {
+    let (nodes, edges) = hub_graph(60);
+    // Count the biggest in-edge group the merge round saw, via the merged
+    // node counter deltas — instead, simply verify the partials counter and
+    // that per-group sampled caps apply per *partial* group.
+    let capped = run_flat(
+        FlatConfig {
+            k_hops: 1,
+            hub_threshold: 10,
+            reindex_fanout: 4,
+            sampling: SamplingStrategy::Uniform { max_degree: 5 },
+            ..FlatConfig::default()
+        },
+        &nodes,
+        &edges,
+        TargetSpec::Ids(vec![NodeId(0)]),
+    );
+    let sub = decode_graph_feature(&capped.examples[0].graph_feature).unwrap();
+    // 4 groups × ≤5 sampled in-edges each = ≤20 neighbors + target.
+    assert!(sub.n_nodes() <= 21, "got {}", sub.n_nodes());
+    assert!(sub.n_nodes() > 5, "multiple groups contributed, got {}", sub.n_nodes());
+}
+
+#[test]
+fn reindexing_shrinks_the_largest_reduce_group() {
+    // The actual point of re-indexing (§3.2.2): no single reducer should
+    // have to merge a hub's entire in-edge set. The max-group counter must
+    // drop by roughly the fanout.
+    let (nodes, edges) = hub_graph(120);
+    let plain = run_flat(FlatConfig { k_hops: 1, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::All);
+    assert_eq!(plain.counters.get("flat.max_group_in_edges"), 120, "hub's full in-edge set in one group");
+    let reindexed = run_flat(
+        FlatConfig { k_hops: 1, hub_threshold: 20, reindex_fanout: 4, ..FlatConfig::default() },
+        &nodes,
+        &edges,
+        TargetSpec::All,
+    );
+    let max_group = reindexed.counters.get("flat.max_group_in_edges");
+    assert!(
+        max_group < 60,
+        "re-indexing with fanout 4 should split the 120-edge hub group, got {max_group}"
+    );
+}
+
+#[test]
+fn dangling_edges_are_counted_not_fatal() {
+    let nodes = NodeTable::new(vec![NodeId(1), NodeId(2)], Matrix::zeros(2, 1), None);
+    // 1 -> 2 is fine; 1 -> 99 has an unknown destination; 98 -> 2 an unknown source.
+    let edges = EdgeTable::from_pairs([(1, 2), (1, 99), (98, 2)]);
+    let out = run_flat(FlatConfig { k_hops: 1, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::All);
+    assert_eq!(out.examples.len(), 2);
+    assert!(out.counters.get("flat.dangling_edge_sources") + out.counters.get("flat.dangling_edge_destinations") > 0);
+    let sub2 = decode_graph_feature(
+        &out.examples.iter().find(|e| e.target == NodeId(2)).unwrap().graph_feature,
+    )
+    .unwrap();
+    assert_eq!(sub2.n_nodes(), 2, "node 2 still gets its valid neighbor");
+}
+
+#[test]
+fn edge_features_flow_through_the_pipeline() {
+    // Edge features ride the in-edge information and must survive into the
+    // stored GraphFeature (the `E_B` matrix of §3.3.1).
+    use agl_graph::tables::EdgeRow;
+    let nodes = NodeTable::new(
+        vec![NodeId(1), NodeId(2), NodeId(3)],
+        Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]),
+        None,
+    );
+    let rows = vec![
+        EdgeRow { src: NodeId(2), dst: NodeId(1), weight: 1.0 },
+        EdgeRow { src: NodeId(3), dst: NodeId(2), weight: 2.0 },
+    ];
+    let efeat = Matrix::from_rows(&[&[10.0, 11.0], &[20.0, 21.0]]);
+    let edges = EdgeTable::new(rows, Some(efeat));
+    let out = run_flat(FlatConfig { k_hops: 2, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::Ids(vec![NodeId(1)]));
+    let sub = decode_graph_feature(&out.examples[0].graph_feature).unwrap();
+    assert_eq!(sub.n_edges(), 2);
+    let ef = sub.edge_features.as_ref().expect("edge features preserved");
+    assert_eq!(ef.cols(), 2);
+    // Map back by endpoints to check values survived intact.
+    for (i, e) in sub.edges.iter().enumerate() {
+        let (src, dst) = (sub.node_ids[e.src as usize], sub.node_ids[e.dst as usize]);
+        let want: &[f32] = if (src, dst) == (NodeId(2), NodeId(1)) { &[10.0, 11.0] } else { &[20.0, 21.0] };
+        assert_eq!(ef.row(i), want, "edge {src}->{dst}");
+    }
+}
+
+#[test]
+fn batch_of_targets_union_is_consistent() {
+    // GraphFeatures are per-target; merging them at training time must equal
+    // the reference multi-target extraction. (The actual merge lives in the
+    // trainer; here we sanity-check the per-target pieces cover it.)
+    let (nodes, edges) = random_graph(30, 3, 17);
+    let graph = Graph::from_tables(&nodes, &edges);
+    let targets = vec![NodeId(1), NodeId(2), NodeId(3)];
+    let out = run_flat(FlatConfig::default(), &nodes, &edges, TargetSpec::Ids(targets.clone()));
+    let mut b = agl_flat::builder::SubgraphBuilder::new();
+    for ex in &out.examples {
+        b.absorb(&decode_graph_feature(&ex.graph_feature).unwrap());
+    }
+    let merged = b.build(&targets).canonicalize();
+    let want = khop_subgraph(&graph, &targets, 2, EdgeRule::Sufficient).canonicalize();
+    assert_eq!(merged, want);
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of GraphFlat against the reference extractor over
+//! randomly generated graphs, plus invariants of the sampled pipeline.
+
+use agl_flat::{decode_graph_feature, FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
+use agl_graph::graph::Graph;
+use agl_graph::khop::{khop_subgraph, EdgeRule};
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Build a graph from a proptest-generated edge list over `n` nodes.
+fn graph_from(n: u64, raw_edges: &[(u64, u64)]) -> (NodeTable, EdgeTable) {
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let feats = Matrix::from_vec(n as usize, 2, (0..n as usize * 2).map(|i| i as f32 * 0.1).collect());
+    let nodes = NodeTable::new(ids, feats, None);
+    let mut pairs: Vec<(u64, u64)> = raw_edges
+        .iter()
+        .map(|&(a, b)| (a % n, b % n))
+        .filter(|&(a, b)| a != b)
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    (nodes, EdgeTable::from_pairs(pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// GraphFlat equals the reference k-hop extraction on arbitrary graphs
+    /// for every k in 0..=3.
+    #[test]
+    fn prop_flat_matches_reference(
+        n in 2u64..18,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..60),
+        k in 0usize..4,
+    ) {
+        let (nodes, edges) = graph_from(n, &raw_edges);
+        let graph = Graph::from_tables(&nodes, &edges);
+        let out = GraphFlat::new(FlatConfig { k_hops: k, ..FlatConfig::default() })
+            .run(&nodes, &edges, &TargetSpec::All)
+            .unwrap();
+        prop_assert_eq!(out.examples.len(), n as usize);
+        for ex in &out.examples {
+            let got = decode_graph_feature(&ex.graph_feature).unwrap().canonicalize();
+            let want = khop_subgraph(&graph, &[ex.target], k as u32, EdgeRule::Sufficient).canonicalize();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Sampled GraphFeatures are always valid subgraphs containing their
+    /// target, with in-degrees bounded by the cap at every node.
+    #[test]
+    fn prop_sampled_output_valid_and_capped(
+        n in 4u64..20,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 10..80),
+        cap in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (nodes, edges) = graph_from(n, &raw_edges);
+        let out = GraphFlat::new(FlatConfig {
+            k_hops: 2,
+            sampling: SamplingStrategy::Uniform { max_degree: cap },
+            seed,
+            ..FlatConfig::default()
+        })
+        .run(&nodes, &edges, &TargetSpec::All)
+        .unwrap();
+        for ex in &out.examples {
+            let sub = decode_graph_feature(&ex.graph_feature).unwrap();
+            prop_assert!(sub.validate().is_ok());
+            prop_assert_eq!(sub.target_ids(), vec![ex.target]);
+            // Per-destination in-degree within the stored subgraph is capped.
+            let mut indeg = vec![0usize; sub.n_nodes()];
+            for e in &sub.edges {
+                indeg[e.dst as usize] += 1;
+            }
+            prop_assert!(indeg.iter().all(|&d| d <= cap), "cap {cap}, got {indeg:?}");
+        }
+    }
+
+    /// A sampled neighborhood is always a subgraph of the unsampled one.
+    #[test]
+    fn prop_sampled_is_subgraph_of_full(
+        n in 4u64..16,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 5..50),
+        seed in any::<u64>(),
+    ) {
+        let (nodes, edges) = graph_from(n, &raw_edges);
+        let full = GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() })
+            .run(&nodes, &edges, &TargetSpec::All)
+            .unwrap();
+        let sampled = GraphFlat::new(FlatConfig {
+            k_hops: 2,
+            sampling: SamplingStrategy::Uniform { max_degree: 2 },
+            seed,
+            ..FlatConfig::default()
+        })
+        .run(&nodes, &edges, &TargetSpec::All)
+        .unwrap();
+        for (f, s) in full.examples.iter().zip(&sampled.examples) {
+            prop_assert_eq!(f.target, s.target);
+            let fs = decode_graph_feature(&f.graph_feature).unwrap();
+            let ss = decode_graph_feature(&s.graph_feature).unwrap();
+            let full_nodes: std::collections::HashSet<_> = fs.node_ids.iter().collect();
+            prop_assert!(ss.node_ids.iter().all(|id| full_nodes.contains(id)));
+            let full_edges: std::collections::HashSet<(u64, u64)> = fs
+                .edges
+                .iter()
+                .map(|e| (fs.node_ids[e.src as usize].0, fs.node_ids[e.dst as usize].0))
+                .collect();
+            for e in &ss.edges {
+                let key = (ss.node_ids[e.src as usize].0, ss.node_ids[e.dst as usize].0);
+                prop_assert!(full_edges.contains(&key), "sampled edge {key:?} not in full set");
+            }
+        }
+    }
+}

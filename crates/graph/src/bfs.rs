@@ -1,0 +1,108 @@
+//! Multi-source BFS distances over either adjacency direction.
+//!
+//! Two consumers:
+//! * the reference k-hop extraction ([`crate::khop`]) walks **upstream**
+//!   along in-edges (paper Definition 1: `d(v, u)` is the shortest path
+//!   *from `u` to `v`*, i.e. following edge direction towards the target);
+//! * the graph-pruning strategy (§3.3.2) computes `d(V_B, u)` for every node
+//!   of a batch subgraph the same way.
+
+use agl_tensor::Csr;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Multi-source BFS. `adj` row `v` must list the nodes one step *away* in
+/// the walking direction — pass the in-CSR to walk upstream from targets
+/// (each row lists the sources pointing at `v`, which sit one hop further
+/// from the target set).
+///
+/// Returns `dist[u]` = hops from the nearest source, or [`UNREACHED`].
+/// When `max_depth` is `Some(k)`, exploration stops after depth `k`.
+pub fn multi_source_distances(adj: &Csr, sources: &[u32], max_depth: Option<u32>) -> Vec<u32> {
+    let n = adj.n_rows();
+    let mut dist = vec![UNREACHED; n];
+    let mut frontier: Vec<u32> = Vec::with_capacity(sources.len());
+    for &s in sources {
+        debug_assert!((s as usize) < n, "source {s} out of range {n}");
+        if dist[s as usize] == UNREACHED {
+            dist[s as usize] = 0;
+            frontier.push(s);
+        }
+    }
+    let mut depth = 0u32;
+    let mut next: Vec<u32> = Vec::new();
+    while !frontier.is_empty() {
+        if let Some(k) = max_depth {
+            if depth >= k {
+                break;
+            }
+        }
+        depth += 1;
+        next.clear();
+        for &v in &frontier {
+            let (nbrs, _) = adj.row(v as usize);
+            for &u in nbrs {
+                if dist[u as usize] == UNREACHED {
+                    dist[u as usize] = depth;
+                    next.push(u);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_tensor::Coo;
+
+    /// Chain 0 <- 1 <- 2 <- 3 (in-CSR: row v lists its in-sources).
+    fn chain_in_csr() -> Csr {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 3, 1.0);
+        coo.into_csr()
+    }
+
+    #[test]
+    fn distances_follow_in_edges_upstream() {
+        let adj = chain_in_csr();
+        let d = multi_source_distances(&adj, &[0], None);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let adj = chain_in_csr();
+        let d = multi_source_distances(&adj, &[0], Some(2));
+        assert_eq!(d, vec![0, 1, 2, UNREACHED]);
+        let d0 = multi_source_distances(&adj, &[0], Some(0));
+        assert_eq!(d0, vec![0, UNREACHED, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let adj = chain_in_csr();
+        let d = multi_source_distances(&adj, &[0, 2], None);
+        assert_eq!(d, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn duplicate_sources_are_fine() {
+        let adj = chain_in_csr();
+        let d = multi_source_distances(&adj, &[1, 1], None);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[0], UNREACHED, "node 0 is downstream, not reachable upstream");
+    }
+
+    #[test]
+    fn empty_sources_reach_nothing() {
+        let adj = chain_in_csr();
+        let d = multi_source_distances(&adj, &[], None);
+        assert!(d.iter().all(|&x| x == UNREACHED));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the reference k-hop extraction (Definition 1) —
+//! the oracle the GraphFlat pipeline is validated against, so its own
+//! invariants deserve independent pinning.
+
+use agl_graph::graph::Graph;
+use agl_graph::khop::{khop_subgraph, EdgeRule};
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_tensor::Matrix;
+use proptest::prelude::*;
+
+fn graph_from(n: u64, raw_edges: &[(u64, u64)]) -> Graph {
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let feats = Matrix::from_vec(n as usize, 1, (0..n as usize).map(|i| i as f32).collect());
+    let nodes = NodeTable::new(ids, feats, None);
+    let mut pairs: Vec<(u64, u64)> = raw_edges.iter().map(|&(a, b)| (a % n, b % n)).filter(|&(a, b)| a != b).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    Graph::from_tables(&nodes, &EdgeTable::from_pairs(pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The target is always local 0 of its own neighborhood; the result is
+    /// always structurally valid.
+    #[test]
+    fn prop_target_is_first_and_valid(
+        n in 1u64..20,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..60),
+        target in any::<u64>(),
+        k in 0u32..4,
+    ) {
+        let g = graph_from(n, &raw_edges);
+        let t = NodeId(target % n);
+        for rule in [EdgeRule::Sufficient, EdgeRule::Induced] {
+            let sub = khop_subgraph(&g, &[t], k, rule);
+            prop_assert!(sub.validate().is_ok());
+            prop_assert_eq!(sub.node_ids[0], t);
+            prop_assert_eq!(&sub.target_locals, &vec![0u32]);
+        }
+    }
+
+    /// Node sets grow monotonically with k, and edges of Sufficient are a
+    /// subset of Induced for the same k.
+    #[test]
+    fn prop_monotone_in_k_and_rule_ordering(
+        n in 2u64..16,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..50),
+        target in any::<u64>(),
+    ) {
+        let g = graph_from(n, &raw_edges);
+        let t = NodeId(target % n);
+        let mut prev_nodes = 0usize;
+        for k in 0..4u32 {
+            let suff = khop_subgraph(&g, &[t], k, EdgeRule::Sufficient);
+            let ind = khop_subgraph(&g, &[t], k, EdgeRule::Induced);
+            prop_assert!(suff.n_nodes() >= prev_nodes, "k={k}");
+            prop_assert_eq!(suff.n_nodes(), ind.n_nodes(), "same node set for both rules");
+            prop_assert!(suff.n_edges() <= ind.n_edges(), "Sufficient ⊆ Induced");
+            prev_nodes = suff.n_nodes();
+        }
+    }
+
+    /// A batch neighborhood contains every single-target neighborhood's
+    /// node set (union property behind batch vectorization).
+    #[test]
+    fn prop_batch_contains_singletons(
+        n in 3u64..14,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 5..40),
+        t1 in any::<u64>(),
+        t2 in any::<u64>(),
+    ) {
+        let g = graph_from(n, &raw_edges);
+        let (a, b) = (NodeId(t1 % n), NodeId(t2 % n));
+        prop_assume!(a != b);
+        let batch = khop_subgraph(&g, &[a, b], 2, EdgeRule::Sufficient);
+        let batch_ids: std::collections::HashSet<_> = batch.node_ids.iter().collect();
+        for t in [a, b] {
+            let single = khop_subgraph(&g, &[t], 2, EdgeRule::Sufficient);
+            for id in &single.node_ids {
+                prop_assert!(batch_ids.contains(id), "{id} of {t}'s hood missing from batch");
+            }
+        }
+    }
+
+    /// k ≥ diameter: the neighborhood stops growing (fixpoint).
+    #[test]
+    fn prop_saturates_at_large_k(
+        n in 2u64..12,
+        raw_edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..40),
+        target in any::<u64>(),
+    ) {
+        let g = graph_from(n, &raw_edges);
+        let t = NodeId(target % n);
+        let big = khop_subgraph(&g, &[t], n as u32 + 1, EdgeRule::Sufficient);
+        let bigger = khop_subgraph(&g, &[t], n as u32 + 3, EdgeRule::Sufficient);
+        prop_assert_eq!(big.canonicalize(), bigger.canonicalize());
+    }
+}

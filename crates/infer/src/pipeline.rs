@@ -1,0 +1,330 @@
+//! The GraphInfer MapReduce pipeline (§3.4).
+//!
+//! Engine round layout for a K-layer model:
+//!
+//! | engine round | role                                            |
+//! |--------------|-------------------------------------------------|
+//! | 0            | join: attach `h⁰ = x` to edges, emit infos       |
+//! | 1..=K        | slice k: merge in-embeddings, per-node forward   |
+//! | K+1          | prediction slice: final score                    |
+
+use crate::messages::InferMsg;
+use agl_flat::SamplingStrategy;
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
+use agl_mapreduce::hash::fnv1a;
+use agl_mapreduce::{Counters, FaultPlan, JobConfig, JobError, MapReduceJob, Mapper, Reducer, SpillMode};
+use agl_nn::layer::NeighborView;
+use agl_nn::{GnnModel, ModelSlice};
+use agl_tensor::rng::derive_seed;
+use std::sync::Arc;
+
+/// GraphInfer configuration (`-c infer_configs` of §3.5).
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// Sampling, kept consistent with the GraphFlat run that produced the
+    /// training data ("unbiased inference", §3.4).
+    pub sampling: SamplingStrategy,
+    /// Seed for the sampling framework (same role as in GraphFlat).
+    pub seed: u64,
+    pub map_tasks: usize,
+    pub reduce_tasks: usize,
+    pub parallelism: usize,
+    pub spill: SpillMode,
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        Self {
+            sampling: SamplingStrategy::None,
+            seed: 42,
+            map_tasks: 4,
+            reduce_tasks: 4,
+            parallelism: 4,
+            spill: SpillMode::InMemory,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// One node's predicted scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeScore {
+    pub node: NodeId,
+    /// Probabilities under the model's loss (softmax rows / sigmoid).
+    pub probs: Vec<f32>,
+}
+
+/// One node's final-layer embedding (the K-th slice's output, before the
+/// prediction model) — what downstream systems consume when AGL is used as
+/// an embedding producer rather than an end-to-end classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEmbedding {
+    pub node: NodeId,
+    pub embedding: Vec<f32>,
+}
+
+/// GraphInfer result.
+#[derive(Debug)]
+pub struct InferOutput {
+    /// Scores sorted by node id — one per node of the input table.
+    pub scores: Vec<NodeScore>,
+    pub counters: Counters,
+}
+
+// ---- input records ----
+
+const REC_NODE: u8 = 0;
+const REC_EDGE: u8 = 1;
+
+fn encode_node_record(id: NodeId, features: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(13 + 4 * features.len());
+    put_u8(&mut buf, REC_NODE);
+    put_u64(&mut buf, id.0);
+    put_f32s(&mut buf, features);
+    buf
+}
+
+fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(21);
+    put_u8(&mut buf, REC_EDGE);
+    put_u64(&mut buf, src.0);
+    put_u64(&mut buf, dst.0);
+    put_f32(&mut buf, weight);
+    buf
+}
+
+struct InferMapper;
+
+impl Mapper for InferMapper {
+    fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        let mut r = input;
+        match get_u8(&mut r).expect("record tag") {
+            REC_NODE => {
+                let id = get_u64(&mut r).expect("node id");
+                let features = get_f32s(&mut r).expect("features");
+                emit(id.to_le_bytes().to_vec(), InferMsg::NodeRow { features }.to_bytes());
+            }
+            REC_EDGE => {
+                let src = get_u64(&mut r).expect("src");
+                let dst = get_u64(&mut r).expect("dst");
+                let weight = get_f32(&mut r).expect("weight");
+                emit(src.to_le_bytes().to_vec(), InferMsg::EdgeBySrc { dst, weight }.to_bytes());
+            }
+            t => panic!("unknown input record tag {t}"),
+        }
+    }
+}
+
+struct InferReducer {
+    slices: Arc<Vec<ModelSlice>>,
+    /// K — number of GNN layers.
+    k: usize,
+    sampling: SamplingStrategy,
+    seed: u64,
+    counters: Counters,
+}
+
+impl Reducer for InferReducer {
+    fn reduce(
+        &self,
+        round: usize,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    ) {
+        let mut node_row: Option<Vec<f32>> = None;
+        let mut edges_by_src: Vec<(u64, f32)> = Vec::new();
+        let mut self_emb: Option<Vec<f32>> = None;
+        let mut in_embs: Vec<(u64, f32, Vec<f32>)> = Vec::new();
+        let mut out_edges: Vec<(u64, f32)> = Vec::new();
+        let mut final_emb: Option<Vec<f32>> = None;
+        for v in values {
+            match InferMsg::from_bytes(v).expect("infer message") {
+                InferMsg::NodeRow { features } => node_row = Some(features),
+                InferMsg::EdgeBySrc { dst, weight } => edges_by_src.push((dst, weight)),
+                InferMsg::SelfEmb { h } => self_emb = Some(h),
+                InferMsg::InEmb { src, weight, h } => in_embs.push((src, weight, h)),
+                InferMsg::OutEdge { dst, weight } => out_edges.push((dst, weight)),
+                InferMsg::Emb { h } => final_emb = Some(h),
+                InferMsg::Score { .. } => panic!("Score re-entered the pipeline"),
+            }
+        }
+
+        if round == 0 {
+            // ---- Join: h⁰ = x, fan the features out along out-edges ----
+            let Some(x) = node_row else {
+                self.counters.add("infer.dangling_edge_sources", edges_by_src.len() as u64);
+                return;
+            };
+            emit(key.to_vec(), InferMsg::SelfEmb { h: x.clone() }.to_bytes());
+            for (dst, weight) in edges_by_src {
+                emit(
+                    dst.to_le_bytes().to_vec(),
+                    InferMsg::InEmb { src: u64::from_le_bytes(key.try_into().unwrap()), weight, h: x.clone() }
+                        .to_bytes(),
+                );
+                emit(key.to_vec(), InferMsg::OutEdge { dst, weight }.to_bytes());
+            }
+            return;
+        }
+
+        if round <= self.k {
+            // ---- Slice k: merge + per-node layer forward + propagate ----
+            let Some(h_self) = self_emb else {
+                self.counters.add("infer.dangling_edge_destinations", in_embs.len() as u64);
+                return;
+            };
+            // Consistent sampling with GraphFlat: canonical candidate order
+            // (sorted by source id) + a seed derived from the node id only,
+            // so with the same seed/strategy this reducer keeps exactly the
+            // neighbor subset GraphFlat kept when building the training
+            // data (§3.4's unbiasedness requirement).
+            in_embs.sort_by_key(|(src, _, _)| *src);
+            let weights: Vec<f32> = in_embs.iter().map(|(_, w, _)| *w).collect();
+            let node_id = u64::from_le_bytes(key.try_into().unwrap());
+            let sample_seed = derive_seed(self.seed, fnv1a(&node_id.to_le_bytes()));
+            let kept = self.sampling.select(&weights, sample_seed);
+            let neighbor_h: Vec<Vec<f32>> = kept.iter().map(|&i| in_embs[i].2.clone()).collect();
+            let kept_w: Vec<f32> = kept.iter().map(|&i| in_embs[i].1).collect();
+            let ModelSlice::Gnn(layer) = &self.slices[round - 1] else {
+                panic!("slice {round} is not a GNN layer");
+            };
+            let view = NeighborView { self_h: &h_self, neighbor_h: &neighbor_h, weights: &kept_w };
+            let h_next = layer.forward_node(&view);
+            self.counters.inc("infer.embeddings_computed");
+            if round < self.k {
+                emit(key.to_vec(), InferMsg::SelfEmb { h: h_next.clone() }.to_bytes());
+                for (dst, weight) in out_edges {
+                    emit(
+                        dst.to_le_bytes().to_vec(),
+                        InferMsg::InEmb {
+                            src: u64::from_le_bytes(key.try_into().unwrap()),
+                            weight,
+                            h: h_next.clone(),
+                        }
+                        .to_bytes(),
+                    );
+                    emit(key.to_vec(), InferMsg::OutEdge { dst, weight }.to_bytes());
+                }
+            } else {
+                // "in the Kth round ... only need to output it rather than
+                // all of the three information" (§3.4).
+                emit(key.to_vec(), InferMsg::Emb { h: h_next }.to_bytes());
+            }
+            return;
+        }
+
+        // ---- Prediction round ----
+        let Some(h) = final_emb else { return };
+        let ModelSlice::Prediction(head, loss) = &self.slices[self.k] else {
+            panic!("last slice is not the prediction model");
+        };
+        let logits = head.forward_row(&h);
+        let probs = loss
+            .probabilities(&agl_tensor::Matrix::from_vec(1, logits.len(), logits))
+            .into_vec();
+        self.counters.inc("infer.scores");
+        emit(key.to_vec(), InferMsg::Score { probs }.to_bytes());
+    }
+}
+
+/// The GraphInfer driver.
+pub struct GraphInfer {
+    cfg: InferConfig,
+}
+
+impl GraphInfer {
+    pub fn new(cfg: InferConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &InferConfig {
+        &self.cfg
+    }
+
+    /// Run the pipeline but stop after the K-th slice, returning every
+    /// node's final-layer **embedding** instead of a prediction — K+1
+    /// reduce rounds instead of K+2 (the prediction slice never loads).
+    pub fn run_embeddings(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+    ) -> Result<(Vec<NodeEmbedding>, Counters), JobError> {
+        let (output, counters) = self.run_rounds(model, nodes, edges, model.n_layers() + 1)?;
+        let mut embeddings: Vec<NodeEmbedding> = output
+            .iter()
+            .map(|kv| {
+                let id = u64::from_le_bytes(kv.key.as_slice().try_into().expect("emb key"));
+                match InferMsg::from_bytes(&kv.value).expect("emb msg") {
+                    InferMsg::Emb { h } => NodeEmbedding { node: NodeId(id), embedding: h },
+                    other => panic!("unexpected output record {other:?}"),
+                }
+            })
+            .collect();
+        embeddings.sort_by_key(|e| e.node);
+        Ok((embeddings, counters))
+    }
+
+    fn run_rounds(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        rounds: usize,
+    ) -> Result<(Vec<agl_mapreduce::KeyValue>, Counters), JobError> {
+        let slices = Arc::new(model.segment());
+        let k = model.n_layers();
+        let counters = Counters::new();
+
+        let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
+        for (id, feat) in nodes.iter() {
+            inputs.push(encode_node_record(id, feat));
+        }
+        for (row, _) in edges.iter() {
+            inputs.push(encode_edge_record(row.src, row.dst, row.weight));
+        }
+
+        let reducer = InferReducer {
+            slices,
+            k,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.seed,
+            counters: counters.clone(),
+        };
+        let job = MapReduceJob::new(JobConfig {
+            map_tasks: self.cfg.map_tasks,
+            reduce_tasks: self.cfg.reduce_tasks,
+            reduce_rounds: rounds,
+            parallelism: self.cfg.parallelism,
+            max_attempts: 4,
+            fault_plan: self.cfg.fault_plan.clone(),
+            spill: self.cfg.spill.clone(),
+        });
+        let result = job.run(&inputs, &InferMapper, &reducer)?;
+        for (name, v) in result.counters.snapshot() {
+            counters.add(&name, v);
+        }
+        Ok((result.output, counters))
+    }
+
+    /// Run inference for every node of the tables with a trained model.
+    pub fn run(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
+        // join + K slices + prediction.
+        let (output, counters) = self.run_rounds(model, nodes, edges, model.n_layers() + 2)?;
+        let mut scores: Vec<NodeScore> = output
+            .iter()
+            .map(|kv| {
+                let id = u64::from_le_bytes(kv.key.as_slice().try_into().expect("score key"));
+                match InferMsg::from_bytes(&kv.value).expect("score msg") {
+                    InferMsg::Score { probs } => NodeScore { node: NodeId(id), probs },
+                    other => panic!("unexpected output record {other:?}"),
+                }
+            })
+            .collect();
+        scores.sort_by_key(|s| s.node);
+        Ok(InferOutput { scores, counters })
+    }
+}

@@ -1,0 +1,211 @@
+//! Length-prefixed binary encoding for records crossing the shuffle.
+//!
+//! The paper flattens k-hop neighborhoods to protobuf strings; this module
+//! is the dependency-light equivalent (see DESIGN.md). All integers are
+//! little-endian fixed width; variable-length payloads are `u32`-length
+//! prefixed. The format is intentionally boring: the point is that every
+//! message crossing a phase boundary survives a byte round-trip, which the
+//! property tests pin down.
+
+use std::fmt;
+
+/// Decoding failure: truncated or malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Types that can cross a shuffle boundary.
+pub trait Codec: Sized {
+    fn encode(&self, buf: &mut Vec<u8>);
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode, requiring the whole input to be consumed.
+    fn from_bytes(mut input: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut input)?;
+        if !input.is_empty() {
+            return Err(CodecError(format!("{} trailing bytes", input.len())));
+        }
+        Ok(v)
+    }
+}
+
+/// Take `n` bytes off the front of `input`.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError(format!("need {n} bytes, have {}", input.len())));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn get_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
+    Ok(take(input, 1)?[0])
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
+    Ok(u32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+    Ok(u64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+}
+
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn get_f32(input: &mut &[u8]) -> Result<f32, CodecError> {
+    Ok(f32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+}
+
+/// `u32` length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+pub fn get_bytes<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], CodecError> {
+    let n = get_u32(input)? as usize;
+    take(input, n)
+}
+
+/// `u32`-count-prefixed vector of `f32`.
+pub fn put_f32s(buf: &mut Vec<u8>, v: &[f32]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_f32(buf, x);
+    }
+}
+
+pub fn get_f32s(input: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
+    let n = get_u32(input)? as usize;
+    if input.len() < n * 4 {
+        return Err(CodecError(format!("f32 vec of {n} exceeds remaining {}", input.len())));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_f32(input)?);
+    }
+    Ok(out)
+}
+
+impl Codec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        get_u64(input)
+    }
+}
+
+impl Codec for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(get_bytes(input)?.to_vec())
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        String::from_utf8(get_bytes(input)?.to_vec()).map_err(|e| CodecError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = 0xDEAD_BEEF_u64;
+        assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = 7u64.to_bytes();
+        b.push(0);
+        assert!(u64::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let b = 7u64.to_bytes();
+        assert!(u64::from_bytes(&b[..5]).is_err());
+        let mut short: &[u8] = &[1, 2];
+        assert!(get_u32(&mut short).is_err());
+    }
+
+    #[test]
+    fn nested_bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_u32(&mut buf, 42);
+        let mut r: &[u8] = &buf;
+        assert_eq!(get_bytes(&mut r).unwrap(), b"hello");
+        assert_eq!(get_bytes(&mut r).unwrap(), b"");
+        assert_eq!(get_u32(&mut r).unwrap(), 42);
+        assert!(r.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f32s_roundtrip(v in proptest::collection::vec(-1e6f32..1e6, 0..64)) {
+            let mut buf = Vec::new();
+            put_f32s(&mut buf, &v);
+            let mut r: &[u8] = &buf;
+            let back = get_f32s(&mut r).unwrap();
+            prop_assert_eq!(v, back);
+            prop_assert!(r.is_empty());
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            let b = s.clone().to_bytes();
+            prop_assert_eq!(String::from_bytes(&b).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Malformed input must produce Err, not panic.
+            let _ = u64::from_bytes(&bytes);
+            let _ = String::from_bytes(&bytes);
+            let mut r: &[u8] = &bytes;
+            let _ = get_f32s(&mut r);
+        }
+    }
+}

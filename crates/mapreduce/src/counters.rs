@@ -1,0 +1,107 @@
+//! Hadoop-style named job counters.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A set of named monotonically increasing counters shared by all tasks of a
+/// job. Cheap to clone (Arc) and safe to bump from any task thread.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: Arc<RwLock<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.inner.read().get(name) {
+            return c.clone();
+        }
+        self.inner.write().entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))).clone()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Raise counter `name` to at least `value` — a "max" counter, used for
+    /// load-balance observations like the largest reduce group seen.
+    pub fn record_max(&self, name: &str, value: u64) {
+        self.cell(name).fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counters::new();
+        c.inc("records");
+        c.add("records", 4);
+        assert_eq!(c.get("records"), 5);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn shared_across_clones_and_threads() {
+        let c = Counters::new();
+        let c2 = c.clone();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let c3 = c2.clone();
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        c3.inc("n");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.get("n"), 400);
+    }
+
+    #[test]
+    fn record_max_keeps_the_maximum() {
+        let c = Counters::new();
+        c.record_max("m", 5);
+        c.record_max("m", 3);
+        assert_eq!(c.get("m"), 5);
+        c.record_max("m", 9);
+        assert_eq!(c.get("m"), 9);
+    }
+
+    #[test]
+    fn snapshot_sorted() {
+        let c = Counters::new();
+        c.inc("z");
+        c.inc("a");
+        let names: Vec<_> = c.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

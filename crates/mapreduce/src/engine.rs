@@ -1,0 +1,486 @@
+//! The multi-round MapReduce driver.
+//!
+//! Execution model (matching §3.2.1 / §3.4 of the paper):
+//!
+//! 1. **Map** runs once over the input records, emitting `(key, value)`
+//!    pairs that are hash-partitioned into `reduce_tasks` shuffle buckets.
+//! 2. **Reduce** runs `reduce_rounds` times. Round `r` groups each
+//!    partition's records by key, hands every key's value list to the
+//!    [`Reducer`], and re-partitions whatever it emits for round `r+1`.
+//!    The last round's emissions form the job output.
+//!
+//! Tasks are deterministic functions of their input; the engine exploits
+//! this for fault tolerance — an attempt named by the [`FaultPlan`] has its
+//! output discarded and is re-executed, reproducing the recovery behaviour
+//! of a real cluster without changing the job's result.
+
+use crate::counters::Counters;
+use crate::fault::{FaultPlan, TaskId};
+use crate::hash::partition;
+use crate::spill::SpillMode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A serialised record crossing a shuffle boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyValue {
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+}
+
+impl KeyValue {
+    pub fn new(key: Vec<u8>, value: Vec<u8>) -> Self {
+        Self { key, value }
+    }
+}
+
+/// User map function. Must be deterministic: re-execution after a simulated
+/// crash replays it on the same input and the engine assumes identical
+/// output (exactly the contract MapReduce imposes).
+pub trait Mapper: Sync {
+    fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
+}
+
+/// User reduce function, invoked once per distinct key per round with all of
+/// the key's values. `round` is 0-based. Emissions feed the next round, or
+/// the job output on the final round. Must be deterministic (see [`Mapper`]).
+pub trait Reducer: Sync {
+    fn reduce(&self, round: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
+}
+
+impl<F> Mapper for F
+where
+    F: Fn(&[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Sync,
+{
+    fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        self(input, emit)
+    }
+}
+
+/// Job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Number of map tasks the input is split across.
+    pub map_tasks: usize,
+    /// Number of shuffle partitions / reduce tasks per round.
+    pub reduce_tasks: usize,
+    /// Number of reduce rounds (K for GraphFlat, K+1 for GraphInfer).
+    pub reduce_rounds: usize,
+    /// Worker threads executing tasks.
+    pub parallelism: usize,
+    /// Attempts per task before the job fails.
+    pub max_attempts: usize,
+    /// Injected failures (tests/chaos runs).
+    pub fault_plan: FaultPlan,
+    /// Whether shuffle partitions round-trip through disk.
+    pub spill: SpillMode,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            map_tasks: 4,
+            reduce_tasks: 4,
+            reduce_rounds: 1,
+            parallelism: 4,
+            max_attempts: 4,
+            fault_plan: FaultPlan::none(),
+            spill: SpillMode::InMemory,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Config with `rounds` reduce rounds and everything else default.
+    pub fn with_rounds(rounds: usize) -> Self {
+        Self { reduce_rounds: rounds, ..Self::default() }
+    }
+}
+
+/// Job failure.
+#[derive(Debug)]
+pub enum JobError {
+    /// A task exhausted `max_attempts`.
+    TaskFailed(TaskId),
+    /// Shuffle spill I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskFailed(t) => write!(f, "task {t:?} exhausted retries"),
+            JobError::Io(e) => write!(f, "shuffle I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<std::io::Error> for JobError {
+    fn from(e: std::io::Error) -> Self {
+        JobError::Io(e)
+    }
+}
+
+/// Successful job outcome.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Final-round emissions, in partition order then emit order.
+    pub output: Vec<KeyValue>,
+    /// Job counters (records per phase, shuffle bytes, retries).
+    pub counters: Counters,
+}
+
+/// The driver. See module docs for the execution model.
+pub struct MapReduceJob {
+    cfg: JobConfig,
+}
+
+impl MapReduceJob {
+    pub fn new(cfg: JobConfig) -> Self {
+        assert!(cfg.map_tasks > 0 && cfg.reduce_tasks > 0 && cfg.parallelism > 0 && cfg.max_attempts > 0);
+        Self { cfg }
+    }
+
+    /// Run the job with a **combiner**: after each map task, records are
+    /// locally grouped and pre-reduced with `combiner` before the shuffle —
+    /// the classic Hadoop optimisation, valid whenever the reduce function
+    /// is associative and emits records the next round can re-consume.
+    /// Counters report the shuffle-byte saving.
+    pub fn run_with_combiner<M: Mapper, R: Reducer, C: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+        combiner: &C,
+    ) -> Result<JobResult, JobError> {
+        // Wrap the mapper so each map task's emissions are combined locally.
+        struct CombiningMapper<'a, M, C> {
+            inner: &'a M,
+            combiner: &'a C,
+        }
+        impl<M: Mapper, C: Reducer> Mapper for CombiningMapper<'_, M, C> {
+            fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+                // Buffer this record's emissions, combine per key, re-emit.
+                let mut buffered: Vec<KeyValue> = Vec::new();
+                self.inner.map(input, &mut |k, v| buffered.push(KeyValue::new(k, v)));
+                buffered.sort_by(|a, b| a.key.cmp(&b.key));
+                let mut i = 0;
+                while i < buffered.len() {
+                    let mut j = i + 1;
+                    while j < buffered.len() && buffered[j].key == buffered[i].key {
+                        j += 1;
+                    }
+                    let key = buffered[i].key.clone();
+                    let mut values = buffered[i..j].iter().map(|kv| kv.value.as_slice());
+                    self.combiner.reduce(0, &key, &mut values, emit);
+                    i = j;
+                }
+            }
+        }
+        self.run(inputs, &CombiningMapper { inner: mapper, combiner }, reducer)
+    }
+
+    /// Run the job over `inputs` (each element is one opaque input record).
+    pub fn run<M: Mapper, R: Reducer>(&self, inputs: &[Vec<u8>], mapper: &M, reducer: &R) -> Result<JobResult, JobError> {
+        let counters = Counters::new();
+        counters.add("map.input_records", inputs.len() as u64);
+
+        // ---- Map phase ----
+        // Inputs are striped across map tasks; each task emits into
+        // `reduce_tasks` buckets.
+        let r_parts = self.cfg.reduce_tasks;
+        let map_outputs: Vec<Vec<Vec<KeyValue>>> = self.run_tasks(self.cfg.map_tasks, TaskId::map, |task| {
+            let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+            let mut emitted = 0u64;
+            for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
+                mapper.map(input, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition(&k, r_parts);
+                    buckets[p].push(KeyValue::new(k, v));
+                });
+            }
+            counters.add("map.output_records", emitted);
+            buckets
+        })?;
+
+        // ---- Reduce rounds ----
+        let mut buckets_by_task = map_outputs;
+        let mut final_output = Vec::new();
+        for round in 0..self.cfg.reduce_rounds {
+            let is_last = round + 1 == self.cfg.reduce_rounds;
+            // Gather each partition's records from all producer tasks.
+            let mut partitions: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+            for task_buckets in buckets_by_task {
+                for (p, bucket) in task_buckets.into_iter().enumerate() {
+                    partitions[p].extend(bucket);
+                }
+            }
+            // Spill round-trip (models the distributed-FS hop) + byte accounting.
+            let mut spilled = Vec::with_capacity(r_parts);
+            for (p, records) in partitions.into_iter().enumerate() {
+                let bytes: u64 = records.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+                counters.add("shuffle.bytes", bytes);
+                counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
+                spilled.push(self.cfg.spill.roundtrip(&format!("r{round}-p{p}"), records)?);
+            }
+
+            let round_outputs: Vec<Vec<Vec<KeyValue>>> =
+                self.run_tasks(r_parts, |i| TaskId::reduce(round, i), |p| {
+                    let mut records = spilled[p].clone();
+                    // Group by key: sort is stable, so within a key the value
+                    // order (producer task order, then emit order) is
+                    // deterministic.
+                    records.sort_by(|a, b| a.key.cmp(&b.key));
+                    let mut out_buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+                    let mut emitted = 0u64;
+                    let mut i = 0;
+                    while i < records.len() {
+                        let mut j = i + 1;
+                        while j < records.len() && records[j].key == records[i].key {
+                            j += 1;
+                        }
+                        let key = records[i].key.clone();
+                        let mut values = records[i..j].iter().map(|kv| kv.value.as_slice());
+                        reducer.reduce(round, &key, &mut values, &mut |k, v| {
+                            emitted += 1;
+                            let bucket = partition(&k, r_parts);
+                            out_buckets[bucket].push(KeyValue::new(k, v));
+                        });
+                        i = j;
+                    }
+                    counters.add(&format!("reduce.r{round}.output_records"), emitted);
+                    out_buckets
+                })?;
+            if is_last {
+                for task_buckets in round_outputs {
+                    for bucket in task_buckets {
+                        final_output.extend(bucket);
+                    }
+                }
+                buckets_by_task = Vec::new();
+            } else {
+                buckets_by_task = round_outputs;
+            }
+        }
+        if self.cfg.reduce_rounds == 0 {
+            for task_buckets in buckets_by_task {
+                for bucket in task_buckets {
+                    final_output.extend(bucket);
+                }
+            }
+        }
+        counters.add("output_records", final_output.len() as u64);
+        Ok(JobResult { output: final_output, counters })
+    }
+
+    /// Execute `n` tasks with bounded parallelism and retry-on-injected-fault.
+    /// Returns task outputs in task order.
+    fn run_tasks<T, F>(&self, n: usize, id_of: impl Fn(usize) -> TaskId, run: F) -> Result<Vec<T>, JobError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        // id_of used from one thread only
+    {
+        let retries = &Counters::new();
+        let next = AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<Result<T, JobError>>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let ids: Vec<TaskId> = (0..n).map(&id_of).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.cfg.parallelism.min(n) {
+                scope.spawn(|_| loop {
+                    let task = next.fetch_add(1, Ordering::Relaxed);
+                    if task >= n {
+                        break;
+                    }
+                    let id = ids[task];
+                    let mut outcome = Err(JobError::TaskFailed(id));
+                    for attempt in 0..self.cfg.max_attempts {
+                        // Run the task, then honour the fault plan by
+                        // discarding the attempt's output — the same effect a
+                        // mid-task machine crash has on a real cluster.
+                        let out = run(task);
+                        if self.cfg.fault_plan.should_fail(id, attempt) {
+                            retries.inc("task_retries");
+                            drop(out);
+                            continue;
+                        }
+                        outcome = Ok(out);
+                        break;
+                    }
+                    *results[task].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("task worker panicked");
+        let mut out = Vec::with_capacity(n);
+        for cell in results {
+            match cell.into_inner() {
+                Some(Ok(t)) => out.push(t),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("task not executed"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+
+    /// Word-count style mapper: input is a space-separated string; emit
+    /// (word, 1u64).
+    struct WordMap;
+    impl Mapper for WordMap {
+        fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            for w in input.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                emit(w.to_vec(), 1u64.to_bytes());
+            }
+        }
+    }
+
+    /// Sums counts; emits on every round (pass-through totals).
+    struct SumReduce;
+    impl Reducer for SumReduce {
+        fn reduce(&self, _round: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            let total: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
+            emit(key.to_vec(), total.to_bytes());
+        }
+    }
+
+    fn word_inputs() -> Vec<Vec<u8>> {
+        vec![
+            b"the quick brown fox".to_vec(),
+            b"the lazy dog".to_vec(),
+            b"the fox".to_vec(),
+        ]
+    }
+
+    fn sorted_counts(result: &JobResult) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = result
+            .output
+            .iter()
+            .map(|kv| (String::from_utf8(kv.key.clone()).unwrap(), u64::from_bytes(&kv.value).unwrap()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn word_count_single_round() {
+        let job = MapReduceJob::new(JobConfig::default());
+        let res = job.run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        let counts = sorted_counts(&res);
+        assert_eq!(
+            counts,
+            vec![
+                ("brown".into(), 1),
+                ("dog".into(), 1),
+                ("fox".into(), 2),
+                ("lazy".into(), 1),
+                ("quick".into(), 1),
+                ("the".into(), 3),
+            ]
+        );
+        assert_eq!(res.counters.get("map.input_records"), 3);
+        assert_eq!(res.counters.get("map.output_records"), 9);
+    }
+
+    #[test]
+    fn multi_round_is_idempotent_for_sum() {
+        // Summing sums across three rounds gives the same totals.
+        let job = MapReduceJob::new(JobConfig::with_rounds(3));
+        let res = job.run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(sorted_counts(&res)[2], ("fox".into(), 2));
+        assert_eq!(res.counters.get("reduce.r2.input_records"), 6);
+    }
+
+    #[test]
+    fn injected_faults_do_not_change_output() {
+        let clean = MapReduceJob::new(JobConfig::default())
+            .run(&word_inputs(), &WordMap, &SumReduce)
+            .unwrap();
+        let plan = FaultPlan::none()
+            .fail_first(TaskId::map(1), 2)
+            .fail_first(TaskId::reduce(0, 0), 1)
+            .fail_first(TaskId::reduce(0, 3), 3);
+        let faulty_cfg = JobConfig { fault_plan: plan, ..JobConfig::default() };
+        let faulty = MapReduceJob::new(faulty_cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(sorted_counts(&clean), sorted_counts(&faulty));
+        assert_eq!(faulty.counters.get("output_records"), clean.counters.get("output_records"));
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_job() {
+        let plan = FaultPlan::none().fail_first(TaskId::map(0), 99);
+        let cfg = JobConfig { fault_plan: plan, max_attempts: 3, ..JobConfig::default() };
+        let err = MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap_err();
+        assert!(matches!(err, JobError::TaskFailed(t) if t == TaskId::map(0)));
+    }
+
+    #[test]
+    fn spill_to_disk_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("agl-mr-test-{}", std::process::id()));
+        let mem = MapReduceJob::new(JobConfig::default()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        let cfg = JobConfig { spill: SpillMode::Disk(dir.clone()), ..JobConfig::default() };
+        let disk = MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(sorted_counts(&mem), sorted_counts(&disk));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_rounds_passes_map_output_through() {
+        let cfg = JobConfig { reduce_rounds: 0, ..JobConfig::default() };
+        let res = MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(res.output.len(), 9, "all map emissions");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_parallelism() {
+        let run = |par: usize| {
+            let cfg = JobConfig { parallelism: par, map_tasks: 3, reduce_tasks: 5, ..JobConfig::default() };
+            sorted_counts(&MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap())
+        };
+        assert_eq!(run(1), run(8));
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    fn combiner_preserves_output_and_cuts_map_emissions() {
+        let inputs = vec![b"the the the the fox fox".to_vec(), b"the fox".to_vec()];
+        let plain = MapReduceJob::new(JobConfig::default()).run(&inputs, &WordMap, &SumReduce).unwrap();
+        let combined = MapReduceJob::new(JobConfig::default())
+            .run_with_combiner(&inputs, &WordMap, &SumReduce, &SumReduce)
+            .unwrap();
+        assert_eq!(sorted_counts(&plain), sorted_counts(&combined));
+        // Per-record combining collapses the 4 "the"s of record one.
+        assert_eq!(plain.counters.get("map.output_records"), 8);
+        assert_eq!(combined.counters.get("map.output_records"), 4);
+        assert!(combined.counters.get("shuffle.bytes") < plain.counters.get("shuffle.bytes"));
+    }
+
+    #[test]
+    fn values_arrive_grouped_per_key() {
+        // A reducer that records how many times it is invoked per key: each
+        // key must be seen exactly once per round.
+        struct CountInvocations;
+        impl Reducer for CountInvocations {
+            fn reduce(&self, _r: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+                let n = values.count() as u64;
+                emit(key.to_vec(), n.to_bytes());
+            }
+        }
+        let res = MapReduceJob::new(JobConfig::default())
+            .run(&word_inputs(), &WordMap, &CountInvocations)
+            .unwrap();
+        let the = res
+            .output
+            .iter()
+            .find(|kv| kv.key == b"the")
+            .map(|kv| u64::from_bytes(&kv.value).unwrap());
+        assert_eq!(the, Some(3));
+    }
+}

@@ -1,0 +1,89 @@
+//! Injectable task failures.
+//!
+//! A real MapReduce tolerates machine loss by discarding a failed task's
+//! partial output and re-executing it elsewhere. We reproduce the same
+//! contract: a [`FaultPlan`] names task attempts that must "crash", the
+//! engine discards their output and retries, and — because tasks are
+//! deterministic — the job result is unaffected. The integration tests
+//! assert output equality with and without injected faults, which is the
+//! fault-tolerance property the paper leans on MapReduce for.
+
+use std::collections::HashMap;
+
+/// Which phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    Map,
+    /// Reduce round `r` (0-based).
+    Reduce(usize),
+}
+
+/// Identity of a task within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    pub kind: TaskKind,
+    pub index: usize,
+}
+
+impl TaskId {
+    pub fn map(index: usize) -> Self {
+        Self { kind: TaskKind::Map, index }
+    }
+
+    pub fn reduce(round: usize, index: usize) -> Self {
+        Self { kind: TaskKind::Reduce(round), index }
+    }
+}
+
+/// How many attempts of each task should fail before one succeeds.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    failures: HashMap<TaskId, usize>,
+}
+
+impl FaultPlan {
+    /// A plan with no injected failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail the first `attempts` attempts of `task`.
+    pub fn fail_first(mut self, task: TaskId, attempts: usize) -> Self {
+        self.failures.insert(task, attempts);
+        self
+    }
+
+    /// Should attempt number `attempt` (0-based) of `task` crash?
+    pub fn should_fail(&self, task: TaskId, attempt: usize) -> bool {
+        self.failures.get(&task).is_some_and(|&n| attempt < n)
+    }
+
+    /// True when the plan injects at least one failure.
+    pub fn is_active(&self) -> bool {
+        !self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_first_n_attempts_only() {
+        let p = FaultPlan::none().fail_first(TaskId::map(0), 2);
+        assert!(p.should_fail(TaskId::map(0), 0));
+        assert!(p.should_fail(TaskId::map(0), 1));
+        assert!(!p.should_fail(TaskId::map(0), 2));
+        assert!(!p.should_fail(TaskId::map(1), 0));
+        assert!(!p.should_fail(TaskId::reduce(0, 0), 0));
+    }
+
+    #[test]
+    fn rounds_are_distinct_tasks() {
+        let p = FaultPlan::none().fail_first(TaskId::reduce(1, 3), 1);
+        assert!(p.should_fail(TaskId::reduce(1, 3), 0));
+        assert!(!p.should_fail(TaskId::reduce(0, 3), 0));
+        assert!(p.is_active());
+        assert!(!FaultPlan::none().is_active());
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic key hashing for the shuffle.
+//!
+//! `std` hashers are randomly seeded per process; a re-executed task on a
+//! real cluster (and in our fault-injection tests) must route records to the
+//! same partition every time, so the shuffle uses an explicit FNV-1a.
+
+/// FNV-1a over a byte string.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Partition a key into one of `n` shuffle buckets.
+#[inline]
+pub fn partition(key: &[u8], n: usize) -> usize {
+    debug_assert!(n > 0);
+    (fnv1a(key) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values_stable() {
+        // FNV-1a reference values.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn partition_in_range_and_deterministic() {
+        for n in [1usize, 2, 7, 64] {
+            for key in [&b"x"[..], b"hub-node", b""] {
+                let p = partition(key, n);
+                assert!(p < n);
+                assert_eq!(p, partition(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // 1000 numeric keys into 10 buckets: no bucket should be empty or
+        // hold the majority.
+        let mut counts = [0usize; 10];
+        for i in 0u64..1000 {
+            counts[partition(&i.to_le_bytes(), 10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 30), "no starved bucket: {counts:?}");
+        assert!(counts.iter().all(|&c| c < 300), "no hot bucket: {counts:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_bounded(key in proptest::collection::vec(any::<u8>(), 0..32), n in 1usize..128) {
+            prop_assert!(partition(&key, n) < n);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `agl-mapreduce` — the MapReduce substrate AGL builds on.
+//!
+//! The paper's central systems argument is that graph learning can run on
+//! *mature, fault-tolerant* infrastructure — MapReduce and parameter servers
+//! — instead of bespoke graph stores. GraphFlat (§3.2) and GraphInfer (§3.4)
+//! are both expressed as a single Map phase followed by K (or K+1) Reduce
+//! rounds, where each round re-shuffles its output by key.
+//!
+//! This crate reproduces that execution model in-process:
+//!
+//! * **Byte-oriented records.** Everything crossing the shuffle boundary is
+//!   a serialised `(key, value)` pair of byte strings, exactly as on a real
+//!   cluster; the [`codec`] module provides the primitives pipelines use to
+//!   encode their messages (the paper used protobuf — see DESIGN.md for the
+//!   substitution).
+//! * **Deterministic hash shuffle** ([`hash`]): records are routed to
+//!   `reduce_tasks` partitions by FNV-1a over the key, so a re-executed
+//!   task reproduces its routing bit-for-bit.
+//! * **Multi-round driver** ([`engine`]): `Map → (shuffle → Reduce)^K`,
+//!   each phase running its tasks on a thread pool.
+//! * **Fault tolerance** ([`fault`]): an injectable failure plan kills
+//!   chosen task attempts; the engine re-executes them, and determinism
+//!   guarantees the job output is unchanged (tested).
+//! * **Spill-to-disk** ([`spill`]): optionally round-trips every shuffle
+//!   partition through files, modelling the distributed-FS hop between
+//!   rounds.
+//! * **Counters** ([`counters`]): named atomic counters à la Hadoop, used by
+//!   the benches to report records/bytes shuffled per round.
+
+pub mod codec;
+pub mod counters;
+pub mod engine;
+pub mod fault;
+pub mod hash;
+pub mod spill;
+
+pub use codec::{Codec, CodecError};
+pub use counters::Counters;
+pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
+pub use fault::{FaultPlan, TaskId, TaskKind};
+pub use spill::SpillMode;

@@ -1,0 +1,111 @@
+//! Shuffle spill: optionally round-trip every shuffle partition through the
+//! filesystem, modelling the distributed-FS hop between MapReduce rounds.
+//!
+//! GraphFlat stores its output *"into the distributed filesystem"* (§3.2.1)
+//! and each Reduce round reads what the previous one wrote. `SpillMode::Disk`
+//! serialises each partition to a file and reads it back before reduction,
+//! so codec bugs or non-byte-clean messages fail loudly in tests; the
+//! default `InMemory` mode skips the I/O for speed.
+
+use crate::engine::KeyValue;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Where shuffle partitions live between phases.
+#[derive(Debug, Clone, Default)]
+pub enum SpillMode {
+    /// Keep partitions in memory (fast path).
+    #[default]
+    InMemory,
+    /// Write each partition to `dir` and read it back.
+    Disk(PathBuf),
+}
+
+impl SpillMode {
+    /// Round-trip a partition according to the mode. `tag` names the
+    /// (round, partition) for the file name.
+    pub fn roundtrip(&self, tag: &str, records: Vec<KeyValue>) -> std::io::Result<Vec<KeyValue>> {
+        match self {
+            SpillMode::InMemory => Ok(records),
+            SpillMode::Disk(dir) => {
+                fs::create_dir_all(dir)?;
+                let path = dir.join(format!("part-{tag}.bin"));
+                write_partition(&path, &records)?;
+                let back = read_partition(&path)?;
+                fs::remove_file(&path).ok();
+                Ok(back)
+            }
+        }
+    }
+}
+
+fn write_partition(path: &std::path::Path, records: &[KeyValue]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for kv in records {
+        w.write_all(&(kv.key.len() as u32).to_le_bytes())?;
+        w.write_all(&kv.key)?;
+        w.write_all(&(kv.value.len() as u32).to_le_bytes())?;
+        w.write_all(&kv.value)?;
+    }
+    w.flush()
+}
+
+fn read_partition(path: &std::path::Path) -> std::io::Result<Vec<KeyValue>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut n8 = [0u8; 8];
+    r.read_exact(&mut n8)?;
+    let n = u64::from_le_bytes(n8) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut len4 = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut len4)?;
+        let klen = u32::from_le_bytes(len4) as usize;
+        let mut key = vec![0u8; klen];
+        r.read_exact(&mut key)?;
+        r.read_exact(&mut len4)?;
+        let vlen = u32::from_le_bytes(len4) as usize;
+        let mut value = vec![0u8; vlen];
+        r.read_exact(&mut value)?;
+        out.push(KeyValue { key, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kvs() -> Vec<KeyValue> {
+        vec![
+            KeyValue { key: b"a".to_vec(), value: b"1".to_vec() },
+            KeyValue { key: vec![], value: vec![0, 255, 7] },
+            KeyValue { key: b"hub".to_vec(), value: vec![9; 1000] },
+        ]
+    }
+
+    #[test]
+    fn in_memory_is_identity() {
+        let records = kvs();
+        let out = SpillMode::InMemory.roundtrip("t", records.clone()).unwrap();
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_records() {
+        let dir = std::env::temp_dir().join(format!("agl-spill-test-{}", std::process::id()));
+        let records = kvs();
+        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p1", records.clone()).unwrap();
+        assert_eq!(out, records);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_roundtrip_empty_partition() {
+        let dir = std::env::temp_dir().join(format!("agl-spill-test-e-{}", std::process::id()));
+        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p0", vec![]).unwrap();
+        assert!(out.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

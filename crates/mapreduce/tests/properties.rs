@@ -1,0 +1,99 @@
+//! Property-based tests of the MapReduce engine: for arbitrary inputs and
+//! arbitrary engine shapes, the job must equal a single-threaded reference
+//! computation, and injected faults must never change the answer.
+
+use agl_mapreduce::codec::Codec;
+use agl_mapreduce::{FaultPlan, JobConfig, JobResult, MapReduceJob, Mapper, Reducer, TaskId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Mapper: input is a list of (key_byte, count) pairs; emit each.
+struct PairMap;
+impl Mapper for PairMap {
+    fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        for chunk in input.chunks_exact(2) {
+            emit(vec![chunk[0]], (chunk[1] as u64).to_bytes());
+        }
+    }
+}
+
+struct SumReduce;
+impl Reducer for SumReduce {
+    fn reduce(&self, _round: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        let total: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
+        emit(key.to_vec(), total.to_bytes());
+    }
+}
+
+fn reference_sums(inputs: &[Vec<u8>]) -> BTreeMap<u8, u64> {
+    let mut out = BTreeMap::new();
+    for input in inputs {
+        for chunk in input.chunks_exact(2) {
+            *out.entry(chunk[0]).or_insert(0u64) += chunk[1] as u64;
+        }
+    }
+    out
+}
+
+fn job_sums(result: &JobResult) -> BTreeMap<u8, u64> {
+    result
+        .output
+        .iter()
+        .map(|kv| (kv.key[0], u64::from_bytes(&kv.value).unwrap()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any engine shape computes the same grouped sums as the reference.
+    #[test]
+    fn prop_engine_matches_reference(
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 0..12),
+        map_tasks in 1usize..6,
+        reduce_tasks in 1usize..6,
+        parallelism in 1usize..5,
+        rounds in 1usize..4,
+    ) {
+        // Make chunks_exact(2) well-defined.
+        let inputs: Vec<Vec<u8>> = inputs.into_iter().map(|mut v| { v.truncate(v.len() / 2 * 2); v }).collect();
+        let cfg = JobConfig { map_tasks, reduce_tasks, parallelism, reduce_rounds: rounds, ..JobConfig::default() };
+        let result = MapReduceJob::new(cfg).run(&inputs, &PairMap, &SumReduce).unwrap();
+        prop_assert_eq!(job_sums(&result), reference_sums(&inputs));
+    }
+
+    /// Any single injected fault is invisible in the output.
+    #[test]
+    fn prop_faults_are_invisible(
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 2..16), 1..8),
+        fail_map in any::<bool>(),
+        task_index in 0usize..4,
+        attempts in 1usize..3,
+        round in 0usize..2,
+    ) {
+        let inputs: Vec<Vec<u8>> = inputs.into_iter().map(|mut v| { v.truncate(v.len() / 2 * 2); v }).collect();
+        let task = if fail_map { TaskId::map(task_index) } else { TaskId::reduce(round, task_index) };
+        let cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let clean = MapReduceJob::new(cfg.clone()).run(&inputs, &PairMap, &SumReduce).unwrap();
+        let chaotic = JobConfig { fault_plan: FaultPlan::none().fail_first(task, attempts), ..cfg };
+        let faulty = MapReduceJob::new(chaotic).run(&inputs, &PairMap, &SumReduce).unwrap();
+        prop_assert_eq!(job_sums(&clean), job_sums(&faulty));
+    }
+
+    /// Output order is deterministic: repeated runs produce identical
+    /// key-value sequences, not just identical multisets.
+    #[test]
+    fn prop_output_order_deterministic(
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..8),
+        parallelism in 1usize..5,
+    ) {
+        let inputs: Vec<Vec<u8>> = inputs.into_iter().map(|mut v| { v.truncate(v.len() / 2 * 2); v }).collect();
+        let run = |par: usize| {
+            let cfg = JobConfig { parallelism: par, ..JobConfig::default() };
+            MapReduceJob::new(cfg).run(&inputs, &PairMap, &SumReduce).unwrap().output
+        };
+        prop_assert_eq!(run(parallelism), run(parallelism));
+        // And parallelism itself does not change the sequence.
+        prop_assert_eq!(run(parallelism), run(1));
+    }
+}

@@ -1,0 +1,243 @@
+//! The closed set of GNN layers plus the adjacency preprocessing each needs.
+
+use crate::dense::DenseCache;
+use crate::gat::{GatCache, GatLayer};
+use crate::gcn::{GcnCache, GcnLayer};
+use crate::geniepath::{GeniePathCache, GeniePathLayer};
+use crate::gin::{GinCache, GinLayer};
+use crate::param::Param;
+use crate::sage::{SageCache, SageLayer};
+use agl_tensor::{Csr, ExecCtx, Matrix};
+
+/// How a layer wants the raw batch adjacency preprocessed before `forward`.
+///
+/// All variants are *destination-local*: they can be computed from a node's
+/// own in-edges, which is why the same layer maths runs both on vectorized
+/// batches (GraphTrainer) and inside a per-key reducer (GraphInfer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjPrep {
+    /// `D^{-1}(A + I)` — row-stochastic with a unit self-loop (GCN).
+    MeanWithSelfLoops,
+    /// `D^{-1}A` — row-stochastic over neighbors only (GraphSAGE; the self
+    /// embedding enters through its own weight matrix).
+    MeanNoSelf,
+    /// `A + I` structure, weights untouched (GAT computes its own attention
+    /// coefficients; edge weights are ignored, matching reference GAT).
+    StructWithSelfLoops,
+    /// Raw weighted `A`, no self-loop, no normalisation (GIN *sums*
+    /// messages; the self embedding enters through its (1+ε) coefficient).
+    SumNoSelf,
+}
+
+/// Apply an [`AdjPrep`] to a raw destination-sorted adjacency.
+pub fn prepare_adj(raw: &Csr, prep: AdjPrep) -> Csr {
+    match prep {
+        AdjPrep::MeanWithSelfLoops => raw.with_self_loops(1.0).row_normalized(),
+        AdjPrep::MeanNoSelf => raw.row_normalized(),
+        AdjPrep::StructWithSelfLoops => raw.with_self_loops(1.0),
+        AdjPrep::SumNoSelf => raw.clone(),
+    }
+}
+
+/// One node's view of its in-edge neighborhood — what a GraphInfer reducer
+/// holds after the merge step: the node's own embedding plus each in-edge
+/// neighbor's embedding and edge weight.
+#[derive(Debug)]
+pub struct NeighborView<'a> {
+    pub self_h: &'a [f32],
+    /// One embedding per in-edge neighbor (excluding self).
+    pub neighbor_h: &'a [Vec<f32>],
+    /// Edge weight per neighbor, aligned with `neighbor_h`.
+    pub weights: &'a [f32],
+}
+
+impl NeighborView<'_> {
+    pub fn degree(&self) -> usize {
+        self.neighbor_h.len()
+    }
+}
+
+/// A GNN layer. Closed enum rather than a trait object so caches stay
+/// concrete, `Send`, and serialisable.
+#[derive(Debug, Clone)]
+pub enum GnnLayer {
+    Gcn(GcnLayer),
+    Sage(SageLayer),
+    Gat(GatLayer),
+    Gin(GinLayer),
+    GeniePath(GeniePathLayer),
+}
+
+/// Forward cache for one layer invocation.
+#[derive(Debug)]
+pub enum LayerCache {
+    Gcn(GcnCache),
+    Sage(SageCache),
+    Gat(GatCache),
+    Gin(GinCache),
+    GeniePath(GeniePathCache),
+    Dense(DenseCache),
+}
+
+impl GnnLayer {
+    /// Input embedding width.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            GnnLayer::Gcn(l) => l.in_dim(),
+            GnnLayer::Sage(l) => l.in_dim(),
+            GnnLayer::Gat(l) => l.in_dim(),
+            GnnLayer::Gin(l) => l.in_dim(),
+            GnnLayer::GeniePath(l) => l.in_dim(),
+        }
+    }
+
+    /// Output embedding width.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            GnnLayer::Gcn(l) => l.out_dim(),
+            GnnLayer::Sage(l) => l.out_dim(),
+            GnnLayer::Gat(l) => l.out_dim(),
+            GnnLayer::Gin(l) => l.out_dim(),
+            GnnLayer::GeniePath(l) => l.out_dim(),
+        }
+    }
+
+    /// Adjacency preprocessing this layer expects.
+    pub fn adj_prep(&self) -> AdjPrep {
+        match self {
+            GnnLayer::Gcn(_) => AdjPrep::MeanWithSelfLoops,
+            GnnLayer::Sage(_) => AdjPrep::MeanNoSelf,
+            GnnLayer::Gat(_) => AdjPrep::StructWithSelfLoops,
+            GnnLayer::Gin(_) => AdjPrep::SumNoSelf,
+            GnnLayer::GeniePath(_) => AdjPrep::StructWithSelfLoops,
+        }
+    }
+
+    /// Batch forward over a *prepared* adjacency (see [`prepare_adj`]).
+    pub fn forward(&self, adj: &Csr, h: &Matrix, ctx: &ExecCtx) -> (Matrix, LayerCache) {
+        match self {
+            GnnLayer::Gcn(l) => {
+                let (out, c) = l.forward(adj, h, ctx);
+                (out, LayerCache::Gcn(c))
+            }
+            GnnLayer::Sage(l) => {
+                let (out, c) = l.forward(adj, h, ctx);
+                (out, LayerCache::Sage(c))
+            }
+            GnnLayer::Gat(l) => {
+                let (out, c) = l.forward(adj, h, ctx);
+                (out, LayerCache::Gat(c))
+            }
+            GnnLayer::Gin(l) => {
+                let (out, c) = l.forward(adj, h, ctx);
+                (out, LayerCache::Gin(c))
+            }
+            GnnLayer::GeniePath(l) => {
+                let (out, c) = l.forward(adj, h, ctx);
+                (out, LayerCache::GeniePath(c))
+            }
+        }
+    }
+
+    /// Batch backward: accumulate parameter gradients and return the
+    /// gradient w.r.t. the layer input.
+    pub fn backward(&mut self, adj: &Csr, cache: &LayerCache, grad_out: &Matrix, ctx: &ExecCtx) -> Matrix {
+        match (self, cache) {
+            (GnnLayer::Gcn(l), LayerCache::Gcn(c)) => l.backward(adj, c, grad_out, ctx),
+            (GnnLayer::Sage(l), LayerCache::Sage(c)) => l.backward(adj, c, grad_out, ctx),
+            (GnnLayer::Gat(l), LayerCache::Gat(c)) => l.backward(adj, c, grad_out, ctx),
+            (GnnLayer::Gin(l), LayerCache::Gin(c)) => l.backward(adj, c, grad_out, ctx),
+            (GnnLayer::GeniePath(l), LayerCache::GeniePath(c)) => l.backward(adj, c, grad_out, ctx),
+            _ => panic!("layer/cache kind mismatch"),
+        }
+    }
+
+    /// Per-node forward — the GraphInfer reducer merge step. Produces the
+    /// same embedding the batch forward produces for that node, given the
+    /// node's *raw* (unprepared) in-edge neighborhood.
+    pub fn forward_node(&self, view: &NeighborView<'_>) -> Vec<f32> {
+        match self {
+            GnnLayer::Gcn(l) => l.forward_node(view),
+            GnnLayer::Sage(l) => l.forward_node(view),
+            GnnLayer::Gat(l) => l.forward_node(view),
+            GnnLayer::Gin(l) => l.forward_node(view),
+            GnnLayer::GeniePath(l) => l.forward_node(view),
+        }
+    }
+
+    pub fn params(&self) -> Vec<&Param> {
+        match self {
+            GnnLayer::Gcn(l) => l.params(),
+            GnnLayer::Sage(l) => l.params(),
+            GnnLayer::Gat(l) => l.params(),
+            GnnLayer::Gin(l) => l.params(),
+            GnnLayer::GeniePath(l) => l.params(),
+        }
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            GnnLayer::Gcn(l) => l.params_mut(),
+            GnnLayer::Sage(l) => l.params_mut(),
+            GnnLayer::Gat(l) => l.params_mut(),
+            GnnLayer::Gin(l) => l.params_mut(),
+            GnnLayer::GeniePath(l) => l.params_mut(),
+        }
+    }
+
+    /// Human-readable kind tag.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            GnnLayer::Gcn(_) => "gcn",
+            GnnLayer::Sage(_) => "sage",
+            GnnLayer::Gat(_) => "gat",
+            GnnLayer::Gin(_) => "gin",
+            GnnLayer::GeniePath(_) => "geniepath",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_tensor::Coo;
+
+    fn raw() -> Csr {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 5.0);
+        coo.into_csr()
+    }
+
+    #[test]
+    fn mean_with_self_loops_is_row_stochastic() {
+        let p = prepare_adj(&raw(), AdjPrep::MeanWithSelfLoops);
+        for r in 0..3 {
+            let (_, vals) = p.row(r);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+        // row 0: self weight 1 / (2+2+1)
+        let d = p.to_dense();
+        assert!((d[(0, 0)] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_no_self_keeps_empty_rows_empty() {
+        let p = prepare_adj(&raw(), AdjPrep::MeanNoSelf);
+        assert_eq!(p.row_nnz(1), 0);
+        let (_, vals) = p.row(0);
+        assert!((vals.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn struct_prep_preserves_weights_and_adds_diagonal() {
+        let p = prepare_adj(&raw(), AdjPrep::StructWithSelfLoops);
+        let d = p.to_dense();
+        assert_eq!(d[(2, 0)], 5.0);
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 1.0);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Loss functions — forward value plus the gradient w.r.t. the logits.
+//!
+//! Three tasks appear in the paper's evaluation (§4.1): multi-class node
+//! classification (Cora, softmax cross-entropy over 7 classes), multi-label
+//! classification (PPI, 121 independent sigmoids), and binary classification
+//! (UUG, single sigmoid, evaluated by AUC).
+
+use agl_tensor::ops::{sigmoid, softmax_rows};
+use agl_tensor::Matrix;
+
+/// Which loss a model trains with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + cross-entropy. Labels are one-hot rows.
+    SoftmaxCrossEntropy,
+    /// Independent sigmoid + binary cross-entropy per output. Labels are
+    /// multi-hot rows (also covers the binary case with one column).
+    BceWithLogits,
+}
+
+impl Loss {
+    /// Mean loss over the batch and the gradient w.r.t. `logits`.
+    /// `labels` has the same shape as `logits`.
+    pub fn forward_backward(self, logits: &Matrix, labels: &Matrix) -> (f32, Matrix) {
+        assert_eq!(logits.shape(), labels.shape(), "logits/labels shape mismatch");
+        let n = logits.rows().max(1) as f32;
+        match self {
+            Loss::SoftmaxCrossEntropy => {
+                let probs = softmax_rows(logits);
+                let mut loss = 0.0f64;
+                for (p_row, y_row) in probs.rows_iter().zip(labels.rows_iter()) {
+                    for (&p, &y) in p_row.iter().zip(y_row) {
+                        if y > 0.0 {
+                            loss -= (y as f64) * (p.max(1e-12) as f64).ln();
+                        }
+                    }
+                }
+                let mut grad = probs;
+                grad.sub_assign(labels);
+                grad.scale(1.0 / n);
+                ((loss / n as f64) as f32, grad)
+            }
+            Loss::BceWithLogits => {
+                // Stable form: max(z,0) - z*y + ln(1 + e^{-|z|}).
+                let scale = 1.0 / (logits.len().max(1) as f32);
+                let mut loss = 0.0f64;
+                let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+                for i in 0..logits.rows() {
+                    let (z_row, y_row) = (logits.row(i), labels.row(i));
+                    let g_row = grad.row_mut(i);
+                    for ((&z, &y), g) in z_row.iter().zip(y_row).zip(g_row) {
+                        loss += (z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln()) as f64;
+                        *g = (sigmoid(z) - y) * scale;
+                    }
+                }
+                ((loss * scale as f64) as f32, grad)
+            }
+        }
+    }
+
+    /// Convert logits to the probabilities this loss implies (softmax rows
+    /// or elementwise sigmoid) — used at inference time.
+    pub fn probabilities(self, logits: &Matrix) -> Matrix {
+        match self {
+            Loss::SoftmaxCrossEntropy => softmax_rows(logits),
+            Loss::BceWithLogits => logits.map(sigmoid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_ce_perfect_prediction_is_near_zero() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0, 0.0], &[0.0, 20.0, 0.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let (loss, grad) = Loss::SoftmaxCrossEntropy.forward_backward(&logits, &labels);
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits_loss_is_log_c() {
+        let logits = Matrix::zeros(4, 7);
+        let mut labels = Matrix::zeros(4, 7);
+        for r in 0..4 {
+            labels[(r, r % 7)] = 1.0;
+        }
+        let (loss, _) = Loss::SoftmaxCrossEntropy.forward_backward(&logits, &labels);
+        assert!((loss - (7f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bce_gradient_sign_points_toward_label() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (_, grad) = Loss::BceWithLogits.forward_backward(&logits, &labels);
+        assert!(grad[(0, 0)] < 0.0, "push logit up toward positive label");
+        assert!(grad[(0, 1)] > 0.0, "push logit down away from negative label");
+    }
+
+    #[test]
+    fn bce_extreme_logits_stay_finite() {
+        let logits = Matrix::from_rows(&[&[60.0, -60.0]]);
+        let labels = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let (loss, grad) = Loss::BceWithLogits.forward_backward(&logits, &labels);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    /// Finite-difference check of both losses.
+    #[test]
+    fn loss_gradients_match_finite_difference() {
+        let eps = 1e-3f32;
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[-0.2, 0.4, 0.0]]);
+        for (loss_kind, labels) in [
+            (Loss::SoftmaxCrossEntropy, Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]])),
+            (Loss::BceWithLogits, Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]])),
+        ] {
+            let (_, grad) = loss_kind.forward_backward(&logits, &labels);
+            for r in 0..2 {
+                for c in 0..3 {
+                    let mut hi = logits.clone();
+                    hi[(r, c)] += eps;
+                    let mut lo = logits.clone();
+                    lo[(r, c)] -= eps;
+                    let (lh, _) = loss_kind.forward_backward(&hi, &labels);
+                    let (ll, _) = loss_kind.forward_backward(&lo, &labels);
+                    let fd = (lh - ll) / (2.0 * eps);
+                    assert!(
+                        (grad[(r, c)] - fd).abs() < 2e-3,
+                        "{loss_kind:?} ({r},{c}): analytic {} vs fd {fd}",
+                        grad[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_shapes_and_ranges() {
+        let logits = Matrix::from_rows(&[&[2.0, -1.0]]);
+        let p1 = Loss::SoftmaxCrossEntropy.probabilities(&logits);
+        assert!((p1.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let p2 = Loss::BceWithLogits.probabilities(&logits);
+        assert!(p2.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

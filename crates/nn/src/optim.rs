@@ -1,0 +1,154 @@
+//! Optimizers over the flat parameter vector.
+//!
+//! Both the standalone trainer and the parameter-server servers drive one of
+//! these: the PS applies the optimizer to (averaged or raw) pushed
+//! gradients, mirroring the server-side update rule of Kunpeng-style
+//! parameter servers. The paper trains with Adam (§4.1.2).
+
+/// A stateful first-order optimizer over a flat `f32` parameter vector.
+pub trait Optimizer: Send {
+    /// Apply one update step: `params -= f(grads)`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain SGD with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed mid-training");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x-3)^2 and check convergence.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut x = vec![0.0f32];
+        for _ in 0..steps {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimise(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = minimise(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, |Δ| of the first step ≈ lr regardless of
+        // gradient scale.
+        let mut opt = Adam::new(0.05);
+        let mut x = vec![0.0f32];
+        opt.step(&mut x, &[1234.0]);
+        assert!((x[0] + 0.05).abs() < 1e-4, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut x = vec![1.0f32];
+        opt.step(&mut x, &[0.0]);
+        assert!((x[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn adam_rejects_resized_params() {
+        let mut opt = Adam::new(0.1);
+        let mut x = vec![0.0f32; 2];
+        opt.step(&mut x, &[1.0, 1.0]);
+        let mut y = vec![0.0f32; 3];
+        opt.step(&mut y, &[1.0, 1.0, 1.0]);
+    }
+}

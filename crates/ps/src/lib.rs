@@ -1,0 +1,26 @@
+//! `agl-ps` — the parameter-server substrate.
+//!
+//! Once GraphFlat has turned the graph into independent k-hop neighborhoods,
+//! *"the training of a GNN model becomes similar to the training of a
+//! conventional machine learning model"* (§3.3): workers hold disjoint
+//! partitions of the training data and only exchange model state through
+//! the parameter servers. This crate reproduces that architecture
+//! in-process:
+//!
+//! * [`ParameterServer`] — the flat model vector sharded across `S` server
+//!   shards, each with its own server-side optimizer state (the Kunpeng
+//!   deployment the paper builds on applies the optimizer on the servers).
+//! * **Pull/push protocol** — workers pull the full parameter vector at the
+//!   start of a step and push gradients at the end. Traffic is metered so
+//!   the cluster simulator can be calibrated from real byte counts.
+//! * **Synchronous mode** — pushes from all `n_workers` are averaged behind
+//!   a barrier, giving gradient descent over the combined mini-batch. Used
+//!   for the convergence-vs-workers study (Fig. 7).
+//! * **Asynchronous mode** — each push is applied immediately (Hogwild
+//!   style); workers never block on each other.
+
+pub mod server;
+pub mod worker;
+
+pub use server::{ParameterServer, PsStats, SyncMode};
+pub use worker::run_workers;

@@ -1,0 +1,275 @@
+//! The sharded parameter server.
+
+use agl_nn::Optimizer;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How pushed gradients are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Barrier per step: gradients from all workers are averaged, then one
+    /// optimizer step is applied; every `push` blocks until the step lands.
+    Sync {
+        n_workers: usize,
+    },
+    /// Each push is applied immediately, no coordination (Hogwild-style).
+    Async,
+}
+
+/// One server shard: a contiguous slice of the flat model vector plus its
+/// own optimizer state.
+struct Shard {
+    params: Vec<f32>,
+    opt: Box<dyn Optimizer>,
+}
+
+/// Barrier state for synchronous training.
+struct SyncState {
+    accum: Vec<f32>,
+    arrived: usize,
+    round: u64,
+}
+
+/// Traffic and progress statistics, for the cluster-simulator calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PsStats {
+    pub pulls: u64,
+    pub pushes: u64,
+    /// Optimizer steps applied (sync: one per round; async: one per push).
+    pub steps: u64,
+    /// Bytes moved over the (simulated) network, both directions.
+    pub bytes_transferred: u64,
+}
+
+/// In-process parameter server holding the flat model vector in `S` shards.
+pub struct ParameterServer {
+    shards: Vec<Mutex<Shard>>,
+    /// Shard boundaries: shard `i` owns `bounds[i]..bounds[i+1]`.
+    bounds: Vec<usize>,
+    mode: SyncMode,
+    sync: Mutex<SyncState>,
+    sync_cv: Condvar,
+    pulls: AtomicU64,
+    pushes: AtomicU64,
+    steps: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ParameterServer {
+    /// Create from an initial flat parameter vector. `make_opt` builds the
+    /// per-shard server-side optimizer (each shard keeps independent state,
+    /// which is exact for elementwise optimizers like Adam/SGD).
+    pub fn new(initial: Vec<f32>, n_shards: usize, mode: SyncMode, make_opt: impl Fn() -> Box<dyn Optimizer>) -> Self {
+        let n = initial.len();
+        let n_shards = n_shards.clamp(1, n.max(1));
+        let per = n.div_ceil(n_shards);
+        let mut bounds = Vec::with_capacity(n_shards + 1);
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut off = 0;
+        bounds.push(0);
+        for _ in 0..n_shards {
+            let end = (off + per).min(n);
+            shards.push(Mutex::new(Shard { params: initial[off..end].to_vec(), opt: make_opt() }));
+            off = end;
+            bounds.push(end);
+        }
+        if let SyncMode::Sync { n_workers } = mode {
+            assert!(n_workers > 0, "sync mode needs at least one worker");
+        }
+        Self {
+            shards,
+            bounds,
+            mode,
+            sync: Mutex::new(SyncState { accum: vec![0.0; n], arrived: 0, round: 0 }),
+            sync_cv: Condvar::new(),
+            pulls: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of server shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Pull the current full parameter vector (a worker's step begins here).
+    pub fn pull(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = shard.lock();
+            out[self.bounds[i]..self.bounds[i + 1]].copy_from_slice(&s.params);
+        }
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(4 * self.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Push a gradient vector. In `Sync` mode this blocks until the whole
+    /// round's averaged step has been applied; in `Async` mode it applies
+    /// immediately.
+    pub fn push(&self, grads: &[f32]) {
+        assert_eq!(grads.len(), self.len(), "gradient length mismatch");
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(4 * grads.len() as u64, Ordering::Relaxed);
+        match self.mode {
+            SyncMode::Async => {
+                self.apply(grads, 1.0);
+                self.steps.fetch_add(1, Ordering::Relaxed);
+            }
+            SyncMode::Sync { n_workers } => {
+                let mut st = self.sync.lock();
+                for (a, &g) in st.accum.iter_mut().zip(grads) {
+                    *a += g;
+                }
+                st.arrived += 1;
+                if st.arrived == n_workers {
+                    // Last worker of the round applies the averaged step.
+                    let scale = 1.0 / n_workers as f32;
+                    let accum = std::mem::replace(&mut st.accum, vec![0.0; self.len()]);
+                    st.arrived = 0;
+                    st.round += 1;
+                    // Safe to apply while holding the sync lock: shard locks
+                    // are only ever taken after it here, and pull() takes
+                    // shard locks without the sync lock (no ordering cycle).
+                    self.apply(&accum, scale);
+                    self.steps.fetch_add(1, Ordering::Relaxed);
+                    self.sync_cv.notify_all();
+                } else {
+                    let target = st.round + 1;
+                    self.sync_cv.wait_while(&mut st, |s| s.round < target);
+                }
+            }
+        }
+    }
+
+    fn apply(&self, grads: &[f32], scale: f32) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
+            let mut s = shard.lock();
+            if scale == 1.0 {
+                s.params_opt_step(&grads[lo..hi]);
+            } else {
+                let scaled: Vec<f32> = grads[lo..hi].iter().map(|g| g * scale).collect();
+                s.params_opt_step(&scaled);
+            }
+        }
+    }
+
+    /// Traffic/progress snapshot.
+    pub fn stats(&self) -> PsStats {
+        PsStats {
+            pulls: self.pulls.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            bytes_transferred: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Shard {
+    fn params_opt_step(&mut self, grads: &[f32]) {
+        self.opt.step(&mut self.params, grads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_nn::Sgd;
+    use std::sync::Arc;
+
+    fn sgd() -> Box<dyn Optimizer> {
+        Box::new(Sgd::new(0.1))
+    }
+
+    #[test]
+    fn pull_returns_initial_params() {
+        let ps = ParameterServer::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 2, SyncMode::Async, sgd);
+        assert_eq!(ps.pull(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ps.n_shards(), 2);
+        assert_eq!(ps.len(), 5);
+    }
+
+    #[test]
+    fn async_push_applies_immediately() {
+        let ps = ParameterServer::new(vec![0.0; 4], 2, SyncMode::Async, sgd);
+        ps.push(&[1.0, 1.0, 1.0, 1.0]);
+        // SGD lr=0.1: params -= 0.1 * g
+        assert_eq!(ps.pull(), vec![-0.1; 4]);
+        let st = ps.stats();
+        assert_eq!((st.pulls, st.pushes, st.steps), (1, 1, 1));
+        assert_eq!(st.bytes_transferred, 2 * 4 * 4);
+    }
+
+    #[test]
+    fn sync_push_averages_across_workers() {
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, SyncMode::Sync { n_workers: 4 }, sgd));
+        crossbeam::thread::scope(|s| {
+            for w in 0..4u32 {
+                let ps = ps.clone();
+                s.spawn(move |_| {
+                    // Worker w pushes gradient 2w (average = 3).
+                    ps.push(&[2.0 * w as f32, 2.0 * w as f32]);
+                });
+            }
+        })
+        .unwrap();
+        let p = ps.pull();
+        assert!((p[0] + 0.3).abs() < 1e-6, "avg grad 3 * lr 0.1 -> -0.3, got {}", p[0]);
+        assert_eq!(ps.stats().steps, 1, "one optimizer step per sync round");
+    }
+
+    #[test]
+    fn sync_multiple_rounds_make_progress() {
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 1], 1, SyncMode::Sync { n_workers: 2 }, sgd));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                let ps = ps.clone();
+                s.spawn(move |_| {
+                    for _ in 0..5 {
+                        let _params = ps.pull();
+                        ps.push(&[1.0]);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // 5 rounds of avg grad 1.0 with lr 0.1 -> -0.5.
+        assert!((ps.pull()[0] + 0.5).abs() < 1e-6);
+        assert_eq!(ps.stats().steps, 5);
+    }
+
+    #[test]
+    fn sharding_matches_single_shard_result() {
+        let run = |shards: usize| {
+            let ps = ParameterServer::new(vec![0.5; 10], shards, SyncMode::Async, sgd);
+            ps.push(&[0.2; 10]);
+            ps.push(&[-0.1; 10]);
+            ps.pull()
+        };
+        assert_eq!(run(1), run(3));
+        assert_eq!(run(1), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_gradient_length_panics() {
+        let ps = ParameterServer::new(vec![0.0; 4], 1, SyncMode::Async, sgd);
+        ps.push(&[1.0; 3]);
+    }
+}

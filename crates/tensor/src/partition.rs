@@ -1,0 +1,262 @@
+//! Edge partitioning — the operator-level optimisation of paper §3.3.2.
+//!
+//! > *"we partition the sparse adjacent matrix into `t` parts and ensure
+//! > that the edges with the same destination node (i.e., the entries in
+//! > the same row) fall in the same partition"*.
+//!
+//! Because a CSR row holds all edges of one destination, any split at row
+//! boundaries satisfies that property. [`EdgePartition`] chooses the row
+//! boundaries so that every partition carries roughly the same number of
+//! edges (nnz), which is what gives load balance under the skewed degree
+//! distributions the paper targets. Each partition is then aggregated by its
+//! own thread with **no write conflicts**, since partitions own disjoint
+//! output rows.
+
+use crate::csr::Csr;
+use crate::matrix::Matrix;
+
+/// A split of CSR rows into contiguous, nnz-balanced chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgePartition {
+    /// `bounds[i]..bounds[i+1]` is the row range of partition `i`.
+    bounds: Vec<usize>,
+}
+
+impl EdgePartition {
+    /// Partition the rows of `csr` into (at most) `t` chunks with roughly
+    /// equal edge counts. Always returns at least one chunk; never returns
+    /// an empty chunk unless the matrix itself is empty.
+    pub fn new(csr: &Csr, t: usize) -> Self {
+        let t = t.max(1);
+        let nnz = csr.nnz();
+        let n_rows = csr.n_rows();
+        if nnz == 0 || t == 1 || n_rows <= 1 {
+            return Self { bounds: vec![0, n_rows] };
+        }
+        let per_part = nnz.div_ceil(t);
+        let mut bounds = Vec::with_capacity(t + 1);
+        bounds.push(0);
+        let indptr = csr.indptr();
+        let mut next_quota = per_part;
+        for r in 1..n_rows {
+            if indptr[r] >= next_quota && bounds.len() < t {
+                bounds.push(r);
+                next_quota = indptr[r] + per_part;
+            }
+        }
+        bounds.push(n_rows);
+        Self { bounds }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row range of partition `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// Iterate over all row ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.len()).map(|i| self.range(i))
+    }
+
+    /// Edge count of partition `i` for a given matrix.
+    pub fn part_nnz(&self, csr: &Csr, i: usize) -> usize {
+        let r = self.range(i);
+        csr.indptr()[r.end] - csr.indptr()[r.start]
+    }
+}
+
+/// Execution context for aggregation kernels: how many partitions/threads to
+/// use. A context with `threads == 1` degenerates to the sequential kernel,
+/// which is what `AGL_base` (no `+partition`) uses in the Table 4 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCtx {
+    /// Number of aggregation threads (and edge partitions).
+    pub threads: usize,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self { threads: 1 }
+    }
+}
+
+impl ExecCtx {
+    /// Sequential execution (the `AGL_base` configuration).
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Parallel execution with `t` edge partitions (`AGL+partition`).
+    pub fn parallel(t: usize) -> Self {
+        Self { threads: t.max(1) }
+    }
+
+    /// `csr @ dense` using edge-partitioned multithreaded aggregation when
+    /// `threads > 1`, sequential otherwise. The result is bit-identical to
+    /// the sequential kernel because partitions write disjoint rows and each
+    /// row is accumulated in the same order.
+    pub fn spmm(&self, csr: &Csr, dense: &Matrix) -> Matrix {
+        if self.threads <= 1 {
+            return csr.spmm(dense);
+        }
+        let part = EdgePartition::new(csr, self.threads);
+        let mut out = Matrix::zeros(csr.n_rows(), dense.cols());
+        let cols = dense.cols();
+        // Split the output buffer at partition boundaries so each thread gets
+        // an exclusive &mut of its rows.
+        let mut slices: Vec<(std::ops::Range<usize>, &mut [f32])> = Vec::with_capacity(part.len());
+        let mut rest = out.as_mut_slice();
+        let mut offset = 0usize;
+        for range in part.ranges() {
+            let take = (range.end - range.start) * cols;
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push((range, head));
+            rest = tail;
+            offset += take;
+        }
+        debug_assert_eq!(offset, csr.n_rows() * cols);
+        crossbeam::thread::scope(|scope| {
+            for (range, out_rows) in slices {
+                scope.spawn(move |_| {
+                    for r in range.clone() {
+                        let (srcs, vals) = csr.row(r);
+                        let base = (r - range.start) * cols;
+                        let out_row = &mut out_rows[base..base + cols];
+                        for (&c, &w) in srcs.iter().zip(vals) {
+                            let x = dense.row(c as usize);
+                            for (o, &xv) in out_row.iter_mut().zip(x) {
+                                *o += w * xv;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("aggregation worker panicked");
+        out
+    }
+
+    /// Row-parallel map over destination rows: calls `f(dst_row_index)` from
+    /// up to `threads` workers, chunked by the given partition. Used by the
+    /// GAT layer whose per-row work (attention softmax) is not a plain spmm.
+    ///
+    /// `f` must only touch state owned by row `dst` — the partitioning
+    /// guarantees no two threads see the same row.
+    pub fn for_each_row<F>(&self, csr: &Csr, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads <= 1 {
+            for r in 0..csr.n_rows() {
+                f(r);
+            }
+            return;
+        }
+        let part = EdgePartition::new(csr, self.threads);
+        crossbeam::thread::scope(|scope| {
+            for range in part.ranges() {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for r in range {
+                        f(r);
+                    }
+                });
+            }
+        })
+        .expect("aggregation worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Coo;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_csr(n: usize, avg_deg: usize, seed: u64) -> Csr {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for dst in 0..n as u32 {
+            let deg = rng.gen_range(0..=2 * avg_deg);
+            for _ in 0..deg {
+                coo.push(dst, rng.gen_range(0..n as u32), rng.gen_range(0.1..1.0f32));
+            }
+        }
+        coo.into_csr()
+    }
+
+    fn random_dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+    }
+
+    #[test]
+    fn partition_covers_all_rows_without_overlap() {
+        let csr = random_csr(103, 7, 1);
+        for t in [1, 2, 3, 8, 200] {
+            let p = EdgePartition::new(&csr, t);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for r in p.ranges() {
+                assert_eq!(r.start, prev_end);
+                covered += r.len();
+                prev_end = r.end;
+            }
+            assert_eq!(covered, csr.n_rows());
+            assert!(p.len() <= t.max(1));
+        }
+    }
+
+    #[test]
+    fn partition_balances_nnz() {
+        let csr = random_csr(1000, 10, 2);
+        let p = EdgePartition::new(&csr, 4);
+        assert_eq!(p.len(), 4);
+        let total: usize = (0..p.len()).map(|i| p.part_nnz(&csr, i)).sum();
+        assert_eq!(total, csr.nnz());
+        let max = (0..p.len()).map(|i| p.part_nnz(&csr, i)).max().unwrap();
+        // With 1000 rows and avg degree 10 the imbalance should be small.
+        assert!(max < csr.nnz() / 4 + csr.nnz() / 10, "max part {} of nnz {}", max, csr.nnz());
+    }
+
+    #[test]
+    fn parallel_spmm_matches_sequential() {
+        let csr = random_csr(211, 6, 3);
+        let x = random_dense(211, 17, 4);
+        let seq = ExecCtx::sequential().spmm(&csr, &x);
+        for t in [2, 3, 7] {
+            let par = ExecCtx::parallel(t).spmm(&csr, &x);
+            assert_eq!(seq.max_abs_diff(&par), 0.0, "t={t} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn for_each_row_visits_every_row_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let csr = random_csr(57, 4, 5);
+        let visits: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
+        ExecCtx::parallel(4).for_each_row(&csr, |r| {
+            visits[r].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(visits.iter().all(|v| v.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let csr = Csr::empty(5, 5);
+        let p = EdgePartition::new(&csr, 4);
+        assert_eq!(p.len(), 1);
+        let x = random_dense(5, 3, 6);
+        let out = ExecCtx::parallel(3).spmm(&csr, &x);
+        assert_eq!(out.sum(), 0.0);
+    }
+}

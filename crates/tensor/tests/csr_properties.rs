@@ -1,0 +1,114 @@
+//! Property-based tests of the sparse kernels: the CSR algebra must agree
+//! with dense reference computations, and the edge-partitioned parallel
+//! kernels must be bit-identical to sequential — for arbitrary matrices.
+
+use agl_tensor::{Coo, Csr, ExecCtx, Matrix};
+use proptest::prelude::*;
+
+fn coo_from(n_rows: usize, n_cols: usize, entries: &[(u8, u8, i8)]) -> Csr {
+    let mut coo = Coo::new(n_rows, n_cols);
+    for &(d, s, w) in entries {
+        coo.push(
+            (d as usize % n_rows) as u32,
+            (s as usize % n_cols) as u32,
+            f32::from(w) * 0.1,
+        );
+    }
+    coo.into_csr()
+}
+
+fn dense_from(rows: usize, cols: usize, seed: &[i8]) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|i| f32::from(seed[i % seed.len().max(1)]) * 0.05).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// spmm == dense matmul on the densified matrix.
+    #[test]
+    fn prop_spmm_matches_dense(
+        n_rows in 1usize..12,
+        n_cols in 1usize..12,
+        width in 1usize..6,
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i8>()), 0..40),
+        seed in proptest::collection::vec(any::<i8>(), 1..16),
+    ) {
+        let csr = coo_from(n_rows, n_cols, &entries);
+        let x = dense_from(n_cols, width, &seed);
+        let sparse = csr.spmm(&x);
+        let dense = csr.to_dense().matmul(&x);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-4);
+    }
+
+    /// t_spmm is the adjoint: <A x, y> == <x, Aᵀ y> for all x, y.
+    #[test]
+    fn prop_t_spmm_is_adjoint(
+        n in 1usize..10,
+        width in 1usize..4,
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i8>()), 0..30),
+        sx in proptest::collection::vec(any::<i8>(), 1..12),
+        sy in proptest::collection::vec(any::<i8>(), 1..12),
+    ) {
+        let csr = coo_from(n, n, &entries);
+        let x = dense_from(n, width, &sx);
+        let y = dense_from(n, width, &sy);
+        let lhs: f32 = csr.spmm(&x).hadamard(&y).sum();
+        let rhs: f32 = x.hadamard(&csr.t_spmm(&y)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Edge-partitioned parallel spmm is bit-identical to sequential for
+    /// any thread count.
+    #[test]
+    fn prop_partitioned_spmm_bit_identical(
+        n in 1usize..24,
+        width in 1usize..5,
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i8>()), 0..80),
+        seed in proptest::collection::vec(any::<i8>(), 1..16),
+        threads in 2usize..6,
+    ) {
+        let csr = coo_from(n, n, &entries);
+        let x = dense_from(n, width, &seed);
+        let seq = ExecCtx::sequential().spmm(&csr, &x);
+        let par = ExecCtx::parallel(threads).spmm(&csr, &x);
+        prop_assert_eq!(seq.max_abs_diff(&par), 0.0);
+    }
+
+    /// row_normalized is idempotent and row-stochastic on non-empty rows
+    /// (for non-negative weights).
+    #[test]
+    fn prop_row_normalized_idempotent(
+        n in 1usize..10,
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>(), 1i8..120), 0..40),
+    ) {
+        let csr = coo_from(n, n, &entries);
+        let once = csr.row_normalized();
+        let twice = once.row_normalized();
+        for r in 0..n {
+            let (_, vals) = once.row(r);
+            if !vals.is_empty() {
+                let s: f32 = vals.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums {s}");
+            }
+        }
+        prop_assert!(once.to_dense().max_abs_diff(&twice.to_dense()) < 1e-5);
+    }
+
+    /// COO→CSR→entries→CSR is a fixpoint (canonical form).
+    #[test]
+    fn prop_csr_roundtrip_fixpoint(
+        n in 1usize..12,
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i8>()), 0..40),
+    ) {
+        let csr = coo_from(n, n, &entries);
+        let mut coo = Coo::new(n, n);
+        for (d, s, w) in csr.iter_entries() {
+            coo.push(d, s, w);
+        }
+        prop_assert_eq!(coo.into_csr(), csr);
+    }
+}

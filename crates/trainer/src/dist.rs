@@ -1,0 +1,227 @@
+//! Distributed training on the parameter server (§3.3 / Figures 7–8).
+//!
+//! Each worker owns a partition of the training triples (self-contained by
+//! Theorem 1), runs the same batch loop as the standalone trainer, and
+//! exchanges state with the [`agl_ps::ParameterServer`] only: pull the
+//! model, compute gradients on its own batch, push.
+//!
+//! In the paper's synchronous configuration (used for the Fig. 7
+//! convergence study) the effective batch grows with the worker count —
+//! which is exactly why *"more training epochs are required in the
+//! distributed mode"* while the final AUC matches.
+
+use crate::metrics::Metrics;
+use crate::pipeline::prepare_batch;
+use crate::trainer::{EpochStats, LocalTrainer, TrainOptions};
+use agl_flat::TrainingExample;
+use agl_nn::{Adam, GnnModel};
+use agl_ps::{run_workers, ParameterServer, PsStats, SyncMode};
+use agl_tensor::rng::derive_seed;
+use agl_tensor::seeded_rng;
+use rand::seq::SliceRandom;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distributed-training configuration.
+#[derive(Debug, Clone)]
+pub struct DistTrainer {
+    pub n_workers: usize,
+    /// Parameter-server shards.
+    pub n_shards: usize,
+    /// Synchronous (averaged, barrier per step) vs asynchronous updates.
+    pub sync: bool,
+    pub opts: TrainOptions,
+}
+
+/// Distributed-training outcome.
+#[derive(Debug, Clone)]
+pub struct DistTrainResult {
+    pub epochs: Vec<EpochStats>,
+    /// Validation metrics after each epoch (when a validation set is given).
+    pub val_curve: Vec<Metrics>,
+    pub ps_stats: PsStats,
+}
+
+impl DistTrainer {
+    pub fn new(n_workers: usize, opts: TrainOptions) -> Self {
+        assert!(n_workers > 0);
+        Self { n_workers, n_shards: 4, sync: true, opts }
+    }
+
+    /// Train `model` over `train`, optionally evaluating `val` after every
+    /// epoch. The final server parameters are loaded back into `model`.
+    pub fn train(
+        &self,
+        model: &mut GnnModel,
+        train: &[TrainingExample],
+        val: Option<&[TrainingExample]>,
+    ) -> DistTrainResult {
+        assert!(!train.is_empty());
+        let mode = if self.sync { SyncMode::Sync { n_workers: self.n_workers } } else { SyncMode::Async };
+        let lr = self.opts.lr;
+        let server = Arc::new(ParameterServer::new(model.param_vector(), self.n_shards, mode, || {
+            Box::new(Adam::new(lr))
+        }));
+
+        // Static data partition: worker w owns examples w, w+W, w+2W, ...
+        let partitions: Vec<Vec<usize>> = (0..self.n_workers)
+            .map(|w| (w..train.len()).step_by(self.n_workers).collect())
+            .collect();
+        // Synchronous mode needs every worker to push the same number of
+        // batches per epoch; short partitions cycle their data.
+        let batches_per_worker = partitions
+            .iter()
+            .map(|p| p.len().div_ceil(self.opts.batch_size))
+            .max()
+            .unwrap()
+            .max(1);
+
+        let spec = self.opts.spec_public(model);
+        let ctx = self.opts.ctx_public();
+        let template = model.clone();
+        let mut epochs = Vec::with_capacity(self.opts.epochs);
+        let mut val_curve = Vec::new();
+        for epoch in 0..self.opts.epochs {
+            let start = Instant::now();
+            run_workers(&server, self.n_workers, |w, ps| {
+                let mut replica = template.clone();
+                let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed, (epoch * 1000 + w) as u64));
+                let mut order = partitions[w].clone();
+                order.shuffle(&mut rng);
+                for b in 0..batches_per_worker {
+                    let lo = (b * self.opts.batch_size) % order.len().max(1);
+                    let batch: Vec<TrainingExample> = (0..self.opts.batch_size.min(order.len()))
+                        .map(|i| train[order[(lo + i) % order.len()]].clone())
+                        .collect();
+                    let prepared = prepare_batch(&batch, &spec);
+                    replica.load_param_vector(&ps.pull());
+                    replica.zero_grads();
+                    let pass = replica.forward(
+                        &prepared.adjs,
+                        &prepared.batch.features,
+                        &prepared.batch.targets,
+                        true,
+                        &ctx,
+                        &mut rng,
+                    );
+                    let (_, grad) = replica.loss(&pass.logits, &prepared.batch.labels);
+                    replica.backward(&prepared.adjs, &pass, &grad, &ctx);
+                    ps.push(&replica.grad_vector());
+                }
+            });
+            model.load_param_vector(&server.pull());
+            // Mean train loss after the epoch's updates (cheap re-pass over
+            // a sample keeps the run fast at large scale).
+            let probe = &train[..train.len().min(512)];
+            let m = LocalTrainer::evaluate(model, probe, &self.opts);
+            epochs.push(EpochStats { epoch, loss: m.loss, duration: start.elapsed(), batches: batches_per_worker });
+            if let Some(v) = val {
+                val_curve.push(LocalTrainer::evaluate(model, v, &self.opts));
+            }
+        }
+        DistTrainResult { epochs, val_curve, ps_stats: server.stats() }
+    }
+}
+
+impl TrainOptions {
+    /// Public shims so `DistTrainer` (different module) reuses the exact
+    /// preprocessing the standalone trainer applies.
+    pub fn spec_public(&self, model: &GnnModel) -> crate::pipeline::PrepSpec {
+        crate::pipeline::PrepSpec {
+            n_layers: model.n_layers(),
+            prep: model.layers()[0].adj_prep(),
+            label_dim: model.config().out_dim,
+            prune: self.pruning,
+        }
+    }
+
+    pub fn ctx_public(&self) -> agl_tensor::ExecCtx {
+        if self.partitions > 1 {
+            agl_tensor::ExecCtx::parallel(self.partitions)
+        } else {
+            agl_tensor::ExecCtx::sequential()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_flat::encode_graph_feature;
+    use agl_graph::{NodeId, SubEdge, Subgraph};
+    use agl_nn::{Loss, ModelConfig, ModelKind};
+    use agl_tensor::Matrix;
+
+    fn dataset(n: usize) -> Vec<TrainingExample> {
+        (0..n as u64)
+            .map(|i| {
+                let y = (i % 2) as f32;
+                let sign = 1.0 - 2.0 * y;
+                let sub = Subgraph {
+                    target_locals: vec![0],
+                    node_ids: vec![NodeId(i), NodeId(i + 10_000)],
+                    features: Matrix::from_rows(&[&[0.05, -0.05], &[sign, sign * 0.5]]),
+                    edges: vec![SubEdge { src: 1, dst: 0, weight: 1.0 }],
+                    edge_features: None,
+                };
+                TrainingExample { target: NodeId(i), label: vec![y], graph_feature: encode_graph_feature(&sub) }
+            })
+            .collect()
+    }
+
+    fn model() -> GnnModel {
+        GnnModel::new(ModelConfig::new(ModelKind::Sage, 2, 8, 1, 2, Loss::BceWithLogits))
+    }
+
+    #[test]
+    fn distributed_training_converges_sync() {
+        let data = dataset(64);
+        let val = dataset(32);
+        let mut m = model();
+        let trainer = DistTrainer::new(4, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
+        let result = trainer.train(&mut m, &data, Some(&val));
+        assert_eq!(result.val_curve.len(), 8);
+        let final_auc = result.val_curve.last().unwrap().auc.unwrap();
+        assert!(final_auc > 0.95, "val AUC {final_auc}");
+        assert!(result.ps_stats.steps > 0);
+        assert_eq!(result.ps_stats.pushes % 4, 0, "all workers pushed equally");
+    }
+
+    #[test]
+    fn distributed_training_converges_async() {
+        let data = dataset(48);
+        let mut m = model();
+        let mut trainer = DistTrainer::new(3, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
+        trainer.sync = false;
+        let result = trainer.train(&mut m, &data, None);
+        let metrics = LocalTrainer::evaluate(&m, &data, &trainer.opts);
+        assert!(metrics.auc.unwrap() > 0.95, "AUC {:?}", metrics.auc);
+        assert!(result.val_curve.is_empty());
+    }
+
+    #[test]
+    fn worker_counts_converge_to_same_level() {
+        // The Fig. 7 property: different worker counts reach the same AUC
+        // neighbourhood (not identical parameters).
+        let data = dataset(60);
+        let val = dataset(24);
+        for workers in [1, 3, 6] {
+            let mut m = model();
+            let trainer =
+                DistTrainer::new(workers, TrainOptions { epochs: 10, lr: 0.05, batch_size: 6, ..TrainOptions::default() });
+            let r = trainer.train(&mut m, &data, Some(&val));
+            let auc = r.val_curve.last().unwrap().auc.unwrap();
+            assert!(auc > 0.9, "{workers} workers: AUC {auc}");
+        }
+    }
+
+    #[test]
+    fn single_worker_sync_matches_standalone_shape() {
+        let data = dataset(20);
+        let mut m = model();
+        let trainer = DistTrainer::new(1, TrainOptions { epochs: 2, batch_size: 5, ..TrainOptions::default() });
+        let r = trainer.train(&mut m, &data, None);
+        assert_eq!(r.epochs.len(), 2);
+        assert_eq!(r.epochs[0].batches, 4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Evaluation metrics matching the paper's protocol (§4.1.2): accuracy on
+//! Cora, micro-F1 on PPI, AUC on UUG.
+
+use agl_nn::Loss;
+use agl_tensor::Matrix;
+
+/// Classification accuracy for one-hot labels (argmax match).
+pub fn accuracy(logits: &Matrix, labels: &Matrix) -> f64 {
+    assert_eq!(logits.shape(), labels.shape());
+    if logits.rows() == 0 {
+        return 0.0;
+    }
+    let pred = logits.argmax_rows();
+    let truth = labels.argmax_rows();
+    let hits = pred.iter().zip(&truth).filter(|(a, b)| a == b).count();
+    hits as f64 / logits.rows() as f64
+}
+
+/// Micro-averaged F1 for multi-label outputs: predictions are `logit > 0`
+/// (sigmoid > 0.5).
+pub fn micro_f1(logits: &Matrix, labels: &Matrix) -> f64 {
+    assert_eq!(logits.shape(), labels.shape());
+    let (mut tp, mut fp, mut r#fn) = (0u64, 0u64, 0u64);
+    for (&z, &y) in logits.as_slice().iter().zip(labels.as_slice()) {
+        let p = z > 0.0;
+        let t = y > 0.5;
+        match (p, t) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => r#fn += 1,
+            (false, false) => {}
+        }
+    }
+    if 2 * tp + fp + r#fn == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / (2 * tp + fp + r#fn) as f64
+}
+
+/// Macro-averaged F1 for multi-label outputs: per-label F1 (prediction =
+/// `logit > 0`), averaged over labels that appear at least once.
+pub fn macro_f1(logits: &Matrix, labels: &Matrix) -> f64 {
+    assert_eq!(logits.shape(), labels.shape());
+    let cols = logits.cols();
+    let mut sum = 0.0f64;
+    let mut counted = 0usize;
+    for c in 0..cols {
+        let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
+        let mut has_pos = false;
+        for r in 0..logits.rows() {
+            let p = logits[(r, c)] > 0.0;
+            let t = labels[(r, c)] > 0.5;
+            has_pos |= t;
+            match (p, t) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        if has_pos {
+            counted += 1;
+            if 2 * tp + fp + fn_ > 0 {
+                sum += 2.0 * tp as f64 / (2 * tp + fp + fn_) as f64;
+            }
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Precision and recall for binary predictions (`logit > 0`).
+pub fn precision_recall(logits: &Matrix, labels: &Matrix) -> (f64, f64) {
+    assert_eq!(logits.shape(), labels.shape());
+    let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
+    for (&z, &y) in logits.as_slice().iter().zip(labels.as_slice()) {
+        match (z > 0.0, y > 0.5) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    (precision, recall)
+}
+
+/// Area under the ROC curve for binary labels, computed by the rank
+/// (Mann–Whitney) method with midrank tie handling.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // Midranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = ((i + 1 + j) as f64) / 2.0; // average of ranks i+1..=j
+        for &idx in &order[i..j] {
+            if labels[idx] > 0.5 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Bundle of evaluation results; which fields are populated depends on the
+/// task shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    pub loss: f64,
+    /// Multi-class (softmax) tasks.
+    pub accuracy: Option<f64>,
+    /// Multi-label (sigmoid, >1 output) tasks.
+    pub micro_f1: Option<f64>,
+    /// Binary (sigmoid, 1 output) tasks.
+    pub auc: Option<f64>,
+    pub n_examples: usize,
+}
+
+impl Metrics {
+    /// Compute from collected logits/labels given the training loss.
+    pub fn compute(loss_kind: Loss, logits: &Matrix, labels: &Matrix) -> Self {
+        let (loss, _) = loss_kind.forward_backward(logits, labels);
+        let mut m = Metrics { loss: loss as f64, n_examples: logits.rows(), ..Default::default() };
+        match loss_kind {
+            Loss::SoftmaxCrossEntropy => m.accuracy = Some(accuracy(logits, labels)),
+            Loss::BceWithLogits if logits.cols() == 1 => {
+                let scores: Vec<f32> = logits.as_slice().to_vec();
+                m.auc = Some(auc(&scores, labels.as_slice()));
+            }
+            Loss::BceWithLogits => m.micro_f1 = Some(micro_f1(logits, labels)),
+        }
+        m
+    }
+
+    /// The headline number for this task (accuracy / micro-F1 / AUC).
+    pub fn headline(&self) -> f64 {
+        self.accuracy.or(self.micro_f1).or(self.auc).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[5.0, 4.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        assert!((accuracy(&logits, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_perfect_and_empty() {
+        let logits = Matrix::from_rows(&[&[1.0, -1.0], &[-1.0, 1.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!((micro_f1(&logits, &labels) - 1.0).abs() < 1e-12);
+        let none = Matrix::from_rows(&[&[-1.0, -1.0]]);
+        let zeros = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert_eq!(micro_f1(&none, &zeros), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_mixed() {
+        // tp=1 (col0 row0), fp=1 (col1 row0), fn=1 (col0 row1).
+        let logits = Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, -1.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        assert!((micro_f1(&logits, &labels) - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let labels = [1.0f32, 1.0, 0.0, 0.0];
+        assert!((auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        assert!((auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 0.0).abs() < 1e-12);
+        // All scores tied: AUC 0.5 by midranks.
+        assert!((auc(&[0.5; 4], &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_partial_ties() {
+        // pos: {0.8, 0.5}, neg: {0.5, 0.1}: pairs: (0.8>0.5)=1, (0.8>0.1)=1,
+        // (0.5=0.5)=0.5, (0.5>0.1)=1 -> 3.5/4.
+        let v = auc(&[0.8, 0.5, 0.5, 0.1], &[1.0, 1.0, 0.0, 0.0]);
+        assert!((v - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn macro_f1_averages_per_label() {
+        // Label 0: perfect (F1 = 1). Label 1: tp=1, fn=1 -> F1 = 2/3.
+        let logits = Matrix::from_rows(&[&[1.0, 1.0], &[-1.0, -1.0], &[1.0, -1.0]]);
+        let labels = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        let got = macro_f1(&logits, &labels);
+        assert!((got - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9, "{got}");
+        // Labels never positive are excluded from the average.
+        let no_pos = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let some_logits = Matrix::from_rows(&[&[1.0, -1.0]]);
+        assert_eq!(macro_f1(&some_logits, &no_pos), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_basic() {
+        let logits = Matrix::from_rows(&[&[1.0], &[1.0], &[-1.0], &[-1.0]]);
+        let labels = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0], &[0.0]]);
+        let (p, r) = precision_recall(&logits, &labels);
+        assert!((p - 0.5).abs() < 1e-9);
+        assert!((r - 0.5).abs() < 1e-9);
+        let (p0, r0) = precision_recall(&Matrix::from_rows(&[&[-1.0]]), &Matrix::from_rows(&[&[0.0]]));
+        assert_eq!((p0, r0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn metrics_compute_picks_the_right_headline() {
+        let logits = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let onehot = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let m = Metrics::compute(Loss::SoftmaxCrossEntropy, &logits, &onehot);
+        assert_eq!(m.accuracy, Some(1.0));
+        assert_eq!(m.headline(), 1.0);
+
+        let bin_logits = Matrix::from_rows(&[&[0.7], &[-0.3]]);
+        let bin_labels = Matrix::from_rows(&[&[1.0], &[0.0]]);
+        let m = Metrics::compute(Loss::BceWithLogits, &bin_logits, &bin_labels);
+        assert_eq!(m.auc, Some(1.0));
+        assert!(m.micro_f1.is_none());
+
+        let ml = Metrics::compute(Loss::BceWithLogits, &logits, &onehot);
+        assert!(ml.micro_f1.is_some() && ml.auc.is_none());
+    }
+}

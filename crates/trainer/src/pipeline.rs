@@ -1,0 +1,182 @@
+//! The training pipeline (§3.3.2, batch level): a prefetch stage overlaps
+//! *"data reading and subgraph vectorization"* with model computation.
+//!
+//! A background thread pulls batch index lists, reads + decodes their
+//! GraphFeatures, vectorizes, preprocesses the per-layer adjacencies
+//! (including pruning, which the paper notes costs "nearly no extra time"
+//! precisely because it rides in this stage), and pushes [`PreparedBatch`]es
+//! into a small bounded channel the compute loop drains.
+
+use crate::pruning::batch_keep_masks;
+use crate::vectorize::{vectorize, VectorizedBatch};
+use agl_flat::TrainingExample;
+use agl_nn::layer::{prepare_adj, AdjPrep};
+use agl_tensor::Csr;
+use crossbeam::channel::{bounded, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the preprocessing stage hands the compute stage.
+#[derive(Debug)]
+pub struct PreparedBatch {
+    pub batch: VectorizedBatch,
+    /// Per-layer prepared (and optionally pruned) adjacencies, ready for
+    /// `GnnModel::forward`.
+    pub adjs: Vec<Csr>,
+}
+
+/// Static description of the preprocessing a model needs.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepSpec {
+    pub n_layers: usize,
+    pub prep: AdjPrep,
+    pub label_dim: usize,
+    /// Graph pruning on/off (the `+pruning` ablation axis).
+    pub prune: bool,
+}
+
+/// Read + vectorize + preprocess one batch (the preprocessing stage body).
+pub fn prepare_batch(examples: &[TrainingExample], spec: &PrepSpec) -> PreparedBatch {
+    let batch = vectorize(examples, spec.label_dim);
+    let prepared = prepare_adj(&batch.adj, spec.prep);
+    let adjs: Vec<Csr> = if spec.prune {
+        let masks = batch_keep_masks(&batch, spec.n_layers);
+        (0..spec.n_layers)
+            .map(|k| prepared.filter_entries(|dst, _| masks[k][dst as usize]))
+            .collect()
+    } else {
+        vec![prepared; spec.n_layers]
+    };
+    PreparedBatch { batch, adjs }
+}
+
+/// A two-stage pipeline: preprocessing on a background thread, compute on
+/// the caller's thread. Dropping the pipeline (or exhausting it) joins the
+/// worker.
+pub struct BatchPipeline {
+    rx: Receiver<PreparedBatch>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BatchPipeline {
+    /// Spawn the preprocessing stage over `order` (each entry is the example
+    /// indices of one batch). `depth` bounds how far preprocessing may run
+    /// ahead of compute.
+    pub fn spawn(examples: Arc<Vec<TrainingExample>>, order: Vec<Vec<usize>>, spec: PrepSpec, depth: usize) -> Self {
+        let (tx, rx) = bounded(depth.max(1));
+        let handle = std::thread::spawn(move || {
+            for batch_idx in order {
+                // "Read" the batch from the store (clone = the disk read the
+                // paper's workers do — GraphFeatures live on DFS, not RAM).
+                let batch: Vec<TrainingExample> = batch_idx.iter().map(|&i| examples[i].clone()).collect();
+                let prepared = prepare_batch(&batch, &spec);
+                if tx.send(prepared).is_err() {
+                    break; // compute side hung up
+                }
+            }
+        });
+        Self { rx, handle: Some(handle) }
+    }
+}
+
+impl Iterator for BatchPipeline {
+    type Item = PreparedBatch;
+
+    fn next(&mut self) -> Option<PreparedBatch> {
+        match self.rx.recv() {
+            Ok(b) => Some(b),
+            Err(_) => {
+                if let Some(h) = self.handle.take() {
+                    let _ = h.join();
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Drop for BatchPipeline {
+    fn drop(&mut self) {
+        // Disconnect so the producer stops, then join it.
+        let (_tx, rx) = bounded(0);
+        self.rx = rx;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_flat::encode_graph_feature;
+    use agl_graph::{NodeId, SubEdge, Subgraph};
+    use agl_tensor::Matrix;
+
+    fn example(id: u64) -> TrainingExample {
+        let sub = Subgraph {
+            target_locals: vec![0],
+            node_ids: vec![NodeId(id), NodeId(id + 1000)],
+            features: Matrix::from_rows(&[&[id as f32, 0.0], &[0.0, id as f32]]),
+            edges: vec![SubEdge { src: 1, dst: 0, weight: 1.0 }],
+            edge_features: None,
+        };
+        TrainingExample { target: NodeId(id), label: vec![1.0], graph_feature: encode_graph_feature(&sub) }
+    }
+
+    fn spec(prune: bool) -> PrepSpec {
+        PrepSpec { n_layers: 2, prep: AdjPrep::MeanWithSelfLoops, label_dim: 1, prune }
+    }
+
+    #[test]
+    fn pipeline_yields_all_batches_in_order() {
+        let examples = Arc::new((0..10u64).map(example).collect::<Vec<_>>());
+        let order: Vec<Vec<usize>> = (0..5).map(|b| vec![2 * b, 2 * b + 1]).collect();
+        let got: Vec<PreparedBatch> = BatchPipeline::spawn(examples, order, spec(false), 2).collect();
+        assert_eq!(got.len(), 5);
+        for (b, p) in got.iter().enumerate() {
+            assert_eq!(p.batch.target_ids[0], NodeId(2 * b as u64));
+            assert_eq!(p.adjs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn pipelined_output_matches_inline_preparation() {
+        let examples = Arc::new((0..6u64).map(example).collect::<Vec<_>>());
+        let order: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        for prune in [false, true] {
+            let inline: Vec<PreparedBatch> = order
+                .iter()
+                .map(|idx| {
+                    let b: Vec<_> = idx.iter().map(|&i| examples[i].clone()).collect();
+                    prepare_batch(&b, &spec(prune))
+                })
+                .collect();
+            let piped: Vec<PreparedBatch> =
+                BatchPipeline::spawn(examples.clone(), order.clone(), spec(prune), 1).collect();
+            for (a, b) in inline.iter().zip(&piped) {
+                assert_eq!(a.batch.features, b.batch.features);
+                assert_eq!(a.adjs, b.adjs, "prune={prune}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_spec_produces_smaller_last_layer() {
+        let examples: Vec<_> = (0..4u64).map(example).collect();
+        let full = prepare_batch(&examples, &spec(false));
+        let pruned = prepare_batch(&examples, &spec(true));
+        // Layer 1 (last) only needs target rows; with self-loops the full
+        // version has entries for every node.
+        assert!(pruned.adjs[1].nnz() < full.adjs[1].nnz());
+    }
+
+    #[test]
+    fn dropping_pipeline_early_does_not_hang() {
+        let examples = Arc::new((0..100u64).map(example).collect::<Vec<_>>());
+        let order: Vec<Vec<usize>> = (0..100).map(|i| vec![i]).collect();
+        let mut p = BatchPipeline::spawn(examples, order, spec(false), 1);
+        let _first = p.next().unwrap();
+        drop(p); // must join cleanly while producer is mid-stream
+    }
+}

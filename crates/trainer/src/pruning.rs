@@ -1,0 +1,90 @@
+//! Graph pruning (§3.3.2): drop per-layer computation that cannot reach a
+//! target.
+//!
+//! With 0-indexed layers `k = 0..K`, layer `k`'s output for node `v` only
+//! matters when `d(V_B, v) ≤ K − 1 − k` (its embedding still has enough
+//! remaining layers to flow into a target). The keep-masks are row-granular
+//! — either all of a destination's in-edges survive or none — so
+//! normalisation before pruning is exact for every surviving row.
+
+use crate::vectorize::VectorizedBatch;
+use agl_graph::bfs::{multi_source_distances, UNREACHED};
+use agl_tensor::Csr;
+
+/// Per-layer row keep-masks: `keep[k][v]` ⟺ layer `k` must compute `v`.
+pub fn keep_masks(adj: &Csr, targets: &[usize], n_layers: usize) -> Vec<Vec<bool>> {
+    let sources: Vec<u32> = targets.iter().map(|&t| t as u32).collect();
+    // `adj` rows list in-edge sources, so walking it goes upstream from the
+    // targets — exactly d(V_B, ·).
+    let dist = multi_source_distances(adj, &sources, Some(n_layers as u32));
+    (0..n_layers)
+        .map(|k| {
+            let budget = (n_layers - 1 - k) as u32;
+            dist.iter().map(|&d| d != UNREACHED && d <= budget).collect()
+        })
+        .collect()
+}
+
+/// Count of rows each layer keeps — used by benches to report pruning
+/// effectiveness.
+pub fn kept_rows(masks: &[Vec<bool>]) -> Vec<usize> {
+    masks.iter().map(|m| m.iter().filter(|&&b| b).count()).collect()
+}
+
+/// Convenience: masks for a vectorized batch.
+pub fn batch_keep_masks(batch: &VectorizedBatch, n_layers: usize) -> Vec<Vec<bool>> {
+    keep_masks(&batch.adj, &batch.targets, n_layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_tensor::Coo;
+
+    /// Chain of in-edges: 0 <- 1 <- 2 <- 3 <- 4.
+    fn chain(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for v in 0..(n - 1) as u32 {
+            coo.push(v, v + 1, 1.0);
+        }
+        coo.into_csr()
+    }
+
+    #[test]
+    fn last_layer_keeps_only_targets() {
+        let masks = keep_masks(&chain(5), &[0], 3);
+        assert_eq!(masks.len(), 3);
+        // layer 2 (last): budget 0 -> only node 0.
+        assert_eq!(masks[2], vec![true, false, false, false, false]);
+        // layer 1: budget 1.
+        assert_eq!(masks[1], vec![true, true, false, false, false]);
+        // layer 0: budget 2.
+        assert_eq!(masks[0], vec![true, true, true, false, false]);
+        assert_eq!(kept_rows(&masks), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn one_layer_model_prunes_nothing_within_one_hop() {
+        // K=1: budget 0 at layer 0 — keep exactly the targets. (The paper's
+        // observation that pruning "doesn't work in training 1-layer GNN
+        // model" refers to a batch built from 1-hop GraphFeatures, where
+        // every stored edge already points at a target — as here.)
+        let masks = keep_masks(&chain(2), &[0], 1);
+        assert_eq!(masks[0], vec![true, false]);
+    }
+
+    #[test]
+    fn multiple_targets_take_min_distance() {
+        let masks = keep_masks(&chain(5), &[0, 3], 2);
+        // d = [0,1,2,0,1]; layer0 budget 1 -> {0,1,3,4}; layer1 budget 0 -> {0,3}.
+        assert_eq!(masks[0], vec![true, true, false, true, true]);
+        assert_eq!(masks[1], vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn unreachable_nodes_always_pruned() {
+        // Node 4 disconnected from target 0's upstream within 2 hops.
+        let masks = keep_masks(&chain(5), &[0], 2);
+        assert!(!masks[0][3] && !masks[0][4]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Citation-network node classification (the Cora protocol of §4.1): train
+//! GCN / GraphSAGE / GAT with AGL and with the in-memory full-graph
+//! baseline, and compare test accuracy.
+//!
+//! ```text
+//! cargo run --example citation_classification --release
+//! ```
+
+use agl::prelude::*;
+
+fn main() {
+    let ds = cora_like(1);
+    let s = ds.summary();
+    println!("{s}\n");
+    let graph = ds.graph();
+    let (nodes, edges) = graph.to_tables();
+
+    // GraphFlat once for all three splits (labeled nodes only — the paper's
+    // point that limited labels make GraphFeature storage cheap).
+    let job = AglJob::new().hops(2).sampling(SamplingStrategy::Uniform { max_degree: 20 }).seed(3);
+    let train = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec())).unwrap().examples;
+    let test = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.test.node_ids().to_vec())).unwrap().examples;
+    let stored: usize = train.iter().chain(&test).map(|e| e.graph_feature.len()).sum();
+    println!("stored GraphFeatures: {} triples, {:.1} MB on the (simulated) DFS\n", train.len() + test.len(), stored as f64 / 1e6);
+
+    for (name, kind) in [
+        ("GCN", ModelKind::Gcn),
+        ("GraphSAGE", ModelKind::Sage),
+        ("GAT", ModelKind::Gat { heads: 2 }),
+    ] {
+        // AGL path: mini-batch over independent GraphFeatures.
+        let cfg = ModelConfig::new(kind, ds.feature_dim(), 16, ds.label_dim, 2, Loss::SoftmaxCrossEntropy)
+            .with_dropout(0.1);
+        let mut model = GnnModel::new(cfg.clone());
+        let opts = TrainOptions { epochs: 30, lr: 0.01, batch_size: 32, pruning: true, ..TrainOptions::default() };
+        LocalTrainer::new(opts.clone()).train(&mut model, &train);
+        let agl_acc = LocalTrainer::evaluate(&model, &test, &opts).accuracy.unwrap();
+
+        // Baseline path: full-graph in-memory training (DGL/PyG style).
+        let mut base_model = GnnModel::new(cfg);
+        let engine = FullGraphEngine { epochs: 100, lr: 0.02, ..Default::default() };
+        engine.train_transductive(&mut base_model, graph, ds.train.node_ids());
+        let base_acc = engine.evaluate(&base_model, graph, ds.test.node_ids()).accuracy.unwrap();
+
+        println!("{name:<10} test accuracy: AGL {agl_acc:.3} | full-graph baseline {base_acc:.3}");
+    }
+    println!("\n(paper Table 3, real Cora: GCN 0.811 / GraphSAGE 0.827 / GAT 0.830 — deviations < 0.01 across systems)");
+}

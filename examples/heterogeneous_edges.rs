@@ -1,0 +1,134 @@
+//! Typed interactions on a financial graph — using the `E_B` edge-feature
+//! matrix that GraphFlat carries and §3.3.1's vectorization exposes.
+//!
+//! ```text
+//! cargo run --example heterogeneous_edges --release
+//! ```
+//!
+//! The paper's User-User Graph is heterogeneous: edges are *"various kinds
+//! of interactions"* (transfers, messages, shared devices, ...). Here each
+//! edge carries a one-hot relation type, GraphFlat propagates the edge
+//! features into every GraphFeature, and an edge-conditioned R-GCN layer
+//! learns **relation-dependent** aggregation: the node's class is revealed
+//! only by neighbors connected through relation 0 — relation-1 neighbors
+//! are noise. A plain GCN cannot tell the two apart; the R-GCN can.
+
+use agl::flat::FlatConfig;
+use agl::nn::param::{flatten_grads, flatten_values, load_values};
+use agl::nn::rgcn::RelationalGcnLayer;
+use agl::prelude::*;
+use agl::tensor::ops::Activation;
+use agl::tensor::seeded_rng;
+use rand::Rng;
+
+fn main() {
+    // Build the typed graph: 400 users, two classes. Relation 0 edges are
+    // homophilous (connect same-class users); relation 1 edges are random.
+    let n: u64 = 400;
+    let mut rng = seeded_rng(5);
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let class: Vec<usize> = (0..n as usize).map(|i| i % 2).collect();
+    // Features are nearly uninformative on their own: the class signal only
+    // arrives through relation-0 neighbors' features.
+    let mut feats = Matrix::zeros(n as usize, 4);
+    for i in 0..n as usize {
+        let sign = if class[i] == 0 { 1.0 } else { -1.0 };
+        for d in 0..4 {
+            feats[(i, d)] = sign * 0.4 + 1.0 * rng.gen_range(-1.0f32..1.0);
+        }
+    }
+    let mut labels = Matrix::zeros(n as usize, 2);
+    for i in 0..n as usize {
+        labels[(i, class[i])] = 1.0;
+    }
+    let nodes = NodeTable::new(ids, feats, Some(labels.clone()));
+    let mut rows = Vec::new();
+    let mut efeat_rows: Vec<[f32; 2]> = Vec::new();
+    for i in 0..n {
+        for _ in 0..4 {
+            // relation 0: same class; relation 1: uniformly random.
+            let j = loop {
+                let j = rng.gen_range(0..n);
+                if j != i && class[j as usize] == class[i as usize] {
+                    break j;
+                }
+            };
+            rows.push(agl::graph::tables::EdgeRow { src: NodeId(j), dst: NodeId(i), weight: 1.0 });
+            efeat_rows.push([1.0, 0.0]);
+            let k = loop {
+                let k = rng.gen_range(0..n);
+                if k != i {
+                    break k;
+                }
+            };
+            rows.push(agl::graph::tables::EdgeRow { src: NodeId(k), dst: NodeId(i), weight: 1.0 });
+            efeat_rows.push([0.0, 1.0]);
+        }
+    }
+    let mut efeat = Matrix::zeros(efeat_rows.len(), 2);
+    for (i, r) in efeat_rows.iter().enumerate() {
+        efeat.row_mut(i).copy_from_slice(r);
+    }
+    let edges = EdgeTable::new(rows, Some(efeat));
+    println!("typed graph: {n} users, {} edges (half relation-0, half relation-1)", edges.len());
+
+    // GraphFlat: 1-hop neighborhoods (edge features ride along).
+    let flat = GraphFlat::new(FlatConfig { k_hops: 1, ..FlatConfig::default() })
+        .run(&nodes, &edges, &TargetSpec::All)
+        .expect("GraphFlat");
+    let sample = decode_graph_feature(&flat.examples[0].graph_feature).unwrap();
+    assert!(sample.edge_features.is_some(), "E_B present in GraphFeatures");
+
+    // Train: one R-GCN layer + softmax over the aggregated output, full
+    // batch over the merged subgraph (small graph; keeps the example short).
+    let batch = agl::trainer::vectorize(&flat.examples, 2);
+    let merged_edges: Vec<agl::graph::SubEdge> = {
+        // vectorize built the adjacency; rebuild the edge list + features in
+        // the merged subgraph's canonical order via a fresh decode-merge.
+        let mut b = agl::flat::builder::SubgraphBuilder::new();
+        for ex in &flat.examples {
+            b.absorb(&decode_graph_feature(&ex.graph_feature).unwrap());
+        }
+        let merged = b.build(&batch.target_ids);
+        assert_eq!(merged.n_nodes(), batch.n_nodes());
+        merged.edges.clone()
+    };
+    let merged_ef = {
+        let mut b = agl::flat::builder::SubgraphBuilder::new();
+        for ex in &flat.examples {
+            b.absorb(&decode_graph_feature(&ex.graph_feature).unwrap());
+        }
+        b.build(&batch.target_ids).edge_features.clone().expect("merged E_B")
+    };
+
+    let mut rgcn = RelationalGcnLayer::new(4, 2, 2, Activation::Linear, "rgcn", &mut seeded_rng(7));
+    let mut plain = RelationalGcnLayer::new(4, 2, 0, Activation::Linear, "gcn", &mut seeded_rng(7));
+    let loss_fn = Loss::SoftmaxCrossEntropy;
+    let train = |layer: &mut RelationalGcnLayer, use_ef: bool| -> f64 {
+        let mut opt = Adam::new(0.05);
+        for _ in 0..80 {
+            let ef = if use_ef { Some(&merged_ef) } else { None };
+            let (out, cache) = layer.forward(batch.n_nodes(), &merged_edges, ef, &batch.features);
+            let logits = out.gather_rows(&batch.targets);
+            let (_, grad_t) = loss_fn.forward_backward(&logits, &batch.labels);
+            let mut grad = Matrix::zeros(out.rows(), out.cols());
+            grad.scatter_add_rows(&batch.targets, &grad_t);
+            layer.params_mut().into_iter().for_each(|p| p.zero_grad());
+            layer.backward(&merged_edges, ef, &cache, &grad);
+            let mut p = flatten_values(layer.params().into_iter());
+            let g = flatten_grads(layer.params().into_iter());
+            opt.step(&mut p, &g);
+            load_values(layer.params_mut().into_iter(), &p);
+        }
+        let ef = if use_ef { Some(&merged_ef) } else { None };
+        let (out, _) = layer.forward(batch.n_nodes(), &merged_edges, ef, &batch.features);
+        let logits = out.gather_rows(&batch.targets);
+        accuracy(&logits, &batch.labels)
+    };
+    let acc_typed = train(&mut rgcn, true);
+    let acc_plain = train(&mut plain, false);
+    println!("R-GCN with relation channels: accuracy {acc_typed:.3}");
+    println!("plain mean aggregation:       accuracy {acc_plain:.3}");
+    println!("\nrelation-aware aggregation lifts accuracy by {:.1} points", 100.0 * (acc_typed - acc_plain));
+    assert!(acc_typed > acc_plain, "edge types must help on this task");
+}

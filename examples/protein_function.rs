@@ -1,0 +1,58 @@
+//! Multi-label protein-function prediction (the PPI protocol of §4.1):
+//! inductive learning over 24 independent graphs with GraphSAGE.
+//!
+//! ```text
+//! cargo run --example protein_function --release
+//! ```
+//!
+//! 20 graphs train, 2 validate, 2 test — the test graphs are *never seen*
+//! during training, so the model must generalise its aggregation rule
+//! rather than memorise embeddings. AGL handles this naturally: each
+//! GraphFeature is self-contained whichever graph it came from.
+
+use agl::flat::FlatConfig;
+use agl::prelude::*;
+
+fn main() {
+    let ds = ppi_like(PpiConfig { seed: 17, scale: 0.05 });
+    println!("{}\n", ds.summary());
+
+    // GraphFlat every node of every graph, per split.
+    let cfg = FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 15 }, ..FlatConfig::default() };
+    let collect = |indices: &[usize]| -> Vec<TrainingExample> {
+        let mut all = Vec::new();
+        for &gi in indices {
+            let (nodes, edges) = ds.graphs[gi].to_tables();
+            all.extend(GraphFlat::new(cfg.clone()).run(&nodes, &edges, &TargetSpec::All).unwrap().examples);
+        }
+        all
+    };
+    let train = collect(ds.train.graph_indices());
+    let val = collect(ds.val.graph_indices());
+    let test = collect(ds.test.graph_indices());
+    println!("flattened: {} train / {} val / {} test protein neighborhoods", train.len(), val.len(), test.len());
+
+    // GraphSAGE with the add-combine (§4.2.1 notes all three systems use
+    // "add" where the original paper used "concat").
+    let cfg = ModelConfig::new(ModelKind::Sage, ds.feature_dim(), 64, ds.label_dim, 2, Loss::BceWithLogits);
+    let mut model = GnnModel::new(cfg);
+    let opts = TrainOptions { epochs: 10, lr: 0.01, batch_size: 64, pruning: true, ..TrainOptions::default() };
+    let trainer = LocalTrainer::new(opts.clone());
+    let history = trainer.train_with_callback(&mut model, &train, |epoch, m| {
+        if (epoch + 1) % 2 == 0 {
+            let v = LocalTrainer::evaluate(m, &val, &opts);
+            println!("epoch {:>2}: val micro-F1 {:.4}", epoch + 1, v.micro_f1.unwrap());
+        }
+    });
+    println!("final train loss {:.4}", history.final_loss());
+
+    let metrics = LocalTrainer::evaluate(&model, &test, &opts);
+    println!("\nheld-out-graph test micro-F1: {:.4}", metrics.micro_f1.unwrap());
+    println!("(paper Table 3, real PPI with AGL: GCN 0.567 / GraphSAGE 0.635 / GAT 0.977)");
+
+    // Persist the trained model the way a production run would.
+    let bytes = model_to_bytes(&model);
+    let restored = model_from_bytes(&bytes).expect("model round-trip");
+    assert_eq!(restored.param_vector(), model.param_vector());
+    println!("model serialised to {} bytes and restored bit-identically", bytes.len());
+}

@@ -1,0 +1,3 @@
+//! Umbrella package hosting the workspace-level integration tests and
+//! runnable examples. The actual library surface lives in the `agl` crate.
+pub use agl;

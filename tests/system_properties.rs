@@ -1,0 +1,133 @@
+//! System-property integration tests: the fault-tolerance, determinism and
+//! hub-handling guarantees the paper attributes to building on MapReduce +
+//! parameter servers.
+
+use agl::flat::FlatConfig;
+use agl::mapreduce::{FaultPlan, TaskId};
+use agl::prelude::*;
+
+fn hubby_world() -> (Dataset, NodeTable, EdgeTable) {
+    // Strong power law so real hubs exist.
+    let ds = uug_like(UugConfig {
+        n_nodes: 600,
+        avg_degree: 10.0,
+        gamma: 1.9,
+        feature_dim: 6,
+        ..UugConfig::default()
+    });
+    let (nodes, edges) = ds.graph().to_tables();
+    (ds, nodes, edges)
+}
+
+#[test]
+fn whole_training_pipeline_is_fault_tolerant() {
+    // Crash tasks in GraphFlat, train on the output, and compare the final
+    // model against a crash-free run: parameters must be identical because
+    // every stage is deterministic and MapReduce re-execution is exact.
+    let (ds, nodes, edges) = hubby_world();
+    let targets = TargetSpec::Ids(ds.train.node_ids().to_vec());
+    let clean_flat = GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() })
+        .run(&nodes, &edges, &targets)
+        .unwrap();
+    let chaos = FlatConfig {
+        k_hops: 2,
+        fault_plan: FaultPlan::none()
+            .fail_first(TaskId::map(3), 2)
+            .fail_first(TaskId::reduce(0, 0), 1)
+            .fail_first(TaskId::reduce(2, 1), 3),
+        ..FlatConfig::default()
+    };
+    let faulty_flat = GraphFlat::new(chaos).run(&nodes, &edges, &targets).unwrap();
+
+    let train = |examples: &[TrainingExample]| {
+        let cfg = ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 4, 1, 2, Loss::BceWithLogits);
+        let mut model = GnnModel::new(cfg);
+        let opts = TrainOptions { epochs: 3, pipeline: false, ..TrainOptions::default() };
+        LocalTrainer::new(opts).train(&mut model, examples);
+        model.param_vector()
+    };
+    assert_eq!(train(&clean_flat.examples), train(&faulty_flat.examples));
+}
+
+#[test]
+fn hub_reindexing_balances_groups_and_preserves_training() {
+    let (ds, nodes, edges) = hubby_world();
+    let stats = agl::graph::stats::in_degree_stats(ds.graph()).unwrap();
+    assert!(stats.max > 50, "need a real hub, got max degree {}", stats.max);
+
+    let targets = TargetSpec::Ids(ds.train.node_ids().to_vec());
+    let base_cfg = FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
+    let plain = GraphFlat::new(base_cfg.clone()).run(&nodes, &edges, &targets).unwrap();
+    let reindexed = GraphFlat::new(FlatConfig { hub_threshold: 30, reindex_fanout: 4, ..base_cfg })
+        .run(&nodes, &edges, &targets)
+        .unwrap();
+    assert_eq!(plain.examples.len(), reindexed.examples.len());
+
+    // Both variants train to a usable model.
+    for examples in [&plain.examples, &reindexed.examples] {
+        let cfg = ModelConfig::new(ModelKind::Sage, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits);
+        let mut model = GnnModel::new(cfg);
+        let opts = TrainOptions { epochs: 8, lr: 0.02, ..TrainOptions::default() };
+        LocalTrainer::new(opts.clone()).train(&mut model, examples);
+        let auc = LocalTrainer::evaluate(&model, examples, &opts).auc.unwrap();
+        assert!(auc > 0.8, "AUC {auc}");
+    }
+}
+
+#[test]
+fn sampled_neighborhood_sizes_are_bounded() {
+    // Hub neighborhoods must be capped: max nodes in any 2-hop GraphFeature
+    // is bounded by 1 + d + d² with the sampling cap d (plus re-index
+    // fanout when splitting is on).
+    let (_ds, nodes, edges) = hubby_world();
+    let d = 5usize;
+    let flat = GraphFlat::new(FlatConfig {
+        k_hops: 2,
+        sampling: SamplingStrategy::Uniform { max_degree: d },
+        ..FlatConfig::default()
+    })
+    .run(&nodes, &edges, &TargetSpec::All)
+    .unwrap();
+    let bound = 1 + d + d * d;
+    for ex in &flat.examples {
+        let sub = decode_graph_feature(&ex.graph_feature).unwrap();
+        assert!(sub.n_nodes() <= bound, "target {} has {} nodes > bound {bound}", ex.target, sub.n_nodes());
+    }
+}
+
+#[test]
+fn end_to_end_determinism_across_runs() {
+    // Same seeds ⇒ same GraphFeatures, same trained parameters, same scores.
+    let (ds, nodes, edges) = hubby_world();
+    let run = || {
+        let job = AglJob::new().hops(2).sampling(SamplingStrategy::Weighted { max_degree: 8 }).seed(99);
+        let train = job
+            .graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec()))
+            .unwrap()
+            .examples;
+        let cfg = ModelConfig::new(ModelKind::Gat { heads: 2 }, ds.feature_dim(), 4, 1, 2, Loss::BceWithLogits);
+        let mut model = GnnModel::new(cfg);
+        let opts = TrainOptions { epochs: 2, pipeline: true, ..TrainOptions::default() };
+        LocalTrainer::new(opts).train(&mut model, &train);
+        let scores = job.graph_infer(&model, &nodes, &edges).unwrap();
+        (model.param_vector(), scores.scores)
+    };
+    let (p1, s1) = run();
+    let (p2, s2) = run();
+    assert_eq!(p1, p2, "training is bit-deterministic");
+    assert_eq!(s1, s2, "inference is bit-deterministic");
+}
+
+#[test]
+fn mapreduce_counters_account_for_the_pipeline() {
+    let (ds, nodes, edges) = hubby_world();
+    let flat = GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() })
+        .run(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec()))
+        .unwrap();
+    let c = &flat.counters;
+    assert_eq!(c.get("map.input_records"), (ds.n_nodes() + ds.n_edges()) as u64);
+    assert!(c.get("shuffle.bytes") > 0);
+    assert_eq!(c.get("flat.examples"), ds.train.len() as u64);
+    // Every record the mapper emitted went through round 0.
+    assert_eq!(c.get("map.output_records"), c.get("reduce.r0.input_records"));
+}
