@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point. Everything here must pass before a PR
+# lands; the workspace lint test in crates/analysis re-runs the linter
+# from `cargo test`, so CI failures reproduce locally either way.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> agl-lint --workspace"
+cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
+
+echo "ci.sh: all green"

@@ -1,0 +1,90 @@
+//! `agl-lint` — the workspace lint driver.
+//!
+//! ```text
+//! agl-lint --workspace            # lint the enclosing cargo workspace
+//! agl-lint --workspace <root>     # lint an explicit workspace root
+//! agl-lint <file.rs> …            # lint specific files (paths taken as
+//!                                 # workspace-relative for rule dispatch)
+//! agl-lint --rules                # list registered rules
+//! ```
+//!
+//! Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/IO errors.
+//! Diagnostics print as `path:line: [rule] message`.
+
+use agl_analysis::{find_workspace_root, lint_source, lint_workspace, registry, Diagnostic};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in registry() {
+            println!("{:<16} {}", rule.name, rule.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let result = if let Some(pos) = args.iter().position(|a| a == "--workspace") {
+        let root = match args.get(pos + 1) {
+            Some(p) => PathBuf::from(p),
+            None => {
+                let cwd = match std::env::current_dir() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("agl-lint: cannot determine working directory: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match find_workspace_root(&cwd) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("agl-lint: no enclosing cargo workspace found from {}", cwd.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+        lint_workspace(&root)
+    } else if args.is_empty() {
+        print_usage();
+        return ExitCode::from(2);
+    } else {
+        lint_files(&args)
+    };
+
+    match result {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("agl-lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("agl-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_files(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for p in paths {
+        let src = std::fs::read_to_string(p)?;
+        let rel = p.trim_start_matches("./").replace('\\', "/");
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+fn print_usage() {
+    eprintln!("usage: agl-lint --workspace [root] | --rules | <file.rs>…");
+}

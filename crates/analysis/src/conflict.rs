@@ -1,0 +1,126 @@
+//! Static verification of edge-partition conflict freedom.
+//!
+//! AGL's §3.3.2 speedup claim rests on an invariant the code must uphold,
+//! not just assert in comments: when the sparse adjacency is split into
+//! per-thread partitions, the destination-row ranges are **pairwise
+//! disjoint** and **cover** `0..n_rows`, so no two threads ever write the
+//! same output row. [`ConflictFreedomVerifier`] proves this about a
+//! concrete [`EdgePartition`] *before* any thread is spawned — the static
+//! complement to the dynamic [`agl_tensor::partition::WriteSetTracker`]
+//! that catches a violation at write time in debug builds.
+//!
+//! Beyond disjoint cover, the verifier bounds **nnz imbalance**: the greedy
+//! splitter guarantees every partition carries at most
+//! `ceil(nnz / parts) + max_row_nnz` nonzeros (it closes a partition at the
+//! first row boundary past the ideal share, so it can overshoot by at most
+//! one row). A partition violating that bound could serialize the whole
+//! kernel behind one thread — a performance bug the type system can't see.
+
+use agl_tensor::{Csr, EdgePartition, PartitionViolation};
+
+/// Verifies an [`EdgePartition`] against the matrix it will be used with.
+#[derive(Debug, Clone)]
+pub struct ConflictFreedomVerifier {
+    /// Extra nonzeros a partition may carry beyond the ideal share
+    /// `ceil(nnz / parts)`. `None` (default) uses the matrix's maximum row
+    /// nnz — the bound the greedy splitter provably satisfies.
+    pub max_extra_nnz: Option<usize>,
+}
+
+impl Default for ConflictFreedomVerifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConflictFreedomVerifier {
+    pub fn new() -> Self {
+        Self { max_extra_nnz: None }
+    }
+
+    /// Use an explicit imbalance slack instead of the derived one.
+    pub fn with_max_extra_nnz(slack: usize) -> Self {
+        Self { max_extra_nnz: Some(slack) }
+    }
+
+    /// Check disjointness, cover, and nnz balance of `part` for `csr`.
+    ///
+    /// Returns the first violation found; `Ok(())` means every thread owns
+    /// a disjoint row range, the ranges cover the matrix, and no partition
+    /// exceeds the imbalance bound.
+    pub fn verify(&self, part: &EdgePartition, csr: &Csr) -> Result<(), PartitionViolation> {
+        part.check_conflict_free(csr.n_rows())?;
+
+        let parts = part.len();
+        if parts == 0 || csr.nnz() == 0 {
+            return Ok(());
+        }
+        let ideal = csr.nnz().div_ceil(parts);
+        let slack = match self.max_extra_nnz {
+            Some(s) => s,
+            None => (0..csr.n_rows()).map(|r| csr.row_nnz(r)).max().unwrap_or(0),
+        };
+        let bound = ideal + slack;
+        for i in 0..parts {
+            let part_nnz = part.part_nnz(csr, i);
+            if part_nnz > bound {
+                return Err(PartitionViolation::Imbalanced { index: i, part_nnz, bound });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_tensor::Coo;
+
+    fn diag_csr(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i as u32, i as u32, 1.0);
+        }
+        coo.into_csr()
+    }
+
+    #[test]
+    fn accepts_constructed_partition() {
+        let csr = diag_csr(16);
+        for t in 1..6 {
+            let part = EdgePartition::new(&csr, t);
+            assert!(ConflictFreedomVerifier::new().verify(&part, &csr).is_ok(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn rejects_overlapping_partition() {
+        let csr = diag_csr(10);
+        let bad = EdgePartition::from_bounds(vec![0, 6, 4, 10]);
+        let err = ConflictFreedomVerifier::new().verify(&bad, &csr);
+        assert!(matches!(err, Err(PartitionViolation::Overlap { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_gap() {
+        let csr = diag_csr(10);
+        let bad = EdgePartition::from_bounds(vec![0, 4, 8]);
+        assert!(matches!(
+            ConflictFreedomVerifier::new().verify(&bad, &csr),
+            Err(PartitionViolation::DoesNotCover { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_imbalance_with_explicit_slack() {
+        // 10 diagonal nonzeros split [0,9)+[9,10): first part has 9 nnz,
+        // ideal share is 5; slack 0 must reject, slack 4 must accept.
+        let csr = diag_csr(10);
+        let skew = EdgePartition::from_bounds(vec![0, 9, 10]);
+        assert!(matches!(
+            ConflictFreedomVerifier::with_max_extra_nnz(0).verify(&skew, &csr),
+            Err(PartitionViolation::Imbalanced { index: 0, part_nnz: 9, bound: 5 })
+        ));
+        assert!(ConflictFreedomVerifier::with_max_extra_nnz(4).verify(&skew, &csr).is_ok());
+    }
+}

@@ -1,0 +1,36 @@
+//! `agl-analysis` — static analysis for the AGL workspace.
+//!
+//! AGL's correctness story (paper §3.3.2 conflict-free aggregation;
+//! deterministic, retryable MapReduce rounds in GraphFlat/GraphInfer) is
+//! enforced here at two levels:
+//!
+//! * **Source lints** ([`lint`], [`rules`], [`scanner`], and the
+//!   `agl-lint` binary): a dependency-free token scanner walks every
+//!   workspace `.rs` file and enforces repo invariants — no
+//!   `.unwrap()`/`.expect(…)`/`panic!` in pipeline-crate library code, a
+//!   `// SAFETY:` comment before every `unsafe`, no wall-clock reads in
+//!   determinism-critical modules, no raw `std::thread::spawn` outside
+//!   sanctioned executors. `// agl-lint: allow(<rule>)` is the audited
+//!   escape hatch; [`rules::registry`] is where future rules are added.
+//! * **Plan-level verifiers**: [`ConflictFreedomVerifier`] proves an
+//!   [`agl_tensor::EdgePartition`] is pairwise disjoint, covering, and
+//!   nnz-balanced before threads spawn (the dynamic complement is
+//!   `agl_tensor::partition::WriteSetTracker`), and
+//!   [`JobPlanValidator`] (re-exported from `agl_mapreduce::plan`)
+//!   validates K-round MapReduce pipelines at construction.
+//!
+//! A workspace integration test runs the linter over the entire repo, so a
+//! violation anywhere fails tier-1.
+
+pub mod conflict;
+pub mod lint;
+pub mod rules;
+pub mod scanner;
+
+pub use conflict::ConflictFreedomVerifier;
+pub use lint::{collect_rs_files, find_workspace_root, lint_source, lint_workspace};
+pub use rules::{registry, rule_by_name, Diagnostic, Rule};
+
+// The mapreduce-side plan verifier, re-exported so callers find the whole
+// analysis surface in one crate.
+pub use agl_mapreduce::plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};

@@ -1,0 +1,312 @@
+//! The lint rule registry.
+//!
+//! Each rule is a pure function from a scanned file (plus its
+//! workspace-relative path) to diagnostics. Rules are registered in
+//! [`registry`]; adding a rule is adding an entry there — the driver,
+//! escape hatch, and binary need no changes.
+//!
+//! ## Escape hatch
+//!
+//! Any diagnostic can be suppressed with an inline comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // agl-lint: allow(no-panic) — justification here
+//! ```
+//!
+//! The justification is not parsed, but reviewers expect one.
+
+use crate::scanner::{test_regions, ScannedFile};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that fired ([`Rule::name`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A scanned file plus the path-derived facts rules dispatch on.
+pub struct FileView<'a> {
+    /// Workspace-relative path, `/`-separated (e.g. `crates/flat/src/pipeline.rs`).
+    pub path: &'a str,
+    pub scanned: &'a ScannedFile,
+    /// Per-line: inside a `#[cfg(test)] mod … { }` region.
+    pub in_test_region: Vec<bool>,
+}
+
+impl<'a> FileView<'a> {
+    pub fn new(path: &'a str, scanned: &'a ScannedFile) -> Self {
+        let in_test_region = test_regions(scanned);
+        Self { path, scanned, in_test_region }
+    }
+
+    /// Integration tests, benches, examples, and build scripts are exempt
+    /// from code-hygiene rules.
+    pub fn is_exempt_target(&self) -> bool {
+        self.path.contains("/tests/")
+            || self.path.contains("/benches/")
+            || self.path.contains("/examples/")
+            || self.path.starts_with("examples/")
+            || self.path.starts_with("tests/")
+            || self.path.ends_with("build.rs")
+    }
+
+    /// Library code of the AGL pipeline crates — where a stray panic kills
+    /// a whole distributed task instead of surfacing an error the retry
+    /// machinery can act on.
+    pub fn is_pipeline_lib(&self) -> bool {
+        const PIPELINE: &[&str] = &[
+            "crates/mapreduce/src/",
+            "crates/flat/src/",
+            "crates/trainer/src/",
+            "crates/infer/src/",
+            "crates/ps/src/",
+            "crates/tensor/src/",
+        ];
+        PIPELINE.iter().any(|p| self.path.starts_with(p)) && !self.is_exempt_target()
+    }
+}
+
+/// A registered lint rule.
+pub struct Rule {
+    /// Stable rule id — what `agl-lint: allow(<name>)` names.
+    pub name: &'static str,
+    pub description: &'static str,
+    pub check: fn(&FileView) -> Vec<Diagnostic>,
+}
+
+/// All rules, in the order they run.
+pub fn registry() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "no-panic",
+            description: "no .unwrap()/.expect(…)/panic! in library code of pipeline crates \
+                          (a panic in a task is an unreportable failure; return an error the \
+                          retry machinery can see)",
+            check: check_no_panic,
+        },
+        Rule {
+            name: "safety-comment",
+            description: "every `unsafe` must be preceded by a `// SAFETY:` comment stating \
+                          the invariant that makes it sound",
+            check: check_safety_comment,
+        },
+        Rule {
+            name: "no-wallclock",
+            description: "no Instant::now/SystemTime::now in determinism-critical modules \
+                          (mapreduce::engine, flat::pipeline, infer::pipeline) — retried \
+                          tasks must be bit-reproducible",
+            check: check_no_wallclock,
+        },
+        Rule {
+            name: "no-raw-spawn",
+            description: "no raw std::thread::spawn outside sanctioned executor modules; use \
+                          std::thread::scope so panics propagate and joins are guaranteed",
+            check: check_no_raw_spawn,
+        },
+    ]
+}
+
+/// Look up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    registry().iter().find(|r| r.name == name)
+}
+
+fn diag(view: &FileView, rule: &'static str, line: usize, message: String) -> Diagnostic {
+    Diagnostic { rule, path: view.path.to_string(), line: line + 1, message }
+}
+
+fn check_no_panic(view: &FileView) -> Vec<Diagnostic> {
+    if !view.is_pipeline_lib() {
+        return Vec::new();
+    }
+    const PATTERNS: &[(&str, &str)] =
+        &[(".unwrap()", "call to .unwrap()"), (".expect(", "call to .expect(…)"), ("panic!", "explicit panic!")];
+    let mut out = Vec::new();
+    for (i, code) in view.scanned.code.iter().enumerate() {
+        if view.in_test_region[i] {
+            continue;
+        }
+        for (pat, what) in PATTERNS {
+            if code.contains(pat) {
+                out.push(diag(view, "no-panic", i, format!("{what} in pipeline library code")));
+            }
+        }
+    }
+    out
+}
+
+fn check_safety_comment(view: &FileView) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, code) in view.scanned.code.iter().enumerate() {
+        if !has_token(code, "unsafe") {
+            continue;
+        }
+        // Accept SAFETY: on the same line or on the nearest non-blank line
+        // above (comment channel), skipping attribute lines.
+        let mut justified = view.scanned.comments[i].contains("SAFETY:");
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            if view.scanned.comments[j].contains("SAFETY:") {
+                justified = true;
+                break;
+            }
+            let code_above = view.scanned.code[j].trim();
+            if !code_above.is_empty() && !code_above.starts_with("#[") {
+                break; // real code intervenes — the comment doesn't cover us
+            }
+        }
+        if !justified {
+            out.push(diag(view, "safety-comment", i, "`unsafe` without a preceding // SAFETY: comment".to_string()));
+        }
+    }
+    out
+}
+
+/// Modules where wall-clock reads would break the determinism that the
+/// MapReduce retry story and the train/infer equivalence tests rely on.
+const DETERMINISM_CRITICAL: &[&str] =
+    &["crates/mapreduce/src/engine.rs", "crates/flat/src/pipeline.rs", "crates/infer/src/pipeline.rs"];
+
+fn check_no_wallclock(view: &FileView) -> Vec<Diagnostic> {
+    if !DETERMINISM_CRITICAL.contains(&view.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, code) in view.scanned.code.iter().enumerate() {
+        if view.in_test_region[i] {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime::now"] {
+            if code.contains(pat) {
+                out.push(diag(view, "no-wallclock", i, format!("{pat} in a determinism-critical module")));
+            }
+        }
+    }
+    out
+}
+
+/// Modules allowed to call `std::thread::spawn` directly (long-lived
+/// executor/prefetcher threads whose lifecycle is managed explicitly).
+const SANCTIONED_SPAWNERS: &[&str] = &["crates/trainer/src/pipeline.rs"];
+
+fn check_no_raw_spawn(view: &FileView) -> Vec<Diagnostic> {
+    if view.is_exempt_target() || SANCTIONED_SPAWNERS.contains(&view.path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, code) in view.scanned.code.iter().enumerate() {
+        if view.in_test_region[i] {
+            continue;
+        }
+        if code.contains("thread::spawn") {
+            out.push(diag(
+                view,
+                "no-raw-spawn",
+                i,
+                "raw thread::spawn outside a sanctioned executor module".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `needle` occurs in `hay` as a whole word (not an identifier substring).
+fn has_token(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let pre_ok = start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok = end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        let scanned = scan(src);
+        let view = FileView::new(path, &scanned);
+        registry().iter().flat_map(|r| (r.check)(&view)).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_pipeline_lib_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_one("crates/flat/src/foo.rs", src).len(), 1);
+        assert!(lint_one("crates/datasets/src/foo.rs", src).is_empty());
+        assert!(lint_one("crates/flat/tests/foo.rs", src).is_empty());
+        assert!(lint_one("crates/flat/examples/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_region_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(lint_one("crates/flat/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
+        assert!(lint_one("crates/ps/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_and_panic_flagged() {
+        let d = lint_one("crates/mapreduce/src/foo.rs", "fn f(x: Option<u8>) { x.expect(\"x\"); panic!(\"no\"); }\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert_eq!(lint_one("crates/datasets/src/x.rs", bad).len(), 1);
+        assert!(lint_one("crates/datasets/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn wallclock_only_in_critical_modules() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(lint_one("crates/mapreduce/src/engine.rs", src).len(), 1);
+        assert!(lint_one("crates/mapreduce/src/spill.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_outside_sanctioned() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(lint_one("crates/ps/src/foo.rs", src).len(), 1);
+        assert!(lint_one("crates/trainer/src/pipeline.rs", src).is_empty());
+        // Scoped spawns are fine.
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(lint_one("crates/ps/src/foo.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn patterns_in_strings_and_comments_ignored() {
+        let src = "fn f() -> &'static str { \"call .unwrap() and panic!\" } // .expect( here\n";
+        assert!(lint_one("crates/flat/src/foo.rs", src).is_empty());
+    }
+}

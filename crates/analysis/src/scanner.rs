@@ -1,0 +1,292 @@
+//! A hand-rolled Rust source scanner.
+//!
+//! The lint driver must not depend on `syn` or any external parser (the
+//! workspace builds offline), and the rules it enforces are lexical: "does
+//! this *code* call `.unwrap()`", "is this `unsafe` block preceded by a
+//! `// SAFETY:` comment". So the scanner does exactly one job: split a
+//! source file into **code text** and **comment text**, line by line, with
+//! string/char-literal contents blanked out of the code channel so that a
+//! pattern occurring inside a literal or a comment never triggers a rule.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any number of `#`s, with `b`
+//! prefixes), char literals (distinguished from lifetimes), and `//` inside
+//! strings. Not handled (not needed for lexical rules): macro token trees,
+//! doc-comment semantics beyond their text.
+
+/// One source file, split into a code channel and a comment channel.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Source lines with comments removed and literal contents blanked
+    /// (replaced by spaces, so column positions survive).
+    pub code: Vec<String>,
+    /// Comment text per line (contents of `//…` and `/*…*/` landing on the
+    /// line), concatenated. Empty string when the line has no comment.
+    pub comments: Vec<String>,
+}
+
+impl ScannedFile {
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.code.len()
+    }
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(usize),
+    Str,
+    /// Number of `#`s that close it.
+    RawStr(usize),
+}
+
+/// Scan `src` into per-line code and comment channels.
+pub fn scan(src: &str) -> ScannedFile {
+    let mut code: Vec<String> = Vec::new();
+    let mut comments: Vec<String> = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Code;
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code_line.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    code_line.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw (byte) strings: r"…", r#"…"#, br"…", br#"…"#…
+                if (c == 'r' || c == 'b') && !prev_is_ident(&code_line) {
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'r') {
+                        let mut hashes = 0usize;
+                        let mut k = j + 1;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            for _ in i..=k {
+                                code_line.push(' ');
+                            }
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                }
+                // Char literal vs lifetime: 'x' or '\n' is a literal; 'a in
+                // generics has no closing quote right after one element.
+                if c == '\'' {
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: the char after the backslash
+                        // is consumed unconditionally (it may be `'`), then
+                        // skip to the closing quote (covers `\u{…}`).
+                        let mut k = i + 3;
+                        while k < chars.len() && chars[k] != '\'' && chars[k] != '\n' {
+                            k += 1;
+                        }
+                        for _ in i..=k.min(chars.len() - 1) {
+                            code_line.push(' ');
+                        }
+                        i = (k + 1).min(chars.len());
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') {
+                        code_line.push_str("   ");
+                        i += 3;
+                        continue;
+                    }
+                    // A lifetime — keep the tick as code.
+                    code_line.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code_line.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_line.push_str("/*");
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_line.push_str("  ");
+                    i += 2; // skip the escaped char (incl. \" and \\)
+                } else if c == '"' {
+                    state = State::Code;
+                    code_line.push('"');
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    // Closing needs `"` + `#` * hashes.
+                    let closes = (1..=hashes).all(|h| chars.get(i + h) == Some(&'#'));
+                    if closes {
+                        state = State::Code;
+                        for _ in 0..=hashes {
+                            code_line.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                code_line.push(' ');
+                i += 1;
+            }
+        }
+    }
+    if !code_line.is_empty() || !comment_line.is_empty() {
+        code.push(code_line);
+        comments.push(comment_line);
+    }
+    ScannedFile { code, comments }
+}
+
+/// Was the previous code char part of an identifier? (So `for r in…` is not
+/// mistaken for a raw-string prefix when followed by `"`.)
+fn prev_is_ident(code_line: &str) -> bool {
+    code_line.chars().next_back().is_some_and(|p| p.is_alphanumeric() || p == '_')
+}
+
+/// Per-line flags marking `#[cfg(test)] mod … { … }` regions, so rules can
+/// exempt inline unit tests. Brace counting happens on the code channel
+/// (comments and literals already stripped), which makes it exact enough.
+pub fn test_regions(file: &ScannedFile) -> Vec<bool> {
+    let n = file.n_lines();
+    let mut in_test = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if file.code[i].contains("cfg(test)") {
+            // Find the opening brace of the mod (same or later line).
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < n {
+                in_test[j] = true;
+                for c in file.code[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_go_to_comment_channel() {
+        let s = scan("let x = 1; // call .unwrap() here\n/* panic! */ let y = 2;\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.comments[0].contains(".unwrap()"));
+        assert!(!s.code[1].contains("panic!"));
+        assert!(s.code[1].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = scan("let m = \"do not panic!(here) or .unwrap()\";\n");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.code[0].contains("let m = "));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = scan("let a = r#\"has .unwrap() and \"quotes\"\"#;\nlet b = \"esc \\\" .expect(\";\n");
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(!s.code[1].contains("expect"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet q = '\"'; let c = q;\n");
+        assert!(s.code[0].contains("fn f<'a>(x: &'a str)"));
+        // The '"' literal must not open a string state.
+        assert!(s.code[1].contains("let c = q;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ let z = 3;\n");
+        assert!(s.code[0].contains("let z = 3;"));
+        assert!(!s.code[0].contains("inner"));
+    }
+
+    #[test]
+    fn test_region_tracking() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = scan(src);
+        let regions = test_regions(&s);
+        assert_eq!(regions, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,89 @@
+//! The ConflictFreedomVerifier against the real splitter: every partition
+//! `EdgePartition::new` produces — across a property corpus of random
+//! matrices and the ISSUE's named edge cases — must verify, and
+//! hand-constructed invalid partitions must be rejected.
+
+use agl_analysis::ConflictFreedomVerifier;
+use agl_tensor::{seeded_rng, Coo, Csr, EdgePartition, PartitionViolation, Rng};
+
+fn random_csr(rng: &mut agl_tensor::SmallRng, n_rows: usize, n_cols: usize, n_entries: usize) -> Csr {
+    let mut coo = Coo::new(n_rows, n_cols);
+    for _ in 0..n_entries {
+        let r = rng.gen_range(0..n_rows.max(1)) as u32;
+        let c = rng.gen_range(0..n_cols.max(1)) as u32;
+        coo.push(r, c, 1.0);
+    }
+    coo.into_csr()
+}
+
+#[test]
+fn prop_constructed_partitions_always_verify() {
+    let mut rng = seeded_rng(0xCF_0001);
+    let verifier = ConflictFreedomVerifier::new();
+    for case in 0..128 {
+        let n_rows = rng.gen_range(1..64usize);
+        let n_cols = rng.gen_range(1..64usize);
+        let n_entries = rng.gen_range(0..256usize);
+        let csr = random_csr(&mut rng, n_rows, n_cols, n_entries);
+        for t in 1..=9 {
+            let part = EdgePartition::new(&csr, t);
+            let v = verifier.verify(&part, &csr);
+            assert!(v.is_ok(), "case {case}, t={t}, n_rows={n_rows}, nnz={}: {v:?}", csr.nnz());
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_rows() {
+    // t > n_rows: the splitter must still produce a disjoint cover (some
+    // threads simply get nothing to do).
+    let mut coo = Coo::new(3, 3);
+    for i in 0..3 {
+        coo.push(i, i, 1.0);
+    }
+    let csr = coo.into_csr();
+    for t in [4, 8, 100] {
+        let part = EdgePartition::new(&csr, t);
+        assert!(ConflictFreedomVerifier::new().verify(&part, &csr).is_ok(), "t={t}");
+        assert!(part.len() <= 3, "t={t} produced {} parts for 3 rows", part.len());
+    }
+}
+
+#[test]
+fn single_mega_row_hub() {
+    // One hub row holds every edge — the §3.2.2 skew case. Balance is
+    // impossible, but the default bound (ideal + max_row_nnz) provably
+    // admits what the greedy splitter returns.
+    let mut coo = Coo::new(16, 16);
+    for c in 0..16 {
+        coo.push(7, c, 1.0);
+    }
+    let csr = coo.into_csr();
+    for t in 1..=6 {
+        let part = EdgePartition::new(&csr, t);
+        assert!(ConflictFreedomVerifier::new().verify(&part, &csr).is_ok(), "t={t}");
+    }
+}
+
+#[test]
+fn empty_matrix() {
+    let csr = Coo::new(0, 0).into_csr();
+    let part = EdgePartition::new(&csr, 4);
+    assert!(ConflictFreedomVerifier::new().verify(&part, &csr).is_ok());
+
+    // Rows but no edges.
+    let csr = Coo::new(8, 8).into_csr();
+    let part = EdgePartition::new(&csr, 4);
+    assert!(ConflictFreedomVerifier::new().verify(&part, &csr).is_ok());
+}
+
+#[test]
+fn hand_constructed_overlap_rejected() {
+    let mut coo = Coo::new(10, 10);
+    for i in 0..10 {
+        coo.push(i, i, 1.0);
+    }
+    let csr = coo.into_csr();
+    let bad = EdgePartition::from_bounds(vec![0, 7, 3, 10]);
+    assert!(matches!(ConflictFreedomVerifier::new().verify(&bad, &csr), Err(PartitionViolation::Overlap { .. })));
+}

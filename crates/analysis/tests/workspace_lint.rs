@@ -1,0 +1,34 @@
+//! Tier-1 gate: the whole repository must be lint-clean.
+//!
+//! This is the test the ISSUE asks for — running `agl-lint` over the
+//! entire workspace from the test suite, so any violation anywhere in the
+//! repo fails `cargo test` without a separate CI step.
+
+use agl_analysis::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn repository_is_lint_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("enclosing cargo workspace");
+    let diags = lint_workspace(&root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "agl-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_every_crate() {
+    // Guard against the walker silently skipping directories: every member
+    // crate under crates/ must contribute at least one scanned file.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("enclosing cargo workspace");
+    let files = agl_analysis::collect_rs_files(&root).expect("workspace walk");
+    for krate in ["tensor", "mapreduce", "flat", "trainer", "infer", "ps", "analysis"] {
+        let prefix = root.join("crates").join(krate);
+        assert!(files.iter().any(|f| f.starts_with(&prefix)), "no .rs files collected under crates/{krate}");
+    }
+}

@@ -66,17 +66,11 @@ impl FullGraphEngine {
     /// Prepare a graph once for repeated full-batch passes.
     pub fn prepare(&self, model: &GnnModel, graph: &Graph) -> FullBatch {
         let labels = graph.labels().cloned().unwrap_or_else(|| Matrix::zeros(graph.n_nodes(), model.config().out_dim));
-        FullBatch {
-            adjs: model.prepare_adjs(graph.in_adj(), None),
-            features: graph.features().clone(),
-            labels,
-        }
+        FullBatch { adjs: model.prepare_adjs(graph.in_adj(), None), features: graph.features().clone(), labels }
     }
 
     fn locals(graph: &Graph, ids: &[NodeId]) -> Vec<usize> {
-        ids.iter()
-            .map(|&id| graph.local(id).unwrap_or_else(|| panic!("unknown node {id}")) as usize)
-            .collect()
+        ids.iter().map(|&id| graph.local(id).unwrap_or_else(|| panic!("unknown node {id}")) as usize).collect()
     }
 
     /// Transductive full-batch training on the labeled subset of one graph.
@@ -135,9 +129,7 @@ impl FullGraphEngine {
         let batch = self.prepare(model, graph);
         let targets: Vec<usize> = (0..graph.n_nodes()).collect();
         let mut rng = seeded_rng(0);
-        model
-            .forward(&batch.adjs, &batch.features, &targets, false, &self.ctx(), &mut rng)
-            .logits
+        model.forward(&batch.adjs, &batch.features, &targets, false, &self.ctx(), &mut rng).logits
     }
 
     /// Evaluate on a node subset of one graph.
@@ -198,7 +190,8 @@ mod tests {
         for i in (0..n).step_by(2) {
             let j = (i + 2) % n;
             pairs.push((ids[i as usize].0, ids[j as usize].0)); // class-0 ring
-            pairs.push((ids[i as usize + 1].0, ids[(j + 1) as usize % n as usize].0)); // class-1 ring
+            pairs.push((ids[i as usize + 1].0, ids[(j + 1) as usize % n as usize].0));
+            // class-1 ring
         }
         Graph::from_tables(&nodes, &EdgeTable::from_undirected_pairs(pairs))
     }

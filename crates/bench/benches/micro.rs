@@ -1,35 +1,54 @@
-//! Criterion micro-benchmarks for the operator- and pipeline-level pieces:
-//! the edge-partitioned aggregation kernel (Table 4's +partition axis), the
+//! Micro-benchmarks for the operator- and pipeline-level pieces: the
+//! edge-partitioned aggregation kernel (Table 4's +partition axis), the
 //! pruned forward pass (+pruning axis), subgraph vectorization, the
 //! GraphFeature codec, and GraphFlat itself.
+//!
+//! A plain `harness = false` timing harness (median of N runs after a
+//! warmup) — no external benchmark crates, so the workspace builds offline.
+//! Invoke with `cargo bench --bench micro`.
 
 use agl_bench::flatten_dataset;
 use agl_datasets::{uug_like, UugConfig};
 use agl_flat::{decode_graph_feature, encode_graph_feature, FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_graph::khop::{khop_subgraph, EdgeRule};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, ExecCtx, Matrix};
 use agl_trainer::pipeline::{prepare_batch, PrepSpec};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::Rng;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `f` over `iters` runs (after 2 warmup runs); report the median.
+fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{name:<40} {median:>10.3} ms  (median of {iters})");
+}
 
 fn fixture() -> agl_datasets::Dataset {
     uug_like(UugConfig { n_nodes: 2_000, avg_degree: 8.0, ..UugConfig::default() })
 }
 
-fn bench_spmm_partitioning(c: &mut Criterion) {
+fn bench_spmm_partitioning() {
     let ds = fixture();
     let adj = ds.graph().in_adj().row_normalized();
     let mut rng = seeded_rng(1);
     let x = Matrix::from_vec(adj.n_cols(), 32, (0..adj.n_cols() * 32).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
-    let mut g = c.benchmark_group("spmm");
-    g.bench_function("sequential", |b| b.iter(|| black_box(ExecCtx::sequential().spmm(&adj, &x))));
-    g.bench_function("edge_partitioned_4", |b| b.iter(|| black_box(ExecCtx::parallel(4).spmm(&adj, &x))));
-    g.finish();
+    bench("spmm/sequential", 10, || ExecCtx::sequential().spmm(&adj, &x));
+    bench("spmm/edge_partitioned_4", 10, || ExecCtx::parallel(4).spmm(&adj, &x));
 }
 
-fn bench_forward_pruning(c: &mut Criterion) {
+fn bench_forward_pruning() {
     let ds = fixture();
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).unwrap();
     let model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 32, 1, 2, Loss::BceWithLogits));
@@ -38,59 +57,44 @@ fn bench_forward_pruning(c: &mut Criterion) {
     let full = prepare_batch(&batch, &spec(false));
     let pruned = prepare_batch(&batch, &spec(true));
     let ctx = ExecCtx::sequential();
-    let mut g = c.benchmark_group("forward");
-    g.bench_function("unpruned", |b| {
-        b.iter(|| {
-            black_box(model.forward(&full.adjs, &full.batch.features, &full.batch.targets, false, &ctx, &mut seeded_rng(0)))
-        })
+    bench("forward/unpruned", 10, || {
+        model.forward(&full.adjs, &full.batch.features, &full.batch.targets, false, &ctx, &mut seeded_rng(0))
     });
-    g.bench_function("pruned", |b| {
-        b.iter(|| {
-            black_box(model.forward(&pruned.adjs, &pruned.batch.features, &pruned.batch.targets, false, &ctx, &mut seeded_rng(0)))
-        })
+    bench("forward/pruned", 10, || {
+        model.forward(&pruned.adjs, &pruned.batch.features, &pruned.batch.targets, false, &ctx, &mut seeded_rng(0))
     });
-    g.finish();
 }
 
-fn bench_vectorization(c: &mut Criterion) {
+fn bench_vectorization() {
     let ds = fixture();
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).unwrap();
     let batch: Vec<_> = flat.train.iter().take(32).cloned().collect();
-    c.bench_function("vectorize_32_graphfeatures", |b| {
-        b.iter(|| black_box(agl_trainer::vectorize(&batch, 1)))
-    });
+    bench("vectorize_32_graphfeatures", 10, || agl_trainer::vectorize(&batch, 1));
 }
 
-fn bench_graphfeature_codec(c: &mut Criterion) {
+fn bench_graphfeature_codec() {
     let ds = fixture();
     let sub = khop_subgraph(ds.graph(), &[ds.graph().node_id(0)], 2, EdgeRule::Sufficient);
     let bytes = encode_graph_feature(&sub);
-    let mut g = c.benchmark_group("graphfeature_codec");
-    g.bench_function("encode", |b| b.iter(|| black_box(encode_graph_feature(&sub))));
-    g.bench_function("decode", |b| b.iter(|| black_box(decode_graph_feature(&bytes).unwrap())));
-    g.finish();
+    bench("graphfeature_codec/encode", 10, || encode_graph_feature(&sub));
+    bench("graphfeature_codec/decode", 10, || decode_graph_feature(&bytes).unwrap());
 }
 
-fn bench_graphflat_pipeline(c: &mut Criterion) {
+fn bench_graphflat_pipeline() {
     let ds = uug_like(UugConfig { n_nodes: 500, avg_degree: 6.0, ..UugConfig::default() });
     let (nodes, edges) = ds.graph().to_tables();
     let targets: Vec<agl_graph::NodeId> = ds.graph().node_ids()[..50].to_vec();
-    c.bench_function("graphflat_2hop_50_targets", |b| {
-        b.iter_batched(
-            || (nodes.clone(), edges.clone(), targets.clone()),
-            |(n, e, t)| {
-                let cfg = FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
-                black_box(GraphFlat::new(cfg).run(&n, &e, &TargetSpec::Ids(t)).unwrap())
-            },
-            BatchSize::LargeInput,
-        )
+    bench("graphflat_2hop_50_targets", 10, || {
+        let cfg =
+            FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
+        GraphFlat::new(cfg).run(&nodes, &edges, &TargetSpec::Ids(targets.clone())).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_spmm_partitioning, bench_forward_pruning, bench_vectorization,
-              bench_graphfeature_codec, bench_graphflat_pipeline
+fn main() {
+    bench_spmm_partitioning();
+    bench_forward_pruning();
+    bench_vectorization();
+    bench_graphfeature_codec();
+    bench_graphflat_pipeline();
 }
-criterion_main!(benches);

@@ -75,12 +75,9 @@ fn main() {
         ("topk", SamplingStrategy::TopK { max_degree: 10 }),
     ] {
         let f = flatten_dataset(&ds, 2, s).expect("graphflat");
-        let mean_nodes: f64 = f
-            .train
-            .iter()
-            .map(|e| decode_graph_feature(&e.graph_feature).unwrap().n_nodes() as f64)
-            .sum::<f64>()
-            / f.train.len() as f64;
+        let mean_nodes: f64 =
+            f.train.iter().map(|e| decode_graph_feature(&e.graph_feature).unwrap().n_nodes() as f64).sum::<f64>()
+                / f.train.len() as f64;
         let bytes: usize = f.train.iter().map(|e| e.graph_feature.len()).sum();
         let mut m = model(&ds);
         let opts = TrainOptions { epochs: 6, lr: 0.02, batch_size: 32, pruning: true, ..TrainOptions::default() };
@@ -96,7 +93,8 @@ fn main() {
     println!("\n-- training pipeline: prefetch on/off (mean epoch time) --");
     for pipeline in [true, false] {
         let mut m = model(&ds);
-        let opts = TrainOptions { epochs: 4, lr: 0.01, batch_size: 32, pruning: true, pipeline, ..TrainOptions::default() };
+        let opts =
+            TrainOptions { epochs: 4, lr: 0.01, batch_size: 32, pruning: true, pipeline, ..TrainOptions::default() };
         let r = LocalTrainer::new(opts).train(&mut m, &flat.train);
         println!(
             "pipeline {:<4} mean epoch {:.3}s",

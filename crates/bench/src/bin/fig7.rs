@@ -20,12 +20,7 @@ fn main() {
     // labeled set, like the paper's UUG run.
     let ds = uug_like(UugConfig { n_nodes: n, signal: 0.25, train_frac: 0.1, val_frac: 0.05, ..UugConfig::default() });
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).expect("graphflat");
-    println!(
-        "UUG-like {} nodes; train/val = {}/{}; GAT 2-layer, sync PS\n",
-        n,
-        flat.train.len(),
-        flat.val.len()
-    );
+    println!("UUG-like {} nodes; train/val = {}/{}; GAT 2-layer, sync PS\n", n, flat.train.len(), flat.val.len());
 
     let worker_counts = [1usize, 10, 20, 30];
     let mut curves: Vec<(usize, Vec<f64>)> = Vec::new();

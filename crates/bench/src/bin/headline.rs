@@ -74,12 +74,7 @@ fn main() {
     println!("{:<28} {:>10} {:>10}", "phase", "simulated", "paper");
     println!("{:<28} {:>10} {:>10}", "GraphFlat (1000 workers)", fmt_hours(graphflat.wall), "3.7h");
     println!("{:<28} {:>10} {:>10}", "GraphTrainer (100 workers)", fmt_hours(training.wall), "10h");
-    println!(
-        "{:<28} {:>10} {:>10}",
-        "Total training pipeline",
-        fmt_hours(graphflat.wall + training.wall),
-        "14h"
-    );
+    println!("{:<28} {:>10} {:>10}", "Total training pipeline", fmt_hours(graphflat.wall + training.wall), "14h");
     println!("{:<28} {:>10} {:>10}", "GraphInfer (1000 workers)", fmt_hours(inference.wall), "1.2h");
     // What the paper's own wall-clocks imply per record/example — the
     // constants a reader should compare the local calibration against.

@@ -74,11 +74,8 @@ fn main() {
     let max_layers = env_usize("AGL_TABLE4_LAYERS", 3);
     let fdim = ppi.feature_dim();
     let ldim = ppi.label_dim;
-    for (name, kind) in [
-        ("GCN", ModelKind::Gcn),
-        ("GraphSAGE", ModelKind::Sage),
-        ("GAT", ModelKind::Gat { heads: 2 }),
-    ] {
+    for (name, kind) in [("GCN", ModelKind::Gcn), ("GraphSAGE", ModelKind::Sage), ("GAT", ModelKind::Gat { heads: 2 })]
+    {
         println!("== {name} ==");
         println!("{:<26} {}", "config", (1..=max_layers).map(|l| format!("{l}-layer ")).collect::<String>());
         let mut rows: Vec<(String, Vec<f64>)> = vec![

@@ -32,9 +32,8 @@ fn main() {
     println!("UUG-like: {} nodes, {} edges (paper: {UUG_PAPER_NODES:.2e} / {UUG_PAPER_EDGES:.2e})\n", n, ds.n_edges());
 
     // 2-layer GAT producing an 8-dim embedding, like the paper's deployment.
-    let model = GnnModel::new(
-        ModelConfig::new(ModelKind::Gat { heads: 2 }, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits),
-    );
+    let model =
+        GnnModel::new(ModelConfig::new(ModelKind::Gat { heads: 2 }, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits));
     let sampling = SamplingStrategy::Uniform { max_degree: 15 };
 
     // ---- Original inference module ----
@@ -49,29 +48,25 @@ fn main() {
     let fast_time = t.elapsed();
 
     println!("-- measured (this machine, laptop scale) --");
+    println!("{:<12} {:<22} {:>10} {:>22}", "method", "phase", "time", "embeddings computed");
+    println!("{:<12} {:<22} {:>10} {:>22}", "Original", "GraphFlat", fmt_secs(orig.graphflat_time), "-");
     println!(
         "{:<12} {:<22} {:>10} {:>22}",
-        "method", "phase", "time", "embeddings computed"
+        "Original",
+        "Forward propagation",
+        fmt_secs(orig.forward_time),
+        orig.embeddings_computed
     );
+    println!("{:<12} {:<22} {:>10} {:>22}", "Original", "Total", fmt_secs(orig.total_time()), orig.embeddings_computed);
     println!(
         "{:<12} {:<22} {:>10} {:>22}",
-        "Original", "GraphFlat", fmt_secs(orig.graphflat_time), "-"
-    );
-    println!(
-        "{:<12} {:<22} {:>10} {:>22}",
-        "Original", "Forward propagation", fmt_secs(orig.forward_time), orig.embeddings_computed
-    );
-    println!(
-        "{:<12} {:<22} {:>10} {:>22}",
-        "Original", "Total", fmt_secs(orig.total_time()), orig.embeddings_computed
-    );
-    println!(
-        "{:<12} {:<22} {:>10} {:>22}",
-        "GraphInfer", "Total", fmt_secs(fast_time), fast.counters.get("infer.embeddings_computed")
+        "GraphInfer",
+        "Total",
+        fmt_secs(fast_time),
+        fast.counters.get("infer.embeddings_computed")
     );
     let speedup = orig.total_time().as_secs_f64() / fast_time.as_secs_f64();
-    let repetition =
-        orig.embeddings_computed as f64 / fast.counters.get("infer.embeddings_computed").max(1) as f64;
+    let repetition = orig.embeddings_computed as f64 / fast.counters.get("infer.embeddings_computed").max(1) as f64;
     println!("\nGraphInfer speedup: {speedup:.1}x (paper: ~4.1x); embedding repetition eliminated: {repetition:.1}x");
 
     // ---- Cluster extrapolation to paper scale (1000 workers) ----
@@ -82,9 +77,9 @@ fn main() {
     let flat_spr = orig.graphflat_time.as_secs_f64() / (local_records * 3.0); // K+1 rounds
     let fwd_spr = orig.forward_time.as_secs_f64() / ds.n_nodes() as f64;
     let infer_spr = fast_time.as_secs_f64() / (local_records * 4.0); // K+2 rounds
-    // Shuffle volume per record per round, from the measured jobs' own
-    // counters: GraphFlat ships growing subgraph payloads, GraphInfer ships
-    // one embedding per edge — this asymmetry is the paper's Table 5 story.
+                                                                     // Shuffle volume per record per round, from the measured jobs' own
+                                                                     // counters: GraphFlat ships growing subgraph payloads, GraphInfer ships
+                                                                     // one embedding per edge — this asymmetry is the paper's Table 5 story.
     let flat_bpr = (orig.counters.get("shuffle.bytes") as f64 / (local_records * 3.0)) as u64;
     let infer_bpr = (fast.counters.get("shuffle.bytes") as f64 / (local_records * 4.0)) as u64;
 
@@ -93,7 +88,10 @@ fn main() {
         bytes_per_record: flat_bpr.max(1),
         ..MrJobModel::new(records as u64, 3, flat_spr, 1000)
     });
-    let fwd_sim = simulate_mr_job(&MrJobModel { worker_mem_gb: 3.0, ..MrJobModel::new(UUG_PAPER_NODES as u64, 1, fwd_spr, 1000) });
+    let fwd_sim = simulate_mr_job(&MrJobModel {
+        worker_mem_gb: 3.0,
+        ..MrJobModel::new(UUG_PAPER_NODES as u64, 1, fwd_spr, 1000)
+    });
     let infer_sim = simulate_mr_job(&MrJobModel {
         worker_mem_gb: 1.0,
         bytes_per_record: infer_bpr.max(1),
@@ -101,10 +99,7 @@ fn main() {
     });
     println!("calibrated shuffle volume: GraphFlat {flat_bpr} B/record/round vs GraphInfer {infer_bpr} B/record/round");
 
-    println!(
-        "{:<12} {:<22} {:>12} {:>16} {:>16}",
-        "method", "phase", "time (s)", "CPU (core*min)", "Mem (GB*min)"
-    );
+    println!("{:<12} {:<22} {:>12} {:>16} {:>16}", "method", "phase", "time (s)", "CPU (core*min)", "Mem (GB*min)");
     let row = |m: &str, p: &str, r: &agl_cluster_sim::SimReport| {
         println!("{:<12} {:<22} {:>12.0} {:>16.0} {:>16.0}", m, p, r.wall.as_secs_f64(), r.cpu_core_min, r.mem_gb_min);
     };

@@ -2,8 +2,8 @@
 
 use crate::SimReport;
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::Rng;
 use agl_tensor::seeded_rng;
-use rand::Rng;
 use std::time::Duration;
 
 /// A MapReduce job to replay at scale.
@@ -57,9 +57,7 @@ pub fn simulate_mr_job(model: &MrJobModel) -> SimReport {
         let compute = per_worker_records * model.secs_per_record;
         let shuffle = per_worker_records * model.bytes_per_record as f64 / model.shuffle_bandwidth;
         let straggler = 1.0
-            + model.straggler_cv
-                * (2.0 * (model.workers as f64).ln()).sqrt()
-                * (1.0 + 0.1 * rng.gen_range(-1.0..1.0));
+            + model.straggler_cv * (2.0 * (model.workers as f64).ln()).sqrt() * (1.0 + 0.1 * rng.gen_range(-1.0..1.0));
         wall += (compute + shuffle) * straggler;
     }
     let wall_min = wall / 60.0;

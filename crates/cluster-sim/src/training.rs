@@ -2,8 +2,8 @@
 
 use crate::SimReport;
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::Rng;
 use agl_tensor::seeded_rng;
-use rand::Rng;
 use std::time::Duration;
 
 /// Cluster characteristics (paper §4.2.2: 32-core / 64 GB commodity
@@ -95,10 +95,7 @@ pub fn simulate_sync_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usi
 /// Speedup ratios `T(1)/T(w)` for a sweep of worker counts (Fig. 8).
 pub fn speedup_curve(cfg: &ClusterConfig, wl: &TrainingWorkload, workers: &[usize]) -> Vec<(usize, f64)> {
     let t1 = simulate_sync_training(cfg, wl, 1).wall.as_secs_f64();
-    workers
-        .iter()
-        .map(|&w| (w, t1 / simulate_sync_training(cfg, wl, w).wall.as_secs_f64()))
-        .collect()
+    workers.iter().map(|&w| (w, t1 / simulate_sync_training(cfg, wl, w).wall.as_secs_f64())).collect()
 }
 
 #[cfg(test)]
@@ -121,10 +118,7 @@ mod tests {
         let curve = speedup_curve(&ClusterConfig::default(), &wl(), &[10, 20, 50, 100]);
         for &(w, s) in &curve {
             let slope = s / w as f64;
-            assert!(
-                (0.7..=1.0).contains(&slope),
-                "{w} workers: speedup {s:.1} (slope {slope:.2})"
-            );
+            assert!((0.7..=1.0).contains(&slope), "{w} workers: speedup {s:.1} (slope {slope:.2})");
         }
         let (_, s100) = curve.last().copied().unwrap();
         assert!((70.0..90.0).contains(&s100), "100 workers: {s100:.1}×");

@@ -72,7 +72,12 @@ impl AglJob {
 
     /// **GraphFlat**: generate `<TargetedNodeId, Label, GraphFeature>`
     /// triples (§3.2).
-    pub fn graph_flat(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
+    pub fn graph_flat(
+        &self,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        targets: &TargetSpec,
+    ) -> Result<FlatOutput, JobError> {
         GraphFlat::new(self.flat.clone()).run(nodes, edges, targets)
     }
 

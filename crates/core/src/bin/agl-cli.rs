@@ -109,7 +109,8 @@ fn read_node_table(path: &str) -> Result<NodeTable, Box<dyn std::error::Error>> 
             continue;
         }
         let mut cols = line.split('\t');
-        let id: u64 = cols.next().ok_or("empty line")?.trim().parse().map_err(|e| format!("{path}:{}: bad id: {e}", ln + 1))?;
+        let id: u64 =
+            cols.next().ok_or("empty line")?.trim().parse().map_err(|e| format!("{path}:{}: bad id: {e}", ln + 1))?;
         let f = parse_floats(cols.next().unwrap_or(""))?;
         let l = parse_floats(cols.next().unwrap_or(""))?;
         ids.push(NodeId(id));
@@ -142,8 +143,10 @@ fn read_edge_table(path: &str) -> Result<EdgeTable, Box<dyn std::error::Error>> 
         }
         let mut cols = line.split('\t');
         let src: u64 = cols.next().ok_or("empty")?.trim().parse().map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
-        let dst: u64 = cols.next().ok_or("missing dst")?.trim().parse().map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
-        let weight: f32 = cols.next().map_or(Ok(1.0), |w| w.trim().parse()).map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+        let dst: u64 =
+            cols.next().ok_or("missing dst")?.trim().parse().map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+        let weight: f32 =
+            cols.next().map_or(Ok(1.0), |w| w.trim().parse()).map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
         pairs.push(agl::graph::tables::EdgeRow { src: NodeId(src), dst: NodeId(dst), weight });
     }
     Ok(EdgeTable::new(pairs, None))

@@ -59,6 +59,10 @@ pub use agl_ps as ps;
 pub use agl_tensor as tensor;
 pub use agl_trainer as trainer;
 
+/// The in-repo deterministic RNG (replaces the `rand` crate so the
+/// workspace builds offline) — re-exported for convenience.
+pub use agl_tensor::rng;
+
 pub mod api;
 pub mod prelude;
 

@@ -2,7 +2,9 @@
 
 pub use crate::api::{train_and_evaluate, train_distributed, AglJob};
 pub use agl_baseline::FullGraphEngine;
-pub use agl_cluster_sim::{simulate_mr_job, simulate_sync_training, speedup_curve, ClusterConfig, MrJobModel, TrainingWorkload};
+pub use agl_cluster_sim::{
+    simulate_mr_job, simulate_sync_training, speedup_curve, ClusterConfig, MrJobModel, TrainingWorkload,
+};
 pub use agl_datasets::{cora_like, ppi_like, uug_like, Dataset, PpiConfig, Split, UugConfig};
 pub use agl_flat::{
     decode_graph_feature, encode_graph_feature, FlatConfig, FlatOutput, GraphFlat, SamplingStrategy, TargetSpec,
@@ -10,11 +12,9 @@ pub use agl_flat::{
 };
 pub use agl_graph::{EdgeTable, Graph, NodeId, NodeTable, SubEdge, Subgraph};
 pub use agl_infer::{GraphInfer, InferConfig, InferOutput, NodeScore, OriginalInference};
-pub use agl_nn::{
-    model_from_bytes, model_to_bytes, Adam, GnnModel, Loss, ModelConfig, ModelKind, Optimizer, Sgd,
-};
+pub use agl_nn::{model_from_bytes, model_to_bytes, Adam, GnnModel, Loss, ModelConfig, ModelKind, Optimizer, Sgd};
 pub use agl_ps::{ParameterServer, SyncMode};
-pub use agl_tensor::{Coo, Csr, ExecCtx, Matrix};
+pub use agl_tensor::{seeded_rng, Coo, Csr, ExecCtx, Matrix, Rng, SliceRandom, SmallRng};
 pub use agl_trainer::{
     accuracy, auc, macro_f1, micro_f1, precision_recall, DistTrainer, LocalTrainer, Metrics, TrainOptions, TrainResult,
 };

@@ -4,9 +4,9 @@
 
 use crate::{Dataset, Split};
 use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
+use agl_tensor::rng::Rng;
+use agl_tensor::rng::SliceRandom;
 use agl_tensor::{seeded_rng, Matrix};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 pub const CORA_NODES: usize = 2708;
 pub const CORA_EDGES: usize = 5429;

@@ -5,8 +5,8 @@
 use crate::{Dataset, Split};
 use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, Matrix};
-use rand::Rng;
 
 /// Generation knobs. `scale` shrinks every graph (nodes and edges alike) so
 /// unit tests stay fast while benches run the paper-sized dataset.
@@ -52,11 +52,8 @@ pub fn ppi_like(cfg: PpiConfig) -> Dataset {
         let n = per_graph;
         let ids: Vec<NodeId> = (0..n as u64).map(|i| NodeId(id_base + i)).collect();
         id_base += n as u64;
-        let features = Matrix::from_vec(
-            n,
-            PPI_FEATURES,
-            (0..n * PPI_FEATURES).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
-        );
+        let features =
+            Matrix::from_vec(n, PPI_FEATURES, (0..n * PPI_FEATURES).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
         // Edges: preferential-ish random graph with the paper's density.
         let target_edges = ((n as f64) * AVG_OUT_DEGREE) as usize;
         let mut pairs = std::collections::HashSet::with_capacity(target_edges);

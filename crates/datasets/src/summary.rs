@@ -19,11 +19,8 @@ pub struct DatasetSummary {
 
 impl fmt::Display for DatasetSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let classes = if self.multilabel {
-            format!("{}(multilabel)", self.label_dim)
-        } else {
-            self.label_dim.to_string()
-        };
+        let classes =
+            if self.multilabel { format!("{}(multilabel)", self.label_dim) } else { self.label_dim.to_string() };
         let nodes = if self.n_graphs > 1 {
             format!("{} ({} graphs)", self.n_nodes, self.n_graphs)
         } else {

@@ -10,9 +10,9 @@
 
 use crate::{Dataset, Split};
 use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
+use agl_tensor::rng::Rng;
+use agl_tensor::rng::SliceRandom;
 use agl_tensor::{seeded_rng, Matrix};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Paper-scale reference constants (simulation targets, never generated).
 pub const UUG_PAPER_NODES: f64 = 6.23e9;
@@ -78,7 +78,7 @@ pub fn uug_like(cfg: UugConfig) -> Dataset {
         acc += w;
         cumulative.push(acc);
     }
-    let sample_node = |rng: &mut rand::rngs::SmallRng| -> usize {
+    let sample_node = |rng: &mut agl_tensor::rng::SmallRng| -> usize {
         let x = rng.gen_range(0.0..w_sum);
         cumulative.partition_point(|&c| c < x).min(n - 1)
     };
@@ -152,7 +152,7 @@ pub fn uug_like(cfg: UugConfig) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agl_graph::stats::{in_degree_stats, hub_nodes};
+    use agl_graph::stats::{hub_nodes, in_degree_stats};
 
     fn small() -> Dataset {
         uug_like(UugConfig { n_nodes: 2000, avg_degree: 6.0, ..UugConfig::default() })

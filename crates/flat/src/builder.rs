@@ -133,13 +133,7 @@ impl SubgraphBuilder {
             }
             m
         });
-        Subgraph {
-            target_locals: (0..targets.len() as u32).collect(),
-            node_ids,
-            features,
-            edges,
-            edge_features,
-        }
+        Subgraph { target_locals: (0..targets.len() as u32).collect(), node_ids, features, edges, edge_features }
     }
 }
 

@@ -6,9 +6,7 @@
 //! assigns local indices in encoding order, with targets first.
 
 use agl_graph::{NodeId, SubEdge, Subgraph};
-use agl_mapreduce::codec::{
-    get_f32, get_f32s, get_u32, get_u64, put_f32, put_f32s, put_u32, put_u64, CodecError,
-};
+use agl_mapreduce::codec::{get_f32, get_f32s, get_u32, get_u64, put_f32, put_f32s, put_u32, put_u64, CodecError};
 use agl_tensor::Matrix;
 use std::collections::HashMap;
 
@@ -90,10 +88,7 @@ pub fn decode_graph_feature(mut input: &[u8]) -> Result<Subgraph, CodecError> {
         let dst = get_u64(r)?;
         let w = get_f32(r)?;
         let lookup = |id: u64| {
-            local_of
-                .get(&id)
-                .copied()
-                .ok_or_else(|| CodecError(format!("edge references unknown node {id}")))
+            local_of.get(&id).copied().ok_or_else(|| CodecError(format!("edge references unknown node {id}")))
         };
         edges.push(SubEdge { src: lookup(src)?, dst: lookup(dst)?, weight: w });
         if let Some(efm) = &mut edge_features {
@@ -109,12 +104,7 @@ pub fn decode_graph_feature(mut input: &[u8]) -> Result<Subgraph, CodecError> {
     }
     let target_locals = target_ids
         .iter()
-        .map(|t| {
-            local_of
-                .get(&t.0)
-                .copied()
-                .ok_or_else(|| CodecError(format!("target {t} not among nodes")))
-        })
+        .map(|t| local_of.get(&t.0).copied().ok_or_else(|| CodecError(format!("target {t} not among nodes"))))
         .collect::<Result<Vec<_>, _>>()?;
     let sub = Subgraph { target_locals, node_ids, features, edges, edge_features };
     sub.validate().map_err(CodecError)?;
@@ -124,7 +114,7 @@ pub fn decode_graph_feature(mut input: &[u8]) -> Result<Subgraph, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use agl_tensor::{seeded_rng, Rng};
 
     fn sample(with_ef: bool) -> Subgraph {
         Subgraph {
@@ -175,40 +165,35 @@ mod tests {
         assert_eq!(back, s);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_random_subgraphs(
-            n_nodes in 1usize..12,
-            f_dim in 1usize..5,
-            edge_seed in any::<u64>(),
-        ) {
+    #[test]
+    fn prop_roundtrip_random_subgraphs() {
+        let mut rng = seeded_rng(0x6F_0001);
+        for _ in 0..32 {
             // Build a random valid subgraph.
+            let n_nodes = rng.gen_range(1..12usize);
+            let f_dim = rng.gen_range(1..5usize);
             let node_ids: Vec<NodeId> = (0..n_nodes as u64).map(|i| NodeId(i * 13 + 2)).collect();
-            let features = Matrix::from_vec(
-                n_nodes, f_dim,
-                (0..n_nodes * f_dim).map(|i| (i as f32) * 0.25 - 1.0).collect(),
-            );
-            let mut edges = Vec::new();
-            let mut x = edge_seed;
-            for _ in 0..(n_nodes * 2) {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let src = (x >> 33) as usize % n_nodes;
-                let dst = (x >> 13) as usize % n_nodes;
-                edges.push(SubEdge { src: src as u32, dst: dst as u32, weight: ((x % 100) as f32) * 0.01 });
-            }
-            let s = Subgraph {
-                target_locals: vec![0],
-                node_ids,
-                features,
-                edges,
-                edge_features: None,
-            };
+            let features =
+                Matrix::from_vec(n_nodes, f_dim, (0..n_nodes * f_dim).map(|i| (i as f32) * 0.25 - 1.0).collect());
+            let edges: Vec<SubEdge> = (0..n_nodes * 2)
+                .map(|_| SubEdge {
+                    src: rng.gen_range(0..n_nodes) as u32,
+                    dst: rng.gen_range(0..n_nodes) as u32,
+                    weight: rng.gen_range(0..100u32) as f32 * 0.01,
+                })
+                .collect();
+            let s = Subgraph { target_locals: vec![0], node_ids, features, edges, edge_features: None };
             let back = decode_graph_feature(&encode_graph_feature(&s)).unwrap();
-            prop_assert_eq!(back, s);
+            assert_eq!(back, s);
         }
+    }
 
-        #[test]
-        fn prop_decode_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn prop_decode_garbage_never_panics() {
+        let mut rng = seeded_rng(0x6F_0002);
+        for _ in 0..64 {
+            let len = rng.gen_range(0..256usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
             let _ = decode_graph_feature(&bytes);
         }
     }

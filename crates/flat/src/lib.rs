@@ -43,8 +43,8 @@ pub mod pipeline;
 pub mod sampling;
 pub mod store;
 
+pub use compact::{decode_graph_feature_compact, encode_graph_feature_compact};
 pub use graphfeature::{decode_graph_feature, encode_graph_feature};
 pub use pipeline::{FlatConfig, FlatOutput, GraphFlat, TargetSpec, TrainingExample};
 pub use sampling::SamplingStrategy;
-pub use compact::{decode_graph_feature_compact, encode_graph_feature_compact};
 pub use store::{FeatureStore, StoreFormat};

@@ -7,8 +7,7 @@
 //! the raw table rows feeding the join round and the final output record.
 
 use agl_mapreduce::codec::{
-    get_f32, get_f32s, get_u32, get_u64, get_u8, put_f32, put_f32s, put_u32, put_u64, put_u8,
-    Codec, CodecError,
+    get_f32, get_f32s, get_u32, get_u64, get_u8, put_f32, put_f32s, put_u32, put_u64, put_u8, Codec, CodecError,
 };
 use agl_mapreduce::hash::fnv1a;
 
@@ -130,32 +129,24 @@ impl Codec for FlatMsg {
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(match get_u8(input)? {
-            Self::TAG_NODE => FlatMsg::NodeRow {
-                features: get_f32s(input)?,
-                is_target: get_u8(input)? != 0,
-                label: get_f32s(input)?,
-            },
-            Self::TAG_EDGE => FlatMsg::EdgeBySrc {
-                dst: get_u64(input)?,
-                weight: get_f32(input)?,
-                efeat: get_f32s(input)?,
-            },
-            Self::TAG_SELF => FlatMsg::SelfInfo {
-                sub: get_blob(input)?,
-                is_target: get_u8(input)? != 0,
-                label: get_f32s(input)?,
-            },
+            Self::TAG_NODE => {
+                FlatMsg::NodeRow { features: get_f32s(input)?, is_target: get_u8(input)? != 0, label: get_f32s(input)? }
+            }
+            Self::TAG_EDGE => {
+                FlatMsg::EdgeBySrc { dst: get_u64(input)?, weight: get_f32(input)?, efeat: get_f32s(input)? }
+            }
+            Self::TAG_SELF => {
+                FlatMsg::SelfInfo { sub: get_blob(input)?, is_target: get_u8(input)? != 0, label: get_f32s(input)? }
+            }
             Self::TAG_IN => FlatMsg::InEdge {
                 src: get_u64(input)?,
                 weight: get_f32(input)?,
                 efeat: get_f32s(input)?,
                 sub: get_blob(input)?,
             },
-            Self::TAG_OUT => FlatMsg::OutEdge {
-                dst: get_u64(input)?,
-                weight: get_f32(input)?,
-                efeat: get_f32s(input)?,
-            },
+            Self::TAG_OUT => {
+                FlatMsg::OutEdge { dst: get_u64(input)?, weight: get_f32(input)?, efeat: get_f32s(input)? }
+            }
             Self::TAG_FINAL => FlatMsg::Final { sub: get_blob(input)?, label: get_f32s(input)? },
             t => return Err(CodecError(format!("unknown FlatMsg tag {t}"))),
         })
@@ -180,8 +171,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.suffix < 4);
         // Different members generally land in different groups.
-        let suffixes: std::collections::HashSet<u32> =
-            (0..64u64).map(|m| FlatKey::reindexed(7, m, 4).suffix).collect();
+        let suffixes: std::collections::HashSet<u32> = (0..64u64).map(|m| FlatKey::reindexed(7, m, 4).suffix).collect();
         assert!(suffixes.len() > 1);
     }
 

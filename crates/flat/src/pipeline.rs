@@ -21,11 +21,11 @@ use crate::graphfeature::{decode_graph_feature, encode_graph_feature};
 use crate::messages::{FlatKey, FlatMsg};
 use crate::sampling::SamplingStrategy;
 use agl_graph::{EdgeTable, NodeId, NodeTable, Subgraph};
-use agl_mapreduce::codec::{
-    get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec,
-};
+use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
 use agl_mapreduce::hash::fnv1a;
-use agl_mapreduce::{Counters, FaultPlan, JobConfig, JobError, MapReduceJob, Mapper, Reducer, SpillMode};
+use agl_mapreduce::{
+    Counters, FaultPlan, JobConfig, JobError, JobPlan, MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
+};
 use agl_tensor::rng::derive_seed;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -130,6 +130,18 @@ fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32, efeat: &[f32]) -> V
     buf
 }
 
+/// Decode a record this pipeline itself encoded. The [`Mapper`]/[`Reducer`]
+/// contract has no error channel, and a decode failure of self-encoded
+/// bytes means an engine invariant broke — aborting the task is the only
+/// correct response, and the retry machinery reports it as a task failure.
+fn must<T>(r: Result<T, agl_mapreduce::codec::CodecError>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        // agl-lint: allow(no-panic) — self-encoded record failed to decode: engine bug, and no error channel exists here.
+        Err(e) => panic!("corrupt {what}: {e}"),
+    }
+}
+
 /// Shared routing state: which keys are hubs, and the re-index fanout.
 #[derive(Debug)]
 struct Routing {
@@ -164,12 +176,12 @@ struct FlatMapper {
 impl Mapper for FlatMapper {
     fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
         let mut r = input;
-        match get_u8(&mut r).expect("record tag") {
+        match must(get_u8(&mut r), "record tag") {
             REC_NODE => {
-                let id = get_u64(&mut r).expect("node id");
-                let features = get_f32s(&mut r).expect("node features");
-                let is_target = get_u8(&mut r).expect("target flag") != 0;
-                let label = get_f32s(&mut r).expect("node label");
+                let id = must(get_u64(&mut r), "node id");
+                let features = must(get_f32s(&mut r), "node features");
+                let is_target = must(get_u8(&mut r), "target flag") != 0;
+                let label = must(get_f32s(&mut r), "node label");
                 let msg = FlatMsg::NodeRow { features, is_target, label }.to_bytes();
                 // Replicate to every suffix group so each re-indexed piece
                 // of a hub key has the node's own information.
@@ -178,15 +190,16 @@ impl Mapper for FlatMapper {
                 }
             }
             REC_EDGE => {
-                let src = get_u64(&mut r).expect("edge src");
-                let dst = get_u64(&mut r).expect("edge dst");
-                let weight = get_f32(&mut r).expect("edge weight");
-                let efeat = get_f32s(&mut r).expect("edge features");
+                let src = must(get_u64(&mut r), "edge src");
+                let dst = must(get_u64(&mut r), "edge dst");
+                let weight = must(get_f32(&mut r), "edge weight");
+                let efeat = must(get_f32s(&mut r), "edge features");
                 // Keyed by source for the join round; spread over the
                 // source's groups by destination.
                 let key = self.routing.key_for(src, dst);
                 emit(key.to_bytes(), FlatMsg::EdgeBySrc { dst, weight, efeat }.to_bytes());
             }
+            // agl-lint: allow(no-panic) — inputs are produced by encode_node_record/encode_edge_record above.
             t => panic!("unknown input record tag {t}"),
         }
     }
@@ -222,7 +235,7 @@ impl Reducer for FlatReducer {
         values: &mut dyn Iterator<Item = &[u8]>,
         emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
     ) {
-        let k = FlatKey::from_bytes(key).expect("flat key");
+        let k = must(FlatKey::from_bytes(key), "flat key");
         // Bucket the group's messages by kind.
         let mut node_row: Option<(Vec<f32>, bool, Vec<f32>)> = None;
         let mut edges_by_src: Vec<(u64, f32, Vec<f32>)> = Vec::new();
@@ -230,7 +243,7 @@ impl Reducer for FlatReducer {
         let mut in_edges: Vec<(u64, f32, Vec<f32>, Vec<u8>)> = Vec::new();
         let mut out_edges: Vec<(u64, f32, Vec<f32>)> = Vec::new();
         for v in values {
-            match FlatMsg::from_bytes(v).expect("flat message") {
+            match must(FlatMsg::from_bytes(v), "flat message") {
                 FlatMsg::NodeRow { features, is_target, label } => {
                     node_row.get_or_insert((features, is_target, label));
                 }
@@ -238,6 +251,7 @@ impl Reducer for FlatReducer {
                 FlatMsg::SelfInfo { sub, is_target, label } => selfs.push((sub, is_target, label)),
                 FlatMsg::InEdge { src, weight, efeat, sub } => in_edges.push((src, weight, efeat, sub)),
                 FlatMsg::OutEdge { dst, weight, efeat } => out_edges.push((dst, weight, efeat)),
+                // agl-lint: allow(no-panic) — Final is only emitted under a plain key in the last round.
                 FlatMsg::Final { .. } => panic!("Final record re-entered the pipeline"),
             }
         }
@@ -297,11 +311,11 @@ impl Reducer for FlatReducer {
         // Merge: self infos ∪ sampled in-edge payloads + their edges.
         let mut builder = SubgraphBuilder::new();
         for (sub, _, _) in &selfs {
-            builder.absorb(&decode_graph_feature(sub).expect("self subgraph"));
+            builder.absorb(&must(decode_graph_feature(sub), "self subgraph"));
         }
         for &i in &kept {
             let (src, weight, efeat, sub) = &in_edges[i];
-            builder.absorb(&decode_graph_feature(sub).expect("in-edge payload"));
+            builder.absorb(&must(decode_graph_feature(sub), "in-edge payload"));
             let ef = (!efeat.is_empty()).then_some(efeat.as_slice());
             builder.add_edge(NodeId(*src), NodeId(k.id), *weight, ef);
         }
@@ -310,16 +324,12 @@ impl Reducer for FlatReducer {
         let merged_bytes = encode_graph_feature(&merged);
 
         if round < self.k_hops {
-            emit(
-                key.to_vec(),
-                FlatMsg::SelfInfo { sub: merged_bytes.clone(), is_target, label }.to_bytes(),
-            );
+            emit(key.to_vec(), FlatMsg::SelfInfo { sub: merged_bytes.clone(), is_target, label }.to_bytes());
             for (dst, weight, efeat) in out_edges {
                 let in_key = self.routing.key_for(dst, k.id);
                 emit(
                     in_key.to_bytes(),
-                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: merged_bytes.clone() }
-                        .to_bytes(),
+                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: merged_bytes.clone() }.to_bytes(),
                 );
                 emit(key.to_vec(), FlatMsg::OutEdge { dst, weight, efeat }.to_bytes());
             }
@@ -395,6 +405,9 @@ impl GraphFlat {
             max_attempts: 4,
             fault_plan: self.cfg.fault_plan.clone(),
             spill: self.cfg.spill.clone(),
+            // Every boundary of the K+1 rounds carries FlatKey/FlatMsg
+            // records; debug builds verify the chain at construction.
+            plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
         });
         let result = job.run(&inputs, &mapper, &reducer)?;
         for (name, v) in result.counters.snapshot() {
@@ -405,14 +418,16 @@ impl GraphFlat {
         // GraphFeatures of re-indexed hub targets.
         let mut by_target: HashMap<u64, (Vec<Subgraph>, Vec<f32>)> = HashMap::new();
         for kv in &result.output {
-            let key = FlatKey::from_bytes(&kv.key).expect("final key");
-            match FlatMsg::from_bytes(&kv.value).expect("final msg") {
+            let key = FlatKey::from_bytes(&kv.key).map_err(|e| JobError::Corrupt(format!("final key: {e}")))?;
+            let msg = FlatMsg::from_bytes(&kv.value).map_err(|e| JobError::Corrupt(format!("final msg: {e}")))?;
+            match msg {
                 FlatMsg::Final { sub, label } => {
-                    let sub = decode_graph_feature(&sub).expect("final subgraph");
+                    let sub =
+                        decode_graph_feature(&sub).map_err(|e| JobError::Corrupt(format!("final subgraph: {e}")))?;
                     let entry = by_target.entry(key.id).or_insert_with(|| (Vec::new(), label));
                     entry.0.push(sub);
                 }
-                other => panic!("unexpected output record {other:?}"),
+                other => return Err(JobError::Corrupt(format!("unexpected output record {other:?}"))),
             }
         }
         let mut examples: Vec<TrainingExample> = by_target

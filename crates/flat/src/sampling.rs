@@ -8,7 +8,7 @@
 //! *"unbiased inference with the model trained based on GraphFlat"* (§3.4).
 
 use agl_tensor::rng::seeded_rng;
-use rand::Rng;
+use agl_tensor::rng::Rng;
 
 /// How a reduce group down-samples its in-edge records.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,10 +81,7 @@ impl SamplingStrategy {
                 let mut idx: Vec<usize> = (0..n).collect();
                 // Heaviest first; ties broken by index for determinism.
                 idx.sort_by(|&a, &b| {
-                    weights[b]
-                        .partial_cmp(&weights[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
+                    weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
                 });
                 idx.truncate(max);
                 idx

@@ -244,7 +244,11 @@ mod tests {
                     edges: vec![SubEdge { src: 1, dst: 0, weight: 1.0 }],
                     edge_features: None,
                 };
-                TrainingExample { target: NodeId(i), label: vec![(i % 2) as f32], graph_feature: encode_graph_feature(&sub) }
+                TrainingExample {
+                    target: NodeId(i),
+                    label: vec![(i % 2) as f32],
+                    graph_feature: encode_graph_feature(&sub),
+                }
             })
             .collect()
     }

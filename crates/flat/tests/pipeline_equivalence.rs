@@ -8,8 +8,8 @@ use agl_graph::graph::Graph;
 use agl_graph::khop::{khop_subgraph, EdgeRule};
 use agl_graph::{EdgeTable, NodeId, NodeTable};
 use agl_mapreduce::{FaultPlan, SpillMode, TaskId};
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, Matrix};
-use rand::Rng;
 
 /// Random sparse directed graph with per-node labels.
 fn random_graph(n: u64, avg_deg: usize, seed: u64) -> (NodeTable, EdgeTable) {
@@ -113,12 +113,8 @@ fn spill_to_disk_matches_in_memory() {
 fn sampling_caps_neighborhood_size() {
     let (nodes, edges) = hub_graph(100);
     // Unsampled: the hub's 1-hop neighborhood has 101 nodes.
-    let full = run_flat(
-        FlatConfig { k_hops: 1, ..FlatConfig::default() },
-        &nodes,
-        &edges,
-        TargetSpec::Ids(vec![NodeId(0)]),
-    );
+    let full =
+        run_flat(FlatConfig { k_hops: 1, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::Ids(vec![NodeId(0)]));
     let full_sub = decode_graph_feature(&full.examples[0].graph_feature).unwrap();
     assert_eq!(full_sub.n_nodes(), 101);
     // Sampled: at most 10 in-edges survive.
@@ -145,11 +141,8 @@ fn sampling_caps_neighborhood_size() {
 #[test]
 fn sampling_is_deterministic_across_runs() {
     let (nodes, edges) = hub_graph(50);
-    let cfg = || FlatConfig {
-        k_hops: 2,
-        sampling: SamplingStrategy::Uniform { max_degree: 5 },
-        ..FlatConfig::default()
-    };
+    let cfg =
+        || FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 5 }, ..FlatConfig::default() };
     let a = run_flat(cfg(), &nodes, &edges, TargetSpec::All);
     let b = run_flat(cfg(), &nodes, &edges, TargetSpec::All);
     for (x, y) in a.examples.iter().zip(&b.examples) {
@@ -222,10 +215,7 @@ fn reindexing_shrinks_the_largest_reduce_group() {
         TargetSpec::All,
     );
     let max_group = reindexed.counters.get("flat.max_group_in_edges");
-    assert!(
-        max_group < 60,
-        "re-indexing with fanout 4 should split the 120-edge hub group, got {max_group}"
-    );
+    assert!(max_group < 60, "re-indexing with fanout 4 should split the 120-edge hub group, got {max_group}");
 }
 
 #[test]
@@ -236,10 +226,8 @@ fn dangling_edges_are_counted_not_fatal() {
     let out = run_flat(FlatConfig { k_hops: 1, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::All);
     assert_eq!(out.examples.len(), 2);
     assert!(out.counters.get("flat.dangling_edge_sources") + out.counters.get("flat.dangling_edge_destinations") > 0);
-    let sub2 = decode_graph_feature(
-        &out.examples.iter().find(|e| e.target == NodeId(2)).unwrap().graph_feature,
-    )
-    .unwrap();
+    let sub2 =
+        decode_graph_feature(&out.examples.iter().find(|e| e.target == NodeId(2)).unwrap().graph_feature).unwrap();
     assert_eq!(sub2.n_nodes(), 2, "node 2 still gets its valid neighbor");
 }
 
@@ -248,18 +236,16 @@ fn edge_features_flow_through_the_pipeline() {
     // Edge features ride the in-edge information and must survive into the
     // stored GraphFeature (the `E_B` matrix of §3.3.1).
     use agl_graph::tables::EdgeRow;
-    let nodes = NodeTable::new(
-        vec![NodeId(1), NodeId(2), NodeId(3)],
-        Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]),
-        None,
-    );
+    let nodes =
+        NodeTable::new(vec![NodeId(1), NodeId(2), NodeId(3)], Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]), None);
     let rows = vec![
         EdgeRow { src: NodeId(2), dst: NodeId(1), weight: 1.0 },
         EdgeRow { src: NodeId(3), dst: NodeId(2), weight: 2.0 },
     ];
     let efeat = Matrix::from_rows(&[&[10.0, 11.0], &[20.0, 21.0]]);
     let edges = EdgeTable::new(rows, Some(efeat));
-    let out = run_flat(FlatConfig { k_hops: 2, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::Ids(vec![NodeId(1)]));
+    let out =
+        run_flat(FlatConfig { k_hops: 2, ..FlatConfig::default() }, &nodes, &edges, TargetSpec::Ids(vec![NodeId(1)]));
     let sub = decode_graph_feature(&out.examples[0].graph_feature).unwrap();
     assert_eq!(sub.n_edges(), 2);
     let ef = sub.edge_features.as_ref().expect("edge features preserved");

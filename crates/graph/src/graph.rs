@@ -71,7 +71,14 @@ impl Graph {
             }
             Some(out)
         });
-        Self { index, features: nodes.features().clone(), labels: nodes.labels().cloned(), in_adj, out_adj, edge_features }
+        Self {
+            index,
+            features: nodes.features().clone(),
+            labels: nodes.labels().cloned(),
+            in_adj,
+            out_adj,
+            edge_features,
+        }
     }
 
     /// Number of nodes.
@@ -150,11 +157,7 @@ impl Graph {
         let nodes = NodeTable::new(self.index.globals().to_vec(), self.features.clone(), self.labels.clone());
         let mut rows = Vec::with_capacity(self.n_edges());
         for (d, s, w) in self.in_adj.iter_entries() {
-            rows.push(crate::tables::EdgeRow {
-                src: self.index.global(s),
-                dst: self.index.global(d),
-                weight: w,
-            });
+            rows.push(crate::tables::EdgeRow { src: self.index.global(s), dst: self.index.global(d), weight: w });
         }
         (nodes, EdgeTable::new(rows, self.edge_features.clone()))
     }
@@ -211,11 +214,7 @@ mod tests {
 
     #[test]
     fn edge_features_follow_csr_order() {
-        let nodes = NodeTable::new(
-            vec![NodeId(0), NodeId(1), NodeId(2)],
-            Matrix::zeros(3, 1),
-            None,
-        );
+        let nodes = NodeTable::new(vec![NodeId(0), NodeId(1), NodeId(2)], Matrix::zeros(3, 1), None);
         // Two edges into node 2, listed in "wrong" order relative to CSR.
         let rows = vec![
             crate::tables::EdgeRow { src: NodeId(1), dst: NodeId(2), weight: 1.0 },

@@ -37,10 +37,8 @@ pub enum EdgeRule {
 /// Local node 0..t-1 are the targets in the order given; remaining nodes
 /// follow in BFS discovery order. Panics if a target id is unknown.
 pub fn khop_subgraph(graph: &Graph, targets: &[NodeId], k: u32, rule: EdgeRule) -> Subgraph {
-    let target_locals: Vec<u32> = targets
-        .iter()
-        .map(|&t| graph.local(t).unwrap_or_else(|| panic!("unknown target {t}")))
-        .collect();
+    let target_locals: Vec<u32> =
+        targets.iter().map(|&t| graph.local(t).unwrap_or_else(|| panic!("unknown target {t}"))).collect();
     let dist = multi_source_distances(graph.in_adj(), &target_locals, Some(k));
 
     // Collect member nodes: targets first (in caller order), then the rest
@@ -50,9 +48,8 @@ pub fn khop_subgraph(graph: &Graph, targets: &[NodeId], k: u32, rule: EdgeRule) 
     for &t in &target_locals {
         is_target[t as usize] = true;
     }
-    let mut rest: Vec<u32> = (0..graph.n_nodes() as u32)
-        .filter(|&v| dist[v as usize] != UNREACHED && !is_target[v as usize])
-        .collect();
+    let mut rest: Vec<u32> =
+        (0..graph.n_nodes() as u32).filter(|&v| dist[v as usize] != UNREACHED && !is_target[v as usize]).collect();
     rest.sort_unstable_by_key(|&v| (dist[v as usize], v));
     members.extend(rest);
 
@@ -103,13 +100,7 @@ pub fn khop_subgraph(graph: &Graph, targets: &[NodeId], k: u32, rule: EdgeRule) 
     });
 
     let node_ids = members.iter().map(|&g| graph.node_id(g)).collect();
-    Subgraph {
-        target_locals: (0..target_locals.len() as u32).collect(),
-        node_ids,
-        features,
-        edges,
-        edge_features,
-    }
+    Subgraph { target_locals: (0..target_locals.len() as u32).collect(), node_ids, features, edges, edge_features }
 }
 
 #[cfg(test)]

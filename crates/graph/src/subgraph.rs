@@ -139,10 +139,7 @@ mod tests {
             target_locals: vec![0],
             node_ids: vec![NodeId(30), NodeId(10), NodeId(20)],
             features: Matrix::from_rows(&[&[3.0], &[1.0], &[2.0]]),
-            edges: vec![
-                SubEdge { src: 1, dst: 0, weight: 1.0 },
-                SubEdge { src: 2, dst: 0, weight: 0.5 },
-            ],
+            edges: vec![SubEdge { src: 1, dst: 0, weight: 1.0 }, SubEdge { src: 2, dst: 0, weight: 0.5 }],
             edge_features: None,
         }
     }
@@ -175,10 +172,7 @@ mod tests {
             target_locals: vec![2],
             node_ids: vec![NodeId(20), NodeId(10), NodeId(30)],
             features: Matrix::from_rows(&[&[2.0], &[1.0], &[3.0]]),
-            edges: vec![
-                SubEdge { src: 1, dst: 2, weight: 1.0 },
-                SubEdge { src: 0, dst: 2, weight: 0.5 },
-            ],
+            edges: vec![SubEdge { src: 1, dst: 2, weight: 1.0 }, SubEdge { src: 0, dst: 2, weight: 0.5 }],
             edge_features: None,
         };
         let c2 = permuted.canonicalize();

@@ -105,10 +105,7 @@ impl EdgeTable {
 
     /// Build from `(src, dst)` pairs with unit weights and no features.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
-        let rows = pairs
-            .into_iter()
-            .map(|(s, d)| EdgeRow { src: NodeId(s), dst: NodeId(d), weight: 1.0 })
-            .collect();
+        let rows = pairs.into_iter().map(|(s, d)| EdgeRow { src: NodeId(s), dst: NodeId(d), weight: 1.0 }).collect();
         Self { rows, features: None }
     }
 
@@ -207,11 +204,7 @@ mod tests {
 
     #[test]
     fn node_table_basic() {
-        let t = NodeTable::new(
-            vec![NodeId(10), NodeId(20)],
-            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
-            None,
-        );
+        let t = NodeTable::new(vec![NodeId(10), NodeId(20)], Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), None);
         assert_eq!(t.len(), 2);
         assert_eq!(t.feature_dim(), 2);
         let rows: Vec<_> = t.iter().collect();
@@ -222,11 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unique")]
     fn duplicate_node_ids_rejected() {
-        let _ = NodeTable::new(
-            vec![NodeId(1), NodeId(1)],
-            Matrix::zeros(2, 1),
-            None,
-        );
+        let _ = NodeTable::new(vec![NodeId(1), NodeId(1)], Matrix::zeros(2, 1), None);
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! what flows between rounds is one vector per node per edge, not a growing
 //! neighborhood.
 
-use agl_mapreduce::codec::{
-    get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec, CodecError,
-};
+use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec, CodecError};
 
 /// A value record of the GraphInfer pipeline. Keys are plain node ids
 /// (little-endian `u64`).

@@ -8,14 +8,14 @@
 //! paper eliminates. The repetition factor is surfaced via counters so the
 //! Table 5 bench can report it alongside wall-clock numbers.
 
+use crate::pipeline::NodeScore;
 use agl_flat::{FlatConfig, GraphFlat, TargetSpec, TrainingExample};
+use agl_graph::NodeId;
 use agl_graph::{EdgeTable, NodeTable};
 use agl_mapreduce::{Counters, JobError};
 use agl_nn::GnnModel;
 use agl_tensor::seeded_rng;
 use agl_trainer::pipeline::{prepare_batch, PrepSpec};
-use crate::pipeline::NodeScore;
-use agl_graph::NodeId;
 use std::time::{Duration, Instant};
 
 /// Timing/cost breakdown of an original-inference run (mirrors Table 5's
@@ -51,12 +51,13 @@ impl OriginalInference {
 
     /// Score every node by generating its GraphFeature and running the full
     /// model forward over it.
-    pub fn run(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<OriginalInferenceReport, JobError> {
-        assert_eq!(
-            self.flat.k_hops,
-            model.n_layers(),
-            "GraphFeatures must be as deep as the model (Theorem 1)"
-        );
+    pub fn run(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+    ) -> Result<OriginalInferenceReport, JobError> {
+        assert_eq!(self.flat.k_hops, model.n_layers(), "GraphFeatures must be as deep as the model (Theorem 1)");
         let t0 = Instant::now();
         let flat_out = GraphFlat::new(self.flat.clone()).run(nodes, edges, &TargetSpec::All)?;
         let graphflat_time = t0.elapsed();
@@ -81,14 +82,8 @@ impl OriginalInference {
             for adj in &prepared.adjs {
                 embeddings_computed += count_active_rows(adj);
             }
-            let pass = model.forward(
-                &prepared.adjs,
-                &prepared.batch.features,
-                &prepared.batch.targets,
-                false,
-                &ctx,
-                &mut rng,
-            );
+            let pass =
+                model.forward(&prepared.adjs, &prepared.batch.features, &prepared.batch.targets, false, &ctx, &mut rng);
             let probs = model.config().loss.probabilities(&pass.logits);
             for (i, ex) in chunk.iter().enumerate() {
                 scores.push(NodeScore { node: ex.target, probs: probs.row(i).to_vec() });

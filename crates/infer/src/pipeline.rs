@@ -13,7 +13,9 @@ use agl_flat::SamplingStrategy;
 use agl_graph::{EdgeTable, NodeId, NodeTable};
 use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
 use agl_mapreduce::hash::fnv1a;
-use agl_mapreduce::{Counters, FaultPlan, JobConfig, JobError, MapReduceJob, Mapper, Reducer, SpillMode};
+use agl_mapreduce::{
+    Counters, FaultPlan, JobConfig, JobError, JobPlan, MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
+};
 use agl_nn::layer::NeighborView;
 use agl_nn::{GnnModel, ModelSlice};
 use agl_tensor::rng::derive_seed;
@@ -95,23 +97,47 @@ fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32) -> Vec<u8> {
     buf
 }
 
+/// Decode a record this pipeline itself encoded. The [`Mapper`]/[`Reducer`]
+/// contract has no error channel, and a decode failure of self-encoded
+/// bytes means an engine invariant broke — aborting the task is the only
+/// correct response, and the retry machinery reports it as a task failure.
+fn must<T>(r: Result<T, agl_mapreduce::codec::CodecError>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        // agl-lint: allow(no-panic) — self-encoded record failed to decode: engine bug, and no error channel exists here.
+        Err(e) => panic!("corrupt {what}: {e}"),
+    }
+}
+
+/// Shuffle keys in this pipeline are always the 8-byte little-endian node
+/// id (shorter keys decode as zero-padded — unreachable for records this
+/// pipeline emitted).
+fn key_id(key: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    for (d, s) in b.iter_mut().zip(key) {
+        *d = *s;
+    }
+    u64::from_le_bytes(b)
+}
+
 struct InferMapper;
 
 impl Mapper for InferMapper {
     fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
         let mut r = input;
-        match get_u8(&mut r).expect("record tag") {
+        match must(get_u8(&mut r), "record tag") {
             REC_NODE => {
-                let id = get_u64(&mut r).expect("node id");
-                let features = get_f32s(&mut r).expect("features");
+                let id = must(get_u64(&mut r), "node id");
+                let features = must(get_f32s(&mut r), "features");
                 emit(id.to_le_bytes().to_vec(), InferMsg::NodeRow { features }.to_bytes());
             }
             REC_EDGE => {
-                let src = get_u64(&mut r).expect("src");
-                let dst = get_u64(&mut r).expect("dst");
-                let weight = get_f32(&mut r).expect("weight");
+                let src = must(get_u64(&mut r), "src");
+                let dst = must(get_u64(&mut r), "dst");
+                let weight = must(get_f32(&mut r), "weight");
                 emit(src.to_le_bytes().to_vec(), InferMsg::EdgeBySrc { dst, weight }.to_bytes());
             }
+            // agl-lint: allow(no-panic) — inputs are produced by encode_node_record/encode_edge_record above.
             t => panic!("unknown input record tag {t}"),
         }
     }
@@ -141,13 +167,14 @@ impl Reducer for InferReducer {
         let mut out_edges: Vec<(u64, f32)> = Vec::new();
         let mut final_emb: Option<Vec<f32>> = None;
         for v in values {
-            match InferMsg::from_bytes(v).expect("infer message") {
+            match must(InferMsg::from_bytes(v), "infer message") {
                 InferMsg::NodeRow { features } => node_row = Some(features),
                 InferMsg::EdgeBySrc { dst, weight } => edges_by_src.push((dst, weight)),
                 InferMsg::SelfEmb { h } => self_emb = Some(h),
                 InferMsg::InEmb { src, weight, h } => in_embs.push((src, weight, h)),
                 InferMsg::OutEdge { dst, weight } => out_edges.push((dst, weight)),
                 InferMsg::Emb { h } => final_emb = Some(h),
+                // agl-lint: allow(no-panic) — Score is only emitted by the terminal prediction round.
                 InferMsg::Score { .. } => panic!("Score re-entered the pipeline"),
             }
         }
@@ -160,11 +187,7 @@ impl Reducer for InferReducer {
             };
             emit(key.to_vec(), InferMsg::SelfEmb { h: x.clone() }.to_bytes());
             for (dst, weight) in edges_by_src {
-                emit(
-                    dst.to_le_bytes().to_vec(),
-                    InferMsg::InEmb { src: u64::from_le_bytes(key.try_into().unwrap()), weight, h: x.clone() }
-                        .to_bytes(),
-                );
+                emit(dst.to_le_bytes().to_vec(), InferMsg::InEmb { src: key_id(key), weight, h: x.clone() }.to_bytes());
                 emit(key.to_vec(), InferMsg::OutEdge { dst, weight }.to_bytes());
             }
             return;
@@ -183,12 +206,13 @@ impl Reducer for InferReducer {
             // data (§3.4's unbiasedness requirement).
             in_embs.sort_by_key(|(src, _, _)| *src);
             let weights: Vec<f32> = in_embs.iter().map(|(_, w, _)| *w).collect();
-            let node_id = u64::from_le_bytes(key.try_into().unwrap());
+            let node_id = key_id(key);
             let sample_seed = derive_seed(self.seed, fnv1a(&node_id.to_le_bytes()));
             let kept = self.sampling.select(&weights, sample_seed);
             let neighbor_h: Vec<Vec<f32>> = kept.iter().map(|&i| in_embs[i].2.clone()).collect();
             let kept_w: Vec<f32> = kept.iter().map(|&i| in_embs[i].1).collect();
             let ModelSlice::Gnn(layer) = &self.slices[round - 1] else {
+                // agl-lint: allow(no-panic) — GnnModel::segment() puts exactly one Gnn slice per layer round.
                 panic!("slice {round} is not a GNN layer");
             };
             let view = NeighborView { self_h: &h_self, neighbor_h: &neighbor_h, weights: &kept_w };
@@ -199,12 +223,7 @@ impl Reducer for InferReducer {
                 for (dst, weight) in out_edges {
                     emit(
                         dst.to_le_bytes().to_vec(),
-                        InferMsg::InEmb {
-                            src: u64::from_le_bytes(key.try_into().unwrap()),
-                            weight,
-                            h: h_next.clone(),
-                        }
-                        .to_bytes(),
+                        InferMsg::InEmb { src: key_id(key), weight, h: h_next.clone() }.to_bytes(),
                     );
                     emit(key.to_vec(), InferMsg::OutEdge { dst, weight }.to_bytes());
                 }
@@ -219,12 +238,11 @@ impl Reducer for InferReducer {
         // ---- Prediction round ----
         let Some(h) = final_emb else { return };
         let ModelSlice::Prediction(head, loss) = &self.slices[self.k] else {
+            // agl-lint: allow(no-panic) — GnnModel::segment() always ends with the Prediction slice.
             panic!("last slice is not the prediction model");
         };
         let logits = head.forward_row(&h);
-        let probs = loss
-            .probabilities(&agl_tensor::Matrix::from_vec(1, logits.len(), logits))
-            .into_vec();
+        let probs = loss.probabilities(&agl_tensor::Matrix::from_vec(1, logits.len(), logits)).into_vec();
         self.counters.inc("infer.scores");
         emit(key.to_vec(), InferMsg::Score { probs }.to_bytes());
     }
@@ -254,16 +272,17 @@ impl GraphInfer {
         edges: &EdgeTable,
     ) -> Result<(Vec<NodeEmbedding>, Counters), JobError> {
         let (output, counters) = self.run_rounds(model, nodes, edges, model.n_layers() + 1)?;
-        let mut embeddings: Vec<NodeEmbedding> = output
-            .iter()
-            .map(|kv| {
-                let id = u64::from_le_bytes(kv.key.as_slice().try_into().expect("emb key"));
-                match InferMsg::from_bytes(&kv.value).expect("emb msg") {
-                    InferMsg::Emb { h } => NodeEmbedding { node: NodeId(id), embedding: h },
-                    other => panic!("unexpected output record {other:?}"),
+        let mut embeddings = Vec::with_capacity(output.len());
+        for kv in &output {
+            let msg =
+                InferMsg::from_bytes(&kv.value).map_err(|e| JobError::Corrupt(format!("embedding record: {e}")))?;
+            match msg {
+                InferMsg::Emb { h } => {
+                    embeddings.push(NodeEmbedding { node: NodeId(key_id(&kv.key)), embedding: h });
                 }
-            })
-            .collect();
+                other => return Err(JobError::Corrupt(format!("unexpected output record {other:?}"))),
+            }
+        }
         embeddings.sort_by_key(|e| e.node);
         Ok((embeddings, counters))
     }
@@ -287,13 +306,8 @@ impl GraphInfer {
             inputs.push(encode_edge_record(row.src, row.dst, row.weight));
         }
 
-        let reducer = InferReducer {
-            slices,
-            k,
-            sampling: self.cfg.sampling,
-            seed: self.cfg.seed,
-            counters: counters.clone(),
-        };
+        let reducer =
+            InferReducer { slices, k, sampling: self.cfg.sampling, seed: self.cfg.seed, counters: counters.clone() };
         let job = MapReduceJob::new(JobConfig {
             map_tasks: self.cfg.map_tasks,
             reduce_tasks: self.cfg.reduce_tasks,
@@ -302,6 +316,8 @@ impl GraphInfer {
             max_attempts: 4,
             fault_plan: self.cfg.fault_plan.clone(),
             spill: self.cfg.spill.clone(),
+            // join + K slice rounds + prediction all speak InferMsg.
+            plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
         });
         let result = job.run(&inputs, &InferMapper, &reducer)?;
         for (name, v) in result.counters.snapshot() {
@@ -314,16 +330,14 @@ impl GraphInfer {
     pub fn run(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
         // join + K slices + prediction.
         let (output, counters) = self.run_rounds(model, nodes, edges, model.n_layers() + 2)?;
-        let mut scores: Vec<NodeScore> = output
-            .iter()
-            .map(|kv| {
-                let id = u64::from_le_bytes(kv.key.as_slice().try_into().expect("score key"));
-                match InferMsg::from_bytes(&kv.value).expect("score msg") {
-                    InferMsg::Score { probs } => NodeScore { node: NodeId(id), probs },
-                    other => panic!("unexpected output record {other:?}"),
-                }
-            })
-            .collect();
+        let mut scores = Vec::with_capacity(output.len());
+        for kv in &output {
+            let msg = InferMsg::from_bytes(&kv.value).map_err(|e| JobError::Corrupt(format!("score record: {e}")))?;
+            match msg {
+                InferMsg::Score { probs } => scores.push(NodeScore { node: NodeId(key_id(&kv.key)), probs }),
+                other => return Err(JobError::Corrupt(format!("unexpected output record {other:?}"))),
+            }
+        }
         scores.sort_by_key(|s| s.node);
         Ok(InferOutput { scores, counters })
     }

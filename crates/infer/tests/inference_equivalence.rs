@@ -16,17 +16,14 @@ use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
 use agl_infer::{GraphInfer, InferConfig, OriginalInference};
 use agl_mapreduce::{FaultPlan, TaskId};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, Matrix};
-use rand::Rng;
 
 fn random_tables(n: u64, avg_deg: usize, f_dim: usize, seed: u64) -> (NodeTable, EdgeTable) {
     let mut rng = seeded_rng(seed);
     let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
-    let feats = Matrix::from_vec(
-        n as usize,
-        f_dim,
-        (0..n as usize * f_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
-    );
+    let feats =
+        Matrix::from_vec(n as usize, f_dim, (0..n as usize * f_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
     let nodes = NodeTable::new(ids, feats, None);
     let mut pairs = Vec::new();
     for src in 0..n {
@@ -62,11 +59,7 @@ fn graphinfer_matches_full_graph_forward() {
             for s in &out.scores {
                 let local = graph.local(s.node).unwrap() as usize;
                 for (a, b) in s.probs.iter().zip(truth.row(local)) {
-                    assert!(
-                        (a - b).abs() < 1e-4,
-                        "{kind:?} K={n_layers} node {}: {a} vs {b}",
-                        s.node
-                    );
+                    assert!((a - b).abs() < 1e-4, "{kind:?} K={n_layers} node {}: {a} vs {b}", s.node);
                 }
             }
             assert_eq!(
@@ -113,9 +106,8 @@ fn embedding_mode_matches_full_graph_embeddings() {
     let (nodes, edges) = random_tables(20, 3, 4, 29);
     let graph = Graph::from_tables(&nodes, &edges);
     let model = trained_like(ModelKind::Gat { heads: 2 }, 4, 2);
-    let (embeddings, counters) = GraphInfer::new(InferConfig::default())
-        .run_embeddings(&model, &nodes, &edges)
-        .unwrap();
+    let (embeddings, counters) =
+        GraphInfer::new(InferConfig::default()).run_embeddings(&model, &nodes, &edges).unwrap();
     assert_eq!(embeddings.len(), 20);
     assert_eq!(counters.get("infer.scores"), 0, "prediction slice never ran");
 
@@ -159,10 +151,7 @@ fn sampled_inference_is_deterministic_and_bounded() {
     use agl_flat::SamplingStrategy;
     let (nodes, edges) = random_tables(40, 8, 3, 17);
     let model = trained_like(ModelKind::Gcn, 3, 2);
-    let cfg = || InferConfig {
-        sampling: SamplingStrategy::Uniform { max_degree: 3 },
-        ..InferConfig::default()
-    };
+    let cfg = || InferConfig { sampling: SamplingStrategy::Uniform { max_degree: 3 }, ..InferConfig::default() };
     let a = GraphInfer::new(cfg()).run(&model, &nodes, &edges).unwrap();
     let b = GraphInfer::new(cfg()).run(&model, &nodes, &edges).unwrap();
     assert_eq!(a.scores, b.scores, "same seed, same sampled scores");

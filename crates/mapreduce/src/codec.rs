@@ -66,7 +66,8 @@ pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
 }
 
 pub fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
-    Ok(u32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+    let b = take(input, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
@@ -74,7 +75,8 @@ pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 pub fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
-    Ok(u64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+    let b = take(input, 8)?;
+    Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
 }
 
 pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
@@ -82,7 +84,8 @@ pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
 }
 
 pub fn get_f32(input: &mut &[u8]) -> Result<f32, CodecError> {
-    Ok(f32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+    let b = take(input, 4)?;
+    Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 /// `u32` length-prefixed byte string.
@@ -146,7 +149,7 @@ impl Codec for String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use agl_tensor::{seeded_rng, Rng};
 
     #[test]
     fn u64_roundtrip() {
@@ -182,26 +185,46 @@ mod tests {
         assert!(r.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn prop_f32s_roundtrip(v in proptest::collection::vec(-1e6f32..1e6, 0..64)) {
+    #[test]
+    fn prop_f32s_roundtrip() {
+        let mut rng = seeded_rng(0xC0DEC_01);
+        for _ in 0..64 {
+            let len = rng.gen_range(0..64usize);
+            let v: Vec<f32> = (0..len).map(|_| rng.gen_range(-1e6f32..1e6)).collect();
             let mut buf = Vec::new();
             put_f32s(&mut buf, &v);
             let mut r: &[u8] = &buf;
             let back = get_f32s(&mut r).unwrap();
-            prop_assert_eq!(v, back);
-            prop_assert!(r.is_empty());
+            assert_eq!(v, back);
+            assert!(r.is_empty());
         }
+    }
 
-        #[test]
-        fn prop_string_roundtrip(s in ".{0,64}") {
+    #[test]
+    fn prop_string_roundtrip() {
+        let mut rng = seeded_rng(0xC0DEC_02);
+        for _ in 0..64 {
+            let len = rng.gen_range(0..64usize);
+            let s: String = (0..len)
+                .map(|_| loop {
+                    // Arbitrary scalar values, including multibyte ones.
+                    if let Some(c) = char::from_u32(rng.gen_range(0..=0x10_FFFFu32)) {
+                        break c;
+                    }
+                })
+                .collect();
             let b = s.clone().to_bytes();
-            prop_assert_eq!(String::from_bytes(&b).unwrap(), s);
+            assert_eq!(String::from_bytes(&b).unwrap(), s);
         }
+    }
 
-        #[test]
-        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
-            // Malformed input must produce Err, not panic.
+    #[test]
+    fn prop_decode_never_panics() {
+        // Malformed input must produce Err, not panic.
+        let mut rng = seeded_rng(0xC0DEC_03);
+        for _ in 0..128 {
+            let len = rng.gen_range(0..128usize);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
             let _ = u64::from_bytes(&bytes);
             let _ = String::from_bytes(&bytes);
             let mut r: &[u8] = &bytes;

@@ -1,9 +1,9 @@
 //! Hadoop-style named job counters.
 
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// A set of named monotonically increasing counters shared by all tasks of a
 /// job. Cheap to clone (Arc) and safe to bump from any task thread.
@@ -17,11 +17,22 @@ impl Counters {
         Self::default()
     }
 
+    /// Read/write the map even if a panicking holder poisoned the lock —
+    /// counters are monotone scalars, so no invariant can be torn.
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<AtomicU64>>> {
+        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn cell(&self, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = self.inner.read().get(name) {
+        if let Some(c) = self.read().get(name) {
             return c.clone();
         }
-        self.inner.write().entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))).clone()
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
     }
 
     /// Add `delta` to counter `name` (creating it at zero).
@@ -42,16 +53,12 @@ impl Counters {
 
     /// Current value (0 if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+        self.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        self.inner
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        self.read().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
     }
 }
 
@@ -72,17 +79,16 @@ mod tests {
     fn shared_across_clones_and_threads() {
         let c = Counters::new();
         let c2 = c.clone();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
                 let c3 = c2.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..100 {
                         c3.inc("n");
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(c.get("n"), 400);
     }
 

@@ -19,6 +19,13 @@ use crate::fault::{FaultPlan, TaskId};
 use crate::hash::partition;
 use crate::spill::SpillMode;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquire `m` even if a panicking holder poisoned it — the engine treats a
+/// worker panic as a task failure, not a reason to lose the whole job.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A serialised record crossing a shuffle boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +51,13 @@ pub trait Mapper: Sync {
 /// the key's values. `round` is 0-based. Emissions feed the next round, or
 /// the job output on the final round. Must be deterministic (see [`Mapper`]).
 pub trait Reducer: Sync {
-    fn reduce(&self, round: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
+    fn reduce(
+        &self,
+        round: usize,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = &[u8]>,
+        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+    );
 }
 
 impl<F> Mapper for F
@@ -73,6 +86,9 @@ pub struct JobConfig {
     pub fault_plan: FaultPlan,
     /// Whether shuffle partitions round-trip through disk.
     pub spill: SpillMode,
+    /// Declared pipeline shape, validated at construction in debug builds
+    /// (see [`crate::plan::JobPlanValidator`]).
+    pub plan: Option<crate::plan::JobPlan>,
 }
 
 impl Default for JobConfig {
@@ -85,6 +101,7 @@ impl Default for JobConfig {
             max_attempts: 4,
             fault_plan: FaultPlan::none(),
             spill: SpillMode::InMemory,
+            plan: None,
         }
     }
 }
@@ -103,6 +120,9 @@ pub enum JobError {
     TaskFailed(TaskId),
     /// Shuffle spill I/O failed.
     Io(std::io::Error),
+    /// Job output failed to decode — a codec bug between the last round
+    /// and the driver.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -110,6 +130,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::TaskFailed(t) => write!(f, "task {t:?} exhausted retries"),
             JobError::Io(e) => write!(f, "shuffle I/O error: {e}"),
+            JobError::Corrupt(what) => write!(f, "corrupt job output: {what}"),
         }
     }
 }
@@ -139,6 +160,11 @@ pub struct MapReduceJob {
 impl MapReduceJob {
     pub fn new(cfg: JobConfig) -> Self {
         assert!(cfg.map_tasks > 0 && cfg.reduce_tasks > 0 && cfg.parallelism > 0 && cfg.max_attempts > 0);
+        #[cfg(debug_assertions)]
+        if let Some(plan) = &cfg.plan {
+            let checked = crate::plan::JobPlanValidator::new(plan).validate(&cfg);
+            assert!(checked.is_ok(), "invalid job plan: {}", checked.err().map(|e| e.to_string()).unwrap_or_default());
+        }
         Self { cfg }
     }
 
@@ -182,7 +208,12 @@ impl MapReduceJob {
     }
 
     /// Run the job over `inputs` (each element is one opaque input record).
-    pub fn run<M: Mapper, R: Reducer>(&self, inputs: &[Vec<u8>], mapper: &M, reducer: &R) -> Result<JobResult, JobError> {
+    pub fn run<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+    ) -> Result<JobResult, JobError> {
         let counters = Counters::new();
         counters.add("map.input_records", inputs.len() as u64);
 
@@ -225,8 +256,10 @@ impl MapReduceJob {
                 spilled.push(self.cfg.spill.roundtrip(&format!("r{round}-p{p}"), records)?);
             }
 
-            let round_outputs: Vec<Vec<Vec<KeyValue>>> =
-                self.run_tasks(r_parts, |i| TaskId::reduce(round, i), |p| {
+            let round_outputs: Vec<Vec<Vec<KeyValue>>> = self.run_tasks(
+                r_parts,
+                |i| TaskId::reduce(round, i),
+                |p| {
                     let mut records = spilled[p].clone();
                     // Group by key: sort is stable, so within a key the value
                     // order (producer task order, then emit order) is
@@ -251,7 +284,8 @@ impl MapReduceJob {
                     }
                     counters.add(&format!("reduce.r{round}.output_records"), emitted);
                     out_buckets
-                })?;
+                },
+            )?;
             if is_last {
                 for task_buckets in round_outputs {
                     for bucket in task_buckets {
@@ -284,12 +318,11 @@ impl MapReduceJob {
     {
         let retries = &Counters::new();
         let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<T, JobError>>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<T, JobError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let ids: Vec<TaskId> = (0..n).map(&id_of).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.cfg.parallelism.min(n) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let task = next.fetch_add(1, Ordering::Relaxed);
                     if task >= n {
                         break;
@@ -309,17 +342,16 @@ impl MapReduceJob {
                         outcome = Ok(out);
                         break;
                     }
-                    *results[task].lock() = Some(outcome);
+                    *lock_ignoring_poison(&results[task]) = Some(outcome);
                 });
             }
-        })
-        .expect("task worker panicked");
+        });
         let mut out = Vec::with_capacity(n);
         for cell in results {
-            match cell.into_inner() {
+            match cell.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
                 Some(Ok(t)) => out.push(t),
                 Some(Err(e)) => return Err(e),
-                None => unreachable!("task not executed"),
+                None => return Err(JobError::TaskFailed(ids[out.len()])),
             }
         }
         Ok(out)
@@ -345,18 +377,20 @@ mod tests {
     /// Sums counts; emits on every round (pass-through totals).
     struct SumReduce;
     impl Reducer for SumReduce {
-        fn reduce(&self, _round: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        fn reduce(
+            &self,
+            _round: usize,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        ) {
             let total: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
             emit(key.to_vec(), total.to_bytes());
         }
     }
 
     fn word_inputs() -> Vec<Vec<u8>> {
-        vec![
-            b"the quick brown fox".to_vec(),
-            b"the lazy dog".to_vec(),
-            b"the fox".to_vec(),
-        ]
+        vec![b"the quick brown fox".to_vec(), b"the lazy dog".to_vec(), b"the fox".to_vec()]
     }
 
     fn sorted_counts(result: &JobResult) -> Vec<(String, u64)> {
@@ -400,9 +434,7 @@ mod tests {
 
     #[test]
     fn injected_faults_do_not_change_output() {
-        let clean = MapReduceJob::new(JobConfig::default())
-            .run(&word_inputs(), &WordMap, &SumReduce)
-            .unwrap();
+        let clean = MapReduceJob::new(JobConfig::default()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
         let plan = FaultPlan::none()
             .fail_first(TaskId::map(1), 2)
             .fail_first(TaskId::reduce(0, 0), 1)
@@ -468,19 +500,19 @@ mod tests {
         // key must be seen exactly once per round.
         struct CountInvocations;
         impl Reducer for CountInvocations {
-            fn reduce(&self, _r: usize, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            fn reduce(
+                &self,
+                _r: usize,
+                key: &[u8],
+                values: &mut dyn Iterator<Item = &[u8]>,
+                emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+            ) {
                 let n = values.count() as u64;
                 emit(key.to_vec(), n.to_bytes());
             }
         }
-        let res = MapReduceJob::new(JobConfig::default())
-            .run(&word_inputs(), &WordMap, &CountInvocations)
-            .unwrap();
-        let the = res
-            .output
-            .iter()
-            .find(|kv| kv.key == b"the")
-            .map(|kv| u64::from_bytes(&kv.value).unwrap());
+        let res = MapReduceJob::new(JobConfig::default()).run(&word_inputs(), &WordMap, &CountInvocations).unwrap();
+        let the = res.output.iter().find(|kv| kv.key == b"the").map(|kv| u64::from_bytes(&kv.value).unwrap());
         assert_eq!(the, Some(3));
     }
 }

@@ -27,7 +27,7 @@ pub fn partition(key: &[u8], n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use agl_tensor::{seeded_rng, Rng};
 
     #[test]
     fn known_values_stable() {
@@ -59,10 +59,14 @@ mod tests {
         assert!(counts.iter().all(|&c| c < 300), "no hot bucket: {counts:?}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_partition_bounded(key in proptest::collection::vec(any::<u8>(), 0..32), n in 1usize..128) {
-            prop_assert!(partition(&key, n) < n);
+    #[test]
+    fn prop_partition_bounded() {
+        let mut rng = seeded_rng(0xF17A);
+        for _ in 0..256 {
+            let len = rng.gen_range(0..32usize);
+            let key: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+            let n = rng.gen_range(1..128usize);
+            assert!(partition(&key, n) < n);
         }
     }
 }

@@ -32,10 +32,12 @@ pub mod counters;
 pub mod engine;
 pub mod fault;
 pub mod hash;
+pub mod plan;
 pub mod spill;
 
 pub use codec::{Codec, CodecError};
 pub use counters::Counters;
 pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
 pub use fault::{FaultPlan, TaskId, TaskKind};
+pub use plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};
 pub use spill::SpillMode;

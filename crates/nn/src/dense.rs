@@ -3,8 +3,8 @@
 
 use crate::param::Param;
 use agl_tensor::ops::Activation;
+use agl_tensor::rng::Rng;
 use agl_tensor::{init, Matrix};
-use rand::Rng;
 
 /// `out = act(H W + b)`.
 #[derive(Debug, Clone)]

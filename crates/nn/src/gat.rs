@@ -24,8 +24,8 @@
 use crate::layer::NeighborView;
 use crate::param::Param;
 use agl_tensor::ops::{leaky_relu, leaky_relu_grad, softmax_slice_inplace, Activation};
+use agl_tensor::rng::Rng;
 use agl_tensor::{init, Csr, ExecCtx, Matrix};
-use rand::Rng;
 
 /// How multiple heads are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

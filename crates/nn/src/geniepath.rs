@@ -25,8 +25,8 @@
 use crate::layer::NeighborView;
 use crate::param::Param;
 use agl_tensor::ops::{sigmoid, sigmoid_grad_from_output, softmax_slice_inplace};
+use agl_tensor::rng::Rng;
 use agl_tensor::{init, Csr, ExecCtx, Matrix};
-use rand::Rng;
 
 /// One GeniePath layer with hidden width `d` (state width `2d`).
 #[derive(Debug, Clone)]
@@ -351,12 +351,7 @@ impl GeniePathLayer {
             .iter()
             .map(|h_u| {
                 let hd_u = proj(h_u, &self.w_d.value);
-                hs_self
-                    .iter()
-                    .zip(&hd_u)
-                    .zip(self.v_a.value.row(0))
-                    .map(|((&a, &b), &va)| (a + b).tanh() * va)
-                    .sum()
+                hs_self.iter().zip(&hd_u).zip(self.v_a.value.row(0)).map(|((&a, &b), &va)| (a + b).tanh() * va).sum()
             })
             .collect();
         softmax_slice_inplace(&mut scores);
@@ -368,11 +363,7 @@ impl GeniePathLayer {
         }
         let tmp: Vec<f32> = proj(&agg, &self.w_agg.value).iter().map(|&x| x.tanh()).collect();
         let gate = |w: &Matrix, b: &Param, squash: fn(f32) -> f32| -> Vec<f32> {
-            proj(&tmp, w)
-                .iter()
-                .zip(b.value.row(0))
-                .map(|(&x, &bv)| squash(x + bv))
-                .collect()
+            proj(&tmp, w).iter().zip(b.value.row(0)).map(|(&x, &bv)| squash(x + bv)).collect()
         };
         let i = gate(&self.w_i.value, &self.b_i, sigmoid);
         let f = gate(&self.w_f.value, &self.b_f, sigmoid);
@@ -393,8 +384,18 @@ impl GeniePathLayer {
             out.push(w_x);
         }
         out.extend([
-            &self.w_s, &self.w_d, &self.v_a, &self.w_agg, &self.w_i, &self.b_i, &self.w_f, &self.b_f,
-            &self.w_o, &self.b_o, &self.w_c, &self.b_c,
+            &self.w_s,
+            &self.w_d,
+            &self.v_a,
+            &self.w_agg,
+            &self.w_i,
+            &self.b_i,
+            &self.w_f,
+            &self.b_f,
+            &self.w_o,
+            &self.b_o,
+            &self.w_c,
+            &self.b_c,
         ]);
         out
     }
@@ -405,8 +406,18 @@ impl GeniePathLayer {
             out.push(w_x);
         }
         out.extend([
-            &mut self.w_s, &mut self.w_d, &mut self.v_a, &mut self.w_agg, &mut self.w_i, &mut self.b_i,
-            &mut self.w_f, &mut self.b_f, &mut self.w_o, &mut self.b_o, &mut self.w_c, &mut self.b_c,
+            &mut self.w_s,
+            &mut self.w_d,
+            &mut self.v_a,
+            &mut self.w_agg,
+            &mut self.w_i,
+            &mut self.b_i,
+            &mut self.w_f,
+            &mut self.b_f,
+            &mut self.w_o,
+            &mut self.b_o,
+            &mut self.w_c,
+            &mut self.b_c,
         ]);
         out
     }

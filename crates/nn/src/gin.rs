@@ -15,8 +15,8 @@ use crate::dense::{DenseCache, DenseLayer};
 use crate::layer::NeighborView;
 use crate::param::Param;
 use agl_tensor::ops::Activation;
+use agl_tensor::rng::Rng;
 use agl_tensor::{Csr, ExecCtx, Matrix};
-use rand::Rng;
 
 /// One GIN layer: ε plus a 2-layer MLP.
 #[derive(Debug, Clone)]

@@ -12,15 +12,17 @@ use crate::loss::Loss;
 use crate::param::{self, Param};
 use crate::sage::SageLayer;
 use agl_tensor::ops::{dropout_mask, Activation};
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, Csr, ExecCtx, Matrix};
-use rand::Rng;
 
 /// Which GNN architecture the model stacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     Gcn,
     Sage,
-    Gat { heads: usize },
+    Gat {
+        heads: usize,
+    },
     /// Extension beyond the paper: GIN (sum aggregation + MLP update).
     Gin,
     /// Extension beyond the paper: GeniePath (Ant's adaptive receptive
@@ -312,7 +314,8 @@ mod tests {
 
     #[test]
     fn forward_shapes_for_all_kinds() {
-        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 2 }, ModelKind::Gin, ModelKind::GeniePath] {
+        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 2 }, ModelKind::Gin, ModelKind::GeniePath]
+        {
             let model = GnnModel::new(cfg(kind));
             let raw = ring_adj(6);
             let adjs = model.prepare_adjs(&raw, None);
@@ -330,7 +333,8 @@ mod tests {
         // A few Adam steps on a fixed batch must reduce the loss for every
         // architecture — end-to-end sanity of forward+backward+optimizer.
         use crate::optim::{Adam, Optimizer};
-        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 2 }, ModelKind::Gin, ModelKind::GeniePath] {
+        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 2 }, ModelKind::Gin, ModelKind::GeniePath]
+        {
             let mut model = GnnModel::new(cfg(kind));
             let raw = ring_adj(6);
             let adjs = model.prepare_adjs(&raw, None);
@@ -423,9 +427,7 @@ mod tests {
         let full = model.prepare_adjs(&raw, None);
         // Distance from target 0 along in-edges: node (0+i)%8 at distance i.
         // keep[k][v] ⟺ d(v) ≤ K-1-k with K=2.
-        let keep: Vec<Vec<bool>> = (0..2)
-            .map(|k| (0..8).map(|v| v <= (1 - k)).collect())
-            .collect();
+        let keep: Vec<Vec<bool>> = (0..2).map(|k| (0..8).map(|v| v <= (1 - k)).collect()).collect();
         let pruned = model.prepare_adjs(&raw, Some(&keep));
         assert!(pruned[1].nnz() < full[1].nnz());
         let a = model.forward(&full, &x, &[0], false, &ctx, &mut seeded_rng(1)).logits;

@@ -23,8 +23,8 @@
 use crate::param::Param;
 use agl_graph::SubEdge;
 use agl_tensor::ops::Activation;
+use agl_tensor::rng::Rng;
 use agl_tensor::{init, Matrix};
-use rand::Rng;
 
 /// Edge-conditioned GCN layer over an explicit edge list.
 #[derive(Debug, Clone)]
@@ -49,7 +49,14 @@ pub struct RgcnCache {
 }
 
 impl RelationalGcnLayer {
-    pub fn new(in_dim: usize, out_dim: usize, n_edge_feats: usize, act: Activation, name: &str, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        n_edge_feats: usize,
+        act: Activation,
+        name: &str,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self {
             w_base: Param::new(format!("{name}.w_base"), init::xavier_uniform(in_dim, out_dim, rng)),
             w_rel: (0..n_edge_feats)
@@ -86,7 +93,13 @@ impl RelationalGcnLayer {
 
     /// Batch forward over the merged subgraph's raw edge list and (optional)
     /// per-edge features (`E_B`, rows aligned with `edges`).
-    pub fn forward(&self, n_nodes: usize, edges: &[SubEdge], edge_feats: Option<&Matrix>, h: &Matrix) -> (Matrix, RgcnCache) {
+    pub fn forward(
+        &self,
+        n_nodes: usize,
+        edges: &[SubEdge],
+        edge_feats: Option<&Matrix>,
+        h: &Matrix,
+    ) -> (Matrix, RgcnCache) {
         assert_eq!(h.rows(), n_nodes);
         assert_eq!(h.cols(), self.in_dim());
         if let Some(ef) = edge_feats {
@@ -276,10 +289,7 @@ mod tests {
             let f_lo = objective(&layer);
             let fd = (f_hi - f_lo) / (2.0 * eps as f64);
             let a = analytic[i] as f64;
-            assert!(
-                (a - fd).abs() / (1.0 + a.abs().max(fd.abs())) < 5e-3,
-                "param {i}: analytic {a:.6} vs fd {fd:.6}"
-            );
+            assert!((a - fd).abs() / (1.0 + a.abs().max(fd.abs())) < 5e-3, "param {i}: analytic {a:.6} vs fd {fd:.6}");
         }
         crate::param::load_values(layer.params_mut().into_iter(), &base);
     }

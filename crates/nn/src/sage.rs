@@ -19,8 +19,8 @@
 use crate::layer::NeighborView;
 use crate::param::Param;
 use agl_tensor::ops::Activation;
+use agl_tensor::rng::Rng;
 use agl_tensor::{init, Csr, ExecCtx, Matrix};
-use rand::Rng;
 
 /// One GraphSAGE (mean, add-combine) layer.
 #[derive(Debug, Clone)]

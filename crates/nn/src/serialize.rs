@@ -171,7 +171,8 @@ mod tests {
 
     #[test]
     fn roundtrip_all_kinds() {
-        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 3 }, ModelKind::Gin, ModelKind::GeniePath] {
+        for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat { heads: 3 }, ModelKind::Gin, ModelKind::GeniePath]
+        {
             let m = trained_like_model(kind);
             let bytes = model_to_bytes(&m);
             let back = model_from_bytes(&bytes).unwrap();

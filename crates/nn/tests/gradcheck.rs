@@ -28,11 +28,7 @@ fn adjacency() -> Csr {
 
 fn features() -> Matrix {
     // Fixed, irrational-ish values away from activation kinks.
-    Matrix::from_vec(
-        N,
-        IN_DIM,
-        (0..N * IN_DIM).map(|i| ((i * 37 % 17) as f32) * 0.13 - 1.05).collect(),
-    )
+    Matrix::from_vec(N, IN_DIM, (0..N * IN_DIM).map(|i| ((i * 37 % 17) as f32) * 0.13 - 1.05).collect())
 }
 
 fn logit_weights(rows: usize, cols: usize) -> Matrix {
@@ -44,12 +40,7 @@ fn objective(model: &GnnModel, adjs: &[Csr], x: &Matrix, targets: &[usize]) -> f
     let ctx = ExecCtx::sequential();
     let pass = model.forward(adjs, x, targets, false, &ctx, &mut seeded_rng(0));
     let w = logit_weights(pass.logits.rows(), pass.logits.cols());
-    pass.logits
-        .as_slice()
-        .iter()
-        .zip(w.as_slice())
-        .map(|(&l, &c)| (l as f64) * (c as f64))
-        .sum()
+    pass.logits.as_slice().iter().zip(w.as_slice()).map(|(&l, &c)| (l as f64) * (c as f64)).sum()
 }
 
 fn gradcheck(kind: ModelKind, n_layers: usize) {
@@ -98,10 +89,7 @@ fn gradcheck(kind: ModelKind, n_layers: usize) {
         }
     }
     model.load_param_vector(&base);
-    assert!(
-        max_err < 5e-3,
-        "{kind:?} {n_layers}-layer: worst relative grad error {max_err:.2e} at param {worst}"
-    );
+    assert!(max_err < 5e-3, "{kind:?} {n_layers}-layer: worst relative grad error {max_err:.2e} at param {worst}");
 }
 
 #[test]

@@ -1,19 +1,23 @@
 //! The sharded parameter server.
 
 use agl_nn::Optimizer;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// How pushed gradients are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncMode {
     /// Barrier per step: gradients from all workers are averaged, then one
     /// optimizer step is applied; every `push` blocks until the step lands.
-    Sync {
-        n_workers: usize,
-    },
+    Sync { n_workers: usize },
     /// Each push is applied immediately, no coordination (Hogwild-style).
     Async,
+}
+
+/// Acquire `m` even if a panicking holder poisoned it — shard state is a
+/// flat `Vec<f32>` plus elementwise optimizer state, never left torn.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One server shard: a contiguous slice of the flat model vector plus its
@@ -91,7 +95,7 @@ impl ParameterServer {
 
     /// Total parameter count.
     pub fn len(&self) -> usize {
-        *self.bounds.last().unwrap()
+        self.bounds.last().copied().unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -111,7 +115,7 @@ impl ParameterServer {
     pub fn pull(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len()];
         for (i, shard) in self.shards.iter().enumerate() {
-            let s = shard.lock();
+            let s = lock_ignoring_poison(shard);
             out[self.bounds[i]..self.bounds[i + 1]].copy_from_slice(&s.params);
         }
         self.pulls.fetch_add(1, Ordering::Relaxed);
@@ -132,7 +136,7 @@ impl ParameterServer {
                 self.steps.fetch_add(1, Ordering::Relaxed);
             }
             SyncMode::Sync { n_workers } => {
-                let mut st = self.sync.lock();
+                let mut st = lock_ignoring_poison(&self.sync);
                 for (a, &g) in st.accum.iter_mut().zip(grads) {
                     *a += g;
                 }
@@ -151,7 +155,10 @@ impl ParameterServer {
                     self.sync_cv.notify_all();
                 } else {
                     let target = st.round + 1;
-                    self.sync_cv.wait_while(&mut st, |s| s.round < target);
+                    let _st = self
+                        .sync_cv
+                        .wait_while(st, |s| s.round < target)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             }
         }
@@ -160,7 +167,7 @@ impl ParameterServer {
     fn apply(&self, grads: &[f32], scale: f32) {
         for (i, shard) in self.shards.iter().enumerate() {
             let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
-            let mut s = shard.lock();
+            let mut s = lock_ignoring_poison(shard);
             if scale == 1.0 {
                 s.params_opt_step(&grads[lo..hi]);
             } else {
@@ -219,16 +226,15 @@ mod tests {
     #[test]
     fn sync_push_averages_across_workers() {
         let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, SyncMode::Sync { n_workers: 4 }, sgd));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for w in 0..4u32 {
                 let ps = ps.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Worker w pushes gradient 2w (average = 3).
                     ps.push(&[2.0 * w as f32, 2.0 * w as f32]);
                 });
             }
-        })
-        .unwrap();
+        });
         let p = ps.pull();
         assert!((p[0] + 0.3).abs() < 1e-6, "avg grad 3 * lr 0.1 -> -0.3, got {}", p[0]);
         assert_eq!(ps.stats().steps, 1, "one optimizer step per sync round");
@@ -237,18 +243,17 @@ mod tests {
     #[test]
     fn sync_multiple_rounds_make_progress() {
         let ps = Arc::new(ParameterServer::new(vec![0.0; 1], 1, SyncMode::Sync { n_workers: 2 }, sgd));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..2 {
                 let ps = ps.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..5 {
                         let _params = ps.pull();
                         ps.push(&[1.0]);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // 5 rounds of avg grad 1.0 with lr 0.1 -> -0.5.
         assert!((ps.pull()[0] + 0.5).abs() < 1e-6);
         assert_eq!(ps.stats().steps, 5);

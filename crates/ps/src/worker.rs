@@ -17,14 +17,13 @@ where
     F: Fn(usize, &ParameterServer) + Sync,
 {
     assert!(n_workers > 0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..n_workers {
             let server = Arc::clone(server);
             let work = &work;
-            scope.spawn(move |_| work(w, &server));
+            scope.spawn(move || work(w, &server));
         }
-    })
-    .expect("training worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -80,13 +80,7 @@ impl Coo {
             }
             out_indptr[r + 1] = out_indices.len();
         }
-        Csr {
-            n_rows: self.n_rows,
-            n_cols: self.n_cols,
-            indptr: out_indptr,
-            indices: out_indices,
-            values: out_values,
-        }
+        Csr { n_rows: self.n_rows, n_cols: self.n_cols, indptr: out_indptr, indices: out_indices, values: out_values }
     }
 }
 
@@ -112,7 +106,7 @@ impl Csr {
     pub fn from_raw(n_rows: usize, n_cols: usize, indptr: Vec<usize>, indices: Vec<u32>, values: Vec<f32>) -> Self {
         assert_eq!(indptr.len(), n_rows + 1);
         assert_eq!(indices.len(), values.len());
-        assert_eq!(*indptr.last().unwrap(), indices.len());
+        assert_eq!(indptr.last().copied(), Some(indices.len()));
         debug_assert!(indices.iter().all(|&c| (c as usize) < n_cols));
         Self { n_rows, n_cols, indptr, indices, values }
     }
@@ -174,7 +168,14 @@ impl Csr {
     /// weighted sum of the dense rows of `r`'s in-edge sources — the
     /// message-passing *merge* step.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch: {}x{} @ {:?}", self.n_rows, self.n_cols, dense.shape());
+        assert_eq!(
+            self.n_cols,
+            dense.rows(),
+            "spmm shape mismatch: {}x{} @ {:?}",
+            self.n_rows,
+            self.n_cols,
+            dense.shape()
+        );
         let mut out = Matrix::zeros(self.n_rows, dense.cols());
         self.spmm_rows_into(0, self.n_rows, dense, &mut out);
         out

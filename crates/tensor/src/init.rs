@@ -4,7 +4,7 @@
 //! and for test reproducibility.
 
 use crate::matrix::Matrix;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
 /// The default for the dense projections inside GCN/SAGE/GAT layers.

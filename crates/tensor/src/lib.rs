@@ -30,5 +30,5 @@ pub mod rng;
 
 pub use csr::{Coo, Csr};
 pub use matrix::Matrix;
-pub use partition::{EdgePartition, ExecCtx};
-pub use rng::seeded_rng;
+pub use partition::{EdgePartition, ExecCtx, PartitionViolation};
+pub use rng::{derive_seed, seeded_rng, Rng, SliceRandom, SmallRng};

@@ -2,7 +2,7 @@
 //! derivative forms the hand-written backward passes in `agl-nn` consume.
 
 use crate::matrix::Matrix;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Slope used for LeakyReLU inside GAT attention, matching the GAT paper
 /// value used by the systems AGL compares against.
@@ -188,9 +188,7 @@ pub fn dropout_mask(rows: usize, cols: usize, p: f32, rng: &mut impl Rng) -> Mat
         return Matrix::full(rows, cols, 1.0);
     }
     let keep = 1.0 / (1.0 - p);
-    let data = (0..rows * cols)
-        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
-        .collect();
+    let data = (0..rows * cols).map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep }).collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -245,11 +243,7 @@ mod tests {
                 act.forward_inplace(&mut hi);
                 act.forward_inplace(&mut lo);
                 let fd = (hi[(0, 0)] - lo[(0, 0)]) / (2.0 * eps);
-                assert!(
-                    (g[(0, 0)] - fd).abs() < 1e-2,
-                    "{act:?} at {x}: analytic {} vs fd {fd}",
-                    g[(0, 0)]
-                );
+                assert!((g[(0, 0)] - fd).abs() < 1e-2, "{act:?} at {x}: analytic {} vs fd {fd}", g[(0, 0)]);
                 pre.scale(1.0); // silence unused-mut lint paths
             }
         }

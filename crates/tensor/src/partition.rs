@@ -11,9 +11,18 @@
 //! distributions the paper targets. Each partition is then aggregated by its
 //! own thread with **no write conflicts**, since partitions own disjoint
 //! output rows.
+//!
+//! The "conflict-free" claim is *checked*, not just stated: before any
+//! threads are spawned the kernels assert [`EdgePartition::check_conflict_free`]
+//! (disjoint row ranges covering `0..n_rows`), and in debug builds a
+//! [write-set tracker](WriteSetTracker) records which worker touched every
+//! output row and fails loudly on any cross-thread overlap. The richer
+//! configurable verifier lives in `agl-analysis` (`ConflictFreedomVerifier`),
+//! which builds on the same primitives.
 
 use crate::csr::Csr;
 use crate::matrix::Matrix;
+use std::fmt;
 
 /// A split of CSR rows into contiguous, nnz-balanced chunks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +30,48 @@ pub struct EdgePartition {
     /// `bounds[i]..bounds[i+1]` is the row range of partition `i`.
     bounds: Vec<usize>,
 }
+
+/// Why a partition fails the conflict-freedom check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionViolation {
+    /// Fewer than two boundary entries — no partitions at all.
+    NoPartitions,
+    /// First boundary is not row 0.
+    DoesNotStartAtZero { first: usize },
+    /// Last boundary is not `n_rows` — rows would be skipped or invented.
+    DoesNotCover { last: usize, n_rows: usize },
+    /// Boundaries decrease: partitions would overlap (a write conflict).
+    Overlap { index: usize, start: usize, end: usize },
+    /// An empty partition in a non-empty matrix (a wasted thread).
+    EmptyPart { index: usize },
+    /// A partition's edge count exceeds the balance bound.
+    Imbalanced { index: usize, part_nnz: usize, bound: usize },
+}
+
+impl fmt::Display for PartitionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionViolation::NoPartitions => write!(f, "partition has no chunks"),
+            PartitionViolation::DoesNotStartAtZero { first } => {
+                write!(f, "first boundary is {first}, expected 0")
+            }
+            PartitionViolation::DoesNotCover { last, n_rows } => {
+                write!(f, "last boundary is {last}, expected n_rows = {n_rows}")
+            }
+            PartitionViolation::Overlap { index, start, end } => {
+                write!(f, "partition {index} has start {start} > end {end}: ranges overlap")
+            }
+            PartitionViolation::EmptyPart { index } => {
+                write!(f, "partition {index} is empty in a non-empty matrix")
+            }
+            PartitionViolation::Imbalanced { index, part_nnz, bound } => {
+                write!(f, "partition {index} holds {part_nnz} edges, balance bound is {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionViolation {}
 
 impl EdgePartition {
     /// Partition the rows of `csr` into (at most) `t` chunks with roughly
@@ -48,9 +99,22 @@ impl EdgePartition {
         Self { bounds }
     }
 
+    /// Build directly from boundary rows (`bounds[i]..bounds[i+1]` is chunk
+    /// `i`). **Unchecked**: exists so verifiers and tests can construct
+    /// arbitrary — including invalid — partitions; run
+    /// [`check_conflict_free`](Self::check_conflict_free) before trusting one.
+    pub fn from_bounds(bounds: Vec<usize>) -> Self {
+        Self { bounds }
+    }
+
+    /// The boundary rows. `bounds()[i]..bounds()[i+1]` is partition `i`.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
     /// Number of partitions.
     pub fn len(&self) -> usize {
-        self.bounds.len() - 1
+        self.bounds.len().saturating_sub(1)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -71,6 +135,70 @@ impl EdgePartition {
     pub fn part_nnz(&self, csr: &Csr, i: usize) -> usize {
         let r = self.range(i);
         csr.indptr()[r.end] - csr.indptr()[r.start]
+    }
+
+    /// The structural half of the §3.3.2 conflict-freedom argument: row
+    /// ranges are contiguous, pairwise disjoint, cover exactly `0..n_rows`,
+    /// and (for non-empty matrices) no chunk is empty. Kernels assert this
+    /// *before* spawning threads; `agl-analysis` re-checks it with a
+    /// configurable nnz-imbalance bound on top.
+    pub fn check_conflict_free(&self, n_rows: usize) -> Result<(), PartitionViolation> {
+        if self.bounds.len() < 2 {
+            return Err(PartitionViolation::NoPartitions);
+        }
+        if self.bounds[0] != 0 {
+            return Err(PartitionViolation::DoesNotStartAtZero { first: self.bounds[0] });
+        }
+        let last = self.bounds[self.bounds.len() - 1];
+        if last != n_rows {
+            return Err(PartitionViolation::DoesNotCover { last, n_rows });
+        }
+        for i in 0..self.len() {
+            let (start, end) = (self.bounds[i], self.bounds[i + 1]);
+            if start > end {
+                return Err(PartitionViolation::Overlap { index: i, start, end });
+            }
+            if start == end && n_rows > 0 {
+                return Err(PartitionViolation::EmptyPart { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Debug-mode write-set tracker: records which worker claimed each output
+/// row and fails on any cross-thread claim — the dynamic half of the
+/// conflict-freedom proof. Compiled into the aggregation kernels only under
+/// `debug_assertions`; release builds pay nothing.
+#[cfg(debug_assertions)]
+pub struct WriteSetTracker {
+    /// Row -> claiming worker (usize::MAX = unclaimed).
+    claims: Vec<std::sync::atomic::AtomicUsize>,
+}
+
+#[cfg(debug_assertions)]
+impl WriteSetTracker {
+    const UNCLAIMED: usize = usize::MAX;
+
+    pub fn new(n_rows: usize) -> Self {
+        Self { claims: (0..n_rows).map(|_| std::sync::atomic::AtomicUsize::new(Self::UNCLAIMED)).collect() }
+    }
+
+    /// Record that `worker` is about to write row `row`. Fails the process
+    /// (debug builds only) if another worker already claimed it.
+    pub fn claim(&self, row: usize, worker: usize) {
+        use std::sync::atomic::Ordering;
+        let prev = self.claims[row].swap(worker, Ordering::Relaxed);
+        assert!(
+            prev == Self::UNCLAIMED || prev == worker,
+            "conflict-freedom violated: row {row} written by worker {prev} and worker {worker}"
+        );
+    }
+
+    /// Rows claimed so far (test observability).
+    pub fn claimed_rows(&self) -> usize {
+        use std::sync::atomic::Ordering;
+        self.claims.iter().filter(|c| c.load(Ordering::Relaxed) != Self::UNCLAIMED).count()
     }
 }
 
@@ -109,8 +237,17 @@ impl ExecCtx {
             return csr.spmm(dense);
         }
         let part = EdgePartition::new(csr, self.threads);
+        // Conflict-freedom is checked *before* any thread is spawned; a
+        // violated partition would mean overlapping &mut row slices below.
+        debug_assert!(
+            part.check_conflict_free(csr.n_rows()).is_ok(),
+            "EdgePartition::new produced a conflicting partition: {:?}",
+            part.check_conflict_free(csr.n_rows())
+        );
         let mut out = Matrix::zeros(csr.n_rows(), dense.cols());
         let cols = dense.cols();
+        #[cfg(debug_assertions)]
+        let tracker = WriteSetTracker::new(csr.n_rows());
         // Split the output buffer at partition boundaries so each thread gets
         // an exclusive &mut of its rows.
         let mut slices: Vec<(std::ops::Range<usize>, &mut [f32])> = Vec::with_capacity(part.len());
@@ -124,10 +261,14 @@ impl ExecCtx {
             offset += take;
         }
         debug_assert_eq!(offset, csr.n_rows() * cols);
-        crossbeam::thread::scope(|scope| {
-            for (range, out_rows) in slices {
-                scope.spawn(move |_| {
+        std::thread::scope(|scope| {
+            for (_worker, (range, out_rows)) in slices.into_iter().enumerate() {
+                #[cfg(debug_assertions)]
+                let tracker = &tracker;
+                scope.spawn(move || {
                     for r in range.clone() {
+                        #[cfg(debug_assertions)]
+                        tracker.claim(r, _worker);
                         let (srcs, vals) = csr.row(r);
                         let base = (r - range.start) * cols;
                         let out_row = &mut out_rows[base..base + cols];
@@ -140,8 +281,7 @@ impl ExecCtx {
                     }
                 });
             }
-        })
-        .expect("aggregation worker panicked");
+        });
         out
     }
 
@@ -150,7 +290,8 @@ impl ExecCtx {
     /// GAT layer whose per-row work (attention softmax) is not a plain spmm.
     ///
     /// `f` must only touch state owned by row `dst` — the partitioning
-    /// guarantees no two threads see the same row.
+    /// guarantees no two threads see the same row, and in debug builds the
+    /// write-set tracker verifies it.
     pub fn for_each_row<F>(&self, csr: &Csr, f: F)
     where
         F: Fn(usize) + Sync,
@@ -162,17 +303,27 @@ impl ExecCtx {
             return;
         }
         let part = EdgePartition::new(csr, self.threads);
-        crossbeam::thread::scope(|scope| {
-            for range in part.ranges() {
+        debug_assert!(
+            part.check_conflict_free(csr.n_rows()).is_ok(),
+            "EdgePartition::new produced a conflicting partition: {:?}",
+            part.check_conflict_free(csr.n_rows())
+        );
+        #[cfg(debug_assertions)]
+        let tracker = WriteSetTracker::new(csr.n_rows());
+        std::thread::scope(|scope| {
+            for (_worker, range) in part.ranges().enumerate() {
                 let f = &f;
-                scope.spawn(move |_| {
+                #[cfg(debug_assertions)]
+                let tracker = &tracker;
+                scope.spawn(move || {
                     for r in range {
+                        #[cfg(debug_assertions)]
+                        tracker.claim(r, _worker);
                         f(r);
                     }
                 });
             }
-        })
-        .expect("aggregation worker panicked");
+        });
     }
 }
 
@@ -180,7 +331,7 @@ impl ExecCtx {
 mod tests {
     use super::*;
     use crate::csr::Coo;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use crate::rng::{Rng, SmallRng};
 
     fn random_csr(n: usize, avg_deg: usize, seed: u64) -> Csr {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -213,6 +364,7 @@ mod tests {
             }
             assert_eq!(covered, csr.n_rows());
             assert!(p.len() <= t.max(1));
+            assert!(p.check_conflict_free(csr.n_rows()).is_ok());
         }
     }
 
@@ -258,5 +410,52 @@ mod tests {
         let x = random_dense(5, 3, 6);
         let out = ExecCtx::parallel(3).spmm(&csr, &x);
         assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn check_rejects_overlapping_and_gapped_bounds() {
+        // Overlap: second chunk starts before the first ends.
+        assert!(matches!(
+            EdgePartition::from_bounds(vec![0, 6, 4, 10]).check_conflict_free(10),
+            Err(PartitionViolation::Overlap { .. })
+        ));
+        // Gap / wrong cover.
+        assert!(matches!(
+            EdgePartition::from_bounds(vec![0, 4, 8]).check_conflict_free(10),
+            Err(PartitionViolation::DoesNotCover { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::from_bounds(vec![2, 10]).check_conflict_free(10),
+            Err(PartitionViolation::DoesNotStartAtZero { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::from_bounds(vec![0, 0, 10]).check_conflict_free(10),
+            Err(PartitionViolation::EmptyPart { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::from_bounds(vec![5]).check_conflict_free(10),
+            Err(PartitionViolation::NoPartitions)
+        ));
+        assert!(EdgePartition::from_bounds(vec![0, 4, 10]).check_conflict_free(10).is_ok());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn write_set_tracker_accepts_disjoint_claims() {
+        let t = WriteSetTracker::new(8);
+        t.claim(0, 0);
+        t.claim(1, 0);
+        t.claim(2, 1);
+        t.claim(2, 1); // same worker re-claiming its own row is fine
+        assert_eq!(t.claimed_rows(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "conflict-freedom violated")]
+    fn write_set_tracker_catches_cross_thread_write() {
+        let t = WriteSetTracker::new(4);
+        t.claim(3, 0);
+        t.claim(3, 1);
     }
 }

@@ -1,9 +1,13 @@
-//! Seeded RNG construction. `SmallRng` is non-portable across rand versions
-//! but fast and reproducible within a build, which is all determinism here
-//! requires (tests pin behaviour, not golden bytes).
+//! Self-contained deterministic RNG — no external crates.
+//!
+//! The repo must build fully offline, so this module replaces the `rand`
+//! crate with a small xoshiro256++ generator behind a `rand`-shaped API
+//! ([`Rng`], [`SmallRng`], [`SliceRandom`]). Sequences are *not* bit-equal
+//! to `rand`'s — tests pin behaviour, not golden bytes — but everything is
+//! reproducible given a seed, which is what the MapReduce retry semantics
+//! and the sampling framework require.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic RNG from a `u64` seed.
 pub fn seeded_rng(seed: u64) -> SmallRng {
@@ -22,16 +26,230 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// SplitMix64 step — used to expand one `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable generator: xoshiro256++ (Blackman & Vigna).
+/// Plays the role `rand::rngs::SmallRng` used to play.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Construct from a `u64` seed via SplitMix64 state expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Self { s }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// The generator interface. All randomness flows through [`Rng::next_u64`];
+/// everything else is a provided method, so alternative generators (tests,
+/// counters) only implement one function.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value of type `T` (see [`Standard`]).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive; integer or float).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a canonical "uniform" distribution for [`Rng::gen`]:
+/// floats in `[0, 1)`, integers over their full range.
+pub trait Standard {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1) with full float precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform integer in `[0, bound)` by Lemire-style widening multiply
+/// (without the rejection loop: the bias is < 2^-64 per draw, far below
+/// anything the statistical tests here could observe, and keeping draws to
+/// exactly one `next_u64` call makes sequences easy to reason about).
+fn uniform_below(rng: &mut impl Rng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_impl!(usize, u32, u64, i32, i64);
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: $t = Standard::sample(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_impl!(f32, f64);
+
+/// Slice helpers mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = (0..8).map(|_| seeded_rng(5).gen()).collect();
-        let b: Vec<u32> = (0..8).map(|_| seeded_rng(5).gen()).collect();
+        let mut r1 = seeded_rng(5);
+        let mut r2 = seeded_rng(5);
+        let a: Vec<u32> = (0..8).map(|_| r1.gen()).collect();
+        let b: Vec<u32> = (0..8).map(|_| r2.gen()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = seeded_rng(1).next_u64();
+        let b: u64 = seeded_rng(2).next_u64();
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -47,5 +265,85 @@ mod tests {
     fn derive_seed_is_pure() {
         assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
         assert_ne!(derive_seed(1, 2), derive_seed(2, 1));
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = seeded_rng(9);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += f64::from(x);
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_int_covers_whole_range() {
+        let mut rng = seeded_rng(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..=7u32);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_stays_in_bounds() {
+        let mut rng = seeded_rng(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5..7.5f32);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_negative_int_bounds() {
+        let mut rng = seeded_rng(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut seeded_rng(6));
+        b.shuffle(&mut seeded_rng(6));
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let mut c: Vec<usize> = (0..50).collect();
+        c.shuffle(&mut seeded_rng(7));
+        assert_ne!(a, c, "different seed, different permutation");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let v = [10, 20, 30];
+        let mut rng = seeded_rng(8);
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).expect("non-empty")));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = seeded_rng(12);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
     }
 }

@@ -17,8 +17,8 @@ use agl_flat::TrainingExample;
 use agl_nn::{Adam, GnnModel};
 use agl_ps::{run_workers, ParameterServer, PsStats, SyncMode};
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::SliceRandom;
 use agl_tensor::seeded_rng;
-use rand::seq::SliceRandom;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,22 +59,16 @@ impl DistTrainer {
         assert!(!train.is_empty());
         let mode = if self.sync { SyncMode::Sync { n_workers: self.n_workers } } else { SyncMode::Async };
         let lr = self.opts.lr;
-        let server = Arc::new(ParameterServer::new(model.param_vector(), self.n_shards, mode, || {
-            Box::new(Adam::new(lr))
-        }));
+        let server =
+            Arc::new(ParameterServer::new(model.param_vector(), self.n_shards, mode, || Box::new(Adam::new(lr))));
 
         // Static data partition: worker w owns examples w, w+W, w+2W, ...
-        let partitions: Vec<Vec<usize>> = (0..self.n_workers)
-            .map(|w| (w..train.len()).step_by(self.n_workers).collect())
-            .collect();
+        let partitions: Vec<Vec<usize>> =
+            (0..self.n_workers).map(|w| (w..train.len()).step_by(self.n_workers).collect()).collect();
         // Synchronous mode needs every worker to push the same number of
         // batches per epoch; short partitions cycle their data.
-        let batches_per_worker = partitions
-            .iter()
-            .map(|p| p.len().div_ceil(self.opts.batch_size))
-            .max()
-            .unwrap()
-            .max(1);
+        let batches_per_worker =
+            partitions.iter().map(|p| p.len().div_ceil(self.opts.batch_size)).max().unwrap_or(1).max(1);
 
         let spec = self.opts.spec_public(model);
         let ctx = self.opts.ctx_public();
@@ -178,7 +172,8 @@ mod tests {
         let data = dataset(64);
         let val = dataset(32);
         let mut m = model();
-        let trainer = DistTrainer::new(4, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
+        let trainer =
+            DistTrainer::new(4, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
         let result = trainer.train(&mut m, &data, Some(&val));
         assert_eq!(result.val_curve.len(), 8);
         let final_auc = result.val_curve.last().unwrap().auc.unwrap();
@@ -191,7 +186,8 @@ mod tests {
     fn distributed_training_converges_async() {
         let data = dataset(48);
         let mut m = model();
-        let mut trainer = DistTrainer::new(3, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
+        let mut trainer =
+            DistTrainer::new(3, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
         trainer.sync = false;
         let result = trainer.train(&mut m, &data, None);
         let metrics = LocalTrainer::evaluate(&m, &data, &trainer.opts);
@@ -207,8 +203,10 @@ mod tests {
         let val = dataset(24);
         for workers in [1, 3, 6] {
             let mut m = model();
-            let trainer =
-                DistTrainer::new(workers, TrainOptions { epochs: 10, lr: 0.05, batch_size: 6, ..TrainOptions::default() });
+            let trainer = DistTrainer::new(
+                workers,
+                TrainOptions { epochs: 10, lr: 0.05, batch_size: 6, ..TrainOptions::default() },
+            );
             let r = trainer.train(&mut m, &data, Some(&val));
             let auc = r.val_curve.last().unwrap().auc.unwrap();
             assert!(auc > 0.9, "{workers} workers: AUC {auc}");

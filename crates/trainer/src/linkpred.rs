@@ -18,8 +18,8 @@ use agl_graph::{Graph, NodeId};
 use agl_nn::{Adam, GnnModel, Optimizer};
 use agl_tensor::ops::sigmoid;
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, ExecCtx, Matrix};
-use rand::Rng;
 use std::collections::HashMap;
 
 /// One link example: the candidate edge plus the merged pair GraphFeature.
@@ -47,7 +47,9 @@ pub fn build_link_examples(
     let mut rng = seeded_rng(derive_seed(seed, 0x11AB));
     let mut out = Vec::with_capacity(n_pos + n_neg);
     let pair = |src: NodeId, dst: NodeId, label: f32, by_id: &HashMap<NodeId, &TrainingExample>| {
+        // agl-lint: allow(no-panic) — GraphFeatures come straight from GraphFlat's encoder; see module docs.
         let a = decode_graph_feature(&by_id[&src].graph_feature).expect("src GraphFeature");
+        // agl-lint: allow(no-panic) — same provenance as above.
         let b = decode_graph_feature(&by_id[&dst].graph_feature).expect("dst GraphFeature");
         let mut builder = SubgraphBuilder::new();
         builder.absorb(&a);
@@ -82,8 +84,9 @@ pub fn build_link_examples(
         if src == dst {
             continue;
         }
-        let v = graph.local(dst).unwrap();
-        let u = graph.local(src).unwrap();
+        let (Some(v), Some(u)) = (graph.local(dst), graph.local(src)) else {
+            continue; // featured node absent from the graph — skip, never panic
+        };
         let (srcs, _) = graph.in_neighbors(v);
         if srcs.contains(&u) {
             continue; // actually an edge
@@ -110,12 +113,7 @@ impl LinkPredictor {
     }
 
     fn spec(&self) -> PrepSpec {
-        PrepSpec {
-            n_layers: self.model.n_layers(),
-            prep: self.model.layers()[0].adj_prep(),
-            label_dim: 0,
-            prune: true,
-        }
+        PrepSpec { n_layers: self.model.n_layers(), prep: self.model.layers()[0].adj_prep(), label_dim: 0, prune: true }
     }
 
     /// Score a batch of pair examples: `σ(e_src · e_dst)` per example.
@@ -127,6 +125,7 @@ impl LinkPredictor {
         let mut builder = SubgraphBuilder::new();
         let mut targets_global = Vec::with_capacity(2 * batch.len());
         for l in batch {
+            // agl-lint: allow(no-panic) — pair features are encoded by `link_examples` above.
             let sub = decode_graph_feature(&l.graph_feature).expect("pair GraphFeature");
             builder.absorb(&sub);
             targets_global.push(l.src);
@@ -135,12 +134,8 @@ impl LinkPredictor {
         // Deduplicate target list (builder.build requires presence, not
         // uniqueness of ids — but local indices must map per occurrence).
         let merged = builder.build(&dedup_keep_order(&targets_global));
-        let local_of: HashMap<NodeId, usize> = merged
-            .target_ids()
-            .into_iter()
-            .enumerate()
-            .map(|(i, id)| (id, i))
-            .collect();
+        let local_of: HashMap<NodeId, usize> =
+            merged.target_ids().into_iter().enumerate().map(|(i, id)| (id, i)).collect();
         let batch_vec = crate::vectorize::from_subgraph(&merged, Matrix::zeros(local_of.len(), 0));
         let spec = self.spec();
         let prepared_adj = agl_nn::layer::prepare_adj(&batch_vec.adj, spec.prep);
@@ -271,7 +266,7 @@ mod tests {
         let mut examples = build_link_examples(&graph, &flat.examples, 60, 60, 3);
         assert!(examples.len() >= 100, "got {}", examples.len());
         // Positives come first from the builder; mix before splitting.
-        use rand::seq::SliceRandom;
+        use agl_tensor::rng::SliceRandom;
         examples.shuffle(&mut seeded_rng(7));
         let (train, test) = examples.split_at(examples.len() * 3 / 4);
 

@@ -12,7 +12,7 @@ use crate::vectorize::{vectorize, VectorizedBatch};
 use agl_flat::TrainingExample;
 use agl_nn::layer::{prepare_adj, AdjPrep};
 use agl_tensor::Csr;
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -41,9 +41,7 @@ pub fn prepare_batch(examples: &[TrainingExample], spec: &PrepSpec) -> PreparedB
     let prepared = prepare_adj(&batch.adj, spec.prep);
     let adjs: Vec<Csr> = if spec.prune {
         let masks = batch_keep_masks(&batch, spec.n_layers);
-        (0..spec.n_layers)
-            .map(|k| prepared.filter_entries(|dst, _| masks[k][dst as usize]))
-            .collect()
+        (0..spec.n_layers).map(|k| prepared.filter_entries(|dst, _| masks[k][dst as usize])).collect()
     } else {
         vec![prepared; spec.n_layers]
     };
@@ -63,7 +61,7 @@ impl BatchPipeline {
     /// indices of one batch). `depth` bounds how far preprocessing may run
     /// ahead of compute.
     pub fn spawn(examples: Arc<Vec<TrainingExample>>, order: Vec<Vec<usize>>, spec: PrepSpec, depth: usize) -> Self {
-        let (tx, rx) = bounded(depth.max(1));
+        let (tx, rx) = sync_channel(depth.max(1));
         let handle = std::thread::spawn(move || {
             for batch_idx in order {
                 // "Read" the batch from the store (clone = the disk read the
@@ -98,7 +96,7 @@ impl Iterator for BatchPipeline {
 impl Drop for BatchPipeline {
     fn drop(&mut self) {
         // Disconnect so the producer stops, then join it.
-        let (_tx, rx) = bounded(0);
+        let (_tx, rx) = sync_channel(0);
         self.rx = rx;
         if let Some(h) = self.handle.take() {
             let _ = h.join();

@@ -7,8 +7,8 @@ use crate::pipeline::{prepare_batch, BatchPipeline, PrepSpec, PreparedBatch};
 use agl_flat::TrainingExample;
 use agl_nn::{Adam, GnnModel, Optimizer};
 use agl_tensor::rng::derive_seed;
+use agl_tensor::rng::SliceRandom;
 use agl_tensor::{seeded_rng, ExecCtx, Matrix};
-use rand::seq::SliceRandom;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -133,7 +133,14 @@ impl LocalTrainer {
             let mut loss_sum = 0.0f64;
             let mut step = |prepared: PreparedBatch, model: &mut GnnModel, opt: &mut Adam| {
                 model.zero_grads();
-                let pass = model.forward(&prepared.adjs, &prepared.batch.features, &prepared.batch.targets, true, &ctx, &mut rng);
+                let pass = model.forward(
+                    &prepared.adjs,
+                    &prepared.batch.features,
+                    &prepared.batch.targets,
+                    true,
+                    &ctx,
+                    &mut rng,
+                );
                 let (loss, grad) = model.loss(&pass.logits, &prepared.batch.labels);
                 model.backward(&prepared.adjs, &pass, &grad, &ctx);
                 let mut params = model.param_vector();
@@ -196,7 +203,12 @@ impl LocalTrainer {
                 }
             }
         });
-        let (best_metrics, best_params) = best.expect("at least one epoch ran");
+        let Some((best_metrics, best_params)) = best else {
+            // Unreachable in practice: the constructor asserts `epochs > 0`
+            // and the first epoch always improves on `None` — but fall back
+            // to evaluating the current parameters rather than aborting.
+            return (result, Self::evaluate(model, val, &opts));
+        };
         model.load_param_vector(&best_params);
         (result, best_metrics)
     }
@@ -214,7 +226,8 @@ impl LocalTrainer {
         let mut rng = seeded_rng(0);
         for chunk in examples.chunks(opts.batch_size) {
             let prepared = prepare_batch(chunk, &spec);
-            let pass = model.forward(&prepared.adjs, &prepared.batch.features, &prepared.batch.targets, false, &ctx, &mut rng);
+            let pass =
+                model.forward(&prepared.adjs, &prepared.batch.features, &prepared.batch.targets, false, &ctx, &mut rng);
             for i in 0..chunk.len() {
                 logits.row_mut(row).copy_from_slice(pass.logits.row(i));
                 labels.row_mut(row).copy_from_slice(prepared.batch.labels.row(i));
@@ -271,9 +284,7 @@ mod tests {
     #[test]
     fn all_ablation_configs_learn_the_same_task() {
         let data = dataset(32);
-        for (pruning, partitions, pipeline) in
-            [(false, 1, true), (true, 1, true), (false, 3, true), (true, 3, false)]
-        {
+        for (pruning, partitions, pipeline) in [(false, 1, true), (true, 1, true), (false, 3, true), (true, 3, false)] {
             let mut m = model();
             let opts = TrainOptions { epochs: 12, lr: 0.05, pruning, partitions, pipeline, ..TrainOptions::default() };
             LocalTrainer::new(opts.clone()).train(&mut m, &data);
@@ -294,14 +305,8 @@ mod tests {
         let data = dataset(16);
         let run = |pruning: bool, partitions: usize| {
             let mut m = model();
-            let opts = TrainOptions {
-                epochs: 2,
-                lr: 0.05,
-                pruning,
-                partitions,
-                pipeline: false,
-                ..TrainOptions::default()
-            };
+            let opts =
+                TrainOptions { epochs: 2, lr: 0.05, pruning, partitions, pipeline: false, ..TrainOptions::default() };
             LocalTrainer::new(opts).train(&mut m, &data);
             m.param_vector()
         };

@@ -21,16 +21,17 @@ fn main() {
     let train = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec())).unwrap().examples;
     let test = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.test.node_ids().to_vec())).unwrap().examples;
     let stored: usize = train.iter().chain(&test).map(|e| e.graph_feature.len()).sum();
-    println!("stored GraphFeatures: {} triples, {:.1} MB on the (simulated) DFS\n", train.len() + test.len(), stored as f64 / 1e6);
+    println!(
+        "stored GraphFeatures: {} triples, {:.1} MB on the (simulated) DFS\n",
+        train.len() + test.len(),
+        stored as f64 / 1e6
+    );
 
-    for (name, kind) in [
-        ("GCN", ModelKind::Gcn),
-        ("GraphSAGE", ModelKind::Sage),
-        ("GAT", ModelKind::Gat { heads: 2 }),
-    ] {
+    for (name, kind) in [("GCN", ModelKind::Gcn), ("GraphSAGE", ModelKind::Sage), ("GAT", ModelKind::Gat { heads: 2 })]
+    {
         // AGL path: mini-batch over independent GraphFeatures.
-        let cfg = ModelConfig::new(kind, ds.feature_dim(), 16, ds.label_dim, 2, Loss::SoftmaxCrossEntropy)
-            .with_dropout(0.1);
+        let cfg =
+            ModelConfig::new(kind, ds.feature_dim(), 16, ds.label_dim, 2, Loss::SoftmaxCrossEntropy).with_dropout(0.1);
         let mut model = GnnModel::new(cfg.clone());
         let opts = TrainOptions { epochs: 30, lr: 0.01, batch_size: 32, pruning: true, ..TrainOptions::default() };
         LocalTrainer::new(opts.clone()).train(&mut model, &train);
@@ -44,5 +45,7 @@ fn main() {
 
         println!("{name:<10} test accuracy: AGL {agl_acc:.3} | full-graph baseline {base_acc:.3}");
     }
-    println!("\n(paper Table 3, real Cora: GCN 0.811 / GraphSAGE 0.827 / GAT 0.830 — deviations < 0.01 across systems)");
+    println!(
+        "\n(paper Table 3, real Cora: GCN 0.811 / GraphSAGE 0.827 / GAT 0.830 — deviations < 0.01 across systems)"
+    );
 }

@@ -23,9 +23,8 @@ fn main() {
 
     // 1. Fault tolerance: kill the first attempts of a map task and two
     //    reduce tasks; the job retries them and the output is unchanged.
-    let clean = GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() })
-        .run(&nodes, &edges, &targets)
-        .unwrap();
+    let clean =
+        GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() }).run(&nodes, &edges, &targets).unwrap();
     let chaos = FlatConfig {
         k_hops: 2,
         fault_plan: FaultPlan::none()
@@ -35,18 +34,15 @@ fn main() {
         ..FlatConfig::default()
     };
     let faulty = GraphFlat::new(chaos).run(&nodes, &edges, &targets).unwrap();
-    let identical = clean
-        .examples
-        .iter()
-        .zip(&faulty.examples)
-        .all(|(a, b)| a.graph_feature == b.graph_feature);
+    let identical = clean.examples.iter().zip(&faulty.examples).all(|(a, b)| a.graph_feature == b.graph_feature);
     println!("fault injection: 4 task attempts crashed, output identical = {identical}");
 
     // 2. Spill-to-disk shuffle.
     let dir = std::env::temp_dir().join("agl-example-spill");
-    let spilled = GraphFlat::new(FlatConfig { k_hops: 2, spill: SpillMode::Disk(dir.clone()), ..FlatConfig::default() })
-        .run(&nodes, &edges, &targets)
-        .unwrap();
+    let spilled =
+        GraphFlat::new(FlatConfig { k_hops: 2, spill: SpillMode::Disk(dir.clone()), ..FlatConfig::default() })
+            .run(&nodes, &edges, &targets)
+            .unwrap();
     println!(
         "disk shuffle: {:.1} MB moved through files, output identical = {}",
         spilled.counters.get("shuffle.bytes") as f64 / 1e6,

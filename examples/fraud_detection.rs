@@ -37,12 +37,9 @@ fn main() {
         .reindex(stats.p99.max(16), 4)
         .seed(11);
     let (nodes, edges) = graph.to_tables();
-    let train_flat = job
-        .graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec()))
-        .expect("GraphFlat train");
-    let val_flat = job
-        .graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.val.node_ids().to_vec()))
-        .expect("GraphFlat val");
+    let train_flat =
+        job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec())).expect("GraphFlat train");
+    let val_flat = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.val.node_ids().to_vec())).expect("GraphFlat val");
     println!(
         "GraphFlat: {} labeled users flattened ({} in-edges sampled away, {} hub partials merged)",
         train_flat.examples.len(),

@@ -19,7 +19,7 @@ use agl::nn::rgcn::RelationalGcnLayer;
 use agl::prelude::*;
 use agl::tensor::ops::Activation;
 use agl::tensor::seeded_rng;
-use rand::Rng;
+use agl_tensor::rng::Rng;
 
 fn main() {
     // Build the typed graph: 400 users, two classes. Relation 0 edges are

@@ -13,8 +13,7 @@
 
 use agl::prelude::*;
 use agl::trainer::linkpred::{build_link_examples, LinkPredictor};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use agl_tensor::rng::SliceRandom;
 
 fn main() {
     // A homophilous social graph: most interactions stay inside a community.
@@ -34,7 +33,7 @@ fn main() {
 
     // Pair examples: 300 real edges + 300 sampled non-edges.
     let mut examples = build_link_examples(graph, &flat.examples, 300, 300, 11);
-    examples.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(3));
+    examples.shuffle(&mut agl_tensor::rng::SmallRng::seed_from_u64(3));
     let (train, test) = examples.split_at(examples.len() * 4 / 5);
     println!("{} train pairs / {} test pairs", train.len(), test.len());
 

@@ -8,13 +8,7 @@ use agl::prelude::*;
 
 fn hubby_world() -> (Dataset, NodeTable, EdgeTable) {
     // Strong power law so real hubs exist.
-    let ds = uug_like(UugConfig {
-        n_nodes: 600,
-        avg_degree: 10.0,
-        gamma: 1.9,
-        feature_dim: 6,
-        ..UugConfig::default()
-    });
+    let ds = uug_like(UugConfig { n_nodes: 600, avg_degree: 10.0, gamma: 1.9, feature_dim: 6, ..UugConfig::default() });
     let (nodes, edges) = ds.graph().to_tables();
     (ds, nodes, edges)
 }
@@ -26,9 +20,8 @@ fn whole_training_pipeline_is_fault_tolerant() {
     // every stage is deterministic and MapReduce re-execution is exact.
     let (ds, nodes, edges) = hubby_world();
     let targets = TargetSpec::Ids(ds.train.node_ids().to_vec());
-    let clean_flat = GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() })
-        .run(&nodes, &edges, &targets)
-        .unwrap();
+    let clean_flat =
+        GraphFlat::new(FlatConfig { k_hops: 2, ..FlatConfig::default() }).run(&nodes, &edges, &targets).unwrap();
     let chaos = FlatConfig {
         k_hops: 2,
         fault_plan: FaultPlan::none()
@@ -56,7 +49,8 @@ fn hub_reindexing_balances_groups_and_preserves_training() {
     assert!(stats.max > 50, "need a real hub, got max degree {}", stats.max);
 
     let targets = TargetSpec::Ids(ds.train.node_ids().to_vec());
-    let base_cfg = FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
+    let base_cfg =
+        FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
     let plain = GraphFlat::new(base_cfg.clone()).run(&nodes, &edges, &targets).unwrap();
     let reindexed = GraphFlat::new(FlatConfig { hub_threshold: 30, reindex_fanout: 4, ..base_cfg })
         .run(&nodes, &edges, &targets)
@@ -101,10 +95,7 @@ fn end_to_end_determinism_across_runs() {
     let (ds, nodes, edges) = hubby_world();
     let run = || {
         let job = AglJob::new().hops(2).sampling(SamplingStrategy::Weighted { max_degree: 8 }).seed(99);
-        let train = job
-            .graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec()))
-            .unwrap()
-            .examples;
+        let train = job.graph_flat(&nodes, &edges, &TargetSpec::Ids(ds.train.node_ids().to_vec())).unwrap().examples;
         let cfg = ModelConfig::new(ModelKind::Gat { heads: 2 }, ds.feature_dim(), 4, 1, 2, Loss::BceWithLogits);
         let mut model = GnnModel::new(cfg);
         let opts = TrainOptions { epochs: 2, pipeline: true, ..TrainOptions::default() };
