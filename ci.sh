@@ -2,19 +2,40 @@
 # Tier-1 verification entry point. Everything here must pass before a PR
 # lands; the workspace lint test in crates/analysis re-runs the linter
 # from `cargo test`, so CI failures reproduce locally either way.
+#
+# Modes:
+#   ./ci.sh            tier-1: fmt, build, test, workspace lint
+#   ./ci.sh --bench    bench smoke: micro benches at 3 iters, medians
+#                      written to results/BENCH_pr2.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+# Run one labelled step, timing it and failing fast with a [FAIL] marker.
+step() {
+  local label="$1"
+  shift
+  local t0=$SECONDS
+  echo "==> $label"
+  if "$@"; then
+    echo "[ok] $label ($((SECONDS - t0))s)"
+  else
+    local rc=$?
+    echo "[FAIL] $label ($((SECONDS - t0))s)" >&2
+    exit "$rc"
+  fi
+}
 
-echo "==> cargo build --release"
-cargo build --release
+if [[ "${1:-}" == "--bench" ]]; then
+  mkdir -p results
+  # Absolute path: cargo runs bench binaries from the package directory.
+  step "bench smoke (micro, 3 iters)" \
+    cargo bench -q -p agl-bench --bench micro -- --smoke --json "$PWD/results/BENCH_pr2.json"
+  echo "ci.sh: bench smoke green -> results/BENCH_pr2.json"
+  exit 0
+fi
 
-echo "==> cargo test -q"
-cargo test -q
-
-echo "==> agl-lint --workspace"
-cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
-
+step "cargo fmt --check" cargo fmt --check
+step "cargo build --release" cargo build --release
+step "cargo test -q" cargo test -q
+step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
 echo "ci.sh: all green"

@@ -9,9 +9,21 @@
 //!   workspace `.rs` file and enforces repo invariants — no
 //!   `.unwrap()`/`.expect(…)`/`panic!` in pipeline-crate library code, a
 //!   `// SAFETY:` comment before every `unsafe`, no wall-clock reads in
-//!   determinism-critical modules, no raw `std::thread::spawn` outside
-//!   sanctioned executors. `// agl-lint: allow(<rule>)` is the audited
-//!   escape hatch; [`rules::registry`] is where future rules are added.
+//!   determinism-critical modules (derived from `JobPlan` attachment, not
+//!   a hard-coded list), no raw `std::thread::spawn` outside sanctioned
+//!   executors. `// agl-lint: allow(<rule>)` is the audited escape hatch;
+//!   [`rules::registry`] is where future rules are added.
+//! * **Concurrency-safety pass** ([`lockgraph`]): a per-function walk over
+//!   `agl-ps` sources that builds the lock graph of the tracked acquisition
+//!   wrappers (`lock_barrier`/`lock_versions`/`lock_shard(i)`), flagging
+//!   order inversions against the canonical `barrier → versions → shard(i)
+//!   ascending` discipline, double acquisitions, unprovably-ordered shard
+//!   pairs, locks held across `.send(…)`/`spawn(…)`, and raw locks that
+//!   bypass the wrappers. The same walk flags allocations inside the loop
+//!   bodies of the aggregation/reducer hot functions. Its dynamic
+//!   complement is [`LockOrderTracker`] (re-exported from
+//!   `agl_ps::locks`): debug builds record every real acquisition edge and
+//!   abort on the first cycle.
 //! * **Plan-level verifiers**: [`ConflictFreedomVerifier`] proves an
 //!   [`agl_tensor::EdgePartition`] is pairwise disjoint, covering, and
 //!   nnz-balanced before threads spawn (the dynamic complement is
@@ -24,12 +36,18 @@
 
 pub mod conflict;
 pub mod lint;
+pub mod lockgraph;
 pub mod rules;
 pub mod scanner;
 
 pub use conflict::ConflictFreedomVerifier;
 pub use lint::{collect_rs_files, find_workspace_root, lint_source, lint_workspace};
+pub use lockgraph::{AllocSite, LockEdge, LockFinding, LockFindingKind, LockSym};
 pub use rules::{registry, rule_by_name, Diagnostic, Rule};
+
+// The runtime halves of the concurrency-safety story, re-exported so
+// callers find the whole analysis surface in one crate.
+pub use agl_ps::locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 
 // The mapreduce-side plan verifier, re-exported so callers find the whole
 // analysis surface in one crate.

@@ -1,0 +1,589 @@
+//! Lexical lock-acquisition-order and hot-loop-allocation analysis.
+//!
+//! The parameter server (`agl-ps`) guards its state with three families of
+//! locks behind named acquisition wrappers — `lock_barrier()`,
+//! `lock_versions()`, `lock_shard(i)` — with a canonical order:
+//!
+//! > barrier (rank 0) → versions (rank 1) → shard *i* (rank 2+i, ascending)
+//!
+//! The dynamic half of the proof is `agl_ps::locks::LockOrderTracker`
+//! (cycle detection over *observed* edges, debug builds). This module is
+//! the static half: a per-function walk over the scanner's code channel
+//! that tracks which guards are lexically held at each acquisition site,
+//! records the resulting lock-graph edges, and reports:
+//!
+//! * **inversions** — acquiring a lock whose rank is ≤ a held lock's rank;
+//! * **double acquisitions** — re-acquiring a held class (self-deadlock);
+//! * **unordered shard pairs** — two shard locks held together where at
+//!   least one index is not a literal, so the order cannot be proven;
+//! * **lock-held-across-send/spawn** — a `.send(…)` or `spawn(…)` while any
+//!   guard is held (a blocked channel or child would stall the lock);
+//! * **untracked locks** — raw `.lock()` / `lock_ignoring_poison(…)` that
+//!   bypass the tracked wrappers (and hence the dynamic tracker).
+//!
+//! The same walk powers the allocation lint: inside a *hot* function
+//! (aggregation kernels, reducer bodies — the caller supplies the list),
+//! any allocation token (`Vec::new(`, `vec![`, `.to_vec(`, `.clone(`,
+//! `format!(`, `.collect(`) appearing lexically inside a loop body is
+//! reported as an [`AllocSite`].
+//!
+//! Like the rest of the lint, this is lexical, not semantic: it sees one
+//! function at a time, resolves `let`-bound guards to their enclosing block
+//! (or an explicit `drop(ident)`), and treats non-`let` acquisitions as
+//! temporaries that die at the end of the statement. That is exactly enough
+//! for the acquisition discipline the wrappers make syntactically visible.
+
+use crate::scanner::ScannedFile;
+use std::fmt;
+
+/// Symbolic identity of an `agl-ps` lock at an acquisition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockSym {
+    Barrier,
+    Versions,
+    /// `Some(i)` when the shard index is an integer literal, `None` when it
+    /// is a runtime expression (rank known only relative to non-shards).
+    Shard(Option<u64>),
+}
+
+impl LockSym {
+    /// Canonical acquisition rank; `None` for shards whose index is not a
+    /// literal (ordered against non-shards, unordered among shards).
+    pub fn rank(self) -> Option<u64> {
+        match self {
+            LockSym::Barrier => Some(0),
+            LockSym::Versions => Some(1),
+            LockSym::Shard(Some(i)) => Some(2 + i),
+            LockSym::Shard(None) => None,
+        }
+    }
+
+    fn is_shard(self) -> bool {
+        matches!(self, LockSym::Shard(_))
+    }
+}
+
+impl fmt::Display for LockSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockSym::Barrier => write!(f, "barrier"),
+            LockSym::Versions => write!(f, "versions"),
+            LockSym::Shard(Some(i)) => write!(f, "shard({i})"),
+            LockSym::Shard(None) => write!(f, "shard(_)"),
+        }
+    }
+}
+
+/// What a lock finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockFindingKind {
+    /// Acquisition order contradicts the canonical ranks.
+    Inversion,
+    /// Re-acquiring an already-held class — self-deadlock on std mutexes.
+    DoubleLock,
+    /// Two shard locks held together, order not provable from literals.
+    Unordered,
+    /// `.send(`/`spawn(` while holding a guard.
+    HeldAcrossSend,
+    /// Raw `.lock()`/`lock_ignoring_poison(` bypassing the tracked wrappers.
+    UntrackedLock,
+}
+
+/// One lock-discipline finding (0-based line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockFinding {
+    pub kind: LockFindingKind,
+    pub line: usize,
+    /// Enclosing function, or `"<top>"` outside any `fn`.
+    pub func: String,
+    pub message: String,
+}
+
+/// One observed acquisition edge `from → to` (held → newly acquired).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub func: String,
+    pub from: LockSym,
+    pub to: LockSym,
+    /// 0-based line of the acquisition that created the edge.
+    pub line: usize,
+}
+
+/// An allocation token inside a loop body of a hot function (0-based line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    pub line: usize,
+    pub func: String,
+    pub pattern: &'static str,
+}
+
+/// Everything one walk produces.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub lock_findings: Vec<LockFinding>,
+    pub alloc_sites: Vec<AllocSite>,
+    /// The per-function lock graph: every held→acquired pair observed.
+    pub edges: Vec<LockEdge>,
+}
+
+const ALLOC_TOKENS: &[&str] = &["Vec::new(", "vec![", ".to_vec(", ".clone(", "format!(", ".collect("];
+
+#[derive(Clone, Copy, PartialEq)]
+enum BlockKind {
+    Fn,
+    Loop,
+    Other,
+}
+
+struct Guard {
+    /// `Some(ident)` for `let`-bound guards, `None` for temporaries.
+    name: Option<String>,
+    sym: LockSym,
+    line: usize,
+    /// Block-stack depth at acquisition; released when the stack shrinks
+    /// below it.
+    depth: usize,
+}
+
+/// Walk `scanned`'s code channel. `hot_fns` are the function names whose
+/// loop bodies are subject to the allocation lint (empty slice disables it).
+pub fn analyze(scanned: &ScannedFile, hot_fns: &[&str]) -> Analysis {
+    let mut out = Analysis::default();
+    let mut blocks: Vec<BlockKind> = Vec::new();
+    // (name, block depth of the fn body) — a stack so closures/nested fns
+    // don't lose the enclosing name.
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    // Statement/header text accumulated since the last `;`, `{` or `}` —
+    // what classifies the next `{` and reveals `let` bindings.
+    let mut stmt = String::new();
+
+    for (lineno, line) in scanned.code.iter().enumerate() {
+        let mut p = 0usize;
+        while p < line.len() {
+            let rest = &line[p..];
+            // `rest` starts at a char boundary by construction.
+            let c = match rest.chars().next() {
+                Some(c) => c,
+                None => break,
+            };
+            match c {
+                '{' => {
+                    let kind = classify_block(&stmt);
+                    if kind == BlockKind::Fn {
+                        if let Some(name) = fn_name(&stmt) {
+                            fn_stack.push((name, blocks.len() + 1));
+                        }
+                    }
+                    blocks.push(kind);
+                    // Condition temporaries do not outlive the header.
+                    guards.retain(|g| g.name.is_some());
+                    stmt.clear();
+                }
+                '}' => {
+                    let depth = blocks.len();
+                    guards.retain(|g| g.depth < depth);
+                    if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                        fn_stack.pop();
+                    }
+                    blocks.pop();
+                    stmt.clear();
+                }
+                ';' => {
+                    guards.retain(|g| g.name.is_some());
+                    stmt.clear();
+                }
+                _ => {
+                    scan_tokens(rest, &stmt, lineno, &blocks, &fn_stack, &mut guards, hot_fns, &mut out);
+                    stmt.push(c);
+                }
+            }
+            p += c.len_utf8();
+        }
+        // Line boundary: keep multi-line statements readable as one header
+        // without gluing the last token of this line to the first of the next.
+        if !stmt.is_empty() && !stmt.ends_with(' ') {
+            stmt.push(' ');
+        }
+    }
+    out
+}
+
+/// Check the tokens that can start at this position.
+#[allow(clippy::too_many_arguments)]
+fn scan_tokens(
+    rest: &str,
+    stmt: &str,
+    lineno: usize,
+    blocks: &[BlockKind],
+    fn_stack: &[(String, usize)],
+    guards: &mut Vec<Guard>,
+    hot_fns: &[&str],
+    out: &mut Analysis,
+) {
+    let func = || fn_stack.last().map_or_else(|| "<top>".to_string(), |(n, _)| n.clone());
+    let boundary_before = !stmt.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+    // An acquisition token directly after `fn ` is the wrapper's own
+    // definition, not a call site.
+    let is_definition = stmt.trim_end().ends_with("fn") || stmt.ends_with("fn ");
+
+    // ---- Acquisitions ----------------------------------------------------
+    let acquired = if !boundary_before || is_definition {
+        None
+    } else if rest.starts_with("lock_barrier(") {
+        Some(LockSym::Barrier)
+    } else if rest.starts_with("lock_versions(") {
+        Some(LockSym::Versions)
+    } else if let Some(tail) = rest.strip_prefix("lock_shard(") {
+        Some(LockSym::Shard(parse_literal_index(tail)))
+    } else {
+        None
+    };
+    if let Some(sym) = acquired {
+        for held in guards.iter() {
+            out.edges.push(LockEdge { func: func(), from: held.sym, to: sym, line: lineno });
+            if let Some(finding) = judge(held, sym, lineno, &func()) {
+                out.lock_findings.push(finding);
+            }
+        }
+        guards.push(Guard { name: let_binding_name(stmt), sym, line: lineno, depth: blocks.len() });
+        return;
+    }
+
+    // ---- Releases --------------------------------------------------------
+    if boundary_before {
+        if let Some(tail) = rest.strip_prefix("drop(") {
+            let ident: String = tail.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !ident.is_empty() {
+                if let Some(pos) = guards.iter().rposition(|g| g.name.as_deref() == Some(&ident)) {
+                    guards.remove(pos);
+                }
+            }
+            return;
+        }
+    }
+
+    // ---- Held-across-send / spawn ---------------------------------------
+    if !guards.is_empty() && (rest.starts_with(".send(") || (boundary_before && rest.starts_with("spawn("))) {
+        let what = if rest.starts_with(".send(") { ".send(…)" } else { "spawn(…)" };
+        let held: Vec<String> = guards.iter().map(|g| format!("{} (line {})", g.sym, g.line + 1)).collect();
+        out.lock_findings.push(LockFinding {
+            kind: LockFindingKind::HeldAcrossSend,
+            line: lineno,
+            func: func(),
+            message: format!("{what} while holding {} — a blocked receiver or child stalls the lock", held.join(", ")),
+        });
+        return;
+    }
+
+    // ---- Untracked locks -------------------------------------------------
+    if rest.starts_with(".lock()") || (boundary_before && rest.starts_with("lock_ignoring_poison(")) {
+        let what = if rest.starts_with(".lock()") { ".lock()" } else { "lock_ignoring_poison(…)" };
+        out.lock_findings.push(LockFinding {
+            kind: LockFindingKind::UntrackedLock,
+            line: lineno,
+            func: func(),
+            message: format!(
+                "raw {what} bypasses the tracked acquisition wrappers (and the debug-mode \
+                 LockOrderTracker); use lock_barrier/lock_versions/lock_shard"
+            ),
+        });
+        return;
+    }
+
+    // ---- Hot-loop allocations -------------------------------------------
+    if hot_fns.is_empty() || fn_stack.is_empty() {
+        return;
+    }
+    let in_hot_fn = fn_stack.last().is_some_and(|(n, _)| hot_fns.contains(&n.as_str()));
+    // A loop block between the innermost fn body and here.
+    let fn_depth = fn_stack.last().map_or(0, |(_, d)| *d);
+    let in_loop = blocks.len() > fn_depth && blocks[fn_depth..].contains(&BlockKind::Loop);
+    if in_hot_fn && in_loop {
+        for pat in ALLOC_TOKENS {
+            let matches =
+                if pat.starts_with('.') { rest.starts_with(pat) } else { boundary_before && rest.starts_with(pat) };
+            if matches {
+                out.alloc_sites.push(AllocSite { line: lineno, func: func(), pattern: pat });
+                return;
+            }
+        }
+    }
+}
+
+/// Order verdict for acquiring `new` while `held` is held.
+fn judge(held: &Guard, new: LockSym, lineno: usize, func: &str) -> Option<LockFinding> {
+    let mk = |kind, message| Some(LockFinding { kind, line: lineno, func: func.to_string(), message });
+    if held.sym == new && !matches!(new, LockSym::Shard(None)) {
+        return mk(
+            LockFindingKind::DoubleLock,
+            format!("re-acquiring {} already held since line {} — self-deadlock on a std mutex", new, held.line + 1),
+        );
+    }
+    match (held.sym.rank(), new.rank()) {
+        (Some(h), Some(n)) if n <= h => mk(
+            LockFindingKind::Inversion,
+            format!(
+                "lock-order inversion: acquiring {} while holding {} (acquired line {}); \
+                 canonical order is barrier → versions → shard(i) ascending",
+                new,
+                held.sym,
+                held.line + 1
+            ),
+        ),
+        (Some(_), Some(_)) => None,
+        // At least one non-literal shard index: order among shards unprovable.
+        _ if held.sym.is_shard() && new.is_shard() => mk(
+            LockFindingKind::Unordered,
+            format!(
+                "cannot prove acquisition order: {} acquired while holding {} (line {}) and at \
+                 least one shard index is not a literal",
+                new,
+                held.sym,
+                held.line + 1
+            ),
+        ),
+        // Shard vs non-shard is ordered by construction (shards rank last).
+        _ => {
+            let held_is_lower = !held.sym.is_shard();
+            if held_is_lower {
+                None
+            } else {
+                mk(
+                    LockFindingKind::Inversion,
+                    format!(
+                        "lock-order inversion: acquiring {} while holding {} (acquired line {})",
+                        new,
+                        held.sym,
+                        held.line + 1
+                    ),
+                )
+            }
+        }
+    }
+}
+
+/// A literal integer followed by `)` → `Some(i)`; anything else → `None`.
+fn parse_literal_index(tail: &str) -> Option<u64> {
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() || !tail[digits.len()..].starts_with(')') {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// `let [mut] ident = …` at the head of the statement → the bound name.
+fn let_binding_name(stmt: &str) -> Option<String> {
+    let s = stmt.trim_start();
+    let s = s.strip_prefix("let ")?;
+    let s = s.trim_start();
+    let s = s.strip_prefix("mut ").unwrap_or(s).trim_start();
+    let ident: String = s.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if ident.is_empty() {
+        return None;
+    }
+    let after = s[ident.len()..].trim_start();
+    (after.starts_with('=') || after.starts_with(':')).then_some(ident)
+}
+
+fn classify_block(stmt: &str) -> BlockKind {
+    if has_kw(stmt, "fn") {
+        return BlockKind::Fn;
+    }
+    if has_kw(stmt, "for") || has_kw(stmt, "while") || has_kw(stmt, "loop") {
+        return BlockKind::Loop;
+    }
+    BlockKind::Other
+}
+
+/// The identifier following the last `fn ` keyword in the header.
+fn fn_name(stmt: &str) -> Option<String> {
+    let mut best = None;
+    let bytes = stmt.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = stmt[from..].find("fn") {
+        let start = from + pos;
+        let end = start + 2;
+        let pre_ok = start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok = bytes.get(end).is_some_and(|b| b.is_ascii_whitespace());
+        if pre_ok && post_ok {
+            let name: String =
+                stmt[end..].trim_start().chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !name.is_empty() {
+                best = Some(name);
+            }
+        }
+        from = end;
+    }
+    best
+}
+
+/// Keyword occurrence with identifier boundaries on both sides.
+fn has_kw(hay: &str, kw: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(kw) {
+        let start = from + pos;
+        let end = start + kw.len();
+        let pre_ok = start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok = end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn locks(src: &str) -> Analysis {
+        analyze(&scan(src), &[])
+    }
+
+    #[test]
+    fn canonical_order_produces_edges_and_no_findings() {
+        let src = "impl Ps {\n    fn apply(&self) {\n        let vt = self.lock_versions();\n        for i in 0..n {\n            let sh = self.lock_shard(i);\n        }\n    }\n}\n";
+        let a = locks(src);
+        assert!(a.lock_findings.is_empty(), "{:?}", a.lock_findings);
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].from, LockSym::Versions);
+        assert_eq!(a.edges[0].to, LockSym::Shard(None));
+        assert_eq!(a.edges[0].func, "apply");
+    }
+
+    #[test]
+    fn literal_shard_inversion_is_caught() {
+        let src = "fn bad(&self) {\n    let a = self.lock_shard(1);\n    let b = self.lock_shard(0);\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1);
+        let f = &a.lock_findings[0];
+        assert_eq!(f.kind, LockFindingKind::Inversion);
+        assert_eq!(f.line, 2);
+        assert_eq!(f.func, "bad");
+        assert!(f.message.contains("shard(0)") && f.message.contains("shard(1)"), "{}", f.message);
+    }
+
+    #[test]
+    fn shard_before_versions_is_an_inversion() {
+        let src = "fn bad(&self) {\n    let sh = self.lock_shard(2);\n    let vt = self.lock_versions();\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1);
+        assert_eq!(a.lock_findings[0].kind, LockFindingKind::Inversion);
+    }
+
+    #[test]
+    fn double_acquisition_is_caught() {
+        let src = "fn bad(&self) {\n    let a = self.lock_barrier();\n    let b = self.lock_barrier();\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1);
+        assert_eq!(a.lock_findings[0].kind, LockFindingKind::DoubleLock);
+    }
+
+    #[test]
+    fn non_literal_shard_pair_is_unordered() {
+        let src = "fn bad(&self) {\n    let a = self.lock_shard(i);\n    let b = self.lock_shard(j);\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1);
+        assert_eq!(a.lock_findings[0].kind, LockFindingKind::Unordered);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "fn ok(&self) {\n    let a = self.lock_shard(3);\n    drop(a);\n    let b = self.lock_shard(0);\n}\n";
+        assert!(locks(src).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let src =
+            "fn ok(&self) {\n    {\n        let a = self.lock_shard(3);\n    }\n    let b = self.lock_shard(0);\n}\n";
+        assert!(locks(src).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn ok(&self) {\n    self.lock_shard(3).bump();\n    let b = self.lock_shard(0);\n}\n";
+        assert!(locks(src).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn send_while_holding_is_caught() {
+        let src = "fn bad(&self, tx: &Sender<u8>) {\n    let g = self.lock_versions();\n    tx.send(1);\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1);
+        assert_eq!(a.lock_findings[0].kind, LockFindingKind::HeldAcrossSend);
+        assert!(a.lock_findings[0].message.contains("versions"));
+    }
+
+    #[test]
+    fn spawn_while_holding_is_caught_and_send_without_guard_is_fine() {
+        let bad = "fn bad(&self, s: &Scope) {\n    let g = self.lock_barrier();\n    s.spawn(|| {});\n}\n";
+        assert_eq!(locks(bad).lock_findings.len(), 1);
+        let ok = "fn ok(&self, tx: &Sender<u8>) {\n    tx.send(1);\n}\n";
+        assert!(locks(ok).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn raw_lock_is_untracked() {
+        let src = "fn bad(&self) {\n    let g = self.state.lock().unwrap();\n    let h = lock_ignoring_poison(&self.other);\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 2);
+        assert!(a.lock_findings.iter().all(|f| f.kind == LockFindingKind::UntrackedLock));
+    }
+
+    #[test]
+    fn wrapper_definitions_are_not_call_sites() {
+        let src =
+            "impl Ps {\n    fn lock_shard(&self, i: usize) -> Guard {\n        self.shards[i].acquire()\n    }\n}\n";
+        let a = locks(src);
+        assert!(a.lock_findings.is_empty());
+        assert!(a.edges.is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_is_flagged_only_there() {
+        let src = "fn spmm(&self) {\n    let out = Vec::new();\n    for r in rows {\n        let v = x.to_vec();\n        let c = y.clone();\n    }\n}\nfn cold(&self) {\n    for r in rows {\n        let v = x.to_vec();\n    }\n}\n";
+        let a = analyze(&scan(src), &["spmm"]);
+        assert_eq!(a.alloc_sites.len(), 2, "{:?}", a.alloc_sites);
+        assert!(a.alloc_sites.iter().all(|s| s.func == "spmm"));
+        assert_eq!(a.alloc_sites[0].pattern, ".to_vec(");
+        assert_eq!(a.alloc_sites[1].pattern, ".clone(");
+    }
+
+    #[test]
+    fn alloc_in_while_and_nested_blocks_is_flagged() {
+        let src = "fn reduce(&self) {\n    while go {\n        if cond {\n            let s = format!(\"x\");\n        }\n    }\n}\n";
+        let a = analyze(&scan(src), &["reduce"]);
+        assert_eq!(a.alloc_sites.len(), 1);
+        assert_eq!(a.alloc_sites[0].pattern, "format!(");
+    }
+
+    #[test]
+    fn alloc_outside_loops_is_not_flagged() {
+        let src = "fn reduce(&self) {\n    let buf = Vec::new();\n    let all: Vec<u32> = it.collect();\n}\n";
+        let a = analyze(&scan(src), &["reduce"]);
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+    }
+
+    #[test]
+    fn loop_keyword_in_identifiers_does_not_open_a_loop() {
+        // `for_each_row(` contains `for` only as an identifier prefix.
+        let src =
+            "fn reduce(&self) {\n    self.ctx.for_each_row(&csr, |r| {\n        let v = x.to_vec();\n    });\n}\n";
+        let a = analyze(&scan(src), &["reduce"]);
+        assert!(a.alloc_sites.is_empty(), "{:?}", a.alloc_sites);
+    }
+
+    #[test]
+    fn multiline_signatures_still_name_the_fn() {
+        let src =
+            "fn spmm(\n    &self,\n    csr: &Csr,\n) {\n    for r in rows {\n        let v = x.to_vec();\n    }\n}\n";
+        let a = analyze(&scan(src), &["spmm"]);
+        assert_eq!(a.alloc_sites.len(), 1);
+        assert_eq!(a.alloc_sites[0].func, "spmm");
+    }
+}

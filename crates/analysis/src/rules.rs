@@ -16,6 +16,7 @@
 //!
 //! The justification is not parsed, but reviewers expect one.
 
+use crate::lockgraph;
 use crate::scanner::{test_regions, ScannedFile};
 
 /// One lint finding.
@@ -104,9 +105,9 @@ pub fn registry() -> &'static [Rule] {
         },
         Rule {
             name: "no-wallclock",
-            description: "no Instant::now/SystemTime::now in determinism-critical modules \
-                          (mapreduce::engine, flat::pipeline, infer::pipeline) — retried \
-                          tasks must be bit-reproducible",
+            description: "no Instant::now/SystemTime::now in determinism-critical modules — \
+                          any file whose non-test code works with a JobPlan takes part in \
+                          plan execution, and retried tasks must be bit-reproducible",
             check: check_no_wallclock,
         },
         Rule {
@@ -114,6 +115,19 @@ pub fn registry() -> &'static [Rule] {
             description: "no raw std::thread::spawn outside sanctioned executor modules; use \
                           std::thread::scope so panics propagate and joins are guaranteed",
             check: check_no_raw_spawn,
+        },
+        Rule {
+            name: "lock-order",
+            description: "agl-ps lock acquisitions must follow the canonical order barrier → \
+                          versions → shard(i) ascending, through the tracked wrappers, and \
+                          never hold a guard across .send(…)/spawn(…)",
+            check: check_lock_order,
+        },
+        Rule {
+            name: "no-hot-alloc",
+            description: "no allocation (Vec::new/vec!/.to_vec/.clone/format!/.collect) inside \
+                          loop bodies of the aggregation kernels and reducer hot functions",
+            check: check_no_hot_alloc,
         },
     ]
 }
@@ -175,13 +189,18 @@ fn check_safety_comment(view: &FileView) -> Vec<Diagnostic> {
     out
 }
 
-/// Modules where wall-clock reads would break the determinism that the
-/// MapReduce retry story and the train/infer equivalence tests rely on.
-const DETERMINISM_CRITICAL: &[&str] =
-    &["crates/mapreduce/src/engine.rs", "crates/flat/src/pipeline.rs", "crates/infer/src/pipeline.rs"];
+/// A module is determinism-critical iff its non-test code works with a
+/// [`agl_mapreduce::plan::JobPlan`]: whatever touches a plan participates in
+/// executing (or validating) MapReduce rounds, and the retry story requires
+/// re-executed tasks to be bit-reproducible. Deriving the set from the code
+/// itself means a new pipeline module is covered the moment it handles a
+/// plan — no hard-coded path list to forget to update.
+fn is_determinism_critical(view: &FileView) -> bool {
+    view.scanned.code.iter().enumerate().any(|(i, code)| !view.in_test_region[i] && has_token(code, "JobPlan"))
+}
 
 fn check_no_wallclock(view: &FileView) -> Vec<Diagnostic> {
-    if !DETERMINISM_CRITICAL.contains(&view.path) {
+    if view.is_exempt_target() || !is_determinism_critical(view) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -221,6 +240,51 @@ fn check_no_raw_spawn(view: &FileView) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// The dynamic tracker itself is the one module allowed to touch raw locks
+/// (it *implements* the tracked wrappers).
+const LOCK_IMPL: &str = "crates/ps/src/locks.rs";
+
+fn check_lock_order(view: &FileView) -> Vec<Diagnostic> {
+    if !view.path.starts_with("crates/ps/src/") || view.path == LOCK_IMPL || view.is_exempt_target() {
+        return Vec::new();
+    }
+    lockgraph::analyze(view.scanned, &[])
+        .lock_findings
+        .into_iter()
+        .filter(|f| !view.in_test_region[f.line])
+        .map(|f| diag(view, "lock-order", f.line, format!("in fn {}: {}", f.func, f.message)))
+        .collect()
+}
+
+/// The hot functions of the §3.3.2 aggregation path and the per-group
+/// reducer bodies: allocation inside their loops multiplies with nnz or
+/// group size, which is exactly the skew the paper optimises against.
+const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
+    ("crates/tensor/src/partition.rs", &["spmm", "for_each_row"]),
+    ("crates/tensor/src/csr.rs", &["spmm", "spmm_rows_into", "t_spmm"]),
+    ("crates/flat/src/pipeline.rs", &["reduce"]),
+    ("crates/ps/src/server.rs", &["apply"]),
+];
+
+fn check_no_hot_alloc(view: &FileView) -> Vec<Diagnostic> {
+    let Some((_, fns)) = HOT_FUNCTIONS.iter().find(|(p, _)| *p == view.path) else {
+        return Vec::new();
+    };
+    lockgraph::analyze(view.scanned, fns)
+        .alloc_sites
+        .into_iter()
+        .filter(|s| !view.in_test_region[s.line])
+        .map(|s| {
+            diag(
+                view,
+                "no-hot-alloc",
+                s.line,
+                format!("allocation `{}` inside a loop of hot fn {}", s.pattern.trim_end_matches('('), s.func),
+            )
+        })
+        .collect()
 }
 
 /// `needle` occurs in `hay` as a whole word (not an identifier substring).
@@ -269,7 +333,9 @@ mod tests {
     #[test]
     fn unwrap_or_else_not_flagged() {
         let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
-        assert!(lint_one("crates/ps/src/foo.rs", src).is_empty());
+        // (On a non-ps path: inside crates/ps/src a raw .lock() would be a
+        // lock-order finding in its own right.)
+        assert!(lint_one("crates/mapreduce/src/foo.rs", src).is_empty());
     }
 
     #[test]
@@ -288,10 +354,59 @@ mod tests {
     }
 
     #[test]
-    fn wallclock_only_in_critical_modules() {
-        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
-        assert_eq!(lint_one("crates/mapreduce/src/engine.rs", src).len(), 1);
-        assert!(lint_one("crates/mapreduce/src/spill.rs", src).is_empty());
+    fn wallclock_flagged_where_nontest_code_touches_a_job_plan() {
+        let critical = "use agl_mapreduce::plan::JobPlan;\nfn f(p: &JobPlan) { let t = std::time::Instant::now(); let _ = (p, t); }\n";
+        let d = lint_one("crates/foo/src/engine.rs", critical);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-wallclock");
+        // No JobPlan in code → the module is not determinism-critical.
+        let free = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert!(lint_one("crates/foo/src/engine.rs", free).is_empty());
+        // Benches/tests read clocks legitimately even when they drive plans.
+        assert!(lint_one("crates/bench/benches/micro.rs", critical).is_empty());
+        // JobPlan appearing only inside a test region does not make the
+        // file critical.
+        let test_only = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n#[cfg(test)]\nmod tests {\n    use agl_mapreduce::plan::JobPlan;\n}\n";
+        assert!(lint_one("crates/foo/src/engine.rs", test_only).is_empty());
+        // A JobPlan mention in a comment or string is not "working with" one.
+        let comment_only =
+            "// builds the JobPlan elsewhere\nfn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert!(lint_one("crates/foo/src/engine.rs", comment_only).is_empty());
+    }
+
+    #[test]
+    fn lock_order_rule_scoped_to_ps_sources() {
+        let src = "fn bad(&self) {\n    let a = self.lock_shard(1);\n    let b = self.lock_shard(0);\n}\n";
+        let d = lint_one("crates/ps/src/server.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-order");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("fn bad"), "{}", d[0].message);
+        // Out of scope: other crates, the tracker implementation, tests.
+        assert!(lint_one("crates/trainer/src/dist.rs", src).is_empty());
+        assert!(lint_one("crates/ps/src/locks.rs", src).is_empty());
+        assert!(lint_one("crates/ps/tests/lock_order.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untracked_raw_lock_flagged_in_ps_only() {
+        let src = "fn f(&self) {\n    let g = lock_ignoring_poison(&self.state);\n    let _ = g;\n}\n";
+        let d = lint_one("crates/ps/src/server.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lock-order");
+        assert!(lint_one("crates/mapreduce/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_scoped_to_hot_functions() {
+        let src = "fn spmm(&self) {\n    for r in rows {\n        let v = x.to_vec();\n    }\n}\nfn helper(&self) {\n    for r in rows {\n        let v = x.to_vec();\n    }\n}\n";
+        let d = lint_one("crates/tensor/src/partition.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "no-hot-alloc");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("hot fn spmm"), "{}", d[0].message);
+        // Same code in a file with no registered hot functions: clean.
+        assert!(lint_one("crates/tensor/src/matrix.rs", src).is_empty());
     }
 
     #[test]

@@ -95,11 +95,62 @@ fn tests_are_exempt_from_no_panic() {
 }
 
 #[test]
+fn seeded_lock_order_inversion_fails_with_file_line() {
+    let fx = Fixture::new(
+        "lockorder",
+        &[(
+            "crates/ps/src/bad.rs",
+            "impl ParameterServer {\n    pub fn sweep(&self) {\n        let a = self.lock_shard(1);\n        let b = self.lock_shard(0);\n        drop(b);\n        drop(a);\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/ps/src/bad.rs:4: [lock-order]"), "missing diagnostic in: {stdout}");
+    assert!(stdout.contains("inversion"), "{stdout}");
+    assert!(stdout.contains("shard(0)") && stdout.contains("shard(1)"), "{stdout}");
+}
+
+#[test]
+fn seeded_lock_across_send_fails() {
+    let fx = Fixture::new(
+        "lockacrosssend",
+        &[(
+            "crates/ps/src/bad.rs",
+            "impl ParameterServer {\n    pub fn notify(&self, tx: &std::sync::mpsc::Sender<u64>) {\n        let v = self.lock_versions();\n        let _ = tx.send(v.global_step);\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/ps/src/bad.rs:4: [lock-order]"), "{stdout}");
+    assert!(stdout.contains(".send("), "{stdout}");
+}
+
+#[test]
+fn seeded_hot_loop_allocation_fails_with_file_line() {
+    let fx = Fixture::new(
+        "hotalloc",
+        &[(
+            "crates/tensor/src/partition.rs",
+            "impl ExecCtx {\n    pub fn spmm(&self, rows: &[Vec<f32>]) -> Vec<f32> {\n        let mut out = Vec::new();\n        for r in rows {\n            let copy = r.clone();\n            out.extend(copy);\n        }\n        out\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/tensor/src/partition.rs:5: [no-hot-alloc]"), "missing diagnostic in: {stdout}");
+    assert!(stdout.contains("hot fn spmm"), "{stdout}");
+    // The pre-loop Vec::new on line 3 is fine: allocation outside the loop.
+    assert!(!stdout.contains("partition.rs:3:"), "{stdout}");
+}
+
+#[test]
 fn rules_flag_lists_registry() {
     let out = Command::new(env!("CARGO_BIN_EXE_agl-lint")).arg("--rules").output().expect("run agl-lint --rules");
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["no-panic", "safety-comment", "no-wallclock", "no-raw-spawn"] {
+    for rule in ["no-panic", "safety-comment", "no-wallclock", "no-raw-spawn", "lock-order", "no-hot-alloc"] {
         assert!(stdout.contains(rule), "rule {rule} missing from: {stdout}");
     }
 }

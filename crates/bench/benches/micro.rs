@@ -5,7 +5,11 @@
 //!
 //! A plain `harness = false` timing harness (median of N runs after a
 //! warmup) — no external benchmark crates, so the workspace builds offline.
-//! Invoke with `cargo bench --bench micro`.
+//!
+//! Invoke with `cargo bench --bench micro`. Flags (after `--`):
+//!
+//! * `--smoke`        3 iterations instead of 10 — CI smoke mode.
+//! * `--json <path>`  also write `{"suite","mode","benches":[…]}` to `path`.
 
 use agl_bench::flatten_dataset;
 use agl_datasets::{uug_like, UugConfig};
@@ -18,37 +22,63 @@ use agl_trainer::pipeline::{prepare_batch, PrepSpec};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Time `f` over `iters` runs (after 2 warmup runs); report the median.
-fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
-    for _ in 0..2 {
-        black_box(f());
-    }
-    let mut samples: Vec<f64> = (0..iters)
-        .map(|_| {
-            let t0 = Instant::now();
+/// Runs every bench at a fixed iteration count and collects the medians.
+struct Harness {
+    iters: usize,
+    results: Vec<(String, f64)>,
+}
+
+impl Harness {
+    /// Time `f` over `iters` runs (after 2 warmup runs); record the median.
+    fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..2 {
             black_box(f());
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let median = samples[samples.len() / 2];
-    println!("{name:<40} {median:>10.3} ms  (median of {iters})");
+        }
+        let mut samples: Vec<f64> = (0..self.iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!("{name:<40} {median:>10.3} ms  (median of {})", self.iters);
+        self.results.push((name.to_string(), median));
+    }
+
+    /// Hand-rolled JSON (no serde in the workspace): names contain no
+    /// characters needing escapes beyond the ones handled here.
+    fn to_json(&self, mode: &str) -> String {
+        let benches: Vec<String> = self
+            .results
+            .iter()
+            .map(|(name, median)| {
+                format!(r#"    {{"name": "{}", "median_ms": {median:.6}}}"#, name.replace('"', "\\\""))
+            })
+            .collect();
+        format!(
+            "{{\n  \"suite\": \"micro\",\n  \"mode\": \"{mode}\",\n  \"iters\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+            self.iters,
+            benches.join(",\n")
+        )
+    }
 }
 
 fn fixture() -> agl_datasets::Dataset {
     uug_like(UugConfig { n_nodes: 2_000, avg_degree: 8.0, ..UugConfig::default() })
 }
 
-fn bench_spmm_partitioning() {
+fn bench_spmm_partitioning(h: &mut Harness) {
     let ds = fixture();
     let adj = ds.graph().in_adj().row_normalized();
     let mut rng = seeded_rng(1);
     let x = Matrix::from_vec(adj.n_cols(), 32, (0..adj.n_cols() * 32).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
-    bench("spmm/sequential", 10, || ExecCtx::sequential().spmm(&adj, &x));
-    bench("spmm/edge_partitioned_4", 10, || ExecCtx::parallel(4).spmm(&adj, &x));
+    h.bench("spmm/sequential", || ExecCtx::sequential().spmm(&adj, &x));
+    h.bench("spmm/edge_partitioned_4", || ExecCtx::parallel(4).spmm(&adj, &x));
 }
 
-fn bench_forward_pruning() {
+fn bench_forward_pruning(h: &mut Harness) {
     let ds = fixture();
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).unwrap();
     let model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 32, 1, 2, Loss::BceWithLogits));
@@ -57,34 +87,34 @@ fn bench_forward_pruning() {
     let full = prepare_batch(&batch, &spec(false));
     let pruned = prepare_batch(&batch, &spec(true));
     let ctx = ExecCtx::sequential();
-    bench("forward/unpruned", 10, || {
+    h.bench("forward/unpruned", || {
         model.forward(&full.adjs, &full.batch.features, &full.batch.targets, false, &ctx, &mut seeded_rng(0))
     });
-    bench("forward/pruned", 10, || {
+    h.bench("forward/pruned", || {
         model.forward(&pruned.adjs, &pruned.batch.features, &pruned.batch.targets, false, &ctx, &mut seeded_rng(0))
     });
 }
 
-fn bench_vectorization() {
+fn bench_vectorization(h: &mut Harness) {
     let ds = fixture();
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).unwrap();
     let batch: Vec<_> = flat.train.iter().take(32).cloned().collect();
-    bench("vectorize_32_graphfeatures", 10, || agl_trainer::vectorize(&batch, 1));
+    h.bench("vectorize_32_graphfeatures", || agl_trainer::vectorize(&batch, 1));
 }
 
-fn bench_graphfeature_codec() {
+fn bench_graphfeature_codec(h: &mut Harness) {
     let ds = fixture();
     let sub = khop_subgraph(ds.graph(), &[ds.graph().node_id(0)], 2, EdgeRule::Sufficient);
     let bytes = encode_graph_feature(&sub);
-    bench("graphfeature_codec/encode", 10, || encode_graph_feature(&sub));
-    bench("graphfeature_codec/decode", 10, || decode_graph_feature(&bytes).unwrap());
+    h.bench("graphfeature_codec/encode", || encode_graph_feature(&sub));
+    h.bench("graphfeature_codec/decode", || decode_graph_feature(&bytes).unwrap());
 }
 
-fn bench_graphflat_pipeline() {
+fn bench_graphflat_pipeline(h: &mut Harness) {
     let ds = uug_like(UugConfig { n_nodes: 500, avg_degree: 6.0, ..UugConfig::default() });
     let (nodes, edges) = ds.graph().to_tables();
     let targets: Vec<agl_graph::NodeId> = ds.graph().node_ids()[..50].to_vec();
-    bench("graphflat_2hop_50_targets", 10, || {
+    h.bench("graphflat_2hop_50_targets", || {
         let cfg =
             FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() };
         GraphFlat::new(cfg).run(&nodes, &edges, &TargetSpec::Ids(targets.clone())).unwrap()
@@ -92,9 +122,23 @@ fn bench_graphflat_pipeline() {
 }
 
 fn main() {
-    bench_spmm_partitioning();
-    bench_forward_pruning();
-    bench_vectorization();
-    bench_graphfeature_codec();
-    bench_graphflat_pipeline();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).map(std::path::PathBuf::from);
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut h = Harness { iters: if smoke { 3 } else { 10 }, results: Vec::new() };
+    bench_spmm_partitioning(&mut h);
+    bench_forward_pruning(&mut h);
+    bench_vectorization(&mut h);
+    bench_graphfeature_codec(&mut h);
+    bench_graphflat_pipeline(&mut h);
+
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+        std::fs::write(&path, h.to_json(mode)).expect("write bench json");
+        println!("wrote {}", path.display());
+    }
 }

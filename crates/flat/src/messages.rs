@@ -72,6 +72,53 @@ impl FlatMsg {
     const TAG_IN: u8 = 3;
     const TAG_OUT: u8 = 4;
     const TAG_FINAL: u8 = 5;
+
+    // ---- Borrowed encoders -------------------------------------------
+    // The reducer's merge round encodes one `InEdge`/`OutEdge`/`SelfInfo`
+    // per (sampled) edge per round; building an owned `FlatMsg` first means
+    // cloning the neighborhood payload just to serialise it. These encode
+    // straight from borrows and are byte-identical to `to_bytes()` on the
+    // equivalent owned variant (tested below).
+
+    /// Encode [`FlatMsg::SelfInfo`] without owning its fields.
+    pub fn encode_self_info(sub: &[u8], is_target: bool, label: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(10 + sub.len() + 4 * label.len());
+        put_u8(&mut buf, Self::TAG_SELF);
+        put_blob(&mut buf, sub);
+        put_u8(&mut buf, u8::from(is_target));
+        put_f32s(&mut buf, label);
+        buf
+    }
+
+    /// Encode [`FlatMsg::InEdge`] without owning its fields.
+    pub fn encode_in_edge(src: u64, weight: f32, efeat: &[f32], sub: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(21 + 4 * efeat.len() + sub.len());
+        put_u8(&mut buf, Self::TAG_IN);
+        put_u64(&mut buf, src);
+        put_f32(&mut buf, weight);
+        put_f32s(&mut buf, efeat);
+        put_blob(&mut buf, sub);
+        buf
+    }
+
+    /// Encode [`FlatMsg::OutEdge`] without owning its fields.
+    pub fn encode_out_edge(dst: u64, weight: f32, efeat: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(17 + 4 * efeat.len());
+        put_u8(&mut buf, Self::TAG_OUT);
+        put_u64(&mut buf, dst);
+        put_f32(&mut buf, weight);
+        put_f32s(&mut buf, efeat);
+        buf
+    }
+
+    /// Encode [`FlatMsg::Final`] without owning its fields.
+    pub fn encode_final(sub: &[u8], label: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(9 + sub.len() + 4 * label.len());
+        put_u8(&mut buf, Self::TAG_FINAL);
+        put_blob(&mut buf, sub);
+        put_f32s(&mut buf, label);
+        buf
+    }
 }
 
 fn put_blob(buf: &mut Vec<u8>, b: &[u8]) {
@@ -189,6 +236,31 @@ mod tests {
             let back = FlatMsg::from_bytes(&m.to_bytes()).unwrap();
             assert_eq!(back, m);
         }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_owned_encoding() {
+        let sub = vec![7u8, 8, 9];
+        let label = vec![0.5f32, -1.0];
+        let efeat = vec![1.5f32];
+        assert_eq!(
+            FlatMsg::encode_self_info(&sub, true, &label),
+            FlatMsg::SelfInfo { sub: sub.clone(), is_target: true, label: label.clone() }.to_bytes(),
+        );
+        assert_eq!(
+            FlatMsg::encode_in_edge(4, 0.25, &efeat, &sub),
+            FlatMsg::InEdge { src: 4, weight: 0.25, efeat: efeat.clone(), sub: sub.clone() }.to_bytes(),
+        );
+        assert_eq!(
+            FlatMsg::encode_out_edge(5, 2.0, &efeat),
+            FlatMsg::OutEdge { dst: 5, weight: 2.0, efeat: efeat.clone() }.to_bytes(),
+        );
+        assert_eq!(FlatMsg::encode_final(&sub, &label), FlatMsg::Final { sub, label }.to_bytes(),);
+        // Empty payloads too.
+        assert_eq!(
+            FlatMsg::encode_self_info(&[], false, &[]),
+            FlatMsg::SelfInfo { sub: vec![], is_target: false, label: vec![] }.to_bytes(),
+        );
     }
 
     #[test]

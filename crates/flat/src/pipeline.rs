@@ -270,14 +270,12 @@ impl Reducer for FlatReducer {
                 }
                 return;
             }
-            emit(key.to_vec(), FlatMsg::SelfInfo { sub: leaf.clone(), is_target, label }.to_bytes());
-            for (dst, weight, efeat) in edges_by_src {
-                let in_key = self.routing.key_for(dst, k.id);
-                emit(
-                    in_key.to_bytes(),
-                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: leaf.clone() }.to_bytes(),
-                );
-                emit(key.to_vec(), FlatMsg::OutEdge { dst, weight, efeat }.to_bytes());
+            emit(key.to_vec(), FlatMsg::encode_self_info(&leaf, is_target, &label));
+            for (dst, weight, efeat) in &edges_by_src {
+                let in_key = self.routing.key_for(*dst, k.id);
+                emit(in_key.to_bytes(), FlatMsg::encode_in_edge(k.id, *weight, efeat, &leaf));
+                // agl-lint: allow(no-hot-alloc) — the emit contract takes an owned key; this is the record key itself.
+                emit(key.to_vec(), FlatMsg::encode_out_edge(*dst, *weight, efeat));
             }
             return;
         }
@@ -295,12 +293,18 @@ impl Reducer for FlatReducer {
         self.counters.record_max("flat.max_group_in_edges", in_edges.len() as u64);
 
         // Sampling framework: cap this group's in-edge records. The
-        // candidate list is canonicalised (sorted by source id) and the
-        // seed depends only on the node, so every round — and later
-        // GraphInfer — selects the *same* neighbor subset: the property
-        // behind §3.4's "unbiased inference with the model trained based
-        // on GraphFlat".
-        in_edges.sort_by_key(|(src, _, _, _)| *src);
+        // candidate list is canonicalised (sorted by source id, with full
+        // tie-breaks so parallel edges from one source order the same way
+        // no matter how the shuffle delivered them) and the seed depends
+        // only on the node, so every round — and later GraphInfer —
+        // selects the *same* neighbor subset: the property behind §3.4's
+        // "unbiased inference with the model trained based on GraphFlat".
+        in_edges.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.total_cmp(&b.1))
+                .then_with(|| a.2.iter().map(|f| f.to_bits()).cmp(b.2.iter().map(|f| f.to_bits())))
+                .then_with(|| a.3.cmp(&b.3))
+        });
         let weights: Vec<f32> = in_edges.iter().map(|(_, w, _, _)| *w).collect();
         let sample_seed = derive_seed(self.seed, fnv1a(&k.id.to_le_bytes()));
         let kept = self.sampling.select(&weights, sample_seed);
@@ -324,14 +328,12 @@ impl Reducer for FlatReducer {
         let merged_bytes = encode_graph_feature(&merged);
 
         if round < self.k_hops {
-            emit(key.to_vec(), FlatMsg::SelfInfo { sub: merged_bytes.clone(), is_target, label }.to_bytes());
-            for (dst, weight, efeat) in out_edges {
-                let in_key = self.routing.key_for(dst, k.id);
-                emit(
-                    in_key.to_bytes(),
-                    FlatMsg::InEdge { src: k.id, weight, efeat: efeat.clone(), sub: merged_bytes.clone() }.to_bytes(),
-                );
-                emit(key.to_vec(), FlatMsg::OutEdge { dst, weight, efeat }.to_bytes());
+            emit(key.to_vec(), FlatMsg::encode_self_info(&merged_bytes, is_target, &label));
+            for (dst, weight, efeat) in &out_edges {
+                let in_key = self.routing.key_for(*dst, k.id);
+                emit(in_key.to_bytes(), FlatMsg::encode_in_edge(k.id, *weight, efeat, &merged_bytes));
+                // agl-lint: allow(no-hot-alloc) — the emit contract takes an owned key; this is the record key itself.
+                emit(key.to_vec(), FlatMsg::encode_out_edge(*dst, *weight, efeat));
             }
         } else if is_target {
             // Storing step: inverted indexing — emit under the original key.
@@ -408,6 +410,7 @@ impl GraphFlat {
             // Every boundary of the K+1 rounds carries FlatKey/FlatMsg
             // records; debug builds verify the chain at construction.
             plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
+            verify_determinism: cfg!(debug_assertions),
         });
         let result = job.run(&inputs, &mapper, &reducer)?;
         for (name, v) in result.counters.snapshot() {

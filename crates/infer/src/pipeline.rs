@@ -200,11 +200,17 @@ impl Reducer for InferReducer {
                 return;
             };
             // Consistent sampling with GraphFlat: canonical candidate order
-            // (sorted by source id) + a seed derived from the node id only,
-            // so with the same seed/strategy this reducer keeps exactly the
-            // neighbor subset GraphFlat kept when building the training
-            // data (§3.4's unbiasedness requirement).
-            in_embs.sort_by_key(|(src, _, _)| *src);
+            // (sorted by source id, with weight/payload tie-breaks so
+            // parallel edges order identically regardless of shuffle
+            // delivery) + a seed derived from the node id only, so with the
+            // same seed/strategy this reducer keeps exactly the neighbor
+            // subset GraphFlat kept when building the training data (§3.4's
+            // unbiasedness requirement).
+            in_embs.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| a.1.total_cmp(&b.1))
+                    .then_with(|| a.2.iter().map(|f| f.to_bits()).cmp(b.2.iter().map(|f| f.to_bits())))
+            });
             let weights: Vec<f32> = in_embs.iter().map(|(_, w, _)| *w).collect();
             let node_id = key_id(key);
             let sample_seed = derive_seed(self.seed, fnv1a(&node_id.to_le_bytes()));
@@ -318,6 +324,7 @@ impl GraphInfer {
             spill: self.cfg.spill.clone(),
             // join + K slice rounds + prediction all speak InferMsg.
             plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
+            verify_determinism: cfg!(debug_assertions),
         });
         let result = job.run(&inputs, &InferMapper, &reducer)?;
         for (name, v) in result.counters.snapshot() {

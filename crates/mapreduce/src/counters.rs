@@ -12,9 +12,40 @@ pub struct Counters {
     inner: Arc<RwLock<BTreeMap<String, Arc<AtomicU64>>>>,
 }
 
+thread_local! {
+    /// When set, all counter writes on this thread are dropped. Used by the
+    /// engine's determinism double-runs: replaying a reduce group must not
+    /// inflate the job's (exact) record counters.
+    static SILENCED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Restores the previous silencing state even if the silenced closure
+/// panics (the determinism gate panics on a caught violation).
+struct SilenceGuard {
+    prev: bool,
+}
+
+impl Drop for SilenceGuard {
+    fn drop(&mut self) {
+        SILENCED.with(|s| s.set(self.prev));
+    }
+}
+
 impl Counters {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Run `f` with every counter write on this thread suppressed — for
+    /// *all* `Counters` instances, since a replayed reducer may bump its
+    /// own application counters, not just the engine's.
+    pub fn silenced<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = SilenceGuard { prev: SILENCED.with(|s| s.replace(true)) };
+        f()
+    }
+
+    fn is_silenced() -> bool {
+        SILENCED.with(std::cell::Cell::get)
     }
 
     /// Read/write the map even if a panicking holder poisoned the lock —
@@ -37,6 +68,9 @@ impl Counters {
 
     /// Add `delta` to counter `name` (creating it at zero).
     pub fn add(&self, name: &str, delta: u64) {
+        if Self::is_silenced() {
+            return;
+        }
         self.cell(name).fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -48,6 +82,9 @@ impl Counters {
     /// Raise counter `name` to at least `value` — a "max" counter, used for
     /// load-balance observations like the largest reduce group seen.
     pub fn record_max(&self, name: &str, value: u64) {
+        if Self::is_silenced() {
+            return;
+        }
         self.cell(name).fetch_max(value, Ordering::Relaxed);
     }
 
@@ -100,6 +137,46 @@ mod tests {
         assert_eq!(c.get("m"), 5);
         c.record_max("m", 9);
         assert_eq!(c.get("m"), 9);
+    }
+
+    #[test]
+    fn silenced_drops_writes_and_restores() {
+        let c = Counters::new();
+        c.inc("n");
+        let out = Counters::silenced(|| {
+            c.inc("n");
+            c.add("n", 10);
+            c.record_max("m", 99);
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(c.get("n"), 1, "writes inside the silenced closure are dropped");
+        assert_eq!(c.get("m"), 0);
+        c.inc("n");
+        assert_eq!(c.get("n"), 2, "silencing ends with the closure");
+    }
+
+    #[test]
+    fn silenced_restores_after_panic() {
+        let c = Counters::new();
+        let caught = std::panic::catch_unwind(|| {
+            Counters::silenced(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        c.inc("n");
+        assert_eq!(c.get("n"), 1, "silencing must not leak past an unwinding closure");
+    }
+
+    #[test]
+    fn silenced_is_per_thread() {
+        let c = Counters::new();
+        Counters::silenced(|| {
+            let c2 = c.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || c2.inc("n"));
+            });
+        });
+        assert_eq!(c.get("n"), 1, "other threads keep counting");
     }
 
     #[test]

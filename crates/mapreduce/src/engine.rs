@@ -21,6 +21,15 @@ use crate::spill::SpillMode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+/// One in this many reduce groups is sampled for the debug-mode reorder
+/// determinism check (routed by the same FNV-1a hash as the shuffle, so the
+/// sample is deterministic across runs and parallelism levels).
+const DETERMINISM_SAMPLE_MOD: usize = 4;
+
+/// Upper bound on double-run groups per reduce task, so huge jobs pay a
+/// bounded verification cost.
+const MAX_VERIFIED_GROUPS_PER_TASK: usize = 4;
+
 /// Acquire `m` even if a panicking holder poisoned it — the engine treats a
 /// worker panic as a task failure, not a reason to lose the whole job.
 fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -89,6 +98,12 @@ pub struct JobConfig {
     /// Declared pipeline shape, validated at construction in debug builds
     /// (see [`crate::plan::JobPlanValidator`]).
     pub plan: Option<crate::plan::JobPlan>,
+    /// Double-run a sampled subset of each reduce task's **real** groups
+    /// with reordered values and require an identical emission multiset
+    /// (see [`crate::plan::check_group_reorder_determinism`]). Defaults to
+    /// on in debug builds — i.e. every `cargo test` job — and off in
+    /// release; it is a no-op in release builds either way.
+    pub verify_determinism: bool,
 }
 
 impl Default for JobConfig {
@@ -102,6 +117,7 @@ impl Default for JobConfig {
             fault_plan: FaultPlan::none(),
             spill: SpillMode::InMemory,
             plan: None,
+            verify_determinism: cfg!(debug_assertions),
         }
     }
 }
@@ -216,24 +232,32 @@ impl MapReduceJob {
     ) -> Result<JobResult, JobError> {
         let counters = Counters::new();
         counters.add("map.input_records", inputs.len() as u64);
+        // The sampled double-run only ever fires in debug builds (the same
+        // builds that run plan validation); `cfg!` keeps release binaries
+        // free of the clone-the-group cost even with the flag left on.
+        let verify_determinism = cfg!(debug_assertions) && self.cfg.verify_determinism;
+        // First violation seen by any reduce task; re-raised from the driver
+        // thread so the report survives `thread::scope`'s generic re-panic.
+        let determinism_violation: Mutex<Option<String>> = Mutex::new(None);
 
         // ---- Map phase ----
         // Inputs are striped across map tasks; each task emits into
         // `reduce_tasks` buckets.
         let r_parts = self.cfg.reduce_tasks;
-        let map_outputs: Vec<Vec<Vec<KeyValue>>> = self.run_tasks(self.cfg.map_tasks, TaskId::map, |task| {
-            let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
-            let mut emitted = 0u64;
-            for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
-                mapper.map(input, &mut |k, v| {
-                    emitted += 1;
-                    let p = partition(&k, r_parts);
-                    buckets[p].push(KeyValue::new(k, v));
-                });
-            }
-            counters.add("map.output_records", emitted);
-            buckets
-        })?;
+        let map_outputs: Vec<Vec<Vec<KeyValue>>> =
+            self.run_tasks(self.cfg.map_tasks, TaskId::map, &counters, |task| {
+                let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+                let mut emitted = 0u64;
+                for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
+                    mapper.map(input, &mut |k, v| {
+                        emitted += 1;
+                        let p = partition(&k, r_parts);
+                        buckets[p].push(KeyValue::new(k, v));
+                    });
+                }
+                counters.add("map.output_records", emitted);
+                buckets
+            })?;
 
         // ---- Reduce rounds ----
         let mut buckets_by_task = map_outputs;
@@ -259,6 +283,7 @@ impl MapReduceJob {
             let round_outputs: Vec<Vec<Vec<KeyValue>>> = self.run_tasks(
                 r_parts,
                 |i| TaskId::reduce(round, i),
+                &counters,
                 |p| {
                     let mut records = spilled[p].clone();
                     // Group by key: sort is stable, so within a key the value
@@ -267,6 +292,7 @@ impl MapReduceJob {
                     records.sort_by(|a, b| a.key.cmp(&b.key));
                     let mut out_buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
                     let mut emitted = 0u64;
+                    let mut verified_groups = 0usize;
                     let mut i = 0;
                     while i < records.len() {
                         let mut j = i + 1;
@@ -274,18 +300,53 @@ impl MapReduceJob {
                             j += 1;
                         }
                         let key = records[i].key.clone();
-                        let mut values = records[i..j].iter().map(|kv| kv.value.as_slice());
-                        reducer.reduce(round, &key, &mut values, &mut |k, v| {
-                            emitted += 1;
-                            let bucket = partition(&k, r_parts);
-                            out_buckets[bucket].push(KeyValue::new(k, v));
-                        });
+                        // Sample multi-value groups for the reorder
+                        // determinism check: deterministic by key hash,
+                        // capped per task to bound the double-run cost.
+                        let sampled = verify_determinism
+                            && j - i > 1
+                            && verified_groups < MAX_VERIFIED_GROUPS_PER_TASK
+                            && partition(&key, DETERMINISM_SAMPLE_MOD) == 0;
+                        if sampled {
+                            verified_groups += 1;
+                            let values: Vec<Vec<u8>> = records[i..j].iter().map(|kv| kv.value.clone()).collect();
+                            let mut baseline: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                            {
+                                let mut iter = values.iter().map(Vec::as_slice);
+                                reducer.reduce(round, &key, &mut iter, &mut |k, v| baseline.push((k, v)));
+                            }
+                            if let Err(e) =
+                                crate::plan::check_group_reorder_determinism(reducer, round, &key, &values, &baseline)
+                            {
+                                lock_ignoring_poison(&determinism_violation).get_or_insert_with(|| e.to_string());
+                            }
+                            counters.inc(&format!("reduce.r{round}.verified_groups"));
+                            for (k, v) in baseline {
+                                emitted += 1;
+                                let bucket = partition(&k, r_parts);
+                                out_buckets[bucket].push(KeyValue::new(k, v));
+                            }
+                        } else {
+                            let mut values = records[i..j].iter().map(|kv| kv.value.as_slice());
+                            reducer.reduce(round, &key, &mut values, &mut |k, v| {
+                                emitted += 1;
+                                let bucket = partition(&k, r_parts);
+                                out_buckets[bucket].push(KeyValue::new(k, v));
+                            });
+                        }
                         i = j;
                     }
                     counters.add(&format!("reduce.r{round}.output_records"), emitted);
                     out_buckets
                 },
             )?;
+            if let Some(report) = lock_ignoring_poison(&determinism_violation).take() {
+                // Debug-only determinism gate: an order-sensitive reducer
+                // invalidates the engine's retry story, so fail the test
+                // run loudly, from the driver thread.
+                // agl-lint: allow(no-panic) — see above.
+                panic!("{report}");
+            }
             if is_last {
                 for task_buckets in round_outputs {
                     for bucket in task_buckets {
@@ -309,14 +370,21 @@ impl MapReduceJob {
     }
 
     /// Execute `n` tasks with bounded parallelism and retry-on-injected-fault.
-    /// Returns task outputs in task order.
-    fn run_tasks<T, F>(&self, n: usize, id_of: impl Fn(usize) -> TaskId, run: F) -> Result<Vec<T>, JobError>
+    /// Returns task outputs in task order. Retries are reported on the job's
+    /// `task_retries` counter.
+    fn run_tasks<T, F>(
+        &self,
+        n: usize,
+        id_of: impl Fn(usize) -> TaskId,
+        counters: &Counters,
+        run: F,
+    ) -> Result<Vec<T>, JobError>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
         // id_of used from one thread only
     {
-        let retries = &Counters::new();
+        let retries = counters;
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<T, JobError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let ids: Vec<TaskId> = (0..n).map(&id_of).collect();
@@ -492,6 +560,87 @@ mod tests {
         assert_eq!(plain.counters.get("map.output_records"), 8);
         assert_eq!(combined.counters.get("map.output_records"), 4);
         assert!(combined.counters.get("shuffle.bytes") < plain.counters.get("shuffle.bytes"));
+    }
+
+    /// Emits the first value seen per group — order-sensitive on purpose.
+    struct FirstReduce;
+    impl Reducer for FirstReduce {
+        fn reduce(
+            &self,
+            _round: usize,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        ) {
+            if let Some(v) = values.next() {
+                emit(key.to_vec(), v.to_vec());
+            }
+        }
+    }
+
+    /// Maps each u64 input record `v` to `(v % 32, v)` — every key gets a
+    /// group of *distinct* values, so an order-sensitive reducer's output
+    /// genuinely depends on shuffle arrival order.
+    struct PairMap;
+    impl Mapper for PairMap {
+        fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            let v = u64::from_bytes(input).unwrap();
+            emit((v % 32).to_bytes(), v.to_bytes());
+        }
+    }
+
+    fn pair_inputs() -> Vec<Vec<u8>> {
+        // 32 distinct keys with two distinct values each; the deterministic
+        // 1-in-4 key sample is certain to catch several of them.
+        (0..64u64).map(|v| v.to_bytes()).collect()
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn sampled_groups_are_verified_in_debug_test_jobs() {
+        let res = MapReduceJob::new(JobConfig::default()).run(&pair_inputs(), &PairMap, &SumReduce).unwrap();
+        assert!(res.counters.get("reduce.r0.verified_groups") > 0, "{:?}", res.counters.snapshot());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "order-sensitive in round 0")]
+    fn order_sensitive_reducer_caught_on_real_groups() {
+        // FirstReduce emits whichever value arrives first; the reversed
+        // replay of a sampled real group emits a different multiset, and
+        // the engine's debug gate must fail the job loudly.
+        let cfg = JobConfig { parallelism: 1, ..JobConfig::default() };
+        let _ = MapReduceJob::new(cfg).run(&pair_inputs(), &PairMap, &FirstReduce);
+    }
+
+    #[test]
+    fn verification_flag_off_skips_the_check() {
+        let cfg = JobConfig { verify_determinism: false, ..JobConfig::default() };
+        let res = MapReduceJob::new(cfg).run(&pair_inputs(), &PairMap, &FirstReduce).unwrap();
+        assert_eq!(res.counters.get("reduce.r0.verified_groups"), 0);
+        assert_eq!(res.output.len(), 32, "one record per key");
+    }
+
+    #[test]
+    fn verification_does_not_change_output_or_record_counters() {
+        let on = MapReduceJob::new(JobConfig::default()).run(&pair_inputs(), &PairMap, &SumReduce).unwrap();
+        let off = MapReduceJob::new(JobConfig { verify_determinism: false, ..JobConfig::default() })
+            .run(&pair_inputs(), &PairMap, &SumReduce)
+            .unwrap();
+        assert_eq!(on.output, off.output, "emission order is preserved, not just the multiset");
+        for name in ["map.output_records", "reduce.r0.input_records", "reduce.r0.output_records", "output_records"] {
+            assert_eq!(on.counters.get(name), off.counters.get(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn retries_reach_the_job_counters() {
+        let plan = FaultPlan::none().fail_first(TaskId::map(1), 2).fail_first(TaskId::reduce(0, 0), 1);
+        let cfg = JobConfig { fault_plan: plan, ..JobConfig::default() };
+        let res = MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(res.counters.get("task_retries"), 3);
+        let clean = MapReduceJob::new(JobConfig::default()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(clean.counters.get("task_retries"), 0);
     }
 
     #[test]

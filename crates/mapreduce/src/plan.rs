@@ -171,7 +171,7 @@ impl<'a> JobPlanValidator<'a> {
                 rotated.rotate_left(mid);
             }
             for (label, reordered) in [("reversed", &reversed), ("rotated", &rotated)] {
-                let out = run_once(reducer, round, key, reordered);
+                let out = crate::counters::Counters::silenced(|| run_once(reducer, round, key, reordered));
                 if out != baseline {
                     return Err(PlanError::NondeterministicReducer {
                         round,
@@ -189,7 +189,53 @@ impl<'a> JobPlanValidator<'a> {
     }
 }
 
-fn run_once<R: Reducer>(reducer: &R, round: usize, key: &[u8], values: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+/// Reorder-determinism check for one **real** group sampled by the engine
+/// (see `JobConfig::verify_determinism`): re-run `reducer` with the group's
+/// values reversed and rotated and require the same **multiset** of
+/// emissions as `baseline`.
+///
+/// Unlike [`JobPlanValidator::check_reducer_determinism`] (hand-fed samples,
+/// byte-identical *sequences*), this compares sorted multisets: a reducer
+/// that fans one message out per input value legitimately emits in value
+/// order, and the engine re-sorts by key at the next shuffle anyway — only
+/// the *content* must be order-free. Counter writes during the re-runs are
+/// [silenced](crate::counters::Counters::silenced) so exact record counters
+/// survive the double-run.
+pub fn check_group_reorder_determinism<R: Reducer + ?Sized>(
+    reducer: &R,
+    round: usize,
+    key: &[u8],
+    values: &[Vec<u8>],
+    baseline: &[(Vec<u8>, Vec<u8>)],
+) -> Result<(), PlanError> {
+    if values.len() < 2 {
+        return Ok(());
+    }
+    let mut base = baseline.to_vec();
+    base.sort();
+    let mut reversed = values.to_vec();
+    reversed.reverse();
+    let mut rotated = values.to_vec();
+    rotated.rotate_left(values.len() / 2);
+    for (label, reordered) in [("reversed", &reversed), ("rotated", &rotated)] {
+        let mut out = crate::counters::Counters::silenced(|| run_once(reducer, round, key, reordered));
+        out.sort();
+        if out != base {
+            return Err(PlanError::NondeterministicReducer {
+                round,
+                detail: format!(
+                    "key {:?}: {label} value order changed the emitted multiset ({} vs {} record(s))",
+                    preview(key),
+                    out.len(),
+                    base.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn run_once<R: Reducer + ?Sized>(reducer: &R, round: usize, key: &[u8], values: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
     let mut out = Vec::new();
     let mut iter = values.iter().map(Vec::as_slice);
     reducer.reduce(round, key, &mut iter, &mut |k, v| out.push((k, v)));
@@ -302,5 +348,58 @@ mod tests {
         let plan = JobPlan::homogeneous(sig("u64"), 1);
         let err = JobPlanValidator::new(&plan).check_reducer_determinism(&FirstReduce, 0, &sample_groups());
         assert!(matches!(err, Err(PlanError::NondeterministicReducer { round: 0, .. })), "{err:?}");
+    }
+
+    /// Emits each value back out, one record per value — the emission
+    /// *sequence* follows arrival order but the multiset does not.
+    struct FanOutReduce;
+    impl Reducer for FanOutReduce {
+        fn reduce(
+            &self,
+            _round: usize,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        ) {
+            for v in values {
+                emit(key.to_vec(), v.to_vec());
+            }
+        }
+    }
+
+    fn group() -> (Vec<u8>, Vec<Vec<u8>>) {
+        (vec![9], vec![1u64.to_bytes(), 2u64.to_bytes(), 3u64.to_bytes()])
+    }
+
+    fn baseline_of<R: Reducer>(r: &R, key: &[u8], values: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut iter = values.iter().map(Vec::as_slice);
+        r.reduce(0, key, &mut iter, &mut |k, v| out.push((k, v)));
+        out
+    }
+
+    #[test]
+    fn group_reorder_check_accepts_order_free_multisets() {
+        let (key, values) = group();
+        let base = baseline_of(&FanOutReduce, &key, &values);
+        assert!(check_group_reorder_determinism(&FanOutReduce, 0, &key, &values, &base).is_ok());
+        let base = baseline_of(&SumReduce, &key, &values);
+        assert!(check_group_reorder_determinism(&SumReduce, 0, &key, &values, &base).is_ok());
+    }
+
+    #[test]
+    fn group_reorder_check_catches_first_value_dependence() {
+        let (key, values) = group();
+        let base = baseline_of(&FirstReduce, &key, &values);
+        let err = check_group_reorder_determinism(&FirstReduce, 0, &key, &values, &base);
+        assert!(matches!(err, Err(PlanError::NondeterministicReducer { round: 0, .. })), "{err:?}");
+    }
+
+    #[test]
+    fn group_reorder_check_skips_singletons() {
+        let key = vec![1];
+        let values = vec![5u64.to_bytes()];
+        let base = baseline_of(&FirstReduce, &key, &values);
+        assert!(check_group_reorder_determinism(&FirstReduce, 0, &key, &values, &base).is_ok());
     }
 }

@@ -18,9 +18,15 @@
 //!   for the convergence-vs-workers study (Fig. 7).
 //! * **Asynchronous mode** — each push is applied immediately (Hogwild
 //!   style); workers never block on each other.
+//! * **Lock-order tracking** — the server's barrier/version/shard mutexes
+//!   follow a canonical acquisition order, enforced dynamically in debug
+//!   builds by [`locks::LockOrderTracker`] and statically by the
+//!   `agl-analysis` `lock-order` rule.
 
+pub mod locks;
 pub mod server;
 pub mod worker;
 
+pub use locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 pub use server::{ParameterServer, PsStats, SyncMode};
 pub use worker::run_workers;

@@ -1,0 +1,397 @@
+//! Debug-mode lock-order tracking for the parameter server.
+//!
+//! The server's three lock families — the sync **barrier** state, the
+//! **version** table, and the per-shard parameter **shard** mutexes — are
+//! deadlock-free only if every code path acquires them in the canonical
+//! order
+//!
+//! ```text
+//! Barrier  →  Versions  →  Shard(0)  →  Shard(1)  →  …  →  Shard(S-1)
+//! ```
+//!
+//! That discipline used to be a comment. This module makes it executable:
+//! [`TrackedMutex`] wraps `std::sync::Mutex` and, in debug builds, records
+//! every *held → acquired* edge into its [`LockOrderTracker`]. The tracker
+//! keeps the union of edges observed across all threads of the run; the
+//! first acquisition that would close a cycle in that graph — i.e. the
+//! first time two code paths disagree about lock order, even if the actual
+//! deadlock interleaving never happens in this run — panics with both
+//! acquisition sites named. Release builds compile the bookkeeping down to
+//! a plain mutex lock.
+//!
+//! The same convention is checked statically by `agl-analysis`'s
+//! `lock-order` rule, which lints every `lock_barrier` / `lock_versions` /
+//! `lock_shard` call site in `crates/ps` against the canonical ranking.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Which lock family a [`TrackedMutex`] belongs to. The derived total order
+/// on ranks *is* the canonical acquisition order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// Sync-barrier state (`SyncState`).
+    Barrier,
+    /// The model version table.
+    Versions,
+    /// Parameter shard `i`; shards must be taken in ascending index order.
+    Shard(u32),
+}
+
+impl LockClass {
+    /// Position in the canonical order: Barrier < Versions < Shard(0) < ….
+    pub fn rank(self) -> u64 {
+        match self {
+            LockClass::Barrier => 0,
+            LockClass::Versions => 1,
+            LockClass::Shard(i) => 2 + u64::from(i),
+        }
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockClass::Barrier => f.write_str("barrier"),
+            LockClass::Versions => f.write_str("versions"),
+            LockClass::Shard(i) => write!(f, "shard({i})"),
+        }
+    }
+}
+
+/// First-observed witness for one *held → acquired* edge.
+#[derive(Debug, Clone, Copy)]
+struct EdgeWitness {
+    from: LockClass,
+    to: LockClass,
+    /// Where `from` was acquired when the edge was first observed.
+    from_site: &'static Location<'static>,
+    /// Where `to` was acquired, closing the edge.
+    to_site: &'static Location<'static>,
+}
+
+/// A lock held by the current thread (thread-local bookkeeping).
+struct HeldLock {
+    /// Identity of the tracker the lock belongs to (trackers are
+    /// independent graphs; a test server's locks never interfere with
+    /// another server's).
+    tracker: usize,
+    class: LockClass,
+    site: &'static Location<'static>,
+    /// Unique token so `Drop` removes exactly this entry.
+    token: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The union of lock-acquisition edges observed by one group of
+/// [`TrackedMutex`]es (one parameter server ⇒ one tracker).
+///
+/// An edge `A → B` means "some thread acquired `B` while holding `A`". The
+/// graph must stay acyclic: a cycle means two code paths disagree about
+/// acquisition order and could deadlock under the right interleaving.
+#[derive(Debug, Default)]
+pub struct LockOrderTracker {
+    /// Keyed by `(from.rank(), to.rank())`; the value is the first witness.
+    edges: Mutex<BTreeMap<(u64, u64), EdgeWitness>>,
+    next_token: AtomicU64,
+}
+
+impl LockOrderTracker {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// All observed edges as `(from, to)` class labels, sorted — test hook.
+    pub fn observed_edges(&self) -> Vec<(String, String)> {
+        let edges = self.edges.lock().unwrap_or_else(PoisonError::into_inner);
+        edges.values().map(|w| (w.from.to_string(), w.to.to_string())).collect()
+    }
+
+    /// Record `held → new` for every currently-held lock, then check that
+    /// the graph is still acyclic. Returns the violation report, if any.
+    fn admit(
+        &self,
+        held: &[(LockClass, &'static Location<'static>)],
+        new_class: LockClass,
+        new_site: &'static Location<'static>,
+    ) -> Result<(), String> {
+        let mut edges = self.edges.lock().unwrap_or_else(PoisonError::into_inner);
+        for &(h_class, h_site) in held {
+            if h_class == new_class {
+                return Err(format!(
+                    "lock-order violation: re-acquiring {new_class} at {new_site} \
+                     while already holding it (acquired at {h_site})"
+                ));
+            }
+            edges.entry((h_class.rank(), new_class.rank())).or_insert(EdgeWitness {
+                from: h_class,
+                to: new_class,
+                from_site: h_site,
+                to_site: new_site,
+            });
+            // Adding held → new closes a cycle iff new already reaches held.
+            if let Some(path) = reach(&edges, new_class.rank(), h_class.rank()) {
+                let chain = path
+                    .iter()
+                    .map(|w| format!("{} (at {}) then {} (at {})", w.from, w.from_site, w.to, w.to_site))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(format!(
+                    "lock-order inversion: acquiring {new_class} at {new_site} while holding \
+                     {h_class} (acquired at {h_site}), but the opposite order was observed: {chain}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// DFS over `edges` from `from` to `to`; returns the witness path if one
+/// exists. The graph is tiny (≤ a few dozen nodes), so no memoisation.
+fn reach(edges: &BTreeMap<(u64, u64), EdgeWitness>, from: u64, to: u64) -> Option<Vec<EdgeWitness>> {
+    let mut stack = vec![(from, Vec::new())];
+    let mut visited = vec![from];
+    while let Some((node, path)) = stack.pop() {
+        for (&(a, b), w) in edges.range((node, 0)..(node + 1, 0)) {
+            debug_assert_eq!(a, node);
+            let mut next = path.clone();
+            next.push(*w);
+            if b == to {
+                return Some(next);
+            }
+            if !visited.contains(&b) {
+                visited.push(b);
+                stack.push((b, next));
+            }
+        }
+    }
+    None
+}
+
+/// A mutex that reports its acquisitions to a shared [`LockOrderTracker`]
+/// in debug builds. Poisoning is ignored, matching the server's existing
+/// policy: shard state is elementwise and never left torn.
+#[derive(Debug)]
+pub struct TrackedMutex<T> {
+    class: LockClass,
+    tracker: Arc<LockOrderTracker>,
+    inner: Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    pub fn new(tracker: &Arc<LockOrderTracker>, class: LockClass, value: T) -> Self {
+        Self { class, tracker: Arc::clone(tracker), inner: Mutex::new(value) }
+    }
+
+    /// Lock, recording the acquisition edge against every lock this thread
+    /// already holds from the same tracker. Panics (debug builds only) on
+    /// the first acquisition whose edge closes a cycle.
+    #[track_caller]
+    pub fn acquire(&self) -> TrackedGuard<'_, T> {
+        let token = if cfg!(debug_assertions) { Some(self.register(Location::caller())) } else { None };
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        TrackedGuard { guard: Some(guard), lock: self, token }
+    }
+
+    fn register(&self, site: &'static Location<'static>) -> u64 {
+        let tracker_id = Arc::as_ptr(&self.tracker) as usize;
+        let held: Vec<(LockClass, &'static Location<'static>)> =
+            HELD.with(|h| h.borrow().iter().filter(|e| e.tracker == tracker_id).map(|e| (e.class, e.site)).collect());
+        if let Err(report) = self.tracker.admit(&held, self.class, site) {
+            // The whole point: abort the (debug) run at the first
+            // acquisition that contradicts the canonical lock order,
+            // before the interleaving that actually deadlocks.
+            // agl-lint: allow(no-panic) — see above.
+            panic!("{report}");
+        }
+        let token = self.tracker.next_token.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|h| h.borrow_mut().push(HeldLock { tracker: tracker_id, class: self.class, site, token }));
+        token
+    }
+}
+
+/// RAII guard from [`TrackedMutex::acquire`]; releases the thread-local
+/// held-lock entry on drop.
+#[derive(Debug)]
+pub struct TrackedGuard<'a, T> {
+    /// `None` only transiently inside `wait_while`, which owns `self`.
+    guard: Option<MutexGuard<'a, T>>,
+    lock: &'a TrackedMutex<T>,
+    token: Option<u64>,
+}
+
+impl<'a, T> TrackedGuard<'a, T> {
+    /// Block on `cv` until `!cond(value)`, as
+    /// [`Condvar::wait_while`]. The held-lock entry stays registered for
+    /// the duration: logically the thread still owns the critical section,
+    /// and it acquires nothing else while parked inside the wait.
+    pub fn wait_while<F>(mut self, cv: &Condvar, cond: F) -> Self
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        if let Some(g) = self.guard.take() {
+            self.guard = Some(cv.wait_while(g, cond).unwrap_or_else(PoisonError::into_inner));
+        }
+        self
+    }
+
+    fn inner(&self) -> &MutexGuard<'a, T> {
+        match &self.guard {
+            Some(g) => g,
+            None => unreachable!("guard is only vacated inside wait_while, which owns self"),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut MutexGuard<'a, T> {
+        match &mut self.guard {
+            Some(g) => g,
+            None => unreachable!("guard is only vacated inside wait_while, which owns self"),
+        }
+    }
+}
+
+impl<T> Deref for TrackedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner()
+    }
+}
+
+impl<T> DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner_mut()
+    }
+}
+
+impl<T> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            let tracker_id = Arc::as_ptr(&self.lock.tracker) as usize;
+            HELD.with(|h| h.borrow_mut().retain(|e| !(e.tracker == tracker_id && e.token == token)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Arc<LockOrderTracker>, TrackedMutex<u32>, TrackedMutex<u32>) {
+        let t = LockOrderTracker::new();
+        let a = TrackedMutex::new(&t, LockClass::Shard(0), 0);
+        let b = TrackedMutex::new(&t, LockClass::Shard(1), 0);
+        (t, a, b)
+    }
+
+    #[test]
+    fn canonical_order_is_admitted() {
+        let (t, a, b) = pair();
+        {
+            let _ga = a.acquire();
+            let _gb = b.acquire();
+        }
+        assert_eq!(t.observed_edges(), vec![("shard(0)".to_string(), "shard(1)".to_string())]);
+    }
+
+    #[test]
+    fn sequential_acquisitions_record_no_edge() {
+        let (t, a, b) = pair();
+        drop(b.acquire());
+        drop(a.acquire()); // lower rank, but nothing held — fine
+        assert!(t.observed_edges().is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn inversion_panics_with_both_sites() {
+        let (_t, a, b) = pair();
+        {
+            let _ga = a.acquire();
+            let _gb = b.acquire();
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.acquire();
+            let _ga = a.acquire(); // shard(0) after shard(1): inversion
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("shard(0)") && msg.contains("shard(1)"), "{msg}");
+        // Both acquisition sites (all in this file) are named.
+        assert!(msg.matches("locks.rs").count() >= 2, "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn cross_thread_disagreement_is_caught() {
+        // Thread 1 establishes shard(0) → shard(1); thread 2 tries the
+        // opposite order. No deadlock actually occurs (the threads are
+        // serialised), but the cycle in the observed graph is a latent one.
+        let (t, a, b) = pair();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ga = a.acquire();
+                let _gb = b.acquire();
+            })
+            .join()
+            .unwrap();
+        });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.acquire();
+            let _ga = a.acquire();
+        }));
+        assert!(caught.is_err(), "opposite order on a second thread must be rejected");
+        let _ = t;
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn double_acquisition_of_same_class_is_caught() {
+        let t = LockOrderTracker::new();
+        let a = TrackedMutex::new(&t, LockClass::Versions, 0);
+        let b = TrackedMutex::new(&t, LockClass::Versions, 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ga = a.acquire();
+            let _gb = b.acquire();
+        }));
+        assert!(caught.is_err(), "holding two Versions-class locks at once must be rejected");
+    }
+
+    #[test]
+    fn independent_trackers_do_not_interfere() {
+        // Same classes, different trackers: no shared graph, no violation.
+        let (_, a, _) = pair();
+        let (_, _, b2) = pair();
+        let _gb = b2.acquire();
+        let _ga = a.acquire(); // "inverted" vs b2, but unrelated tracker
+    }
+
+    #[test]
+    fn wait_while_keeps_data_access() {
+        let t = LockOrderTracker::new();
+        let m = TrackedMutex::new(&t, LockClass::Barrier, 7u32);
+        let cv = Condvar::new();
+        let g = m.acquire();
+        let mut g = g.wait_while(&cv, |v| *v != 7); // already satisfied
+        assert_eq!(*g, 7);
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.acquire(), 8);
+    }
+
+    #[test]
+    fn rank_is_total_and_matches_display() {
+        assert!(LockClass::Barrier.rank() < LockClass::Versions.rank());
+        assert!(LockClass::Versions.rank() < LockClass::Shard(0).rank());
+        assert!(LockClass::Shard(0).rank() < LockClass::Shard(7).rank());
+        assert_eq!(LockClass::Shard(3).to_string(), "shard(3)");
+    }
+}

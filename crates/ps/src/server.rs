@@ -1,8 +1,19 @@
 //! The sharded parameter server.
+//!
+//! **Lock-order discipline.** The server owns three lock families, and
+//! every path acquires them in the canonical order `Barrier → Versions →
+//! Shard(0..S)` (shards ascending). All acquisitions go through the
+//! [`lock_barrier`](ParameterServer::lock_barrier) /
+//! [`lock_versions`](ParameterServer::lock_versions) /
+//! [`lock_shard`](ParameterServer::lock_shard) wrappers, which are
+//! statically linted by `agl-analysis` (`lock-order` rule) and dynamically
+//! checked in debug builds by [`LockOrderTracker`] (any two code paths that
+//! disagree about the order abort the run at the second acquisition site).
 
+use crate::locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 use agl_nn::Optimizer;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar};
 
 /// How pushed gradients are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,12 +23,6 @@ pub enum SyncMode {
     Sync { n_workers: usize },
     /// Each push is applied immediately, no coordination (Hogwild-style).
     Async,
-}
-
-/// Acquire `m` even if a panicking holder poisoned it — shard state is a
-/// flat `Vec<f32>` plus elementwise optimizer state, never left torn.
-fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One server shard: a contiguous slice of the flat model vector plus its
@@ -34,6 +39,15 @@ struct SyncState {
     round: u64,
 }
 
+/// Model-version bookkeeping: how many optimizer steps have landed, per
+/// shard and globally. Guarded by its own lock so versioned pulls get a
+/// consistent `(params, version)` cut — [`ParameterServer::apply`] holds it
+/// across the shard sweep.
+struct VersionTable {
+    shard_versions: Vec<u64>,
+    global_step: u64,
+}
+
 /// Traffic and progress statistics, for the cluster-simulator calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PsStats {
@@ -43,16 +57,20 @@ pub struct PsStats {
     pub steps: u64,
     /// Bytes moved over the (simulated) network, both directions.
     pub bytes_transferred: u64,
+    /// Model version = optimizer steps landed (equals `steps` at rest).
+    pub model_version: u64,
 }
 
 /// In-process parameter server holding the flat model vector in `S` shards.
 pub struct ParameterServer {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<TrackedMutex<Shard>>,
     /// Shard boundaries: shard `i` owns `bounds[i]..bounds[i+1]`.
     bounds: Vec<usize>,
     mode: SyncMode,
-    sync: Mutex<SyncState>,
+    sync: TrackedMutex<SyncState>,
     sync_cv: Condvar,
+    versions: TrackedMutex<VersionTable>,
+    tracker: Arc<LockOrderTracker>,
     pulls: AtomicU64,
     pushes: AtomicU64,
     steps: AtomicU64,
@@ -67,13 +85,18 @@ impl ParameterServer {
         let n = initial.len();
         let n_shards = n_shards.clamp(1, n.max(1));
         let per = n.div_ceil(n_shards);
+        let tracker = LockOrderTracker::new();
         let mut bounds = Vec::with_capacity(n_shards + 1);
         let mut shards = Vec::with_capacity(n_shards);
         let mut off = 0;
         bounds.push(0);
-        for _ in 0..n_shards {
+        for i in 0..n_shards {
             let end = (off + per).min(n);
-            shards.push(Mutex::new(Shard { params: initial[off..end].to_vec(), opt: make_opt() }));
+            shards.push(TrackedMutex::new(
+                &tracker,
+                LockClass::Shard(i as u32),
+                Shard { params: initial[off..end].to_vec(), opt: make_opt() },
+            ));
             off = end;
             bounds.push(end);
         }
@@ -81,11 +104,21 @@ impl ParameterServer {
             assert!(n_workers > 0, "sync mode needs at least one worker");
         }
         Self {
+            sync: TrackedMutex::new(
+                &tracker,
+                LockClass::Barrier,
+                SyncState { accum: vec![0.0; n], arrived: 0, round: 0 },
+            ),
+            versions: TrackedMutex::new(
+                &tracker,
+                LockClass::Versions,
+                VersionTable { shard_versions: vec![0; n_shards], global_step: 0 },
+            ),
             shards,
             bounds,
             mode,
-            sync: Mutex::new(SyncState { accum: vec![0.0; n], arrived: 0, round: 0 }),
             sync_cv: Condvar::new(),
+            tracker,
             pulls: AtomicU64::new(0),
             pushes: AtomicU64::new(0),
             steps: AtomicU64::new(0),
@@ -111,16 +144,64 @@ impl ParameterServer {
         self.mode
     }
 
+    // ---- Lock wrappers (the only sanctioned acquisition sites) ----------
+    // `#[track_caller]` makes the tracker (and its panic reports) name the
+    // real call site, not these one-liners.
+
+    /// Acquire the sync-barrier state. Canonical rank 0: nothing else may
+    /// be held.
+    #[track_caller]
+    fn lock_barrier(&self) -> TrackedGuard<'_, SyncState> {
+        self.sync.acquire()
+    }
+
+    /// Acquire the version table. Canonical rank 1: only the barrier may
+    /// already be held.
+    #[track_caller]
+    fn lock_versions(&self) -> TrackedGuard<'_, VersionTable> {
+        self.versions.acquire()
+    }
+
+    /// Acquire parameter shard `i`. Shards must be taken in ascending
+    /// index order, after barrier/versions if those are held at all.
+    #[track_caller]
+    fn lock_shard(&self, i: usize) -> TrackedGuard<'_, Shard> {
+        self.shards[i].acquire()
+    }
+
+    /// Observed lock-acquisition edges (debug builds record them; release
+    /// builds return an empty list). Test hook for the lock-order suite.
+    pub fn observed_lock_edges(&self) -> Vec<(String, String)> {
+        self.tracker.observed_edges()
+    }
+
     /// Pull the current full parameter vector (a worker's step begins here).
     pub fn pull(&self) -> Vec<f32> {
+        self.pull_with_version().0
+    }
+
+    /// Pull the parameter vector together with its model version (number of
+    /// optimizer steps it reflects). The version table is held across the
+    /// shard sweep, and [`apply`](Self::apply) holds it across its writes,
+    /// so the returned pair is a consistent cut — the staleness a worker
+    /// later observes (`current_version() - pulled_version`) is exact.
+    pub fn pull_with_version(&self) -> (Vec<f32>, u64) {
         let mut out = vec![0.0f32; self.len()];
-        for (i, shard) in self.shards.iter().enumerate() {
-            let s = lock_ignoring_poison(shard);
+        let v = self.lock_versions();
+        for i in 0..self.shards.len() {
+            let s = self.lock_shard(i);
             out[self.bounds[i]..self.bounds[i + 1]].copy_from_slice(&s.params);
         }
+        let version = v.global_step;
+        drop(v);
         self.pulls.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(4 * self.len() as u64, Ordering::Relaxed);
-        out
+        (out, version)
+    }
+
+    /// The model version right now: optimizer steps applied so far.
+    pub fn current_version(&self) -> u64 {
+        self.lock_versions().global_step
     }
 
     /// Push a gradient vector. In `Sync` mode this blocks until the whole
@@ -132,48 +213,50 @@ impl ParameterServer {
         self.bytes.fetch_add(4 * grads.len() as u64, Ordering::Relaxed);
         match self.mode {
             SyncMode::Async => {
-                self.apply(grads, 1.0);
+                self.apply(grads);
                 self.steps.fetch_add(1, Ordering::Relaxed);
             }
             SyncMode::Sync { n_workers } => {
-                let mut st = lock_ignoring_poison(&self.sync);
+                let mut st = self.lock_barrier();
                 for (a, &g) in st.accum.iter_mut().zip(grads) {
                     *a += g;
                 }
                 st.arrived += 1;
                 if st.arrived == n_workers {
                     // Last worker of the round applies the averaged step.
+                    // Scale the accumulator in place — `apply` stays
+                    // allocation-free on its hot path.
                     let scale = 1.0 / n_workers as f32;
-                    let accum = std::mem::replace(&mut st.accum, vec![0.0; self.len()]);
+                    let mut accum = std::mem::replace(&mut st.accum, vec![0.0; self.len()]);
+                    for a in accum.iter_mut() {
+                        *a *= scale;
+                    }
                     st.arrived = 0;
                     st.round += 1;
-                    // Safe to apply while holding the sync lock: shard locks
-                    // are only ever taken after it here, and pull() takes
-                    // shard locks without the sync lock (no ordering cycle).
-                    self.apply(&accum, scale);
+                    // Applying while holding the barrier follows the
+                    // canonical order Barrier → Versions → Shard(asc).
+                    self.apply(&accum);
                     self.steps.fetch_add(1, Ordering::Relaxed);
                     self.sync_cv.notify_all();
                 } else {
                     let target = st.round + 1;
-                    let _st = self
-                        .sync_cv
-                        .wait_while(st, |s| s.round < target)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let _st = st.wait_while(&self.sync_cv, |s| s.round < target);
                 }
             }
         }
     }
 
-    fn apply(&self, grads: &[f32], scale: f32) {
-        for (i, shard) in self.shards.iter().enumerate() {
+    /// Apply one optimizer step from `grads`. Holds the version table
+    /// across the shard sweep so versioned pulls see either none or all of
+    /// the step; shards are taken in ascending order.
+    fn apply(&self, grads: &[f32]) {
+        let mut v = self.lock_versions();
+        v.global_step += 1;
+        for i in 0..self.shards.len() {
             let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
-            let mut s = lock_ignoring_poison(shard);
-            if scale == 1.0 {
-                s.params_opt_step(&grads[lo..hi]);
-            } else {
-                let scaled: Vec<f32> = grads[lo..hi].iter().map(|g| g * scale).collect();
-                s.params_opt_step(&scaled);
-            }
+            let mut s = self.lock_shard(i);
+            s.params_opt_step(&grads[lo..hi]);
+            v.shard_versions[i] += 1;
         }
     }
 
@@ -184,6 +267,7 @@ impl ParameterServer {
             pushes: self.pushes.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
             bytes_transferred: self.bytes.load(Ordering::Relaxed),
+            model_version: self.current_version(),
         }
     }
 }
@@ -269,6 +353,52 @@ mod tests {
         };
         assert_eq!(run(1), run(3));
         assert_eq!(run(1), run(10));
+    }
+
+    #[test]
+    fn model_version_counts_applied_steps() {
+        let ps = ParameterServer::new(vec![0.0; 6], 3, SyncMode::Async, sgd);
+        assert_eq!(ps.current_version(), 0);
+        ps.push(&[1.0; 6]);
+        ps.push(&[1.0; 6]);
+        let (params, version) = ps.pull_with_version();
+        assert_eq!(version, 2);
+        assert_eq!(params.len(), 6);
+        let st = ps.stats();
+        assert_eq!(st.model_version, 2);
+        assert_eq!(st.model_version, st.steps, "at rest, version equals applied steps");
+    }
+
+    #[test]
+    fn versioned_pull_is_a_consistent_cut() {
+        // Concurrent pullers race with async pushers; because `apply` holds
+        // the version table across its shard sweep, a pulled vector tagged
+        // version v reflects exactly v steps: with +1.0 gradients and SGD
+        // lr=0.1, every element must equal -0.1 * v.
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, SyncMode::Async, sgd));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let ps = ps.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        ps.push(&[1.0; 8]);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let ps = ps.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let (params, v) = ps.pull_with_version();
+                        let expect = -0.1 * v as f32;
+                        for (j, p) in params.iter().enumerate() {
+                            assert!((p - expect).abs() < 1e-4, "version {v}, param[{j}] = {p}, want {expect}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ps.current_version(), 100);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Lock-order tracker integration tests: a deliberately induced
+//! acquisition-order inversion must abort with both sites named, and the
+//! real parameter-server paths must exercise only canonical-order edges.
+
+#![cfg(debug_assertions)]
+
+use agl_nn::{Optimizer, Sgd};
+use agl_ps::{LockClass, LockOrderTracker, ParameterServer, SyncMode, TrackedMutex};
+use std::sync::Arc;
+
+fn sgd() -> Box<dyn Optimizer> {
+    Box::new(Sgd::new(0.1))
+}
+
+#[test]
+fn induced_inversion_reports_cycle_with_both_sites() {
+    let tracker = LockOrderTracker::new();
+    let lo = TrackedMutex::new(&tracker, LockClass::Shard(0), ());
+    let hi = TrackedMutex::new(&tracker, LockClass::Shard(3), ());
+
+    // Establish the canonical edge shard(0) → shard(3)...
+    {
+        let _a = lo.acquire();
+        let _b = hi.acquire();
+    }
+    // ...then take the opposite order. No thread is concurrently inside the
+    // critical sections — the deadlock is latent, not manifest — yet the
+    // tracker must still reject it from the observed-edge graph alone.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _b = hi.acquire();
+        let _a = lo.acquire();
+    }))
+    .expect_err("inverted acquisition order must panic in debug builds");
+
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("lock-order inversion"), "unexpected report: {msg}");
+    assert!(msg.contains("shard(0)"), "cycle must name the low shard: {msg}");
+    assert!(msg.contains("shard(3)"), "cycle must name the high shard: {msg}");
+    // Both sides of the cycle carry their acquisition sites: the inverted
+    // acquisition in this test fn plus the previously observed canonical
+    // chain — all located in this file.
+    let sites = msg.matches("lock_order.rs").count();
+    assert!(sites >= 2, "expected both lock sites in the report, got {sites}: {msg}");
+}
+
+#[test]
+fn sync_training_exercises_only_canonical_edges() {
+    // A real sync round: 3 workers push, the last applies while holding the
+    // barrier → versions → shards chain. Every observed edge must point
+    // "forward" in the canonical order, and the full chain must appear.
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, SyncMode::Sync { n_workers: 3 }, sgd));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let ps = ps.clone();
+            s.spawn(move || {
+                for _ in 0..4 {
+                    let (_params, _v) = ps.pull_with_version();
+                    ps.push(&[0.5; 8]);
+                }
+            });
+        }
+    });
+
+    let edges = ps.observed_lock_edges();
+    assert!(!edges.is_empty(), "debug builds must record acquisition edges");
+    // The shard sweep holds one shard at a time, so edges fan out from the
+    // barrier/version locks into every shard; no shard → shard edge exists.
+    let has = |a: &str, b: &str| edges.iter().any(|(x, y)| x == a && y == b);
+    assert!(has("barrier", "versions"), "sync apply path starts barrier → versions: {edges:?}");
+    assert!(has("versions", "shard(0)"), "versioned sweep enters the shards: {edges:?}");
+    assert!(has("versions", "shard(3)"), "sweep reaches the last shard: {edges:?}");
+
+    let rank = |name: &str| -> u64 {
+        match name {
+            "barrier" => 0,
+            "versions" => 1,
+            s => {
+                let idx: u64 = s.trim_start_matches("shard(").trim_end_matches(')').parse().unwrap();
+                2 + idx
+            }
+        }
+    };
+    for (from, to) in &edges {
+        assert!(rank(from) < rank(to), "non-canonical edge {from} → {to} observed: {edges:?}");
+    }
+}
+
+#[test]
+fn async_training_exercises_only_canonical_edges() {
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 6], 3, SyncMode::Async, sgd));
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let ps = ps.clone();
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let _ = ps.pull_with_version();
+                    ps.push(&[0.1; 6]);
+                }
+            });
+        }
+    });
+    let edges = ps.observed_lock_edges();
+    assert!(edges.iter().any(|(a, b)| a == "versions" && b == "shard(0)"), "{edges:?}");
+    assert!(!edges.iter().any(|(a, _)| a.starts_with("shard") && a != "shard(0)" && a != "shard(1)"), "{edges:?}");
+}

@@ -265,12 +265,13 @@ impl ExecCtx {
             for (_worker, (range, out_rows)) in slices.into_iter().enumerate() {
                 #[cfg(debug_assertions)]
                 let tracker = &tracker;
+                let (start, end) = (range.start, range.end);
                 scope.spawn(move || {
-                    for r in range.clone() {
+                    for r in start..end {
                         #[cfg(debug_assertions)]
                         tracker.claim(r, _worker);
                         let (srcs, vals) = csr.row(r);
-                        let base = (r - range.start) * cols;
+                        let base = (r - start) * cols;
                         let out_row = &mut out_rows[base..base + cols];
                         for (&c, &w) in srcs.iter().zip(vals) {
                             let x = dense.row(c as usize);

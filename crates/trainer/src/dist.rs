@@ -40,6 +40,11 @@ pub struct DistTrainResult {
     /// Validation metrics after each epoch (when a validation set is given).
     pub val_curve: Vec<Metrics>,
     pub ps_stats: PsStats,
+    /// Largest gradient staleness any worker observed: server model version
+    /// at push time minus the version its gradient was computed against.
+    /// Always 0 in synchronous mode (the barrier forces a common version);
+    /// bounded by the worker count's interleaving in asynchronous mode.
+    pub max_staleness: u64,
 }
 
 impl DistTrainer {
@@ -75,6 +80,7 @@ impl DistTrainer {
         let template = model.clone();
         let mut epochs = Vec::with_capacity(self.opts.epochs);
         let mut val_curve = Vec::new();
+        let max_staleness = std::sync::atomic::AtomicU64::new(0);
         for epoch in 0..self.opts.epochs {
             let start = Instant::now();
             run_workers(&server, self.n_workers, |w, ps| {
@@ -88,7 +94,8 @@ impl DistTrainer {
                         .map(|i| train[order[(lo + i) % order.len()]].clone())
                         .collect();
                     let prepared = prepare_batch(&batch, &spec);
-                    replica.load_param_vector(&ps.pull());
+                    let (params, pulled_version) = ps.pull_with_version();
+                    replica.load_param_vector(&params);
                     replica.zero_grads();
                     let pass = replica.forward(
                         &prepared.adjs,
@@ -100,6 +107,10 @@ impl DistTrainer {
                     );
                     let (_, grad) = replica.loss(&pass.logits, &prepared.batch.labels);
                     replica.backward(&prepared.adjs, &pass, &grad, &ctx);
+                    // Staleness of this gradient = steps that landed between
+                    // our pull and our push (§3.3's async bounded-delay lens).
+                    let staleness = ps.current_version().saturating_sub(pulled_version);
+                    max_staleness.fetch_max(staleness, std::sync::atomic::Ordering::Relaxed);
                     ps.push(&replica.grad_vector());
                 }
             });
@@ -113,7 +124,12 @@ impl DistTrainer {
                 val_curve.push(LocalTrainer::evaluate(model, v, &self.opts));
             }
         }
-        DistTrainResult { epochs, val_curve, ps_stats: server.stats() }
+        DistTrainResult {
+            epochs,
+            val_curve,
+            ps_stats: server.stats(),
+            max_staleness: max_staleness.load(std::sync::atomic::Ordering::Relaxed),
+        }
     }
 }
 
@@ -180,6 +196,8 @@ mod tests {
         assert!(final_auc > 0.95, "val AUC {final_auc}");
         assert!(result.ps_stats.steps > 0);
         assert_eq!(result.ps_stats.pushes % 4, 0, "all workers pushed equally");
+        assert_eq!(result.ps_stats.model_version, result.ps_stats.steps);
+        assert_eq!(result.max_staleness, 0, "the sync barrier admits no stale gradients");
     }
 
     #[test]
@@ -193,6 +211,12 @@ mod tests {
         let metrics = LocalTrainer::evaluate(&m, &data, &trainer.opts);
         assert!(metrics.auc.unwrap() > 0.95, "AUC {:?}", metrics.auc);
         assert!(result.val_curve.is_empty());
+        assert!(
+            result.max_staleness <= result.ps_stats.steps,
+            "staleness {} cannot exceed total applied steps {}",
+            result.max_staleness,
+            result.ps_stats.steps
+        );
     }
 
     #[test]
