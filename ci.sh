@@ -6,7 +6,10 @@
 # Modes:
 #   ./ci.sh            tier-1: fmt, build, test, workspace lint
 #   ./ci.sh --bench    bench smoke: micro benches at 3 iters, medians
-#                      written to results/BENCH_pr2.json
+#                      written to results/BENCH_pr<N>.json (N auto-numbers
+#                      from the existing snapshots, override with
+#                      AGL_BENCH_PR=<n>), then gated against the previous
+#                      snapshot: any median >20% slower fails.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,10 +30,22 @@ step() {
 
 if [[ "${1:-}" == "--bench" ]]; then
   mkdir -p results
+  # Bench history: snapshots are numbered BENCH_pr<N>.json; the new run
+  # lands at prev+1 (or AGL_BENCH_PR) and is gated against the previous.
+  prev=$(ls results/BENCH_pr*.json 2>/dev/null \
+    | sed -E 's/.*BENCH_pr([0-9]+)\.json/\1/' | sort -n | tail -1)
+  n="${AGL_BENCH_PR:-$(( ${prev:-0} + 1 ))}"
   # Absolute path: cargo runs bench binaries from the package directory.
   step "bench smoke (micro, 3 iters)" \
-    cargo bench -q -p agl-bench --bench micro -- --smoke --json "$PWD/results/BENCH_pr2.json"
-  echo "ci.sh: bench smoke green -> results/BENCH_pr2.json"
+    cargo bench -q -p agl-bench --bench micro -- --smoke --json "$PWD/results/BENCH_pr${n}.json"
+  if [[ -n "${prev:-}" && "results/BENCH_pr${prev}.json" != "results/BENCH_pr${n}.json" ]]; then
+    step "bench regression gate (vs BENCH_pr${prev}.json)" \
+      cargo run -q --release -p agl-bench --bin bench_compare -- \
+        --baseline "results/BENCH_pr${prev}.json" --current "results/BENCH_pr${n}.json"
+  else
+    echo "==> bench regression gate: no previous snapshot, nothing to compare"
+  fi
+  echo "ci.sh: bench smoke green -> results/BENCH_pr${n}.json"
   exit 0
 fi
 

@@ -16,8 +16,16 @@
 //! * **double acquisitions** — re-acquiring a held class (self-deadlock);
 //! * **unordered shard pairs** — two shard locks held together where at
 //!   least one index is not a literal, so the order cannot be proven;
-//! * **lock-held-across-send/spawn** — a `.send(…)` or `spawn(…)` while any
-//!   guard is held (a blocked channel or child would stall the lock);
+//! * **lock-held-across-send/spawn** — a `.send(…)`, `.recv(…)` or
+//!   `spawn(…)` while any guard is held (a blocked channel or child would
+//!   stall the lock);
+//! * **lock-held-across-wait** — a condvar `guard.wait(…)` /
+//!   `guard.wait_while(…)` while holding any *other* guard. The receiver
+//!   itself is exempt: a condvar wait atomically releases the receiver's
+//!   lock and reacquires it before returning (`TrackedGuard::wait_while`
+//!   keeps the dynamic tracker's held-set entry alive for exactly this
+//!   reason), so the receiver is *not* held across the block — but every
+//!   other guard stays locked while the thread sleeps;
 //! * **untracked locks** — raw `.lock()` / `lock_ignoring_poison(…)` that
 //!   bypass the tracked wrappers (and hence the dynamic tracker).
 //!
@@ -83,8 +91,11 @@ pub enum LockFindingKind {
     DoubleLock,
     /// Two shard locks held together, order not provable from literals.
     Unordered,
-    /// `.send(`/`spawn(` while holding a guard.
+    /// `.send(`/`.recv(`/`spawn(` while holding a guard.
     HeldAcrossSend,
+    /// Condvar `.wait(`/`.wait_while(` while holding a guard other than the
+    /// receiver (which the wait releases and reacquires).
+    HeldAcrossWait,
     /// Raw `.lock()`/`lock_ignoring_poison(` bypassing the tracked wrappers.
     UntrackedLock,
 }
@@ -263,9 +274,49 @@ fn scan_tokens(
         }
     }
 
-    // ---- Held-across-send / spawn ---------------------------------------
-    if !guards.is_empty() && (rest.starts_with(".send(") || (boundary_before && rest.starts_with("spawn("))) {
-        let what = if rest.starts_with(".send(") { ".send(…)" } else { "spawn(…)" };
+    // ---- Condvar waits ---------------------------------------------------
+    // `guard.wait(cv)` / `guard.wait_while(cv, …)` atomically release the
+    // receiver's lock and reacquire it before returning, so the receiver is
+    // a release+reacquire site, not a held-across-block violation. Any
+    // *other* guard, though, stays locked while the thread is parked.
+    if rest.starts_with(".wait(") || rest.starts_with(".wait_while(") {
+        let what = if rest.starts_with(".wait_while(") { ".wait_while(…)" } else { ".wait(…)" };
+        let recv_pos = match trailing_ident(stmt) {
+            Some(ident) => guards.iter().rposition(|g| g.name.as_deref() == Some(&ident)),
+            // `self.lock_x().wait_while(…)`: the receiver is the temporary.
+            None => guards.iter().rposition(|g| g.name.is_none()),
+        };
+        let others: Vec<String> = guards
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != recv_pos)
+            .map(|(_, g)| format!("{} (line {})", g.sym, g.line + 1))
+            .collect();
+        if !others.is_empty() {
+            out.lock_findings.push(LockFinding {
+                kind: LockFindingKind::HeldAcrossWait,
+                line: lineno,
+                func: func(),
+                message: format!(
+                    "{what} releases only its receiver; still holding {} while parked on the condvar",
+                    others.join(", ")
+                ),
+            });
+        }
+        return;
+    }
+
+    // ---- Held-across-send / recv / spawn ---------------------------------
+    if !guards.is_empty()
+        && (rest.starts_with(".send(") || rest.starts_with(".recv(") || (boundary_before && rest.starts_with("spawn(")))
+    {
+        let what = if rest.starts_with(".send(") {
+            ".send(…)"
+        } else if rest.starts_with(".recv(") {
+            ".recv(…)"
+        } else {
+            "spawn(…)"
+        };
         let held: Vec<String> = guards.iter().map(|g| format!("{} (line {})", g.sym, g.line + 1)).collect();
         out.lock_findings.push(LockFinding {
             kind: LockFindingKind::HeldAcrossSend,
@@ -361,6 +412,16 @@ fn judge(held: &Guard, new: LockSym, lineno: usize, func: &str) -> Option<LockFi
             }
         }
     }
+}
+
+/// The identifier the statement currently ends with (the receiver of a
+/// method call about to be scanned), if any.
+fn trailing_ident(stmt: &str) -> Option<String> {
+    let rev: String = stmt.chars().rev().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if rev.is_empty() || rev.chars().last().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(rev.chars().rev().collect())
 }
 
 /// A literal integer followed by `)` → `Some(i)`; anything else → `None`.
@@ -524,6 +585,48 @@ mod tests {
         let bad = "fn bad(&self, s: &Scope) {\n    let g = self.lock_barrier();\n    s.spawn(|| {});\n}\n";
         assert_eq!(locks(bad).lock_findings.len(), 1);
         let ok = "fn ok(&self, tx: &Sender<u8>) {\n    tx.send(1);\n}\n";
+        assert!(locks(ok).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_on_the_only_held_guard_is_clean() {
+        // The SSP gate pattern from agl-ps: park on a condvar through the
+        // guard itself — release+reacquire, not held-across-block.
+        let src = "fn push(&self) {\n    let mut v = self.lock_versions();\n    v.wait_while(&self.ssp_cv, |vt| vt.blocked());\n    let sh = self.lock_shard(0);\n}\n";
+        let a = locks(src);
+        assert!(a.lock_findings.is_empty(), "{:?}", a.lock_findings);
+        // The guard survives the wait: the later shard acquisition still
+        // records a versions → shard edge.
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(a.edges[0].from, LockSym::Versions);
+    }
+
+    #[test]
+    fn condvar_wait_holding_another_guard_is_flagged() {
+        let src = "fn bad(&self) {\n    let b = self.lock_barrier();\n    let v = self.lock_versions();\n    v.wait_while(&self.cv, |s| s.busy);\n}\n";
+        let a = locks(src);
+        assert_eq!(a.lock_findings.len(), 1, "{:?}", a.lock_findings);
+        let f = &a.lock_findings[0];
+        assert_eq!(f.kind, LockFindingKind::HeldAcrossWait);
+        assert!(f.message.contains("barrier") && !f.message.contains("versions"), "{}", f.message);
+    }
+
+    #[test]
+    fn condvar_wait_on_a_temporary_guard_is_clean() {
+        let src = "fn ok(&self) {\n    self.lock_versions().wait(&self.cv);\n}\n";
+        assert!(locks(src).lock_findings.is_empty());
+    }
+
+    #[test]
+    fn recv_while_holding_is_caught_but_join_is_not() {
+        let bad = "fn bad(&self, rx: &Receiver<u8>) {\n    let g = self.lock_versions();\n    let x = rx.recv();\n}\n";
+        let a = locks(bad);
+        assert_eq!(a.lock_findings.len(), 1);
+        assert_eq!(a.lock_findings[0].kind, LockFindingKind::HeldAcrossSend);
+        assert!(a.lock_findings[0].message.contains(".recv"));
+        // `.join(` is bounded by the joinee finishing, not by this lock —
+        // scoped-thread joins at scope exit are routine and not a finding.
+        let ok = "fn ok(&self, h: JoinHandle<()>) {\n    let g = self.lock_versions();\n    h.join();\n}\n";
         assert!(locks(ok).lock_findings.is_empty());
     }
 

@@ -120,7 +120,9 @@ pub fn registry() -> &'static [Rule] {
             name: "lock-order",
             description: "agl-ps lock acquisitions must follow the canonical order barrier → \
                           versions → shard(i) ascending, through the tracked wrappers, and \
-                          never hold a guard across .send(…)/spawn(…)",
+                          never hold a guard across .send(…)/.recv(…)/spawn(…) or across a \
+                          condvar wait on a different guard (the wait's own receiver is \
+                          release+reacquire, not a violation)",
             check: check_lock_order,
         },
         Rule {
@@ -265,7 +267,7 @@ const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
     ("crates/tensor/src/partition.rs", &["spmm", "for_each_row"]),
     ("crates/tensor/src/csr.rs", &["spmm", "spmm_rows_into", "t_spmm"]),
     ("crates/flat/src/pipeline.rs", &["reduce"]),
-    ("crates/ps/src/server.rs", &["apply"]),
+    ("crates/ps/src/server.rs", &["apply", "apply_locked"]),
 ];
 
 fn check_no_hot_alloc(view: &FileView) -> Vec<Diagnostic> {

@@ -128,6 +128,63 @@ fn seeded_lock_across_send_fails() {
 }
 
 #[test]
+fn condvar_wait_on_own_guard_is_clean() {
+    // The SSP gate pattern in agl-ps: block on a condvar *through* the
+    // guard. The wait releases and reacquires the receiver's lock, so this
+    // must lint clean — it is not a guard-held-across-block violation.
+    let fx = Fixture::new(
+        "condvarclean",
+        &[(
+            "crates/ps/src/gate.rs",
+            "impl ParameterServer {\n    pub fn push_gate(&self, worker: usize, slack: u64) {\n        let mut v = self.lock_versions();\n        v.wait_while(&self.ssp_cv, |vt| vt.ssp_apply_blocked(worker, slack));\n        v.global_step += 1;\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "condvar wait should be exempt; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn condvar_wait_exempt_but_send_on_same_guard_still_flagged() {
+    // The exemption is for the wait only: the same guard held across a
+    // `.send(…)` two lines later must still fail with file:line.
+    let fx = Fixture::new(
+        "condvarsend",
+        &[(
+            "crates/ps/src/gate.rs",
+            "impl ParameterServer {\n    pub fn push_gate(&self, tx: &std::sync::mpsc::Sender<u64>) {\n        let mut v = self.lock_versions();\n        v.wait_while(&self.ssp_cv, |vt| vt.blocked());\n        let _ = tx.send(v.global_step);\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/ps/src/gate.rs:5: [lock-order]"), "{stdout}");
+    assert!(stdout.contains(".send("), "{stdout}");
+    // Exactly one finding: the wait on line 4 is not reported.
+    assert!(!stdout.contains("gate.rs:4:"), "{stdout}");
+}
+
+#[test]
+fn condvar_wait_holding_second_guard_fails() {
+    let fx = Fixture::new(
+        "condvarheld",
+        &[(
+            "crates/ps/src/gate.rs",
+            "impl ParameterServer {\n    pub fn bad(&self) {\n        let b = self.lock_barrier();\n        let v = self.lock_versions();\n        v.wait_while(&self.cv, |s| s.busy);\n    }\n}\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/ps/src/gate.rs:5: [lock-order]"), "{stdout}");
+    assert!(stdout.contains("barrier"), "{stdout}");
+}
+
+#[test]
 fn seeded_hot_loop_allocation_fails_with_file_line() {
     let fx = Fixture::new(
         "hotalloc",

@@ -1,7 +1,8 @@
 //! Design-choice ablations beyond the paper's tables:
 //!
-//! 1. **Sync vs async parameter server** — same budget of pushes, final
-//!    validation AUC and wall-clock.
+//! 1. **Parameter-server consistency spectrum** — sync / SSP / async with
+//!    the same budget of pushes: final validation AUC, wall-clock, and the
+//!    observed gradient staleness.
 //! 2. **Re-indexing** — largest reduce group with and without hub
 //!    splitting (the load-balance claim of §3.2.2, made measurable).
 //! 3. **Sampling strategies** — neighborhood size and downstream model
@@ -13,7 +14,7 @@ use agl_bench::{banner, env_usize, flatten_dataset};
 use agl_datasets::{uug_like, UugConfig};
 use agl_flat::{decode_graph_feature, FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
-use agl_trainer::{DistTrainer, LocalTrainer, TrainOptions};
+use agl_trainer::{Consistency, DistTrainer, LocalTrainer, TrainOptions};
 
 fn model(ds: &agl_datasets::Dataset) -> GnnModel {
     GnnModel::new(ModelConfig::new(ModelKind::Sage, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits))
@@ -26,24 +27,27 @@ fn main() {
     let (nodes, edges) = ds.graph().to_tables();
     let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).expect("graphflat");
 
-    // ---- 1. sync vs async PS ----
-    println!("\n-- parameter server: synchronous vs asynchronous (4 workers, same push budget) --");
-    for sync in [true, false] {
+    // ---- 1. PS consistency spectrum ----
+    println!("\n-- parameter server: consistency spectrum (4 workers, same push budget) --");
+    for consistency in
+        [Consistency::Sync, Consistency::Ssp { slack: 2 }, Consistency::Ssp { slack: 8 }, Consistency::Async]
+    {
         let mut m = model(&ds);
-        let mut trainer = DistTrainer::new(
+        let trainer = DistTrainer::new(
             4,
-            TrainOptions { epochs: 5, lr: 0.01, batch_size: 32, pruning: true, ..TrainOptions::default() },
+            TrainOptions { epochs: 5, lr: 0.01, batch_size: 32, pruning: true, consistency, ..TrainOptions::default() },
         );
-        trainer.sync = sync;
         let t = std::time::Instant::now();
         let r = trainer.train(&mut m, &flat.train, Some(&flat.val));
         println!(
-            "{:<6} val AUC {:.4}  wall {:.2}s  ({} steps, {} pushes)",
-            if sync { "sync" } else { "async" },
+            "{:<8} val AUC {:.4}  wall {:.2}s  ({} steps, {} pushes, staleness ≤ {}, {} gate waits)",
+            consistency.to_string(),
             r.val_curve.last().unwrap().auc.unwrap(),
             t.elapsed().as_secs_f64(),
             r.ps_stats.steps,
-            r.ps_stats.pushes
+            r.ps_stats.pushes,
+            r.max_staleness,
+            r.ps_stats.ssp_waits
         );
     }
 

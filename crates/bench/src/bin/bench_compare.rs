@@ -1,0 +1,84 @@
+//! `bench_compare` — the CI regression gate over bench-history snapshots.
+//!
+//! ```text
+//! bench_compare --baseline results/BENCH_pr2.json \
+//!               --current  results/BENCH_pr3.json [--tolerance 0.20]
+//! ```
+//!
+//! Exits non-zero (failing `ci.sh --bench`) when any micro-bench median in
+//! the current snapshot is more than `tolerance` slower than the baseline.
+//! Benches that appear or disappear between snapshots are reported but
+//! never fail the gate — renames shouldn't block a PR.
+
+use agl_bench::{compare_snapshots, BenchSnapshot};
+use std::process::ExitCode;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load(path: &str) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchSnapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(cur_path)) = (flag(&args, "--baseline"), flag(&args, "--current")) else {
+        eprintln!("usage: bench_compare --baseline <old.json> --current <new.json> [--tolerance <frac>]");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = match flag(&args, "--tolerance").as_deref().unwrap_or("0.20").parse() {
+        Ok(t) if t >= 0.0 => t,
+        _ => {
+            eprintln!("bench_compare: --tolerance must be a non-negative fraction");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (baseline, current) = match (load(&base_path), load(&cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare_snapshots(&baseline, &current, tolerance);
+    println!("bench_compare: {} vs {} (tolerance {:.0}%)", cur_path, base_path, tolerance * 100.0);
+    for d in &cmp.unchanged {
+        println!(
+            "  ok      {:<40} {:>9.3} -> {:>9.3} ms  ({:+.1}%)",
+            d.name,
+            d.baseline_ms,
+            d.current_ms,
+            d.change * 100.0
+        );
+    }
+    for name in &cmp.added {
+        println!("  new     {name}");
+    }
+    for name in &cmp.removed {
+        println!("  removed {name}");
+    }
+    for d in &cmp.regressions {
+        println!(
+            "  REGRESS {:<40} {:>9.3} -> {:>9.3} ms  ({:+.1}%)",
+            d.name,
+            d.baseline_ms,
+            d.current_ms,
+            d.change * 100.0
+        );
+    }
+    if cmp.is_pass() {
+        println!("bench_compare: pass ({} benches within tolerance)", cmp.unchanged.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_compare: FAIL — {} bench(es) regressed more than {:.0}%",
+            cmp.regressions.len(),
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

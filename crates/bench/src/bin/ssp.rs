@@ -1,0 +1,119 @@
+//! SSP convergence experiment — the consistency spectrum on Cora-like.
+//!
+//! Trains the same GCN under sync, SSP(1), SSP(4), SSP(16), and async with
+//! 4 data-parallel workers, comparing:
+//!
+//! * the training-loss curve per epoch (does bounded staleness hurt
+//!   convergence?),
+//! * the parameter server's observed staleness / gate-wait statistics,
+//! * a paper-scale extrapolation: the cluster model's SSP gate-wait
+//!   fraction and clock drift at 100 workers for the same slack sweep.
+//!
+//! The expectation this reproduces: SSP with small slack converges like
+//! sync while waiting far less at the gate; async never waits but its
+//! gradient clock drifts without bound.
+
+use agl_bench::{banner, env_usize, flatten_dataset};
+use agl_cluster_sim::{simulate_async_training, simulate_ssp_training, ClusterConfig, TrainingWorkload};
+use agl_datasets::cora_like;
+use agl_flat::SamplingStrategy;
+use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_trainer::{Consistency, DistTrainer, TrainOptions};
+
+fn main() {
+    banner("SSP: convergence and gate cost across the consistency spectrum");
+    let epochs = env_usize("AGL_EPOCHS", 8);
+    let ds = cora_like(7);
+    let flat = flatten_dataset(&ds, 2, SamplingStrategy::Uniform { max_degree: 15 }).expect("graphflat");
+    println!(
+        "Cora-like; train/val = {}/{}; GCN 2-layer, 4 workers, {epochs} epochs\n",
+        flat.train.len(),
+        flat.val.len()
+    );
+
+    let modes = [
+        Consistency::Sync,
+        Consistency::Ssp { slack: 1 },
+        Consistency::Ssp { slack: 4 },
+        Consistency::Ssp { slack: 16 },
+        Consistency::Async,
+    ];
+
+    let mut runs = Vec::new();
+    for &consistency in &modes {
+        let cfg = ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 16, ds.label_dim, 2, Loss::SoftmaxCrossEntropy);
+        let mut model = GnnModel::new(cfg);
+        let trainer = DistTrainer::new(
+            4,
+            TrainOptions { epochs, lr: 0.02, batch_size: 32, pruning: true, consistency, ..TrainOptions::default() },
+        );
+        let r = trainer.train(&mut model, &flat.train, Some(&flat.val));
+        runs.push((consistency, r));
+    }
+
+    println!("-- training loss per epoch --");
+    print!("{:<8}", "epoch");
+    for (c, _) in &runs {
+        print!("{:>10}", c.to_string());
+    }
+    println!();
+    for e in 0..epochs {
+        print!("{:<8}", e + 1);
+        for (_, r) in &runs {
+            print!("{:>10.4}", r.epochs[e].loss);
+        }
+        println!();
+    }
+
+    println!("\n-- parameter-server staleness accounting (4 workers) --");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "mode", "final acc", "staleness ≤", "gate waits", "waited ms", "steps"
+    );
+    for (c, r) in &runs {
+        let acc = r.val_curve.last().and_then(|m| m.accuracy).unwrap_or(0.0);
+        println!(
+            "{:<10} {:>10.4} {:>12} {:>10} {:>12.1} {:>10}",
+            c.to_string(),
+            acc,
+            r.max_staleness,
+            r.ps_stats.ssp_waits,
+            r.ps_stats.ssp_wait_nanos as f64 / 1e6,
+            r.ps_stats.steps
+        );
+    }
+
+    // Paper-scale extrapolation: replay the workload on the cluster model
+    // at 100 workers for the same slack sweep, reporting what fraction of
+    // worker-time the SSP gate eats vs how far async clocks drift.
+    println!("\n-- cluster model, 100 workers (paper scale) --");
+    let cfg = ClusterConfig::default();
+    let wl = TrainingWorkload {
+        examples: 1_200_000,
+        secs_per_example: 2e-3,
+        batch_size: 128,
+        epochs: 2,
+        param_bytes: 4 * 200_000,
+    };
+    println!("{:<10} {:>12} {:>12} {:>12}", "mode", "wall (min)", "wait frac", "max drift");
+    for slack in [0u64, 1, 4, 16] {
+        let r = simulate_ssp_training(&cfg, &wl, 100, slack);
+        println!(
+            "{:<10} {:>12.1} {:>11.1}% {:>12}",
+            format!("ssp({slack})"),
+            r.report.wall.as_secs_f64() / 60.0,
+            r.mean_wait_frac * 100.0,
+            r.max_lead_steps
+        );
+    }
+    let a = simulate_async_training(&cfg, &wl, 100);
+    println!(
+        "{:<10} {:>12.1} {:>11.1}% {:>12}",
+        "async",
+        a.report.wall.as_secs_f64() / 60.0,
+        a.mean_wait_frac * 100.0,
+        a.max_lead_steps
+    );
+    println!("\n(SSP buys back nearly all of the sync gate's wait with single-digit slack,");
+    println!(" while keeping the gradient clock drift bounded — async drifts with run length.)");
+}

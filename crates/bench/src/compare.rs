@@ -1,0 +1,379 @@
+//! Bench-history regression gating.
+//!
+//! `ci.sh --bench` writes one `results/BENCH_pr<N>.json` snapshot per PR
+//! (the hand-rolled format of `benches/micro.rs::Harness::to_json`). This
+//! module parses those snapshots and compares the newest against its
+//! predecessor: any micro-bench whose median slows down by more than the
+//! tolerance (default 20 %) is a regression and fails CI.
+//!
+//! The parser is a tiny recursive-descent JSON reader — the workspace is
+//! deliberately offline, so no serde. It handles the full JSON grammar our
+//! snapshots use (objects, arrays, strings with `\"` escapes, numbers) and
+//! rejects anything malformed with a byte-offset error.
+
+use std::collections::BTreeMap;
+
+/// One micro-bench measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    pub name: String,
+    pub median_ms: f64,
+}
+
+/// A parsed `results/BENCH_pr<N>.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    pub suite: String,
+    pub mode: String,
+    pub iters: u64,
+    pub benches: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// Parse a snapshot from its JSON text.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(json)?;
+        let top = value.as_object("top level")?;
+        let suite = field(top, "suite")?.as_str("suite")?.to_string();
+        let mode = field(top, "mode")?.as_str("mode")?.to_string();
+        let iters = field(top, "iters")?.as_f64("iters")? as u64;
+        let mut benches = Vec::new();
+        for (i, b) in field(top, "benches")?.as_array("benches")?.iter().enumerate() {
+            let obj = b.as_object(&format!("benches[{i}]"))?;
+            benches.push(BenchEntry {
+                name: field(obj, "name")?.as_str("name")?.to_string(),
+                median_ms: field(obj, "median_ms")?.as_f64("median_ms")?,
+            });
+        }
+        Ok(Self { suite, mode, iters, benches })
+    }
+}
+
+fn field<'a>(obj: &'a BTreeMap<String, JsonValue>, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+/// How one bench moved between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    pub name: String,
+    pub baseline_ms: f64,
+    pub current_ms: f64,
+    /// `current / baseline - 1`: +0.25 means 25 % slower.
+    pub change: f64,
+}
+
+/// The verdict of comparing a current snapshot against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchComparison {
+    /// Benches slower than `baseline * (1 + tolerance)` — these fail CI.
+    pub regressions: Vec<BenchDelta>,
+    /// Benches present in both snapshots and within tolerance.
+    pub unchanged: Vec<BenchDelta>,
+    /// Benches only in the current snapshot (noted, never failing).
+    pub added: Vec<String>,
+    /// Benches only in the baseline (noted, never failing).
+    pub removed: Vec<String>,
+}
+
+impl BenchComparison {
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare medians bench-by-bench. `tolerance` is the allowed fractional
+/// slowdown (0.20 = a bench may be up to 20 % slower before CI fails).
+pub fn compare_snapshots(baseline: &BenchSnapshot, current: &BenchSnapshot, tolerance: f64) -> BenchComparison {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let mut out = BenchComparison::default();
+    let base: BTreeMap<&str, f64> = baseline.benches.iter().map(|b| (b.name.as_str(), b.median_ms)).collect();
+    let cur: BTreeMap<&str, f64> = current.benches.iter().map(|b| (b.name.as_str(), b.median_ms)).collect();
+    for b in &current.benches {
+        match base.get(b.name.as_str()) {
+            None => out.added.push(b.name.clone()),
+            Some(&old) => {
+                let delta = BenchDelta {
+                    name: b.name.clone(),
+                    baseline_ms: old,
+                    current_ms: b.median_ms,
+                    change: if old > 0.0 { b.median_ms / old - 1.0 } else { 0.0 },
+                };
+                if delta.change > tolerance {
+                    out.regressions.push(delta);
+                } else {
+                    out.unchanged.push(delta);
+                }
+            }
+        }
+    }
+    for b in &baseline.benches {
+        if !cur.contains_key(b.name.as_str()) {
+            out.removed.push(b.name.clone());
+        }
+    }
+    // Worst offenders first, so the CI log leads with the headline.
+    out.regressions.sort_by(|a, b| b.change.total_cmp(&a.change));
+    out
+}
+
+/// The subset of JSON our snapshots use, parsed strictly.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<Self, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
+        match self {
+            JsonValue::Object(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(v) => Ok(v),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => return Err(format!("unsupported escape '\\{}'", *c as char)),
+                    None => return Err("unterminated escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8".to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(benches: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            suite: "micro".into(),
+            mode: "smoke".into(),
+            iters: 3,
+            benches: benches.iter().map(|&(n, m)| BenchEntry { name: n.into(), median_ms: m }).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_harness_output_format() {
+        let json = "{\n  \"suite\": \"micro\",\n  \"mode\": \"smoke\",\n  \"iters\": 3,\n  \"benches\": [\n    \
+                    {\"name\": \"spmm/sequential\", \"median_ms\": 0.103016},\n    \
+                    {\"name\": \"graphflat_2hop_50_targets\", \"median_ms\": 26.667958}\n  ]\n}\n";
+        let s = BenchSnapshot::parse(json).unwrap();
+        assert_eq!(s.suite, "micro");
+        assert_eq!(s.iters, 3);
+        assert_eq!(s.benches.len(), 2);
+        assert_eq!(s.benches[0].name, "spmm/sequential");
+        assert!((s.benches[1].median_ms - 26.667958).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_round_trips_escapes_and_rejects_garbage() {
+        let json = r#"{"suite": "a\"b", "mode": "full", "iters": 10, "benches": []}"#;
+        assert_eq!(BenchSnapshot::parse(json).unwrap().suite, "a\"b");
+        assert!(BenchSnapshot::parse("{").is_err());
+        assert!(BenchSnapshot::parse(r#"{"suite": "x"}"#).unwrap_err().contains("mode"));
+        assert!(BenchSnapshot::parse("[1, 2]").unwrap_err().contains("expected object"));
+        assert!(BenchSnapshot::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn regression_over_tolerance_fails() {
+        let base = snap(&[("a", 1.0), ("b", 10.0)]);
+        let cur = snap(&[("a", 1.15), ("b", 12.5)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "b");
+        assert!((cmp.regressions[0].change - 0.25).abs() < 1e-9);
+        assert!(!cmp.is_pass());
+    }
+
+    #[test]
+    fn within_tolerance_and_speedups_pass() {
+        let base = snap(&[("a", 1.0), ("b", 10.0)]);
+        let cur = snap(&[("a", 1.199), ("b", 4.0)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert!(cmp.is_pass(), "{:?}", cmp.regressions);
+        assert_eq!(cmp.unchanged.len(), 2);
+    }
+
+    #[test]
+    fn added_and_removed_benches_are_noted_not_failed() {
+        let base = snap(&[("old", 1.0), ("kept", 2.0)]);
+        let cur = snap(&[("kept", 2.0), ("new", 3.0)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert!(cmp.is_pass());
+        assert_eq!(cmp.added, vec!["new".to_string()]);
+        assert_eq!(cmp.removed, vec!["old".to_string()]);
+    }
+
+    #[test]
+    fn regressions_sorted_worst_first() {
+        let base = snap(&[("a", 1.0), ("b", 1.0), ("c", 1.0)]);
+        let cur = snap(&[("a", 1.5), ("b", 3.0), ("c", 2.0)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        let names: Vec<&str> = cmp.regressions.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["b", "c", "a"]);
+    }
+}

@@ -18,6 +18,10 @@
 //! * `AGL_UUG_NODES` — UUG-like node count (default 10000).
 //! * `AGL_EPOCHS` — training epochs for effectiveness runs (default 30).
 
+pub mod compare;
+
+pub use compare::{compare_snapshots, BenchComparison, BenchDelta, BenchEntry, BenchSnapshot};
+
 use agl_datasets::{Dataset, Split};
 use agl_flat::{FlatConfig, GraphFlat, SamplingStrategy, TargetSpec, TrainingExample};
 use agl_graph::{Graph, NodeId};

@@ -12,6 +12,11 @@
 //!   servers apply the averaged update. The speedup curve bends exactly the
 //!   way the paper describes: *"overhead in network communication may
 //!   slightly increase as the number of training workers increases"*.
+//! * [`simulate_ssp_training`] / [`simulate_async_training`] — the same
+//!   cluster under bounded-staleness (SSP) or fully asynchronous clocks: an
+//!   event-driven simulation of each worker's step clock reporting gate
+//!   wait time and clock drift, for extrapolating the `agl-ps` consistency
+//!   modes to paper scale.
 //! * [`simulate_mr_job`] — a MapReduce job (GraphFlat / GraphInfer): waves
 //!   of tasks over a worker pool with shuffle I/O per round, reporting the
 //!   paper's Table 5 cost units (time, core·min, GB·min).
@@ -22,7 +27,10 @@ pub mod mr;
 pub mod training;
 
 pub use mr::{simulate_mr_job, MrJobModel};
-pub use training::{simulate_sync_training, speedup_curve, ClusterConfig, TrainingWorkload};
+pub use training::{
+    simulate_async_training, simulate_ssp_training, simulate_sync_training, speedup_curve, ClusterConfig, SspSimReport,
+    TrainingWorkload,
+};
 
 use std::time::Duration;
 

@@ -98,6 +98,121 @@ pub fn speedup_curve(cfg: &ClusterConfig, wl: &TrainingWorkload, workers: &[usiz
     workers.iter().map(|&w| (w, t1 / simulate_sync_training(cfg, wl, w).wall.as_secs_f64())).collect()
 }
 
+/// What a staleness-bounded (or unbounded) run looks like at cluster scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SspSimReport {
+    /// Table-5 cost units for the run, like [`simulate_sync_training`].
+    pub report: SimReport,
+    /// Fraction of total worker-time spent blocked at the staleness gate
+    /// (0 for async — nothing ever blocks).
+    pub mean_wait_frac: f64,
+    /// Largest observed clock drift: fastest worker's completed steps minus
+    /// the slowest unfinished worker's, over the whole run. Under SSP this
+    /// is at most `slack + 1`; async lets it grow with run length.
+    pub max_lead_steps: u64,
+}
+
+/// Simulate staleness-bounded (SSP) training: worker `i` may not *start*
+/// step `k` until every unfinished worker has *completed* step `k - slack`
+/// (the classic SSP clock condition). `slack = 0` is the lock-step barrier,
+/// large `slack` approaches fully asynchronous.
+pub fn simulate_ssp_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize, slack: u64) -> SspSimReport {
+    simulate_elastic_training(cfg, wl, w, Some(slack))
+}
+
+/// Simulate fully asynchronous training: no gate, every worker free-runs at
+/// its own pace. `mean_wait_frac` is 0 by construction; `max_lead_steps`
+/// shows how far the gradient clock drifts apart.
+pub fn simulate_async_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize) -> SspSimReport {
+    simulate_elastic_training(cfg, wl, w, None)
+}
+
+/// Event-driven clock simulation shared by SSP (`Some(slack)`) and async
+/// (`None`). Deterministic: per-worker rngs are seeded by worker index, so
+/// draws do not depend on interleaving.
+fn simulate_elastic_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize, slack: Option<u64>) -> SspSimReport {
+    assert!(w >= 1);
+    let steps_per_epoch = wl.examples.div_ceil(wl.batch_size * w as u64).max(1);
+    let total = steps_per_epoch * wl.epochs; // steps each worker must complete
+    let link = 2.0 * wl.param_bytes as f64 / cfg.worker_bandwidth;
+    let ps = 2.0 * wl.param_bytes as f64 * w as f64 / cfg.ps_bandwidth;
+    let base_compute = wl.batch_size as f64 * wl.secs_per_example;
+
+    // Persistent per-worker speed: the shared cluster hands each worker a
+    // machine somewhere between nominal and the log-extreme tail; the last
+    // worker is pinned at the tail so every run has its straggler.
+    let tail = cfg.straggler_cv * (2.0 * (w as f64).ln().max(0.0)).sqrt();
+    let mut speed_rng = seeded_rng(derive_seed(cfg.seed, 0x55b));
+    let speed: Vec<f64> =
+        (0..w).map(|i| if i == w - 1 { 1.0 + tail } else { 1.0 + tail * speed_rng.gen_range(0.0..0.5) }).collect();
+    let mut rngs: Vec<_> = (0..w).map(|i| seeded_rng(derive_seed(cfg.seed, 1 + i as u64))).collect();
+
+    let mut t = vec![0.0f64; w]; // wall time at which worker has finished `clock[i]` steps
+    let mut clock = vec![0u64; w];
+    // gate_open[m] = wall time at which every unfinished worker had
+    // completed ≥ m steps (monotone; filled as the min clock advances).
+    let mut gate_open = vec![f64::NAN; total as usize + 1];
+    gate_open[0] = 0.0;
+    let mut min_known = 0u64; // highest m with gate_open[m] recorded
+    let mut wait_total = 0.0f64;
+    let mut max_lead = 0u64;
+    let mut remaining = w;
+
+    while remaining > 0 {
+        // Pick the runnable worker whose (possibly gated) start is earliest.
+        let mut pick: Option<(usize, f64)> = None;
+        for i in 0..w {
+            if clock[i] >= total {
+                continue;
+            }
+            let start = match slack {
+                Some(s) if clock[i] > s => {
+                    let needed = clock[i] - s;
+                    if needed > min_known {
+                        continue; // gate closed: a laggard must advance first
+                    }
+                    t[i].max(gate_open[needed as usize])
+                }
+                _ => t[i],
+            };
+            if pick.map_or(true, |(_, best)| start < best) {
+                pick = Some((i, start));
+            }
+        }
+        // The slowest unfinished worker is never gated (its clock equals the
+        // min), so a runnable worker always exists — this is the same
+        // induction that makes the real `agl-ps` SSP gate deadlock-free.
+        let (i, start) = pick.expect("SSP clock sim: no runnable worker");
+        wait_total += start - t[i];
+        let jitter = rngs[i].gen_range(-1.0..1.0);
+        t[i] = start + base_compute * speed[i] * (1.0 + 0.1 * jitter) + link + ps;
+        clock[i] += 1;
+        if clock[i] >= total {
+            remaining -= 1;
+        }
+        let min_unfinished = (0..w).filter(|&j| clock[j] < total).map(|j| clock[j]).min();
+        if let Some(m) = min_unfinished {
+            max_lead = max_lead.max(clock[i] - m);
+            while min_known < m {
+                min_known += 1;
+                gate_open[min_known as usize] = t[i];
+            }
+        }
+    }
+
+    let wall = t.iter().copied().fold(0.0f64, f64::max);
+    let wall_min = wall / 60.0;
+    SspSimReport {
+        report: SimReport {
+            wall: Duration::from_secs_f64(wall),
+            cpu_core_min: wall_min * w as f64,
+            mem_gb_min: wall_min * w as f64 * cfg.worker_mem_gb,
+        },
+        mean_wait_frac: if wall > 0.0 { wait_total / (wall * w as f64) } else { 0.0 },
+        max_lead_steps: max_lead,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +261,52 @@ mod tests {
     fn deterministic() {
         let cfg = ClusterConfig::default();
         assert_eq!(simulate_sync_training(&cfg, &wl(), 7), simulate_sync_training(&cfg, &wl(), 7));
+        assert_eq!(simulate_ssp_training(&cfg, &wl(), 16, 4), simulate_ssp_training(&cfg, &wl(), 16, 4));
+        assert_eq!(simulate_async_training(&cfg, &wl(), 16), simulate_async_training(&cfg, &wl(), 16));
+    }
+
+    #[test]
+    fn ssp_wait_shrinks_as_slack_grows() {
+        let cfg = ClusterConfig::default();
+        let waits: Vec<f64> =
+            [0, 1, 4, 16, 64].iter().map(|&s| simulate_ssp_training(&cfg, &wl(), 32, s).mean_wait_frac).collect();
+        for pair in waits.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "wait frac should not grow with slack: {waits:?}");
+        }
+        assert!(waits[0] > waits[4], "slack 0 must wait strictly more than slack 64: {waits:?}");
+        assert!(waits[4] < 0.02, "with huge slack the gate should all but vanish: {}", waits[4]);
+    }
+
+    #[test]
+    fn ssp_lead_is_bounded_by_slack_plus_one() {
+        // A worker may start step k only when min clock ≥ k − slack, so on
+        // completion its lead is ≤ slack + 1 — same bound the live
+        // parameter server enforces on gradient staleness.
+        let cfg = ClusterConfig::default();
+        for slack in [0u64, 1, 4, 16] {
+            for w in [2usize, 8, 32] {
+                let r = simulate_ssp_training(&cfg, &wl(), w, slack);
+                assert!(r.max_lead_steps <= slack + 1, "w={w} slack={slack}: lead {} exceeds bound", r.max_lead_steps);
+            }
+        }
+    }
+
+    #[test]
+    fn async_never_waits_but_drifts_further() {
+        let cfg = ClusterConfig::default();
+        let long = TrainingWorkload { epochs: 4, ..wl() };
+        let a = simulate_async_training(&cfg, &long, 32);
+        let s = simulate_ssp_training(&cfg, &long, 32, 1);
+        assert_eq!(a.mean_wait_frac, 0.0);
+        assert!(a.max_lead_steps > s.max_lead_steps, "async drift {} vs ssp {}", a.max_lead_steps, s.max_lead_steps);
+        assert!(a.report.wall <= s.report.wall, "free-running can only finish sooner");
+    }
+
+    #[test]
+    fn single_worker_has_nothing_to_wait_for() {
+        let cfg = ClusterConfig::default();
+        let r = simulate_ssp_training(&cfg, &wl(), 1, 0);
+        assert_eq!(r.mean_wait_frac, 0.0);
+        assert_eq!(r.max_lead_steps, 0);
     }
 }

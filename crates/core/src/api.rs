@@ -6,14 +6,15 @@ use agl_infer::{GraphInfer, InferConfig, InferOutput};
 use agl_mapreduce::JobError;
 use agl_nn::GnnModel;
 use agl_trainer::metrics::Metrics;
-use agl_trainer::{DistTrainer, LocalTrainer, TrainOptions};
+use agl_trainer::{Consistency, DistTrainer, LocalTrainer, TrainOptions};
 
-/// Builder for GraphFlat / GraphInfer runs with shared knobs — the
-/// command-line surface of §3.5 as a typed API.
+/// Builder for GraphFlat / GraphInfer / GraphTrainer runs with shared knobs
+/// — the command-line surface of §3.5 as a typed API.
 #[derive(Debug, Clone, Default)]
 pub struct AglJob {
     flat: FlatConfig,
     infer: InferConfig,
+    train: TrainOptions,
 }
 
 impl AglJob {
@@ -60,6 +61,26 @@ impl AglJob {
         self
     }
 
+    /// Worker-coordination mode for distributed training: `Sync`, `Async`,
+    /// or `Ssp { slack }` — the one place a job picks it.
+    pub fn consistency(mut self, c: Consistency) -> Self {
+        self.train.consistency = c;
+        self
+    }
+
+    /// Training hyper-parameters (batch size, epochs, lr, ablation axes).
+    pub fn train_options(mut self, opts: TrainOptions) -> Self {
+        // `consistency(...)` and `train_options(...)` may be chained in
+        // either order; the explicit options win wholesale.
+        self.train = opts;
+        self
+    }
+
+    /// Direct access to the full training configuration.
+    pub fn train_config(&self) -> &TrainOptions {
+        &self.train
+    }
+
     /// Direct access to the full GraphFlat configuration.
     pub fn flat_config(&self) -> &FlatConfig {
         &self.flat
@@ -86,6 +107,19 @@ impl AglJob {
     pub fn graph_infer(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
         GraphInfer::new(self.infer.clone()).run(model, nodes, edges)
     }
+
+    /// **GraphTrainer**, distributed: data-parallel workers against an
+    /// in-process parameter server under this job's training options —
+    /// including the [`consistency`](Self::consistency) mode.
+    pub fn train_distributed(
+        &self,
+        model: &mut GnnModel,
+        train: &[agl_flat::TrainingExample],
+        val: Option<&[agl_flat::TrainingExample]>,
+        n_workers: usize,
+    ) -> agl_trainer::DistTrainResult {
+        DistTrainer::new(n_workers, self.train.clone()).train(model, train, val)
+    }
 }
 
 /// **GraphTrainer** in one call: train on triples, evaluate on a held-out
@@ -101,7 +135,8 @@ pub fn train_and_evaluate(
 }
 
 /// Distributed **GraphTrainer**: data-parallel workers against an
-/// in-process parameter server (`-t train_strategy -c dist_configs`).
+/// in-process parameter server (`-t train_strategy -c dist_configs`). The
+/// coordination mode is `opts.consistency`.
 pub fn train_distributed(
     model: &mut GnnModel,
     train: &[agl_flat::TrainingExample],
@@ -158,7 +193,8 @@ mod tests {
             .sampling(SamplingStrategy::TopK { max_degree: 7 })
             .reindex(100, 8)
             .engine(2, 3, 5)
-            .seed(9);
+            .seed(9)
+            .consistency(Consistency::Ssp { slack: 4 });
         assert_eq!(job.flat_config().k_hops, 3);
         assert_eq!(job.flat_config().hub_threshold, 100);
         assert_eq!(job.flat_config().reindex_fanout, 8);
@@ -166,5 +202,26 @@ mod tests {
         assert_eq!(job.infer_config().parallelism, 5);
         assert_eq!(job.infer_config().sampling, SamplingStrategy::TopK { max_degree: 7 });
         assert_eq!(job.infer_config().seed, 9);
+        assert_eq!(job.train_config().consistency, Consistency::Ssp { slack: 4 });
+        // Defaults elsewhere stay intact.
+        assert_eq!(job.train_config().batch_size, TrainOptions::default().batch_size);
+    }
+
+    #[test]
+    fn job_trains_distributed_under_ssp() {
+        let (nodes, edges) = toy();
+        let job =
+            AglJob::new().hops(2).seed(5).consistency(Consistency::Ssp { slack: 2 }).train_options(TrainOptions {
+                epochs: 6,
+                lr: 0.05,
+                batch_size: 10,
+                consistency: Consistency::Ssp { slack: 2 },
+                ..TrainOptions::default()
+            });
+        let flat = job.graph_flat(&nodes, &edges, &TargetSpec::All).unwrap();
+        let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, 2, 8, 2, 2, Loss::SoftmaxCrossEntropy));
+        let r = job.train_distributed(&mut model, &flat.examples, Some(&flat.examples), 2);
+        assert!(r.max_staleness <= 2, "SSP bound through the job API: {}", r.max_staleness);
+        assert_eq!(r.val_curve.len(), 6);
     }
 }

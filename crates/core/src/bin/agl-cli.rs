@@ -13,7 +13,7 @@
 //! agl-cli flat  --nodes data/nodes.tsv --edges data/edges.tsv \
 //!               --hops 2 --sampling uniform:10 --out data/features
 //! agl-cli train --store data/features --model gat --hidden 8 --out data/model.agl \
-//!               --epochs 5 --workers 4
+//!               --epochs 5 --workers 4 --consistency ssp:4
 //! agl-cli infer --model data/model.agl --nodes data/nodes.tsv \
 //!               --edges data/edges.tsv --out data/scores.tsv
 //! ```
@@ -228,6 +228,22 @@ fn model_kind(name: &str, heads: usize) -> Result<ModelKind, String> {
     }
 }
 
+/// `--consistency sync | async | ssp:<slack>` — the worker-coordination
+/// mode for `--workers > 1`.
+fn parse_consistency(s: &str) -> Result<Consistency, String> {
+    match s {
+        "sync" => Ok(Consistency::Sync),
+        "async" => Ok(Consistency::Async),
+        _ => match s.strip_prefix("ssp:") {
+            Some(slack) => match slack.parse() {
+                Ok(slack) => Ok(Consistency::Ssp { slack }),
+                Err(_) => Err(format!("bad SSP slack {slack:?} (want ssp:<u64>)")),
+            },
+            None => Err(format!("unknown consistency {s:?} (sync|async|ssp:<slack>)")),
+        },
+    }
+}
+
 fn cmd_train(flags: &Flags) -> CliResult {
     let store = agl::flat::FeatureStore::open(flag(flags, "store")?)?;
     let examples = store.read_all()?;
@@ -256,21 +272,30 @@ fn cmd_train(flags: &Flags) -> CliResult {
         batch_size: flag_or(flags, "batch-size", "32").parse()?,
         pruning: flag_or(flags, "pruning", "true").parse()?,
         partitions: flag_or(flags, "partitions", "1").parse()?,
+        consistency: parse_consistency(flag_or(flags, "consistency", "sync"))?,
         ..TrainOptions::default()
     };
     let workers: usize = flag_or(flags, "workers", "1").parse()?;
     println!(
-        "training {} ({} params) on {} triples, {} workers",
+        "training {} ({} params) on {} triples, {} workers ({})",
         kind.name(),
         model.param_count(),
         examples.len(),
-        workers
+        workers,
+        opts.consistency
     );
     if workers > 1 {
         let result = train_distributed(&mut model, &examples, None, workers, &opts);
         for e in &result.epochs {
             println!("epoch {:>3}: loss {:.4} ({:.2}s)", e.epoch + 1, e.loss, e.duration.as_secs_f64());
         }
+        println!(
+            "ps: {} steps, max staleness {}, {} gate waits ({:.1} ms waited)",
+            result.ps_stats.steps,
+            result.max_staleness,
+            result.ps_stats.ssp_waits,
+            result.ps_stats.ssp_wait_nanos as f64 / 1e6
+        );
     } else {
         let result = LocalTrainer::new(opts.clone()).train(&mut model, &examples);
         for e in &result.epochs {

@@ -3,7 +3,8 @@
 pub use crate::api::{train_and_evaluate, train_distributed, AglJob};
 pub use agl_baseline::FullGraphEngine;
 pub use agl_cluster_sim::{
-    simulate_mr_job, simulate_sync_training, speedup_curve, ClusterConfig, MrJobModel, TrainingWorkload,
+    simulate_mr_job, simulate_ssp_training, simulate_sync_training, speedup_curve, ClusterConfig, MrJobModel,
+    SspSimReport, TrainingWorkload,
 };
 pub use agl_datasets::{cora_like, ppi_like, uug_like, Dataset, PpiConfig, Split, UugConfig};
 pub use agl_flat::{
@@ -13,7 +14,7 @@ pub use agl_flat::{
 pub use agl_graph::{EdgeTable, Graph, NodeId, NodeTable, SubEdge, Subgraph};
 pub use agl_infer::{GraphInfer, InferConfig, InferOutput, NodeScore, OriginalInference};
 pub use agl_nn::{model_from_bytes, model_to_bytes, Adam, GnnModel, Loss, ModelConfig, ModelKind, Optimizer, Sgd};
-pub use agl_ps::{ParameterServer, SyncMode};
+pub use agl_ps::{Consistency, ParameterServer};
 pub use agl_tensor::{seeded_rng, Coo, Csr, ExecCtx, Matrix, Rng, SliceRandom, SmallRng};
 pub use agl_trainer::{
     accuracy, auc, macro_f1, micro_f1, precision_recall, DistTrainer, LocalTrainer, Metrics, TrainOptions, TrainResult,

@@ -13,11 +13,17 @@
 //! * **Pull/push protocol** — workers pull the full parameter vector at the
 //!   start of a step and push gradients at the end. Traffic is metered so
 //!   the cluster simulator can be calibrated from real byte counts.
-//! * **Synchronous mode** — pushes from all `n_workers` are averaged behind
-//!   a barrier, giving gradient descent over the combined mini-batch. Used
-//!   for the convergence-vs-workers study (Fig. 7).
-//! * **Asynchronous mode** — each push is applied immediately (Hogwild
-//!   style); workers never block on each other.
+//! * **Consistency spectrum** — one [`Consistency`] enum picks the
+//!   coordination mode (GraphLab's lesson: a spectrum, not a binary):
+//!   - `Sync` — pushes from all `n_workers` are combined in worker-id order
+//!     behind a barrier (bit-deterministic) and averaged into one optimizer
+//!     step. Used for the convergence-vs-workers study (Fig. 7).
+//!   - `Async` — each push is applied immediately (Hogwild style); workers
+//!     never block, staleness is measured but unbounded.
+//!   - `Ssp { slack }` — stale-synchronous parallel: pushes block only when
+//!     applying them would drive another in-flight worker's staleness past
+//!     `slack`; every applied gradient provably satisfies
+//!     `staleness ≤ slack`. `Ssp { slack: 0 }` normalizes to `Sync`.
 //! * **Lock-order tracking** — the server's barrier/version/shard mutexes
 //!   follow a canonical acquisition order, enforced dynamically in debug
 //!   builds by [`locks::LockOrderTracker`] and statically by the
@@ -28,5 +34,5 @@ pub mod server;
 pub mod worker;
 
 pub use locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
-pub use server::{ParameterServer, PsStats, SyncMode};
+pub use server::{Consistency, ParameterServer, PsStats, WorkerPsStats};
 pub use worker::run_workers;

@@ -9,20 +9,60 @@
 //! statically linted by `agl-analysis` (`lock-order` rule) and dynamically
 //! checked in debug builds by [`LockOrderTracker`] (any two code paths that
 //! disagree about the order abort the run at the second acquisition site).
+//! Condvar waits (`TrackedGuard::wait_while`) release and reacquire the
+//! *same* guard, so they introduce no new edges.
+//!
+//! **Consistency spectrum.** Mode selection is one enum, [`Consistency`]:
+//!
+//! * `Sync` — barrier per step, gradients averaged **in worker-id order**
+//!   (bit-deterministic regardless of arrival order), one optimizer step
+//!   per round.
+//! * `Async` — Hogwild: every push applies immediately; staleness is
+//!   measured exactly (under the version lock at apply time) but unbounded.
+//! * `Ssp { slack }` — stale-synchronous parallel: at most `slack + 1`
+//!   workers may be in flight (pulled, not yet applied) at once, and an
+//!   apply is admitted only while every other in-flight worker can still
+//!   land within `slack` staleness afterwards; workers outside those
+//!   windows block on pull/push until stragglers apply or retire. Every
+//!   applied gradient provably satisfies `staleness ≤ slack`.
+//!   `Ssp { slack: 0 }` is normalized to `Sync` at construction (the only
+//!   staleness-0 schedule that never deadlocks is the barrier), so it is
+//!   bit-identical to explicit `Sync`.
 
 use crate::locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 use agl_nn::Optimizer;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
+use std::time::Instant;
 
-/// How pushed gradients are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SyncMode {
-    /// Barrier per step: gradients from all workers are averaged, then one
-    /// optimizer step is applied; every `push` blocks until the step lands.
-    Sync { n_workers: usize },
+/// How model updates are coordinated across workers — the GraphLab-style
+/// consistency spectrum instead of a sync/async binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Barrier per step: gradients from all workers are combined (summed in
+    /// worker-id order, then averaged) and one optimizer step is applied;
+    /// every `push` blocks until the round's step lands. Staleness is 0.
+    #[default]
+    Sync,
     /// Each push is applied immediately, no coordination (Hogwild-style).
+    /// Staleness is measured but unbounded.
     Async,
+    /// Stale-synchronous parallel: a worker whose progress would push some
+    /// in-flight worker's staleness past `slack` blocks on pull/push until
+    /// the stragglers catch up (apply their gradient, or retire).
+    /// Guarantees every applied gradient's staleness ≤ `slack`; `slack: 0`
+    /// degrades to `Sync`.
+    Ssp { slack: u64 },
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Sync => f.write_str("sync"),
+            Consistency::Async => f.write_str("async"),
+            Consistency::Ssp { slack } => write!(f, "ssp({slack})"),
+        }
+    }
 }
 
 /// One server shard: a contiguous slice of the flat model vector plus its
@@ -32,33 +72,131 @@ struct Shard {
     opt: Box<dyn Optimizer>,
 }
 
-/// Barrier state for synchronous training.
+/// Barrier state for synchronous training. Each worker writes its gradient
+/// into its own slot; the round's last arrival sums the slots in worker-id
+/// order, which makes the averaged step independent of arrival order (and
+/// hence the whole sync trajectory bit-deterministic given the seeds).
 struct SyncState {
+    /// Per-worker gradient slots, `n_workers × n`.
+    slots: Vec<Vec<f32>>,
+    /// Scratch for the in-order sum (reused every round; no per-round
+    /// allocation).
     accum: Vec<f32>,
     arrived: usize,
     round: u64,
 }
 
 /// Model-version bookkeeping: how many optimizer steps have landed, per
-/// shard and globally. Guarded by its own lock so versioned pulls get a
-/// consistent `(params, version)` cut — [`ParameterServer::apply`] holds it
-/// across the shard sweep.
+/// shard and globally, plus the per-worker progress the SSP gate reads.
+/// Guarded by its own lock so versioned pulls get a consistent
+/// `(params, version)` cut — [`ParameterServer::apply`] holds it across the
+/// shard sweep, and staleness is recorded here at apply time (exact, no
+/// racy atomics).
 struct VersionTable {
     shard_versions: Vec<u64>,
     global_step: u64,
+    /// Model version each worker saw at its most recent pull.
+    last_pull: Vec<u64>,
+    /// Workers currently in-flight (pulled and not yet retired). Only
+    /// active workers constrain the SSP gate — a retired worker never
+    /// pushes again, so its stale `last_pull` must not block others.
+    active: Vec<bool>,
+    /// Pull-before-push discipline flag, per worker: SSP's staleness bound
+    /// is proven only for workers that pull between pushes.
+    pulled_since_push: Vec<bool>,
+    workers: Vec<WorkerPsStats>,
+}
+
+impl VersionTable {
+    /// Is `w` in flight: pulled a model it has not yet pushed a gradient
+    /// for, and not retired. Only in-flight workers constrain the SSP
+    /// window — between a worker's apply and its next pull it holds no
+    /// model anyone must stay fresh for.
+    fn in_flight(&self, w: usize) -> bool {
+        self.active[w] && self.pulled_since_push[w]
+    }
+
+    /// SSP pull gate: admitting a pull by `puller` must keep the in-flight
+    /// window at `slack + 1` workers, the largest set for which a
+    /// staleness-≤-slack apply order always exists (a fresh puller enters
+    /// at the back of that order).
+    fn ssp_pull_blocked(&self, puller: usize, slack: u64) -> bool {
+        let others = (0..self.last_pull.len()).filter(|&w| w != puller && self.in_flight(w)).count();
+        others as u64 > slack
+    }
+
+    /// SSP apply gate: may `applier` apply one more step now?
+    ///
+    /// Invariant maintained: ordering the in-flight workers by pull
+    /// version `p₍₁₎ ≤ … ≤ p₍ₖ₎`, each satisfies
+    /// `p₍ⱼ₎ ≥ global_step + j − 1 − slack` — i.e. even if they apply in
+    /// that worst-case order with no further pulls, none exceeds `slack`
+    /// staleness. An apply bumps `global_step`, so it is admitted only if
+    /// every *other* in-flight worker still fits its window afterwards;
+    /// the worker with the oldest pull always does (its constraints are
+    /// unchanged), which is what makes the schedule deadlock-free: the
+    /// straggler is never the one waiting.
+    fn ssp_apply_blocked(&self, applier: usize, slack: u64) -> bool {
+        let g_after = self.global_step + 1;
+        let flight = |w: usize| w != applier && self.in_flight(w);
+        (0..self.last_pull.len()).filter(|&x| flight(x)).any(|x| {
+            let p = self.last_pull[x];
+            // Worst sorted position of x: after every in-flight pull ≤ p.
+            let pos = (0..self.last_pull.len()).filter(|&y| flight(y) && self.last_pull[y] <= p).count() as u64;
+            p + slack + 1 < g_after + pos
+        })
+    }
+
+    /// Record one applied push for `worker` at the given staleness.
+    fn record_push(&mut self, worker: usize, staleness: u64, waited: bool, wait_nanos: u64) {
+        let ws = &mut self.workers[worker];
+        ws.pushes += 1;
+        ws.max_staleness = ws.max_staleness.max(staleness);
+        let bucket = (staleness as usize).min(ws.staleness_hist.len() - 1);
+        ws.staleness_hist[bucket] += 1;
+        ws.waits += u64::from(waited);
+        ws.wait_nanos += wait_nanos;
+        self.pulled_since_push[worker] = false;
+    }
+}
+
+/// Per-worker traffic and staleness statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerPsStats {
+    pub pulls: u64,
+    pub pushes: u64,
+    /// Largest staleness (steps between pull and apply) over this worker's
+    /// applied pushes. Exact: recorded under the version lock at apply.
+    pub max_staleness: u64,
+    /// `staleness_hist[i]` counts pushes applied at staleness `i`; the last
+    /// bucket collects overflow (reachable only in `Async` mode — SSP never
+    /// exceeds its slack, sync never exceeds 0).
+    pub staleness_hist: Vec<u64>,
+    /// Pushes that blocked on the SSP gate.
+    pub waits: u64,
+    /// Total wall-clock nanoseconds this worker spent blocked on the gate.
+    pub wait_nanos: u64,
 }
 
 /// Traffic and progress statistics, for the cluster-simulator calibration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PsStats {
     pub pulls: u64,
     pub pushes: u64,
-    /// Optimizer steps applied (sync: one per round; async: one per push).
+    /// Optimizer steps applied (sync: one per round; async/SSP: one per push).
     pub steps: u64,
     /// Bytes moved over the (simulated) network, both directions.
     pub bytes_transferred: u64,
     /// Model version = optimizer steps landed (equals `steps` at rest).
     pub model_version: u64,
+    /// Largest staleness any applied push observed (max over workers).
+    pub max_staleness: u64,
+    /// Pushes that blocked on the SSP gate (sum over workers).
+    pub ssp_waits: u64,
+    /// Total nanoseconds spent blocked on the SSP gate (sum over workers).
+    pub ssp_wait_nanos: u64,
+    /// Per-worker breakdown (staleness histograms, wait counters).
+    pub workers: Vec<WorkerPsStats>,
 }
 
 /// In-process parameter server holding the flat model vector in `S` shards.
@@ -66,10 +204,14 @@ pub struct ParameterServer {
     shards: Vec<TrackedMutex<Shard>>,
     /// Shard boundaries: shard `i` owns `bounds[i]..bounds[i+1]`.
     bounds: Vec<usize>,
-    mode: SyncMode,
+    /// Normalized mode (`Ssp { slack: 0 }` ⇒ `Sync`).
+    mode: Consistency,
+    n_workers: usize,
     sync: TrackedMutex<SyncState>,
     sync_cv: Condvar,
     versions: TrackedMutex<VersionTable>,
+    /// Woken when the SSP gate may open: a straggler pulled or retired.
+    ssp_cv: Condvar,
     tracker: Arc<LockOrderTracker>,
     pulls: AtomicU64,
     pushes: AtomicU64,
@@ -77,11 +219,38 @@ pub struct ParameterServer {
     bytes: AtomicU64,
 }
 
+/// Histogram size per mode: staleness is provably ≤ 0 (sync) / ≤ slack
+/// (SSP); async gets a fixed range with an overflow bucket.
+fn hist_len(mode: Consistency) -> usize {
+    match mode {
+        Consistency::Sync => 2,
+        Consistency::Async => 18,
+        // +1 for staleness == slack, +1 overflow (must stay empty).
+        Consistency::Ssp { slack } => (slack as usize).saturating_add(2).min(66),
+    }
+}
+
 impl ParameterServer {
-    /// Create from an initial flat parameter vector. `make_opt` builds the
-    /// per-shard server-side optimizer (each shard keeps independent state,
-    /// which is exact for elementwise optimizers like Adam/SGD).
-    pub fn new(initial: Vec<f32>, n_shards: usize, mode: SyncMode, make_opt: impl Fn() -> Box<dyn Optimizer>) -> Self {
+    /// Create from an initial flat parameter vector. This is the only
+    /// constructor: the consistency mode and the worker count are picked
+    /// here and nowhere else. `make_opt` builds the per-shard server-side
+    /// optimizer (each shard keeps independent state, which is exact for
+    /// elementwise optimizers like Adam/SGD).
+    pub fn new(
+        initial: Vec<f32>,
+        n_shards: usize,
+        n_workers: usize,
+        consistency: Consistency,
+        make_opt: impl Fn() -> Box<dyn Optimizer>,
+    ) -> Self {
+        assert!(n_workers > 0, "the server needs at least one worker");
+        // `Ssp { slack: 0 }` admits no stale gradient at all; the barrier is
+        // the one staleness-0 schedule that cannot deadlock, so normalize —
+        // this is also what makes Ssp{0} bit-identical to Sync.
+        let mode = match consistency {
+            Consistency::Ssp { slack: 0 } => Consistency::Sync,
+            other => other,
+        };
         let n = initial.len();
         let n_shards = n_shards.clamp(1, n.max(1));
         let per = n.div_ceil(n_shards);
@@ -100,24 +269,36 @@ impl ParameterServer {
             off = end;
             bounds.push(end);
         }
-        if let SyncMode::Sync { n_workers } = mode {
-            assert!(n_workers > 0, "sync mode needs at least one worker");
-        }
+        let hist = vec![0u64; hist_len(mode)];
         Self {
             sync: TrackedMutex::new(
                 &tracker,
                 LockClass::Barrier,
-                SyncState { accum: vec![0.0; n], arrived: 0, round: 0 },
+                SyncState {
+                    slots: vec![vec![0.0; n]; if mode == Consistency::Sync { n_workers } else { 0 }],
+                    accum: vec![0.0; if mode == Consistency::Sync { n } else { 0 }],
+                    arrived: 0,
+                    round: 0,
+                },
             ),
             versions: TrackedMutex::new(
                 &tracker,
                 LockClass::Versions,
-                VersionTable { shard_versions: vec![0; n_shards], global_step: 0 },
+                VersionTable {
+                    shard_versions: vec![0; n_shards],
+                    global_step: 0,
+                    last_pull: vec![0; n_workers],
+                    active: vec![false; n_workers],
+                    pulled_since_push: vec![false; n_workers],
+                    workers: vec![WorkerPsStats { staleness_hist: hist, ..WorkerPsStats::default() }; n_workers],
+                },
             ),
             shards,
             bounds,
             mode,
+            n_workers,
             sync_cv: Condvar::new(),
+            ssp_cv: Condvar::new(),
             tracker,
             pulls: AtomicU64::new(0),
             pushes: AtomicU64::new(0),
@@ -140,7 +321,14 @@ impl ParameterServer {
         self.shards.len()
     }
 
-    pub fn mode(&self) -> SyncMode {
+    /// Number of registered workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The normalized consistency mode (`Ssp { slack: 0 }` reads back as
+    /// `Sync` — they are the same schedule).
+    pub fn consistency(&self) -> Consistency {
         self.mode
     }
 
@@ -175,28 +363,65 @@ impl ParameterServer {
         self.tracker.observed_edges()
     }
 
-    /// Pull the current full parameter vector (a worker's step begins here).
-    pub fn pull(&self) -> Vec<f32> {
-        self.pull_with_version().0
+    /// Pull the current full parameter vector as `worker` (a worker's step
+    /// begins here). Registers the worker as in-flight and records the
+    /// version it saw, which is what the SSP gate reads.
+    pub fn pull(&self, worker: usize) -> Vec<f32> {
+        self.pull_with_version(worker).0
     }
 
     /// Pull the parameter vector together with its model version (number of
     /// optimizer steps it reflects). The version table is held across the
     /// shard sweep, and [`apply`](Self::apply) holds it across its writes,
-    /// so the returned pair is a consistent cut — the staleness a worker
-    /// later observes (`current_version() - pulled_version`) is exact.
-    pub fn pull_with_version(&self) -> (Vec<f32>, u64) {
+    /// so the returned pair is a consistent cut — the staleness recorded
+    /// when this worker later pushes is exact.
+    pub fn pull_with_version(&self, worker: usize) -> (Vec<f32>, u64) {
+        assert!(worker < self.n_workers, "worker id {worker} out of range (n_workers = {})", self.n_workers);
+        let mut out = vec![0.0f32; self.len()];
+        let mut v = self.lock_versions();
+        if let Consistency::Ssp { slack } = self.mode {
+            // Pull gate: cap the in-flight window at `slack + 1` workers —
+            // any more and no apply order could keep everyone ≤ slack.
+            let t0 = Instant::now();
+            if v.ssp_pull_blocked(worker, slack) {
+                v = v.wait_while(&self.ssp_cv, |vt| vt.ssp_pull_blocked(worker, slack));
+                let ws = &mut v.workers[worker];
+                ws.waits += 1;
+                ws.wait_nanos += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        for i in 0..self.shards.len() {
+            let s = self.lock_shard(i);
+            out[self.bounds[i]..self.bounds[i + 1]].copy_from_slice(&s.params);
+        }
+        let version = v.global_step;
+        v.last_pull[worker] = version;
+        v.active[worker] = true;
+        v.pulled_since_push[worker] = true;
+        v.workers[worker].pulls += 1;
+        drop(v);
+        // A fresher pull can only open the gate for blocked pushers.
+        if matches!(self.mode, Consistency::Ssp { .. }) {
+            self.ssp_cv.notify_all();
+        }
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(4 * self.len() as u64, Ordering::Relaxed);
+        (out, version)
+    }
+
+    /// Read the full parameter vector without worker bookkeeping — the
+    /// driver's view (e.g. loading the final model after training).
+    pub fn snapshot(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len()];
         let v = self.lock_versions();
         for i in 0..self.shards.len() {
             let s = self.lock_shard(i);
             out[self.bounds[i]..self.bounds[i + 1]].copy_from_slice(&s.params);
         }
-        let version = v.global_step;
         drop(v);
         self.pulls.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(4 * self.len() as u64, Ordering::Relaxed);
-        (out, version)
+        out
     }
 
     /// The model version right now: optimizer steps applied so far.
@@ -204,38 +429,105 @@ impl ParameterServer {
         self.lock_versions().global_step
     }
 
-    /// Push a gradient vector. In `Sync` mode this blocks until the whole
-    /// round's averaged step has been applied; in `Async` mode it applies
-    /// immediately.
-    pub fn push(&self, grads: &[f32]) {
+    /// Deregister `worker` from the SSP gate: it will push no more this
+    /// round of its life, so its (stale) `last_pull` must stop blocking
+    /// others. Idempotent; called automatically by
+    /// [`run_workers`](crate::run_workers) when a worker finishes (or
+    /// unwinds). A retired worker re-registers simply by pulling again.
+    pub fn retire_worker(&self, worker: usize) {
+        assert!(worker < self.n_workers, "worker id {worker} out of range (n_workers = {})", self.n_workers);
+        let mut v = self.lock_versions();
+        v.active[worker] = false;
+        drop(v);
+        if matches!(self.mode, Consistency::Ssp { .. }) {
+            self.ssp_cv.notify_all();
+        }
+    }
+
+    /// Push a gradient vector as `worker`.
+    ///
+    /// * `Sync`: blocks until the whole round's averaged step has applied.
+    /// * `Async`: applies immediately.
+    /// * `Ssp { slack }`: applies immediately unless the new version could
+    ///   push another in-flight worker's staleness past `slack` — then
+    ///   blocks until stragglers apply or retire. Requires the
+    ///   pull-compute-push discipline (a pull by this worker since its
+    ///   previous push); that discipline is what makes the bound
+    ///   `staleness ≤ slack` airtight for the pusher itself.
+    pub fn push(&self, worker: usize, grads: &[f32]) {
         assert_eq!(grads.len(), self.len(), "gradient length mismatch");
+        assert!(worker < self.n_workers, "worker id {worker} out of range (n_workers = {})", self.n_workers);
         self.pushes.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(4 * grads.len() as u64, Ordering::Relaxed);
         match self.mode {
-            SyncMode::Async => {
-                self.apply(grads);
+            Consistency::Async => {
+                let mut v = self.lock_versions();
+                let staleness = v.global_step.saturating_sub(v.last_pull[worker]);
+                v.record_push(worker, staleness, false, 0);
+                self.apply_locked(&mut v, grads);
                 self.steps.fetch_add(1, Ordering::Relaxed);
             }
-            SyncMode::Sync { n_workers } => {
-                let mut st = self.lock_barrier();
-                for (a, &g) in st.accum.iter_mut().zip(grads) {
-                    *a += g;
+            Consistency::Ssp { slack } => {
+                let mut v = self.lock_versions();
+                assert!(
+                    v.pulled_since_push[worker],
+                    "SSP requires the pull-compute-push discipline: worker {worker} pushed twice \
+                     without pulling, which would void the staleness bound"
+                );
+                let t0 = Instant::now();
+                let waited = v.ssp_apply_blocked(worker, slack);
+                if waited {
+                    // We wait on other in-flight workers applying (their
+                    // window position ahead of ours) or retiring; both
+                    // notify `ssp_cv`, and the oldest-pull worker is never
+                    // blocked, so someone can always make progress.
+                    v = v.wait_while(&self.ssp_cv, |vt| vt.ssp_apply_blocked(worker, slack));
                 }
+                let wait_nanos = if waited { t0.elapsed().as_nanos() as u64 } else { 0 };
+                // The window invariant (every in-flight pull fits a
+                // staleness-≤-slack apply order) bounds our own staleness
+                // here without a separate check.
+                let staleness = v.global_step.saturating_sub(v.last_pull[worker]);
+                v.record_push(worker, staleness, waited, wait_nanos);
+                self.apply_locked(&mut v, grads);
+                self.steps.fetch_add(1, Ordering::Relaxed);
+                drop(v);
+                // Our apply shrank the in-flight window: blocked pullers
+                // (window full) and blocked appliers (waiting on us) may
+                // proceed now.
+                self.ssp_cv.notify_all();
+            }
+            Consistency::Sync => {
+                let n_workers = self.n_workers;
+                let mut st = self.lock_barrier();
+                st.slots[worker].copy_from_slice(grads);
                 st.arrived += 1;
+                // Sync staleness is 0 by construction; record it under the
+                // version lock (barrier → versions is the canonical order).
+                {
+                    let mut v = self.lock_versions();
+                    v.record_push(worker, 0, false, 0);
+                }
                 if st.arrived == n_workers {
                     // Last worker of the round applies the averaged step.
-                    // Scale the accumulator in place — `apply` stays
-                    // allocation-free on its hot path.
+                    // Summing the slots in worker-id order makes the result
+                    // independent of arrival order (bit-deterministic).
+                    st.arrived = 0;
+                    st.round += 1;
                     let scale = 1.0 / n_workers as f32;
-                    let mut accum = std::mem::replace(&mut st.accum, vec![0.0; self.len()]);
+                    let SyncState { slots, accum, .. } = &mut *st;
+                    accum.fill(0.0);
+                    for slot in slots.iter() {
+                        for (a, g) in accum.iter_mut().zip(slot) {
+                            *a += g;
+                        }
+                    }
                     for a in accum.iter_mut() {
                         *a *= scale;
                     }
-                    st.arrived = 0;
-                    st.round += 1;
                     // Applying while holding the barrier follows the
                     // canonical order Barrier → Versions → Shard(asc).
-                    self.apply(&accum);
+                    self.apply(&st.accum);
                     self.steps.fetch_add(1, Ordering::Relaxed);
                     self.sync_cv.notify_all();
                 } else {
@@ -246,11 +538,17 @@ impl ParameterServer {
         }
     }
 
-    /// Apply one optimizer step from `grads`. Holds the version table
-    /// across the shard sweep so versioned pulls see either none or all of
-    /// the step; shards are taken in ascending order.
+    /// Apply one optimizer step from `grads`: acquire the version table and
+    /// delegate to [`apply_locked`](Self::apply_locked).
     fn apply(&self, grads: &[f32]) {
         let mut v = self.lock_versions();
+        self.apply_locked(&mut v, grads);
+    }
+
+    /// Apply one optimizer step while the version table is already held, so
+    /// versioned pulls see either none or all of the step; shards are taken
+    /// in ascending order (canonical: versions → shard(i)).
+    fn apply_locked(&self, v: &mut TrackedGuard<'_, VersionTable>, grads: &[f32]) {
         v.global_step += 1;
         for i in 0..self.shards.len() {
             let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
@@ -260,14 +558,25 @@ impl ParameterServer {
         }
     }
 
-    /// Traffic/progress snapshot.
+    /// Traffic/progress snapshot, including the per-worker staleness
+    /// histograms and SSP wait counters. The per-worker records are kept
+    /// under the version lock and written at apply time, so a snapshot
+    /// taken after all workers joined is exact.
     pub fn stats(&self) -> PsStats {
+        let v = self.lock_versions();
+        let workers = v.workers.clone();
+        let model_version = v.global_step;
+        drop(v);
         PsStats {
             pulls: self.pulls.load(Ordering::Relaxed),
             pushes: self.pushes.load(Ordering::Relaxed),
             steps: self.steps.load(Ordering::Relaxed),
             bytes_transferred: self.bytes.load(Ordering::Relaxed),
-            model_version: self.current_version(),
+            model_version,
+            max_staleness: workers.iter().map(|w| w.max_staleness).max().unwrap_or(0),
+            ssp_waits: workers.iter().map(|w| w.waits).sum(),
+            ssp_wait_nanos: workers.iter().map(|w| w.wait_nanos).sum(),
+            workers,
         }
     }
 }
@@ -290,66 +599,98 @@ mod tests {
 
     #[test]
     fn pull_returns_initial_params() {
-        let ps = ParameterServer::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 2, SyncMode::Async, sgd);
-        assert_eq!(ps.pull(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ps = ParameterServer::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 2, 1, Consistency::Async, sgd);
+        assert_eq!(ps.pull(0), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(ps.n_shards(), 2);
         assert_eq!(ps.len(), 5);
     }
 
     #[test]
     fn async_push_applies_immediately() {
-        let ps = ParameterServer::new(vec![0.0; 4], 2, SyncMode::Async, sgd);
-        ps.push(&[1.0, 1.0, 1.0, 1.0]);
+        let ps = ParameterServer::new(vec![0.0; 4], 2, 1, Consistency::Async, sgd);
+        ps.pull(0);
+        ps.push(0, &[1.0, 1.0, 1.0, 1.0]);
         // SGD lr=0.1: params -= 0.1 * g
-        assert_eq!(ps.pull(), vec![-0.1; 4]);
+        assert_eq!(ps.snapshot(), vec![-0.1; 4]);
         let st = ps.stats();
-        assert_eq!((st.pulls, st.pushes, st.steps), (1, 1, 1));
-        assert_eq!(st.bytes_transferred, 2 * 4 * 4);
+        assert_eq!((st.pulls, st.pushes, st.steps), (2, 1, 1));
+        assert_eq!(st.bytes_transferred, 3 * 4 * 4);
+        assert_eq!(st.workers[0].pushes, 1);
+        assert_eq!(st.workers[0].staleness_hist[0], 1);
     }
 
     #[test]
     fn sync_push_averages_across_workers() {
-        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, SyncMode::Sync { n_workers: 4 }, sgd));
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, 4, Consistency::Sync, sgd));
         std::thread::scope(|s| {
-            for w in 0..4u32 {
+            for w in 0..4usize {
                 let ps = ps.clone();
                 s.spawn(move || {
                     // Worker w pushes gradient 2w (average = 3).
-                    ps.push(&[2.0 * w as f32, 2.0 * w as f32]);
+                    ps.push(w, &[2.0 * w as f32, 2.0 * w as f32]);
                 });
             }
         });
-        let p = ps.pull();
+        let p = ps.snapshot();
         assert!((p[0] + 0.3).abs() < 1e-6, "avg grad 3 * lr 0.1 -> -0.3, got {}", p[0]);
         assert_eq!(ps.stats().steps, 1, "one optimizer step per sync round");
+        assert_eq!(ps.stats().max_staleness, 0);
+    }
+
+    #[test]
+    fn sync_round_is_arrival_order_independent() {
+        // Two rounds with opposite arrival orders must land bit-identical
+        // parameters: the slots are summed in worker-id order.
+        let run = |order: [usize; 3]| {
+            let ps = Arc::new(ParameterServer::new(vec![0.25; 3], 1, 3, Consistency::Sync, sgd));
+            std::thread::scope(|s| {
+                for (rank, w) in order.into_iter().enumerate() {
+                    let ps = ps.clone();
+                    s.spawn(move || {
+                        // Stagger arrivals deterministically by rank.
+                        std::thread::sleep(std::time::Duration::from_millis(10 * rank as u64));
+                        ps.push(w, &[0.1 * (w as f32 + 1.0), 0.7, -0.3]);
+                    });
+                }
+            });
+            ps.snapshot()
+        };
+        let a = run([0, 1, 2]);
+        let b = run([2, 1, 0]);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn sync_multiple_rounds_make_progress() {
-        let ps = Arc::new(ParameterServer::new(vec![0.0; 1], 1, SyncMode::Sync { n_workers: 2 }, sgd));
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 1], 1, 2, Consistency::Sync, sgd));
         std::thread::scope(|s| {
-            for _ in 0..2 {
+            for w in 0..2usize {
                 let ps = ps.clone();
                 s.spawn(move || {
                     for _ in 0..5 {
-                        let _params = ps.pull();
-                        ps.push(&[1.0]);
+                        let _params = ps.pull(w);
+                        ps.push(w, &[1.0]);
                     }
                 });
             }
         });
         // 5 rounds of avg grad 1.0 with lr 0.1 -> -0.5.
-        assert!((ps.pull()[0] + 0.5).abs() < 1e-6);
+        assert!((ps.snapshot()[0] + 0.5).abs() < 1e-6);
         assert_eq!(ps.stats().steps, 5);
     }
 
     #[test]
     fn sharding_matches_single_shard_result() {
         let run = |shards: usize| {
-            let ps = ParameterServer::new(vec![0.5; 10], shards, SyncMode::Async, sgd);
-            ps.push(&[0.2; 10]);
-            ps.push(&[-0.1; 10]);
-            ps.pull()
+            let ps = ParameterServer::new(vec![0.5; 10], shards, 1, Consistency::Async, sgd);
+            ps.pull(0);
+            ps.push(0, &[0.2; 10]);
+            ps.pull(0);
+            ps.push(0, &[-0.1; 10]);
+            ps.snapshot()
         };
         assert_eq!(run(1), run(3));
         assert_eq!(run(1), run(10));
@@ -357,16 +698,22 @@ mod tests {
 
     #[test]
     fn model_version_counts_applied_steps() {
-        let ps = ParameterServer::new(vec![0.0; 6], 3, SyncMode::Async, sgd);
+        let ps = ParameterServer::new(vec![0.0; 6], 3, 1, Consistency::Async, sgd);
         assert_eq!(ps.current_version(), 0);
-        ps.push(&[1.0; 6]);
-        ps.push(&[1.0; 6]);
-        let (params, version) = ps.pull_with_version();
+        ps.pull(0);
+        ps.push(0, &[1.0; 6]);
+        ps.push(0, &[1.0; 6]);
+        let (params, version) = ps.pull_with_version(0);
         assert_eq!(version, 2);
         assert_eq!(params.len(), 6);
         let st = ps.stats();
         assert_eq!(st.model_version, 2);
         assert_eq!(st.model_version, st.steps, "at rest, version equals applied steps");
+        // Second push went out without a fresh pull: staleness 1, recorded
+        // exactly in the histogram (legal in async mode).
+        assert_eq!(st.workers[0].staleness_hist[0], 1);
+        assert_eq!(st.workers[0].staleness_hist[1], 1);
+        assert_eq!(st.max_staleness, 1);
     }
 
     #[test]
@@ -375,21 +722,21 @@ mod tests {
         // the version table across its shard sweep, a pulled vector tagged
         // version v reflects exactly v steps: with +1.0 gradients and SGD
         // lr=0.1, every element must equal -0.1 * v.
-        let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, SyncMode::Async, sgd));
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, 4, Consistency::Async, sgd));
         std::thread::scope(|s| {
-            for _ in 0..2 {
+            for w in 0..2usize {
                 let ps = ps.clone();
                 s.spawn(move || {
                     for _ in 0..50 {
-                        ps.push(&[1.0; 8]);
+                        ps.push(w, &[1.0; 8]);
                     }
                 });
             }
-            for _ in 0..2 {
+            for w in 2..4usize {
                 let ps = ps.clone();
                 s.spawn(move || {
                     for _ in 0..50 {
-                        let (params, v) = ps.pull_with_version();
+                        let (params, v) = ps.pull_with_version(w);
                         let expect = -0.1 * v as f32;
                         for (j, p) in params.iter().enumerate() {
                             assert!((p - expect).abs() < 1e-4, "version {v}, param[{j}] = {p}, want {expect}");
@@ -402,9 +749,90 @@ mod tests {
     }
 
     #[test]
+    fn ssp_zero_slack_normalizes_to_sync() {
+        let ps = ParameterServer::new(vec![0.0; 2], 1, 2, Consistency::Ssp { slack: 0 }, sgd);
+        assert_eq!(ps.consistency(), Consistency::Sync);
+    }
+
+    #[test]
+    fn ssp_single_worker_never_blocks() {
+        let ps = ParameterServer::new(vec![0.0; 3], 1, 1, Consistency::Ssp { slack: 1 }, sgd);
+        for _ in 0..10 {
+            let _ = ps.pull(0);
+            ps.push(0, &[1.0; 3]);
+        }
+        let st = ps.stats();
+        assert_eq!(st.steps, 10);
+        assert_eq!(st.ssp_waits, 0);
+        assert_eq!(st.max_staleness, 0, "nobody else pushes, so nothing goes stale");
+    }
+
+    #[test]
+    fn ssp_bounds_staleness_under_contention() {
+        for slack in [1u64, 2, 4] {
+            let ps = Arc::new(ParameterServer::new(vec![0.0; 4], 2, 3, Consistency::Ssp { slack }, sgd));
+            std::thread::scope(|s| {
+                for w in 0..3usize {
+                    let ps = ps.clone();
+                    s.spawn(move || {
+                        for step in 0..20 {
+                            let _ = ps.pull(w);
+                            // Worker 0 is the straggler.
+                            if w == 0 {
+                                std::thread::sleep(std::time::Duration::from_micros(200 * (step % 3)));
+                            }
+                            ps.push(w, &[0.01; 4]);
+                        }
+                        ps.retire_worker(w);
+                    });
+                }
+            });
+            let st = ps.stats();
+            assert_eq!(st.steps, 60);
+            assert!(st.max_staleness <= slack, "slack {slack}: observed staleness {}", st.max_staleness);
+            for (w, ws) in st.workers.iter().enumerate() {
+                assert_eq!(ws.pushes, 20, "worker {w}");
+                assert_eq!(ws.staleness_hist.iter().sum::<u64>(), 20, "worker {w} histogram accounts every push");
+                assert_eq!(*ws.staleness_hist.last().unwrap(), 0, "worker {w}: SSP overflow bucket must stay empty");
+            }
+        }
+    }
+
+    #[test]
+    fn ssp_push_without_pull_is_rejected() {
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, 2, Consistency::Ssp { slack: 3 }, sgd));
+        ps.pull(0);
+        ps.push(0, &[1.0; 2]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ps.push(0, &[1.0; 2]); // no pull since the last push
+        }));
+        assert!(err.is_err(), "double push without pull must violate the SSP discipline");
+    }
+
+    #[test]
+    fn retire_unblocks_waiters() {
+        // Worker 1 pulls once and never again; worker 0 would block forever
+        // at slack 1 without the retirement path.
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, 2, Consistency::Ssp { slack: 1 }, sgd));
+        ps.pull(1);
+        std::thread::scope(|s| {
+            let ps2 = ps.clone();
+            s.spawn(move || {
+                for _ in 0..5 {
+                    let _ = ps2.pull(0);
+                    ps2.push(0, &[1.0; 2]);
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            ps.retire_worker(1);
+        });
+        assert_eq!(ps.stats().steps, 5);
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn wrong_gradient_length_panics() {
-        let ps = ParameterServer::new(vec![0.0; 4], 1, SyncMode::Async, sgd);
-        ps.push(&[1.0; 3]);
+        let ps = ParameterServer::new(vec![0.0; 4], 1, 1, Consistency::Async, sgd);
+        ps.push(0, &[1.0; 3]);
     }
 }

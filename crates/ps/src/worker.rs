@@ -5,8 +5,24 @@
 use crate::server::ParameterServer;
 use std::sync::Arc;
 
+/// Retires the worker from the server's SSP gate when its closure returns
+/// — including by unwinding, so a panicking worker can never leave a stale
+/// `last_pull` entry that blocks everyone else forever.
+struct Retire<'a> {
+    server: &'a ParameterServer,
+    worker: usize,
+}
+
+impl Drop for Retire<'_> {
+    fn drop(&mut self) {
+        self.server.retire_worker(self.worker);
+    }
+}
+
 /// Run `n_workers` copies of `work(worker_id, server)` on threads and wait
-/// for all of them. Panics in a worker propagate.
+/// for all of them. Panics in a worker propagate. Each worker is retired
+/// from the server ([`ParameterServer::retire_worker`]) when its closure
+/// returns, so finished workers never gate SSP pushes from slower ones.
 ///
 /// `work` receives its 0-based worker id; data partitioning (each worker
 /// reads only its own slice of the training triples) is the caller's
@@ -21,7 +37,10 @@ where
         for w in 0..n_workers {
             let server = Arc::clone(server);
             let work = &work;
-            scope.spawn(move || work(w, &server));
+            scope.spawn(move || {
+                let _retire = Retire { server: &server, worker: w };
+                work(w, &server)
+            });
         }
     });
 }
@@ -29,7 +48,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::SyncMode;
+    use crate::server::Consistency;
     use agl_nn::{Optimizer, Sgd};
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -39,7 +58,7 @@ mod tests {
 
     #[test]
     fn all_workers_run_with_distinct_ids() {
-        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, SyncMode::Async, sgd));
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, 5, Consistency::Async, sgd));
         let seen = AtomicU64::new(0);
         run_workers(&ps, 5, |w, _| {
             seen.fetch_or(1 << w, Ordering::Relaxed);
@@ -51,16 +70,32 @@ mod tests {
     fn workers_minimise_shared_quadratic() {
         // Each worker descends f(x) = ||x - 3||² via the server; the shared
         // parameters must converge regardless of interleaving.
-        let ps = Arc::new(ParameterServer::new(vec![0.0; 3], 2, SyncMode::Sync { n_workers: 4 }, sgd));
-        run_workers(&ps, 4, |_, server| {
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 3], 2, 4, Consistency::Sync, sgd));
+        run_workers(&ps, 4, |w, server| {
             for _ in 0..400 {
-                let x = server.pull();
+                let x = server.pull(w);
                 let g: Vec<f32> = x.iter().map(|&xi| 2.0 * (xi - 3.0)).collect();
-                server.push(&g);
+                server.push(w, &g);
             }
         });
-        for xi in ps.pull() {
+        for xi in ps.snapshot() {
             assert!((xi - 3.0).abs() < 1e-2, "converged to {xi}");
         }
+    }
+
+    #[test]
+    fn uneven_workloads_finish_under_ssp() {
+        // Workers do different numbers of steps; the retire-on-return guard
+        // must keep the short-lived workers from gating the long-lived one.
+        let ps = Arc::new(ParameterServer::new(vec![0.0; 2], 1, 4, Consistency::Ssp { slack: 2 }, sgd));
+        run_workers(&ps, 4, |w, server| {
+            for _ in 0..(5 * (w + 1)) {
+                let _x = server.pull(w);
+                server.push(w, &[0.1, -0.1]);
+            }
+        });
+        let st = ps.stats();
+        assert_eq!(st.steps, 5 + 10 + 15 + 20);
+        assert!(st.max_staleness <= 2);
     }
 }

@@ -1,11 +1,12 @@
 //! Lock-order tracker integration tests: a deliberately induced
 //! acquisition-order inversion must abort with both sites named, and the
-//! real parameter-server paths must exercise only canonical-order edges.
+//! real parameter-server paths — including the SSP condvar waits — must
+//! exercise only canonical-order edges.
 
 #![cfg(debug_assertions)]
 
 use agl_nn::{Optimizer, Sgd};
-use agl_ps::{LockClass, LockOrderTracker, ParameterServer, SyncMode, TrackedMutex};
+use agl_ps::{Consistency, LockClass, LockOrderTracker, ParameterServer, TrackedMutex};
 use std::sync::Arc;
 
 fn sgd() -> Box<dyn Optimizer> {
@@ -43,19 +44,30 @@ fn induced_inversion_reports_cycle_with_both_sites() {
     assert!(sites >= 2, "expected both lock sites in the report, got {sites}: {msg}");
 }
 
+fn rank(name: &str) -> u64 {
+    match name {
+        "barrier" => 0,
+        "versions" => 1,
+        s => {
+            let idx: u64 = s.trim_start_matches("shard(").trim_end_matches(')').parse().unwrap();
+            2 + idx
+        }
+    }
+}
+
 #[test]
 fn sync_training_exercises_only_canonical_edges() {
     // A real sync round: 3 workers push, the last applies while holding the
     // barrier → versions → shards chain. Every observed edge must point
     // "forward" in the canonical order, and the full chain must appear.
-    let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, SyncMode::Sync { n_workers: 3 }, sgd));
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 8], 4, 3, Consistency::Sync, sgd));
     std::thread::scope(|s| {
-        for _ in 0..3 {
+        for w in 0..3usize {
             let ps = ps.clone();
             s.spawn(move || {
                 for _ in 0..4 {
-                    let (_params, _v) = ps.pull_with_version();
-                    ps.push(&[0.5; 8]);
+                    let (_params, _v) = ps.pull_with_version(w);
+                    ps.push(w, &[0.5; 8]);
                 }
             });
         }
@@ -70,16 +82,6 @@ fn sync_training_exercises_only_canonical_edges() {
     assert!(has("versions", "shard(0)"), "versioned sweep enters the shards: {edges:?}");
     assert!(has("versions", "shard(3)"), "sweep reaches the last shard: {edges:?}");
 
-    let rank = |name: &str| -> u64 {
-        match name {
-            "barrier" => 0,
-            "versions" => 1,
-            s => {
-                let idx: u64 = s.trim_start_matches("shard(").trim_end_matches(')').parse().unwrap();
-                2 + idx
-            }
-        }
-    };
     for (from, to) in &edges {
         assert!(rank(from) < rank(to), "non-canonical edge {from} → {to} observed: {edges:?}");
     }
@@ -87,14 +89,14 @@ fn sync_training_exercises_only_canonical_edges() {
 
 #[test]
 fn async_training_exercises_only_canonical_edges() {
-    let ps = Arc::new(ParameterServer::new(vec![0.0; 6], 3, SyncMode::Async, sgd));
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 6], 3, 2, Consistency::Async, sgd));
     std::thread::scope(|s| {
-        for _ in 0..2 {
+        for w in 0..2usize {
             let ps = ps.clone();
             s.spawn(move || {
                 for _ in 0..10 {
-                    let _ = ps.pull_with_version();
-                    ps.push(&[0.1; 6]);
+                    let _ = ps.pull_with_version(w);
+                    ps.push(w, &[0.1; 6]);
                 }
             });
         }
@@ -102,4 +104,35 @@ fn async_training_exercises_only_canonical_edges() {
     let edges = ps.observed_lock_edges();
     assert!(edges.iter().any(|(a, b)| a == "versions" && b == "shard(0)"), "{edges:?}");
     assert!(!edges.iter().any(|(a, _)| a.starts_with("shard") && a != "shard(0)" && a != "shard(1)"), "{edges:?}");
+}
+
+#[test]
+fn ssp_training_exercises_only_canonical_edges() {
+    // SSP adds condvar waits on the version lock (pull gate + apply gate).
+    // `TrackedGuard::wait_while` is a release+reacquire of the *same* lock,
+    // so even under heavy gate contention no new edge — and certainly no
+    // backward edge — may appear.
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 6], 3, 4, Consistency::Ssp { slack: 1 }, sgd));
+    std::thread::scope(|s| {
+        for w in 0..4usize {
+            let ps = ps.clone();
+            s.spawn(move || {
+                for i in 0..10 {
+                    let (_params, _v) = ps.pull_with_version(w);
+                    if w == 0 {
+                        // Straggle so the other workers hit both gates.
+                        std::thread::sleep(std::time::Duration::from_micros(100 * (i % 4)));
+                    }
+                    ps.push(w, &[0.1; 6]);
+                }
+                ps.retire_worker(w);
+            });
+        }
+    });
+    let edges = ps.observed_lock_edges();
+    assert!(edges.iter().any(|(a, b)| a == "versions" && b == "shard(0)"), "{edges:?}");
+    for (from, to) in &edges {
+        assert!(rank(from) < rank(to), "non-canonical edge {from} → {to} observed: {edges:?}");
+        assert!(from != "barrier", "SSP mode never touches the sync barrier: {edges:?}");
+    }
 }

@@ -1,0 +1,151 @@
+//! SSP (stale-synchronous parallel) property tests against the raw
+//! parameter server: the staleness bound must hold for every (workers,
+//! slack, delay) combination, the histograms must account for every push,
+//! and the gates must never deadlock — including the degenerate slack-0
+//! case, which normalizes to the sync barrier.
+
+use agl_nn::{Optimizer, Sgd};
+use agl_ps::{run_workers, Consistency, ParameterServer};
+use agl_tensor::rng::Rng as _;
+use agl_tensor::seeded_rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sgd() -> Box<dyn Optimizer> {
+    Box::new(Sgd::new(0.05))
+}
+
+/// Drive `n_workers` through `steps` pull-compute-push iterations with a
+/// seeded per-worker jitter (worker 0 is additionally slowed by `delay_us`
+/// per step) and return the final stats.
+fn drive(n_workers: usize, consistency: Consistency, steps: usize, delay_us: u64, seed: u64) -> agl_ps::PsStats {
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 16], 4, n_workers, consistency, sgd));
+    run_workers(&ps, n_workers, |w, server| {
+        let mut rng = seeded_rng(seed ^ (w as u64).wrapping_mul(0x9e37_79b9));
+        for _ in 0..steps {
+            let (params, _version) = server.pull_with_version(w);
+            // Seeded jitter models compute-time variance; worker 0 is the
+            // injected straggler.
+            let jitter = (rng.gen_range(0.0..1.0f32) * 50.0) as u64;
+            let us = jitter + if w == 0 { delay_us } else { 0 };
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+            let grads: Vec<f32> = params.iter().map(|p| 0.1 - 0.01 * p).collect();
+            server.push(w, &grads);
+        }
+    });
+    ps.stats()
+}
+
+#[test]
+fn staleness_bounded_across_workers_slack_and_delays() {
+    for &n_workers in &[1usize, 2, 4, 8] {
+        for &slack in &[0u64, 1, 4] {
+            for &delay_us in &[0u64, 400] {
+                let st = drive(n_workers, Consistency::Ssp { slack }, 12, delay_us, 0xA51 + slack);
+                // Slack 0 normalizes to the sync barrier: one averaged
+                // step per round instead of one per push.
+                let want_steps = if slack == 0 { 12 } else { 12 * n_workers as u64 };
+                assert_eq!(
+                    st.steps, want_steps,
+                    "workers={n_workers} slack={slack} delay={delay_us}: every push must land"
+                );
+                assert!(
+                    st.max_staleness <= slack,
+                    "workers={n_workers} slack={slack} delay={delay_us}: staleness {} exceeds bound",
+                    st.max_staleness
+                );
+                for (w, ws) in st.workers.iter().enumerate() {
+                    assert_eq!(ws.pushes, 12, "worker {w}");
+                    assert_eq!(
+                        ws.staleness_hist.iter().sum::<u64>(),
+                        12,
+                        "worker {w}: histogram must account for every push"
+                    );
+                    assert_eq!(
+                        *ws.staleness_hist.last().unwrap(),
+                        0,
+                        "worker {w}: SSP/sync overflow bucket must stay empty"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn slack_zero_degrades_to_sync_and_never_hangs() {
+    // Completion *is* the assertion: slack 0 must behave as the barrier
+    // (every worker's push joins a full round) rather than an SSP gate that
+    // could self-block.
+    let st = drive(4, Consistency::Ssp { slack: 0 }, 10, 300, 7);
+    assert_eq!(st.steps, 10, "slack 0 = sync: one averaged step per round");
+    assert_eq!(st.max_staleness, 0);
+    assert_eq!(st.ssp_waits, 0, "barrier rounds are not SSP gate waits");
+}
+
+#[test]
+fn slack_zero_parameters_bit_match_explicit_sync() {
+    // Same seeds, same worker count: the normalized mode must take the
+    // identical code path, so the resulting parameters agree bit for bit.
+    let run = |mode: Consistency| {
+        let ps = Arc::new(ParameterServer::new(vec![0.5; 8], 2, 3, mode, sgd));
+        run_workers(&ps, 3, |w, server| {
+            let mut rng = seeded_rng(11 + w as u64);
+            for _ in 0..6 {
+                let params = server.pull(w);
+                let noise = rng.gen_range(-0.1..0.1f32);
+                let grads: Vec<f32> = params.iter().map(|p| p - 1.0 + noise).collect();
+                server.push(w, &grads);
+            }
+        });
+        ps.snapshot()
+    };
+    let a = run(Consistency::Ssp { slack: 0 });
+    let b = run(Consistency::Sync);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a), bits(&b));
+}
+
+#[test]
+fn gate_waits_are_observed_under_contention() {
+    // A hard straggler at slack 1 forces the fast workers into the pull or
+    // apply gate; the wait counters must show it, and wall-clock wait time
+    // must be non-trivial.
+    let st = drive(4, Consistency::Ssp { slack: 1 }, 8, 2_000, 99);
+    assert!(st.ssp_waits > 0, "expected gate waits under a 2ms straggler: {st:?}");
+    assert!(st.ssp_wait_nanos > 0);
+    assert!(st.max_staleness <= 1);
+}
+
+#[test]
+fn async_staleness_is_unbounded_but_recorded() {
+    // Async is the control: same drive, no gate — the histograms must still
+    // account for every push, and under a straggler the observed staleness
+    // routinely exceeds what SSP would admit.
+    let st = drive(4, Consistency::Async, 12, 400, 3);
+    assert_eq!(st.steps, 48);
+    assert_eq!(st.ssp_waits, 0, "async never blocks");
+    for ws in &st.workers {
+        assert_eq!(ws.staleness_hist.iter().sum::<u64>(), 12);
+    }
+}
+
+#[test]
+fn ssp_converges_on_a_shared_quadratic() {
+    // End-to-end sanity: bounded staleness must not break optimization.
+    // Each worker descends f(x) = ||x - 3||² through the server.
+    let ps = Arc::new(ParameterServer::new(vec![0.0; 4], 2, 4, Consistency::Ssp { slack: 2 }, sgd));
+    run_workers(&ps, 4, |w, server| {
+        for _ in 0..300 {
+            let x = server.pull(w);
+            let g: Vec<f32> = x.iter().map(|&xi| 2.0 * (xi - 3.0)).collect();
+            server.push(w, &g);
+        }
+    });
+    for xi in ps.snapshot() {
+        assert!((xi - 3.0).abs() < 1e-2, "converged to {xi}");
+    }
+    assert!(ps.stats().max_staleness <= 2);
+}

@@ -5,32 +5,39 @@
 //! exchanges state with the [`agl_ps::ParameterServer`] only: pull the
 //! model, compute gradients on its own batch, push.
 //!
-//! In the paper's synchronous configuration (used for the Fig. 7
-//! convergence study) the effective batch grows with the worker count —
-//! which is exactly why *"more training epochs are required in the
-//! distributed mode"* while the final AUC matches.
+//! The coordination mode is [`Consistency`] (from `TrainOptions`): the
+//! paper's synchronous configuration (used for the Fig. 7 convergence
+//! study), Hogwild-style async, or SSP with a bounded staleness slack —
+//! for which `DistTrainResult::max_staleness <= slack` is enforced as a
+//! hard invariant after every run.
+//!
+//! In the synchronous configuration the effective batch grows with the
+//! worker count — which is exactly why *"more training epochs are required
+//! in the distributed mode"* while the final AUC matches.
 
 use crate::metrics::Metrics;
 use crate::pipeline::prepare_batch;
 use crate::trainer::{EpochStats, LocalTrainer, TrainOptions};
 use agl_flat::TrainingExample;
 use agl_nn::{Adam, GnnModel};
-use agl_ps::{run_workers, ParameterServer, PsStats, SyncMode};
+use agl_ps::{run_workers, Consistency, ParameterServer, PsStats};
 use agl_tensor::rng::derive_seed;
 use agl_tensor::rng::SliceRandom;
 use agl_tensor::seeded_rng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Distributed-training configuration.
+/// Distributed-training configuration. The coordination mode lives in
+/// `opts.consistency` — there is exactly one way to pick it.
 #[derive(Debug, Clone)]
 pub struct DistTrainer {
     pub n_workers: usize,
     /// Parameter-server shards.
     pub n_shards: usize,
-    /// Synchronous (averaged, barrier per step) vs asynchronous updates.
-    pub sync: bool,
     pub opts: TrainOptions,
+    /// Fault injection for staleness tests: worker `i` sleeps this long
+    /// before every push, making it a deterministic straggler.
+    pub straggler: Option<(usize, Duration)>,
 }
 
 /// Distributed-training outcome.
@@ -41,16 +48,25 @@ pub struct DistTrainResult {
     pub val_curve: Vec<Metrics>,
     pub ps_stats: PsStats,
     /// Largest gradient staleness any worker observed: server model version
-    /// at push time minus the version its gradient was computed against.
-    /// Always 0 in synchronous mode (the barrier forces a common version);
-    /// bounded by the worker count's interleaving in asynchronous mode.
+    /// at apply time minus the version its gradient was computed against.
+    /// Always 0 in `Sync` mode (the barrier forces a common version),
+    /// `<= slack` in `Ssp` mode (enforced), unbounded in `Async`.
+    ///
+    /// Recorded by the server under its version lock at apply time and read
+    /// here from `ParameterServer::stats()` *after* `run_workers` has
+    /// joined every worker thread. The join is the synchronization point —
+    /// all worker writes happen-before it — so no relaxed-atomic final load
+    /// can race a straggler's last push (the pre-SSP implementation
+    /// aggregated a relaxed `fetch_max` on the worker side and read it
+    /// while conceptually unordered with the final pushes; keeping the
+    /// record under the lock removes that class of bug entirely).
     pub max_staleness: u64,
 }
 
 impl DistTrainer {
     pub fn new(n_workers: usize, opts: TrainOptions) -> Self {
         assert!(n_workers > 0);
-        Self { n_workers, n_shards: 4, sync: true, opts }
+        Self { n_workers, n_shards: 4, opts, straggler: None }
     }
 
     /// Train `model` over `train`, optionally evaluating `val` after every
@@ -62,10 +78,14 @@ impl DistTrainer {
         val: Option<&[TrainingExample]>,
     ) -> DistTrainResult {
         assert!(!train.is_empty());
-        let mode = if self.sync { SyncMode::Sync { n_workers: self.n_workers } } else { SyncMode::Async };
         let lr = self.opts.lr;
-        let server =
-            Arc::new(ParameterServer::new(model.param_vector(), self.n_shards, mode, || Box::new(Adam::new(lr))));
+        let server = Arc::new(ParameterServer::new(
+            model.param_vector(),
+            self.n_shards,
+            self.n_workers,
+            self.opts.consistency,
+            || Box::new(Adam::new(lr)),
+        ));
 
         // Static data partition: worker w owns examples w, w+W, w+2W, ...
         let partitions: Vec<Vec<usize>> =
@@ -80,7 +100,6 @@ impl DistTrainer {
         let template = model.clone();
         let mut epochs = Vec::with_capacity(self.opts.epochs);
         let mut val_curve = Vec::new();
-        let max_staleness = std::sync::atomic::AtomicU64::new(0);
         for epoch in 0..self.opts.epochs {
             let start = Instant::now();
             run_workers(&server, self.n_workers, |w, ps| {
@@ -94,7 +113,7 @@ impl DistTrainer {
                         .map(|i| train[order[(lo + i) % order.len()]].clone())
                         .collect();
                     let prepared = prepare_batch(&batch, &spec);
-                    let (params, pulled_version) = ps.pull_with_version();
+                    let (params, _pulled_version) = ps.pull_with_version(w);
                     replica.load_param_vector(&params);
                     replica.zero_grads();
                     let pass = replica.forward(
@@ -107,14 +126,18 @@ impl DistTrainer {
                     );
                     let (_, grad) = replica.loss(&pass.logits, &prepared.batch.labels);
                     replica.backward(&prepared.adjs, &pass, &grad, &ctx);
-                    // Staleness of this gradient = steps that landed between
-                    // our pull and our push (§3.3's async bounded-delay lens).
-                    let staleness = ps.current_version().saturating_sub(pulled_version);
-                    max_staleness.fetch_max(staleness, std::sync::atomic::Ordering::Relaxed);
-                    ps.push(&replica.grad_vector());
+                    if let Some((slow, delay)) = self.straggler {
+                        if w == slow {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    // Staleness of this gradient — steps that land between
+                    // our pull and the apply (§3.3's bounded-delay lens) —
+                    // is recorded by the server under its version lock.
+                    ps.push(w, &replica.grad_vector());
                 }
             });
-            model.load_param_vector(&server.pull());
+            model.load_param_vector(&server.snapshot());
             // Mean train loss after the epoch's updates (cheap re-pass over
             // a sample keeps the run fast at large scale).
             let probe = &train[..train.len().min(512)];
@@ -124,12 +147,20 @@ impl DistTrainer {
                 val_curve.push(LocalTrainer::evaluate(model, v, &self.opts));
             }
         }
-        DistTrainResult {
-            epochs,
-            val_curve,
-            ps_stats: server.stats(),
-            max_staleness: max_staleness.load(std::sync::atomic::Ordering::Relaxed),
+        // `run_workers` joined every worker thread above, so this snapshot
+        // is ordered after all pushes (see `DistTrainResult::max_staleness`).
+        let ps_stats = server.stats();
+        let max_staleness = ps_stats.max_staleness;
+        // The tentpole contract: SSP turns the measured staleness into an
+        // enforced bound. A violation is a server bug, never load-dependent
+        // noise, so fail loudly right here.
+        if let Consistency::Ssp { slack } = server.consistency() {
+            assert!(
+                max_staleness <= slack,
+                "SSP contract violated: observed staleness {max_staleness} > slack {slack}"
+            );
         }
+        DistTrainResult { epochs, val_curve, ps_stats, max_staleness }
     }
 }
 
@@ -183,13 +214,16 @@ mod tests {
         GnnModel::new(ModelConfig::new(ModelKind::Sage, 2, 8, 1, 2, Loss::BceWithLogits))
     }
 
+    fn opts(consistency: Consistency) -> TrainOptions {
+        TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, consistency, ..TrainOptions::default() }
+    }
+
     #[test]
     fn distributed_training_converges_sync() {
         let data = dataset(64);
         let val = dataset(32);
         let mut m = model();
-        let trainer =
-            DistTrainer::new(4, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
+        let trainer = DistTrainer::new(4, opts(Consistency::Sync));
         let result = trainer.train(&mut m, &data, Some(&val));
         assert_eq!(result.val_curve.len(), 8);
         let final_auc = result.val_curve.last().unwrap().auc.unwrap();
@@ -204,9 +238,7 @@ mod tests {
     fn distributed_training_converges_async() {
         let data = dataset(48);
         let mut m = model();
-        let mut trainer =
-            DistTrainer::new(3, TrainOptions { epochs: 8, lr: 0.05, batch_size: 8, ..TrainOptions::default() });
-        trainer.sync = false;
+        let trainer = DistTrainer::new(3, opts(Consistency::Async));
         let result = trainer.train(&mut m, &data, None);
         let metrics = LocalTrainer::evaluate(&m, &data, &trainer.opts);
         assert!(metrics.auc.unwrap() > 0.95, "AUC {:?}", metrics.auc);
@@ -245,5 +277,111 @@ mod tests {
         let r = trainer.train(&mut m, &data, None);
         assert_eq!(r.epochs.len(), 2);
         assert_eq!(r.epochs[0].batches, 4);
+    }
+
+    #[test]
+    fn ssp_staleness_bounded_across_workers_slack_and_delays() {
+        // The tentpole property: for every (workers, slack, delay)
+        // combination the observed max staleness respects the bound. The
+        // straggler injection makes the fast workers actually hit the
+        // gates, so the bound is exercised, not vacuous. (`train` itself
+        // re-asserts the invariant as a hard contract.)
+        let data = dataset(32);
+        for &workers in &[1usize, 2, 4, 8] {
+            for &slack in &[0u64, 1, 4] {
+                for &delay in &[None, Some((0usize, Duration::from_millis(2)))] {
+                    let mut m = model();
+                    let mut trainer = DistTrainer::new(
+                        workers,
+                        TrainOptions {
+                            epochs: 2,
+                            lr: 0.05,
+                            batch_size: 8,
+                            consistency: Consistency::Ssp { slack },
+                            ..TrainOptions::default()
+                        },
+                    );
+                    trainer.straggler = delay;
+                    let r = trainer.train(&mut m, &data, None);
+                    assert!(
+                        r.max_staleness <= slack,
+                        "workers={workers} slack={slack} delay={delay:?}: staleness {} > slack",
+                        r.max_staleness
+                    );
+                    assert_eq!(r.epochs.len(), 2, "workers={workers} slack={slack}: run completed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ssp_slack_zero_is_bit_identical_to_sync() {
+        // `Ssp { slack: 0 }` normalizes to the sync barrier inside the
+        // server, and the sync barrier combines gradients in worker-id
+        // order — so the entire training trajectory, not just the final
+        // AUC, must agree bit for bit with explicit `Sync` on one seed.
+        let data = dataset(48);
+        let val = dataset(16);
+        let run = |consistency| {
+            let mut m = model();
+            let trainer = DistTrainer::new(3, opts(consistency));
+            trainer.train(&mut m, &data, Some(&val))
+        };
+        let ssp0 = run(Consistency::Ssp { slack: 0 });
+        let sync = run(Consistency::Sync);
+        let losses = |r: &DistTrainResult| r.epochs.iter().map(|e| e.loss.to_bits()).collect::<Vec<_>>();
+        assert_eq!(losses(&ssp0), losses(&sync), "per-epoch loss curves must be bit-identical");
+        let curve = |r: &DistTrainResult| {
+            r.val_curve.iter().map(|m| (m.loss.to_bits(), m.auc.map(f64::to_bits))).collect::<Vec<_>>()
+        };
+        assert_eq!(curve(&ssp0), curve(&sync), "validation metrics must be bit-identical");
+        assert_eq!(ssp0.max_staleness, 0);
+        assert_eq!(ssp0.ps_stats.steps, sync.ps_stats.steps);
+    }
+
+    #[test]
+    fn ssp_slack_zero_with_straggler_never_hangs() {
+        // Deadlock-freedom: slack 0 degrades to the barrier even with an
+        // injected straggler; completing the run is the assertion.
+        let data = dataset(24);
+        let mut m = model();
+        let mut trainer = DistTrainer::new(4, opts(Consistency::Ssp { slack: 0 }));
+        trainer.opts.epochs = 2;
+        trainer.straggler = Some((1, Duration::from_millis(3)));
+        let r = trainer.train(&mut m, &data, None);
+        assert_eq!(r.epochs.len(), 2);
+        assert_eq!(r.max_staleness, 0);
+    }
+
+    #[test]
+    fn ssp_gate_waits_surface_in_ps_stats() {
+        // With a hard straggler and slack 1, the fast workers must block at
+        // the gates and the wait accounting must show it.
+        let data = dataset(32);
+        let mut m = model();
+        let mut trainer = DistTrainer::new(4, opts(Consistency::Ssp { slack: 1 }));
+        trainer.opts.epochs = 2;
+        trainer.straggler = Some((0, Duration::from_millis(4)));
+        let r = trainer.train(&mut m, &data, None);
+        assert!(r.ps_stats.ssp_waits > 0, "expected gate waits: {:?}", r.ps_stats);
+        assert!(r.ps_stats.ssp_wait_nanos > 0);
+        assert!(r.max_staleness <= 1);
+        // Per-worker histograms account for every push.
+        for ws in &r.ps_stats.workers {
+            assert_eq!(ws.staleness_hist.iter().sum::<u64>(), ws.pushes);
+        }
+    }
+
+    #[test]
+    fn ssp_converges_like_sync() {
+        // Bounded staleness must not cost convergence on this easy task.
+        let data = dataset(64);
+        let val = dataset(32);
+        let mut m = model();
+        let trainer = DistTrainer::new(4, opts(Consistency::Ssp { slack: 4 }));
+        let r = trainer.train(&mut m, &data, Some(&val));
+        let auc = r.val_curve.last().unwrap().auc.unwrap();
+        assert!(auc > 0.95, "SSP(4) val AUC {auc}");
+        assert!(r.max_staleness <= 4);
     }
 }

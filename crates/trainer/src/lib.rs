@@ -33,6 +33,7 @@ pub mod pruning;
 pub mod trainer;
 pub mod vectorize;
 
+pub use agl_ps::Consistency;
 pub use dist::{DistTrainResult, DistTrainer};
 pub use linkpred::{build_link_examples, LinkExample, LinkPredictor};
 pub use metrics::{accuracy, auc, macro_f1, micro_f1, precision_recall, Metrics};

@@ -26,11 +26,23 @@ pub struct TrainOptions {
     /// "trains only with the pipeline strategy").
     pub pipeline: bool,
     pub shuffle_seed: u64,
+    /// Worker-coordination mode for distributed training (`DistTrainer`);
+    /// the standalone `LocalTrainer` has a single worker and ignores it.
+    pub consistency: agl_ps::Consistency,
 }
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        Self { batch_size: 32, epochs: 10, lr: 0.01, pruning: false, partitions: 1, pipeline: true, shuffle_seed: 7 }
+        Self {
+            batch_size: 32,
+            epochs: 10,
+            lr: 0.01,
+            pruning: false,
+            partitions: 1,
+            pipeline: true,
+            shuffle_seed: 7,
+            consistency: agl_ps::Consistency::Sync,
+        }
     }
 }
 

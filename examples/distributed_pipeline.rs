@@ -8,7 +8,8 @@
 //!    the output is byte-identical (MapReduce's recovery contract).
 //! 2. GraphFlat with **spill-to-disk** shuffles — every record round-trips
 //!    through files, like the DFS hop between rounds in production.
-//! 3. Synchronous **parameter-server** training with live traffic stats.
+//! 3. **Parameter-server** training under SSP (bounded staleness) with
+//!    live traffic and staleness stats.
 //! 4. The **cluster model** replaying the job at 1–100 workers (Fig. 8).
 
 use agl::cluster_sim::{speedup_curve, ClusterConfig, TrainingWorkload};
@@ -50,17 +51,31 @@ fn main() {
     );
     std::fs::remove_dir_all(&dir).ok();
 
-    // 3. Parameter-server training, 4 synchronous workers.
+    // 3. Parameter-server training, 4 workers under SSP: workers run ahead
+    //    of each other by at most 2 model versions.
     let cfg = ModelConfig::new(ModelKind::Sage, ds.feature_dim(), 8, 1, 2, Loss::BceWithLogits);
     let mut model = GnnModel::new(cfg.clone());
-    let opts = TrainOptions { epochs: 4, lr: 0.02, batch_size: 8, ..TrainOptions::default() };
+    let opts = TrainOptions {
+        epochs: 4,
+        lr: 0.02,
+        batch_size: 8,
+        consistency: Consistency::Ssp { slack: 2 },
+        ..TrainOptions::default()
+    };
     let result = train_distributed(&mut model, &clean.examples, None, 4, &opts);
     println!(
-        "parameter server: {} sync steps, {} pulls / {} pushes, {:.1} MB transferred",
+        "parameter server ({}): {} steps, {} pulls / {} pushes, {:.1} MB transferred",
+        opts.consistency,
         result.ps_stats.steps,
         result.ps_stats.pulls,
         result.ps_stats.pushes,
         result.ps_stats.bytes_transferred as f64 / 1e6
+    );
+    println!(
+        "ssp: max staleness {} (bound 2), {} gate waits, {:.1} ms waited",
+        result.max_staleness,
+        result.ps_stats.ssp_waits,
+        result.ps_stats.ssp_wait_nanos as f64 / 1e6
     );
 
     // 4. Replay at cluster scale.
