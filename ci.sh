@@ -36,16 +36,26 @@ if [[ "${1:-}" == "--bench" ]]; then
     | sed -E 's/.*BENCH_pr([0-9]+)\.json/\1/' | sort -n | tail -1)
   n="${AGL_BENCH_PR:-$(( ${prev:-0} + 1 ))}"
   # Absolute path: cargo runs bench binaries from the package directory.
+  # The same run also writes TRACE_pr<N>.json: per-stage medians from an
+  # instrumented end-to-end pipeline, diffed informationally below.
   step "bench smoke (micro, 3 iters)" \
-    cargo bench -q -p agl-bench --bench micro -- --smoke --json "$PWD/results/BENCH_pr${n}.json"
+    cargo bench -q -p agl-bench --bench micro -- --smoke \
+      --json "$PWD/results/BENCH_pr${n}.json" \
+      --trace-json "$PWD/results/TRACE_pr${n}.json"
   if [[ -n "${prev:-}" && "results/BENCH_pr${prev}.json" != "results/BENCH_pr${n}.json" ]]; then
+    trace_args=()
+    if [[ -f "results/TRACE_pr${prev}.json" ]]; then
+      trace_args=(--trace-baseline "results/TRACE_pr${prev}.json" \
+                  --trace-current "results/TRACE_pr${n}.json")
+    fi
     step "bench regression gate (vs BENCH_pr${prev}.json)" \
       cargo run -q --release -p agl-bench --bin bench_compare -- \
-        --baseline "results/BENCH_pr${prev}.json" --current "results/BENCH_pr${n}.json"
+        --baseline "results/BENCH_pr${prev}.json" --current "results/BENCH_pr${n}.json" \
+        ${trace_args[@]+"${trace_args[@]}"}
   else
     echo "==> bench regression gate: no previous snapshot, nothing to compare"
   fi
-  echo "ci.sh: bench smoke green -> results/BENCH_pr${n}.json"
+  echo "ci.sh: bench smoke green -> results/BENCH_pr${n}.json + TRACE_pr${n}.json"
   exit 0
 fi
 

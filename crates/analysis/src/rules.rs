@@ -105,9 +105,10 @@ pub fn registry() -> &'static [Rule] {
         },
         Rule {
             name: "no-wallclock",
-            description: "no Instant::now/SystemTime::now in determinism-critical modules — \
-                          any file whose non-test code works with a JobPlan takes part in \
-                          plan execution, and retried tasks must be bit-reproducible",
+            description: "no Instant::now/SystemTime::now anywhere outside the agl-obs clock \
+                          module — all timing routes through agl_obs::Clock, so a \
+                          logical-clock run is bit-reproducible end to end (retried tasks, \
+                          recorded traces)",
             check: check_no_wallclock,
         },
         Rule {
@@ -191,18 +192,17 @@ fn check_safety_comment(view: &FileView) -> Vec<Diagnostic> {
     out
 }
 
-/// A module is determinism-critical iff its non-test code works with a
-/// [`agl_mapreduce::plan::JobPlan`]: whatever touches a plan participates in
-/// executing (or validating) MapReduce rounds, and the retry story requires
-/// re-executed tasks to be bit-reproducible. Deriving the set from the code
-/// itself means a new pipeline module is covered the moment it handles a
-/// plan — no hard-coded path list to forget to update.
-fn is_determinism_critical(view: &FileView) -> bool {
-    view.scanned.code.iter().enumerate().any(|(i, code)| !view.in_test_region[i] && has_token(code, "JobPlan"))
+/// The one module sanctioned to read the OS clock: `agl-obs` wraps it
+/// behind [`agl_obs::Clock`], which a logical-clock run swaps out
+/// wholesale. Everything else — pipeline crates, binaries, the bench
+/// drivers' measured sections — must take time through a `Clock` so the
+/// whole workspace stays bit-reproducible under `Clock::logical()`.
+fn is_clock_impl(view: &FileView) -> bool {
+    view.path.starts_with("crates/obs/")
 }
 
 fn check_no_wallclock(view: &FileView) -> Vec<Diagnostic> {
-    if view.is_exempt_target() || !is_determinism_critical(view) {
+    if view.is_exempt_target() || is_clock_impl(view) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -212,7 +212,7 @@ fn check_no_wallclock(view: &FileView) -> Vec<Diagnostic> {
         }
         for pat in ["Instant::now", "SystemTime::now"] {
             if code.contains(pat) {
-                out.push(diag(view, "no-wallclock", i, format!("{pat} in a determinism-critical module")));
+                out.push(diag(view, "no-wallclock", i, format!("{pat} outside agl-obs; take time via agl_obs::Clock")));
             }
         }
     }
@@ -356,23 +356,24 @@ mod tests {
     }
 
     #[test]
-    fn wallclock_flagged_where_nontest_code_touches_a_job_plan() {
-        let critical = "use agl_mapreduce::plan::JobPlan;\nfn f(p: &JobPlan) { let t = std::time::Instant::now(); let _ = (p, t); }\n";
-        let d = lint_one("crates/foo/src/engine.rs", critical);
+    fn wallclock_flagged_workspace_wide_outside_obs() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let d = lint_one("crates/foo/src/engine.rs", src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "no-wallclock");
-        // No JobPlan in code → the module is not determinism-critical.
-        let free = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
-        assert!(lint_one("crates/foo/src/engine.rs", free).is_empty());
-        // Benches/tests read clocks legitimately even when they drive plans.
-        assert!(lint_one("crates/bench/benches/micro.rs", critical).is_empty());
-        // JobPlan appearing only inside a test region does not make the
-        // file critical.
-        let test_only = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n#[cfg(test)]\nmod tests {\n    use agl_mapreduce::plan::JobPlan;\n}\n";
+        // Binaries are library code for this rule: src/bin is not exempt.
+        let sys = "fn f() { let t = std::time::SystemTime::now(); let _ = t; }\n";
+        assert_eq!(lint_one("crates/bench/src/bin/headline.rs", sys).len(), 1);
+        // The clock implementation is the one sanctioned caller.
+        assert!(lint_one("crates/obs/src/clock.rs", src).is_empty());
+        // Benches, tests, and examples read clocks legitimately.
+        assert!(lint_one("crates/bench/benches/micro.rs", src).is_empty());
+        assert!(lint_one("crates/flat/tests/foo.rs", src).is_empty());
+        // ... as do #[cfg(test)] regions inside library files.
+        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
         assert!(lint_one("crates/foo/src/engine.rs", test_only).is_empty());
-        // A JobPlan mention in a comment or string is not "working with" one.
-        let comment_only =
-            "// builds the JobPlan elsewhere\nfn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        // A mention in a comment or string is not a call.
+        let comment_only = "// upstream uses Instant::now for this\nfn f() {}\n";
         assert!(lint_one("crates/foo/src/engine.rs", comment_only).is_empty());
     }
 

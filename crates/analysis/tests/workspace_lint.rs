@@ -27,7 +27,7 @@ fn workspace_walk_covers_every_crate() {
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_workspace_root(here).expect("enclosing cargo workspace");
     let files = agl_analysis::collect_rs_files(&root).expect("workspace walk");
-    for krate in ["tensor", "mapreduce", "flat", "trainer", "infer", "ps", "analysis"] {
+    for krate in ["tensor", "mapreduce", "flat", "trainer", "infer", "ps", "obs", "analysis"] {
         let prefix = root.join("crates").join(krate);
         assert!(files.iter().any(|f| f.starts_with(&prefix)), "no .rs files collected under crates/{krate}");
     }

@@ -18,9 +18,10 @@
 
 use agl_graph::{Graph, NodeId};
 use agl_nn::{Adam, GnnModel, Optimizer};
+use agl_obs::Clock;
 use agl_tensor::{seeded_rng, Csr, ExecCtx, Matrix};
 use agl_trainer::metrics::Metrics;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Per-epoch record (mirrors `agl_trainer::EpochStats`).
 #[derive(Debug, Clone)]
@@ -81,9 +82,10 @@ impl FullGraphEngine {
         let ctx = self.ctx();
         let mut opt = Adam::new(self.lr);
         let mut rng = seeded_rng(self.seed);
+        let clock = Clock::monotonic();
         let mut history = Vec::with_capacity(self.epochs);
         for epoch in 0..self.epochs {
-            let t = Instant::now();
+            let t = clock.now();
             model.zero_grads();
             let pass = model.forward(&batch.adjs, &batch.features, &targets, true, &ctx, &mut rng);
             let (loss, grad) = model.loss(&pass.logits, &labels);
@@ -91,7 +93,7 @@ impl FullGraphEngine {
             let mut p = model.param_vector();
             opt.step(&mut p, &model.grad_vector());
             model.load_param_vector(&p);
-            history.push(BaselineEpoch { epoch, loss: loss as f64, duration: t.elapsed() });
+            history.push(BaselineEpoch { epoch, loss: loss as f64, duration: Duration::from_nanos(clock.since(t)) });
         }
         history
     }
@@ -105,9 +107,10 @@ impl FullGraphEngine {
         let ctx = self.ctx();
         let mut opt = Adam::new(self.lr);
         let mut rng = seeded_rng(self.seed);
+        let clock = Clock::monotonic();
         let mut history = Vec::with_capacity(self.epochs);
         for epoch in 0..self.epochs {
-            let t = Instant::now();
+            let t = clock.now();
             let mut loss_sum = 0.0f64;
             for (batch, targets) in batches.iter().zip(&all_targets) {
                 model.zero_grads();
@@ -119,7 +122,11 @@ impl FullGraphEngine {
                 model.load_param_vector(&p);
                 loss_sum += loss as f64;
             }
-            history.push(BaselineEpoch { epoch, loss: loss_sum / graphs.len() as f64, duration: t.elapsed() });
+            history.push(BaselineEpoch {
+                epoch,
+                loss: loss_sum / graphs.len() as f64,
+                duration: Duration::from_nanos(clock.since(t)),
+            });
         }
         history
     }

@@ -8,17 +8,24 @@
 //!
 //! Invoke with `cargo bench --bench micro`. Flags (after `--`):
 //!
-//! * `--smoke`        3 iterations instead of 10 — CI smoke mode.
-//! * `--json <path>`  also write `{"suite","mode","benches":[…]}` to `path`.
+//! * `--smoke`             3 iterations instead of 10 — CI smoke mode.
+//! * `--json <path>`       also write `{"suite","mode","benches":[…]}` to `path`.
+//! * `--trace-json <path>` run the instrumented end-to-end pipeline and
+//!   write per-stage median span times (same snapshot schema, suite
+//!   `stage-trace`) — diffed informationally by `bench_compare`.
 
 use agl_bench::flatten_dataset;
 use agl_datasets::{uug_like, UugConfig};
 use agl_flat::{decode_graph_feature, encode_graph_feature, FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_graph::khop::{khop_subgraph, EdgeRule};
+use agl_infer::{GraphInfer, InferConfig};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_obs::Obs;
 use agl_tensor::rng::Rng;
 use agl_tensor::{seeded_rng, ExecCtx, Matrix};
 use agl_trainer::pipeline::{prepare_batch, PrepSpec};
+use agl_trainer::{DistTrainer, LocalTrainer, TrainOptions};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -47,22 +54,24 @@ impl Harness {
         self.results.push((name.to_string(), median));
     }
 
-    /// Hand-rolled JSON (no serde in the workspace): names contain no
-    /// characters needing escapes beyond the ones handled here.
     fn to_json(&self, mode: &str) -> String {
-        let benches: Vec<String> = self
-            .results
-            .iter()
-            .map(|(name, median)| {
-                format!(r#"    {{"name": "{}", "median_ms": {median:.6}}}"#, name.replace('"', "\\\""))
-            })
-            .collect();
-        format!(
-            "{{\n  \"suite\": \"micro\",\n  \"mode\": \"{mode}\",\n  \"iters\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
-            self.iters,
-            benches.join(",\n")
-        )
+        snapshot_json("micro", mode, self.iters, &self.results)
     }
+}
+
+/// Hand-rolled snapshot JSON (no serde in the workspace): names contain no
+/// characters needing escapes beyond the ones handled here. The same schema
+/// serves `BENCH_pr<N>.json` and `TRACE_pr<N>.json`, so `bench_compare`
+/// parses both.
+fn snapshot_json(suite: &str, mode: &str, iters: usize, results: &[(String, f64)]) -> String {
+    let benches: Vec<String> = results
+        .iter()
+        .map(|(name, median)| format!(r#"    {{"name": "{}", "median_ms": {median:.6}}}"#, name.replace('"', "\\\"")))
+        .collect();
+    format!(
+        "{{\n  \"suite\": \"{suite}\",\n  \"mode\": \"{mode}\",\n  \"iters\": {iters},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        benches.join(",\n")
+    )
 }
 
 fn fixture() -> agl_datasets::Dataset {
@@ -121,24 +130,108 @@ fn bench_graphflat_pipeline(h: &mut Harness) {
     });
 }
 
+// ---- per-stage trace medians (`--trace-json`) ----
+
+/// Map a span name onto its reported stage bucket (None = not a stage).
+fn stage_of(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "graphflat" => "stage/flat.total",
+        "map" => "stage/flat.map_tasks",
+        "train.epoch" => "stage/train.epoch",
+        "pipeline.prepare" => "stage/train.pipeline.prepare",
+        "ps.pull" => "stage/train.ps.pull",
+        "ps.push" => "stage/train.ps.push",
+        "ps.apply" => "stage/train.ps.apply",
+        "graphinfer" => "stage/infer.total",
+        n if n.starts_with("reduce.r") => "stage/flat.reduce_tasks",
+        n if n.starts_with("mapreduce.shuffle.") => "stage/flat.shuffle",
+        _ => return None,
+    })
+}
+
+/// One instrumented end-to-end run — GraphFlat, a pipelined local epoch, a
+/// 2-worker distributed train, GraphInfer — returning the total span time
+/// per stage bucket in milliseconds.
+fn traced_stage_run() -> Vec<(&'static str, f64)> {
+    let ds = uug_like(UugConfig { n_nodes: 600, avg_degree: 6.0, ..UugConfig::default() });
+    let (nodes, edges) = ds.graph().to_tables();
+    let obs = Obs::enabled();
+    let flat = GraphFlat::new(FlatConfig {
+        k_hops: 2,
+        sampling: SamplingStrategy::Uniform { max_degree: 10 },
+        obs: obs.clone(),
+        ..FlatConfig::default()
+    })
+    .run(&nodes, &edges, &TargetSpec::All)
+    .expect("graphflat");
+    let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 16, 1, 2, Loss::BceWithLogits));
+    let opts = |epochs| TrainOptions { epochs, batch_size: 32, obs: obs.clone(), ..TrainOptions::default() };
+    LocalTrainer::new(opts(1)).train(&mut model, &flat.examples);
+    DistTrainer::new(2, opts(2)).train(&mut model, &flat.examples, None);
+    GraphInfer::new(InferConfig { obs: obs.clone(), ..InferConfig::default() })
+        .run(&model, &nodes, &edges)
+        .expect("graphinfer");
+
+    let mut totals: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for ev in obs.trace().expect("enabled handle").events() {
+        if let Some(stage) = stage_of(&ev.name) {
+            *totals.entry(stage).or_insert(0.0) += ev.dur as f64 / 1e6;
+        }
+    }
+    totals.into_iter().collect()
+}
+
+/// Median stage time over `iters` fresh instrumented runs.
+fn stage_trace(iters: usize) -> Vec<(String, f64)> {
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for _ in 0..iters {
+        for (stage, ms) in traced_stage_run() {
+            samples.entry(stage.to_string()).or_default().push(ms);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|(stage, mut s)| {
+            s.sort_by(|a, b| a.total_cmp(b));
+            let median = s[s.len() / 2];
+            (stage, median)
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).map(std::path::PathBuf::from);
+    let path_flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(std::path::PathBuf::from);
+    let json_path = path_flag("--json");
+    let trace_path = path_flag("--trace-json");
 
     let mode = if smoke { "smoke" } else { "full" };
-    let mut h = Harness { iters: if smoke { 3 } else { 10 }, results: Vec::new() };
+    let iters = if smoke { 3 } else { 10 };
+    let mut h = Harness { iters, results: Vec::new() };
     bench_spmm_partitioning(&mut h);
     bench_forward_pruning(&mut h);
     bench_vectorization(&mut h);
     bench_graphfeature_codec(&mut h);
     bench_graphflat_pipeline(&mut h);
 
-    if let Some(path) = json_path {
+    let write = |path: &std::path::Path, json: String| {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent).expect("create results dir");
         }
-        std::fs::write(&path, h.to_json(mode)).expect("write bench json");
+        std::fs::write(path, json).expect("write bench json");
         println!("wrote {}", path.display());
+    };
+    if let Some(path) = json_path {
+        write(&path, h.to_json(mode));
+    }
+    if let Some(path) = trace_path {
+        let stages = stage_trace(iters);
+        println!("\nper-stage span time (instrumented end-to-end run):");
+        for (name, median) in &stages {
+            println!("{name:<40} {median:>10.3} ms  (median of {iters})");
+        }
+        write(&path, snapshot_json("stage-trace", mode, iters, &stages));
     }
 }

@@ -37,13 +37,14 @@ fn main() {
             4,
             TrainOptions { epochs: 5, lr: 0.01, batch_size: 32, pruning: true, consistency, ..TrainOptions::default() },
         );
-        let t = std::time::Instant::now();
+        let clock = agl_obs::Clock::monotonic();
+        let t = clock.now();
         let r = trainer.train(&mut m, &flat.train, Some(&flat.val));
         println!(
             "{:<8} val AUC {:.4}  wall {:.2}s  ({} steps, {} pushes, staleness ≤ {}, {} gate waits)",
             consistency.to_string(),
             r.val_curve.last().unwrap().auc.unwrap(),
-            t.elapsed().as_secs_f64(),
+            clock.since(t) as f64 / 1e9,
             r.ps_stats.steps,
             r.ps_stats.pushes,
             r.max_staleness,

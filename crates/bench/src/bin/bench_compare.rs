@@ -9,6 +9,11 @@
 //! the current snapshot is more than `tolerance` slower than the baseline.
 //! Benches that appear or disappear between snapshots are reported but
 //! never fail the gate — renames shouldn't block a PR.
+//!
+//! `--trace-baseline <old> --trace-current <new>` additionally diffs two
+//! `TRACE_pr<N>.json` per-stage snapshots; stage-time deltas are printed
+//! but never fail the gate (end-to-end stage medians are too noisy to
+//! block a PR on).
 
 use agl_bench::{compare_snapshots, BenchSnapshot};
 use std::process::ExitCode;
@@ -69,6 +74,32 @@ fn main() -> ExitCode {
             d.current_ms,
             d.change * 100.0
         );
+    }
+    if let (Some(tb), Some(tc)) = (flag(&args, "--trace-baseline"), flag(&args, "--trace-current")) {
+        match (load(&tb), load(&tc)) {
+            (Ok(base), Ok(cur)) => {
+                // Infinite tolerance: every stage lands in `unchanged`, so
+                // the deltas are reported without ever failing the gate.
+                let t = compare_snapshots(&base, &cur, f64::INFINITY);
+                println!("stage-time deltas: {tc} vs {tb} (informational, never failing)");
+                for d in &t.unchanged {
+                    println!(
+                        "  stage   {:<40} {:>9.3} -> {:>9.3} ms  ({:+.1}%)",
+                        d.name,
+                        d.baseline_ms,
+                        d.current_ms,
+                        d.change * 100.0
+                    );
+                }
+                for name in &t.added {
+                    println!("  new     {name}");
+                }
+                for name in &t.removed {
+                    println!("  removed {name}");
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => println!("stage-time deltas skipped: {e}"),
+        }
     }
     if cmp.is_pass() {
         println!("bench_compare: pass ({} benches within tolerance)", cmp.unchanged.len());

@@ -14,8 +14,8 @@ use agl_datasets::uug::{UUG_PAPER_EDGES, UUG_PAPER_NODES, UUG_PAPER_TRAIN};
 use agl_datasets::{uug_like, UugConfig};
 use agl_flat::{FlatConfig, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_obs::Clock;
 use agl_trainer::{LocalTrainer, TrainOptions};
-use std::time::Instant;
 
 fn main() {
     banner("Headline: 14h training / 1.2h inference at 6.23e9 nodes (cluster model)");
@@ -31,11 +31,12 @@ fn main() {
     let sampling = SamplingStrategy::Uniform { max_degree: 15 };
 
     // ---- calibrate GraphFlat cost/record ----
-    let t = Instant::now();
+    let clock = Clock::monotonic();
+    let t = clock.now();
     let flat_all = GraphFlat::new(FlatConfig { k_hops: 2, sampling, ..FlatConfig::default() })
         .run(&nodes, &edges, &TargetSpec::All)
         .expect("graphflat");
-    let flat_secs = t.elapsed().as_secs_f64();
+    let flat_secs = clock.since(t) as f64 / 1e9;
     let local_records = (ds.n_nodes() + ds.n_edges()) as f64;
     let flat_spr = flat_secs / (local_records * 3.0);
 

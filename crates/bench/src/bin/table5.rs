@@ -22,7 +22,8 @@ use agl_datasets::{uug_like, UugConfig};
 use agl_flat::{FlatConfig, SamplingStrategy};
 use agl_infer::{GraphInfer, InferConfig, OriginalInference};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
-use std::time::Instant;
+use agl_obs::Clock;
+use std::time::Duration;
 
 fn main() {
     banner("Table 5: Inference efficiency on User-User Graph (2-layer GAT, 8-dim)");
@@ -41,11 +42,12 @@ fn main() {
     let orig = original.run(&model, &nodes, &edges).expect("original inference");
 
     // ---- GraphInfer ----
-    let t = Instant::now();
+    let clock = Clock::monotonic();
+    let t = clock.now();
     let fast = GraphInfer::new(InferConfig { sampling, ..InferConfig::default() })
         .run(&model, &nodes, &edges)
         .expect("graphinfer");
-    let fast_time = t.elapsed();
+    let fast_time = Duration::from_nanos(clock.since(t));
 
     println!("-- measured (this machine, laptop scale) --");
     println!("{:<12} {:<22} {:>10} {:>22}", "method", "phase", "time", "embeddings computed");

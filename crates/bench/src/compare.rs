@@ -53,6 +53,13 @@ fn field<'a>(obj: &'a BTreeMap<String, JsonValue>, key: &str) -> Result<&'a Json
     obj.get(key).ok_or_else(|| format!("missing field \"{key}\""))
 }
 
+/// Parse arbitrary JSON text strictly, returning the parse error for
+/// malformed input. Used by the trace-export tests to prove `agl-obs`
+/// Chrome trace files are well-formed without pulling in serde.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    JsonValue::parse(text).map(|_| ())
+}
+
 /// How one bench moved between two snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDelta {

@@ -20,7 +20,7 @@
 
 pub mod compare;
 
-pub use compare::{compare_snapshots, BenchComparison, BenchDelta, BenchEntry, BenchSnapshot};
+pub use compare::{compare_snapshots, validate_json, BenchComparison, BenchDelta, BenchEntry, BenchSnapshot};
 
 use agl_datasets::{Dataset, Split};
 use agl_flat::{FlatConfig, GraphFlat, SamplingStrategy, TargetSpec, TrainingExample};

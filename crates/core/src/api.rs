@@ -76,6 +76,18 @@ impl AglJob {
         self
     }
 
+    /// Attach one observability handle to every stage this job runs:
+    /// GraphFlat, GraphInfer, and the trainer (parameter server included).
+    /// Spans land in the handle's trace sink, counters in its metrics
+    /// registry. Chain *after* [`train_options`](Self::train_options) —
+    /// explicit options replace the whole training config, handle included.
+    pub fn obs(mut self, obs: agl_obs::Obs) -> Self {
+        self.flat.obs = obs.clone();
+        self.infer.obs = obs.clone();
+        self.train.obs = obs;
+        self
+    }
+
     /// Direct access to the full training configuration.
     pub fn train_config(&self) -> &TrainOptions {
         &self.train
@@ -205,6 +217,30 @@ mod tests {
         assert_eq!(job.train_config().consistency, Consistency::Ssp { slack: 4 });
         // Defaults elsewhere stay intact.
         assert_eq!(job.train_config().batch_size, TrainOptions::default().batch_size);
+    }
+
+    #[test]
+    fn obs_handle_reaches_all_three_stages() {
+        let (nodes, edges) = toy();
+        let obs = agl_obs::Obs::enabled_logical();
+        let job = AglJob::new().hops(2).seed(5).obs(obs.clone());
+
+        let flat = job.graph_flat(&nodes, &edges, &TargetSpec::All).unwrap();
+        let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, 2, 8, 2, 2, Loss::SoftmaxCrossEntropy));
+        let r = job.train_distributed(&mut model, &flat.examples, None, 2);
+        assert_eq!(r.val_curve.len(), 0);
+        job.graph_infer(&model, &nodes, &edges).unwrap();
+
+        let trace = obs.trace().unwrap();
+        let spans = trace.events();
+        let has = |n: &str| spans.iter().any(|s| s.name == n);
+        assert!(has("graphflat") && has("mapreduce.round0"), "GraphFlat rounds traced");
+        assert!(has("train.epoch"), "trainer epochs traced");
+        assert!(has("ps.pull") && has("ps.apply"), "PS traffic traced");
+        assert!(has("graphinfer"), "GraphInfer traced");
+        let m = obs.metrics().unwrap().to_json();
+        assert!(m.contains("\"trainer.epochs\":"), "{m}");
+        assert!(m.contains("\"ps.pushes\":"), "{m}");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!
 //! Node table: `id \t f1,f2,... \t l1,l2,...` (labels optional).
 //! Edge table: `src \t dst \t weight`.
+//!
+//! Every subcommand additionally accepts the observability flags
+//! `--trace-out trace.json` (Chrome trace-event file), `--metrics-out
+//! metrics.json` (counter/gauge/histogram dump) and `--clock
+//! logical|monotonic`; either `*-out` flag switches instrumentation on and
+//! prints the per-run span/metric summaries.
 
 use agl::prelude::*;
 use std::collections::HashMap;
@@ -74,6 +80,39 @@ fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
 
 fn flag_or<'a>(flags: &'a Flags, name: &str, default: &'a str) -> &'a str {
     flags.get(name).map(String::as_str).unwrap_or(default)
+}
+
+/// `--trace-out <path>` / `--metrics-out <path>` switch tracing on for the
+/// run; `--clock logical|monotonic` (default `monotonic`) picks the
+/// timestamp source — logical ticks make the trace byte-identical across
+/// runs of a deterministic job.
+fn parse_obs(flags: &Flags) -> Result<Obs, String> {
+    if !flags.contains_key("trace-out") && !flags.contains_key("metrics-out") {
+        return Ok(Obs::default());
+    }
+    match flag_or(flags, "clock", "monotonic") {
+        "monotonic" => Ok(Obs::enabled()),
+        "logical" => Ok(Obs::enabled_logical()),
+        other => Err(format!("unknown clock {other:?} (logical|monotonic)")),
+    }
+}
+
+/// Write the `--trace-out` / `--metrics-out` files and print the
+/// human-readable span + metric summaries. No-op for a disabled handle.
+fn write_obs_outputs(flags: &Flags, obs: &Obs) -> CliResult {
+    let Some(trace) = obs.trace() else { return Ok(()) };
+    if let Some(path) = flags.get("trace-out") {
+        fs::write(path, trace.to_chrome_json())?;
+        println!("trace: {} spans -> {path} (load in chrome://tracing or Perfetto)", trace.events().len());
+    }
+    let metrics = obs.metrics().expect("enabled obs handle carries a registry");
+    if let Some(path) = flags.get("metrics-out") {
+        fs::write(path, metrics.to_json())?;
+        println!("metrics -> {path}");
+    }
+    print!("{}", trace.render());
+    print!("{}", metrics.render());
+    Ok(())
 }
 
 fn parse_sampling(s: &str) -> Result<SamplingStrategy, String> {
@@ -197,11 +236,13 @@ fn cmd_flat(flags: &Flags) -> CliResult {
             TargetSpec::Ids(ids)
         }
     };
+    let obs = parse_obs(flags)?;
     let job = AglJob::new()
         .hops(hops)
         .sampling(sampling)
         .seed(flag_or(flags, "seed", "42").parse()?)
-        .reindex(flag_or(flags, "hub-threshold", "10000").parse()?, flag_or(flags, "fanout", "4").parse()?);
+        .reindex(flag_or(flags, "hub-threshold", "10000").parse()?, flag_or(flags, "fanout", "4").parse()?)
+        .obs(obs.clone());
     let result = job.graph_flat(&nodes, &edges, &targets)?;
     let store = agl::flat::FeatureStore::create(out, shards, &result.examples)?;
     println!(
@@ -216,7 +257,9 @@ fn cmd_flat(flags: &Flags) -> CliResult {
             println!("  {name} = {v}");
         }
     }
-    Ok(())
+    println!("job report:");
+    print!("{}", JobReport::from_counters(&result.counters).render());
+    write_obs_outputs(flags, &obs)
 }
 
 fn model_kind(name: &str, heads: usize) -> Result<ModelKind, String> {
@@ -266,6 +309,7 @@ fn cmd_train(flags: &Flags) -> CliResult {
         .with_dropout(flag_or(flags, "dropout", "0").parse()?)
         .with_seed(flag_or(flags, "seed", "42").parse()?);
     let mut model = GnnModel::new(cfg);
+    let obs = parse_obs(flags)?;
     let opts = TrainOptions {
         epochs: flag_or(flags, "epochs", "10").parse()?,
         lr: flag_or(flags, "lr", "0.01").parse()?,
@@ -273,6 +317,7 @@ fn cmd_train(flags: &Flags) -> CliResult {
         pruning: flag_or(flags, "pruning", "true").parse()?,
         partitions: flag_or(flags, "partitions", "1").parse()?,
         consistency: parse_consistency(flag_or(flags, "consistency", "sync"))?,
+        obs: obs.clone(),
         ..TrainOptions::default()
     };
     let workers: usize = flag_or(flags, "workers", "1").parse()?;
@@ -307,16 +352,18 @@ fn cmd_train(flags: &Flags) -> CliResult {
     let out = flag(flags, "out")?;
     fs::write(out, model_to_bytes(&model))?;
     println!("model saved to {out}");
-    Ok(())
+    write_obs_outputs(flags, &obs)
 }
 
 fn cmd_infer(flags: &Flags) -> CliResult {
     let model = model_from_bytes(&fs::read(flag(flags, "model")?)?)?;
     let nodes = read_node_table(flag(flags, "nodes")?)?;
     let edges = read_edge_table(flag(flags, "edges")?)?;
+    let obs = parse_obs(flags)?;
     let job = AglJob::new()
         .sampling(parse_sampling(flag_or(flags, "sampling", "none"))?)
-        .seed(flag_or(flags, "seed", "42").parse()?);
+        .seed(flag_or(flags, "seed", "42").parse()?)
+        .obs(obs.clone());
     let result = job.graph_infer(&model, &nodes, &edges)?;
     let out = flag(flags, "out")?;
     let mut f = fs::File::create(out)?;
@@ -329,5 +376,7 @@ fn cmd_infer(flags: &Flags) -> CliResult {
         result.scores.len(),
         result.counters.get("infer.embeddings_computed")
     );
-    Ok(())
+    println!("job report:");
+    print!("{}", JobReport::from_counters(&result.counters).render());
+    write_obs_outputs(flags, &obs)
 }

@@ -55,6 +55,7 @@ pub use agl_graph as graph;
 pub use agl_infer as infer;
 pub use agl_mapreduce as mapreduce;
 pub use agl_nn as nn;
+pub use agl_obs as obs;
 pub use agl_ps as ps;
 pub use agl_tensor as tensor;
 pub use agl_trainer as trainer;

@@ -50,6 +50,10 @@ pub struct FlatConfig {
     pub parallelism: usize,
     pub spill: SpillMode,
     pub fault_plan: FaultPlan,
+    /// Observability handle: spans for the driver phases (and the engine's
+    /// per-round/per-task spans underneath), counters into the shared
+    /// registry. Disabled by default.
+    pub obs: agl_obs::Obs,
 }
 
 impl Default for FlatConfig {
@@ -65,6 +69,7 @@ impl Default for FlatConfig {
             parallelism: 4,
             spill: SpillMode::InMemory,
             fault_plan: FaultPlan::none(),
+            obs: agl_obs::Obs::default(),
         }
     }
 }
@@ -355,6 +360,7 @@ impl GraphFlat {
     /// Run the pipeline over the tables, producing GraphFeatures for the
     /// targets.
     pub fn run(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
+        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
         let target_set: Option<HashSet<u64>> = match targets {
             TargetSpec::All => None,
             TargetSpec::Ids(ids) => Some(ids.iter().map(|n| n.0).collect()),
@@ -380,6 +386,7 @@ impl GraphFlat {
         let routing = Arc::new(Routing { hubs, fanout: self.cfg.reindex_fanout });
 
         // Serialise the warehouse tables into opaque input records.
+        let encode_span = self.cfg.obs.span("driver", "graphflat.encode_inputs");
         let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
         let empty: Vec<f32> = Vec::new();
         for (i, (id, feat)) in nodes.iter().enumerate() {
@@ -389,8 +396,14 @@ impl GraphFlat {
         for (row, ef) in edges.iter() {
             inputs.push(encode_edge_record(row.src, row.dst, row.weight, ef));
         }
+        drop(encode_span);
 
-        let counters = Counters::new();
+        // With observability on, pipeline counters report into the run's
+        // shared registry — the same one the engine writes to.
+        let counters = match self.cfg.obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
         let mapper = FlatMapper { routing: routing.clone() };
         let reducer = FlatReducer {
             routing,
@@ -411,14 +424,20 @@ impl GraphFlat {
             // records; debug builds verify the chain at construction.
             plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
             verify_determinism: cfg!(debug_assertions),
+            obs: self.cfg.obs.clone(),
         });
         let result = job.run(&inputs, &mapper, &reducer)?;
-        for (name, v) in result.counters.snapshot() {
-            counters.add(&name, v);
+        if !self.cfg.obs.is_enabled() {
+            // Shared-registry runs already see the engine counters; only
+            // detached runs need the merge.
+            for (name, v) in result.counters.snapshot() {
+                counters.add(&name, v);
+            }
         }
 
         // Storing: group Final records by target id; union the partial
         // GraphFeatures of re-indexed hub targets.
+        let store_span = self.cfg.obs.span("driver", "graphflat.store");
         let mut by_target: HashMap<u64, (Vec<Subgraph>, Vec<f32>)> = HashMap::new();
         for kv in &result.output {
             let key = FlatKey::from_bytes(&kv.key).map_err(|e| JobError::Corrupt(format!("final key: {e}")))?;
@@ -450,7 +469,9 @@ impl GraphFlat {
             })
             .collect();
         examples.sort_by_key(|e| e.target);
+        drop(store_span);
         counters.add("flat.examples", examples.len() as u64);
+        flat_span.counter("examples", examples.len() as u64);
         Ok(FlatOutput { examples, counters })
     }
 }

@@ -14,9 +14,10 @@ use agl_graph::NodeId;
 use agl_graph::{EdgeTable, NodeTable};
 use agl_mapreduce::{Counters, JobError};
 use agl_nn::GnnModel;
+use agl_obs::Clock;
 use agl_tensor::seeded_rng;
 use agl_trainer::pipeline::{prepare_batch, PrepSpec};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Timing/cost breakdown of an original-inference run (mirrors Table 5's
 /// "GraphFlat" + "Forward propagation" rows).
@@ -58,11 +59,12 @@ impl OriginalInference {
         edges: &EdgeTable,
     ) -> Result<OriginalInferenceReport, JobError> {
         assert_eq!(self.flat.k_hops, model.n_layers(), "GraphFeatures must be as deep as the model (Theorem 1)");
-        let t0 = Instant::now();
+        let clock = Clock::monotonic();
+        let t0 = clock.now();
         let flat_out = GraphFlat::new(self.flat.clone()).run(nodes, edges, &TargetSpec::All)?;
-        let graphflat_time = t0.elapsed();
+        let graphflat_time = Duration::from_nanos(clock.since(t0));
 
-        let t1 = Instant::now();
+        let t1 = clock.now();
         let spec = PrepSpec {
             n_layers: model.n_layers(),
             prep: model.layers()[0].adj_prep(),
@@ -90,7 +92,7 @@ impl OriginalInference {
             }
         }
         scores.sort_by_key(|s: &NodeScore| s.node);
-        let forward_time = t1.elapsed();
+        let forward_time = Duration::from_nanos(clock.since(t1));
         Ok(OriginalInferenceReport {
             scores,
             graphflat_time,

@@ -34,6 +34,9 @@ pub struct InferConfig {
     pub parallelism: usize,
     pub spill: SpillMode,
     pub fault_plan: FaultPlan,
+    /// Observability handle (spans + shared metrics registry); disabled by
+    /// default.
+    pub obs: agl_obs::Obs,
 }
 
 impl Default for InferConfig {
@@ -46,6 +49,7 @@ impl Default for InferConfig {
             parallelism: 4,
             spill: SpillMode::InMemory,
             fault_plan: FaultPlan::none(),
+            obs: agl_obs::Obs::default(),
         }
     }
 }
@@ -302,7 +306,13 @@ impl GraphInfer {
     ) -> Result<(Vec<agl_mapreduce::KeyValue>, Counters), JobError> {
         let slices = Arc::new(model.segment());
         let k = model.n_layers();
-        let counters = Counters::new();
+        let _infer_span = self.cfg.obs.span("driver", "graphinfer");
+        // With observability on, pipeline counters report into the run's
+        // shared registry — the same one the engine writes to.
+        let counters = match self.cfg.obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
 
         let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
         for (id, feat) in nodes.iter() {
@@ -325,10 +335,15 @@ impl GraphInfer {
             // join + K slice rounds + prediction all speak InferMsg.
             plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
             verify_determinism: cfg!(debug_assertions),
+            obs: self.cfg.obs.clone(),
         });
         let result = job.run(&inputs, &InferMapper, &reducer)?;
-        for (name, v) in result.counters.snapshot() {
-            counters.add(&name, v);
+        if !self.cfg.obs.is_enabled() {
+            // Shared-registry runs already see the engine counters; only
+            // detached runs need the merge.
+            for (name, v) in result.counters.snapshot() {
+                counters.add(&name, v);
+            }
         }
         Ok((result.output, counters))
     }

@@ -1,15 +1,17 @@
 //! Hadoop-style named job counters.
+//!
+//! Since the observability pass, counters are a thin façade over
+//! [`agl_obs::MetricsRegistry`] — the shared metric store the whole
+//! workspace reports into — with one job-engine-specific addition: a
+//! thread-local *silencing* switch used by the determinism double-runs.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::sync::RwLock;
+use agl_obs::{MetricValue, MetricsRegistry};
 
 /// A set of named monotonically increasing counters shared by all tasks of a
 /// job. Cheap to clone (Arc) and safe to bump from any task thread.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    inner: Arc<RwLock<BTreeMap<String, Arc<AtomicU64>>>>,
+    registry: MetricsRegistry,
 }
 
 thread_local! {
@@ -48,22 +50,16 @@ impl Counters {
         SILENCED.with(std::cell::Cell::get)
     }
 
-    /// Read/write the map even if a panicking holder poisoned the lock —
-    /// counters are monotone scalars, so no invariant can be torn.
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<AtomicU64>>> {
-        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Counters reporting into `registry` — used by the engine to land job
+    /// counters in the run's shared observability registry, so a
+    /// `--metrics-out` export sees them next to every other metric.
+    pub fn with_registry(registry: MetricsRegistry) -> Self {
+        Self { registry }
     }
 
-    fn cell(&self, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = self.read().get(name) {
-            return c.clone();
-        }
-        self.inner
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-            .clone()
+    /// The backing metric store.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Add `delta` to counter `name` (creating it at zero).
@@ -71,7 +67,7 @@ impl Counters {
         if Self::is_silenced() {
             return;
         }
-        self.cell(name).fetch_add(delta, Ordering::Relaxed);
+        self.registry.add(name, delta);
     }
 
     /// Increment by one.
@@ -85,17 +81,26 @@ impl Counters {
         if Self::is_silenced() {
             return;
         }
-        self.cell(name).fetch_max(value, Ordering::Relaxed);
+        self.registry.counter_max(name, value);
     }
 
     /// Current value (0 if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+        self.registry.get(name)
     }
 
-    /// Snapshot of all counters, sorted by name.
+    /// Snapshot of all counters, sorted by name. When the backing registry
+    /// is shared with other components, only counter-typed metrics appear
+    /// here (gauges and histograms belong to the metrics export).
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        self.read().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+        self.registry
+            .snapshot()
+            .into_iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) => Some((k, c)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -177,6 +182,17 @@ mod tests {
             });
         });
         assert_eq!(c.get("n"), 1, "other threads keep counting");
+    }
+
+    #[test]
+    fn shared_registry_sees_counter_writes_and_snapshot_filters_types() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("g", 7); // non-counter metric in the shared registry
+        let c = Counters::with_registry(reg.clone());
+        c.add("records", 3);
+        assert_eq!(reg.get("records"), 3, "write lands in the shared registry");
+        let snap = c.snapshot();
+        assert_eq!(snap, vec![("records".to_string(), 3)], "gauges filtered out of the counter view");
     }
 
     #[test]

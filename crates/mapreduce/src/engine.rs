@@ -104,6 +104,10 @@ pub struct JobConfig {
     /// on in debug builds — i.e. every `cargo test` job — and off in
     /// release; it is a no-op in release builds either way.
     pub verify_determinism: bool,
+    /// Observability handle: when enabled, the driver emits per-phase and
+    /// per-task spans and lands the job counters in the shared metrics
+    /// registry. Disabled (`Obs::default()`) costs nothing on hot paths.
+    pub obs: agl_obs::Obs,
 }
 
 impl Default for JobConfig {
@@ -118,6 +122,7 @@ impl Default for JobConfig {
             spill: SpillMode::InMemory,
             plan: None,
             verify_determinism: cfg!(debug_assertions),
+            obs: agl_obs::Obs::default(),
         }
     }
 }
@@ -166,6 +171,14 @@ pub struct JobResult {
     pub output: Vec<KeyValue>,
     /// Job counters (records per phase, shuffle bytes, retries).
     pub counters: Counters,
+}
+
+impl JobResult {
+    /// Operational summary (retries, spill, shuffle bytes, record flow per
+    /// round) derived from the job counters.
+    pub fn report(&self) -> crate::report::JobReport {
+        crate::report::JobReport::from_counters(&self.counters)
+    }
 }
 
 /// The driver. See module docs for the execution model.
@@ -230,8 +243,15 @@ impl MapReduceJob {
         mapper: &M,
         reducer: &R,
     ) -> Result<JobResult, JobError> {
-        let counters = Counters::new();
+        // When observability is on, the job counters report straight into
+        // the run's shared metrics registry.
+        let counters = match self.cfg.obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
+        let mut job_span = self.cfg.obs.span("driver", "mapreduce.job");
         counters.add("map.input_records", inputs.len() as u64);
+        counters.record_max("reduce.rounds", self.cfg.reduce_rounds as u64);
         // The sampled double-run only ever fires in debug builds (the same
         // builds that run plan validation); `cfg!` keeps release binaries
         // free of the clone-the-group cost even with the flag left on.
@@ -244,8 +264,9 @@ impl MapReduceJob {
         // Inputs are striped across map tasks; each task emits into
         // `reduce_tasks` buckets.
         let r_parts = self.cfg.reduce_tasks;
+        let map_phase_span = self.cfg.obs.span("driver", "mapreduce.map");
         let map_outputs: Vec<Vec<Vec<KeyValue>>> =
-            self.run_tasks(self.cfg.map_tasks, TaskId::map, &counters, |task| {
+            self.run_tasks(self.cfg.map_tasks, TaskId::map, "map", &counters, |task| {
                 let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
                 let mut emitted = 0u64;
                 for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
@@ -258,12 +279,15 @@ impl MapReduceJob {
                 counters.add("map.output_records", emitted);
                 buckets
             })?;
+        drop(map_phase_span);
 
         // ---- Reduce rounds ----
         let mut buckets_by_task = map_outputs;
         let mut final_output = Vec::new();
         for round in 0..self.cfg.reduce_rounds {
             let is_last = round + 1 == self.cfg.reduce_rounds;
+            let mut round_span = self.cfg.obs.span("driver", &format!("mapreduce.round{round}"));
+            let mut shuffle_span = self.cfg.obs.span("driver", &format!("mapreduce.shuffle.r{round}"));
             // Gather each partition's records from all producer tasks.
             let mut partitions: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
             for task_buckets in buckets_by_task {
@@ -272,17 +296,26 @@ impl MapReduceJob {
                 }
             }
             // Spill round-trip (models the distributed-FS hop) + byte accounting.
+            let mut round_bytes = 0u64;
+            let mut round_records = 0u64;
             let mut spilled = Vec::with_capacity(r_parts);
             for (p, records) in partitions.into_iter().enumerate() {
                 let bytes: u64 = records.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+                round_bytes += bytes;
+                round_records += records.len() as u64;
                 counters.add("shuffle.bytes", bytes);
                 counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
-                spilled.push(self.cfg.spill.roundtrip(&format!("r{round}-p{p}"), records)?);
+                spilled.push(self.cfg.spill.roundtrip(&format!("r{round}-p{p}"), records, &counters)?);
             }
+            shuffle_span.counter("bytes", round_bytes);
+            shuffle_span.counter("records", round_records);
+            drop(shuffle_span);
+            round_span.counter("input_records", round_records);
 
             let round_outputs: Vec<Vec<Vec<KeyValue>>> = self.run_tasks(
                 r_parts,
                 |i| TaskId::reduce(round, i),
+                &format!("reduce.r{round}"),
                 &counters,
                 |p| {
                     let mut records = spilled[p].clone();
@@ -366,6 +399,8 @@ impl MapReduceJob {
             }
         }
         counters.add("output_records", final_output.len() as u64);
+        job_span.counter("output_records", final_output.len() as u64);
+        job_span.counter("retries", counters.get("task_retries"));
         Ok(JobResult { output: final_output, counters })
     }
 
@@ -376,6 +411,7 @@ impl MapReduceJob {
         &self,
         n: usize,
         id_of: impl Fn(usize) -> TaskId,
+        phase: &str,
         counters: &Counters,
         run: F,
     ) -> Result<Vec<T>, JobError>
@@ -395,6 +431,15 @@ impl MapReduceJob {
                     if task >= n {
                         break;
                     }
+                    // Track names key on the task index (never the OS
+                    // thread), so per-track span order — and therefore a
+                    // logical-clock trace — is deterministic under any
+                    // worker scheduling.
+                    let mut span = if self.cfg.obs.is_enabled() {
+                        self.cfg.obs.span(&format!("{phase}.t{task}"), phase)
+                    } else {
+                        agl_obs::Span::disabled()
+                    };
                     let id = ids[task];
                     let mut outcome = Err(JobError::TaskFailed(id));
                     for attempt in 0..self.cfg.max_attempts {
@@ -404,6 +449,7 @@ impl MapReduceJob {
                         let out = run(task);
                         if self.cfg.fault_plan.should_fail(id, attempt) {
                             retries.inc("task_retries");
+                            span.counter("retries", 1);
                             drop(out);
                             continue;
                         }
@@ -641,6 +687,42 @@ mod tests {
         assert_eq!(res.counters.get("task_retries"), 3);
         let clean = MapReduceJob::new(JobConfig::default()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
         assert_eq!(clean.counters.get("task_retries"), 0);
+    }
+
+    #[test]
+    fn instrumented_job_emits_spans_and_report() {
+        let obs = agl_obs::Obs::enabled_logical();
+        let plan = FaultPlan::none().fail_first(TaskId::map(1), 1);
+        let cfg = JobConfig { fault_plan: plan, reduce_rounds: 2, obs: obs.clone(), ..JobConfig::default() };
+        let res = MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+
+        let names: Vec<String> =
+            obs.trace().map(|t| t.events().into_iter().map(|e| e.name).collect()).unwrap_or_default();
+        for expected in
+            ["mapreduce.job", "mapreduce.map", "mapreduce.round0", "mapreduce.shuffle.r1", "map", "reduce.r1"]
+        {
+            assert!(names.iter().any(|n| n == expected), "missing span {expected}: {names:?}");
+        }
+        // Job counters landed in the shared metrics registry.
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.get("map.input_records"), 3);
+        assert!(m.get("shuffle.bytes") > 0);
+
+        let report = res.report();
+        assert_eq!(report.task_retries, 1, "the injected retry is visible without grepping counters");
+        assert_eq!(report.rounds.len(), 2);
+        assert!(report.render().contains("retries   1"));
+    }
+
+    #[test]
+    fn logical_traces_are_byte_identical_across_runs() {
+        let run = || {
+            let obs = agl_obs::Obs::enabled_logical();
+            let cfg = JobConfig { reduce_rounds: 2, parallelism: 4, obs: obs.clone(), ..JobConfig::default() };
+            MapReduceJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+            obs.trace().map(|t| t.to_chrome_json()).unwrap_or_default()
+        };
+        assert_eq!(run(), run(), "same job, logical clock: byte-identical trace");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod fault;
 pub mod hash;
 pub mod plan;
+pub mod report;
 pub mod spill;
 
 pub use codec::{Codec, CodecError};
@@ -40,4 +41,5 @@ pub use counters::Counters;
 pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
 pub use fault::{FaultPlan, TaskId, TaskKind};
 pub use plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};
+pub use report::{JobReport, RoundReport};
 pub use spill::SpillMode;

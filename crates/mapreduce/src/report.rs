@@ -1,0 +1,136 @@
+//! Structured per-job report derived from the job counters.
+//!
+//! Before this existed, seeing whether a fault-injection run actually
+//! retried anything (or how much a disk-spill job wrote) meant grepping the
+//! raw `Counters::snapshot()` listing. [`JobReport`] pulls the operational
+//! headline numbers — retries, spill traffic, shuffle bytes, per-round
+//! record flow — into one typed struct with a human-readable rendering,
+//! surfaced by `agl-cli` after every job.
+
+use crate::counters::Counters;
+
+/// Record flow through one reduce round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReport {
+    pub round: usize,
+    pub input_records: u64,
+    pub output_records: u64,
+    /// Groups double-run by the debug determinism gate.
+    pub verified_groups: u64,
+}
+
+/// Operational summary of one MapReduce job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    pub map_input_records: u64,
+    pub map_output_records: u64,
+    pub shuffle_bytes: u64,
+    /// Bytes/records round-tripped through disk (zero for in-memory jobs).
+    pub spill_bytes: u64,
+    pub spill_records: u64,
+    /// Task attempts discarded by injected (or real) failures.
+    pub task_retries: u64,
+    pub output_records: u64,
+    pub rounds: Vec<RoundReport>,
+}
+
+impl JobReport {
+    /// Build the report from a finished job's counters. The engine records
+    /// the round count on the `reduce.rounds` counter so the report does
+    /// not have to guess from possibly-zero per-round counters.
+    pub fn from_counters(counters: &Counters) -> Self {
+        let n_rounds = counters.get("reduce.rounds") as usize;
+        let rounds = (0..n_rounds)
+            .map(|r| RoundReport {
+                round: r,
+                input_records: counters.get(&format!("reduce.r{r}.input_records")),
+                output_records: counters.get(&format!("reduce.r{r}.output_records")),
+                verified_groups: counters.get(&format!("reduce.r{r}.verified_groups")),
+            })
+            .collect();
+        Self {
+            map_input_records: counters.get("map.input_records"),
+            map_output_records: counters.get("map.output_records"),
+            shuffle_bytes: counters.get("shuffle.bytes"),
+            spill_bytes: counters.get("spill.bytes"),
+            spill_records: counters.get("spill.records"),
+            task_retries: counters.get("task_retries"),
+            output_records: counters.get("output_records"),
+            rounds,
+        }
+    }
+
+    /// Multi-line human-readable rendering (two-space indented).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  map       {} input records -> {} emitted\n",
+            self.map_input_records, self.map_output_records
+        ));
+        out.push_str(&format!("  shuffle   {} bytes\n", self.shuffle_bytes));
+        if self.spill_records > 0 {
+            out.push_str(&format!(
+                "  spill     {} bytes / {} records via disk\n",
+                self.spill_bytes, self.spill_records
+            ));
+        }
+        for r in &self.rounds {
+            let verified =
+                if r.verified_groups > 0 { format!(" ({} groups verified)", r.verified_groups) } else { String::new() };
+            out.push_str(&format!(
+                "  round {:<3} {} -> {} records{verified}\n",
+                r.round, r.input_records, r.output_records
+            ));
+        }
+        if self.task_retries > 0 {
+            out.push_str(&format!("  retries   {} task attempts discarded and re-run\n", self.task_retries));
+        }
+        out.push_str(&format!("  output    {} records\n", self.output_records));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_counters() -> Counters {
+        let c = Counters::new();
+        c.add("map.input_records", 3);
+        c.add("map.output_records", 9);
+        c.add("shuffle.bytes", 120);
+        c.add("spill.bytes", 200);
+        c.add("spill.records", 9);
+        c.add("task_retries", 2);
+        c.add("output_records", 6);
+        c.record_max("reduce.rounds", 2);
+        c.add("reduce.r0.input_records", 9);
+        c.add("reduce.r0.output_records", 6);
+        c.add("reduce.r1.input_records", 6);
+        c.add("reduce.r1.output_records", 6);
+        c.inc("reduce.r1.verified_groups");
+        c
+    }
+
+    #[test]
+    fn report_pulls_the_headline_counters() {
+        let r = JobReport::from_counters(&seeded_counters());
+        assert_eq!(r.task_retries, 2);
+        assert_eq!(r.spill_bytes, 200);
+        assert_eq!(r.shuffle_bytes, 120);
+        assert_eq!(r.rounds.len(), 2);
+        assert_eq!(r.rounds[0], RoundReport { round: 0, input_records: 9, output_records: 6, verified_groups: 0 });
+        assert_eq!(r.rounds[1].verified_groups, 1);
+    }
+
+    #[test]
+    fn render_mentions_retries_and_spill_only_when_present() {
+        let noisy = JobReport::from_counters(&seeded_counters()).render();
+        assert!(noisy.contains("retries   2"), "{noisy}");
+        assert!(noisy.contains("spill     200 bytes / 9 records"), "{noisy}");
+        let quiet = JobReport::from_counters(&Counters::new()).render();
+        assert!(!quiet.contains("retries"), "{quiet}");
+        assert!(!quiet.contains("spill"), "{quiet}");
+        assert!(quiet.contains("output    0 records"), "{quiet}");
+    }
+}

@@ -7,6 +7,7 @@
 //! so codec bugs or non-byte-clean messages fail loudly in tests; the
 //! default `InMemory` mode skips the I/O for speed.
 
+use crate::counters::Counters;
 use crate::engine::KeyValue;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -24,14 +25,19 @@ pub enum SpillMode {
 
 impl SpillMode {
     /// Round-trip a partition according to the mode. `tag` names the
-    /// (round, partition) for the file name.
-    pub fn roundtrip(&self, tag: &str, records: Vec<KeyValue>) -> std::io::Result<Vec<KeyValue>> {
+    /// (round, partition) for the file name. Disk round-trips report what
+    /// they wrote on the job's `spill.bytes` / `spill.records` counters
+    /// (zero in `InMemory` mode — nothing was spilled).
+    pub fn roundtrip(&self, tag: &str, records: Vec<KeyValue>, counters: &Counters) -> std::io::Result<Vec<KeyValue>> {
         match self {
             SpillMode::InMemory => Ok(records),
             SpillMode::Disk(dir) => {
                 fs::create_dir_all(dir)?;
                 let path = dir.join(format!("part-{tag}.bin"));
-                write_partition(&path, &records)?;
+                let bytes = write_partition(&path, &records)?;
+                counters.add("spill.bytes", bytes);
+                counters.add("spill.records", records.len() as u64);
+                counters.inc("spill.partitions");
                 let back = read_partition(&path)?;
                 fs::remove_file(&path).ok();
                 Ok(back)
@@ -40,16 +46,20 @@ impl SpillMode {
     }
 }
 
-fn write_partition(path: &std::path::Path, records: &[KeyValue]) -> std::io::Result<()> {
+/// Returns the number of bytes written (payload plus framing).
+fn write_partition(path: &std::path::Path, records: &[KeyValue]) -> std::io::Result<u64> {
     let mut w = BufWriter::new(File::create(path)?);
+    let mut bytes = 8u64;
     w.write_all(&(records.len() as u64).to_le_bytes())?;
     for kv in records {
         w.write_all(&(kv.key.len() as u32).to_le_bytes())?;
         w.write_all(&kv.key)?;
         w.write_all(&(kv.value.len() as u32).to_le_bytes())?;
         w.write_all(&kv.value)?;
+        bytes += 8 + kv.key.len() as u64 + kv.value.len() as u64;
     }
-    w.flush()
+    w.flush()?;
+    Ok(bytes)
 }
 
 fn read_partition(path: &std::path::Path) -> std::io::Result<Vec<KeyValue>> {
@@ -86,26 +96,36 @@ mod tests {
     }
 
     #[test]
-    fn in_memory_is_identity() {
+    fn in_memory_is_identity_and_counts_nothing() {
         let records = kvs();
-        let out = SpillMode::InMemory.roundtrip("t", records.clone()).unwrap();
+        let c = Counters::new();
+        let out = SpillMode::InMemory.roundtrip("t", records.clone(), &c).unwrap();
         assert_eq!(out, records);
+        assert_eq!(c.get("spill.bytes"), 0);
+        assert_eq!(c.get("spill.records"), 0);
     }
 
     #[test]
-    fn disk_roundtrip_preserves_records() {
+    fn disk_roundtrip_preserves_records_and_counts_bytes() {
         let dir = std::env::temp_dir().join(format!("agl-spill-test-{}", std::process::id()));
         let records = kvs();
-        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p1", records.clone()).unwrap();
+        let payload: u64 = records.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+        let c = Counters::new();
+        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p1", records.clone(), &c).unwrap();
         assert_eq!(out, records);
+        assert_eq!(c.get("spill.records"), records.len() as u64);
+        assert_eq!(c.get("spill.partitions"), 1);
+        assert_eq!(c.get("spill.bytes"), 8 + 8 * records.len() as u64 + payload, "payload plus framing");
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn disk_roundtrip_empty_partition() {
         let dir = std::env::temp_dir().join(format!("agl-spill-test-e-{}", std::process::id()));
-        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p0", vec![]).unwrap();
+        let c = Counters::new();
+        let out = SpillMode::Disk(dir.clone()).roundtrip("r0-p0", vec![], &c).unwrap();
         assert!(out.is_empty());
+        assert_eq!(c.get("spill.bytes"), 8, "just the record-count header");
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,150 @@
+//! `agl-obs` — unified tracing, metrics and profiling for the AGL
+//! reproduction (zero external dependencies).
+//!
+//! Three pieces, used together through one [`Obs`] handle:
+//!
+//! - [`clock::Clock`] — the workspace's only sanctioned time source
+//!   (monotonic for real measurements, logical for deterministic replay).
+//! - [`trace::TraceSink`] / [`trace::Span`] — nested RAII spans per track,
+//!   exported as Chrome/Perfetto trace-event JSON and a per-run report.
+//! - [`metrics::MetricsRegistry`] — counters, gauges and log-scaled
+//!   histograms (p50/p95/p99) shared by GraphFlat, the PS and the trainer.
+//!
+//! `Obs::default()` is *disabled*: spans are inert and metrics calls hit a
+//! cheap `None` check, so instrumented hot paths cost nothing when no one
+//! is observing.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::Clock;
+pub use metrics::{Histogram, HistogramKind, HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use trace::{Span, TraceEvent, TraceSink};
+
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct ObsInner {
+    trace: TraceSink,
+    metrics: MetricsRegistry,
+}
+
+/// The one handle components carry: a trace sink plus a metrics registry,
+/// or nothing at all. Cheap to clone; `Default` is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// Observability off: spans inert, metrics dropped. Same as `default()`.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Collect spans and metrics, timestamping with `clock`.
+    pub fn enabled_with(clock: Clock) -> Self {
+        Self { inner: Some(Arc::new(ObsInner { trace: TraceSink::new(clock), metrics: MetricsRegistry::new() })) }
+    }
+
+    /// Collect with a monotonic (real-time) clock.
+    pub fn enabled() -> Self {
+        Self::enabled_with(Clock::monotonic())
+    }
+
+    /// Collect with a deterministic logical clock (byte-identical traces
+    /// for seeded runs).
+    pub fn enabled_logical() -> Self {
+        Self::enabled_with(Clock::logical())
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span on `track` — inert if disabled.
+    pub fn span(&self, track: &str, name: &str) -> Span {
+        match &self.inner {
+            Some(i) => i.trace.span(track, name),
+            None => Span::disabled(),
+        }
+    }
+
+    /// The trace sink, if enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.inner.as_deref().map(|i| &i.trace)
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Bump counter `name` by `delta` (dropped when disabled).
+    pub fn metric_add(&self, name: &str, delta: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.add(name, delta);
+        }
+    }
+
+    /// Set gauge `name` (dropped when disabled).
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Record `v` into log2 histogram `name` (dropped when disabled).
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.record(name, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_inert() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+        let mut s = obs.span("t", "x");
+        s.counter("n", 1);
+        obs.metric_add("c", 1);
+        obs.observe("h", 9);
+        assert!(obs.trace().is_none());
+        assert!(obs.metrics().is_none());
+    }
+
+    #[test]
+    fn enabled_collects_spans_and_metrics() {
+        let obs = Obs::enabled_logical();
+        {
+            let _s = obs.span("driver", "job");
+        }
+        obs.metric_add("records", 3);
+        obs.observe("latency", 100);
+        let trace = obs.trace().expect("trace sink present");
+        assert_eq!(trace.events().len(), 1);
+        let m = obs.metrics().expect("metrics present");
+        assert_eq!(m.get("records"), 3);
+        assert!(m.to_json().contains("\"latency\""));
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let obs = Obs::enabled_logical();
+        let obs2 = obs.clone();
+        {
+            let _a = obs.span("t", "a");
+        }
+        {
+            let _b = obs2.span("t", "b");
+        }
+        assert_eq!(obs.trace().map(|t| t.events().len()), Some(2));
+    }
+}

@@ -1,0 +1,393 @@
+//! Structured spans collected into a per-run trace.
+//!
+//! A [`TraceSink`] owns a [`Clock`] and a set of named *tracks* (one per
+//! logical lane of execution: a map task, a reduce partition, a trainer
+//! worker, the driver). A [`Span`] is an RAII guard: it records its begin
+//! timestamp on creation and its end on drop, optionally carrying named
+//! counters (records moved, bytes shuffled) that end up in the event's
+//! `args`.
+//!
+//! ## Determinism
+//!
+//! Track names are chosen by the instrumentation from deterministic inputs
+//! (task index, round number, worker id) — never OS thread ids. Under a
+//! logical clock every track keeps its own tick counter: a span's begin and
+//! end each consume one tick *of its track*, so timestamps depend only on
+//! the per-track span order, not on cross-thread interleaving. Exports sort
+//! events by `(track, seq)`; with a logical clock and a seeded job the
+//! serialized trace is byte-identical across runs.
+
+use crate::clock::Clock;
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub track: String,
+    /// Per-track begin order (0-based) — the deterministic sort key.
+    pub seq: u64,
+    pub name: String,
+    /// Begin timestamp in clock units (nanoseconds or logical ticks).
+    pub ts: u64,
+    /// Duration in clock units.
+    pub dur: u64,
+    /// Nesting depth within the track at begin time (0 = top level).
+    pub depth: usize,
+    /// Counters attached while the span was open, in attach order.
+    pub args: Vec<(String, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct TrackState {
+    tick: u64,
+    next_seq: u64,
+    depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    tracks: BTreeMap<String, TrackState>,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    clock: Clock,
+    state: Mutex<SinkState>,
+}
+
+/// Collects spans for one run. Cheap to clone (Arc).
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    inner: Arc<SinkInner>,
+}
+
+impl TraceSink {
+    pub fn new(clock: Clock) -> Self {
+        Self { inner: Arc::new(SinkInner { clock, state: Mutex::new(SinkState::default()) }) }
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    fn lock(inner: &SinkInner) -> std::sync::MutexGuard<'_, SinkState> {
+        // Trace state carries no cross-field invariants a panicking span
+        // could tear; keep collecting through poison.
+        inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Open a span named `name` on `track`. The span ends (and the event is
+    /// recorded) when the returned guard drops.
+    pub fn span(&self, track: &str, name: &str) -> Span {
+        let inner = self.inner.clone();
+        let logical = inner.clock.is_logical();
+        let (seq, ts, depth) = {
+            let mut st = Self::lock(&inner);
+            let tr = st.tracks.entry(track.to_string()).or_default();
+            let seq = tr.next_seq;
+            tr.next_seq += 1;
+            let depth = tr.depth;
+            tr.depth += 1;
+            let ts = if logical {
+                let t = tr.tick;
+                tr.tick += 1;
+                t
+            } else {
+                inner.clock.now()
+            };
+            (seq, ts, depth)
+        };
+        Span { sink: Some(inner), track: track.to_string(), name: name.to_string(), seq, ts, depth, args: Vec::new() }
+    }
+
+    /// Events recorded so far, sorted by `(track, seq)` — the deterministic
+    /// export order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut evs = Self::lock(&self.inner).events.clone();
+        evs.sort_by(|a, b| a.track.cmp(&b.track).then(a.seq.cmp(&b.seq)));
+        evs
+    }
+
+    /// Chrome `chrome://tracing` / Perfetto trace-event JSON. One `pid`,
+    /// one `tid` per track (tids assigned in sorted-track order, named via
+    /// `thread_name` metadata events). Timestamps are exported in
+    /// microseconds for a monotonic clock and in raw ticks for a logical
+    /// clock.
+    pub fn to_chrome_json(&self) -> String {
+        let evs = self.events();
+        let logical = self.inner.clock.is_logical();
+        let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+        for ev in &evs {
+            let next = tids.len() + 1;
+            tids.entry(ev.track.as_str()).or_insert(next);
+        }
+        let mut parts: Vec<String> = Vec::with_capacity(evs.len() + tids.len() + 1);
+        for (track, tid) in &tids {
+            parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                json::escape(track)
+            ));
+        }
+        for ev in &evs {
+            let tid = tids.get(ev.track.as_str()).copied().unwrap_or(0);
+            let (ts, dur) = if logical {
+                (ev.ts.to_string(), ev.dur.max(1).to_string())
+            } else {
+                // Nanoseconds → microseconds with three decimals.
+                let us = |n: u64| format!("{}.{:03}", n / 1000, n % 1000);
+                (us(ev.ts), us(ev.dur.max(1)))
+            };
+            let mut args = String::new();
+            for (k, v) in &ev.args {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":{v}", json::escape(k)));
+            }
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"agl\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}}",
+                json::escape(&ev.name)
+            ));
+        }
+        format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}", parts.join(","))
+    }
+
+    /// Per-span-name aggregation: `(name, count, total_dur, min_dur, max_dur)`,
+    /// sorted by name.
+    pub fn summary(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let mut agg: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+        for ev in self.events() {
+            let e = agg.entry(ev.name).or_insert((0, 0, u64::MAX, 0));
+            e.0 += 1;
+            e.1 += ev.dur;
+            e.2 = e.2.min(ev.dur);
+            e.3 = e.3.max(ev.dur);
+        }
+        agg.into_iter().map(|(name, (n, total, min, max))| (name, n, total, min, max)).collect()
+    }
+
+    /// JSON summary export: per-span-name aggregates plus the clock mode.
+    pub fn summary_json(&self) -> String {
+        let clock = if self.inner.clock.is_logical() { "logical" } else { "monotonic" };
+        let spans = self
+            .summary()
+            .into_iter()
+            .map(|(name, count, total, min, max)| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{count},\"total\":{total},\"min\":{min},\"max\":{max}}}",
+                    json::escape(&name)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"clock\":\"{clock}\",\"spans\":[{spans}]}}")
+    }
+
+    /// Human-readable per-run report of where time went, widest spans first
+    /// (ties and units follow the active clock: ns for monotonic, ticks for
+    /// logical).
+    pub fn render(&self) -> String {
+        let unit = if self.inner.clock.is_logical() { "ticks" } else { "ns" };
+        let mut rows = self.summary();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let mut out =
+            format!("  {:<40} {:>8} {:>14} {:>14}\n", "span", "count", format!("total {unit}"), format!("max {unit}"));
+        for (name, count, total, _min, max) in rows {
+            out.push_str(&format!("  {name:<40} {count:>8} {total:>14} {max:>14}\n"));
+        }
+        out
+    }
+}
+
+/// RAII span guard — see [`TraceSink::span`]. A disabled span (from a
+/// disabled `Obs`) is inert and allocation-free.
+#[derive(Debug)]
+pub struct Span {
+    sink: Option<Arc<SinkInner>>,
+    track: String,
+    name: String,
+    seq: u64,
+    ts: u64,
+    depth: usize,
+    args: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// An inert span for disabled observability paths.
+    pub fn disabled() -> Self {
+        Self { sink: None, track: String::new(), name: String::new(), seq: 0, ts: 0, depth: 0, args: Vec::new() }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Attach a named counter to this span's event `args`. Repeated keys
+    /// accumulate.
+    pub fn counter(&mut self, key: &str, delta: u64) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(e) = self.args.iter_mut().find(|(k, _)| k == key) {
+            e.1 += delta;
+        } else {
+            self.args.push((key.to_string(), delta));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.sink.take() else { return };
+        let logical = inner.clock.is_logical();
+        // Read the monotonic clock before taking the sink lock so lock
+        // contention never inflates the measured duration.
+        let real_end = if logical { 0 } else { inner.clock.now() };
+        let mut st = TraceSink::lock(&inner);
+        let end = match st.tracks.get_mut(&self.track) {
+            Some(tr) => {
+                tr.depth = tr.depth.saturating_sub(1);
+                if logical {
+                    let t = tr.tick;
+                    tr.tick += 1;
+                    t
+                } else {
+                    real_end
+                }
+            }
+            // The track was created at span begin; absent means the sink
+            // state was replaced — still record with a best-effort end.
+            None => real_end.max(self.ts),
+        };
+        st.events.push(TraceEvent {
+            track: std::mem::take(&mut self.track),
+            seq: self.seq,
+            name: std::mem::take(&mut self.name),
+            ts: self.ts,
+            dur: end.saturating_sub(self.ts),
+            depth: self.depth,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_nest_by_timestamp_and_depth() {
+        let sink = TraceSink::new(Clock::logical());
+        {
+            let mut outer = sink.span("driver", "job");
+            outer.counter("records", 10);
+            {
+                let _inner = sink.span("driver", "round0");
+            }
+            {
+                let _inner = sink.span("driver", "round1");
+            }
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        // Sorted by seq: job (seq 0), round0 (seq 1), round1 (seq 2).
+        assert_eq!(evs[0].name, "job");
+        assert_eq!(evs[0].depth, 0);
+        assert_eq!(evs[1].name, "round0");
+        assert_eq!(evs[1].depth, 1);
+        assert_eq!(evs[2].depth, 1);
+        // Logical ticks: job=[0, .. 5], round0=[1,2], round1=[3,4].
+        assert_eq!((evs[1].ts, evs[1].dur), (1, 1));
+        assert_eq!((evs[2].ts, evs[2].dur), (3, 1));
+        assert_eq!((evs[0].ts, evs[0].dur), (0, 5));
+        // Children are strictly contained in the parent interval.
+        for child in &evs[1..] {
+            assert!(child.ts > evs[0].ts && child.ts + child.dur < evs[0].ts + evs[0].dur);
+        }
+        assert_eq!(evs[0].args, vec![("records".to_string(), 10)]);
+    }
+
+    #[test]
+    fn monotonic_spans_have_real_durations() {
+        let sink = TraceSink::new(Clock::monotonic());
+        {
+            let _s = sink.span("t", "work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].dur >= 1_000_000, "at least 1ms in nanos: {}", evs[0].dur);
+    }
+
+    fn concurrent_run() -> TraceSink {
+        let sink = TraceSink::new(Clock::logical());
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    let track = format!("worker-{w}");
+                    for i in 0..3 {
+                        let mut sp = sink.span(&track, &format!("step-{i}"));
+                        sp.counter("n", (w * 10 + i) as u64);
+                        let _child = sink.span(&track, "sub");
+                    }
+                });
+            }
+        });
+        sink
+    }
+
+    #[test]
+    fn concurrent_emitters_are_deterministic_under_logical_clock() {
+        let a = concurrent_run().to_chrome_json();
+        let b = concurrent_run().to_chrome_json();
+        assert_eq!(a, b, "same program → byte-identical logical trace");
+        let s1 = concurrent_run().summary_json();
+        let s2 = concurrent_run().summary_json();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let sink = TraceSink::new(Clock::logical());
+        {
+            let mut s = sink.span("driver", "job \"x\"");
+            s.counter("bytes", 7);
+        }
+        let j = sink.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.ends_with("],\"displayTimeUnit\":\"ms\"}"), "{j}");
+        assert!(j.contains("\"ph\":\"M\""), "thread metadata present: {j}");
+        assert!(j.contains("\"name\":\"job \\\"x\\\"\""), "escaped span name: {j}");
+        assert!(j.contains("\"args\":{\"bytes\":7}"), "{j}");
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 1);
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let sink = TraceSink::new(Clock::logical());
+        for _ in 0..3 {
+            let _s = sink.span("t", "step");
+        }
+        let sum = sink.summary();
+        assert_eq!(sum.len(), 1);
+        let (name, count, total, min, max) = &sum[0];
+        assert_eq!(name, "step");
+        assert_eq!(*count, 3);
+        assert_eq!((*min, *max), (1, 1));
+        assert_eq!(*total, 3);
+        let report = sink.render();
+        assert!(report.contains("step"), "{report}");
+        assert!(report.contains("ticks"), "logical unit labelled: {report}");
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut s = Span::disabled();
+        assert!(!s.is_enabled());
+        s.counter("n", 5); // no-op, no panic
+    }
+}

@@ -31,9 +31,9 @@
 
 use crate::locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 use agl_nn::Optimizer;
+use agl_obs::{Clock, Histogram, HistogramKind, Obs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
-use std::time::Instant;
 
 /// How model updates are coordinated across workers — the GraphLab-style
 /// consistency spectrum instead of a sync/async binary.
@@ -104,7 +104,36 @@ struct VersionTable {
     /// Pull-before-push discipline flag, per worker: SSP's staleness bound
     /// is proven only for workers that pull between pushes.
     pulled_since_push: Vec<bool>,
-    workers: Vec<WorkerPsStats>,
+    workers: Vec<WorkerRecord>,
+}
+
+/// Internal per-worker record backed by the shared `agl-obs` histogram
+/// type; [`ParameterServer::stats`] materializes it into the flat
+/// [`WorkerPsStats`] snapshot, so downstream consumers keep a plain view.
+struct WorkerRecord {
+    pulls: u64,
+    /// Staleness per applied push: exact linear buckets, last = overflow.
+    staleness: Histogram,
+    /// Nanoseconds blocked on the SSP gate, one sample per blocked
+    /// pull/push (`count()` = waits, `sum()` = total nanos).
+    gate_wait: Histogram,
+}
+
+impl WorkerRecord {
+    fn new(hist_len: usize) -> Self {
+        Self { pulls: 0, staleness: Histogram::linear(hist_len), gate_wait: Histogram::log2(40) }
+    }
+
+    fn snapshot(&self) -> WorkerPsStats {
+        WorkerPsStats {
+            pulls: self.pulls,
+            pushes: self.staleness.count(),
+            max_staleness: self.staleness.max(),
+            staleness_hist: self.staleness.bucket_counts(),
+            waits: self.gate_wait.count(),
+            wait_nanos: self.gate_wait.sum(),
+        }
+    }
 }
 
 impl VersionTable {
@@ -150,12 +179,10 @@ impl VersionTable {
     /// Record one applied push for `worker` at the given staleness.
     fn record_push(&mut self, worker: usize, staleness: u64, waited: bool, wait_nanos: u64) {
         let ws = &mut self.workers[worker];
-        ws.pushes += 1;
-        ws.max_staleness = ws.max_staleness.max(staleness);
-        let bucket = (staleness as usize).min(ws.staleness_hist.len() - 1);
-        ws.staleness_hist[bucket] += 1;
-        ws.waits += u64::from(waited);
-        ws.wait_nanos += wait_nanos;
+        ws.staleness.record(staleness);
+        if waited {
+            ws.gate_wait.record(wait_nanos);
+        }
         self.pulled_since_push[worker] = false;
     }
 }
@@ -174,7 +201,8 @@ pub struct WorkerPsStats {
     pub staleness_hist: Vec<u64>,
     /// Pushes that blocked on the SSP gate.
     pub waits: u64,
-    /// Total wall-clock nanoseconds this worker spent blocked on the gate.
+    /// Total clock nanoseconds this worker spent blocked on the gate
+    /// (logical ticks when the attached obs handle runs a logical clock).
     pub wait_nanos: u64,
 }
 
@@ -213,10 +241,23 @@ pub struct ParameterServer {
     /// Woken when the SSP gate may open: a straggler pulled or retired.
     ssp_cv: Condvar,
     tracker: Arc<LockOrderTracker>,
-    pulls: AtomicU64,
-    pushes: AtomicU64,
-    steps: AtomicU64,
-    bytes: AtomicU64,
+    /// Observability handle: pull/push/apply spans land on per-worker
+    /// tracks `ps.w<i>`. Disabled by default (inert, allocation-free).
+    obs: Obs,
+    /// Gate-wait timing source. Follows the obs clock when a handle is
+    /// attached, so logical-clock runs stay free of wall-clock reads.
+    clock: Clock,
+    /// Registry mirrors of the staleness / gate-wait histograms, populated
+    /// by [`with_obs`](Self::with_obs) (aggregated over workers).
+    obs_staleness: Option<Arc<Histogram>>,
+    obs_gate_wait: Option<Arc<Histogram>>,
+    /// Traffic counters. Plain cells by default; [`with_obs`](Self::with_obs)
+    /// swaps in the run registry's cells (`ps.pulls`, …) so the metrics
+    /// export sees live values with no double bookkeeping.
+    pulls: Arc<AtomicU64>,
+    pushes: Arc<AtomicU64>,
+    steps: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
 }
 
 /// Histogram size per mode: staleness is provably ≤ 0 (sync) / ≤ slack
@@ -269,7 +310,6 @@ impl ParameterServer {
             off = end;
             bounds.push(end);
         }
-        let hist = vec![0u64; hist_len(mode)];
         Self {
             sync: TrackedMutex::new(
                 &tracker,
@@ -290,7 +330,7 @@ impl ParameterServer {
                     last_pull: vec![0; n_workers],
                     active: vec![false; n_workers],
                     pulled_since_push: vec![false; n_workers],
-                    workers: vec![WorkerPsStats { staleness_hist: hist, ..WorkerPsStats::default() }; n_workers],
+                    workers: (0..n_workers).map(|_| WorkerRecord::new(hist_len(mode))).collect(),
                 },
             ),
             shards,
@@ -300,10 +340,50 @@ impl ParameterServer {
             sync_cv: Condvar::new(),
             ssp_cv: Condvar::new(),
             tracker,
-            pulls: AtomicU64::new(0),
-            pushes: AtomicU64::new(0),
-            steps: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
+            obs: Obs::default(),
+            clock: Clock::monotonic(),
+            obs_staleness: None,
+            obs_gate_wait: None,
+            pulls: Arc::new(AtomicU64::new(0)),
+            pushes: Arc::new(AtomicU64::new(0)),
+            steps: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Attach an observability handle (builder style, before the server is
+    /// shared). Traffic counters become cells of the run's metrics registry
+    /// (`ps.pulls`, `ps.pushes`, `ps.steps`, `ps.bytes_transferred`),
+    /// staleness and gate waits gain aggregated registry histograms
+    /// (`ps.staleness`, `ps.gate_wait_nanos`), and pull/push/apply emit
+    /// spans on per-worker tracks `ps.w<i>` — including `ps.gate.pull` /
+    /// `ps.gate.push` spans covering SSP gate waits. Gate-wait timing
+    /// switches to the handle's clock, so a logical-clock run never reads
+    /// the wall clock.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        if let Some(m) = obs.metrics() {
+            self.pulls = m.counter("ps.pulls");
+            self.pushes = m.counter("ps.pushes");
+            self.steps = m.counter("ps.steps");
+            self.bytes = m.counter("ps.bytes_transferred");
+            self.obs_staleness =
+                Some(m.histogram("ps.staleness", HistogramKind::Linear { buckets: hist_len(self.mode) }));
+            self.obs_gate_wait = Some(m.histogram("ps.gate_wait_nanos", HistogramKind::Log2 { buckets: 40 }));
+        }
+        if let Some(t) = obs.trace() {
+            self.clock = t.clock().clone();
+        }
+        self.obs = obs;
+        self
+    }
+
+    /// Span on this worker's trace track (`ps.w<worker>`). Inert when no
+    /// obs handle is attached — the track-name allocation is skipped.
+    fn worker_span(&self, worker: usize, name: &str) -> agl_obs::Span {
+        if self.obs.is_enabled() {
+            self.obs.span(&format!("ps.w{worker}"), name)
+        } else {
+            agl_obs::Span::disabled()
         }
     }
 
@@ -377,17 +457,21 @@ impl ParameterServer {
     /// when this worker later pushes is exact.
     pub fn pull_with_version(&self, worker: usize) -> (Vec<f32>, u64) {
         assert!(worker < self.n_workers, "worker id {worker} out of range (n_workers = {})", self.n_workers);
+        let mut span = self.worker_span(worker, "ps.pull");
         let mut out = vec![0.0f32; self.len()];
         let mut v = self.lock_versions();
         if let Consistency::Ssp { slack } = self.mode {
             // Pull gate: cap the in-flight window at `slack + 1` workers —
             // any more and no apply order could keep everyone ≤ slack.
-            let t0 = Instant::now();
+            let t0 = self.clock.now();
             if v.ssp_pull_blocked(worker, slack) {
+                let _gate = self.worker_span(worker, "ps.gate.pull");
                 v = v.wait_while(&self.ssp_cv, |vt| vt.ssp_pull_blocked(worker, slack));
-                let ws = &mut v.workers[worker];
-                ws.waits += 1;
-                ws.wait_nanos += t0.elapsed().as_nanos() as u64;
+                let waited = self.clock.since(t0);
+                v.workers[worker].gate_wait.record(waited);
+                if let Some(h) = &self.obs_gate_wait {
+                    h.record(waited);
+                }
             }
         }
         for i in 0..self.shards.len() {
@@ -406,6 +490,7 @@ impl ParameterServer {
         }
         self.pulls.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(4 * self.len() as u64, Ordering::Relaxed);
+        span.counter("bytes", 4 * self.len() as u64);
         (out, version)
     }
 
@@ -457,6 +542,8 @@ impl ParameterServer {
     pub fn push(&self, worker: usize, grads: &[f32]) {
         assert_eq!(grads.len(), self.len(), "gradient length mismatch");
         assert!(worker < self.n_workers, "worker id {worker} out of range (n_workers = {})", self.n_workers);
+        let mut span = self.worker_span(worker, "ps.push");
+        span.counter("bytes", 4 * grads.len() as u64);
         self.pushes.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(4 * grads.len() as u64, Ordering::Relaxed);
         match self.mode {
@@ -464,7 +551,11 @@ impl ParameterServer {
                 let mut v = self.lock_versions();
                 let staleness = v.global_step.saturating_sub(v.last_pull[worker]);
                 v.record_push(worker, staleness, false, 0);
-                self.apply_locked(&mut v, grads);
+                self.observe_staleness(&mut span, staleness);
+                {
+                    let _apply = self.worker_span(worker, "ps.apply");
+                    self.apply_locked(&mut v, grads);
+                }
                 self.steps.fetch_add(1, Ordering::Relaxed);
             }
             Consistency::Ssp { slack } => {
@@ -474,22 +565,32 @@ impl ParameterServer {
                     "SSP requires the pull-compute-push discipline: worker {worker} pushed twice \
                      without pulling, which would void the staleness bound"
                 );
-                let t0 = Instant::now();
+                let t0 = self.clock.now();
                 let waited = v.ssp_apply_blocked(worker, slack);
                 if waited {
                     // We wait on other in-flight workers applying (their
                     // window position ahead of ours) or retiring; both
                     // notify `ssp_cv`, and the oldest-pull worker is never
                     // blocked, so someone can always make progress.
+                    let _gate = self.worker_span(worker, "ps.gate.push");
                     v = v.wait_while(&self.ssp_cv, |vt| vt.ssp_apply_blocked(worker, slack));
                 }
-                let wait_nanos = if waited { t0.elapsed().as_nanos() as u64 } else { 0 };
+                let wait_nanos = if waited { self.clock.since(t0) } else { 0 };
+                if waited {
+                    if let Some(h) = &self.obs_gate_wait {
+                        h.record(wait_nanos);
+                    }
+                }
                 // The window invariant (every in-flight pull fits a
                 // staleness-≤-slack apply order) bounds our own staleness
                 // here without a separate check.
                 let staleness = v.global_step.saturating_sub(v.last_pull[worker]);
                 v.record_push(worker, staleness, waited, wait_nanos);
-                self.apply_locked(&mut v, grads);
+                self.observe_staleness(&mut span, staleness);
+                {
+                    let _apply = self.worker_span(worker, "ps.apply");
+                    self.apply_locked(&mut v, grads);
+                }
                 self.steps.fetch_add(1, Ordering::Relaxed);
                 drop(v);
                 // Our apply shrank the in-flight window: blocked pullers
@@ -507,6 +608,7 @@ impl ParameterServer {
                 {
                     let mut v = self.lock_versions();
                     v.record_push(worker, 0, false, 0);
+                    self.observe_staleness(&mut span, 0);
                 }
                 if st.arrived == n_workers {
                     // Last worker of the round applies the averaged step.
@@ -527,7 +629,10 @@ impl ParameterServer {
                     }
                     // Applying while holding the barrier follows the
                     // canonical order Barrier → Versions → Shard(asc).
-                    self.apply(&st.accum);
+                    {
+                        let _apply = self.worker_span(worker, "ps.apply");
+                        self.apply(&st.accum);
+                    }
                     self.steps.fetch_add(1, Ordering::Relaxed);
                     self.sync_cv.notify_all();
                 } else {
@@ -535,6 +640,15 @@ impl ParameterServer {
                     let _st = st.wait_while(&self.sync_cv, |s| s.round < target);
                 }
             }
+        }
+    }
+
+    /// Mirror one applied push's staleness onto the push span and the
+    /// registry histogram (both no-ops without an obs handle).
+    fn observe_staleness(&self, span: &mut agl_obs::Span, staleness: u64) {
+        span.counter("staleness", staleness);
+        if let Some(h) = &self.obs_staleness {
+            h.record(staleness);
         }
     }
 
@@ -564,7 +678,7 @@ impl ParameterServer {
     /// taken after all workers joined is exact.
     pub fn stats(&self) -> PsStats {
         let v = self.lock_versions();
-        let workers = v.workers.clone();
+        let workers: Vec<WorkerPsStats> = v.workers.iter().map(WorkerRecord::snapshot).collect();
         let model_version = v.global_step;
         drop(v);
         PsStats {
@@ -834,5 +948,70 @@ mod tests {
     fn wrong_gradient_length_panics() {
         let ps = ParameterServer::new(vec![0.0; 4], 1, 1, Consistency::Async, sgd);
         ps.push(0, &[1.0; 3]);
+    }
+
+    #[test]
+    fn obs_handle_mirrors_traffic_into_spans_and_registry() {
+        let obs = agl_obs::Obs::enabled_logical();
+        let ps = ParameterServer::new(vec![0.0; 4], 2, 1, Consistency::Async, sgd).with_obs(obs.clone());
+        ps.pull(0);
+        ps.push(0, &[1.0; 4]);
+        ps.push(0, &[1.0; 4]); // staleness 1 (no pull in between; legal in async)
+
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.get("ps.pulls"), 1);
+        assert_eq!(m.get("ps.pushes"), 2);
+        assert_eq!(m.get("ps.steps"), 2);
+        let (names, tracks): (Vec<_>, Vec<_>) =
+            obs.trace().unwrap().events().into_iter().map(|e| (e.name, e.track)).unzip();
+        assert!(tracks.iter().all(|t| t == "ps.w0"), "{tracks:?}");
+        assert_eq!(names.iter().filter(|n| *n == "ps.pull").count(), 1);
+        assert_eq!(names.iter().filter(|n| *n == "ps.push").count(), 2);
+        assert_eq!(names.iter().filter(|n| *n == "ps.apply").count(), 2);
+
+        // Registry histogram mirrors the per-worker staleness record, and
+        // the PsStats snapshot stays source-compatible.
+        let Some(agl_obs::MetricValue::Histogram(h)) =
+            obs.metrics().unwrap().snapshot().into_iter().find(|(k, _)| k == "ps.staleness").map(|(_, v)| v)
+        else {
+            panic!("ps.staleness histogram missing");
+        };
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 1);
+        let st = ps.stats();
+        assert_eq!(st.workers[0].staleness_hist, vec![1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!((st.pulls, st.pushes, st.steps), (1, 2, 2));
+    }
+
+    #[test]
+    fn ssp_gate_wait_shows_up_in_stats_and_trace() {
+        let obs = agl_obs::Obs::enabled();
+        let ps = Arc::new(
+            ParameterServer::new(vec![0.0; 2], 1, 3, Consistency::Ssp { slack: 1 }, sgd).with_obs(obs.clone()),
+        );
+        // Fill the in-flight window (slack + 1 = 2 workers) before worker 0
+        // even starts: its pull gate is then provably closed until a
+        // straggler retires, so the wait is deterministic, not scheduled.
+        ps.pull(1);
+        ps.pull(2);
+        std::thread::scope(|s| {
+            let ps2 = ps.clone();
+            s.spawn(move || {
+                let _ = ps2.pull(0); // blocks: window already full
+                ps2.push(0, &[0.1; 2]);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            ps.retire_worker(1);
+            ps.retire_worker(2);
+        });
+        let st = ps.stats();
+        assert_eq!(st.steps, 1);
+        assert!(st.ssp_waits > 0, "worker 0 pulled into a full window");
+        assert!(st.ssp_wait_nanos > 0, "the gate wait took measurable time");
+        let gate_spans =
+            obs.trace().unwrap().events().into_iter().filter(|e| e.name.starts_with("ps.gate.")).count() as u64;
+        assert_eq!(gate_spans, st.ssp_waits, "one gate span per recorded wait");
+        assert_eq!(obs.metrics().unwrap().get("ps.steps"), 1);
+        assert!(obs.metrics().unwrap().to_json().contains("\"ps.gate_wait_nanos\":{\"count\":1,"));
     }
 }

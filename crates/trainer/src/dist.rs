@@ -25,7 +25,7 @@ use agl_tensor::rng::derive_seed;
 use agl_tensor::rng::SliceRandom;
 use agl_tensor::seeded_rng;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Distributed-training configuration. The coordination mode lives in
 /// `opts.consistency` — there is exactly one way to pick it.
@@ -79,13 +79,12 @@ impl DistTrainer {
     ) -> DistTrainResult {
         assert!(!train.is_empty());
         let lr = self.opts.lr;
-        let server = Arc::new(ParameterServer::new(
-            model.param_vector(),
-            self.n_shards,
-            self.n_workers,
-            self.opts.consistency,
-            || Box::new(Adam::new(lr)),
-        ));
+        let server = Arc::new(
+            ParameterServer::new(model.param_vector(), self.n_shards, self.n_workers, self.opts.consistency, || {
+                Box::new(Adam::new(lr))
+            })
+            .with_obs(self.opts.obs.clone()),
+        );
 
         // Static data partition: worker w owns examples w, w+W, w+2W, ...
         let partitions: Vec<Vec<usize>> =
@@ -98,10 +97,16 @@ impl DistTrainer {
         let spec = self.opts.spec_public(model);
         let ctx = self.opts.ctx_public();
         let template = model.clone();
+        let clock = self.opts.clock();
         let mut epochs = Vec::with_capacity(self.opts.epochs);
         let mut val_curve = Vec::new();
         for epoch in 0..self.opts.epochs {
-            let start = Instant::now();
+            let start = clock.now();
+            let mut epoch_span = if self.opts.obs.is_enabled() {
+                self.opts.obs.span("trainer", "train.epoch")
+            } else {
+                agl_obs::Span::disabled()
+            };
             run_workers(&server, self.n_workers, |w, ps| {
                 let mut replica = template.clone();
                 let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed, (epoch * 1000 + w) as u64));
@@ -138,11 +143,19 @@ impl DistTrainer {
                 }
             });
             model.load_param_vector(&server.snapshot());
+            epoch_span.counter("batches", batches_per_worker as u64);
+            drop(epoch_span);
+            self.opts.obs.metric_add("trainer.epochs", 1);
             // Mean train loss after the epoch's updates (cheap re-pass over
             // a sample keeps the run fast at large scale).
             let probe = &train[..train.len().min(512)];
             let m = LocalTrainer::evaluate(model, probe, &self.opts);
-            epochs.push(EpochStats { epoch, loss: m.loss, duration: start.elapsed(), batches: batches_per_worker });
+            epochs.push(EpochStats {
+                epoch,
+                loss: m.loss,
+                duration: Duration::from_nanos(clock.since(start)),
+                batches: batches_per_worker,
+            });
             if let Some(v) = val {
                 val_curve.push(LocalTrainer::evaluate(model, v, &self.opts));
             }
@@ -370,6 +383,25 @@ mod tests {
         for ws in &r.ps_stats.workers {
             assert_eq!(ws.staleness_hist.iter().sum::<u64>(), ws.pushes);
         }
+    }
+
+    #[test]
+    fn obs_instruments_epochs_and_ps_traffic() {
+        let data = dataset(16);
+        let obs = agl_obs::Obs::enabled();
+        let mut m = model();
+        let trainer =
+            DistTrainer::new(2, TrainOptions { epochs: 2, batch_size: 8, obs: obs.clone(), ..TrainOptions::default() });
+        trainer.train(&mut m, &data, None);
+        let events = obs.trace().unwrap().events();
+        assert_eq!(events.iter().filter(|e| e.name == "train.epoch").count(), 2);
+        assert!(events.iter().any(|e| e.track == "ps.w0" && e.name == "ps.pull"));
+        assert!(events.iter().any(|e| e.track == "ps.w1" && e.name == "ps.push"));
+        assert!(events.iter().any(|e| e.name == "ps.apply"));
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.get("trainer.epochs"), 2);
+        assert!(metrics.get("ps.pushes") > 0);
+        assert!(metrics.get("ps.bytes_transferred") > 0);
     }
 
     #[test]

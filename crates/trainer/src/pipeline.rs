@@ -11,6 +11,7 @@ use crate::pruning::batch_keep_masks;
 use crate::vectorize::{vectorize, VectorizedBatch};
 use agl_flat::TrainingExample;
 use agl_nn::layer::{prepare_adj, AdjPrep};
+use agl_obs::{Clock, Obs};
 use agl_tensor::Csr;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
@@ -54,6 +55,11 @@ pub fn prepare_batch(examples: &[TrainingExample], spec: &PrepSpec) -> PreparedB
 pub struct BatchPipeline {
     rx: Receiver<PreparedBatch>,
     handle: Option<JoinHandle<()>>,
+    obs: Obs,
+    /// Clock for compute-stage wait accounting (present iff obs enabled).
+    clock: Option<Clock>,
+    /// Accumulated time the compute stage spent blocked on `recv`.
+    recv_wait: u64,
 }
 
 impl BatchPipeline {
@@ -61,19 +67,75 @@ impl BatchPipeline {
     /// indices of one batch). `depth` bounds how far preprocessing may run
     /// ahead of compute.
     pub fn spawn(examples: Arc<Vec<TrainingExample>>, order: Vec<Vec<usize>>, spec: PrepSpec, depth: usize) -> Self {
+        Self::spawn_with_obs(examples, order, spec, depth, Obs::default())
+    }
+
+    /// [`spawn`](Self::spawn) with an observability handle: the prefetch
+    /// stage emits a `pipeline.prepare` span per batch on the
+    /// `pipeline.prefetch` track and accounts its busy/blocked split into
+    /// the metrics registry (`pipeline.prefetch.busy_nanos`,
+    /// `pipeline.prefetch.wait_nanos`, `pipeline.prefetch.occupancy_pct`);
+    /// the compute side's recv waits land in
+    /// `pipeline.compute.wait_nanos`. Units follow the obs clock (logical
+    /// runs account ticks, not nanoseconds).
+    pub fn spawn_with_obs(
+        examples: Arc<Vec<TrainingExample>>,
+        order: Vec<Vec<usize>>,
+        spec: PrepSpec,
+        depth: usize,
+        obs: Obs,
+    ) -> Self {
         let (tx, rx) = sync_channel(depth.max(1));
+        let producer_obs = obs.clone();
         let handle = std::thread::spawn(move || {
+            let clock = producer_obs.trace().map(|t| t.clock().clone());
+            let (mut busy, mut blocked) = (0u64, 0u64);
             for batch_idx in order {
-                // "Read" the batch from the store (clone = the disk read the
-                // paper's workers do — GraphFeatures live on DFS, not RAM).
-                let batch: Vec<TrainingExample> = batch_idx.iter().map(|&i| examples[i].clone()).collect();
-                let prepared = prepare_batch(&batch, &spec);
+                let t0 = clock.as_ref().map(Clock::now);
+                let prepared = {
+                    let mut span = if producer_obs.is_enabled() {
+                        producer_obs.span("pipeline.prefetch", "pipeline.prepare")
+                    } else {
+                        agl_obs::Span::disabled()
+                    };
+                    span.counter("examples", batch_idx.len() as u64);
+                    // "Read" the batch from the store (clone = the disk read
+                    // the paper's workers do — GraphFeatures live on DFS,
+                    // not RAM).
+                    let batch: Vec<TrainingExample> = batch_idx.iter().map(|&i| examples[i].clone()).collect();
+                    prepare_batch(&batch, &spec)
+                };
+                let sent = clock.as_ref().map(Clock::now);
                 if tx.send(prepared).is_err() {
                     break; // compute side hung up
                 }
+                if let (Some(c), Some(t0), Some(sent)) = (&clock, t0, sent) {
+                    busy += sent.saturating_sub(t0);
+                    blocked += c.since(sent);
+                }
+            }
+            if let Some(m) = producer_obs.metrics() {
+                m.add("pipeline.prefetch.busy_nanos", busy);
+                m.add("pipeline.prefetch.wait_nanos", blocked);
+                if busy + blocked > 0 {
+                    m.gauge_set("pipeline.prefetch.occupancy_pct", busy * 100 / (busy + blocked));
+                }
             }
         });
-        Self { rx, handle: Some(handle) }
+        let clock = obs.trace().map(|t| t.clock().clone());
+        Self { rx, handle: Some(handle), obs, clock, recv_wait: 0 }
+    }
+
+    /// Flush the compute-side wait accounting (idempotent) and join the
+    /// producer if it is still running.
+    fn finish(&mut self) {
+        if self.recv_wait > 0 {
+            self.obs.metric_add("pipeline.compute.wait_nanos", self.recv_wait);
+            self.recv_wait = 0;
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -81,12 +143,16 @@ impl Iterator for BatchPipeline {
     type Item = PreparedBatch;
 
     fn next(&mut self) -> Option<PreparedBatch> {
+        let t0 = self.clock.as_ref().map(Clock::now);
         match self.rx.recv() {
-            Ok(b) => Some(b),
-            Err(_) => {
-                if let Some(h) = self.handle.take() {
-                    let _ = h.join();
+            Ok(b) => {
+                if let (Some(c), Some(t0)) = (&self.clock, t0) {
+                    self.recv_wait += c.since(t0);
                 }
+                Some(b)
+            }
+            Err(_) => {
+                self.finish();
                 None
             }
         }
@@ -98,9 +164,7 @@ impl Drop for BatchPipeline {
         // Disconnect so the producer stops, then join it.
         let (_tx, rx) = sync_channel(0);
         self.rx = rx;
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.finish();
     }
 }
 

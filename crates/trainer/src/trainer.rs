@@ -6,11 +6,12 @@ use crate::metrics::Metrics;
 use crate::pipeline::{prepare_batch, BatchPipeline, PrepSpec, PreparedBatch};
 use agl_flat::TrainingExample;
 use agl_nn::{Adam, GnnModel, Optimizer};
+use agl_obs::{Clock, Obs};
 use agl_tensor::rng::derive_seed;
 use agl_tensor::rng::SliceRandom;
 use agl_tensor::{seeded_rng, ExecCtx, Matrix};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Training knobs — the Table 4 ablation axes plus the usual hyper-params.
 #[derive(Debug, Clone)]
@@ -29,6 +30,10 @@ pub struct TrainOptions {
     /// Worker-coordination mode for distributed training (`DistTrainer`);
     /// the standalone `LocalTrainer` has a single worker and ignores it.
     pub consistency: agl_ps::Consistency,
+    /// Observability handle: when enabled, epochs and pipeline stages emit
+    /// spans, and the parameter server joins the run's metrics registry.
+    /// Disabled (inert, allocation-free) by default.
+    pub obs: Obs,
 }
 
 impl Default for TrainOptions {
@@ -42,11 +47,18 @@ impl Default for TrainOptions {
             pipeline: true,
             shuffle_seed: 7,
             consistency: agl_ps::Consistency::Sync,
+            obs: Obs::default(),
         }
     }
 }
 
 impl TrainOptions {
+    /// Epoch-timing source: the obs handle's clock when one is attached
+    /// (keeping logical-clock runs wallclock-free), monotonic otherwise.
+    pub(crate) fn clock(&self) -> Clock {
+        self.obs.trace().map_or_else(Clock::monotonic, |t| t.clock().clone())
+    }
+
     fn ctx(&self) -> ExecCtx {
         if self.partitions > 1 {
             ExecCtx::parallel(self.partitions)
@@ -136,9 +148,15 @@ impl LocalTrainer {
         let ctx = self.opts.ctx();
         let spec = self.opts.spec(model);
         let shared: Arc<Vec<TrainingExample>> = Arc::new(examples.to_vec());
+        let clock = self.opts.clock();
         let mut epochs = Vec::with_capacity(self.opts.epochs);
         for epoch in 0..self.opts.epochs {
-            let start = Instant::now();
+            let start = clock.now();
+            let mut epoch_span = if self.opts.obs.is_enabled() {
+                self.opts.obs.span("trainer", "train.epoch")
+            } else {
+                agl_obs::Span::disabled()
+            };
             let order = self.plan(examples.len(), epoch);
             let n_batches = order.len();
             let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed ^ 0xD07, epoch as u64));
@@ -161,7 +179,7 @@ impl LocalTrainer {
                 loss_sum += loss as f64;
             };
             if self.opts.pipeline {
-                for prepared in BatchPipeline::spawn(shared.clone(), order, spec, 2) {
+                for prepared in BatchPipeline::spawn_with_obs(shared.clone(), order, spec, 2, self.opts.obs.clone()) {
                     step(prepared, model, &mut opt);
                 }
             } else {
@@ -170,10 +188,13 @@ impl LocalTrainer {
                     step(prepare_batch(&batch, &spec), model, &mut opt);
                 }
             }
+            epoch_span.counter("batches", n_batches as u64);
+            drop(epoch_span);
+            self.opts.obs.metric_add("trainer.epochs", 1);
             epochs.push(EpochStats {
                 epoch,
                 loss: loss_sum / n_batches as f64,
-                duration: start.elapsed(),
+                duration: Duration::from_nanos(clock.since(start)),
                 batches: n_batches,
             });
             after_epoch(epoch, model);
@@ -354,6 +375,24 @@ mod tests {
         let now = LocalTrainer::evaluate(&m, &val, &opts);
         assert_eq!(now.accuracy, best.accuracy);
         assert_eq!(history.epochs.len(), 40, "history covers the full budget");
+    }
+
+    #[test]
+    fn obs_reports_pipeline_stage_occupancy() {
+        let data = dataset(16);
+        let obs = agl_obs::Obs::enabled();
+        let mut m = model();
+        let opts = TrainOptions { epochs: 2, batch_size: 4, obs: obs.clone(), ..TrainOptions::default() };
+        LocalTrainer::new(opts).train(&mut m, &data);
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.get("trainer.epochs"), 2);
+        assert!(metrics.get("pipeline.prefetch.busy_nanos") > 0, "prefetch stage did real work");
+        let events = obs.trace().unwrap().events();
+        // 16 examples / batch 4 = 4 prepare spans per epoch, on the
+        // prefetch track; one epoch span per epoch on the trainer track.
+        assert_eq!(events.iter().filter(|e| e.name == "pipeline.prepare").count(), 8);
+        assert!(events.iter().filter(|e| e.name == "pipeline.prepare").all(|e| e.track == "pipeline.prefetch"));
+        assert_eq!(events.iter().filter(|e| e.name == "train.epoch" && e.track == "trainer").count(), 2);
     }
 
     #[test]
