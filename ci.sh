@@ -4,7 +4,7 @@
 # from `cargo test`, so CI failures reproduce locally either way.
 #
 # Modes:
-#   ./ci.sh            tier-1: fmt, build, test, workspace lint
+#   ./ci.sh            tier-1: fmt, build, test, workspace lint, doc gate
 #   ./ci.sh --bench    bench smoke: micro benches at 3 iters, medians
 #                      written to results/BENCH_pr<N>.json (N auto-numbers
 #                      from the existing snapshots, override with
@@ -63,4 +63,7 @@ step "cargo fmt --check" cargo fmt --check
 step "cargo build --release" cargo build --release
 step "cargo test -q" cargo test -q
 step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
+# Rustdoc is part of the contract: broken intra-doc links or missing docs
+# on public items (crates with #![warn(missing_docs)]) fail the build.
+step "cargo doc (rustdoc gate)" env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "ci.sh: all green"

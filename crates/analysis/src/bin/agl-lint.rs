@@ -3,15 +3,17 @@
 //! ```text
 //! agl-lint --workspace            # lint the enclosing cargo workspace
 //! agl-lint --workspace <root>     # lint an explicit workspace root
-//! agl-lint <file.rs> …            # lint specific files (paths taken as
-//!                                 # workspace-relative for rule dispatch)
-//! agl-lint --rules                # list registered rules
+//! agl-lint <file.rs> …            # lint specific files as one set (paths
+//!                                 # taken as workspace-relative for rule
+//!                                 # dispatch; crate-scope rules see the
+//!                                 # whole set)
+//! agl-lint --rules                # list registered rules (file and crate)
 //! ```
 //!
 //! Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/IO errors.
 //! Diagnostics print as `path:line: [rule] message`.
 
-use agl_analysis::{find_workspace_root, lint_source, lint_workspace, registry, Diagnostic};
+use agl_analysis::{crate_registry, find_workspace_root, lint_sources, lint_workspace, registry, Diagnostic};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,7 +25,10 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--rules") {
         for rule in registry() {
-            println!("{:<16} {}", rule.name, rule.description);
+            println!("{:<22} {}", rule.name, rule.description);
+        }
+        for rule in crate_registry() {
+            println!("{:<22} {}", rule.name, rule.description);
         }
         return ExitCode::SUCCESS;
     }
@@ -76,13 +81,13 @@ fn main() -> ExitCode {
 }
 
 fn lint_files(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut files = Vec::new();
     for p in paths {
         let src = std::fs::read_to_string(p)?;
         let rel = p.trim_start_matches("./").replace('\\', "/");
-        out.extend(lint_source(&rel, &src));
+        files.push((rel, src));
     }
-    Ok(out)
+    Ok(lint_sources(&files))
 }
 
 fn print_usage() {

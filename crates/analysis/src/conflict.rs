@@ -34,6 +34,7 @@ impl Default for ConflictFreedomVerifier {
 }
 
 impl ConflictFreedomVerifier {
+    /// Verifier with the derived imbalance slack (max row nnz).
     pub fn new() -> Self {
         Self { max_extra_nnz: None }
     }

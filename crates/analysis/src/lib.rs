@@ -19,11 +19,17 @@
 //!   order inversions against the canonical `barrier → versions → shard(i)
 //!   ascending` discipline, double acquisitions, unprovably-ordered shard
 //!   pairs, locks held across `.send(…)`/`spawn(…)`, and raw locks that
-//!   bypass the wrappers. The same walk flags allocations inside the loop
+//!   bypass the wrappers. The same walk records the workspace **call
+//!   graph** (function definitions, call sites with held-guard sets), over
+//!   which [`lockgraph::interproc`] propagates lock summaries bottom-up by
+//!   SCC and proves the same discipline *across* function boundaries — the
+//!   `lock-order/interproc` rule, whose findings name the full call chain
+//!   site by site. The same walk also flags allocations inside the loop
 //!   bodies of the aggregation/reducer hot functions. Its dynamic
 //!   complement is [`LockOrderTracker`] (re-exported from
 //!   `agl_ps::locks`): debug builds record every real acquisition edge and
-//!   abort on the first cycle.
+//!   abort on the first cycle. The whole model is written up in the
+//!   repository's `CONCURRENCY.md`.
 //! * **Plan-level verifiers**: [`ConflictFreedomVerifier`] proves an
 //!   [`agl_tensor::EdgePartition`] is pairwise disjoint, covering, and
 //!   nnz-balanced before threads spawn (the dynamic complement is
@@ -34,6 +40,8 @@
 //! A workspace integration test runs the linter over the entire repo, so a
 //! violation anywhere fails tier-1.
 
+#![warn(missing_docs)]
+
 pub mod conflict;
 pub mod lint;
 pub mod lockgraph;
@@ -41,9 +49,12 @@ pub mod rules;
 pub mod scanner;
 
 pub use conflict::ConflictFreedomVerifier;
-pub use lint::{collect_rs_files, find_workspace_root, lint_source, lint_workspace};
-pub use lockgraph::{AllocSite, LockEdge, LockFinding, LockFindingKind, LockSym};
-pub use rules::{registry, rule_by_name, Diagnostic, Rule};
+pub use lint::{collect_rs_files, find_workspace_root, lint_source, lint_sources, lint_workspace};
+pub use lockgraph::{
+    interproc, render_chain, AllocSite, Analysis, ChainFrame, FileLocks, InterprocFinding, LockEdge, LockFinding,
+    LockFindingKind, LockSym,
+};
+pub use rules::{crate_registry, registry, rule_by_name, CrateRule, Diagnostic, FileView, Rule};
 
 // The runtime halves of the concurrency-safety story, re-exported so
 // callers find the whole analysis surface in one crate.

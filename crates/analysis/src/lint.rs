@@ -1,20 +1,39 @@
-//! The lint driver: walk source files, run every registered rule, apply
-//! the `agl-lint: allow(…)` escape hatch, and report diagnostics.
+//! The lint driver: walk source files, run every registered rule — the
+//! per-file rules on each file, the crate-scope rules on the whole file
+//! set — apply the `agl-lint: allow(…)` escape hatch, and report
+//! diagnostics.
 
-use crate::rules::{registry, Diagnostic, FileView};
+use crate::rules::{crate_registry, registry, Diagnostic, FileView};
 use crate::scanner::{scan, ScannedFile};
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Lint one file's source text. `rel_path` must be workspace-relative and
 /// `/`-separated — rules dispatch on it (pipeline crate? test target?
-/// determinism-critical module?).
+/// determinism-critical module?). Crate-scope rules run over the
+/// single-file "set", so cross-file chains obviously cannot appear; use
+/// [`lint_sources`] to lint a coherent file set.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    let scanned = scan(src);
-    let view = FileView::new(rel_path, &scanned);
-    let mut out: Vec<Diagnostic> =
-        registry().iter().flat_map(|rule| (rule.check)(&view)).filter(|d| !is_allowed(&scanned, d)).collect();
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    lint_sources(&[(rel_path.to_string(), src.to_string())])
+}
+
+/// Lint a set of files together: every `(workspace-relative path, source
+/// text)` pair gets the per-file rules, then the crate-scope rules (the
+/// interprocedural lock-order pass) run once over the whole set. The
+/// `agl-lint: allow(…)` escape hatch is applied against each diagnostic's
+/// *owning* file — for an interprocedural finding that is the file of the
+/// anchoring call site. Diagnostics come back sorted by (path, line, rule).
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let scanned: Vec<ScannedFile> = files.iter().map(|(_, src)| scan(src)).collect();
+    let views: Vec<FileView> = files.iter().zip(&scanned).map(|((path, _), s)| FileView::new(path, s)).collect();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for view in &views {
+        out.extend(registry().iter().flat_map(|rule| (rule.check)(view)));
+    }
+    out.extend(crate_registry().iter().flat_map(|rule| (rule.check)(&views)));
+    let scanned_of = |path: &str| files.iter().position(|(p, _)| p == path).map(|i| &scanned[i]);
+    out.retain(|d| !scanned_of(&d.path).is_some_and(|s| is_allowed(s, d)));
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
 
@@ -52,9 +71,10 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every `.rs` file under a workspace root.
+/// Lint every `.rs` file under a workspace root, as one coherent set (so
+/// the crate-scope rules see the whole workspace call graph).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut files: Vec<(String, String)> = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -63,10 +83,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let src = std::fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src));
+        files.push((rel, std::fs::read_to_string(&path)?));
     }
-    Ok(out)
+    Ok(lint_sources(&files))
 }
 
 /// Find the workspace root by walking up from `start` to the nearest

@@ -35,19 +35,54 @@
 //! `format!(`, `.collect(`) appearing lexically inside a loop body is
 //! reported as an [`AllocSite`].
 //!
-//! Like the rest of the lint, this is lexical, not semantic: it sees one
-//! function at a time, resolves `let`-bound guards to their enclosing block
-//! (or an explicit `drop(ident)`), and treats non-`let` acquisitions as
-//! temporaries that die at the end of the statement. That is exactly enough
-//! for the acquisition discipline the wrappers make syntactically visible.
+//! Like the rest of the lint, this is lexical, not semantic: it resolves
+//! `let`-bound guards to their enclosing block (or an explicit
+//! `drop(ident)`) and treats non-`let` acquisitions as temporaries that die
+//! at the end of the statement. That is exactly enough for the acquisition
+//! discipline the wrappers make syntactically visible.
+//!
+//! # Interprocedural analysis
+//!
+//! The per-function walk only sees chains that are lexically inside one
+//! function. `push` holding the barrier while `apply` (a different function)
+//! takes `shard(i)` is invisible to it — until this module's second pass.
+//! While walking, [`analyze`] also records every function definition (with
+//! its `impl` owner), every call site together with the guards lexically
+//! held at it, every acquisition with its held set, and every potentially
+//! blocking operation (condvar wait, channel send/recv, thread spawn) with
+//! its held set. [`interproc`] then assembles those records from all files
+//! of a crate into a [`CallGraph`], resolves call
+//! targets conservatively (`self.f(…)`, `Type::f(…)`, bare `f(…)`; never
+//! method calls on unknown receivers), and propagates **lock summaries**
+//! bottom-up over the SCCs of the graph: the set of lock classes a function
+//! may acquire transitively, and whether it may block, each tagged with a
+//! site-by-site witness chain. Judging a caller's held set against its
+//! callee's summary at every call site yields the same finding kinds as the
+//! per-function pass — inversions, double-locks, unordered shard pairs,
+//! guard-held-across-block — but spanning function boundaries, with the full
+//! call chain named in the message. Condvar semantics carry over: a wait
+//! releases and reacquires its receiver, so only *other* held guards
+//! propagate into a blocking summary.
+//!
+//! Known, deliberate under-approximations (resolution never guesses, so the
+//! pass cannot produce a false chain): method calls on non-`self` receivers
+//! (`v.record_push(…)`) are not resolved, because the receiver's type is
+//! unknown lexically and e.g. `vec.push(…)` must never resolve to
+//! `ParameterServer::push`; and a guard *returned* by a callee is treated as
+//! dying inside the callee (no escape analysis) — `agl-ps` wrappers return
+//! guards only from the `lock_*` acquisition wrappers themselves, which the
+//! walk models directly as acquisitions.
 
-use crate::scanner::ScannedFile;
+use crate::scanner::{impl_owner, parse_call, CallGraph, CallGraphNode, CallTarget, ScannedFile};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Symbolic identity of an `agl-ps` lock at an acquisition site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LockSym {
+    /// The SSP/sync barrier state (rank 0).
     Barrier,
+    /// The version table (rank 1).
     Versions,
     /// `Some(i)` when the shard index is an integer literal, `None` when it
     /// is a runtime expression (rank known only relative to non-shards).
@@ -103,18 +138,24 @@ pub enum LockFindingKind {
 /// One lock-discipline finding (0-based line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockFinding {
+    /// What the finding is about.
     pub kind: LockFindingKind,
+    /// 0-based line of the offending site.
     pub line: usize,
     /// Enclosing function, or `"<top>"` outside any `fn`.
     pub func: String,
+    /// Human-readable explanation.
     pub message: String,
 }
 
 /// One observed acquisition edge `from → to` (held → newly acquired).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockEdge {
+    /// Enclosing function of the acquisition.
     pub func: String,
+    /// The lock already held.
     pub from: LockSym,
+    /// The lock being acquired.
     pub to: LockSym,
     /// 0-based line of the acquisition that created the edge.
     pub line: usize,
@@ -123,18 +164,96 @@ pub struct LockEdge {
 /// An allocation token inside a loop body of a hot function (0-based line).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocSite {
+    /// 0-based line of the allocation token.
     pub line: usize,
+    /// Enclosing hot function.
     pub func: String,
+    /// The token that matched (e.g. `".to_vec("`).
     pub pattern: &'static str,
+}
+
+/// A function definition recorded by the walk (input to the call graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDefRec {
+    /// The function name.
+    pub name: String,
+    /// The enclosing `impl` block's `Self` type, `None` for free functions.
+    pub owner: Option<String>,
+    /// 0-based line of the body's opening brace.
+    pub line: usize,
+}
+
+/// A guard lexically held at some site (for call/acquisition/block records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldLock {
+    /// The held lock class.
+    pub sym: LockSym,
+    /// 0-based line where it was acquired.
+    pub line: usize,
+}
+
+/// A call site recorded by the walk, with the guards held at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRec {
+    /// Index into [`Analysis::fns`] of the enclosing function, `None` when
+    /// the call appears outside any named function.
+    pub fn_idx: Option<usize>,
+    /// How the call names its callee.
+    pub target: CallTarget,
+    /// 0-based line of the call.
+    pub line: usize,
+    /// Guards lexically held when the call executes.
+    pub held: Vec<HeldLock>,
+}
+
+/// A tracked-lock acquisition site, with the guards already held at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcqRec {
+    /// Index into [`Analysis::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// The lock class acquired.
+    pub sym: LockSym,
+    /// 0-based line of the acquisition.
+    pub line: usize,
+    /// Guards already held (the per-function pass judges each pair).
+    pub held: Vec<HeldLock>,
+}
+
+/// A potentially blocking operation (condvar wait, channel send/recv, thread
+/// spawn) with the guards held across it. For a condvar wait the receiver is
+/// excluded — the wait releases and reacquires it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRec {
+    /// Index into [`Analysis::fns`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+    /// Display token, e.g. `".wait_while(…)"` or `".send(…)"`.
+    pub what: &'static str,
+    /// `true` for condvar waits (finding kind `HeldAcrossWait`), `false`
+    /// for send/recv/spawn (`HeldAcrossSend`).
+    pub is_wait: bool,
+    /// 0-based line of the operation.
+    pub line: usize,
+    /// Guards held across the block (receiver excluded for waits).
+    pub held: Vec<HeldLock>,
 }
 
 /// Everything one walk produces.
 #[derive(Debug, Default)]
 pub struct Analysis {
+    /// Per-function lock-discipline findings.
     pub lock_findings: Vec<LockFinding>,
+    /// Hot-loop allocation sites.
     pub alloc_sites: Vec<AllocSite>,
     /// The per-function lock graph: every held→acquired pair observed.
     pub edges: Vec<LockEdge>,
+    /// Function definitions, in source order (call-graph nodes).
+    pub fns: Vec<FnDefRec>,
+    /// Call sites with held-lock sets (call-graph edges, once resolved).
+    pub calls: Vec<CallRec>,
+    /// Tracked-lock acquisition sites with held-lock sets.
+    pub acqs: Vec<AcqRec>,
+    /// Potentially blocking operations with held-lock sets.
+    pub block_ops: Vec<BlockRec>,
 }
 
 const ALLOC_TOKENS: &[&str] = &["Vec::new(", "vec![", ".to_vec(", ".clone(", "format!(", ".collect("];
@@ -143,6 +262,7 @@ const ALLOC_TOKENS: &[&str] = &["Vec::new(", "vec![", ".to_vec(", ".clone(", "fo
 enum BlockKind {
     Fn,
     Loop,
+    Impl,
     Other,
 }
 
@@ -161,9 +281,11 @@ struct Guard {
 pub fn analyze(scanned: &ScannedFile, hot_fns: &[&str]) -> Analysis {
     let mut out = Analysis::default();
     let mut blocks: Vec<BlockKind> = Vec::new();
-    // (name, block depth of the fn body) — a stack so closures/nested fns
-    // don't lose the enclosing name.
-    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    // (name, block depth of the fn body, index into out.fns) — a stack so
+    // closures/nested fns don't lose the enclosing name.
+    let mut fn_stack: Vec<(String, usize, usize)> = Vec::new();
+    // (owner type, block depth of the impl body).
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
     let mut guards: Vec<Guard> = Vec::new();
     // Statement/header text accumulated since the last `;`, `{` or `}` —
     // what classifies the next `{` and reveals `let` bindings.
@@ -183,7 +305,13 @@ pub fn analyze(scanned: &ScannedFile, hot_fns: &[&str]) -> Analysis {
                     let kind = classify_block(&stmt);
                     if kind == BlockKind::Fn {
                         if let Some(name) = fn_name(&stmt) {
-                            fn_stack.push((name, blocks.len() + 1));
+                            let owner = impl_stack.last().map(|(o, _)| o.clone());
+                            out.fns.push(FnDefRec { name: name.clone(), owner, line: lineno });
+                            fn_stack.push((name, blocks.len() + 1, out.fns.len() - 1));
+                        }
+                    } else if kind == BlockKind::Impl {
+                        if let Some(owner) = impl_owner(&stmt) {
+                            impl_stack.push((owner, blocks.len() + 1));
                         }
                     }
                     blocks.push(kind);
@@ -194,8 +322,11 @@ pub fn analyze(scanned: &ScannedFile, hot_fns: &[&str]) -> Analysis {
                 '}' => {
                     let depth = blocks.len();
                     guards.retain(|g| g.depth < depth);
-                    if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    if fn_stack.last().is_some_and(|(_, d, _)| *d == depth) {
                         fn_stack.pop();
+                    }
+                    if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                        impl_stack.pop();
                     }
                     blocks.pop();
                     stmt.clear();
@@ -227,12 +358,14 @@ fn scan_tokens(
     stmt: &str,
     lineno: usize,
     blocks: &[BlockKind],
-    fn_stack: &[(String, usize)],
+    fn_stack: &[(String, usize, usize)],
     guards: &mut Vec<Guard>,
     hot_fns: &[&str],
     out: &mut Analysis,
 ) {
-    let func = || fn_stack.last().map_or_else(|| "<top>".to_string(), |(n, _)| n.clone());
+    let func = || fn_stack.last().map_or_else(|| "<top>".to_string(), |(n, _, _)| n.clone());
+    let fn_idx = fn_stack.last().map(|(_, _, i)| *i);
+    let held_set = |gs: &[Guard]| gs.iter().map(|g| HeldLock { sym: g.sym, line: g.line }).collect::<Vec<_>>();
     let boundary_before = !stmt.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
     // An acquisition token directly after `fn ` is the wrapper's own
     // definition, not a call site.
@@ -251,6 +384,7 @@ fn scan_tokens(
         None
     };
     if let Some(sym) = acquired {
+        out.acqs.push(AcqRec { fn_idx, sym, line: lineno, held: held_set(guards) });
         for held in guards.iter() {
             out.edges.push(LockEdge { func: func(), from: held.sym, to: sym, line: lineno });
             if let Some(finding) = judge(held, sym, lineno, &func()) {
@@ -286,30 +420,32 @@ fn scan_tokens(
             // `self.lock_x().wait_while(…)`: the receiver is the temporary.
             None => guards.iter().rposition(|g| g.name.is_none()),
         };
-        let others: Vec<String> = guards
+        let others: Vec<HeldLock> = guards
             .iter()
             .enumerate()
             .filter(|&(i, _)| Some(i) != recv_pos)
-            .map(|(_, g)| format!("{} (line {})", g.sym, g.line + 1))
+            .map(|(_, g)| HeldLock { sym: g.sym, line: g.line })
             .collect();
         if !others.is_empty() {
+            let names: Vec<String> = others.iter().map(|h| format!("{} (line {})", h.sym, h.line + 1)).collect();
             out.lock_findings.push(LockFinding {
                 kind: LockFindingKind::HeldAcrossWait,
                 line: lineno,
                 func: func(),
                 message: format!(
                     "{what} releases only its receiver; still holding {} while parked on the condvar",
-                    others.join(", ")
+                    names.join(", ")
                 ),
             });
         }
+        // Recorded even with an empty held set: a caller holding a lock
+        // across a call into this function still parks across the wait.
+        out.block_ops.push(BlockRec { fn_idx, what, is_wait: true, line: lineno, held: others });
         return;
     }
 
     // ---- Held-across-send / recv / spawn ---------------------------------
-    if !guards.is_empty()
-        && (rest.starts_with(".send(") || rest.starts_with(".recv(") || (boundary_before && rest.starts_with("spawn(")))
-    {
+    if rest.starts_with(".send(") || rest.starts_with(".recv(") || (boundary_before && rest.starts_with("spawn(")) {
         let what = if rest.starts_with(".send(") {
             ".send(…)"
         } else if rest.starts_with(".recv(") {
@@ -317,13 +453,19 @@ fn scan_tokens(
         } else {
             "spawn(…)"
         };
-        let held: Vec<String> = guards.iter().map(|g| format!("{} (line {})", g.sym, g.line + 1)).collect();
-        out.lock_findings.push(LockFinding {
-            kind: LockFindingKind::HeldAcrossSend,
-            line: lineno,
-            func: func(),
-            message: format!("{what} while holding {} — a blocked receiver or child stalls the lock", held.join(", ")),
-        });
+        if !guards.is_empty() {
+            let held: Vec<String> = guards.iter().map(|g| format!("{} (line {})", g.sym, g.line + 1)).collect();
+            out.lock_findings.push(LockFinding {
+                kind: LockFindingKind::HeldAcrossSend,
+                line: lineno,
+                func: func(),
+                message: format!(
+                    "{what} while holding {} — a blocked receiver or child stalls the lock",
+                    held.join(", ")
+                ),
+            });
+        }
+        out.block_ops.push(BlockRec { fn_idx, what, is_wait: false, line: lineno, held: held_set(guards) });
         return;
     }
 
@@ -342,13 +484,25 @@ fn scan_tokens(
         return;
     }
 
+    // ---- Call sites ------------------------------------------------------
+    // Recorded (not judged) — the interprocedural pass resolves targets and
+    // judges the held set against the callee's lock summary. Method calls on
+    // non-`self` receivers are never resolvable, so they are not recorded.
+    if boundary_before && !is_definition {
+        if let Some(target) = parse_call(rest, stmt) {
+            if !matches!(target, CallTarget::Method(_)) {
+                out.calls.push(CallRec { fn_idx, target, line: lineno, held: held_set(guards) });
+            }
+        }
+    }
+
     // ---- Hot-loop allocations -------------------------------------------
     if hot_fns.is_empty() || fn_stack.is_empty() {
         return;
     }
-    let in_hot_fn = fn_stack.last().is_some_and(|(n, _)| hot_fns.contains(&n.as_str()));
+    let in_hot_fn = fn_stack.last().is_some_and(|(n, _, _)| hot_fns.contains(&n.as_str()));
     // A loop block between the innermost fn body and here.
-    let fn_depth = fn_stack.last().map_or(0, |(_, d)| *d);
+    let fn_depth = fn_stack.last().map_or(0, |(_, d, _)| *d);
     let in_loop = blocks.len() > fn_depth && blocks[fn_depth..].contains(&BlockKind::Loop);
     if in_hot_fn && in_loop {
         for pat in ALLOC_TOKENS {
@@ -364,39 +518,51 @@ fn scan_tokens(
 
 /// Order verdict for acquiring `new` while `held` is held.
 fn judge(held: &Guard, new: LockSym, lineno: usize, func: &str) -> Option<LockFinding> {
-    let mk = |kind, message| Some(LockFinding { kind, line: lineno, func: func.to_string(), message });
-    if held.sym == new && !matches!(new, LockSym::Shard(None)) {
+    judge_pair(held.sym, held.line, new).map(|(kind, message)| LockFinding {
+        kind,
+        line: lineno,
+        func: func.to_string(),
+        message,
+    })
+}
+
+/// Order verdict for acquiring `new` while `held_sym` (acquired at 0-based
+/// `held_line`) is held — the shared core of the per-function and
+/// interprocedural passes.
+fn judge_pair(held_sym: LockSym, held_line: usize, new: LockSym) -> Option<(LockFindingKind, String)> {
+    let mk = |kind, message| Some((kind, message));
+    if held_sym == new && !matches!(new, LockSym::Shard(None)) {
         return mk(
             LockFindingKind::DoubleLock,
-            format!("re-acquiring {} already held since line {} — self-deadlock on a std mutex", new, held.line + 1),
+            format!("re-acquiring {} already held since line {} — self-deadlock on a std mutex", new, held_line + 1),
         );
     }
-    match (held.sym.rank(), new.rank()) {
+    match (held_sym.rank(), new.rank()) {
         (Some(h), Some(n)) if n <= h => mk(
             LockFindingKind::Inversion,
             format!(
                 "lock-order inversion: acquiring {} while holding {} (acquired line {}); \
                  canonical order is barrier → versions → shard(i) ascending",
                 new,
-                held.sym,
-                held.line + 1
+                held_sym,
+                held_line + 1
             ),
         ),
         (Some(_), Some(_)) => None,
         // At least one non-literal shard index: order among shards unprovable.
-        _ if held.sym.is_shard() && new.is_shard() => mk(
+        _ if held_sym.is_shard() && new.is_shard() => mk(
             LockFindingKind::Unordered,
             format!(
                 "cannot prove acquisition order: {} acquired while holding {} (line {}) and at \
                  least one shard index is not a literal",
                 new,
-                held.sym,
-                held.line + 1
+                held_sym,
+                held_line + 1
             ),
         ),
         // Shard vs non-shard is ordered by construction (shards rank last).
         _ => {
-            let held_is_lower = !held.sym.is_shard();
+            let held_is_lower = !held_sym.is_shard();
             if held_is_lower {
                 None
             } else {
@@ -405,13 +571,331 @@ fn judge(held: &Guard, new: LockSym, lineno: usize, func: &str) -> Option<LockFi
                     format!(
                         "lock-order inversion: acquiring {} while holding {} (acquired line {})",
                         new,
-                        held.sym,
-                        held.line + 1
+                        held_sym,
+                        held_line + 1
                     ),
                 )
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural pass
+// ---------------------------------------------------------------------------
+
+/// One file's walk output, as input to [`interproc`].
+#[derive(Debug, Clone, Copy)]
+pub struct FileLocks<'a> {
+    /// Display path of the file (used in witness chains and anchors).
+    pub path: &'a str,
+    /// The walk output for the file.
+    pub analysis: &'a Analysis,
+    /// Per-line `#[cfg(test)]` mask (see [`crate::scanner::test_regions`]);
+    /// definitions, calls and sites inside test regions are ignored.
+    pub in_test: &'a [bool],
+}
+
+/// One frame of an interprocedural witness chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainFrame {
+    /// The function this frame executes in.
+    pub func: String,
+    /// Display path of the file defining it.
+    pub file: String,
+    /// 0-based line of the site (call, acquisition, or blocking op).
+    pub line: usize,
+    /// What happens at the site: `"calls apply"`, `"acquires shard(0)"`,
+    /// `"may block at .wait_while(…)"`.
+    pub what: String,
+}
+
+impl ChainFrame {
+    fn render(&self) -> String {
+        format!("{} ({}:{}: {})", self.func, self.file, self.line + 1, self.what)
+    }
+}
+
+/// Render a witness chain site-by-site: `push (ps.rs:12: calls apply) →
+/// apply (ps.rs:40: acquires shard(0))`.
+pub fn render_chain(chain: &[ChainFrame]) -> String {
+    chain.iter().map(ChainFrame::render).collect::<Vec<_>>().join(" → ")
+}
+
+/// An interprocedural lock-discipline finding: a caller's held set conflicts
+/// with something a callee does transitively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterprocFinding {
+    /// Same taxonomy as the per-function pass.
+    pub kind: LockFindingKind,
+    /// Display path of the anchor file (the outermost call site).
+    pub file: String,
+    /// 0-based anchor line (the call site in the outermost caller).
+    pub line: usize,
+    /// The outermost caller.
+    pub func: String,
+    /// The witness chain, outermost call first, terminal site last. A
+    /// finding from the lint rule always spans ≥ 2 functions; single-frame
+    /// chains only appear in the intra mode used by regression tests.
+    pub chain: Vec<ChainFrame>,
+    /// Human-readable explanation, ending with the rendered chain.
+    pub message: String,
+}
+
+/// A function's bottom-up lock summary.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    /// Lock classes this function may acquire transitively, each with one
+    /// witness chain from the function's entry to the acquisition site.
+    acquires: BTreeMap<LockSym, Vec<ChainFrame>>,
+    /// Whether the function may block (condvar wait / send / recv / spawn)
+    /// transitively: `(display token, is_wait, witness chain)`.
+    blocks: Option<(&'static str, bool, Vec<ChainFrame>)>,
+}
+
+/// Run the interprocedural lock-order pass over the files of one crate.
+///
+/// Builds the call graph from the recorded definitions and call sites,
+/// propagates lock summaries bottom-up over Tarjan SCCs (mutually recursive
+/// functions share a fixpoint), then judges every resolved call site's held
+/// set against its callee's summary. With `include_intra` the result also
+/// contains single-frame findings equivalent to the per-function pass
+/// (acquisition and blocking sites judged directly) — used by regression
+/// tests to prove the two passes agree on intra-function chains; the lint
+/// rule itself passes `false` and reports only multi-function chains.
+pub fn interproc(files: &[FileLocks<'_>], include_intra: bool) -> Vec<InterprocFinding> {
+    let in_test = |fi: usize, line: usize| files[fi].in_test.get(line).copied().unwrap_or(false);
+
+    // Nodes: every non-test function definition across the files.
+    let mut nodes: Vec<CallGraphNode> = Vec::new();
+    // node_of[file][fn_idx] → node id.
+    let mut node_of: Vec<Vec<Option<usize>>> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let mut map = vec![None; f.analysis.fns.len()];
+        for (k, d) in f.analysis.fns.iter().enumerate() {
+            if in_test(fi, d.line) {
+                continue;
+            }
+            map[k] = Some(nodes.len());
+            nodes.push(CallGraphNode { file: fi, name: d.name.clone(), owner: d.owner.clone(), line: d.line });
+        }
+        node_of.push(map);
+    }
+    let mut cg = CallGraph::new(nodes);
+
+    // Edges: resolved call sites, keeping the held set of each.
+    struct Site {
+        caller: usize,
+        callee: usize,
+        line: usize,
+        held: Vec<HeldLock>,
+    }
+    let mut sites: Vec<Site> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for c in &f.analysis.calls {
+            let Some(k) = c.fn_idx else { continue };
+            let Some(caller) = node_of[fi][k] else { continue };
+            if in_test(fi, c.line) {
+                continue;
+            }
+            if let Some(callee) = cg.resolve(caller, &c.target) {
+                let id = sites.len();
+                sites.push(Site { caller, callee, line: c.line, held: c.held.clone() });
+                cg.add_call(caller, callee, id);
+            }
+        }
+    }
+
+    // Seed each node's summary with its own acquisition / blocking sites.
+    let mut summaries: Vec<Summary> = vec![Summary::default(); cg.nodes.len()];
+    for (fi, f) in files.iter().enumerate() {
+        for a in &f.analysis.acqs {
+            let Some(k) = a.fn_idx else { continue };
+            let Some(nid) = node_of[fi][k] else { continue };
+            if in_test(fi, a.line) {
+                continue;
+            }
+            summaries[nid].acquires.entry(a.sym).or_insert_with(|| {
+                vec![ChainFrame {
+                    func: cg.nodes[nid].name.clone(),
+                    file: f.path.to_string(),
+                    line: a.line,
+                    what: format!("acquires {}", a.sym),
+                }]
+            });
+        }
+        for b in &f.analysis.block_ops {
+            let Some(k) = b.fn_idx else { continue };
+            let Some(nid) = node_of[fi][k] else { continue };
+            if in_test(fi, b.line) {
+                continue;
+            }
+            if summaries[nid].blocks.is_none() {
+                summaries[nid].blocks = Some((
+                    b.what,
+                    b.is_wait,
+                    vec![ChainFrame {
+                        func: cg.nodes[nid].name.clone(),
+                        file: f.path.to_string(),
+                        line: b.line,
+                        what: format!("may block at {}", b.what),
+                    }],
+                ));
+            }
+        }
+    }
+
+    // Propagate bottom-up: `sccs()` yields components callees-first, so by
+    // the time a component is processed every out-of-component callee is
+    // final; within a component, iterate to the (small, monotone) fixpoint.
+    let call_frame = |cg: &CallGraph, v: usize, w: usize, line: usize| ChainFrame {
+        func: cg.nodes[v].name.clone(),
+        file: files[cg.nodes[v].file].path.to_string(),
+        line,
+        what: match &cg.nodes[w].owner {
+            Some(o) => format!("calls {}::{}", o, cg.nodes[w].name),
+            None => format!("calls {}", cg.nodes[w].name),
+        },
+    };
+    for comp in cg.sccs() {
+        loop {
+            let mut changed = false;
+            for &v in &comp {
+                for ei in 0..cg.out[v].len() {
+                    let (w, site_id) = cg.out[v][ei];
+                    let frame = call_frame(&cg, v, w, sites[site_id].line);
+                    let callee_acquires = summaries[w].acquires.clone();
+                    let callee_blocks = summaries[w].blocks.clone();
+                    for (sym, chain) in callee_acquires {
+                        if !summaries[v].acquires.contains_key(&sym) {
+                            let mut c = vec![frame.clone()];
+                            c.extend(chain);
+                            summaries[v].acquires.insert(sym, c);
+                            changed = true;
+                        }
+                    }
+                    if summaries[v].blocks.is_none() {
+                        if let Some((what, is_wait, chain)) = callee_blocks {
+                            let mut c = vec![frame.clone()];
+                            c.extend(chain);
+                            summaries[v].blocks = Some((what, is_wait, c));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // Judge every resolved call site against its callee's summary.
+    let mut out: Vec<InterprocFinding> = Vec::new();
+    for site in &sites {
+        let caller = &cg.nodes[site.caller];
+        let file = files[caller.file].path.to_string();
+        let frame = call_frame(&cg, site.caller, site.callee, site.line);
+        let callee_sum = &summaries[site.callee];
+        for h in &site.held {
+            for (sym, chain) in &callee_sum.acquires {
+                if let Some((kind, core)) = judge_pair(h.sym, h.line, *sym) {
+                    let mut full = vec![frame.clone()];
+                    full.extend(chain.iter().cloned());
+                    out.push(InterprocFinding {
+                        kind,
+                        file: file.clone(),
+                        line: site.line,
+                        func: caller.name.clone(),
+                        message: format!("interprocedural {core}; call chain: {}", render_chain(&full)),
+                        chain: full,
+                    });
+                }
+            }
+        }
+        if let Some((what, is_wait, chain)) = &callee_sum.blocks {
+            if !site.held.is_empty() {
+                let held: Vec<String> = site.held.iter().map(|h| format!("{} (line {})", h.sym, h.line + 1)).collect();
+                let mut full = vec![frame.clone()];
+                full.extend(chain.iter().cloned());
+                let verb = if *is_wait {
+                    format!("{what} releases only its receiver; the caller's guard stays held while parked")
+                } else {
+                    format!("{what} can block while the caller's guard is held")
+                };
+                out.push(InterprocFinding {
+                    kind: if *is_wait { LockFindingKind::HeldAcrossWait } else { LockFindingKind::HeldAcrossSend },
+                    file: file.clone(),
+                    line: site.line,
+                    func: caller.name.clone(),
+                    message: format!(
+                        "interprocedural {verb}: holding {}; call chain: {}",
+                        held.join(", "),
+                        render_chain(&full)
+                    ),
+                    chain: full,
+                });
+            }
+        }
+    }
+
+    // Intra mode: replicate the per-function pass through the same engine,
+    // as single-frame chains, so tests can assert the two passes agree.
+    if include_intra {
+        for (fi, f) in files.iter().enumerate() {
+            let fn_name_of = |idx: Option<usize>| match idx {
+                Some(k) => f.analysis.fns[k].name.clone(),
+                None => "<top>".to_string(),
+            };
+            for a in &f.analysis.acqs {
+                if in_test(fi, a.line) {
+                    continue;
+                }
+                for h in &a.held {
+                    if let Some((kind, core)) = judge_pair(h.sym, h.line, a.sym) {
+                        let func = fn_name_of(a.fn_idx);
+                        let chain = vec![ChainFrame {
+                            func: func.clone(),
+                            file: f.path.to_string(),
+                            line: a.line,
+                            what: format!("acquires {}", a.sym),
+                        }];
+                        out.push(InterprocFinding {
+                            kind,
+                            file: f.path.to_string(),
+                            line: a.line,
+                            func,
+                            message: core,
+                            chain,
+                        });
+                    }
+                }
+            }
+            for b in &f.analysis.block_ops {
+                if in_test(fi, b.line) || b.held.is_empty() {
+                    continue;
+                }
+                let func = fn_name_of(b.fn_idx);
+                let held: Vec<String> = b.held.iter().map(|h| format!("{} (line {})", h.sym, h.line + 1)).collect();
+                out.push(InterprocFinding {
+                    kind: if b.is_wait { LockFindingKind::HeldAcrossWait } else { LockFindingKind::HeldAcrossSend },
+                    file: f.path.to_string(),
+                    line: b.line,
+                    func: func.clone(),
+                    message: format!("{} while holding {}", b.what, held.join(", ")),
+                    chain: vec![ChainFrame {
+                        func,
+                        file: f.path.to_string(),
+                        line: b.line,
+                        what: format!("may block at {}", b.what),
+                    }],
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
 }
 
 /// The identifier the statement currently ends with (the receiver of a
@@ -450,6 +934,11 @@ fn let_binding_name(stmt: &str) -> Option<String> {
 fn classify_block(stmt: &str) -> BlockKind {
     if has_kw(stmt, "fn") {
         return BlockKind::Fn;
+    }
+    // Checked before the loop keywords: `impl<F: for<'a> Fn(…)>` contains a
+    // `for` with identifier boundaries, but the block is still an impl.
+    if has_kw(stmt, "impl") {
+        return BlockKind::Impl;
     }
     if has_kw(stmt, "for") || has_kw(stmt, "while") || has_kw(stmt, "loop") {
         return BlockKind::Loop;

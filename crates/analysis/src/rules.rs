@@ -1,9 +1,71 @@
 //! The lint rule registry.
 //!
-//! Each rule is a pure function from a scanned file (plus its
-//! workspace-relative path) to diagnostics. Rules are registered in
-//! [`registry`]; adding a rule is adding an entry there — the driver,
+//! Rules come in two scopes. A **file rule** ([`Rule`], registered in
+//! [`registry`]) is a pure function from one scanned file (plus its
+//! workspace-relative path) to diagnostics. A **crate rule**
+//! ([`CrateRule`], registered in [`crate_registry`]) sees every scanned
+//! file of the lint run at once — that is what lets the interprocedural
+//! lock-order pass resolve a call in one file to a definition in another.
+//! Adding a rule is adding an entry to the right registry — the driver,
 //! escape hatch, and binary need no changes.
+//!
+//! ## Rule catalog
+//!
+//! Each rule below is shown with a minimal fragment that triggers it.
+//!
+//! **`no-panic`** — no `.unwrap()`/`.expect(…)`/`panic!` in library code of
+//! the pipeline crates:
+//! ```text
+//! // crates/flat/src/pipeline.rs
+//! let shard = shards.get(i).unwrap();          // <-- no-panic
+//! ```
+//!
+//! **`safety-comment`** — every `unsafe` needs a `// SAFETY:` comment on
+//! the same line or directly above:
+//! ```text
+//! let x = unsafe { *ptr };                      // <-- safety-comment
+//! ```
+//!
+//! **`no-wallclock`** — no `Instant::now`/`SystemTime::now` outside the
+//! `agl-obs` clock implementation:
+//! ```text
+//! let t0 = std::time::Instant::now();           // <-- no-wallclock
+//! ```
+//!
+//! **`no-raw-spawn`** — no raw `std::thread::spawn` outside sanctioned
+//! executor modules (scoped threads are fine):
+//! ```text
+//! std::thread::spawn(move || pump(rx));         // <-- no-raw-spawn
+//! ```
+//!
+//! **`lock-order`** — per-function lock discipline in `agl-ps`: canonical
+//! acquisition order, no double-locks, no guard held across a blocking op:
+//! ```text
+//! let s = self.lock_shard(0);
+//! let v = self.lock_versions();                 // <-- lock-order (inversion)
+//! ```
+//!
+//! **`lock-order/interproc`** — the same discipline proven across function
+//! boundaries via the workspace call graph (crate scope):
+//! ```text
+//! fn push(&self) {
+//!     let v = self.lock_versions();
+//!     self.rebalance();                         // <-- lock-order/interproc
+//! }
+//! fn rebalance(&self) {
+//!     let b = self.lock_barrier();              // versions → barrier inverts
+//! }
+//! ```
+//!
+//! **`no-hot-alloc`** — no allocation tokens inside loop bodies of the
+//! registered hot functions:
+//! ```text
+//! fn spmm(&self) {
+//!     for row in rows {
+//!         let copy = row.to_vec();              // <-- no-hot-alloc
+//!     }
+//! }
+//! ```
 //!
 //! ## Escape hatch
 //!
@@ -28,6 +90,7 @@ pub struct Diagnostic {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// Human-readable explanation of the violation.
     pub message: String,
 }
 
@@ -41,12 +104,14 @@ impl std::fmt::Display for Diagnostic {
 pub struct FileView<'a> {
     /// Workspace-relative path, `/`-separated (e.g. `crates/flat/src/pipeline.rs`).
     pub path: &'a str,
+    /// The file's code/comment channels (see [`crate::scanner::scan`]).
     pub scanned: &'a ScannedFile,
     /// Per-line: inside a `#[cfg(test)] mod … { }` region.
     pub in_test_region: Vec<bool>,
 }
 
 impl<'a> FileView<'a> {
+    /// Build a view over a scanned file, computing its test-region mask.
     pub fn new(path: &'a str, scanned: &'a ScannedFile) -> Self {
         let in_test_region = test_regions(scanned);
         Self { path, scanned, in_test_region }
@@ -79,12 +144,26 @@ impl<'a> FileView<'a> {
     }
 }
 
-/// A registered lint rule.
+/// A registered file-scope lint rule.
 pub struct Rule {
     /// Stable rule id — what `agl-lint: allow(<name>)` names.
     pub name: &'static str,
+    /// One-paragraph description, shown by `agl-lint --rules`.
     pub description: &'static str,
+    /// The check: one file in, diagnostics out.
     pub check: fn(&FileView) -> Vec<Diagnostic>,
+}
+
+/// A registered crate-scope lint rule: sees every file of the lint run at
+/// once, so it can resolve cross-file facts (the call graph) that no
+/// single-file rule can.
+pub struct CrateRule {
+    /// Stable rule id — what `agl-lint: allow(<name>)` names.
+    pub name: &'static str,
+    /// One-paragraph description, shown by `agl-lint --rules`.
+    pub description: &'static str,
+    /// The check: the whole file set in, diagnostics out.
+    pub check: fn(&[FileView]) -> Vec<Diagnostic>,
 }
 
 /// All rules, in the order they run.
@@ -135,7 +214,21 @@ pub fn registry() -> &'static [Rule] {
     ]
 }
 
-/// Look up a rule by name.
+/// All crate-scope rules, in the order they run (after the file rules).
+pub fn crate_registry() -> &'static [CrateRule] {
+    &[CrateRule {
+        name: "lock-order/interproc",
+        description: "the lock-order discipline proven across function boundaries: a \
+                      workspace call graph over agl-ps resolves `self.f(…)`, `Type::f(…)` \
+                      and bare calls, lock summaries propagate bottom-up over its SCCs, \
+                      and every call site's held guards are judged against what the callee \
+                      acquires or blocks on transitively; findings name the full call \
+                      chain site by site",
+        check: check_lock_order_interproc,
+    }]
+}
+
+/// Look up a file-scope rule by name.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
     registry().iter().find(|r| r.name == name)
 }
@@ -248,8 +341,14 @@ fn check_no_raw_spawn(view: &FileView) -> Vec<Diagnostic> {
 /// (it *implements* the tracked wrappers).
 const LOCK_IMPL: &str = "crates/ps/src/locks.rs";
 
+/// Is this file in scope for the lock-order rules? (`agl-ps` library
+/// sources, minus the tracker implementation, which *is* the wrappers.)
+fn in_lock_scope(view: &FileView) -> bool {
+    view.path.starts_with("crates/ps/src/") && view.path != LOCK_IMPL && !view.is_exempt_target()
+}
+
 fn check_lock_order(view: &FileView) -> Vec<Diagnostic> {
-    if !view.path.starts_with("crates/ps/src/") || view.path == LOCK_IMPL || view.is_exempt_target() {
+    if !in_lock_scope(view) {
         return Vec::new();
     }
     lockgraph::analyze(view.scanned, &[])
@@ -257,6 +356,33 @@ fn check_lock_order(view: &FileView) -> Vec<Diagnostic> {
         .into_iter()
         .filter(|f| !view.in_test_region[f.line])
         .map(|f| diag(view, "lock-order", f.line, format!("in fn {}: {}", f.func, f.message)))
+        .collect()
+}
+
+/// The interprocedural lock-order pass: analyze every in-scope `agl-ps`
+/// file, assemble the records into a call graph, and report only chains
+/// spanning ≥ 2 functions — intra-function chains are the per-function
+/// [`check_lock_order`]'s job, so nothing double-reports.
+fn check_lock_order_interproc(views: &[FileView]) -> Vec<Diagnostic> {
+    let in_scope: Vec<&FileView> = views.iter().filter(|v| in_lock_scope(v)).collect();
+    if in_scope.is_empty() {
+        return Vec::new();
+    }
+    let analyses: Vec<lockgraph::Analysis> = in_scope.iter().map(|v| lockgraph::analyze(v.scanned, &[])).collect();
+    let files: Vec<lockgraph::FileLocks> = in_scope
+        .iter()
+        .zip(&analyses)
+        .map(|(v, a)| lockgraph::FileLocks { path: v.path, analysis: a, in_test: &v.in_test_region })
+        .collect();
+    lockgraph::interproc(&files, false)
+        .into_iter()
+        .filter(|f| f.chain.len() >= 2)
+        .map(|f| Diagnostic {
+            rule: "lock-order/interproc",
+            path: f.file.clone(),
+            line: f.line + 1,
+            message: format!("in fn {}: {}", f.func, f.message),
+        })
         .collect()
 }
 

@@ -1,10 +1,10 @@
-//! A hand-rolled Rust source scanner.
+//! A hand-rolled Rust source scanner, plus the workspace call graph.
 //!
 //! The lint driver must not depend on `syn` or any external parser (the
 //! workspace builds offline), and the rules it enforces are lexical: "does
 //! this *code* call `.unwrap()`", "is this `unsafe` block preceded by a
-//! `// SAFETY:` comment". So the scanner does exactly one job: split a
-//! source file into **code text** and **comment text**, line by line, with
+//! `// SAFETY:` comment". So the scanner's first job is exactly that: split
+//! a source file into **code text** and **comment text**, line by line, with
 //! string/char-literal contents blanked out of the code channel so that a
 //! pattern occurring inside a literal or a comment never triggers a rule.
 //!
@@ -13,6 +13,19 @@
 //! prefixes), char literals (distinguished from lifetimes), and `//` inside
 //! strings. Not handled (not needed for lexical rules): macro token trees,
 //! doc-comment semantics beyond their text.
+//!
+//! The second half of this module is the **call graph** the interprocedural
+//! lock-order pass runs over: [`CallTarget`] classifies how a call site
+//! names its callee (`self.f(…)`, `Type::f(…)`, bare `f(…)`, or a method on
+//! some other receiver), [`impl_owner`] recovers the `Self` type of an
+//! `impl` block header, and [`CallGraph`] resolves call targets against the
+//! function definitions collected from a set of scanned files and computes
+//! the strongly connected components of the resulting graph in bottom-up
+//! (callees-first) order — the order in which
+//! [`lockgraph::interproc`](crate::lockgraph::interproc) propagates lock
+//! summaries. Resolution is deliberately conservative: a target that cannot
+//! be matched to exactly one in-scope definition stays unresolved, so the
+//! interprocedural pass can under-approximate but never invent a chain.
 
 /// One source file, split into a code channel and a comment channel.
 #[derive(Debug)]
@@ -237,6 +250,317 @@ pub fn test_regions(file: &ScannedFile) -> Vec<bool> {
         }
     }
     in_test
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------------
+
+/// How a call site names its callee, as recovered from the code channel.
+///
+/// The variants carry decreasing amounts of resolvable information:
+/// `self.f(…)` pins the callee to the caller's `impl` owner, `Type::f(…)`
+/// pins it to a named type, a bare `f(…)` can only be a free function, and a
+/// method call on any other receiver (`v.record_push(…)`, `vec.push(…)`)
+/// carries no type information at all — [`CallGraph::resolve`] deliberately
+/// refuses to resolve those rather than guess by method name alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `self.name(…)` or `Self::name(…)` — a method on the caller's owner.
+    SelfMethod(String),
+    /// `Type::name(…)` — an associated function of a named type.
+    Qualified {
+        /// Last path segment of the type (`fmt::Display::f` → `Display`).
+        ty: String,
+        /// The function name.
+        name: String,
+    },
+    /// `name(…)` with no receiver or path — a free function (or a closure /
+    /// tuple constructor; resolution sorts that out by lookup failure).
+    Bare(String),
+    /// `recv.name(…)` where the receiver is not `self` — never resolved.
+    Method(String),
+}
+
+impl CallTarget {
+    /// The callee name, regardless of qualification.
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::SelfMethod(n)
+            | CallTarget::Qualified { name: n, .. }
+            | CallTarget::Bare(n)
+            | CallTarget::Method(n) => n,
+        }
+    }
+}
+
+/// Parse a call token at the head of `rest` (the code channel from the
+/// current position onward). `stmt` is the statement text accumulated
+/// *before* this position; its tail decides the qualifier (`self.`, `Ty::`,
+/// some other receiver, or nothing). Returns `None` when `rest` does not
+/// start with `ident(`.
+///
+/// Macros (`ident!(…)`) and turbofish calls (`ident::<T>(…)`) are not
+/// treated as calls; paths passed as values (`map(Self::helper)`) are not
+/// followed by `(` and are likewise skipped. Both are conservative misses.
+pub fn parse_call(rest: &str, stmt: &str) -> Option<CallTarget> {
+    let first = rest.chars().next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    if !rest[end..].starts_with('(') {
+        return None;
+    }
+    let name = rest[..end].to_string();
+    let head = stmt.trim_end();
+    if let Some(path_head) = head.strip_suffix("::") {
+        let ty = trailing_path_segment(path_head);
+        if ty.is_empty() {
+            // `::foo(` — an absolute path; treat as a free function.
+            return Some(CallTarget::Bare(name));
+        }
+        if ty == "Self" {
+            return Some(CallTarget::SelfMethod(name));
+        }
+        return Some(CallTarget::Qualified { ty, name });
+    }
+    if let Some(recv_head) = head.strip_suffix('.') {
+        let recv = trailing_path_segment(recv_head);
+        if recv == "self" {
+            return Some(CallTarget::SelfMethod(name));
+        }
+        return Some(CallTarget::Method(name));
+    }
+    Some(CallTarget::Bare(name))
+}
+
+/// The trailing identifier of `s` (empty when `s` ends with a non-ident
+/// char, e.g. a `)` from a chained call).
+fn trailing_path_segment(s: &str) -> String {
+    let tail: String = s.chars().rev().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    tail.chars().rev().collect()
+}
+
+/// Extract the `Self` type name from an `impl` block header: the type after
+/// `for` in a trait impl, the inherent type otherwise; generics and paths
+/// are stripped to the last plain segment. Returns `None` when the header is
+/// not an impl (e.g. an `impl Trait` return type inside an `fn` header).
+pub fn impl_owner(header: &str) -> Option<String> {
+    // Find the `impl` keyword with identifier boundaries on both sides.
+    let bytes = header.as_bytes();
+    let mut at = None;
+    let mut from = 0usize;
+    while let Some(pos) = header[from..].find("impl") {
+        let i = from + pos;
+        let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let after = i + 4;
+        let after_ok = after >= header.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            at = Some(after);
+            break;
+        }
+        from = i + 4;
+    }
+    let mut rest = header[at?..].trim_start();
+    // Skip the generic parameter list, if any.
+    if rest.starts_with('<') {
+        let mut depth = 0i64;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest[cut..].trim_start();
+    }
+    // A trait impl names the Self type after a top-level `for`.
+    let mut depth = 0i64;
+    let mut prev_ident = false;
+    let mut idx = 0usize;
+    let chars: Vec<char> = rest.chars().collect();
+    while idx < chars.len() {
+        match chars[idx] {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            'f' if depth == 0 && !prev_ident => {
+                let is_for = rest[idx..].starts_with("for")
+                    && !chars.get(idx + 3).is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_');
+                if is_for {
+                    rest = rest[idx + 3..].trim_start();
+                    break;
+                }
+            }
+            _ => {}
+        }
+        prev_ident = chars[idx].is_ascii_alphanumeric() || chars[idx] == '_';
+        idx += 1;
+    }
+    // `rest` now starts at the Self type: take its leading path, then the
+    // last segment, shorn of generics.
+    let path_end = rest
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_' || *c == ':'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let path = rest[..path_end].trim_end_matches(':');
+    let seg = path.rsplit("::").next().unwrap_or(path);
+    if seg.is_empty() || seg.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+        // `impl` followed by nothing useful (or a keyword) — not an owner.
+        return None;
+    }
+    Some(seg.to_string())
+}
+
+/// A function definition node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraphNode {
+    /// Index of the file (in the caller-supplied file list) defining it.
+    pub file: usize,
+    /// The function name.
+    pub name: String,
+    /// The `impl` owner type, or `None` for a free function.
+    pub owner: Option<String>,
+    /// 0-based line of the definition.
+    pub line: usize,
+}
+
+/// The resolved workspace call graph: nodes are function definitions, edges
+/// are call sites whose [`CallTarget`] matched exactly one definition.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Function definitions, indexed by node id.
+    pub nodes: Vec<CallGraphNode>,
+    /// `out[n]` lists `(callee, call_site_id)` edges out of node `n`; the
+    /// call-site id is whatever the caller passed to [`CallGraph::add_call`].
+    pub out: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Build an edgeless graph over `nodes`.
+    pub fn new(nodes: Vec<CallGraphNode>) -> Self {
+        let out = vec![Vec::new(); nodes.len()];
+        CallGraph { nodes, out }
+    }
+
+    /// Resolve `target`, as seen from `caller`, to a node id.
+    ///
+    /// Rules (all require a *unique* match, else `None`):
+    /// - `SelfMethod` matches a node whose owner equals the caller's owner;
+    /// - `Qualified` matches a node whose owner equals the named type;
+    /// - `Bare` matches a free function (same-file definitions win when the
+    ///   name is defined in several files);
+    /// - `Method` never resolves — the receiver's type is unknown, and e.g.
+    ///   `v.record_push(…)` must not resolve to `ParameterServer::push`.
+    pub fn resolve(&self, caller: usize, target: &CallTarget) -> Option<usize> {
+        let matches: Vec<usize> = match target {
+            CallTarget::Method(_) => return None,
+            CallTarget::SelfMethod(name) => {
+                let owner = self.nodes[caller].owner.as_ref()?;
+                self.find(|n| n.name == *name && n.owner.as_ref() == Some(owner))
+            }
+            CallTarget::Qualified { ty, name } => {
+                self.find(|n| n.name == *name && n.owner.as_deref() == Some(ty.as_str()))
+            }
+            CallTarget::Bare(name) => {
+                let all = self.find(|n| n.name == *name && n.owner.is_none());
+                if all.len() > 1 {
+                    let file = self.nodes[caller].file;
+                    let local: Vec<usize> = all.iter().copied().filter(|&n| self.nodes[n].file == file).collect();
+                    if local.len() == 1 {
+                        return Some(local[0]);
+                    }
+                }
+                all
+            }
+        };
+        if matches.len() == 1 {
+            Some(matches[0])
+        } else {
+            None
+        }
+    }
+
+    fn find(&self, pred: impl Fn(&CallGraphNode) -> bool) -> Vec<usize> {
+        self.nodes.iter().enumerate().filter(|(_, n)| pred(n)).map(|(i, _)| i).collect()
+    }
+
+    /// Record a resolved call edge `caller → callee` tagged with an opaque
+    /// call-site id (used by the lock pass to recover held-lock sets).
+    pub fn add_call(&mut self, caller: usize, callee: usize, call_id: usize) {
+        self.out[caller].push((callee, call_id));
+    }
+
+    /// Strongly connected components of the graph, in bottom-up order:
+    /// every SCC appears after all SCCs it has edges into (callees first).
+    /// This is Tarjan's algorithm, iterative so deep chains can't overflow
+    /// the stack; Tarjan emits an SCC only once all its successors' SCCs
+    /// have been emitted, which is exactly the summary-propagation order.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        // Work items: (node, next out-edge position to explore).
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            work.push((start, 0));
+            while let Some(&(v, ei)) = work.last() {
+                if ei == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if ei < self.out[v].len() {
+                    work.last_mut().expect("work non-empty").1 += 1;
+                    let (w, _) = self.out[v][ei];
+                    if index[w] == usize::MAX {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

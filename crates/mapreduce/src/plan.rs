@@ -12,7 +12,7 @@
 //! emits. [`JobPlanValidator::validate`] checks the chain (plus spill
 //! sanity) and is run automatically under `debug_assertions` by
 //! [`MapReduceJob::new`](crate::engine::MapReduceJob::new) whenever a plan
-//! is attached to the [`JobConfig`](crate::engine::JobConfig).
+//! is attached to the [`JobConfig`].
 //! [`JobPlanValidator::check_reducer_determinism`] is the sampled
 //! double-run check: feed a reducer the same group with values in
 //! different orders and require byte-identical emissions.

@@ -14,6 +14,8 @@
 //! cheap `None` check, so instrumented hot paths cost nothing when no one
 //! is observing.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod json;
 pub mod metrics;
@@ -60,6 +62,7 @@ impl Obs {
         Self::enabled_with(Clock::logical())
     }
 
+    /// Is anything collecting? (`false` for [`Obs::disabled`]/default.)
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }

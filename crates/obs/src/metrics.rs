@@ -18,11 +18,17 @@ pub enum HistogramKind {
     /// Bucket `i` counts observations with value exactly `i`; the last
     /// bucket absorbs everything `>= buckets - 1` (overflow). Used where
     /// the value domain is small and exact — e.g. SSP staleness steps.
-    Linear { buckets: usize },
+    Linear {
+        /// Number of buckets (the last one is the overflow bucket).
+        buckets: usize,
+    },
     /// Bucket 0 counts zeros; bucket `k >= 1` counts values in
     /// `[2^(k-1), 2^k)`; the last bucket absorbs the tail. Used for wide
     /// domains like nanosecond latencies.
-    Log2 { buckets: usize },
+    Log2 {
+        /// Number of buckets (the last one is the overflow bucket).
+        buckets: usize,
+    },
 }
 
 impl HistogramKind {
@@ -73,16 +79,24 @@ pub struct Histogram {
 /// Point-in-time view of a histogram, with percentile estimates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
+    /// Total number of observations.
     pub count: u64,
+    /// Sum of all observed values.
     pub sum: u64,
+    /// Largest observed value.
     pub max: u64,
+    /// Median estimate (bucket upper bound).
     pub p50: u64,
+    /// 95th-percentile estimate (bucket upper bound).
     pub p95: u64,
+    /// 99th-percentile estimate (bucket upper bound).
     pub p99: u64,
+    /// Per-bucket observation counts, in bucket order.
     pub buckets: Vec<u64>,
 }
 
 impl Histogram {
+    /// Empty histogram with the given bucketing scheme.
     pub fn new(kind: HistogramKind) -> Self {
         let n = kind.buckets();
         Self {
@@ -105,10 +119,12 @@ impl Histogram {
         Self::new(HistogramKind::Log2 { buckets })
     }
 
+    /// The bucketing scheme this histogram was built with.
     pub fn kind(&self) -> HistogramKind {
         self.kind
     }
 
+    /// Record one observation.
     pub fn record(&self, v: u64) {
         self.counts[self.kind.index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -116,14 +132,17 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Total number of observations so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observed values so far.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Largest value observed so far.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
@@ -153,6 +172,8 @@ impl Histogram {
         self.max()
     }
 
+    /// Consistent view of count/sum/max, the p50/p95/p99 estimates, and
+    /// the raw bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
@@ -179,8 +200,11 @@ enum Metric {
 /// Snapshot value for one metric.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetricValue {
+    /// Accumulated counter total.
     Counter(u64),
+    /// Last value stored in the gauge.
     Gauge(u64),
+    /// Full histogram snapshot (count/sum/max, percentiles, buckets).
     Histogram(HistogramSnapshot),
 }
 
@@ -192,6 +216,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// An empty registry. Same as `default()`.
     pub fn new() -> Self {
         Self::default()
     }
@@ -220,10 +245,12 @@ impl MetricsRegistry {
         }
     }
 
+    /// Bump counter `name` by `delta`.
     pub fn add(&self, name: &str, delta: u64) {
         self.counter(name).fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Bump counter `name` by one.
     pub fn inc(&self, name: &str) {
         self.add(name, 1);
     }
@@ -244,6 +271,7 @@ impl MetricsRegistry {
         }
     }
 
+    /// Store `value` into gauge `name` (last write wins).
     pub fn gauge_set(&self, name: &str, value: u64) {
         self.gauge(name).store(value, Ordering::Relaxed);
     }

@@ -25,9 +25,11 @@ use std::sync::{Arc, Mutex};
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
+    /// Track (thread/stage lane) the span ran on.
     pub track: String,
     /// Per-track begin order (0-based) — the deterministic sort key.
     pub seq: u64,
+    /// Span name, e.g. `ps.push` or `flat.round.map`.
     pub name: String,
     /// Begin timestamp in clock units (nanoseconds or logical ticks).
     pub ts: u64,
@@ -65,10 +67,12 @@ pub struct TraceSink {
 }
 
 impl TraceSink {
+    /// Empty sink timestamping with `clock`.
     pub fn new(clock: Clock) -> Self {
         Self { inner: Arc::new(SinkInner { clock, state: Mutex::new(SinkState::default()) }) }
     }
 
+    /// The clock spans are stamped with.
     pub fn clock(&self) -> &Clock {
         &self.inner.clock
     }
@@ -221,6 +225,7 @@ impl Span {
         Self { sink: None, track: String::new(), name: String::new(), seq: 0, ts: 0, depth: 0, args: Vec::new() }
     }
 
+    /// Is this span recording? (`false` for [`Span::disabled`].)
     pub fn is_enabled(&self) -> bool {
         self.sink.is_some()
     }

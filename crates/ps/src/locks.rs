@@ -105,6 +105,8 @@ pub struct LockOrderTracker {
 }
 
 impl LockOrderTracker {
+    /// A fresh tracker with no observed edges; shared by every
+    /// [`TrackedMutex`] of one lock domain.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
@@ -187,6 +189,7 @@ pub struct TrackedMutex<T> {
 }
 
 impl<T> TrackedMutex<T> {
+    /// Wrap `value` in a mutex registered with `tracker` under `class`.
     pub fn new(tracker: &Arc<LockOrderTracker>, class: LockClass, value: T) -> Self {
         Self { class, tracker: Arc::clone(tracker), inner: Mutex::new(value) }
     }

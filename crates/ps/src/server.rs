@@ -3,9 +3,7 @@
 //! **Lock-order discipline.** The server owns three lock families, and
 //! every path acquires them in the canonical order `Barrier → Versions →
 //! Shard(0..S)` (shards ascending). All acquisitions go through the
-//! [`lock_barrier`](ParameterServer::lock_barrier) /
-//! [`lock_versions`](ParameterServer::lock_versions) /
-//! [`lock_shard`](ParameterServer::lock_shard) wrappers, which are
+//! `lock_barrier` / `lock_versions` / `lock_shard` wrappers, which are
 //! statically linted by `agl-analysis` (`lock-order` rule) and dynamically
 //! checked in debug builds by [`LockOrderTracker`] (any two code paths that
 //! disagree about the order abort the run at the second acquisition site).
@@ -452,7 +450,7 @@ impl ParameterServer {
 
     /// Pull the parameter vector together with its model version (number of
     /// optimizer steps it reflects). The version table is held across the
-    /// shard sweep, and [`apply`](Self::apply) holds it across its writes,
+    /// shard sweep, and `apply` holds it across its writes,
     /// so the returned pair is a consistent cut — the staleness recorded
     /// when this worker later pushes is exact.
     pub fn pull_with_version(&self, worker: usize) -> (Vec<f32>, u64) {

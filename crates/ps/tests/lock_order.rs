@@ -44,6 +44,38 @@ fn induced_inversion_reports_cycle_with_both_sites() {
     assert!(sites >= 2, "expected both lock sites in the report, got {sites}: {msg}");
 }
 
+/// The split-function inversion shape: the "push"-like caller holds one
+/// lock while a callee acquires a lower-ranked one. Neither function
+/// misorders anything lexically — this is exactly the chain the static
+/// `lock-order/interproc` rule proves from the call graph, and this test
+/// pins the dynamic tracker to the same verdict at runtime.
+#[test]
+fn split_function_inversion_also_aborts_the_dynamic_tracker() {
+    fn caller(hi: &TrackedMutex<()>, lo: &TrackedMutex<()>) {
+        let _held = hi.acquire();
+        callee(lo);
+    }
+    fn callee(lo: &TrackedMutex<()>) {
+        let _g = lo.acquire();
+    }
+
+    let tracker = LockOrderTracker::new();
+    let lo = TrackedMutex::new(&tracker, LockClass::Shard(0), ());
+    let hi = TrackedMutex::new(&tracker, LockClass::Shard(3), ());
+
+    // Establish the canonical edge shard(0) → shard(3), then run the
+    // inverted chain split across two functions.
+    {
+        let _a = lo.acquire();
+        let _b = hi.acquire();
+    }
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| caller(&hi, &lo)))
+        .expect_err("interprocedural inversion must abort the tracker in debug builds");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("lock-order inversion"), "unexpected report: {msg}");
+    assert!(msg.contains("shard(0)") && msg.contains("shard(3)"), "{msg}");
+}
+
 fn rank(name: &str) -> u64 {
     match name {
         "barrier" => 0,
