@@ -10,6 +10,16 @@
 #                      from the existing snapshots, override with
 #                      AGL_BENCH_PR=<n>), then gated against the previous
 #                      snapshot: any median >20% slower fails.
+#   ./ci.sh --sanitize opt-in (not tier-1): run the ps + trainer
+#                      concurrency tests under ThreadSanitizer. Needs a
+#                      nightly toolchain with the rust-src component;
+#                      skips with a message when one is not installed.
+#                      Division of labor: the agl-lint atomics rule and the
+#                      debug-mode vector-clock tracker cover the orderings
+#                      the workspace's own abstractions mediate, every run;
+#                      TSan additionally checks raw std::sync usage and the
+#                      code paths the lexical analysis cannot see, at ~10x
+#                      runtime cost — hence opt-in rather than tier-1.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -56,6 +66,29 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "==> bench regression gate: no previous snapshot, nothing to compare"
   fi
   echo "ci.sh: bench smoke green -> results/BENCH_pr${n}.json + TRACE_pr${n}.json"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  # ThreadSanitizer needs -Zsanitizer=thread and a rebuilt std, both
+  # nightly-only. Probe for a usable toolchain and skip gracefully so the
+  # mode is safe to wire into any environment.
+  if ! rustup run nightly rustc --version >/dev/null 2>&1; then
+    echo "==> sanitize: no nightly toolchain installed; skipping (rustup toolchain install nightly)"
+    exit 0
+  fi
+  if ! rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    echo "==> sanitize: nightly lacks rust-src (needed for -Zbuild-std); skipping (rustup component add rust-src --toolchain nightly)"
+    exit 0
+  fi
+  host=$(rustc -vV | sed -n 's/^host: //p')
+  step "tsan: ps concurrency tests" \
+    env RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -p agl-ps -Zbuild-std --target "$host"
+  step "tsan: trainer concurrency tests" \
+    env RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -p agl-trainer -Zbuild-std --target "$host"
+  echo "ci.sh: sanitize green"
   exit 0
 fi
 

@@ -8,12 +8,19 @@
 //!                                 # dispatch; crate-scope rules see the
 //!                                 # whole set)
 //! agl-lint --rules                # list registered rules (file and crate)
+//! agl-lint --explain <rule>       # print a rule's catalog entry + example
 //! ```
 //!
 //! Exits 0 when clean, 1 when any diagnostic fires, 2 on usage/IO errors.
-//! Diagnostics print as `path:line: [rule] message`.
+//! Diagnostics print as `path:line: [rule] message`, followed by a
+//! per-rule count summary on stderr so a newly nonzero rule is visible at
+//! a glance.
 
-use agl_analysis::{crate_registry, find_workspace_root, lint_sources, lint_workspace, registry, Diagnostic};
+use agl_analysis::{
+    crate_registry, crate_rule_by_name, find_workspace_root, lint_sources, lint_workspace, registry, rule_by_name,
+    Diagnostic,
+};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,6 +36,28 @@ fn main() -> ExitCode {
         }
         for rule in crate_registry() {
             println!("{:<22} {}", rule.name, rule.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(name) = args.get(pos + 1) else {
+            eprintln!("agl-lint: --explain needs a rule name (see --rules)");
+            return ExitCode::from(2);
+        };
+        let entry = rule_by_name(name)
+            .map(|r| (r.name, r.description, r.example))
+            .or_else(|| crate_rule_by_name(name).map(|r| (r.name, r.description, r.example)));
+        let Some((rule, description, example)) = entry else {
+            eprintln!("agl-lint: no rule named `{name}` (see --rules)");
+            return ExitCode::from(2);
+        };
+        println!("{rule}");
+        println!();
+        println!("{description}");
+        println!();
+        println!("Example:");
+        for line in example.lines() {
+            println!("    {line}");
         }
         return ExitCode::SUCCESS;
     }
@@ -66,6 +95,7 @@ fn main() -> ExitCode {
             for d in &diags {
                 println!("{d}");
             }
+            print_rule_counts(&diags);
             if diags.is_empty() {
                 ExitCode::SUCCESS
             } else {
@@ -80,6 +110,23 @@ fn main() -> ExitCode {
     }
 }
 
+/// One line per registered rule with its finding count — zeros included, so
+/// tier-1 logs show every rule ran and a newly nonzero one stands out.
+fn print_rule_counts(diags: &[Diagnostic]) {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in registry() {
+        counts.insert(rule.name, 0);
+    }
+    for rule in crate_registry() {
+        counts.insert(rule.name, 0);
+    }
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let summary: Vec<String> = counts.iter().map(|(name, n)| format!("{name}={n}")).collect();
+    eprintln!("agl-lint: per-rule findings: {}", summary.join(" "));
+}
+
 fn lint_files(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     for p in paths {
@@ -91,5 +138,5 @@ fn lint_files(paths: &[String]) -> std::io::Result<Vec<Diagnostic>> {
 }
 
 fn print_usage() {
-    eprintln!("usage: agl-lint --workspace [root] | --rules | <file.rs>…");
+    eprintln!("usage: agl-lint --workspace [root] | --rules | --explain <rule> | <file.rs>…");
 }

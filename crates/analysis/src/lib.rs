@@ -30,6 +30,17 @@
 //!   `agl_ps::locks`): debug builds record every real acquisition edge and
 //!   abort on the first cycle. The whole model is written up in the
 //!   repository's `CONCURRENCY.md`.
+//! * **Happens-before pass** ([`atomics`]): a walk over the same scanner
+//!   output that records every atomic declaration and access site with its
+//!   `Ordering`, classifies each atomic as thread-local or cross-thread
+//!   (spawn captures, statics, `Arc`-reachable owners, spawn-reachability
+//!   over the call graph), and flags unordered `Relaxed` traffic, mixed
+//!   orderings, and non-atomic spawn-write/outside-read pairs — the
+//!   `atomics` rule. Its dynamic complement is `agl_ps::hb`: per-thread
+//!   vector clocks advanced at `TrackedMutex` acquire/release and
+//!   spawn/join, with a `TrackedAtomic<…>` wrapper (exempt from the static
+//!   rule) that aborts debug builds on concurrent unordered conflicting
+//!   accesses, naming both sites.
 //! * **Plan-level verifiers**: [`ConflictFreedomVerifier`] proves an
 //!   [`agl_tensor::EdgePartition`] is pairwise disjoint, covering, and
 //!   nnz-balanced before threads spawn (the dynamic complement is
@@ -42,22 +53,25 @@
 
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod conflict;
 pub mod lint;
 pub mod lockgraph;
 pub mod rules;
 pub mod scanner;
 
+pub use atomics::{AtomicFinding, FileAtomics};
 pub use conflict::ConflictFreedomVerifier;
 pub use lint::{collect_rs_files, find_workspace_root, lint_source, lint_sources, lint_workspace};
 pub use lockgraph::{
     interproc, render_chain, AllocSite, Analysis, ChainFrame, FileLocks, InterprocFinding, LockEdge, LockFinding,
     LockFindingKind, LockSym,
 };
-pub use rules::{crate_registry, registry, rule_by_name, CrateRule, Diagnostic, FileView, Rule};
+pub use rules::{crate_registry, crate_rule_by_name, registry, rule_by_name, CrateRule, Diagnostic, FileView, Rule};
 
 // The runtime halves of the concurrency-safety story, re-exported so
 // callers find the whole analysis surface in one crate.
+pub use agl_ps::hb::{Handoff, HbTracker, JoinPool, TrackedAtomic};
 pub use agl_ps::locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 
 // The mapreduce-side plan verifier, re-exported so callers find the whole

@@ -67,6 +67,21 @@
 //! }
 //! ```
 //!
+//! **`atomics`** — happens-before discipline for atomics (crate scope):
+//! every atomic classified as cross-thread (captured by a spawn closure,
+//! declared `static`, or reachable through an `Arc`) must not be accessed
+//! `Relaxed` without a lock, `SeqCst` fence, or acquire/release pairing;
+//! mixed orderings on one atomic and non-atomic spawn-write/outside-read
+//! pairs are flagged too. `TrackedAtomic<…>` declarations are exempt — the
+//! dynamic vector-clock tracker (`agl_ps::hb`) owns those at runtime:
+//! ```text
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         self.ready.store(1, Ordering::Relaxed);   // <-- atomics
+//!     });
+//! });
+//! ```
+//!
 //! ## Escape hatch
 //!
 //! Any diagnostic can be suppressed with an inline comment on the same
@@ -78,6 +93,7 @@
 //!
 //! The justification is not parsed, but reviewers expect one.
 
+use crate::atomics;
 use crate::lockgraph;
 use crate::scanner::{test_regions, ScannedFile};
 
@@ -150,6 +166,8 @@ pub struct Rule {
     pub name: &'static str,
     /// One-paragraph description, shown by `agl-lint --rules`.
     pub description: &'static str,
+    /// A minimal triggering fragment, shown by `agl-lint --explain <name>`.
+    pub example: &'static str,
     /// The check: one file in, diagnostics out.
     pub check: fn(&FileView) -> Vec<Diagnostic>,
 }
@@ -162,6 +180,8 @@ pub struct CrateRule {
     pub name: &'static str,
     /// One-paragraph description, shown by `agl-lint --rules`.
     pub description: &'static str,
+    /// A minimal triggering fragment, shown by `agl-lint --explain <name>`.
+    pub example: &'static str,
     /// The check: the whole file set in, diagnostics out.
     pub check: fn(&[FileView]) -> Vec<Diagnostic>,
 }
@@ -174,12 +194,14 @@ pub fn registry() -> &'static [Rule] {
             description: "no .unwrap()/.expect(…)/panic! in library code of pipeline crates \
                           (a panic in a task is an unreportable failure; return an error the \
                           retry machinery can see)",
+            example: "let shard = shards.get(i).unwrap();          // <-- no-panic",
             check: check_no_panic,
         },
         Rule {
             name: "safety-comment",
             description: "every `unsafe` must be preceded by a `// SAFETY:` comment stating \
                           the invariant that makes it sound",
+            example: "let x = unsafe { *ptr };                      // <-- safety-comment",
             check: check_safety_comment,
         },
         Rule {
@@ -188,12 +210,14 @@ pub fn registry() -> &'static [Rule] {
                           module — all timing routes through agl_obs::Clock, so a \
                           logical-clock run is bit-reproducible end to end (retried tasks, \
                           recorded traces)",
+            example: "let t0 = std::time::Instant::now();           // <-- no-wallclock",
             check: check_no_wallclock,
         },
         Rule {
             name: "no-raw-spawn",
             description: "no raw std::thread::spawn outside sanctioned executor modules; use \
                           std::thread::scope so panics propagate and joins are guaranteed",
+            example: "std::thread::spawn(move || pump(rx));         // <-- no-raw-spawn",
             check: check_no_raw_spawn,
         },
         Rule {
@@ -203,12 +227,14 @@ pub fn registry() -> &'static [Rule] {
                           never hold a guard across .send(…)/.recv(…)/spawn(…) or across a \
                           condvar wait on a different guard (the wait's own receiver is \
                           release+reacquire, not a violation)",
+            example: "let s = self.lock_shard(0);\nlet v = self.lock_versions();                 // <-- lock-order (inversion)",
             check: check_lock_order,
         },
         Rule {
             name: "no-hot-alloc",
             description: "no allocation (Vec::new/vec!/.to_vec/.clone/format!/.collect) inside \
                           loop bodies of the aggregation kernels and reducer hot functions",
+            example: "fn spmm(&self) {\n    for row in rows {\n        let copy = row.to_vec();              // <-- no-hot-alloc\n    }\n}",
             check: check_no_hot_alloc,
         },
     ]
@@ -216,21 +242,43 @@ pub fn registry() -> &'static [Rule] {
 
 /// All crate-scope rules, in the order they run (after the file rules).
 pub fn crate_registry() -> &'static [CrateRule] {
-    &[CrateRule {
-        name: "lock-order/interproc",
-        description: "the lock-order discipline proven across function boundaries: a \
-                      workspace call graph over agl-ps resolves `self.f(…)`, `Type::f(…)` \
-                      and bare calls, lock summaries propagate bottom-up over its SCCs, \
-                      and every call site's held guards are judged against what the callee \
-                      acquires or blocks on transitively; findings name the full call \
-                      chain site by site",
-        check: check_lock_order_interproc,
-    }]
+    &[
+        CrateRule {
+            name: "lock-order/interproc",
+            description: "the lock-order discipline proven across function boundaries: a \
+                          workspace call graph over agl-ps resolves `self.f(…)`, `Type::f(…)` \
+                          and bare calls, lock summaries propagate bottom-up over its SCCs, \
+                          and every call site's held guards are judged against what the callee \
+                          acquires or blocks on transitively; findings name the full call \
+                          chain site by site",
+            example: "fn push(&self) {\n    let v = self.lock_versions();\n    self.rebalance();                         // <-- lock-order/interproc\n}\nfn rebalance(&self) {\n    let b = self.lock_barrier();              // versions → barrier inverts\n}",
+            check: check_lock_order_interproc,
+        },
+        CrateRule {
+            name: "atomics",
+            description: "happens-before discipline for atomics: each atomic is classified as \
+                          thread-local or cross-thread (captured by a spawn closure, declared \
+                          static, or reachable through an Arc — spawn-reachability propagates \
+                          over the workspace call graph); a cross-thread Relaxed access with \
+                          no lock, SeqCst fence, or acquire/release pairing is flagged, as \
+                          are mixed orderings on one atomic and non-atomic variables written \
+                          in a spawn closure but read outside it with no join on the path; \
+                          TrackedAtomic<…> declarations are exempt (the agl_ps::hb \
+                          vector-clock tracker checks those at runtime)",
+            example: "std::thread::scope(|s| {\n    s.spawn(|| {\n        self.ready.store(1, Ordering::Relaxed);   // <-- atomics\n    });\n});",
+            check: check_atomics,
+        },
+    ]
 }
 
 /// Look up a file-scope rule by name.
 pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
     registry().iter().find(|r| r.name == name)
+}
+
+/// Look up a crate-scope rule by name.
+pub fn crate_rule_by_name(name: &str) -> Option<&'static CrateRule> {
+    crate_registry().iter().find(|r| r.name == name)
 }
 
 fn diag(view: &FileView, rule: &'static str, line: usize, message: String) -> Diagnostic {
@@ -337,14 +385,15 @@ fn check_no_raw_spawn(view: &FileView) -> Vec<Diagnostic> {
     out
 }
 
-/// The dynamic tracker itself is the one module allowed to touch raw locks
-/// (it *implements* the tracked wrappers).
-const LOCK_IMPL: &str = "crates/ps/src/locks.rs";
+/// The dynamic trackers themselves are the modules allowed to touch raw
+/// locks (they *implement* the tracked wrappers): the lock-order tracker
+/// and the vector-clock happens-before tracker.
+const LOCK_IMPL: &[&str] = &["crates/ps/src/locks.rs", "crates/ps/src/hb.rs"];
 
 /// Is this file in scope for the lock-order rules? (`agl-ps` library
-/// sources, minus the tracker implementation, which *is* the wrappers.)
+/// sources, minus the tracker implementations, which *are* the wrappers.)
 fn in_lock_scope(view: &FileView) -> bool {
-    view.path.starts_with("crates/ps/src/") && view.path != LOCK_IMPL && !view.is_exempt_target()
+    view.path.starts_with("crates/ps/src/") && !LOCK_IMPL.contains(&view.path) && !view.is_exempt_target()
 }
 
 fn check_lock_order(view: &FileView) -> Vec<Diagnostic> {
@@ -379,6 +428,39 @@ fn check_lock_order_interproc(views: &[FileView]) -> Vec<Diagnostic> {
         .filter(|f| f.chain.len() >= 2)
         .map(|f| Diagnostic {
             rule: "lock-order/interproc",
+            path: f.file.clone(),
+            line: f.line + 1,
+            message: format!("in fn {}: {}", f.func, f.message),
+        })
+        .collect()
+}
+
+/// Is this file in scope for the atomics pass? All library sources — the
+/// audited atomic sites span ps, obs, tensor, and mapreduce — except the
+/// vector-clock tracker itself, which implements `TrackedAtomic` and
+/// manipulates raw atomics and orderings by design.
+fn in_atomics_scope(view: &FileView) -> bool {
+    view.path != "crates/ps/src/hb.rs" && !view.is_exempt_target()
+}
+
+/// The happens-before atomics pass: walk every in-scope file, then run the
+/// crate-scope classification (receiver resolution, Arc/static/spawn escape
+/// analysis, spawn-reachability over the call graph) and judge the sites.
+fn check_atomics(views: &[FileView]) -> Vec<Diagnostic> {
+    let in_scope: Vec<&FileView> = views.iter().filter(|v| in_atomics_scope(v)).collect();
+    if in_scope.is_empty() {
+        return Vec::new();
+    }
+    let analyses: Vec<atomics::Analysis> = in_scope.iter().map(|v| atomics::analyze(v.scanned)).collect();
+    let files: Vec<atomics::FileAtomics> = in_scope
+        .iter()
+        .zip(&analyses)
+        .map(|(v, a)| atomics::FileAtomics { path: v.path, analysis: a, in_test: &v.in_test_region })
+        .collect();
+    atomics::interproc(&files)
+        .into_iter()
+        .map(|f| Diagnostic {
+            rule: "atomics",
             path: f.file.clone(),
             line: f.line + 1,
             message: format!("in fn {}: {}", f.func, f.message),

@@ -1,0 +1,189 @@
+//! End-to-end tests of the atomics/happens-before rule through the
+//! `agl-lint` binary: seeded fixtures with cross-thread `Relaxed` traffic
+//! or mixed orderings must fail with a `file:line` diagnostic, while the
+//! sanctioned shapes (lock-protected counters, non-escaping locals, and
+//! annotated sites) must lint clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch workspace under the system temp dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str, files: &[(&str, &str)]) -> Self {
+        let root = std::env::temp_dir().join(format!("agl-lint-atomics-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("write manifest");
+        for (rel, contents) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().expect("fixture file has parent")).expect("create dirs");
+            std::fs::write(path, contents).expect("write fixture file");
+        }
+        Self { root }
+    }
+
+    fn lint(&self) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_agl-lint"))
+            .args(["--workspace"])
+            .arg(&self.root)
+            .output()
+            .expect("run agl-lint")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn cross_thread_relaxed_publication_is_flagged() {
+    let fx = Fixture::new(
+        "publication",
+        &[(
+            "crates/flat/src/bad.rs",
+            "impl Publisher {\n\
+             \x20   pub fn publish(&self) {\n\
+             \x20       self.ready.store(true, Ordering::Relaxed);\n\
+             \x20   }\n\
+             }\n\
+             struct Publisher {\n\
+             \x20   ready: Arc<AtomicBool>,\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/flat/src/bad.rs:3: [atomics]"), "missing diagnostic in: {stdout}");
+    assert!(stdout.contains("Relaxed store"), "{stdout}");
+    assert!(stdout.contains("Publisher::ready"), "{stdout}");
+}
+
+#[test]
+fn mixed_ordering_pair_is_flagged() {
+    let fx = Fixture::new(
+        "mixedpair",
+        &[(
+            "crates/flat/src/bad.rs",
+            "impl Seq {\n\
+             \x20   pub fn bump(&self) {\n\
+             \x20       let g = self.state.lock();\n\
+             \x20       self.seq.store(1, Ordering::Relaxed);\n\
+             \x20       drop(g);\n\
+             \x20   }\n\
+             \x20   pub fn read(&self) -> u64 {\n\
+             \x20       self.seq.load(Ordering::Acquire)\n\
+             \x20   }\n\
+             }\n\
+             struct Seq {\n\
+             \x20   seq: Arc<AtomicU64>,\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[atomics]"), "{stdout}");
+    assert!(stdout.contains("mixed memory orderings"), "{stdout}");
+}
+
+#[test]
+fn lock_protected_relaxed_counter_is_clean() {
+    let fx = Fixture::new(
+        "lockedcounter",
+        &[(
+            "crates/flat/src/ok.rs",
+            "impl Stats {\n\
+             \x20   pub fn hit(&self) {\n\
+             \x20       let g = self.state.lock();\n\
+             \x20       self.hits.fetch_add(1, Ordering::Relaxed);\n\
+             \x20       drop(g);\n\
+             \x20   }\n\
+             \x20   pub fn total(&self) -> u64 {\n\
+             \x20       let g = self.state.lock();\n\
+             \x20       self.hits.load(Ordering::Relaxed)\n\
+             \x20   }\n\
+             }\n\
+             struct Stats {\n\
+             \x20   hits: Arc<AtomicU64>,\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn allow_comment_suppresses_atomics_finding() {
+    let fx = Fixture::new(
+        "allowed",
+        &[(
+            "crates/flat/src/ok.rs",
+            "impl Publisher {\n\
+             \x20   pub fn publish(&self) {\n\
+             \x20       // agl-lint: allow(atomics) — fixture: ordering carried elsewhere\n\
+             \x20       self.ready.store(true, Ordering::Relaxed);\n\
+             \x20   }\n\
+             }\n\
+             struct Publisher {\n\
+             \x20   ready: Arc<AtomicBool>,\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn non_escaping_local_atomic_is_clean() {
+    let fx = Fixture::new(
+        "localatomic",
+        &[(
+            "crates/flat/src/ok.rs",
+            "pub fn count_evens(rows: &[u64]) -> u64 {\n\
+             \x20   let n = AtomicU64::new(0);\n\
+             \x20   for r in rows {\n\
+             \x20       if r % 2 == 0 {\n\
+             \x20           n.fetch_add(1, Ordering::Relaxed);\n\
+             \x20       }\n\
+             \x20   }\n\
+             \x20   n.load(Ordering::Relaxed)\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn spawn_captured_write_read_outside_is_flagged() {
+    let fx = Fixture::new(
+        "spawnwrite",
+        &[(
+            "crates/flat/src/bad.rs",
+            "pub fn run() -> u64 {\n\
+             \x20   let mut done = 0u64;\n\
+             \x20   std::thread::scope(|s| {\n\
+             \x20       s.spawn(|| {\n\
+             \x20           done = 1;\n\
+             \x20       });\n\
+             \x20       if done == 1 {\n\
+             \x20           done += 1;\n\
+             \x20       }\n\
+             \x20   });\n\
+             \x20   done\n\
+             }\n",
+        )],
+    );
+    let out = fx.lint();
+    assert_eq!(out.status.code(), Some(1), "expected exit 1, got {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[atomics]"), "{stdout}");
+    assert!(stdout.contains("non-atomic `done`"), "{stdout}");
+}

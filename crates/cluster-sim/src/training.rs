@@ -20,6 +20,13 @@ pub struct ClusterConfig {
     pub straggler_cv: f64,
     /// Worker memory footprint in GB (the paper reports 5.5 GB/worker).
     pub worker_mem_gb: f64,
+    /// How much of a worker's relative speed survives an epoch boundary on
+    /// the shared, non-exclusive cluster. `1.0` (the default) keeps the
+    /// speeds drawn at job start for the whole run — one machine stays the
+    /// straggler. `0.0` re-draws every worker's speed at each of its epoch
+    /// boundaries (the scheduler moved it, or a noisy neighbor left);
+    /// values in between blend old and fresh draws.
+    pub speed_persistence: f64,
     pub seed: u64,
 }
 
@@ -30,6 +37,7 @@ impl Default for ClusterConfig {
             ps_bandwidth: 2.5e9,             // shared PS ingest
             straggler_cv: 0.055,
             worker_mem_gb: 5.5,
+            speed_persistence: 1.0,
             seed: 42,
         }
     }
@@ -132,6 +140,11 @@ pub fn simulate_async_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: us
 /// draws do not depend on interleaving.
 fn simulate_elastic_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usize, slack: Option<u64>) -> SspSimReport {
     assert!(w >= 1);
+    assert!(
+        (0.0..=1.0).contains(&cfg.speed_persistence),
+        "speed_persistence must be in [0, 1], got {}",
+        cfg.speed_persistence
+    );
     let steps_per_epoch = wl.examples.div_ceil(wl.batch_size * w as u64).max(1);
     let total = steps_per_epoch * wl.epochs; // steps each worker must complete
     let link = 2.0 * wl.param_bytes as f64 / cfg.worker_bandwidth;
@@ -143,9 +156,15 @@ fn simulate_elastic_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usiz
     // worker is pinned at the tail so every run has its straggler.
     let tail = cfg.straggler_cv * (2.0 * (w as f64).ln().max(0.0)).sqrt();
     let mut speed_rng = seeded_rng(derive_seed(cfg.seed, 0x55b));
-    let speed: Vec<f64> =
+    let mut speed: Vec<f64> =
         (0..w).map(|i| if i == w - 1 { 1.0 + tail } else { 1.0 + tail * speed_rng.gen_range(0.0..0.5) }).collect();
     let mut rngs: Vec<_> = (0..w).map(|i| seeded_rng(derive_seed(cfg.seed, 1 + i as u64))).collect();
+    // With persistence < 1, epoch boundaries blend each worker's speed
+    // toward a fresh draw from the *typical* band — so the job-start
+    // straggler regresses to the pack instead of dragging the whole run.
+    // At exactly 1.0 no rng draws are consumed, keeping runs bit-identical
+    // to the fixed-speed model.
+    let persistence = cfg.speed_persistence;
 
     let mut t = vec![0.0f64; w]; // wall time at which worker has finished `clock[i]` steps
     let mut clock = vec![0u64; w];
@@ -189,6 +208,12 @@ fn simulate_elastic_training(cfg: &ClusterConfig, wl: &TrainingWorkload, w: usiz
         clock[i] += 1;
         if clock[i] >= total {
             remaining -= 1;
+        } else if persistence < 1.0 && clock[i] % steps_per_epoch == 0 {
+            // Epoch boundary: re-draw this worker's machine speed. Drawing
+            // from the worker's own rng keeps the simulation deterministic
+            // regardless of event interleaving.
+            let fresh = 1.0 + tail * rngs[i].gen_range(0.0..0.5);
+            speed[i] = persistence * speed[i] + (1.0 - persistence) * fresh;
         }
         let min_unfinished = (0..w).filter(|&j| clock[j] < total).map(|j| clock[j]).min();
         if let Some(m) = min_unfinished {
@@ -300,6 +325,36 @@ mod tests {
         assert_eq!(a.mean_wait_frac, 0.0);
         assert!(a.max_lead_steps > s.max_lead_steps, "async drift {} vs ssp {}", a.max_lead_steps, s.max_lead_steps);
         assert!(a.report.wall <= s.report.wall, "free-running can only finish sooner");
+    }
+
+    #[test]
+    fn epoch_speed_redraw_softens_the_straggler_gate() {
+        // Fixed speeds pin one worker at the log-extreme tail for the whole
+        // run, so a slack-0 gate waits on it every step of every epoch.
+        // With zero persistence the straggler's speed regresses to the
+        // typical band at its first epoch boundary, and the total fraction
+        // of worker-time lost at the gate must drop.
+        let fixed = ClusterConfig::default();
+        let churn = ClusterConfig { speed_persistence: 0.0, ..fixed };
+        let long = TrainingWorkload { epochs: 6, ..wl() };
+        let wait_fixed = simulate_ssp_training(&fixed, &long, 32, 0).mean_wait_frac;
+        let wait_churn = simulate_ssp_training(&churn, &long, 32, 0).mean_wait_frac;
+        assert!(
+            wait_churn < wait_fixed,
+            "re-drawn speeds should wait less at the gate: churn {wait_churn:.4} vs fixed {wait_fixed:.4}"
+        );
+        // Partial persistence lands between the extremes of the blend.
+        let half = ClusterConfig { speed_persistence: 0.5, ..fixed };
+        let wait_half = simulate_ssp_training(&half, &long, 32, 0).mean_wait_frac;
+        assert!(wait_half < wait_fixed, "half persistence still softens the gate: {wait_half:.4} vs {wait_fixed:.4}");
+    }
+
+    #[test]
+    fn elastic_speeds_stay_deterministic() {
+        let churn = ClusterConfig { speed_persistence: 0.25, ..ClusterConfig::default() };
+        let long = TrainingWorkload { epochs: 3, ..wl() };
+        assert_eq!(simulate_ssp_training(&churn, &long, 16, 2), simulate_ssp_training(&churn, &long, 16, 2));
+        assert_eq!(simulate_async_training(&churn, &long, 16), simulate_async_training(&churn, &long, 16));
     }
 
     #[test]

@@ -427,6 +427,9 @@ impl MapReduceJob {
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.parallelism.min(n) {
                 scope.spawn(|| loop {
+                    // Work-stealing ticket: fetch_add hands each worker a unique task index;
+                    // task *data* is published by the scope join, not by this counter.
+                    // agl-lint: allow(atomics) — unique-ticket counter; no ordering needed.
                     let task = next.fetch_add(1, Ordering::Relaxed);
                     if task >= n {
                         break;

@@ -59,6 +59,7 @@ impl Clock {
     pub fn now(&self) -> u64 {
         match &*self.source {
             Source::Monotonic(base) => base.elapsed().as_nanos() as u64,
+            // agl-lint: allow(atomics) — monotone tick allocator; only uniqueness matters, not order.
             Source::Logical(tick) => tick.fetch_add(1, Ordering::Relaxed),
         }
     }

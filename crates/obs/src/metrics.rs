@@ -126,29 +126,37 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record(&self, v: u64) {
+        // agl-lint: allow(atomics) — monotone statistics; concurrent RMWs commute.
         self.counts[self.kind.index(v)].fetch_add(1, Ordering::Relaxed);
+        // agl-lint: allow(atomics) — monotone statistics; concurrent RMWs commute.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // agl-lint: allow(atomics) — monotone statistics; concurrent RMWs commute.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // agl-lint: allow(atomics) — fetch_max is idempotent-monotone; order is irrelevant.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Total number of observations so far.
     pub fn count(&self) -> u64 {
+        // agl-lint: allow(atomics) — statistical read of a monotone counter; staleness is fine.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values so far.
     pub fn sum(&self) -> u64 {
+        // agl-lint: allow(atomics) — statistical read of a monotone counter; staleness is fine.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest value observed so far.
     pub fn max(&self) -> u64 {
+        // agl-lint: allow(atomics) — statistical read of a monotone maximum; staleness is fine.
         self.max.load(Ordering::Relaxed)
     }
 
     /// Per-bucket observation counts, in bucket order.
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // agl-lint: allow(atomics) — statistical read of monotone buckets; staleness is fine.
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
@@ -247,6 +255,7 @@ impl MetricsRegistry {
 
     /// Bump counter `name` by `delta`.
     pub fn add(&self, name: &str, delta: u64) {
+        // agl-lint: allow(atomics) — monotone counter bump; concurrent RMWs commute.
         self.counter(name).fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -257,6 +266,7 @@ impl MetricsRegistry {
 
     /// Raise counter `name` to at least `value`.
     pub fn counter_max(&self, name: &str, value: u64) {
+        // agl-lint: allow(atomics) — fetch_max is idempotent-monotone; order is irrelevant.
         self.counter(name).fetch_max(value, Ordering::Relaxed);
     }
 
@@ -271,9 +281,12 @@ impl MetricsRegistry {
         }
     }
 
-    /// Store `value` into gauge `name` (last write wins).
+    /// Store `value` into gauge `name` (last write wins). A gauge is a
+    /// published value, not a merged one, so the store is `Release` and
+    /// readers use `Acquire`: whatever computed the value is ordered
+    /// before any reader that observes it.
     pub fn gauge_set(&self, name: &str, value: u64) {
-        self.gauge(name).store(value, Ordering::Relaxed);
+        self.gauge(name).store(value, Ordering::Release);
     }
 
     /// Get-or-create histogram `name` with bucketing `kind` (an existing
@@ -298,7 +311,9 @@ impl MetricsRegistry {
     /// Current value of counter/gauge `name` (0 if absent).
     pub fn get(&self, name: &str) -> u64 {
         match self.read().get(name) {
-            Some(Metric::Counter(c)) | Some(Metric::Gauge(c)) => c.load(Ordering::Relaxed),
+            // agl-lint: allow(atomics) — statistical read of a monotone counter; staleness is fine.
+            Some(Metric::Counter(c)) => c.load(Ordering::Relaxed),
+            Some(Metric::Gauge(g)) => g.load(Ordering::Acquire),
             _ => 0,
         }
     }
@@ -309,8 +324,9 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, m)| {
                 let v = match m {
+                    // agl-lint: allow(atomics) — statistical read of a monotone counter; staleness is fine.
                     Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
-                    Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Acquire)),
                     Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 (k.clone(), v)

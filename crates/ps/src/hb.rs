@@ -1,0 +1,483 @@
+//! Debug-mode vector-clock happens-before tracking — the dynamic half of
+//! the `atomics` static rule in `agl-analysis`.
+//!
+//! Every thread that touches tracked state carries a **vector clock**: a
+//! map from thread slot to that thread's logical time. Clocks advance at
+//! the real synchronization points of the parameter server:
+//!
+//! * [`TrackedMutex`](crate::locks::TrackedMutex) acquire/release — the
+//!   acquiring thread joins the lock's clock; the releasing thread
+//!   publishes its own clock into the lock and bumps its own component
+//!   (condvar waits release and reacquire the same lock, so the
+//!   happens-before edge flows through the lock clock);
+//! * thread spawn/join — [`Handoff`] carries the parent's clock into a
+//!   spawned closure, [`JoinPool`] carries every worker's clock back to
+//!   the joiner;
+//! * `Release`/`Acquire` (and stronger) accesses on a [`TrackedAtomic`] —
+//!   a release store publishes the writer's clock into the atomic's sync
+//!   clock, an acquire load joins it.
+//!
+//! A [`TrackedAtomic`] additionally remembers the last *plain*
+//! (`Relaxed`) write and the plain reads since, each with its
+//! `#[track_caller]` site. A plain access whose thread clock is not
+//! ordered after a conflicting recorded access is a **race**: the two
+//! sites could execute in either order with no happens-before edge
+//! between them, which is exactly the `max_staleness` bug PR 3 fixed by
+//! hand. Debug builds abort naming both sites. Two deliberate policy
+//! holes, mirrored by the static rule and documented in CONCURRENCY.md:
+//! `Relaxed` read-modify-writes are exempt (monotone statistics counters
+//! are commutative — the *values* merge even though the *orders* race),
+//! and sync-ordered accesses are never themselves flagged (the atomic's
+//! modification order plus the declared ordering is their correctness
+//! argument).
+//!
+//! Release builds compile all of this to nothing: the wrappers forward
+//! straight to the underlying atomic, and the clock plumbing is a no-op.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A vector clock: `clock[slot]` is the latest logical time of the thread
+/// owning `slot` that the clock's owner has synchronized with.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The component for `slot` (0 when never synchronized with).
+    pub fn get(&self, slot: usize) -> u64 {
+        self.0.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    fn bump(&mut self, slot: usize) {
+        if slot >= self.0.len() {
+            self.0.resize(slot + 1, 0);
+        }
+        self.0[slot] += 1;
+    }
+}
+
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's slot in every vector clock, assigned on first use.
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+    /// This thread's own clock; starts with its own component at 1.
+    static CLOCK: RefCell<VClock> = {
+        let mut c = VClock::default();
+        c.bump(SLOT.with(|s| *s));
+        RefCell::new(c)
+    };
+}
+
+fn with_thread_clock<R>(f: impl FnOnce(usize, &mut VClock) -> R) -> R {
+    let slot = SLOT.with(|s| *s);
+    CLOCK.with(|c| f(slot, &mut c.borrow_mut()))
+}
+
+/// One recorded plain access: which thread, at what logical time, where.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    slot: usize,
+    count: u64,
+    site: &'static Location<'static>,
+}
+
+/// The happens-before clock of one synchronization object (a lock, a join
+/// pool, or the sync side of a tracked atomic): releases publish into it,
+/// acquires join from it.
+#[derive(Debug, Default)]
+pub struct HbTracker {
+    clock: Mutex<VClock>,
+}
+
+impl HbTracker {
+    /// A fresh tracker with an empty clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire edge: the current thread joins everything published here.
+    pub fn acquired_by_current(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let clock = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+        with_thread_clock(|_, mine| mine.join(&clock));
+    }
+
+    /// Release edge: the current thread publishes its clock here, then
+    /// bumps its own component so later accesses are ordered after the
+    /// release point.
+    pub fn released_by_current(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut clock = self.clock.lock().unwrap_or_else(PoisonError::into_inner);
+        with_thread_clock(|slot, mine| {
+            clock.join(mine);
+            mine.bump(slot);
+        });
+    }
+}
+
+/// Carries the parent thread's clock into a spawned closure, making
+/// everything the parent did *before* the spawn happen-before everything
+/// the child does. Create with [`Handoff::fork`] on the spawning thread;
+/// call [`Handoff::adopt`] first thing inside the closure.
+#[derive(Debug)]
+pub struct Handoff {
+    parent: VClock,
+}
+
+impl Handoff {
+    /// Snapshot the spawning thread's clock (bumping it, so the parent's
+    /// post-spawn work is *not* ordered before the child's).
+    pub fn fork() -> Self {
+        let parent = with_thread_clock(|slot, mine| {
+            let snap = mine.clone();
+            mine.bump(slot);
+            snap
+        });
+        Handoff { parent }
+    }
+
+    /// Join the parent's snapshot into the current (child) thread's clock.
+    pub fn adopt(self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        with_thread_clock(|_, mine| mine.join(&self.parent));
+    }
+}
+
+/// Collects worker clocks at thread exit and replays them into the joining
+/// thread, making everything the workers did happen-before everything the
+/// joiner does *after* the join.
+#[derive(Debug, Default)]
+pub struct JoinPool {
+    tracker: HbTracker,
+}
+
+/// RAII handle from [`JoinPool::depart_guard`]: publishes the worker's
+/// clock into the pool when dropped — including by unwinding, so a
+/// panicking worker still hands its history back.
+#[derive(Debug)]
+pub struct Depart<'a> {
+    pool: &'a JoinPool,
+}
+
+impl JoinPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish the current (worker) thread's clock into the pool when the
+    /// returned guard drops.
+    pub fn depart_guard(&self) -> Depart<'_> {
+        Depart { pool: self }
+    }
+
+    /// Join everything departed workers published into the current
+    /// (joining) thread's clock. Call after the threads are really joined
+    /// (e.g. after `thread::scope` returns).
+    pub fn absorb(&self) {
+        self.tracker.acquired_by_current();
+    }
+}
+
+impl Drop for Depart<'_> {
+    fn drop(&mut self) {
+        self.pool.tracker.released_by_current();
+    }
+}
+
+/// The raw-atomic surface [`TrackedAtomic`] wraps: loads, stores, and
+/// fetch-adds with an explicit ordering. Implemented for the std atomics
+/// the parameter server uses and, transitively, for `Arc` of them — so a
+/// metrics-registry counter (`Arc<AtomicU64>`) can be tracked in place.
+pub trait AtomicCell {
+    /// The plain value the cell holds.
+    type Value: Copy;
+    /// Atomic load with `order`.
+    fn raw_load(&self, order: Ordering) -> Self::Value;
+    /// Atomic store of `value` with `order`.
+    fn raw_store(&self, value: Self::Value, order: Ordering);
+    /// Atomic fetch-add of `delta` with `order`, returning the prior value.
+    fn raw_fetch_add(&self, delta: Self::Value, order: Ordering) -> Self::Value;
+}
+
+impl AtomicCell for AtomicU64 {
+    type Value = u64;
+    fn raw_load(&self, order: Ordering) -> u64 {
+        self.load(order)
+    }
+    fn raw_store(&self, value: u64, order: Ordering) {
+        self.store(value, order);
+    }
+    fn raw_fetch_add(&self, delta: u64, order: Ordering) -> u64 {
+        self.fetch_add(delta, order)
+    }
+}
+
+impl AtomicCell for AtomicUsize {
+    type Value = usize;
+    fn raw_load(&self, order: Ordering) -> usize {
+        self.load(order)
+    }
+    fn raw_store(&self, value: usize, order: Ordering) {
+        self.store(value, order);
+    }
+    fn raw_fetch_add(&self, delta: usize, order: Ordering) -> usize {
+        self.fetch_add(delta, order)
+    }
+}
+
+impl<C: AtomicCell> AtomicCell for Arc<C> {
+    type Value = C::Value;
+    fn raw_load(&self, order: Ordering) -> C::Value {
+        (**self).raw_load(order)
+    }
+    fn raw_store(&self, value: C::Value, order: Ordering) {
+        (**self).raw_store(value, order);
+    }
+    fn raw_fetch_add(&self, delta: C::Value, order: Ordering) -> C::Value {
+        (**self).raw_fetch_add(delta, order)
+    }
+}
+
+/// Race history of one tracked atomic (debug builds only).
+#[derive(Debug, Default)]
+struct Meta {
+    /// Clock published by release-ordered stores, joined by
+    /// acquire-ordered loads.
+    sync: VClock,
+    /// The last plain (`Relaxed`) store.
+    write: Option<Access>,
+    /// Plain (`Relaxed`) loads since the last plain store.
+    reads: Vec<Access>,
+}
+
+/// An atomic checked for happens-before races at runtime. Declaring a
+/// field `TrackedAtomic<…>` exempts it from the static `atomics` rule —
+/// the two are alternatives: prove the ordering statically (lock, fence,
+/// acquire/release, or an `agl-lint: allow(atomics)` justification) or
+/// let this wrapper check every access of every debug run.
+pub struct TrackedAtomic<C: AtomicCell> {
+    cell: C,
+    meta: Mutex<Meta>,
+}
+
+impl<C: AtomicCell + fmt::Debug> fmt::Debug for TrackedAtomic<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedAtomic").field("cell", &self.cell).finish_non_exhaustive()
+    }
+}
+
+impl<C: AtomicCell> TrackedAtomic<C> {
+    /// Track `cell` (any [`AtomicCell`], including `Arc`-shared ones).
+    pub fn new(cell: C) -> Self {
+        TrackedAtomic { cell, meta: Mutex::new(Meta::default()) }
+    }
+
+    /// Atomic load; `Relaxed` loads are checked against the last plain
+    /// store, acquire-ordered loads join the atomic's sync clock.
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> C::Value {
+        if cfg!(debug_assertions) {
+            let site = Location::caller();
+            let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+            with_thread_clock(|slot, mine| {
+                if matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+                    mine.join(&meta.sync);
+                } else {
+                    if let Some(w) = meta.write {
+                        check_ordered(mine, slot, &w, "Relaxed load", site, "Relaxed store");
+                    }
+                    meta.reads.push(Access { slot, count: mine.get(slot), site });
+                }
+            });
+        }
+        self.cell.raw_load(order)
+    }
+
+    /// Atomic store; `Relaxed` stores are checked against the last plain
+    /// store *and* every plain load since, release-ordered stores publish
+    /// the writer's clock into the atomic's sync clock.
+    #[track_caller]
+    pub fn store(&self, value: C::Value, order: Ordering) {
+        if cfg!(debug_assertions) {
+            let site = Location::caller();
+            let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+            with_thread_clock(|slot, mine| {
+                if matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+                    meta.sync.join(mine);
+                    mine.bump(slot);
+                } else {
+                    if let Some(w) = meta.write {
+                        check_ordered(mine, slot, &w, "Relaxed store", site, "Relaxed store");
+                    }
+                    for r in &meta.reads {
+                        check_ordered(mine, slot, r, "Relaxed store", site, "Relaxed load");
+                    }
+                    meta.write = Some(Access { slot, count: mine.get(slot), site });
+                    meta.reads.clear();
+                }
+            });
+        }
+        self.cell.raw_store(value, order);
+    }
+
+    /// Atomic fetch-add. `Relaxed` RMWs are the sanctioned
+    /// monotone-counter idiom — commutative, merged by the atomic's own
+    /// modification order — and are deliberately not race-checked;
+    /// release-ordered RMWs publish like a release store.
+    #[track_caller]
+    pub fn fetch_add(&self, delta: C::Value, order: Ordering) -> C::Value {
+        if cfg!(debug_assertions) && matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+            with_thread_clock(|slot, mine| {
+                if matches!(order, Ordering::AcqRel | Ordering::SeqCst) {
+                    mine.join(&meta.sync);
+                }
+                meta.sync.join(mine);
+                mine.bump(slot);
+            });
+        }
+        self.cell.raw_fetch_add(delta, order)
+    }
+}
+
+/// Abort (debug builds) when `prior` is not ordered before the current
+/// access: the two sites are concurrent and conflicting.
+fn check_ordered(
+    mine: &VClock,
+    my_slot: usize,
+    prior: &Access,
+    what: &str,
+    site: &'static Location<'static>,
+    prior_what: &str,
+) {
+    if prior.slot == my_slot || mine.get(prior.slot) >= prior.count {
+        return;
+    }
+    // The whole point: abort the debug run at the first pair of plain
+    // conflicting accesses with unordered clocks, naming both sites.
+    // agl-lint: allow(no-panic) — see above.
+    panic!(
+        "happens-before race on tracked atomic: {what} at {site} is unordered with the \
+         {prior_what} at {} — no lock, join, or acquire/release edge connects them",
+        prior.site
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_is_pointwise_max() {
+        let mut a = VClock(vec![3, 0, 1]);
+        a.join(&VClock(vec![1, 2, 0, 5]));
+        assert_eq!(a, VClock(vec![3, 2, 1, 5]));
+    }
+
+    #[test]
+    fn lock_clock_orders_release_before_acquire() {
+        let hb = HbTracker::new();
+        let before = with_thread_clock(|slot, mine| (slot, mine.get(slot)));
+        hb.released_by_current();
+        // The release bumped our own component...
+        let after = with_thread_clock(|slot, mine| mine.get(slot));
+        assert_eq!(after, before.1 + 1);
+        // ...and published the pre-bump clock, which an acquire replays.
+        hb.acquired_by_current();
+        assert_eq!(with_thread_clock(|slot, mine| mine.get(slot)), after);
+    }
+
+    #[test]
+    fn relaxed_counter_rmw_plus_load_is_silent() {
+        // The sanctioned statistics idiom: concurrent Relaxed fetch_add,
+        // Relaxed load afterwards. Values merge; no race report.
+        let n = Arc::new(TrackedAtomic::new(AtomicU64::new(0)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let n = Arc::clone(&n);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 400);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn unordered_plain_store_then_load_aborts_naming_both_sites() {
+        let flag = TrackedAtomic::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                flag.store(1, Ordering::Relaxed);
+            })
+            .join()
+            .expect("writer thread must not panic");
+        });
+        // The OS join orders the memory, but no tracked edge does — the
+        // race is latent, and the tracker must still reject it.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flag.load(Ordering::Relaxed);
+        }))
+        .expect_err("unordered plain load must abort in debug builds");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("happens-before race"), "{msg}");
+        assert!(msg.matches("hb.rs").count() >= 2, "both sites must be named: {msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn handoff_and_join_pool_order_the_same_shape() {
+        let flag = TrackedAtomic::new(AtomicU64::new(0));
+        let pool = JoinPool::new();
+        let handoff = Handoff::fork();
+        std::thread::scope(|s| {
+            let flag = &flag;
+            let pool = &pool;
+            s.spawn(move || {
+                handoff.adopt();
+                let _depart = pool.depart_guard();
+                flag.store(1, Ordering::Relaxed);
+            });
+        });
+        pool.absorb();
+        assert_eq!(flag.load(Ordering::Relaxed), 1); // ordered — no abort
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn release_acquire_pairing_is_silent() {
+        let flag = TrackedAtomic::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                flag.store(1, Ordering::Release);
+            });
+        });
+        // Acquire join makes this ordered even without a Handoff.
+        let _ = flag.load(Ordering::Acquire);
+        let _ = flag.load(Ordering::Relaxed);
+    }
+}

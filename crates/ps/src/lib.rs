@@ -28,11 +28,18 @@
 //!   follow a canonical acquisition order, enforced dynamically in debug
 //!   builds by [`locks::LockOrderTracker`] and statically by the
 //!   `agl-analysis` `lock-order` rule.
+//! * **Happens-before tracking** — debug builds carry per-thread vector
+//!   clocks ([`hb`]) advanced at lock acquire/release, worker spawn/join,
+//!   and release/acquire atomics; [`hb::TrackedAtomic`] aborts on plain
+//!   conflicting accesses with unordered clocks, naming both sites — the
+//!   dynamic half of the `agl-analysis` `atomics` rule.
 
+pub mod hb;
 pub mod locks;
 pub mod server;
 pub mod worker;
 
+pub use hb::{Handoff, HbTracker, JoinPool, TrackedAtomic};
 pub use locks::{LockClass, LockOrderTracker, TrackedGuard, TrackedMutex};
 pub use server::{Consistency, ParameterServer, PsStats, WorkerPsStats};
 pub use worker::run_workers;

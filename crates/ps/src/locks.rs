@@ -185,13 +185,16 @@ fn reach(edges: &BTreeMap<(u64, u64), EdgeWitness>, from: u64, to: u64) -> Optio
 pub struct TrackedMutex<T> {
     class: LockClass,
     tracker: Arc<LockOrderTracker>,
+    /// Happens-before clock of this lock: acquires join it, releases
+    /// publish into it — the mutex half of the vector-clock race detector.
+    hb: crate::hb::HbTracker,
     inner: Mutex<T>,
 }
 
 impl<T> TrackedMutex<T> {
     /// Wrap `value` in a mutex registered with `tracker` under `class`.
     pub fn new(tracker: &Arc<LockOrderTracker>, class: LockClass, value: T) -> Self {
-        Self { class, tracker: Arc::clone(tracker), inner: Mutex::new(value) }
+        Self { class, tracker: Arc::clone(tracker), hb: crate::hb::HbTracker::new(), inner: Mutex::new(value) }
     }
 
     /// Lock, recording the acquisition edge against every lock this thread
@@ -201,6 +204,7 @@ impl<T> TrackedMutex<T> {
     pub fn acquire(&self) -> TrackedGuard<'_, T> {
         let token = if cfg!(debug_assertions) { Some(self.register(Location::caller())) } else { None };
         let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.hb.acquired_by_current();
         TrackedGuard { guard: Some(guard), lock: self, token }
     }
 
@@ -215,6 +219,7 @@ impl<T> TrackedMutex<T> {
             // agl-lint: allow(no-panic) — see above.
             panic!("{report}");
         }
+        // agl-lint: allow(atomics) — monotone token allocator; only uniqueness matters, not order.
         let token = self.tracker.next_token.fetch_add(1, Ordering::Relaxed);
         HELD.with(|h| h.borrow_mut().push(HeldLock { tracker: tracker_id, class: self.class, site, token }));
         token
@@ -241,7 +246,12 @@ impl<'a, T> TrackedGuard<'a, T> {
         F: FnMut(&mut T) -> bool,
     {
         if let Some(g) = self.guard.take() {
+            // A condvar wait is a real release + reacquire of the lock:
+            // route the happens-before edge through the lock's clock so
+            // work done by the notifying thread is ordered before us.
+            self.lock.hb.released_by_current();
             self.guard = Some(cv.wait_while(g, cond).unwrap_or_else(PoisonError::into_inner));
+            self.lock.hb.acquired_by_current();
         }
         self
     }
@@ -276,6 +286,10 @@ impl<T> DerefMut for TrackedGuard<'_, T> {
 
 impl<T> Drop for TrackedGuard<'_, T> {
     fn drop(&mut self) {
+        // Publish before the inner guard (a field, dropped after this body)
+        // actually unlocks: the clock must be in place when the next
+        // acquirer joins it.
+        self.lock.hb.released_by_current();
         if let Some(token) = self.token {
             let tracker_id = Arc::as_ptr(&self.lock.tracker) as usize;
             HELD.with(|h| h.borrow_mut().retain(|e| !(e.tracker == tracker_id && e.token == token)));

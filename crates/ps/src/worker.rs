@@ -2,6 +2,7 @@
 //! server, each on its own thread — the "workers that perform the bulk of
 //! computation" half of the GraphTrainer architecture (§3.3).
 
+use crate::hb::{Handoff, JoinPool};
 use crate::server::ParameterServer;
 use std::sync::Arc;
 
@@ -33,16 +34,27 @@ where
     F: Fn(usize, &ParameterServer) + Sync,
 {
     assert!(n_workers > 0);
+    // Vector-clock plumbing (debug builds): each worker adopts the
+    // spawner's clock and publishes its own back through the pool, so
+    // everything before the spawn happens-before the workers, and
+    // everything the workers did happens-before the caller's code after
+    // this function returns.
+    let pool = JoinPool::new();
     std::thread::scope(|scope| {
         for w in 0..n_workers {
             let server = Arc::clone(server);
             let work = &work;
+            let pool = &pool;
+            let handoff = Handoff::fork();
             scope.spawn(move || {
+                handoff.adopt();
+                let _depart = pool.depart_guard();
                 let _retire = Retire { server: &server, worker: w };
                 work(w, &server)
             });
         }
     });
+    pool.absorb();
 }
 
 #[cfg(test)]

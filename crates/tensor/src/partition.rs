@@ -188,6 +188,10 @@ impl WriteSetTracker {
     /// (debug builds only) if another worker already claimed it.
     pub fn claim(&self, row: usize, worker: usize) {
         use std::sync::atomic::Ordering;
+        // Conflict detector: a disjoint partition means each cell is touched by one worker,
+        // so no ordering is needed; an overlapping claim races by definition, and any
+        // interleaving of the swap still exposes it to the assert below.
+        // agl-lint: allow(atomics) — detector for races, not a participant; see above.
         let prev = self.claims[row].swap(worker, Ordering::Relaxed);
         assert!(
             prev == Self::UNCLAIMED || prev == worker,
@@ -198,6 +202,8 @@ impl WriteSetTracker {
     /// Rows claimed so far (test observability).
     pub fn claimed_rows(&self) -> usize {
         use std::sync::atomic::Ordering;
+        // Test observability read after the worker scope has joined.
+        // agl-lint: allow(atomics) — the scope exit is the happens-before edge.
         self.claims.iter().filter(|c| c.load(Ordering::Relaxed) != Self::UNCLAIMED).count()
     }
 }
