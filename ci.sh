@@ -92,9 +92,57 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   exit 0
 fi
 
+# Multi-process smoke: 2 shuffle workers + 2 PS shards as real OS
+# processes over Unix-domain sockets, output verified byte-identical
+# against the in-process engines. The trap guarantees no worker process
+# or socket file survives the step, pass or fail; the explicit checks
+# before the trap runs make a leak a hard failure rather than silent
+# cleanup. (The pgrep pattern's [-] guards against matching this step's
+# own shell.)
+dist_smoke() {
+  local dir
+  dir=$(mktemp -d -t agl-dist-smoke.XXXXXX)
+  # pkill exits 1 when there is nothing to kill (the healthy case) — don't
+  # let errexit turn that into a step failure.
+  trap 'pkill -f "dist-worker -[-]role" 2>/dev/null || true; rm -rf "'"$dir"'"' RETURN
+  ./target/release/agl-cli dist-run --dir "$dir" \
+    --nodes 300 --hops 2 --epochs 2 \
+    --shuffle-workers 2 --ps-shards 2 --train-workers 2 \
+    --verify true || return 1
+  if pgrep -f "dist-worker -[-]role" >/dev/null; then
+    echo "dist smoke: leaked worker processes" >&2
+    return 1
+  fi
+  if compgen -G "$dir/*.sock" >/dev/null; then
+    echo "dist smoke: leaked socket files in $dir" >&2
+    return 1
+  fi
+}
+
+# SIGKILL a shuffle worker after its first reduce dispatch: the job must
+# recover (surviving worker re-runs the lost partitions), still verify
+# byte-identical, and record the retry. Bounded by the transport
+# deadlines — a hang here is a bug, and the step would time out in CI.
+dist_kill() {
+  local dir
+  dir=$(mktemp -d -t agl-dist-kill.XXXXXX)
+  # pkill exits 1 when there is nothing to kill (the healthy case) — don't
+  # let errexit turn that into a step failure.
+  trap 'pkill -f "dist-worker -[-]role" 2>/dev/null || true; rm -rf "'"$dir"'"' RETURN
+  local out
+  out=$(./target/release/agl-cli dist-run --dir "$dir" \
+    --nodes 300 --hops 2 --epochs 2 \
+    --shuffle-workers 2 --ps-shards 2 --train-workers 2 \
+    --verify true --kill-shuffle-after 1) || return 1
+  echo "$out" | grep -q "verified=true" || { echo "kill test: output not verified" >&2; return 1; }
+  echo "$out" | grep -qE "task_retries=[1-9]" || { echo "kill test: no retries recorded" >&2; return 1; }
+}
+
 step "cargo fmt --check" cargo fmt --check
 step "cargo build --release" cargo build --release
 step "cargo test -q" cargo test -q
+step "dist smoke (2 shuffle + 2 ps processes, byte-identical)" dist_smoke
+step "dist kill-a-worker (SIGKILL mid-job, deterministic re-run)" dist_kill
 step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
 # Rustdoc is part of the contract: broken intra-doc links or missing docs
 # on public items (crates with #![warn(missing_docs)]) fail the build.

@@ -1,7 +1,8 @@
 //! Micro-benchmarks for the operator- and pipeline-level pieces: the
 //! edge-partitioned aggregation kernel (Table 4's +partition axis), the
 //! pruned forward pass (+pruning axis), subgraph vectorization, the
-//! GraphFeature codec, and GraphFlat itself.
+//! GraphFeature codec, GraphFlat itself, and the socket transport (framed
+//! round-trip cost plus PS pull/push in-process vs over UDS).
 //!
 //! A plain `harness = false` timing harness (median of N runs after a
 //! warmup) — no external benchmark crates, so the workspace builds offline.
@@ -130,6 +131,78 @@ fn bench_graphflat_pipeline(h: &mut Harness) {
     });
 }
 
+/// Transport-layer cost: a framed round-trip over a Unix socket pair, and
+/// one pull+push round against the parameter server — the same `PsClient`
+/// calls — in-process vs over UDS to two shard servers. The gap between the
+/// two ps numbers is the per-step price of crossing the process boundary.
+fn bench_transport(h: &mut Harness) {
+    use agl_mapreduce::{Conn, Endpoint, Framed, Listener};
+    use agl_nn::Sgd;
+    use agl_ps::{serve_ps_shard, Consistency, OptSpec, ParameterServer, PsClient, RemotePs};
+
+    // Framed round-trip: 1 KiB payload echoed back by a peer thread.
+    let (a, b) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let echo = std::thread::spawn(move || {
+        let mut framed = Framed::new(Conn::from(b));
+        while let Ok(Some(msg)) = framed.recv() {
+            if framed.send(&msg).is_err() {
+                break;
+            }
+        }
+    });
+    let mut framed = Framed::new(Conn::from(a));
+    let payload = vec![0xA5u8; 1024];
+    h.bench("transport/frame_roundtrip_1kib_uds", || {
+        framed.send(&payload).unwrap();
+        framed.recv().unwrap().unwrap()
+    });
+    drop(framed);
+    echo.join().unwrap();
+
+    // One pull+push round, 4096 params sharded in two, single worker.
+    let dim = 4096;
+    let params: Vec<f32> = (0..dim).map(|i| i as f32 * 1e-3).collect();
+    let grads = vec![1e-4f32; dim];
+    let local = ParameterServer::new(params.clone(), 2, 1, Consistency::Sync, || Box::new(Sgd::new(0.01)));
+    h.bench("ps_pull_push/in_process_2shards", || {
+        let (p, _v) = PsClient::pull_with_version(&local, 0).unwrap();
+        PsClient::push(&local, 0, &grads).unwrap();
+        p
+    });
+
+    let tmp = std::env::temp_dir().join(format!("agl-bench-psnet-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let eps: Vec<Endpoint> =
+        (0..2).map(|i| Endpoint::parse(&format!("unix:{}/shard{i}.sock", tmp.display())).unwrap()).collect();
+    let shards: Vec<_> = eps
+        .iter()
+        .map(|ep| {
+            let listener = Listener::bind(ep).unwrap();
+            std::thread::spawn(move || serve_ps_shard(&listener, 10_000_000_000).expect("shard"))
+        })
+        .collect();
+    let remote = RemotePs::connect(
+        &eps,
+        &params,
+        1,
+        Consistency::Sync,
+        OptSpec::Sgd { lr: 0.01 },
+        5_000_000_000,
+        10_000_000_000,
+    )
+    .expect("connect shards");
+    h.bench("ps_pull_push/uds_2shards", || {
+        let (p, _v) = remote.pull_with_version(0).unwrap();
+        remote.push(0, &grads).unwrap();
+        p
+    });
+    remote.shutdown();
+    for s in shards {
+        s.join().unwrap();
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
 // ---- per-stage trace medians (`--trace-json`) ----
 
 /// Map a span name onto its reported stage bucket (None = not a stage).
@@ -215,6 +288,7 @@ fn main() {
     bench_vectorization(&mut h);
     bench_graphfeature_codec(&mut h);
     bench_graphflat_pipeline(&mut h);
+    bench_transport(&mut h);
 
     let write = |path: &std::path::Path, json: String| {
         if let Some(parent) = path.parent() {

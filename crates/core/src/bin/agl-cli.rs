@@ -41,8 +41,10 @@ fn main() -> ExitCode {
         Some("flat") => cmd_flat(&parse_flags(&args[1..])),
         Some("train") => cmd_train(&parse_flags(&args[1..])),
         Some("infer") => cmd_infer(&parse_flags(&args[1..])),
+        Some("dist-run") => cmd_dist_run(&parse_flags(&args[1..])),
+        Some("dist-worker") => cmd_dist_worker(&parse_flags(&args[1..])),
         _ => {
-            eprintln!("usage: agl-cli <demo|flat|train|infer> [--flag value]...");
+            eprintln!("usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker> [--flag value]...");
             eprintln!("see crate docs for the table formats and flags");
             return ExitCode::from(2);
         }
@@ -353,6 +355,73 @@ fn cmd_train(flags: &Flags) -> CliResult {
     fs::write(out, model_to_bytes(&model))?;
     println!("model saved to {out}");
     write_obs_outputs(flags, &obs)
+}
+
+/// `agl-cli dist-run` — multi-process GraphFlat + PS training on a
+/// synthetic graph:
+///
+/// ```text
+/// agl-cli dist-run --dir /tmp/agl-dist --shuffle-workers 2 --ps-shards 2 \
+///                  --nodes 300 --hops 2 --epochs 2 --verify true
+/// ```
+///
+/// Spawns `agl-cli dist-worker` children on Unix-domain sockets under
+/// `--dir`, drives them, prints the merged report, and exits non-zero on
+/// any failure. `--kill-shuffle-after N` / `--kill-ps-after N` SIGKILL a
+/// worker mid-job (fault-injection suites); `--verify true` re-runs
+/// in-process and asserts bit-identical output.
+fn cmd_dist_run(flags: &Flags) -> CliResult {
+    let dir = flag(flags, "dir")?;
+    let cfg = agl::DistRunConfig {
+        n_nodes: flag_or(flags, "nodes", "300").parse()?,
+        hops: flag_or(flags, "hops", "2").parse()?,
+        shuffle_workers: flag_or(flags, "shuffle-workers", "2").parse()?,
+        ps_shards: flag_or(flags, "ps-shards", "2").parse()?,
+        train_workers: flag_or(flags, "train-workers", "2").parse()?,
+        epochs: flag_or(flags, "epochs", "2").parse()?,
+        seed: flag_or(flags, "seed", "42").parse()?,
+        socket_dir: dir.into(),
+        worker_bin: std::env::current_exe()?,
+        verify: flag_or(flags, "verify", "false").parse()?,
+        kill_shuffle_after: flags.get("kill-shuffle-after").map(|v| v.parse()).transpose()?,
+        kill_ps_after: flags.get("kill-ps-after").map(|v| v.parse()).transpose()?,
+        opts: agl::mapreduce::DistOptions {
+            connect_timeout_ns: flag_or(flags, "connect-timeout-secs", "10").parse::<u64>()? * 1_000_000_000,
+            io_timeout_ns: flag_or(flags, "io-timeout-secs", "30").parse::<u64>()? * 1_000_000_000,
+        },
+    };
+    let summary = agl::run_distributed_job(&cfg)?;
+    println!(
+        "dist-run: {} GraphFeatures, {} shuffle workers + {} ps shards, {} trainer workers",
+        summary.examples, cfg.shuffle_workers, cfg.ps_shards, cfg.train_workers
+    );
+    // Machine-readable lines (the CI smoke suite and EXPERIMENTS.md parse
+    // these).
+    println!("flat_wall_ms={:.1}", summary.flat_wall_ns as f64 / 1e6);
+    println!("train_wall_ms={:.1}", summary.train_wall_ns as f64 / 1e6);
+    println!("task_retries={}", summary.task_retries);
+    println!("final_loss={:.6}", summary.final_loss);
+    println!("ps_pulls={} ps_pushes={}", summary.ps_stats.pulls, summary.ps_stats.pushes);
+    println!("verified={}", summary.verified);
+    println!("job report:");
+    print!("{}", summary.report);
+    Ok(())
+}
+
+/// `agl-cli dist-worker --role shuffle|ps --listen unix:<path>` — one
+/// worker process: binds the endpoint, serves its protocol until the
+/// driver shuts it down (or vanishes), then exits. Spawned by `dist-run`;
+/// runnable by hand for debugging.
+fn cmd_dist_worker(flags: &Flags) -> CliResult {
+    let ep = agl::mapreduce::Endpoint::parse(flag(flags, "listen")?)?;
+    let accept_timeout_ns = flag_or(flags, "accept-timeout-secs", "60").parse::<u64>()? * 1_000_000_000;
+    let listener = agl::mapreduce::Listener::bind(&ep)?;
+    match flag(flags, "role")? {
+        "shuffle" => agl::mapreduce::serve_shuffle(&listener, accept_timeout_ns, &agl::flat::flat_reducer_from_spec)?,
+        "ps" => agl::ps::serve_ps_shard(&listener, accept_timeout_ns)?,
+        other => return Err(format!("unknown role {other:?} (shuffle|ps)").into()),
+    }
+    Ok(())
 }
 
 fn cmd_infer(flags: &Flags) -> CliResult {

@@ -65,6 +65,8 @@ pub use agl_trainer as trainer;
 pub use agl_tensor::rng;
 
 pub mod api;
+pub mod dist;
 pub mod prelude;
 
 pub use api::AglJob;
+pub use dist::{run_distributed_job, ChildReaper, DistRunConfig, DistRunSummary};

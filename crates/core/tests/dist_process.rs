@@ -1,0 +1,137 @@
+//! Process-level distributed suite: drives the real `agl-cli` binary —
+//! driver and workers as separate OS processes over Unix-domain sockets —
+//! and asserts the CI-gated properties: byte-identical output vs the
+//! in-process engines, deterministic recovery from a SIGKILLed shuffle
+//! worker, a typed (non-hanging) failure from a SIGKILLed PS shard, and no
+//! leaked processes or socket files afterwards.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli() -> &'static str {
+    env!("CARGO_BIN_EXE_agl-cli")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("agl-distproc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn dist_run(dir: &Path, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(cli());
+    cmd.args([
+        "dist-run",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--nodes",
+        "120",
+        "--hops",
+        "1",
+        "--epochs",
+        "2",
+        "--shuffle-workers",
+        "2",
+        "--ps-shards",
+        "2",
+        "--train-workers",
+        "2",
+    ]);
+    cmd.args(extra);
+    cmd.output().expect("spawn agl-cli dist-run")
+}
+
+fn stdout_field(out: &Output, key: &str) -> String {
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= line in output:\n{text}"))
+        .to_string()
+}
+
+fn assert_no_leaks(dir: &Path) {
+    let socks: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "sock"))
+                .map(|e| e.path())
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(socks.is_empty(), "leaked socket files: {socks:?}");
+    let pgrep = Command::new("pgrep").args(["-f", "dist-worker -[-]role"]).output();
+    if let Ok(p) = pgrep {
+        let pids = String::from_utf8_lossy(&p.stdout);
+        assert!(pids.trim().is_empty(), "leaked dist-worker processes: {pids}");
+    }
+}
+
+#[test]
+fn distributed_smoke_is_byte_identical_to_in_process() {
+    let dir = temp_dir("smoke");
+    let out = dist_run(&dir, &["--verify", "true"]);
+    assert!(
+        out.status.success(),
+        "dist-run failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // verified=true means the driver compared every GraphFeature byte and
+    // every final model parameter bit against a full in-process re-run.
+    assert_eq!(stdout_field(&out, "verified"), "true");
+    assert_eq!(stdout_field(&out, "task_retries"), "0");
+    assert_no_leaks(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkilled_shuffle_worker_is_rerun_deterministically() {
+    let dir = temp_dir("killshuffle");
+    // SIGKILL shuffle worker 0 right after its first reduce dispatch; the
+    // survivor must absorb the lost partitions and the output must still
+    // verify bit-for-bit against the in-process run.
+    let out = dist_run(&dir, &["--verify", "true", "--kill-shuffle-after", "1"]);
+    assert!(
+        out.status.success(),
+        "dist-run did not recover from the killed worker:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(stdout_field(&out, "verified"), "true");
+    let retries: u64 = stdout_field(&out, "task_retries").parse().unwrap();
+    assert!(retries >= 1, "expected at least one task retry after the kill, got {retries}");
+    assert_no_leaks(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkilled_ps_shard_fails_typed_and_bounded() {
+    let dir = temp_dir("killps");
+    // SIGKILL PS shard 0 mid-epoch with a 2s read deadline: the run must
+    // exit non-zero with a typed ps error — promptly, never a hang (the
+    // test harness itself is the outer timeout).
+    let out = dist_run(&dir, &["--kill-ps-after", "5", "--io-timeout-secs", "2", "--epochs", "3"]);
+    assert!(
+        !out.status.success(),
+        "dist-run unexpectedly succeeded with a killed PS shard:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ps transport error") || stderr.contains("ps protocol violation"),
+        "expected a typed ps error on stderr, got: {stderr}"
+    );
+    assert_no_leaks(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dist_worker_rejects_unknown_role() {
+    let out = Command::new(cli())
+        .args(["dist-worker", "--role", "mapper", "--listen", "unix:/tmp/never-bound.sock"])
+        .output()
+        .expect("spawn agl-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown role"));
+}

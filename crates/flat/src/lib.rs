@@ -45,6 +45,8 @@ pub mod store;
 
 pub use compact::{decode_graph_feature_compact, encode_graph_feature_compact};
 pub use graphfeature::{decode_graph_feature, encode_graph_feature};
-pub use pipeline::{FlatConfig, FlatOutput, GraphFlat, TargetSpec, TrainingExample};
+pub use pipeline::{
+    flat_reducer_from_spec, FlatConfig, FlatOutput, FlatWorkerSpec, GraphFlat, TargetSpec, TrainingExample,
+};
 pub use sampling::SamplingStrategy;
 pub use store::{FeatureStore, StoreFormat};

@@ -24,7 +24,8 @@ use agl_graph::{EdgeTable, NodeId, NodeTable, Subgraph};
 use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
 use agl_mapreduce::hash::fnv1a;
 use agl_mapreduce::{
-    Counters, FaultPlan, JobConfig, JobError, JobPlan, MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
+    Counters, DistJob, DistOptions, Endpoint, FaultPlan, JobConfig, JobError, JobPlan, JobResult, MapReduceJob, Mapper,
+    Reducer, SpillMode, WireSig,
 };
 use agl_tensor::rng::derive_seed;
 use std::collections::{HashMap, HashSet};
@@ -347,6 +348,98 @@ impl Reducer for FlatReducer {
     }
 }
 
+/// Everything a shuffle-worker process needs to rebuild this job's
+/// [`Reducer`]: the `-h/-s` knobs plus the routing table (hub set and
+/// re-index fanout), serialised as the `DistJob` init spec. The hub list is
+/// sorted so the spec bytes — and therefore the whole distributed job — are
+/// deterministic for a given graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatWorkerSpec {
+    /// K — neighborhood depth.
+    pub k_hops: usize,
+    /// In-edge sampling per reduce group per round.
+    pub sampling: SamplingStrategy,
+    /// Seed for the sampling framework.
+    pub seed: u64,
+    /// Re-index fanout for hub keys.
+    pub fanout: u32,
+    /// Hub node ids, ascending.
+    pub hubs: Vec<u64>,
+}
+
+const SAMP_NONE: u8 = 0;
+const SAMP_UNIFORM: u8 = 1;
+const SAMP_WEIGHTED: u8 = 2;
+const SAMP_TOPK: u8 = 3;
+
+impl Codec for FlatWorkerSpec {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.k_hops as u64);
+        match self.sampling {
+            SamplingStrategy::None => {
+                put_u8(buf, SAMP_NONE);
+                put_u64(buf, 0);
+            }
+            SamplingStrategy::Uniform { max_degree } => {
+                put_u8(buf, SAMP_UNIFORM);
+                put_u64(buf, max_degree as u64);
+            }
+            SamplingStrategy::Weighted { max_degree } => {
+                put_u8(buf, SAMP_WEIGHTED);
+                put_u64(buf, max_degree as u64);
+            }
+            SamplingStrategy::TopK { max_degree } => {
+                put_u8(buf, SAMP_TOPK);
+                put_u64(buf, max_degree as u64);
+            }
+        }
+        put_u64(buf, self.seed);
+        put_u64(buf, u64::from(self.fanout));
+        put_u64(buf, self.hubs.len() as u64);
+        for h in &self.hubs {
+            put_u64(buf, *h);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, agl_mapreduce::codec::CodecError> {
+        let k_hops = get_u64(input)? as usize;
+        let tag = get_u8(input)?;
+        let max_degree = get_u64(input)? as usize;
+        let sampling = match tag {
+            SAMP_NONE => SamplingStrategy::None,
+            SAMP_UNIFORM => SamplingStrategy::Uniform { max_degree },
+            SAMP_WEIGHTED => SamplingStrategy::Weighted { max_degree },
+            SAMP_TOPK => SamplingStrategy::TopK { max_degree },
+            t => return Err(agl_mapreduce::codec::CodecError(format!("unknown sampling tag {t}"))),
+        };
+        let seed = get_u64(input)?;
+        let fanout = get_u64(input)? as u32;
+        let n_hubs = get_u64(input)? as usize;
+        let mut hubs = Vec::with_capacity(n_hubs);
+        for _ in 0..n_hubs {
+            hubs.push(get_u64(input)?);
+        }
+        Ok(Self { k_hops, sampling, seed, fanout, hubs })
+    }
+}
+
+/// Reducer factory for shuffle-worker processes: decodes a
+/// [`FlatWorkerSpec`] shipped by the driver and builds the identical
+/// [`Reducer`] the in-process engine would run, reporting pipeline counters
+/// into `counters` (which `agl_mapreduce::serve_shuffle` sends back to the
+/// driver at shutdown). Pass this to `serve_shuffle`.
+pub fn flat_reducer_from_spec(spec: &[u8], counters: &Counters) -> Result<Box<dyn Reducer>, String> {
+    let spec = FlatWorkerSpec::from_bytes(spec).map_err(|e| format!("bad GraphFlat worker spec: {e}"))?;
+    let routing = Arc::new(Routing { hubs: spec.hubs.iter().copied().collect(), fanout: spec.fanout.max(1) });
+    Ok(Box::new(FlatReducer {
+        routing,
+        k_hops: spec.k_hops,
+        sampling: spec.sampling,
+        seed: spec.seed,
+        counters: counters.clone(),
+    }))
+}
+
 impl GraphFlat {
     pub fn new(cfg: FlatConfig) -> Self {
         assert!(cfg.reindex_fanout >= 1);
@@ -357,10 +450,16 @@ impl GraphFlat {
         &self.cfg
     }
 
-    /// Run the pipeline over the tables, producing GraphFeatures for the
-    /// targets.
-    pub fn run(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
-        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
+    /// Hub detection + input encoding, shared by the in-process and
+    /// distributed drivers: returns the routing table, the serialised
+    /// warehouse records, and the counters handle the rest of the run
+    /// reports into.
+    fn prepare(
+        &self,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        targets: &TargetSpec,
+    ) -> (Arc<Routing>, Vec<Vec<u8>>, Counters) {
         let target_set: Option<HashSet<u64>> = match targets {
             TargetSpec::All => None,
             TargetSpec::Ids(ids) => Some(ids.iter().map(|n| n.0).collect()),
@@ -404,15 +503,12 @@ impl GraphFlat {
             Some(m) => Counters::with_registry(m.clone()),
             None => Counters::new(),
         };
-        let mapper = FlatMapper { routing: routing.clone() };
-        let reducer = FlatReducer {
-            routing,
-            k_hops: self.cfg.k_hops,
-            sampling: self.cfg.sampling,
-            seed: self.cfg.seed,
-            counters: counters.clone(),
-        };
-        let job = MapReduceJob::new(JobConfig {
+        (routing, inputs, counters)
+    }
+
+    /// The engine configuration both drivers share.
+    fn job_config(&self) -> JobConfig {
+        JobConfig {
             map_tasks: self.cfg.map_tasks,
             reduce_tasks: self.cfg.reduce_tasks,
             reduce_rounds: self.cfg.k_hops + 1,
@@ -425,8 +521,88 @@ impl GraphFlat {
             plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
             verify_determinism: cfg!(debug_assertions),
             obs: self.cfg.obs.clone(),
-        });
+        }
+    }
+
+    /// The worker-process spec equivalent to `routing` (hubs sorted for a
+    /// deterministic wire image).
+    fn worker_spec(&self, routing: &Routing) -> FlatWorkerSpec {
+        let mut hubs: Vec<u64> = routing.hubs.iter().copied().collect();
+        hubs.sort_unstable();
+        FlatWorkerSpec {
+            k_hops: self.cfg.k_hops,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.seed,
+            fanout: self.cfg.reindex_fanout,
+            hubs,
+        }
+    }
+
+    /// Run the pipeline over the tables, producing GraphFeatures for the
+    /// targets.
+    pub fn run(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
+        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
+        let (routing, inputs, counters) = self.prepare(nodes, edges, targets);
+        let mapper = FlatMapper { routing: routing.clone() };
+        let reducer = FlatReducer {
+            routing,
+            k_hops: self.cfg.k_hops,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.seed,
+            counters: counters.clone(),
+        };
+        let job = MapReduceJob::new(self.job_config());
         let result = job.run(&inputs, &mapper, &reducer)?;
+        self.store(result, counters, &mut flat_span)
+    }
+
+    /// Run the *same* pipeline with the reduce work farmed out to shuffle
+    /// worker processes at `endpoints` (each running
+    /// `agl_mapreduce::serve_shuffle` with [`flat_reducer_from_spec`]).
+    /// Output is byte-identical to [`GraphFlat::run`]: the map phase, the
+    /// FNV-1a shuffle, the reduce logic (rebuilt from the shipped
+    /// [`FlatWorkerSpec`]), and the final assembly order are all shared
+    /// code paths.
+    pub fn run_distributed(
+        &self,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        targets: &TargetSpec,
+        endpoints: &[Endpoint],
+        opts: &DistOptions,
+    ) -> Result<FlatOutput, JobError> {
+        self.run_distributed_with_hook(nodes, edges, targets, endpoints, opts, None)
+    }
+
+    /// [`GraphFlat::run_distributed`] with the `DistJob` fault-injection
+    /// hook exposed (fires after each reduce-task dispatch; used by the
+    /// kill-a-worker CI suite).
+    pub fn run_distributed_with_hook(
+        &self,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        targets: &TargetSpec,
+        endpoints: &[Endpoint],
+        opts: &DistOptions,
+        on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Result<FlatOutput, JobError> {
+        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
+        let (routing, inputs, counters) = self.prepare(nodes, edges, targets);
+        let spec = self.worker_spec(&routing).to_bytes();
+        let mapper = FlatMapper { routing };
+        let job = DistJob::new(self.job_config(), opts.clone());
+        let result = job.run_with_hook(endpoints, &spec, &inputs, &mapper, on_dispatch)?;
+        self.store(result, counters, &mut flat_span)
+    }
+
+    /// Storing step: group Final records by target id; union the partial
+    /// GraphFeatures of re-indexed hub targets.
+    fn store(
+        &self,
+        result: JobResult,
+        counters: Counters,
+        flat_span: &mut agl_obs::Span,
+    ) -> Result<FlatOutput, JobError> {
         if !self.cfg.obs.is_enabled() {
             // Shared-registry runs already see the engine counters; only
             // detached runs need the merge.
@@ -434,9 +610,6 @@ impl GraphFlat {
                 counters.add(&name, v);
             }
         }
-
-        // Storing: group Final records by target id; union the partial
-        // GraphFeatures of re-indexed hub targets.
         let store_span = self.cfg.obs.span("driver", "graphflat.store");
         let mut by_target: HashMap<u64, (Vec<Subgraph>, Vec<f32>)> = HashMap::new();
         for kv in &result.output {

@@ -1,0 +1,853 @@
+//! Multi-process MapReduce: a driver that streams shuffle partitions to
+//! worker *processes* over the [`crate::transport`] layer.
+//!
+//! The in-process engine ([`crate::engine::MapReduceJob`]) and this driver
+//! share one reduce implementation (`engine::reduce_partition`), one hash
+//! shuffle, and one codec — so a distributed run produces **byte-identical
+//! output** to the in-process run of the same job. The split of labor:
+//!
+//! - The **driver** runs the map phase locally (map is cheap relative to
+//!   the K+1 reduce rounds GraphFlat spends its time in), partitions
+//!   emissions with the same FNV-1a shuffle hash, and hands each reduce
+//!   partition to a worker over a framed socket connection.
+//! - A **shuffle worker** ([`serve_shuffle`]) is a separate OS process: it
+//!   accepts one driver connection, reconstructs the job's reducer from an
+//!   opaque spec blob (the pipeline owns its meaning), then serves
+//!   reduce-partition RPCs until the driver says shutdown — at which point
+//!   it ships its counters and trace spans back for the merged report.
+//!
+//! ## Failure model
+//!
+//! Worker death is detected as a transport error (EOF, truncated frame,
+//! read timeout) on that worker's connection. The partition the worker was
+//! running is re-queued and re-executed by a surviving worker — tasks are
+//! deterministic, so the re-run emits identical records and the job output
+//! is unchanged (the same argument the thread-mode [`crate::fault`] suite
+//! tests). When retries for a partition exhaust `max_attempts`, or no
+//! worker survives, the driver fails with a typed
+//! [`JobError::Transport`] — bounded by the configured timeouts, never a
+//! hang.
+
+use crate::codec::{self, Codec, CodecError};
+use crate::counters::Counters;
+use crate::engine::{
+    lock_ignoring_poison, reduce_partition, JobConfig, JobError, JobResult, KeyValue, Mapper, Reducer,
+};
+use crate::hash::partition;
+use crate::transport::{connect, Endpoint, Framed, Listener, TransportError};
+use agl_obs::{Clock, Obs, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long a shuffle worker waits for its driver to connect, and how long
+/// the driver waits for a worker to answer one RPC.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Driver-side connect deadline per worker (with bounded-backoff retry,
+    /// because workers may still be binding their listeners).
+    pub connect_timeout_ns: u64,
+    /// Read deadline for one RPC round-trip on an established connection.
+    pub io_timeout_ns: u64,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        Self { connect_timeout_ns: 10_000_000_000, io_timeout_ns: 30_000_000_000 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+fn put_kv(buf: &mut Vec<u8>, kv: &KeyValue) {
+    codec::put_bytes(buf, &kv.key);
+    codec::put_bytes(buf, &kv.value);
+}
+
+fn get_kv(input: &mut &[u8]) -> Result<KeyValue, CodecError> {
+    let key = codec::get_bytes(input)?.to_vec();
+    let value = codec::get_bytes(input)?.to_vec();
+    Ok(KeyValue { key, value })
+}
+
+fn put_kvs(buf: &mut Vec<u8>, kvs: &[KeyValue]) {
+    codec::put_u32(buf, kvs.len() as u32);
+    for kv in kvs {
+        put_kv(buf, kv);
+    }
+}
+
+fn get_kvs(input: &mut &[u8]) -> Result<Vec<KeyValue>, CodecError> {
+    let n = codec::get_u32(input)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_kv(input)?);
+    }
+    Ok(out)
+}
+
+fn put_trace_event(buf: &mut Vec<u8>, e: &TraceEvent) {
+    codec::put_bytes(buf, e.track.as_bytes());
+    codec::put_u64(buf, e.seq);
+    codec::put_bytes(buf, e.name.as_bytes());
+    codec::put_u64(buf, e.ts);
+    codec::put_u64(buf, e.dur);
+    codec::put_u64(buf, e.depth as u64);
+    codec::put_u32(buf, e.args.len() as u32);
+    for (k, v) in &e.args {
+        codec::put_bytes(buf, k.as_bytes());
+        codec::put_u64(buf, *v);
+    }
+}
+
+fn get_string(input: &mut &[u8]) -> Result<String, CodecError> {
+    String::from_utf8(codec::get_bytes(input)?.to_vec()).map_err(|e| CodecError(format!("non-utf8 string: {e}")))
+}
+
+fn get_trace_event(input: &mut &[u8]) -> Result<TraceEvent, CodecError> {
+    let track = get_string(input)?;
+    let seq = codec::get_u64(input)?;
+    let name = get_string(input)?;
+    let ts = codec::get_u64(input)?;
+    let dur = codec::get_u64(input)?;
+    let depth = codec::get_u64(input)? as usize;
+    let n_args = codec::get_u32(input)? as usize;
+    let mut args = Vec::with_capacity(n_args);
+    for _ in 0..n_args {
+        let k = get_string(input)?;
+        let v = codec::get_u64(input)?;
+        args.push((k, v));
+    }
+    Ok(TraceEvent { track, seq, name, ts, dur, depth, args })
+}
+
+/// Driver → worker messages.
+#[derive(Debug)]
+enum DriverMsg {
+    /// First message on the connection: the pipeline-defined reducer spec
+    /// (opaque to this crate), the shuffle fan-out, and whether the worker
+    /// should record a trace to ship back.
+    Init { spec: Vec<u8>, r_parts: u32, trace: bool },
+    /// Reduce one partition's records for `round`.
+    Reduce { round: u32, part: u32, records: Vec<KeyValue> },
+    /// Finish up: reply with `Bye` and exit.
+    Shutdown,
+}
+
+const DM_INIT: u8 = 0;
+const DM_REDUCE: u8 = 1;
+const DM_SHUTDOWN: u8 = 2;
+
+impl Codec for DriverMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            DriverMsg::Init { spec, r_parts, trace } => {
+                codec::put_u8(buf, DM_INIT);
+                codec::put_bytes(buf, spec);
+                codec::put_u32(buf, *r_parts);
+                codec::put_u8(buf, u8::from(*trace));
+            }
+            DriverMsg::Reduce { round, part, records } => {
+                codec::put_u8(buf, DM_REDUCE);
+                codec::put_u32(buf, *round);
+                codec::put_u32(buf, *part);
+                put_kvs(buf, records);
+            }
+            DriverMsg::Shutdown => codec::put_u8(buf, DM_SHUTDOWN),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match codec::get_u8(input)? {
+            DM_INIT => {
+                let spec = codec::get_bytes(input)?.to_vec();
+                let r_parts = codec::get_u32(input)?;
+                let trace = codec::get_u8(input)? != 0;
+                Ok(DriverMsg::Init { spec, r_parts, trace })
+            }
+            DM_REDUCE => {
+                let round = codec::get_u32(input)?;
+                let part = codec::get_u32(input)?;
+                let records = get_kvs(input)?;
+                Ok(DriverMsg::Reduce { round, part, records })
+            }
+            DM_SHUTDOWN => Ok(DriverMsg::Shutdown),
+            t => Err(CodecError(format!("unknown driver message tag {t}"))),
+        }
+    }
+}
+
+/// Worker → driver messages.
+#[derive(Debug)]
+enum WorkerMsg {
+    /// Reducer built; ready for tasks.
+    InitOk,
+    /// One partition reduced: emissions re-partitioned for the next round.
+    ReduceDone { part: u32, emitted: u64, out_buckets: Vec<Vec<KeyValue>> },
+    /// Shutdown acknowledgement: worker-local counters and trace events
+    /// for the driver's merged report.
+    Bye { counters: Vec<(String, u64)>, trace: Vec<TraceEvent> },
+    /// Worker-side setup failure (bad spec).
+    Err { msg: String },
+}
+
+const WM_INIT_OK: u8 = 0;
+const WM_REDUCE_DONE: u8 = 1;
+const WM_BYE: u8 = 2;
+const WM_ERR: u8 = 3;
+
+impl Codec for WorkerMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WorkerMsg::InitOk => codec::put_u8(buf, WM_INIT_OK),
+            WorkerMsg::ReduceDone { part, emitted, out_buckets } => {
+                codec::put_u8(buf, WM_REDUCE_DONE);
+                codec::put_u32(buf, *part);
+                codec::put_u64(buf, *emitted);
+                codec::put_u32(buf, out_buckets.len() as u32);
+                for b in out_buckets {
+                    put_kvs(buf, b);
+                }
+            }
+            WorkerMsg::Bye { counters, trace } => {
+                codec::put_u8(buf, WM_BYE);
+                codec::put_u32(buf, counters.len() as u32);
+                for (k, v) in counters {
+                    codec::put_bytes(buf, k.as_bytes());
+                    codec::put_u64(buf, *v);
+                }
+                codec::put_u32(buf, trace.len() as u32);
+                for e in trace {
+                    put_trace_event(buf, e);
+                }
+            }
+            WorkerMsg::Err { msg } => {
+                codec::put_u8(buf, WM_ERR);
+                codec::put_bytes(buf, msg.as_bytes());
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match codec::get_u8(input)? {
+            WM_INIT_OK => Ok(WorkerMsg::InitOk),
+            WM_REDUCE_DONE => {
+                let part = codec::get_u32(input)?;
+                let emitted = codec::get_u64(input)?;
+                let n = codec::get_u32(input)? as usize;
+                let mut out_buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out_buckets.push(get_kvs(input)?);
+                }
+                Ok(WorkerMsg::ReduceDone { part, emitted, out_buckets })
+            }
+            WM_BYE => {
+                let n = codec::get_u32(input)? as usize;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_string(input)?;
+                    let v = codec::get_u64(input)?;
+                    counters.push((k, v));
+                }
+                let n = codec::get_u32(input)? as usize;
+                let mut trace = Vec::with_capacity(n);
+                for _ in 0..n {
+                    trace.push(get_trace_event(input)?);
+                }
+                Ok(WorkerMsg::Bye { counters, trace })
+            }
+            WM_ERR => Ok(WorkerMsg::Err { msg: get_string(input)? }),
+            t => Err(CodecError(format!("unknown worker message tag {t}"))),
+        }
+    }
+}
+
+fn proto(e: CodecError) -> TransportError {
+    TransportError::Protocol(e.0)
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Serve one driver as a shuffle worker: accept a connection, build the
+/// reducer from the driver's opaque spec via `factory` (handing it the
+/// worker's counters so pipeline counters ride back in `Bye`), then reduce
+/// partitions until `Shutdown` or the driver's connection closes.
+///
+/// Returns `Ok(())` on a clean shutdown *and* on driver disappearance —
+/// a worker whose driver died must exit, not linger.
+pub fn serve_shuffle(
+    listener: &Listener,
+    accept_timeout_ns: u64,
+    factory: &dyn Fn(&[u8], &Counters) -> Result<Box<dyn Reducer>, String>,
+) -> Result<(), TransportError> {
+    let clock = Clock::monotonic();
+    let conn = listener.accept_deadline(&clock, accept_timeout_ns)?;
+    let mut framed = Framed::new(conn);
+    let Some(first) = framed.recv()? else {
+        return Ok(());
+    };
+    let (spec, r_parts, trace) = match DriverMsg::from_bytes(&first).map_err(proto)? {
+        DriverMsg::Init { spec, r_parts, trace } => (spec, r_parts as usize, trace),
+        other => return Err(TransportError::Protocol(format!("expected Init, got {other:?}"))),
+    };
+    // A logical clock makes the shipped trace deterministic for a seeded
+    // job; monotonic worker timestamps would not merge meaningfully with
+    // the driver's clock anyway.
+    let obs = if trace { Obs::enabled_logical() } else { Obs::default() };
+    let counters = Counters::new();
+    let reducer = match factory(&spec, &counters) {
+        Ok(r) => r,
+        Err(msg) => {
+            framed.send(&WorkerMsg::Err { msg }.to_bytes())?;
+            return Ok(());
+        }
+    };
+    framed.send(&WorkerMsg::InitOk.to_bytes())?;
+    loop {
+        let Some(bytes) = framed.recv()? else {
+            // Driver vanished between frames: exit cleanly so no process
+            // leaks even when the driver is SIGKILLed.
+            return Ok(());
+        };
+        match DriverMsg::from_bytes(&bytes).map_err(proto)? {
+            DriverMsg::Init { .. } => {
+                return Err(TransportError::Protocol("duplicate Init".to_string()));
+            }
+            DriverMsg::Reduce { round, part, records } => {
+                let span = obs.span(&format!("reduce.r{round}.p{part}"), "reduce");
+                counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
+                // verify_determinism=false: the debug double-run never
+                // changes output (pinned by an engine test), and the
+                // driver-side thread-mode suite already covers it.
+                let reduced = reduce_partition(reducer.as_ref(), round as usize, records, r_parts, false);
+                counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
+                counters.inc("worker.tasks");
+                drop(span);
+                framed.send(
+                    &WorkerMsg::ReduceDone { part, emitted: reduced.emitted, out_buckets: reduced.out_buckets }
+                        .to_bytes(),
+                )?;
+            }
+            DriverMsg::Shutdown => {
+                let trace_events = obs.trace().map(|t| t.events()).unwrap_or_default();
+                framed.send(&WorkerMsg::Bye { counters: counters.snapshot(), trace: trace_events }.to_bytes())?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver side
+// ---------------------------------------------------------------------------
+
+/// Multi-process job driver. Map runs locally; reduce partitions are
+/// dispatched to worker processes listed in `endpoints`.
+pub struct DistJob {
+    cfg: JobConfig,
+    opts: DistOptions,
+}
+
+/// Per-round dispatch state shared by the driver's per-worker threads.
+struct RoundState<'a> {
+    partition_data: &'a [Vec<KeyValue>],
+    queue: Mutex<VecDeque<(usize, usize)>>,
+    slots: Vec<Mutex<Option<Vec<Vec<KeyValue>>>>>,
+    filled: AtomicUsize,
+    fatal: Mutex<Option<JobError>>,
+    dispatched: &'a AtomicUsize,
+}
+
+impl DistJob {
+    /// Driver over `cfg` (reduce fan-out, rounds, retry budget, obs) with
+    /// the given transport timeouts.
+    pub fn new(cfg: JobConfig, opts: DistOptions) -> Self {
+        Self { cfg, opts }
+    }
+
+    /// Run the job: map `inputs` locally, stream each round's reduce
+    /// partitions to the workers at `endpoints`, return the assembled
+    /// result. `spec` is forwarded verbatim to every worker's reducer
+    /// factory. Output is byte-identical to the in-process engine's.
+    pub fn run<M: Mapper>(
+        &self,
+        endpoints: &[Endpoint],
+        spec: &[u8],
+        inputs: &[Vec<u8>],
+        mapper: &M,
+    ) -> Result<JobResult, JobError> {
+        self.run_with_hook(endpoints, spec, inputs, mapper, None)
+    }
+
+    /// [`DistJob::run`] with a fault-injection hook: `on_dispatch(n)` fires
+    /// after the n-th reduce task (1-based, cumulative across rounds) has
+    /// been written to a worker — the seam the kill-a-process suite uses to
+    /// SIGKILL a worker at a deterministic point mid-job.
+    pub fn run_with_hook<M: Mapper>(
+        &self,
+        endpoints: &[Endpoint],
+        spec: &[u8],
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Result<JobResult, JobError> {
+        if endpoints.is_empty() {
+            return Err(JobError::Transport(TransportError::Protocol("no worker endpoints".to_string())));
+        }
+        let obs = &self.cfg.obs;
+        let counters = match obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
+        let clock = Clock::monotonic();
+        let mut job_span = obs.span("driver", "dist.job");
+        counters.add("map.input_records", inputs.len() as u64);
+        counters.record_max("reduce.rounds", self.cfg.reduce_rounds as u64);
+        counters.record_max("dist.workers", endpoints.len() as u64);
+        let r_parts = self.cfg.reduce_tasks;
+
+        // Connect to every worker and initialise it. Startup is all-or-
+        // nothing: a worker that cannot be reached here is a deployment
+        // failure, not a mid-job fault.
+        let mut conns: Vec<Option<Framed>> = Vec::with_capacity(endpoints.len());
+        for ep in endpoints {
+            let conn = connect(ep, &clock, self.opts.connect_timeout_ns)?;
+            conn.set_read_timeout(Some(Duration::from_nanos(self.opts.io_timeout_ns))).map_err(JobError::Transport)?;
+            let mut framed = Framed::new(conn);
+            framed
+                .send(
+                    &DriverMsg::Init { spec: spec.to_vec(), r_parts: r_parts as u32, trace: obs.is_enabled() }
+                        .to_bytes(),
+                )
+                .map_err(JobError::Transport)?;
+            match framed.recv().map_err(JobError::Transport)? {
+                Some(bytes) => match WorkerMsg::from_bytes(&bytes).map_err(|e| JobError::Corrupt(e.0))? {
+                    WorkerMsg::InitOk => {}
+                    WorkerMsg::Err { msg } => {
+                        return Err(JobError::Transport(TransportError::Protocol(format!(
+                            "worker at {ep} rejected init: {msg}"
+                        ))))
+                    }
+                    other => {
+                        return Err(JobError::Transport(TransportError::Protocol(format!(
+                            "unexpected init reply from {ep}: {other:?}"
+                        ))))
+                    }
+                },
+                None => {
+                    return Err(JobError::Transport(TransportError::Protocol(format!(
+                        "worker at {ep} closed during init"
+                    ))))
+                }
+            }
+            conns.push(Some(framed));
+        }
+
+        // ---- Map phase (local) ----
+        // Identical striping and collection order to the in-process engine,
+        // so the shuffle sees the same record sequence.
+        let map_span = obs.span("driver", "dist.map");
+        let mut buckets_by_task: Vec<Vec<Vec<KeyValue>>> = Vec::with_capacity(self.cfg.map_tasks);
+        for task in 0..self.cfg.map_tasks {
+            let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+            let mut emitted = 0u64;
+            for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
+                mapper.map(input, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition(&k, r_parts);
+                    buckets[p].push(KeyValue::new(k, v));
+                });
+            }
+            counters.add("map.output_records", emitted);
+            buckets_by_task.push(buckets);
+        }
+        drop(map_span);
+
+        // ---- Reduce rounds, dispatched over the wire ----
+        let dispatched = AtomicUsize::new(0);
+        let mut final_output = Vec::new();
+        for round in 0..self.cfg.reduce_rounds {
+            let is_last = round + 1 == self.cfg.reduce_rounds;
+            let mut round_span = obs.span("driver", &format!("dist.round{round}"));
+            let mut partitions: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+            for task_buckets in buckets_by_task {
+                for (p, bucket) in task_buckets.into_iter().enumerate() {
+                    partitions[p].extend(bucket);
+                }
+            }
+            let mut round_records = 0u64;
+            for records in &partitions {
+                let bytes: u64 = records.iter().map(|kv| (kv.key.len() + kv.value.len()) as u64).sum();
+                round_records += records.len() as u64;
+                counters.add("shuffle.bytes", bytes);
+                counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
+            }
+            round_span.counter("input_records", round_records);
+
+            let state = RoundState {
+                partition_data: &partitions,
+                queue: Mutex::new((0..r_parts).map(|p| (p, 0usize)).collect()),
+                slots: (0..r_parts).map(|_| Mutex::new(None)).collect(),
+                filled: AtomicUsize::new(0),
+                fatal: Mutex::new(None),
+                dispatched: &dispatched,
+            };
+            std::thread::scope(|scope| {
+                let taken: Vec<Option<Framed>> = std::mem::take(&mut conns);
+                let handles: Vec<_> = taken
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, framed)| {
+                        let state = &state;
+                        let counters = &counters;
+                        scope.spawn(move || match framed {
+                            Some(f) => self.drive_worker(w, f, round, state, counters, obs, on_dispatch),
+                            None => None,
+                        })
+                    })
+                    .collect();
+                conns = handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(conn) => conn,
+                        Err(_) => None,
+                    })
+                    .collect();
+            });
+            if let Some(e) = lock_ignoring_poison(&state.fatal).take() {
+                return Err(e);
+            }
+            let mut round_outputs = Vec::with_capacity(r_parts);
+            for (p, slot) in state.slots.into_iter().enumerate() {
+                match slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+                    Some(buckets) => round_outputs.push(buckets),
+                    None => {
+                        return Err(JobError::Transport(TransportError::Protocol(format!(
+                            "all workers lost before partition {p} of round {round} completed"
+                        ))))
+                    }
+                }
+            }
+            if is_last {
+                for task_buckets in round_outputs {
+                    for bucket in task_buckets {
+                        final_output.extend(bucket);
+                    }
+                }
+                buckets_by_task = Vec::new();
+            } else {
+                buckets_by_task = round_outputs;
+            }
+        }
+        if self.cfg.reduce_rounds == 0 {
+            for task_buckets in buckets_by_task {
+                for bucket in task_buckets {
+                    final_output.extend(bucket);
+                }
+            }
+        }
+
+        // ---- Shutdown + report merge ----
+        // Each surviving worker ships back its counters (merged under a
+        // `w{i}.` prefix: they describe executed attempts, including
+        // re-runs, not the job's exact record flow) and its trace (merged
+        // under a `w{i}/` track prefix).
+        for (w, slot) in conns.iter_mut().enumerate() {
+            let Some(framed) = slot else { continue };
+            let bye = framed.send(&DriverMsg::Shutdown.to_bytes()).and_then(|()| framed.recv());
+            match bye {
+                Ok(Some(bytes)) => {
+                    if let Ok(WorkerMsg::Bye { counters: wc, trace }) = WorkerMsg::from_bytes(&bytes) {
+                        for (name, v) in wc {
+                            counters.add(&format!("w{w}.{name}"), v);
+                        }
+                        obs.import_trace(&format!("w{w}/"), trace);
+                    }
+                }
+                // A worker that died after its last task already has its
+                // partitions safely re-run; losing its counters is fine.
+                Ok(None) | Err(_) => {}
+            }
+        }
+
+        counters.add("output_records", final_output.len() as u64);
+        job_span.counter("output_records", final_output.len() as u64);
+        job_span.counter("retries", counters.get("task_retries"));
+        Ok(JobResult { output: final_output, counters })
+    }
+
+    /// One driver thread pumping one worker connection for one round.
+    /// Returns the connection if the worker is still alive, `None` if it
+    /// died (its in-flight partition is re-queued for the survivors).
+    #[allow(clippy::too_many_arguments)]
+    fn drive_worker(
+        &self,
+        w: usize,
+        mut framed: Framed,
+        round: usize,
+        state: &RoundState<'_>,
+        counters: &Counters,
+        obs: &Obs,
+        on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Option<Framed> {
+        loop {
+            if lock_ignoring_poison(&state.fatal).is_some() {
+                return Some(framed);
+            }
+            // Round barrier: all partitions of round r feed round r+1.
+            if state.filled.load(Ordering::SeqCst) == state.slots.len() {
+                return Some(framed);
+            }
+            let task = lock_ignoring_poison(&state.queue).pop_front();
+            let Some((p, attempt)) = task else {
+                // Queue drained but slots outstanding: another worker is
+                // in flight (or just died and is about to re-queue). Poll.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            };
+            let mut span = obs.span(&format!("dist.w{w}"), &format!("rpc.reduce.r{round}"));
+            span.counter("partition", p as u64);
+            let sent = framed.send(
+                &DriverMsg::Reduce { round: round as u32, part: p as u32, records: state.partition_data[p].clone() }
+                    .to_bytes(),
+            );
+            if sent.is_ok() {
+                let n = state.dispatched.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(hook) = on_dispatch {
+                    hook(n);
+                }
+            }
+            let reply = match sent.and_then(|()| framed.recv()) {
+                Ok(Some(bytes)) => bytes,
+                Ok(None) | Err(_) => {
+                    // Worker died (EOF / timeout / reset): re-queue the
+                    // partition for a surviving worker, retire this
+                    // connection.
+                    counters.inc("task_retries");
+                    span.counter("retries", 1);
+                    if attempt + 1 >= self.cfg.max_attempts {
+                        lock_ignoring_poison(&state.fatal).get_or_insert_with(|| {
+                            JobError::Transport(TransportError::Protocol(format!(
+                                "partition {p} of round {round} exhausted {} attempts across workers",
+                                self.cfg.max_attempts
+                            )))
+                        });
+                    } else {
+                        lock_ignoring_poison(&state.queue).push_back((p, attempt + 1));
+                    }
+                    return None;
+                }
+            };
+            match WorkerMsg::from_bytes(&reply) {
+                Ok(WorkerMsg::ReduceDone { part, emitted, out_buckets }) if part as usize == p => {
+                    counters.add(&format!("reduce.r{round}.output_records"), emitted);
+                    *lock_ignoring_poison(&state.slots[p]) = Some(out_buckets);
+                    state.filled.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(other) => {
+                    lock_ignoring_poison(&state.fatal).get_or_insert_with(|| {
+                        JobError::Transport(TransportError::Protocol(format!(
+                            "unexpected reply to reduce.r{round}.p{p} from worker {w}: {other:?}"
+                        )))
+                    });
+                    return Some(framed);
+                }
+                Err(e) => {
+                    lock_ignoring_poison(&state.fatal).get_or_insert_with(|| JobError::Corrupt(e.0));
+                    return Some(framed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MapReduceJob;
+    use std::path::PathBuf;
+
+    struct WordMap;
+    impl Mapper for WordMap {
+        fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            for w in input.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                emit(w.to_vec(), 1u64.to_bytes());
+            }
+        }
+    }
+
+    struct SumReduce;
+    impl Reducer for SumReduce {
+        fn reduce(
+            &self,
+            _round: usize,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        ) {
+            let total: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
+            emit(key.to_vec(), total.to_bytes());
+        }
+    }
+
+    fn word_inputs() -> Vec<Vec<u8>> {
+        vec![
+            b"the quick brown fox jumps".to_vec(),
+            b"the lazy dog naps".to_vec(),
+            b"the fox naps too".to_vec(),
+            b"quick quick fox".to_vec(),
+        ]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("agl-dist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sum_factory(_spec: &[u8], _c: &Counters) -> Result<Box<dyn Reducer>, String> {
+        Ok(Box::new(SumReduce))
+    }
+
+    fn opts() -> DistOptions {
+        DistOptions { connect_timeout_ns: 5_000_000_000, io_timeout_ns: 10_000_000_000 }
+    }
+
+    #[test]
+    fn distributed_output_is_byte_identical_to_in_process() {
+        let dir = temp_dir("smoke");
+        let cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let expected = MapReduceJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("w{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        let result = std::thread::scope(|s| {
+            for l in &listeners {
+                s.spawn(move || serve_shuffle(l, 5_000_000_000, &sum_factory).unwrap());
+            }
+            DistJob::new(cfg, opts()).run(&eps, b"spec", &word_inputs(), &WordMap).unwrap()
+        });
+        assert_eq!(result.output, expected.output, "byte-identical output, same order");
+        for name in ["map.input_records", "map.output_records", "reduce.r1.input_records", "output_records"] {
+            assert_eq!(result.counters.get(name), expected.counters.get(name), "{name}");
+        }
+        assert_eq!(result.counters.get("task_retries"), 0);
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A worker that accepts, inits, then drops the connection on its first
+    /// reduce task — the thread-mode analogue of SIGKILL mid-task.
+    fn serve_flaky(listener: &Listener) {
+        let clock = Clock::monotonic();
+        let conn = listener.accept_deadline(&clock, 5_000_000_000).unwrap();
+        let mut framed = Framed::new(conn);
+        let _init = framed.recv().unwrap().unwrap();
+        framed.send(&WorkerMsg::InitOk.to_bytes()).unwrap();
+        // Receive the first task, then vanish without replying.
+        let _task = framed.recv().unwrap();
+    }
+
+    #[test]
+    fn dead_worker_partition_is_rerun_deterministically() {
+        let dir = temp_dir("flaky");
+        let cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let expected = MapReduceJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("w{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        let result = std::thread::scope(|s| {
+            s.spawn(|| serve_flaky(&listeners[0]));
+            s.spawn(|| serve_shuffle(&listeners[1], 5_000_000_000, &sum_factory).unwrap());
+            DistJob::new(cfg, opts()).run(&eps, b"spec", &word_inputs(), &WordMap).unwrap()
+        });
+        assert_eq!(result.output, expected.output, "lost partition re-ran with identical output");
+        assert!(result.counters.get("task_retries") >= 1);
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn losing_every_worker_fails_typed_not_hung() {
+        let dir = temp_dir("alldead");
+        let cfg = JobConfig { reduce_rounds: 1, max_attempts: 2, ..JobConfig::default() };
+        let ep = Endpoint::Unix(dir.join("w0.sock"));
+        let listener = Listener::bind(&ep).unwrap();
+        let err = std::thread::scope(|s| {
+            s.spawn(|| serve_flaky(&listener));
+            DistJob::new(cfg, opts()).run(std::slice::from_ref(&ep), b"spec", &word_inputs(), &WordMap).unwrap_err()
+        });
+        assert!(matches!(err, JobError::Transport(_)), "{err}");
+        drop(listener);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_merges_worker_counters_and_trace() {
+        let dir = temp_dir("merge");
+        let obs = Obs::enabled_logical();
+        let cfg = JobConfig { reduce_rounds: 1, obs: obs.clone(), ..JobConfig::default() };
+        let ep = Endpoint::Unix(dir.join("w0.sock"));
+        let listener = Listener::bind(&ep).unwrap();
+        let result = std::thread::scope(|s| {
+            s.spawn(|| serve_shuffle(&listener, 5_000_000_000, &sum_factory).unwrap());
+            DistJob::new(cfg, opts()).run(std::slice::from_ref(&ep), b"spec", &word_inputs(), &WordMap).unwrap()
+        });
+        assert!(result.counters.get("w0.worker.tasks") > 0, "{:?}", result.counters.snapshot());
+        let tracks: Vec<String> =
+            obs.trace().map(|t| t.events().into_iter().map(|e| e.track).collect()).unwrap_or_default();
+        assert!(tracks.iter().any(|t| t.starts_with("w0/reduce.r0")), "worker spans merged: {tracks:?}");
+        assert!(tracks.iter().any(|t| t == "driver"), "{tracks:?}");
+        drop(listener);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn driver_msg_codec_round_trips() {
+        let msgs = [
+            DriverMsg::Init { spec: vec![1, 2, 3], r_parts: 4, trace: true },
+            DriverMsg::Reduce { round: 1, part: 2, records: vec![KeyValue::new(b"k".to_vec(), b"v".to_vec())] },
+            DriverMsg::Shutdown,
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            let back = DriverMsg::from_bytes(&bytes).unwrap();
+            assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn worker_msg_codec_round_trips() {
+        let msgs = [
+            WorkerMsg::InitOk,
+            WorkerMsg::ReduceDone {
+                part: 3,
+                emitted: 7,
+                out_buckets: vec![vec![], vec![KeyValue::new(b"a".to_vec(), b"b".to_vec())]],
+            },
+            WorkerMsg::Bye {
+                counters: vec![("n".to_string(), 9)],
+                trace: vec![TraceEvent {
+                    track: "t".to_string(),
+                    seq: 0,
+                    name: "s".to_string(),
+                    ts: 1,
+                    dur: 2,
+                    depth: 0,
+                    args: vec![("records".to_string(), 5)],
+                }],
+            },
+            WorkerMsg::Err { msg: "bad spec".to_string() },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            let back = WorkerMsg::from_bytes(&bytes).unwrap();
+            assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        }
+    }
+}

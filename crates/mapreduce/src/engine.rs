@@ -32,7 +32,7 @@ const MAX_VERIFIED_GROUPS_PER_TASK: usize = 4;
 
 /// Acquire `m` even if a panicking holder poisoned it — the engine treats a
 /// worker panic as a task failure, not a reason to lose the whole job.
-fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -144,6 +144,9 @@ pub enum JobError {
     /// Job output failed to decode — a codec bug between the last round
     /// and the driver.
     Corrupt(String),
+    /// A socket-transport failure in a multi-process job (worker died,
+    /// connect/read deadline exceeded, frame corruption on the wire).
+    Transport(crate::transport::TransportError),
 }
 
 impl std::fmt::Display for JobError {
@@ -152,11 +155,18 @@ impl std::fmt::Display for JobError {
             JobError::TaskFailed(t) => write!(f, "task {t:?} exhausted retries"),
             JobError::Io(e) => write!(f, "shuffle I/O error: {e}"),
             JobError::Corrupt(what) => write!(f, "corrupt job output: {what}"),
+            JobError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+impl From<crate::transport::TransportError> for JobError {
+    fn from(e: crate::transport::TransportError) -> Self {
+        JobError::Transport(e)
+    }
+}
 
 impl From<std::io::Error> for JobError {
     fn from(e: std::io::Error) -> Self {
@@ -179,6 +189,80 @@ impl JobResult {
     pub fn report(&self) -> crate::report::JobReport {
         crate::report::JobReport::from_counters(&self.counters)
     }
+}
+
+/// Output of reducing one shuffle partition — shared by the in-process
+/// engine and the multi-process shuffle worker (see [`crate::dist`]), so
+/// both modes run byte-identical reduce logic.
+pub(crate) struct ReducedPartition {
+    /// Emissions re-partitioned for the next round (or job output).
+    pub out_buckets: Vec<Vec<KeyValue>>,
+    /// Total records emitted.
+    pub emitted: u64,
+    /// Groups double-run by the debug determinism check.
+    pub verified_groups: u64,
+    /// First determinism violation observed, if any.
+    pub violation: Option<String>,
+}
+
+/// Reduce one partition for `round`: group records by key (stable sort, so
+/// within a key the producer-order value sequence is deterministic), invoke
+/// the reducer per group, re-partition emissions into `r_parts` buckets.
+/// `verify_determinism` samples multi-value groups for the reorder
+/// double-run; it never changes the output (pinned by an engine test).
+pub(crate) fn reduce_partition(
+    reducer: &dyn Reducer,
+    round: usize,
+    mut records: Vec<KeyValue>,
+    r_parts: usize,
+    verify_determinism: bool,
+) -> ReducedPartition {
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out_buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+    let mut emitted = 0u64;
+    let mut verified_groups = 0usize;
+    let mut violation = None;
+    let mut i = 0;
+    while i < records.len() {
+        let mut j = i + 1;
+        while j < records.len() && records[j].key == records[i].key {
+            j += 1;
+        }
+        let key = records[i].key.clone();
+        // Sample multi-value groups for the reorder determinism check:
+        // deterministic by key hash, capped per task to bound the
+        // double-run cost.
+        let sampled = verify_determinism
+            && j - i > 1
+            && verified_groups < MAX_VERIFIED_GROUPS_PER_TASK
+            && partition(&key, DETERMINISM_SAMPLE_MOD) == 0;
+        if sampled {
+            verified_groups += 1;
+            let values: Vec<Vec<u8>> = records[i..j].iter().map(|kv| kv.value.clone()).collect();
+            let mut baseline: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            {
+                let mut iter = values.iter().map(Vec::as_slice);
+                reducer.reduce(round, &key, &mut iter, &mut |k, v| baseline.push((k, v)));
+            }
+            if let Err(e) = crate::plan::check_group_reorder_determinism(reducer, round, &key, &values, &baseline) {
+                violation.get_or_insert_with(|| e.to_string());
+            }
+            for (k, v) in baseline {
+                emitted += 1;
+                let bucket = partition(&k, r_parts);
+                out_buckets[bucket].push(KeyValue::new(k, v));
+            }
+        } else {
+            let mut values = records[i..j].iter().map(|kv| kv.value.as_slice());
+            reducer.reduce(round, &key, &mut values, &mut |k, v| {
+                emitted += 1;
+                let bucket = partition(&k, r_parts);
+                out_buckets[bucket].push(KeyValue::new(k, v));
+            });
+        }
+        i = j;
+    }
+    ReducedPartition { out_buckets, emitted, verified_groups: verified_groups as u64, violation }
 }
 
 /// The driver. See module docs for the execution model.
@@ -318,59 +402,14 @@ impl MapReduceJob {
                 &format!("reduce.r{round}"),
                 &counters,
                 |p| {
-                    let mut records = spilled[p].clone();
-                    // Group by key: sort is stable, so within a key the value
-                    // order (producer task order, then emit order) is
-                    // deterministic.
-                    records.sort_by(|a, b| a.key.cmp(&b.key));
-                    let mut out_buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
-                    let mut emitted = 0u64;
-                    let mut verified_groups = 0usize;
-                    let mut i = 0;
-                    while i < records.len() {
-                        let mut j = i + 1;
-                        while j < records.len() && records[j].key == records[i].key {
-                            j += 1;
-                        }
-                        let key = records[i].key.clone();
-                        // Sample multi-value groups for the reorder
-                        // determinism check: deterministic by key hash,
-                        // capped per task to bound the double-run cost.
-                        let sampled = verify_determinism
-                            && j - i > 1
-                            && verified_groups < MAX_VERIFIED_GROUPS_PER_TASK
-                            && partition(&key, DETERMINISM_SAMPLE_MOD) == 0;
-                        if sampled {
-                            verified_groups += 1;
-                            let values: Vec<Vec<u8>> = records[i..j].iter().map(|kv| kv.value.clone()).collect();
-                            let mut baseline: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-                            {
-                                let mut iter = values.iter().map(Vec::as_slice);
-                                reducer.reduce(round, &key, &mut iter, &mut |k, v| baseline.push((k, v)));
-                            }
-                            if let Err(e) =
-                                crate::plan::check_group_reorder_determinism(reducer, round, &key, &values, &baseline)
-                            {
-                                lock_ignoring_poison(&determinism_violation).get_or_insert_with(|| e.to_string());
-                            }
-                            counters.inc(&format!("reduce.r{round}.verified_groups"));
-                            for (k, v) in baseline {
-                                emitted += 1;
-                                let bucket = partition(&k, r_parts);
-                                out_buckets[bucket].push(KeyValue::new(k, v));
-                            }
-                        } else {
-                            let mut values = records[i..j].iter().map(|kv| kv.value.as_slice());
-                            reducer.reduce(round, &key, &mut values, &mut |k, v| {
-                                emitted += 1;
-                                let bucket = partition(&k, r_parts);
-                                out_buckets[bucket].push(KeyValue::new(k, v));
-                            });
-                        }
-                        i = j;
+                    let records = spilled[p].clone();
+                    let reduced = reduce_partition(reducer, round, records, r_parts, verify_determinism);
+                    if let Some(v) = reduced.violation {
+                        lock_ignoring_poison(&determinism_violation).get_or_insert(v);
                     }
-                    counters.add(&format!("reduce.r{round}.output_records"), emitted);
-                    out_buckets
+                    counters.add(&format!("reduce.r{round}.verified_groups"), reduced.verified_groups);
+                    counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
+                    reduced.out_buckets
                 },
             )?;
             if let Some(report) = lock_ignoring_poison(&determinism_violation).take() {

@@ -29,17 +29,21 @@
 
 pub mod codec;
 pub mod counters;
+pub mod dist;
 pub mod engine;
 pub mod fault;
 pub mod hash;
 pub mod plan;
 pub mod report;
 pub mod spill;
+pub mod transport;
 
 pub use codec::{Codec, CodecError};
 pub use counters::Counters;
+pub use dist::{serve_shuffle, DistJob, DistOptions};
 pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
 pub use fault::{FaultPlan, TaskId, TaskKind};
 pub use plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};
 pub use report::{JobReport, RoundReport};
 pub use spill::SpillMode;
+pub use transport::{Conn, Endpoint, Framed, Listener, TransportError};

@@ -1,0 +1,563 @@
+//! Zero-dependency socket transport for multi-process jobs.
+//!
+//! A [`Framed`] connection carries length-prefixed frames over a Unix-domain
+//! socket (the default for co-located workers) or a loopback TCP stream (the
+//! fallback when the filesystem cannot host a socket file). Frame payloads
+//! are opaque bytes — callers serialise them with [`crate::codec::Codec`],
+//! so the wire format is the same little-endian format every shuffle record
+//! already uses in memory.
+//!
+//! Design points, in the order they bite:
+//!
+//! - **Framing**: each frame is a `u32` little-endian payload length followed
+//!   by the payload. A read that ends exactly on a frame boundary is a *clean
+//!   EOF* (`Ok(None)` from [`Framed::recv`]); anywhere else it is a
+//!   [`TransportError::TruncatedFrame`] — a peer died mid-write.
+//! - **Bounds**: frames above a configurable cap are rejected before any
+//!   allocation ([`TransportError::FrameTooLarge`]), so a corrupt header
+//!   cannot OOM the driver.
+//! - **Time**: all deadlines derive from the sanctioned [`agl_obs::Clock`];
+//!   this module never reads the wall clock directly. OS-level read timeouts
+//!   are plain `Duration`s handed to the socket, which keeps blocked reads
+//!   bounded without any clock polling on the hot path.
+//! - **Retry**: [`connect`] retries with capped exponential backoff until a
+//!   clock-derived deadline, because the driver races worker processes that
+//!   are still binding their listeners.
+
+use agl_obs::Clock;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default cap on a single frame's payload (64 MiB) — far above any shuffle
+/// partition the smoke jobs move, far below an OOM.
+pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Polling granularity for accept/connect retry loops.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Initial connect backoff; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(1);
+const BACKOFF_CAP: Duration = Duration::from_millis(50);
+
+/// Where a worker listens: a Unix-domain socket path or a TCP address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket at the given filesystem path.
+    Unix(PathBuf),
+    /// TCP address, e.g. `127.0.0.1:7001`. Port 0 binds an ephemeral port;
+    /// [`Listener::endpoint`] reports the actual one.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse `unix:<path>` or `tcp:<addr>`.
+    pub fn parse(s: &str) -> Result<Self, TransportError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(TransportError::BadEndpoint(s.to_string()));
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(TransportError::BadEndpoint(s.to_string()));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(TransportError::BadEndpoint(s.to_string()))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Everything that can go wrong on the wire, mapped to a typed error so the
+/// driver can distinguish "worker died" from "worker is slow" from "bug".
+#[derive(Debug)]
+pub enum TransportError {
+    /// An endpoint string failed to parse.
+    BadEndpoint(String),
+    /// Connecting to a peer failed within the deadline.
+    Connect {
+        /// The endpoint we tried to reach.
+        endpoint: String,
+        /// Number of attempts made before giving up.
+        attempts: u32,
+        /// The last OS error observed.
+        last: String,
+    },
+    /// A blocking operation exceeded its deadline or OS-level timeout.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+    },
+    /// The stream ended inside a frame — the peer died mid-write.
+    TruncatedFrame {
+        /// Bytes received of the truncated section.
+        got: usize,
+        /// Bytes expected.
+        want: usize,
+    },
+    /// A frame header announced a payload above the configured cap.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The peer spoke the framing correctly but violated the RPC protocol
+    /// layered on top (unexpected message, bad payload).
+    Protocol(String),
+    /// Any other socket-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::BadEndpoint(s) => {
+                write!(f, "bad endpoint {s:?} (expected unix:<path> or tcp:<addr>)")
+            }
+            TransportError::Connect { endpoint, attempts, last } => {
+                write!(f, "connect to {endpoint} failed after {attempts} attempts: {last}")
+            }
+            TransportError::Timeout { what } => write!(f, "transport timeout waiting for {what}"),
+            TransportError::TruncatedFrame { got, want } => {
+                write!(f, "truncated frame: peer closed after {got} of {want} bytes")
+            }
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    fn from_io(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout { what: "socket read/write".to_string() }
+            }
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A connected byte stream: Unix-domain or TCP, same API either way.
+#[derive(Debug)]
+pub enum Conn {
+    /// Unix-domain socket stream.
+    Unix(UnixStream),
+    /// Loopback TCP stream.
+    Tcp(TcpStream),
+}
+
+impl From<UnixStream> for Conn {
+    fn from(s: UnixStream) -> Self {
+        Conn::Unix(s)
+    }
+}
+
+impl From<TcpStream> for Conn {
+    fn from(s: TcpStream) -> Self {
+        Conn::Tcp(s)
+    }
+}
+
+impl Conn {
+    /// Bound blocking reads: `None` blocks forever, `Some(d)` makes reads
+    /// fail with a timeout error after `d`.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> Result<(), TransportError> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+        .map_err(TransportError::from_io)
+    }
+
+    /// Shut down both directions, unblocking any peer read.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener. Dropping a Unix listener unlinks its socket file, so a
+/// gracefully exiting worker leaves nothing behind.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener plus the path it owns (unlinked on drop).
+    Unix {
+        /// The accepting socket.
+        listener: UnixListener,
+        /// The socket file, removed when the listener drops.
+        path: PathBuf,
+    },
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind `ep`. A stale Unix socket file at the path is replaced. For
+    /// `tcp:<host>:0` the ephemeral port is resolved; read the actual
+    /// address back with [`Listener::endpoint`].
+    pub fn bind(ep: &Endpoint) -> Result<Self, TransportError> {
+        match ep {
+            Endpoint::Unix(path) => {
+                // A previous worker that was SIGKILLed leaves its socket
+                // file; rebinding must not require manual cleanup.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(TransportError::from_io)?;
+                Ok(Listener::Unix { listener, path: path.clone() })
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr).map_err(TransportError::from_io)?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// The endpoint peers should connect to (with ephemeral TCP ports
+    /// resolved to the actual port).
+    pub fn endpoint(&self) -> Result<Endpoint, TransportError> {
+        match self {
+            Listener::Unix { path, .. } => Ok(Endpoint::Unix(path.clone())),
+            Listener::Tcp(l) => {
+                let addr = l.local_addr().map_err(TransportError::from_io)?;
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+        }
+    }
+
+    /// Accept one connection, blocking indefinitely.
+    pub fn accept(&self) -> Result<Conn, TransportError> {
+        match self {
+            Listener::Unix { listener, .. } => {
+                let (s, _) = listener.accept().map_err(TransportError::from_io)?;
+                Ok(Conn::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept().map_err(TransportError::from_io)?;
+                Ok(Conn::Tcp(s))
+            }
+        }
+    }
+
+    /// Accept one connection within `timeout_ns` of `clock` time, polling a
+    /// non-blocking accept. Returns [`TransportError::Timeout`] past the
+    /// deadline — a worker whose driver never arrives must exit, not hang.
+    pub fn accept_deadline(&self, clock: &Clock, timeout_ns: u64) -> Result<Conn, TransportError> {
+        self.set_nonblocking(true)?;
+        let start = clock.now();
+        let res = loop {
+            match self.try_accept() {
+                Ok(Some(conn)) => break Ok(conn),
+                Ok(None) => {
+                    if clock.since(start) >= timeout_ns {
+                        break Err(TransportError::Timeout { what: "accept".to_string() });
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.set_nonblocking(false)?;
+        res
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> Result<(), TransportError> {
+        match self {
+            Listener::Unix { listener, .. } => listener.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+        .map_err(TransportError::from_io)
+    }
+
+    fn try_accept(&self) -> Result<Option<Conn>, TransportError> {
+        let res = match self {
+            Listener::Unix { listener, .. } => listener.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        match res {
+            Ok(conn) => {
+                // Accepted sockets inherit non-blocking mode on some
+                // platforms; frames are read with blocking semantics.
+                conn.set_blocking()?;
+                Ok(Some(conn))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(TransportError::from_io(e)),
+        }
+    }
+}
+
+impl Conn {
+    fn set_blocking(&self) -> Result<(), TransportError> {
+        match self {
+            Conn::Unix(s) => s.set_nonblocking(false),
+            Conn::Tcp(s) => s.set_nonblocking(false),
+        }
+        .map_err(TransportError::from_io)
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Connect to `ep`, retrying with capped exponential backoff until
+/// `timeout_ns` of `clock` time has elapsed. The retry exists because the
+/// driver spawns worker processes and connects immediately — the workers'
+/// listeners may not be bound yet.
+pub fn connect(ep: &Endpoint, clock: &Clock, timeout_ns: u64) -> Result<Conn, TransportError> {
+    let start = clock.now();
+    let mut backoff = BACKOFF_START;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let res = match ep {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+        };
+        match res {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                if clock.since(start) >= timeout_ns {
+                    return Err(TransportError::Connect { endpoint: ep.to_string(), attempts, last: e.to_string() });
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+/// A framed connection: `u32` little-endian length prefix, then the payload.
+#[derive(Debug)]
+pub struct Framed {
+    conn: Conn,
+    max_frame: u32,
+}
+
+impl Framed {
+    /// Wrap `conn` with the default frame cap.
+    pub fn new(conn: Conn) -> Self {
+        Self { conn, max_frame: DEFAULT_MAX_FRAME }
+    }
+
+    /// Override the frame cap (tests use tiny caps to exercise rejection).
+    pub fn with_max_frame(mut self, max: u32) -> Self {
+        self.max_frame = max;
+        self
+    }
+
+    /// The underlying connection (for timeouts / shutdown).
+    pub fn conn(&self) -> &Conn {
+        &self.conn
+    }
+
+    /// Send one frame. A payload above the cap is refused locally — the
+    /// sender's cap and the receiver's cap must agree, and refusing early
+    /// gives the error to the side that can fix it.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        if payload.len() as u64 > self.max_frame as u64 {
+            return Err(TransportError::FrameTooLarge { len: payload.len() as u32, max: self.max_frame });
+        }
+        let len = (payload.len() as u32).to_le_bytes();
+        self.conn.write_all(&len).map_err(TransportError::from_io)?;
+        self.conn.write_all(payload).map_err(TransportError::from_io)?;
+        self.conn.flush().map_err(TransportError::from_io)
+    }
+
+    /// Receive one frame. `Ok(None)` is a clean EOF (peer closed between
+    /// frames); EOF inside a frame is [`TransportError::TruncatedFrame`].
+    pub fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut header = [0u8; 4];
+        let mut got = 0;
+        while got < header.len() {
+            match self.conn.read(&mut header[got..]) {
+                Ok(0) => {
+                    if got == 0 {
+                        return Ok(None);
+                    }
+                    return Err(TransportError::TruncatedFrame { got, want: header.len() });
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::from_io(e)),
+            }
+        }
+        let len = u32::from_le_bytes(header);
+        if len > self.max_frame {
+            return Err(TransportError::FrameTooLarge { len, max: self.max_frame });
+        }
+        let mut payload = vec![0u8; len as usize];
+        let mut got = 0;
+        while got < payload.len() {
+            match self.conn.read(&mut payload[got..]) {
+                Ok(0) => return Err(TransportError::TruncatedFrame { got, want: payload.len() }),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::from_io(e)),
+            }
+        }
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Framed, Framed) {
+        let (a, b) = UnixStream::pair().unwrap();
+        (Framed::new(Conn::Unix(a)), Framed::new(Conn::Unix(b)))
+    }
+
+    #[test]
+    fn endpoint_parse_round_trips() {
+        let u = Endpoint::parse("unix:/tmp/x.sock").unwrap();
+        assert_eq!(u, Endpoint::Unix(PathBuf::from("/tmp/x.sock")));
+        assert_eq!(u.to_string(), "unix:/tmp/x.sock");
+        let t = Endpoint::parse("tcp:127.0.0.1:7001").unwrap();
+        assert_eq!(t.to_string(), "tcp:127.0.0.1:7001");
+        assert!(Endpoint::parse("http:x").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let (mut a, mut b) = pair();
+        a.send(b"hello").unwrap();
+        a.send(b"").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"hello");
+        assert_eq!(b.recv().unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        let (mut a, mut b) = pair();
+        a.send(b"last").unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap().unwrap(), b"last");
+        assert!(b.recv().unwrap().is_none(), "EOF on a frame boundary is clean");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_send_and_recv() {
+        let (a, b) = pair();
+        let mut a = a.with_max_frame(8);
+        let mut b = b.with_max_frame(4);
+        assert!(matches!(a.send(&[0u8; 9]), Err(TransportError::FrameTooLarge { len: 9, max: 8 })));
+        // Sender's cap (8) admits what the receiver's cap (4) rejects.
+        a.send(&[0u8; 6]).unwrap();
+        assert!(matches!(b.recv(), Err(TransportError::FrameTooLarge { len: 6, max: 4 })));
+    }
+
+    #[test]
+    fn accept_deadline_times_out_without_peer() {
+        let dir = std::env::temp_dir().join(format!("agl-transport-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = Endpoint::Unix(dir.join("t.sock"));
+        let listener = Listener::bind(&ep).unwrap();
+        let clock = Clock::monotonic();
+        let err = listener.accept_deadline(&clock, 20_000_000).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }));
+        drop(listener);
+        assert!(!dir.join("t.sock").exists(), "listener drop unlinks the socket file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn connect_gives_up_after_deadline() {
+        let ep = Endpoint::Unix(PathBuf::from("/nonexistent-dir/never.sock"));
+        let clock = Clock::monotonic();
+        let err = connect(&ep, &clock, 10_000_000).unwrap_err();
+        assert!(matches!(err, TransportError::Connect { .. }), "{err}");
+    }
+
+    #[test]
+    fn connect_succeeds_once_listener_binds() {
+        let dir = std::env::temp_dir().join(format!("agl-transport-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ep = Endpoint::Unix(dir.join("race.sock"));
+        let clock = Clock::monotonic();
+        std::thread::scope(|s| {
+            let ep2 = ep.clone();
+            let clock2 = clock.clone();
+            let h = s.spawn(move || connect(&ep2, &clock2, 2_000_000_000));
+            // Bind late: connect must retry until the listener exists.
+            std::thread::sleep(Duration::from_millis(20));
+            let listener = Listener::bind(&ep).unwrap();
+            let _conn = listener.accept().unwrap();
+            assert!(h.join().unwrap().is_ok());
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tcp_fallback_round_trips() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+        let ep = listener.endpoint().unwrap();
+        let clock = Clock::monotonic();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                let mut f = Framed::new(connect(&ep, &clock, 1_000_000_000).unwrap());
+                f.send(b"over tcp").unwrap();
+                assert_eq!(f.recv().unwrap().unwrap(), b"echo");
+            });
+            let mut f = Framed::new(listener.accept().unwrap());
+            assert_eq!(f.recv().unwrap().unwrap(), b"over tcp");
+            f.send(b"echo").unwrap();
+            h.join().unwrap();
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! The length-prefixed codec over a *real* socket: partial reads across
+//! frame boundaries, oversized-frame rejection, mid-stream EOF, and
+//! interleaved duplex traffic. All tests are seeded and sleep-free — the
+//! peer threads write deliberately fragmented byte sequences and the reader
+//! blocks until they arrive, so scheduling cannot change outcomes.
+
+use agl_mapreduce::codec::Codec;
+use agl_mapreduce::transport::{Conn, Framed, TransportError};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+
+/// Deterministic xorshift for payload bytes — seeded, no RNG dependency.
+fn seeded_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut s = seed.max(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s & 0xff) as u8
+        })
+        .collect()
+}
+
+/// Build the raw wire bytes of one frame.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+    buf.extend_from_slice(payload);
+    buf
+}
+
+#[test]
+fn partial_reads_across_frame_boundaries() {
+    let (mut raw, sock) = UnixStream::pair().unwrap();
+    let mut framed = Framed::new(Conn::from(sock));
+    let payloads: Vec<Vec<u8>> = (0..5).map(|i| seeded_bytes(0x9e37 + i, 64 * (i as usize + 1))).collect();
+
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            // One contiguous byte stream of 5 frames, written in chunks that
+            // straddle every header/payload boundary: 7 bytes at a time.
+            let mut wire = Vec::new();
+            for p in &payloads {
+                wire.extend_from_slice(&frame_bytes(p));
+            }
+            for chunk in wire.chunks(7) {
+                raw.write_all(chunk).unwrap();
+                raw.flush().unwrap();
+            }
+            drop(raw);
+        });
+        for (i, expected) in (0..5u64).zip([64usize, 128, 192, 256, 320]) {
+            let got = framed.recv().unwrap().unwrap();
+            assert_eq!(got, seeded_bytes(0x9e37 + i, expected), "frame {i}");
+        }
+        assert!(framed.recv().unwrap().is_none(), "clean EOF after the last frame");
+    });
+}
+
+#[test]
+fn oversized_frame_rejected_before_allocation() {
+    let (mut raw, sock) = UnixStream::pair().unwrap();
+    let mut framed = Framed::new(Conn::from(sock)).with_max_frame(1024);
+    // Header announces 1 GiB; no payload follows. The receiver must reject
+    // on the header alone rather than trying to allocate.
+    raw.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+    let err = framed.recv().unwrap_err();
+    assert!(matches!(err, TransportError::FrameTooLarge { len, max: 1024 } if len == 1 << 30), "{err}");
+}
+
+#[test]
+fn eof_inside_header_and_inside_payload_are_truncations() {
+    // EOF after 2 of 4 header bytes.
+    let (mut raw, sock) = UnixStream::pair().unwrap();
+    let mut framed = Framed::new(Conn::from(sock));
+    raw.write_all(&[0xab, 0xcd]).unwrap();
+    drop(raw);
+    assert!(
+        matches!(framed.recv().unwrap_err(), TransportError::TruncatedFrame { got: 2, want: 4 }),
+        "death inside the length header is a truncation"
+    );
+
+    // EOF after 10 of 32 payload bytes.
+    let (mut raw, sock) = UnixStream::pair().unwrap();
+    let mut framed = Framed::new(Conn::from(sock));
+    raw.write_all(&32u32.to_le_bytes()).unwrap();
+    raw.write_all(&seeded_bytes(7, 10)).unwrap();
+    drop(raw);
+    assert!(
+        matches!(framed.recv().unwrap_err(), TransportError::TruncatedFrame { got: 10, want: 32 }),
+        "death inside the payload is a truncation"
+    );
+}
+
+#[test]
+fn interleaved_duplex_pull_push() {
+    // Two peers ping-ponging codec-encoded (u64 request, Vec<u8> reply)
+    // pairs concurrently in both directions on one connection — the shape
+    // of PS pull/push traffic. Each side validates every reply it gets.
+    let (a, b) = UnixStream::pair().unwrap();
+    let rounds = 50u64;
+    std::thread::scope(|s| {
+        let client = s.spawn(move || {
+            let mut f = Framed::new(Conn::from(a));
+            for i in 0..rounds {
+                f.send(&i.to_bytes()).unwrap();
+                let reply = f.recv().unwrap().unwrap();
+                assert_eq!(reply, seeded_bytes(i + 1, 16 + (i as usize % 5)), "reply {i}");
+                // Push half: send a blob, expect its length echoed back.
+                let blob = seeded_bytes(i + 1000, 8 * (i as usize % 7 + 1));
+                f.send(&blob).unwrap();
+                let ack = u64::from_bytes(&f.recv().unwrap().unwrap()).unwrap();
+                assert_eq!(ack, blob.len() as u64);
+            }
+            drop(f);
+        });
+        let server = s.spawn(move || {
+            let mut f = Framed::new(Conn::from(b));
+            for i in 0..rounds {
+                let req = u64::from_bytes(&f.recv().unwrap().unwrap()).unwrap();
+                assert_eq!(req, i);
+                f.send(&seeded_bytes(i + 1, 16 + (i as usize % 5))).unwrap();
+                let blob = f.recv().unwrap().unwrap();
+                f.send(&(blob.len() as u64).to_bytes()).unwrap();
+            }
+            assert!(f.recv().unwrap().is_none(), "client closed cleanly");
+        });
+        client.join().unwrap();
+        server.join().unwrap();
+    });
+}
+
+#[test]
+fn codec_values_survive_the_wire_byte_for_byte() {
+    // A codec round-trip through a socket must equal the in-memory
+    // encoding: the wire adds framing, never re-encodes.
+    let (sock_a, sock_b) = UnixStream::pair().unwrap();
+    let mut tx = Framed::new(Conn::from(sock_a));
+    let mut rx = Framed::new(Conn::from(sock_b));
+    let value = "graph-feature \u{2603} bytes".to_string();
+    let encoded = value.to_bytes();
+    tx.send(&encoded).unwrap();
+    let received = rx.recv().unwrap().unwrap();
+    assert_eq!(received, encoded);
+    assert_eq!(String::from_bytes(&received).unwrap(), value);
+}

@@ -80,6 +80,15 @@ impl Obs {
         self.inner.as_deref().map(|i| &i.trace)
     }
 
+    /// Merge events from another process's trace into this one (dropped
+    /// when disabled). Tracks are prefixed with `prefix` so each worker
+    /// process keeps its own lanes in the merged export.
+    pub fn import_trace(&self, prefix: &str, events: Vec<TraceEvent>) {
+        if let Some(i) = &self.inner {
+            i.trace.import(prefix, events);
+        }
+    }
+
     /// The metrics registry, if enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.inner.as_deref().map(|i| &i.metrics)

@@ -107,6 +107,20 @@ impl TraceSink {
         Span { sink: Some(inner), track: track.to_string(), name: name.to_string(), seq, ts, depth, args: Vec::new() }
     }
 
+    /// Import events recorded by another sink — typically a worker
+    /// process's trace shipped back to the driver — prefixing every track
+    /// with `prefix` so per-process lanes stay distinct in the merged
+    /// export. Events keep their original timestamps and sequence numbers;
+    /// [`TraceSink::events`] interleaves them deterministically by
+    /// `(track, seq)`.
+    pub fn import(&self, prefix: &str, events: Vec<TraceEvent>) {
+        let mut st = Self::lock(&self.inner);
+        for mut e in events {
+            e.track = format!("{prefix}{}", e.track);
+            st.events.push(e);
+        }
+    }
+
     /// Events recorded so far, sorted by `(track, seq)` — the deterministic
     /// export order.
     pub fn events(&self) -> Vec<TraceEvent> {

@@ -1,0 +1,1042 @@
+//! The parameter server over a socket: one pull/push code path for
+//! in-process and multi-process training.
+//!
+//! The paper's GraphTrainer talks to its parameter servers over the
+//! network; our [`crate::ParameterServer`] is in-process. This module puts
+//! the *same* server behind the `agl-mapreduce` transport so each shard can
+//! run as its own OS process:
+//!
+//! - [`PsClient`] is the trait the trainer codes against. The in-process
+//!   implementation is [`ParameterServer`] itself (infallible, zero-copy of
+//!   behaviour); the remote one is [`RemotePs`], which speaks the framed
+//!   request/response protocol below.
+//! - [`serve_ps_shard`] is the worker-process side: it accepts a control
+//!   connection whose first message carries the shard's parameter slice and
+//!   optimizer spec, builds a **1-shard** `ParameterServer` from it, and
+//!   then serves pull/push from per-trainer-worker connections.
+//!
+//! Sharding composes exactly: the in-process server splits the model
+//! elementwise into contiguous shard slices, each with its own optimizer
+//! state, and sync-mode pushes sum in worker-id order per shard — so S
+//! separate 1-shard server *processes* over the same slices apply
+//! bit-identical updates to an S-shard in-process server (pinned by the
+//! `sharding_matches_single_shard_result` test in-process, and by the
+//! distributed-vs-local CLI verification end to end).
+//!
+//! ## Blocking and failure
+//!
+//! Sync/SSP pushes block server-side until the round completes — that is
+//! the consistency contract, not a hang. Client reads are bounded by the
+//! connection's read timeout: if a shard process dies mid-epoch, every
+//! worker's next pull/push surfaces a typed [`PsNetError`] within the
+//! timeout instead of blocking forever.
+
+use crate::hb::{Handoff, JoinPool};
+use crate::server::{Consistency, ParameterServer, PsStats, WorkerPsStats};
+use agl_mapreduce::codec::{self, Codec, CodecError};
+use agl_mapreduce::transport::{connect, Endpoint, Framed, Listener, TransportError};
+use agl_nn::{Adam, Optimizer, Sgd};
+use agl_obs::Clock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Failure talking to a remote parameter-server shard.
+#[derive(Debug)]
+pub enum PsNetError {
+    /// Socket-level failure (connect, timeout, EOF, framing).
+    Transport(TransportError),
+    /// The peer answered with the wrong message or a malformed payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for PsNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsNetError::Transport(e) => write!(f, "ps transport error: {e}"),
+            PsNetError::Protocol(what) => write!(f, "ps protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PsNetError {}
+
+impl From<TransportError> for PsNetError {
+    fn from(e: TransportError) -> Self {
+        PsNetError::Transport(e)
+    }
+}
+
+impl From<CodecError> for PsNetError {
+    fn from(e: CodecError) -> Self {
+        PsNetError::Protocol(e.0)
+    }
+}
+
+/// Mutex acquisition for connection and error-slot mutexes. These are not
+/// parameter-server state locks: they have no rank in the barrier →
+/// versions → shard hierarchy and are never held together with it (all
+/// server state is reached through `ParameterServer`'s public methods).
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // agl-lint: allow(lock-order) — connection/error mutex outside the PS lock hierarchy; see above.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server-side optimizer recipe, sent over the wire at shard init.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptSpec {
+    /// Plain SGD with the given learning rate.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam with the given learning rate (default betas/epsilon).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptSpec {
+    /// Instantiate the optimizer this spec describes.
+    pub fn build(&self) -> Box<dyn Optimizer> {
+        match *self {
+            OptSpec::Sgd { lr } => Box::new(Sgd::new(lr)),
+            OptSpec::Adam { lr } => Box::new(Adam::new(lr)),
+        }
+    }
+}
+
+impl Codec for OptSpec {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            OptSpec::Sgd { lr } => {
+                codec::put_u8(buf, 0);
+                codec::put_f32(buf, lr);
+            }
+            OptSpec::Adam { lr } => {
+                codec::put_u8(buf, 1);
+                codec::put_f32(buf, lr);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let tag = codec::get_u8(input)?;
+        let lr = codec::get_f32(input)?;
+        match tag {
+            0 => Ok(OptSpec::Sgd { lr }),
+            1 => Ok(OptSpec::Adam { lr }),
+            t => Err(CodecError(format!("unknown optimizer tag {t}"))),
+        }
+    }
+}
+
+fn put_consistency(buf: &mut Vec<u8>, mode: Consistency) {
+    match mode {
+        Consistency::Sync => codec::put_u8(buf, 0),
+        Consistency::Async => codec::put_u8(buf, 1),
+        Consistency::Ssp { slack } => {
+            codec::put_u8(buf, 2);
+            codec::put_u64(buf, slack);
+        }
+    }
+}
+
+fn get_consistency(input: &mut &[u8]) -> Result<Consistency, CodecError> {
+    match codec::get_u8(input)? {
+        0 => Ok(Consistency::Sync),
+        1 => Ok(Consistency::Async),
+        2 => Ok(Consistency::Ssp { slack: codec::get_u64(input)? }),
+        t => Err(CodecError(format!("unknown consistency tag {t}"))),
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    codec::put_u32(buf, vs.len() as u32);
+    for v in vs {
+        codec::put_u64(buf, *v);
+    }
+}
+
+fn get_u64s(input: &mut &[u8]) -> Result<Vec<u64>, CodecError> {
+    let n = codec::get_u32(input)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(codec::get_u64(input)?);
+    }
+    Ok(out)
+}
+
+fn put_stats(buf: &mut Vec<u8>, st: &PsStats) {
+    for v in [
+        st.pulls,
+        st.pushes,
+        st.steps,
+        st.bytes_transferred,
+        st.model_version,
+        st.max_staleness,
+        st.ssp_waits,
+        st.ssp_wait_nanos,
+    ] {
+        codec::put_u64(buf, v);
+    }
+    codec::put_u32(buf, st.workers.len() as u32);
+    for w in &st.workers {
+        codec::put_u64(buf, w.pulls);
+        codec::put_u64(buf, w.pushes);
+        codec::put_u64(buf, w.max_staleness);
+        put_u64s(buf, &w.staleness_hist);
+        codec::put_u64(buf, w.waits);
+        codec::put_u64(buf, w.wait_nanos);
+    }
+}
+
+fn get_stats(input: &mut &[u8]) -> Result<PsStats, CodecError> {
+    let pulls = codec::get_u64(input)?;
+    let pushes = codec::get_u64(input)?;
+    let steps = codec::get_u64(input)?;
+    let bytes_transferred = codec::get_u64(input)?;
+    let model_version = codec::get_u64(input)?;
+    let max_staleness = codec::get_u64(input)?;
+    let ssp_waits = codec::get_u64(input)?;
+    let ssp_wait_nanos = codec::get_u64(input)?;
+    let n = codec::get_u32(input)? as usize;
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        workers.push(WorkerPsStats {
+            pulls: codec::get_u64(input)?,
+            pushes: codec::get_u64(input)?,
+            max_staleness: codec::get_u64(input)?,
+            staleness_hist: get_u64s(input)?,
+            waits: codec::get_u64(input)?,
+            wait_nanos: codec::get_u64(input)?,
+        });
+    }
+    Ok(PsStats {
+        pulls,
+        pushes,
+        steps,
+        bytes_transferred,
+        model_version,
+        max_staleness,
+        ssp_waits,
+        ssp_wait_nanos,
+        workers,
+    })
+}
+
+/// Trainer → shard requests.
+#[derive(Debug)]
+enum PsRequest {
+    /// First message on the control connection: this shard's parameter
+    /// slice, the worker count, the consistency mode, the optimizer.
+    Init { params: Vec<f32>, n_workers: u32, mode: Consistency, opt: OptSpec },
+    /// Pull the shard slice (consistent with its version).
+    Pull { worker: u32 },
+    /// Push this worker's gradient slice.
+    Push { worker: u32, grads: Vec<f32> },
+    /// Retire the worker from the consistency gate.
+    Retire { worker: u32 },
+    /// Read the shard slice without counting as a worker pull.
+    Snapshot,
+    /// Read the shard's traffic/staleness stats.
+    Stats,
+    /// Finish up: reply `Bye` and exit the process.
+    Shutdown,
+}
+
+const PQ_INIT: u8 = 0;
+const PQ_PULL: u8 = 1;
+const PQ_PUSH: u8 = 2;
+const PQ_RETIRE: u8 = 3;
+const PQ_SNAPSHOT: u8 = 4;
+const PQ_STATS: u8 = 5;
+const PQ_SHUTDOWN: u8 = 6;
+
+impl Codec for PsRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PsRequest::Init { params, n_workers, mode, opt } => {
+                codec::put_u8(buf, PQ_INIT);
+                codec::put_f32s(buf, params);
+                codec::put_u32(buf, *n_workers);
+                put_consistency(buf, *mode);
+                opt.encode(buf);
+            }
+            PsRequest::Pull { worker } => {
+                codec::put_u8(buf, PQ_PULL);
+                codec::put_u32(buf, *worker);
+            }
+            PsRequest::Push { worker, grads } => {
+                codec::put_u8(buf, PQ_PUSH);
+                codec::put_u32(buf, *worker);
+                codec::put_f32s(buf, grads);
+            }
+            PsRequest::Retire { worker } => {
+                codec::put_u8(buf, PQ_RETIRE);
+                codec::put_u32(buf, *worker);
+            }
+            PsRequest::Snapshot => codec::put_u8(buf, PQ_SNAPSHOT),
+            PsRequest::Stats => codec::put_u8(buf, PQ_STATS),
+            PsRequest::Shutdown => codec::put_u8(buf, PQ_SHUTDOWN),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match codec::get_u8(input)? {
+            PQ_INIT => {
+                let params = codec::get_f32s(input)?;
+                let n_workers = codec::get_u32(input)?;
+                let mode = get_consistency(input)?;
+                let opt = OptSpec::decode(input)?;
+                Ok(PsRequest::Init { params, n_workers, mode, opt })
+            }
+            PQ_PULL => Ok(PsRequest::Pull { worker: codec::get_u32(input)? }),
+            PQ_PUSH => {
+                let worker = codec::get_u32(input)?;
+                let grads = codec::get_f32s(input)?;
+                Ok(PsRequest::Push { worker, grads })
+            }
+            PQ_RETIRE => Ok(PsRequest::Retire { worker: codec::get_u32(input)? }),
+            PQ_SNAPSHOT => Ok(PsRequest::Snapshot),
+            PQ_STATS => Ok(PsRequest::Stats),
+            PQ_SHUTDOWN => Ok(PsRequest::Shutdown),
+            t => Err(CodecError(format!("unknown ps request tag {t}"))),
+        }
+    }
+}
+
+/// Shard → trainer responses.
+#[derive(Debug)]
+enum PsResponse {
+    /// Shard initialised.
+    InitOk,
+    /// Pull reply: the shard slice and its model version.
+    Pulled { params: Vec<f32>, version: u64 },
+    /// Push applied (or queued per the consistency mode).
+    Pushed,
+    /// Worker retired.
+    Retired,
+    /// Snapshot of the shard slice.
+    Snapshot { params: Vec<f32> },
+    /// Shard stats.
+    Stats { stats: PsStats },
+    /// Shutdown acknowledged; the shard process is exiting.
+    Bye,
+    /// Request-level failure (bad worker id, wrong gradient length).
+    Err { msg: String },
+}
+
+const PR_INIT_OK: u8 = 0;
+const PR_PULLED: u8 = 1;
+const PR_PUSHED: u8 = 2;
+const PR_RETIRED: u8 = 3;
+const PR_SNAPSHOT: u8 = 4;
+const PR_STATS: u8 = 5;
+const PR_BYE: u8 = 6;
+const PR_ERR: u8 = 7;
+
+impl Codec for PsResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PsResponse::InitOk => codec::put_u8(buf, PR_INIT_OK),
+            PsResponse::Pulled { params, version } => {
+                codec::put_u8(buf, PR_PULLED);
+                codec::put_f32s(buf, params);
+                codec::put_u64(buf, *version);
+            }
+            PsResponse::Pushed => codec::put_u8(buf, PR_PUSHED),
+            PsResponse::Retired => codec::put_u8(buf, PR_RETIRED),
+            PsResponse::Snapshot { params } => {
+                codec::put_u8(buf, PR_SNAPSHOT);
+                codec::put_f32s(buf, params);
+            }
+            PsResponse::Stats { stats } => {
+                codec::put_u8(buf, PR_STATS);
+                put_stats(buf, stats);
+            }
+            PsResponse::Bye => codec::put_u8(buf, PR_BYE),
+            PsResponse::Err { msg } => {
+                codec::put_u8(buf, PR_ERR);
+                codec::put_bytes(buf, msg.as_bytes());
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match codec::get_u8(input)? {
+            PR_INIT_OK => Ok(PsResponse::InitOk),
+            PR_PULLED => {
+                let params = codec::get_f32s(input)?;
+                let version = codec::get_u64(input)?;
+                Ok(PsResponse::Pulled { params, version })
+            }
+            PR_PUSHED => Ok(PsResponse::Pushed),
+            PR_RETIRED => Ok(PsResponse::Retired),
+            PR_SNAPSHOT => Ok(PsResponse::Snapshot { params: codec::get_f32s(input)? }),
+            PR_STATS => Ok(PsResponse::Stats { stats: get_stats(input)? }),
+            PR_BYE => Ok(PsResponse::Bye),
+            PR_ERR => {
+                let msg = String::from_utf8(codec::get_bytes(input)?.to_vec())
+                    .map_err(|e| CodecError(format!("non-utf8 error message: {e}")))?;
+                Ok(PsResponse::Err { msg })
+            }
+            t => Err(CodecError(format!("unknown ps response tag {t}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client trait: one pull/push code path for both modes
+// ---------------------------------------------------------------------------
+
+/// What a trainer needs from a parameter server, in-process or remote.
+/// Implemented infallibly by [`ParameterServer`] and over the socket
+/// protocol by [`RemotePs`]; `DistTrainer::train_with_client` is generic
+/// over this trait, so both modes run the identical training loop.
+pub trait PsClient: Sync {
+    /// Pull the full parameter vector plus the model version of the cut.
+    fn pull_with_version(&self, worker: usize) -> Result<(Vec<f32>, u64), PsNetError>;
+    /// Push this worker's full gradient vector.
+    fn push(&self, worker: usize, grads: &[f32]) -> Result<(), PsNetError>;
+    /// Retire the worker from the consistency gate (idempotent).
+    fn retire(&self, worker: usize) -> Result<(), PsNetError>;
+    /// Read the full parameter vector without counting as a worker pull.
+    fn snapshot(&self) -> Result<Vec<f32>, PsNetError>;
+    /// Aggregated traffic/staleness statistics.
+    fn stats(&self) -> Result<PsStats, PsNetError>;
+    /// The (normalized) consistency mode in effect.
+    fn consistency(&self) -> Consistency;
+    /// Model dimension.
+    fn len(&self) -> usize;
+    /// True when the model is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PsClient for ParameterServer {
+    fn pull_with_version(&self, worker: usize) -> Result<(Vec<f32>, u64), PsNetError> {
+        Ok(ParameterServer::pull_with_version(self, worker))
+    }
+    fn push(&self, worker: usize, grads: &[f32]) -> Result<(), PsNetError> {
+        ParameterServer::push(self, worker, grads);
+        Ok(())
+    }
+    fn retire(&self, worker: usize) -> Result<(), PsNetError> {
+        ParameterServer::retire_worker(self, worker);
+        Ok(())
+    }
+    fn snapshot(&self) -> Result<Vec<f32>, PsNetError> {
+        Ok(ParameterServer::snapshot(self))
+    }
+    fn stats(&self) -> Result<PsStats, PsNetError> {
+        Ok(ParameterServer::stats(self))
+    }
+    fn consistency(&self) -> Consistency {
+        ParameterServer::consistency(self)
+    }
+    fn len(&self) -> usize {
+        ParameterServer::len(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote client
+// ---------------------------------------------------------------------------
+
+/// Client for parameter-server shards running as separate processes, one
+/// endpoint per shard. The model is split into contiguous elementwise
+/// slices with the same `div_ceil` bounds the in-process server uses, so
+/// remote and local sharding are interchangeable bit-for-bit.
+pub struct RemotePs {
+    /// Global slice boundaries: shard `i` owns `bounds[i]..bounds[i+1]`.
+    bounds: Vec<usize>,
+    dim: usize,
+    mode: Consistency,
+    /// Control connection per shard (init/snapshot/stats/shutdown).
+    controls: Vec<Mutex<Framed>>,
+    /// Data connections: `conns[worker][shard]`. Each trainer worker gets
+    /// its own connection per shard because sync/SSP pushes block
+    /// server-side — workers must not serialize on a shared socket.
+    conns: Vec<Vec<Mutex<Framed>>>,
+}
+
+fn rpc(framed: &mut Framed, req: &PsRequest) -> Result<PsResponse, PsNetError> {
+    framed.send(&req.to_bytes())?;
+    match framed.recv()? {
+        Some(bytes) => {
+            let resp = PsResponse::from_bytes(&bytes)?;
+            if let PsResponse::Err { msg } = resp {
+                return Err(PsNetError::Protocol(format!("shard rejected request: {msg}")));
+            }
+            Ok(resp)
+        }
+        None => Err(PsNetError::Protocol("shard closed mid-request".to_string())),
+    }
+}
+
+impl RemotePs {
+    /// Connect to the shard processes at `endpoints`, initialise each with
+    /// its slice of `initial`, and open one data connection per
+    /// (worker, shard) pair. Read deadlines on every connection are set to
+    /// `io_timeout_ns`, so a dead shard surfaces as a typed error, bounded.
+    pub fn connect(
+        endpoints: &[Endpoint],
+        initial: &[f32],
+        n_workers: usize,
+        mode: Consistency,
+        opt: OptSpec,
+        connect_timeout_ns: u64,
+        io_timeout_ns: u64,
+    ) -> Result<Self, PsNetError> {
+        if endpoints.is_empty() {
+            return Err(PsNetError::Protocol("no shard endpoints".to_string()));
+        }
+        // Same normalization as ParameterServer::new, so `consistency()`
+        // agrees between the two implementations.
+        let mode = match mode {
+            Consistency::Ssp { slack: 0 } => Consistency::Sync,
+            other => other,
+        };
+        let clock = Clock::monotonic();
+        let dim = initial.len();
+        let n_shards = endpoints.len().clamp(1, dim.max(1));
+        let per = dim.div_ceil(n_shards);
+        let mut bounds = Vec::with_capacity(n_shards + 1);
+        bounds.push(0);
+        let mut off = 0;
+        for _ in 0..n_shards {
+            off = (off + per).min(dim);
+            bounds.push(off);
+        }
+        let timeout = Duration::from_nanos(io_timeout_ns);
+        let mut controls = Vec::with_capacity(n_shards);
+        for (i, ep) in endpoints.iter().take(n_shards).enumerate() {
+            let conn = connect(ep, &clock, connect_timeout_ns)?;
+            conn.set_read_timeout(Some(timeout))?;
+            let mut framed = Framed::new(conn);
+            let req = PsRequest::Init {
+                params: initial[bounds[i]..bounds[i + 1]].to_vec(),
+                n_workers: n_workers as u32,
+                mode,
+                opt,
+            };
+            match rpc(&mut framed, &req)? {
+                PsResponse::InitOk => {}
+                other => return Err(PsNetError::Protocol(format!("unexpected init reply from {ep}: {other:?}"))),
+            }
+            controls.push(Mutex::new(framed));
+        }
+        let mut conns = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let mut per_shard = Vec::with_capacity(n_shards);
+            for ep in endpoints.iter().take(n_shards) {
+                let conn = connect(ep, &clock, connect_timeout_ns)?;
+                conn.set_read_timeout(Some(timeout))?;
+                per_shard.push(Mutex::new(Framed::new(conn)));
+            }
+            conns.push(per_shard);
+        }
+        Ok(Self { bounds, dim, mode, controls, conns })
+    }
+
+    /// Number of shard processes.
+    pub fn n_shards(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Tell every shard process to exit (replying `Bye`), closing all
+    /// connections. Errors are swallowed: a shard that already died has
+    /// already "shut down".
+    pub fn shutdown(self) {
+        // Close data connections first so shard-side handlers drain.
+        drop(self.conns);
+        for control in &self.controls {
+            let mut framed = lock_plain(control);
+            let _ = framed.send(&PsRequest::Shutdown.to_bytes());
+            let _ = framed.recv();
+        }
+    }
+
+    fn conn(&self, worker: usize, shard: usize) -> Result<&Mutex<Framed>, PsNetError> {
+        self.conns
+            .get(worker)
+            .and_then(|per| per.get(shard))
+            .ok_or_else(|| PsNetError::Protocol(format!("no connection for worker {worker} shard {shard}")))
+    }
+}
+
+impl PsClient for RemotePs {
+    fn pull_with_version(&self, worker: usize) -> Result<(Vec<f32>, u64), PsNetError> {
+        let mut params = Vec::with_capacity(self.dim);
+        let mut version = 0u64;
+        for shard in 0..self.n_shards() {
+            let mut framed = lock_plain(self.conn(worker, shard)?);
+            match rpc(&mut framed, &PsRequest::Pull { worker: worker as u32 })? {
+                PsResponse::Pulled { params: slice, version: v } => {
+                    if shard == 0 {
+                        version = v;
+                    }
+                    params.extend_from_slice(&slice);
+                }
+                other => return Err(PsNetError::Protocol(format!("unexpected pull reply: {other:?}"))),
+            }
+        }
+        if params.len() != self.dim {
+            return Err(PsNetError::Protocol(format!("pulled {} parameters, model has {}", params.len(), self.dim)));
+        }
+        Ok((params, version))
+    }
+
+    fn push(&self, worker: usize, grads: &[f32]) -> Result<(), PsNetError> {
+        if grads.len() != self.dim {
+            return Err(PsNetError::Protocol(format!("pushed {} gradients, model has {}", grads.len(), self.dim)));
+        }
+        // Ascending shard order on every worker: sync-mode pushes barrier
+        // per shard, and a uniform traversal order keeps the rounds in
+        // lockstep (no worker can hold shard k's round open while another
+        // waits on shard j < k).
+        for shard in 0..self.n_shards() {
+            let slice = &grads[self.bounds[shard]..self.bounds[shard + 1]];
+            let mut framed = lock_plain(self.conn(worker, shard)?);
+            match rpc(&mut framed, &PsRequest::Push { worker: worker as u32, grads: slice.to_vec() })? {
+                PsResponse::Pushed => {}
+                other => return Err(PsNetError::Protocol(format!("unexpected push reply: {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn retire(&self, worker: usize) -> Result<(), PsNetError> {
+        for shard in 0..self.n_shards() {
+            let mut framed = lock_plain(self.conn(worker, shard)?);
+            match rpc(&mut framed, &PsRequest::Retire { worker: worker as u32 })? {
+                PsResponse::Retired => {}
+                other => return Err(PsNetError::Protocol(format!("unexpected retire reply: {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Result<Vec<f32>, PsNetError> {
+        let mut params = Vec::with_capacity(self.dim);
+        for control in &self.controls {
+            let mut framed = lock_plain(control);
+            match rpc(&mut framed, &PsRequest::Snapshot)? {
+                PsResponse::Snapshot { params: slice } => params.extend_from_slice(&slice),
+                other => return Err(PsNetError::Protocol(format!("unexpected snapshot reply: {other:?}"))),
+            }
+        }
+        Ok(params)
+    }
+
+    fn stats(&self) -> Result<PsStats, PsNetError> {
+        // Aggregate across shards: traffic sums, version/staleness maxes,
+        // per-worker breakdowns folded elementwise.
+        let mut agg = PsStats {
+            pulls: 0,
+            pushes: 0,
+            steps: 0,
+            bytes_transferred: 0,
+            model_version: 0,
+            max_staleness: 0,
+            ssp_waits: 0,
+            ssp_wait_nanos: 0,
+            workers: Vec::new(),
+        };
+        for control in &self.controls {
+            let mut framed = lock_plain(control);
+            let st = match rpc(&mut framed, &PsRequest::Stats)? {
+                PsResponse::Stats { stats } => stats,
+                other => return Err(PsNetError::Protocol(format!("unexpected stats reply: {other:?}"))),
+            };
+            agg.pulls += st.pulls;
+            agg.pushes += st.pushes;
+            agg.steps = agg.steps.max(st.steps);
+            agg.bytes_transferred += st.bytes_transferred;
+            agg.model_version = agg.model_version.max(st.model_version);
+            agg.max_staleness = agg.max_staleness.max(st.max_staleness);
+            agg.ssp_waits += st.ssp_waits;
+            agg.ssp_wait_nanos += st.ssp_wait_nanos;
+            if agg.workers.len() < st.workers.len() {
+                agg.workers.resize_with(st.workers.len(), || WorkerPsStats {
+                    pulls: 0,
+                    pushes: 0,
+                    max_staleness: 0,
+                    staleness_hist: Vec::new(),
+                    waits: 0,
+                    wait_nanos: 0,
+                });
+            }
+            for (a, w) in agg.workers.iter_mut().zip(st.workers) {
+                a.pulls += w.pulls;
+                a.pushes += w.pushes;
+                a.max_staleness = a.max_staleness.max(w.max_staleness);
+                if a.staleness_hist.len() < w.staleness_hist.len() {
+                    a.staleness_hist.resize(w.staleness_hist.len(), 0);
+                }
+                for (ah, wh) in a.staleness_hist.iter_mut().zip(w.staleness_hist) {
+                    *ah += wh;
+                }
+                a.waits += w.waits;
+                a.wait_nanos += w.wait_nanos;
+            }
+        }
+        Ok(agg)
+    }
+
+    fn consistency(&self) -> Consistency {
+        self.mode
+    }
+
+    fn len(&self) -> usize {
+        self.dim
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard server process
+// ---------------------------------------------------------------------------
+
+/// Serve one parameter-server shard: accept a control connection whose
+/// first message is `Init` (carrying the shard's parameter slice), build a
+/// 1-shard [`ParameterServer`] from it, then serve pull/push from any
+/// number of subsequent connections until `Shutdown` arrives — or every
+/// connection closes (a dead driver's sockets close, and the shard must
+/// exit rather than leak).
+pub fn serve_ps_shard(listener: &Listener, accept_timeout_ns: u64) -> Result<(), PsNetError> {
+    let clock = Clock::monotonic();
+    let conn = listener.accept_deadline(&clock, accept_timeout_ns)?;
+    let mut control = Framed::new(conn);
+    let Some(first) = control.recv()? else {
+        return Ok(());
+    };
+    let (params, n_workers, mode, opt) = match PsRequest::from_bytes(&first)? {
+        PsRequest::Init { params, n_workers, mode, opt } => (params, n_workers as usize, mode, opt),
+        other => return Err(PsNetError::Protocol(format!("expected Init, got {other:?}"))),
+    };
+    let server = Arc::new(ParameterServer::new(params, 1, n_workers.max(1), mode, move || opt.build()));
+    control.send(&PsResponse::InitOk.to_bytes())?;
+
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let shutdown = &shutdown;
+        // The control connection is just another request stream; when it
+        // ends (Shutdown, or the driver process dying and the kernel
+        // closing its sockets) the accept loop stops.
+        scope.spawn(move || {
+            let _ = serve_conn(control, server, shutdown);
+            shutdown.store(true, Ordering::SeqCst);
+        });
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept_deadline(&clock, 50_000_000) {
+                Ok(conn) => {
+                    scope.spawn(move || {
+                        let _ = serve_conn(Framed::new(conn), server, shutdown);
+                    });
+                }
+                Err(TransportError::Timeout { .. }) => continue,
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Serve one connection's request stream against the shard server.
+fn serve_conn(mut framed: Framed, server: &ParameterServer, shutdown: &AtomicBool) -> Result<(), PsNetError> {
+    loop {
+        let Some(bytes) = framed.recv()? else {
+            return Ok(());
+        };
+        let resp = match PsRequest::from_bytes(&bytes)? {
+            PsRequest::Init { .. } => PsResponse::Err { msg: "duplicate Init".to_string() },
+            PsRequest::Pull { worker } => {
+                if (worker as usize) < server.n_workers() {
+                    let (params, version) = ParameterServer::pull_with_version(server, worker as usize);
+                    PsResponse::Pulled { params, version }
+                } else {
+                    PsResponse::Err { msg: format!("worker {worker} out of range") }
+                }
+            }
+            PsRequest::Push { worker, grads } => {
+                if (worker as usize) >= server.n_workers() {
+                    PsResponse::Err { msg: format!("worker {worker} out of range") }
+                } else if grads.len() != ParameterServer::len(server) {
+                    PsResponse::Err {
+                        msg: format!("gradient length {} != shard size {}", grads.len(), ParameterServer::len(server)),
+                    }
+                } else {
+                    ParameterServer::push(server, worker as usize, &grads);
+                    PsResponse::Pushed
+                }
+            }
+            PsRequest::Retire { worker } => {
+                if (worker as usize) < server.n_workers() {
+                    ParameterServer::retire_worker(server, worker as usize);
+                }
+                PsResponse::Retired
+            }
+            PsRequest::Snapshot => PsResponse::Snapshot { params: ParameterServer::snapshot(server) },
+            PsRequest::Stats => PsResponse::Stats { stats: ParameterServer::stats(server) },
+            PsRequest::Shutdown => {
+                framed.send(&PsResponse::Bye.to_bytes())?;
+                shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        };
+        framed.send(&resp.to_bytes())?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic worker pool
+// ---------------------------------------------------------------------------
+
+/// Retires the worker from the consistency gate when its closure returns —
+/// including by unwinding — mirroring [`crate::worker::run_workers`]'s
+/// guard but over the client trait (a remote retire that fails is ignored:
+/// the shard is gone, nothing is gated).
+struct RetireClient<'a, C: PsClient> {
+    client: &'a C,
+    worker: usize,
+}
+
+impl<C: PsClient> Drop for RetireClient<'_, C> {
+    fn drop(&mut self) {
+        let _ = self.client.retire(self.worker);
+    }
+}
+
+/// Run `n_workers` copies of `work(worker_id, client)` on threads and wait
+/// for all of them — the [`crate::worker::run_workers`] pool generalized
+/// over [`PsClient`], with fallible workers: the first error is returned
+/// after every worker has stopped (each worker's own connections surface
+/// their own timeouts, so one dead shard stops them all, bounded).
+pub fn run_client_workers<C, F>(client: &C, n_workers: usize, work: F) -> Result<(), PsNetError>
+where
+    C: PsClient,
+    F: Fn(usize, &C) -> Result<(), PsNetError> + Sync,
+{
+    assert!(n_workers > 0);
+    let first_err: Mutex<Option<PsNetError>> = Mutex::new(None);
+    // Vector-clock plumbing (debug builds), exactly as in `run_workers`.
+    let pool = JoinPool::new();
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let work = &work;
+            let pool = &pool;
+            let first_err = &first_err;
+            let handoff = Handoff::fork();
+            scope.spawn(move || {
+                handoff.adopt();
+                let _depart = pool.depart_guard();
+                let _retire = RetireClient { client, worker: w };
+                if let Err(e) = work(w, client) {
+                    lock_plain(first_err).get_or_insert(e);
+                }
+            });
+        }
+    });
+    pool.absorb();
+    let err = lock_plain(&first_err).take();
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("agl-psnet-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Spin up `n` shard servers on UDS listeners inside `scope`-less
+    /// threads via `std::thread::scope` and run `f` against a RemotePs.
+    fn with_remote<T: Send>(
+        tag: &str,
+        n_shards: usize,
+        initial: Vec<f32>,
+        n_workers: usize,
+        mode: Consistency,
+        opt: OptSpec,
+        f: impl FnOnce(&RemotePs) -> T + Send,
+    ) -> T {
+        let dir = temp_dir(tag);
+        let eps: Vec<Endpoint> = (0..n_shards).map(|i| Endpoint::Unix(dir.join(format!("s{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        let out = std::thread::scope(|s| {
+            for l in &listeners {
+                s.spawn(move || serve_ps_shard(l, 5_000_000_000).unwrap());
+            }
+            let remote =
+                RemotePs::connect(&eps, &initial, n_workers, mode, opt, 5_000_000_000, 10_000_000_000).unwrap();
+            let out = f(&remote);
+            remote.shutdown();
+            out
+        });
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+        out
+    }
+
+    #[test]
+    fn remote_matches_local_bit_for_bit_sync_sgd() {
+        let initial: Vec<f32> = (0..13).map(|i| i as f32 * 0.25).collect();
+        let n_workers = 3;
+        let steps = 4;
+        // Local reference: 2-shard in-process server.
+        let local = Arc::new(ParameterServer::new(initial.clone(), 2, n_workers, Consistency::Sync, || {
+            Box::new(Sgd::new(0.1))
+        }));
+        crate::worker::run_workers(&local, n_workers, |w, ps| {
+            for step in 0..steps {
+                let (x, _v) = ParameterServer::pull_with_version(ps, w);
+                let g: Vec<f32> = x.iter().map(|xi| xi * 0.5 + (w as f32) - (step as f32) * 0.1).collect();
+                ParameterServer::push(ps, w, &g);
+            }
+        });
+        let expected = local.snapshot();
+
+        let got =
+            with_remote("bitident", 2, initial, n_workers, Consistency::Sync, OptSpec::Sgd { lr: 0.1 }, |remote| {
+                run_client_workers(remote, n_workers, |w, c| {
+                    for step in 0..steps {
+                        let (x, _v) = c.pull_with_version(w)?;
+                        let g: Vec<f32> = x.iter().map(|xi| xi * 0.5 + (w as f32) - (step as f32) * 0.1).collect();
+                        c.push(w, &g)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+                PsClient::snapshot(remote).unwrap()
+            });
+        assert_eq!(expected.len(), got.len());
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(e.to_bits(), g.to_bits(), "param {i}: {e} vs {g}");
+        }
+    }
+
+    #[test]
+    fn remote_stats_aggregate_across_shards() {
+        let got = with_remote("stats", 2, vec![0.0; 8], 2, Consistency::Async, OptSpec::Sgd { lr: 0.01 }, |remote| {
+            run_client_workers(remote, 2, |w, c| {
+                let (_x, _v) = c.pull_with_version(w)?;
+                c.push(w, &vec![0.1; 8])?;
+                Ok(())
+            })
+            .unwrap();
+            PsClient::stats(remote).unwrap()
+        });
+        assert_eq!(got.pulls, 4, "2 workers × 2 shards");
+        assert_eq!(got.pushes, 4);
+        assert_eq!(got.workers.len(), 2);
+        assert!(got.bytes_transferred > 0);
+    }
+
+    #[test]
+    fn dead_shard_is_a_typed_error_not_a_hang() {
+        let dir = temp_dir("dead");
+        let ep = Endpoint::Unix(dir.join("s0.sock"));
+        let listener = Listener::bind(&ep).unwrap();
+        let eps = vec![ep];
+        std::thread::scope(|s| {
+            // A shard that dies right after init: accepts the control and
+            // data connections, answers Init, then drops everything — the
+            // kernel closes its sockets exactly as a SIGKILLed process's
+            // would, with no sleeps involved.
+            s.spawn(|| {
+                let clock = Clock::monotonic();
+                let mut control = Framed::new(listener.accept_deadline(&clock, 5_000_000_000).unwrap());
+                let init = control.recv().unwrap().unwrap();
+                assert!(matches!(PsRequest::from_bytes(&init).unwrap(), PsRequest::Init { .. }));
+                control.send(&PsResponse::InitOk.to_bytes()).unwrap();
+                let data = listener.accept_deadline(&clock, 5_000_000_000).unwrap();
+                drop(data);
+                drop(control);
+            });
+            let remote = RemotePs::connect(
+                &eps,
+                &[1.0, 2.0],
+                1,
+                Consistency::Async,
+                OptSpec::Sgd { lr: 0.1 },
+                5_000_000_000,
+                2_000_000_000, // 2s read deadline bounds any residual wait
+            )
+            .unwrap();
+            // The shard is gone; the next pull must fail typed, not hang.
+            let err = remote.pull_with_version(0).unwrap_err();
+            assert!(matches!(err, PsNetError::Transport(_) | PsNetError::Protocol(_)), "{err}");
+        });
+        drop(listener);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wire_codecs_round_trip() {
+        let reqs = [
+            PsRequest::Init {
+                params: vec![1.0, -2.5],
+                n_workers: 3,
+                mode: Consistency::Ssp { slack: 4 },
+                opt: OptSpec::Adam { lr: 0.001 },
+            },
+            PsRequest::Pull { worker: 7 },
+            PsRequest::Push { worker: 1, grads: vec![0.5; 3] },
+            PsRequest::Retire { worker: 2 },
+            PsRequest::Snapshot,
+            PsRequest::Stats,
+            PsRequest::Shutdown,
+        ];
+        for r in reqs {
+            let b = r.to_bytes();
+            assert_eq!(format!("{r:?}"), format!("{:?}", PsRequest::from_bytes(&b).unwrap()));
+        }
+        let resps = [
+            PsResponse::InitOk,
+            PsResponse::Pulled { params: vec![9.0], version: 8 },
+            PsResponse::Pushed,
+            PsResponse::Retired,
+            PsResponse::Snapshot { params: vec![] },
+            PsResponse::Stats {
+                stats: PsStats {
+                    pulls: 1,
+                    pushes: 2,
+                    steps: 3,
+                    bytes_transferred: 4,
+                    model_version: 5,
+                    max_staleness: 6,
+                    ssp_waits: 7,
+                    ssp_wait_nanos: 8,
+                    workers: vec![WorkerPsStats {
+                        pulls: 1,
+                        pushes: 1,
+                        max_staleness: 0,
+                        staleness_hist: vec![1, 0],
+                        waits: 0,
+                        wait_nanos: 0,
+                    }],
+                },
+            },
+            PsResponse::Bye,
+            PsResponse::Err { msg: "nope".to_string() },
+        ];
+        for r in resps {
+            let b = r.to_bytes();
+            assert_eq!(format!("{r:?}"), format!("{:?}", PsResponse::from_bytes(&b).unwrap()));
+        }
+    }
+}

@@ -20,11 +20,10 @@ use crate::pipeline::prepare_batch;
 use crate::trainer::{EpochStats, LocalTrainer, TrainOptions};
 use agl_flat::TrainingExample;
 use agl_nn::{Adam, GnnModel};
-use agl_ps::{run_workers, Consistency, ParameterServer, PsStats};
+use agl_ps::{run_client_workers, Consistency, ParameterServer, PsClient, PsNetError, PsStats};
 use agl_tensor::rng::derive_seed;
 use agl_tensor::rng::SliceRandom;
 use agl_tensor::seeded_rng;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Distributed-training configuration. The coordination mode lives in
@@ -71,20 +70,43 @@ impl DistTrainer {
 
     /// Train `model` over `train`, optionally evaluating `val` after every
     /// epoch. The final server parameters are loaded back into `model`.
+    ///
+    /// Builds an in-process [`ParameterServer`] and runs the exact same
+    /// loop [`Self::train_with_client`] runs against a remote one.
     pub fn train(
         &self,
         model: &mut GnnModel,
         train: &[TrainingExample],
         val: Option<&[TrainingExample]>,
     ) -> DistTrainResult {
-        assert!(!train.is_empty());
         let lr = self.opts.lr;
-        let server = Arc::new(
+        let server =
             ParameterServer::new(model.param_vector(), self.n_shards, self.n_workers, self.opts.consistency, || {
                 Box::new(Adam::new(lr))
             })
-            .with_obs(self.opts.obs.clone()),
-        );
+            .with_obs(self.opts.obs.clone());
+        match self.train_with_client(model, train, val, &server) {
+            Ok(r) => r,
+            // agl-lint: allow(no-panic) — the in-process PsClient impl is infallible; Err is unreachable.
+            Err(e) => panic!("in-process parameter server failed: {e}"),
+        }
+    }
+
+    /// Train `model` against any [`PsClient`] — the in-process server or an
+    /// [`agl_ps::RemotePs`] talking to shard processes over sockets. Both
+    /// modes share this single code path; only the client differs.
+    ///
+    /// On a remote client, a dead shard surfaces here as `Err(PsNetError)`
+    /// within the connection's read deadline — the epoch loop stops, every
+    /// worker thread is joined, and the model keeps its last good epoch.
+    pub fn train_with_client<C: PsClient>(
+        &self,
+        model: &mut GnnModel,
+        train: &[TrainingExample],
+        val: Option<&[TrainingExample]>,
+        server: &C,
+    ) -> Result<DistTrainResult, PsNetError> {
+        assert!(!train.is_empty());
 
         // Static data partition: worker w owns examples w, w+W, w+2W, ...
         let partitions: Vec<Vec<usize>> =
@@ -107,7 +129,7 @@ impl DistTrainer {
             } else {
                 agl_obs::Span::disabled()
             };
-            run_workers(&server, self.n_workers, |w, ps| {
+            run_client_workers(server, self.n_workers, |w, ps| {
                 let mut replica = template.clone();
                 let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed, (epoch * 1000 + w) as u64));
                 let mut order = partitions[w].clone();
@@ -118,7 +140,7 @@ impl DistTrainer {
                         .map(|i| train[order[(lo + i) % order.len()]].clone())
                         .collect();
                     let prepared = prepare_batch(&batch, &spec);
-                    let (params, _pulled_version) = ps.pull_with_version(w);
+                    let (params, _pulled_version) = ps.pull_with_version(w)?;
                     replica.load_param_vector(&params);
                     replica.zero_grads();
                     let pass = replica.forward(
@@ -139,10 +161,11 @@ impl DistTrainer {
                     // Staleness of this gradient — steps that land between
                     // our pull and the apply (§3.3's bounded-delay lens) —
                     // is recorded by the server under its version lock.
-                    ps.push(w, &replica.grad_vector());
+                    ps.push(w, &replica.grad_vector())?;
                 }
-            });
-            model.load_param_vector(&server.snapshot());
+                Ok(())
+            })?;
+            model.load_param_vector(&server.snapshot()?);
             epoch_span.counter("batches", batches_per_worker as u64);
             drop(epoch_span);
             self.opts.obs.metric_add("trainer.epochs", 1);
@@ -160,9 +183,10 @@ impl DistTrainer {
                 val_curve.push(LocalTrainer::evaluate(model, v, &self.opts));
             }
         }
-        // `run_workers` joined every worker thread above, so this snapshot
-        // is ordered after all pushes (see `DistTrainResult::max_staleness`).
-        let ps_stats = server.stats();
+        // `run_client_workers` joined every worker thread above, so this
+        // snapshot is ordered after all pushes (see
+        // `DistTrainResult::max_staleness`).
+        let ps_stats = server.stats()?;
         let max_staleness = ps_stats.max_staleness;
         // The tentpole contract: SSP turns the measured staleness into an
         // enforced bound. A violation is a server bug, never load-dependent
@@ -173,7 +197,7 @@ impl DistTrainer {
                 "SSP contract violated: observed staleness {max_staleness} > slack {slack}"
             );
         }
-        DistTrainResult { epochs, val_curve, ps_stats, max_staleness }
+        Ok(DistTrainResult { epochs, val_curve, ps_stats, max_staleness })
     }
 }
 
