@@ -119,6 +119,28 @@ dist_smoke() {
   fi
 }
 
+# Online read-path smoke: build a store from a small InferOutput, drive
+# the seeded power-law load generator in-process, then the sharded
+# multi-process mode (2 serve-worker processes, answers verified against
+# the in-process store). Asserts point + top-k queries happened and a
+# nonzero p99 was reported.
+serve_smoke() {
+  local dir out
+  dir=$(mktemp -d -t agl-serve-smoke.XXXXXX)
+  trap 'pkill -f "agl-cli serve[-]worker" 2>/dev/null || true; rm -rf "'"$dir"'"' RETURN
+  out=$(./target/release/agl-cli serve-bench --synthetic-nodes 400 --shards 4 \
+    --load-workers 2 --batches 50 --batch-size 8) || return 1
+  echo "$out" | grep -qE "^qps=[1-9]" || { echo "serve smoke: no qps reported" >&2; return 1; }
+  echo "$out" | grep -qE "^lookup_p99_ns=[1-9]" || { echo "serve smoke: p99 is zero" >&2; return 1; }
+  echo "$out" | grep -qE "^topk_p99_ns=[1-9]" || { echo "serve smoke: top-k p99 is zero" >&2; return 1; }
+  out=$(./target/release/agl-cli serve --synthetic-nodes 300 --workers 2 --dir "$dir") || return 1
+  echo "$out" | grep -q "verified=true" || { echo "serve smoke: remote answers diverged" >&2; return 1; }
+  if pgrep -f "agl-cli serve[-]worker" >/dev/null; then
+    echo "serve smoke: leaked worker processes" >&2
+    return 1
+  fi
+}
+
 # SIGKILL a shuffle worker after its first reduce dispatch: the job must
 # recover (surviving worker re-runs the lost partitions), still verify
 # byte-identical, and record the retry. Bounded by the transport
@@ -143,6 +165,7 @@ step "cargo build --release" cargo build --release
 step "cargo test -q" cargo test -q
 step "dist smoke (2 shuffle + 2 ps processes, byte-identical)" dist_smoke
 step "dist kill-a-worker (SIGKILL mid-job, deterministic re-run)" dist_kill
+step "serve smoke (load generator + 2 serve-worker processes, verified)" serve_smoke
 step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
 # Rustdoc is part of the contract: broken intra-doc links or missing docs
 # on public items (crates with #![warn(missing_docs)]) fail the build.

@@ -203,6 +203,28 @@ fn bench_transport(h: &mut Harness) {
     std::fs::remove_dir_all(&tmp).ok();
 }
 
+/// Read-path cost: one batched point-lookup round (16 ids drawn from the
+/// power-law popularity skew) and one exact top-8 neighbor query, against
+/// a 4-shard store of 2 000 × 16-dim vectors. The pair `serve/point_lookup`
+/// + `serve/topk_8` is what `bench_compare` gates read-path regressions on.
+fn bench_serve(h: &mut Harness) {
+    use agl_datasets::PowerLaw;
+    use agl_graph::NodeId;
+    use agl_serve::{EmbeddingStore, RequestBatcher, ServeConfig};
+
+    let n = 2_000u64;
+    let dim = 16;
+    let mut rng = seeded_rng(42);
+    let vectors: Vec<(NodeId, Vec<f32>)> =
+        (0..n).map(|i| (NodeId(i), (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect())).collect();
+    let store = EmbeddingStore::from_vectors(vectors, &ServeConfig::default());
+    let batcher = RequestBatcher::new(&store);
+    let popularity = PowerLaw::new(n as usize, 2.1);
+    let batch: Vec<NodeId> = (0..16).map(|_| NodeId(popularity.sample(&mut rng) as u64)).collect();
+    h.bench("serve/point_lookup", || batcher.submit(&batch));
+    h.bench("serve/topk_8", || store.topk_neighbors(batch[0], 8));
+}
+
 // ---- per-stage trace medians (`--trace-json`) ----
 
 /// Map a span name onto its reported stage bucket (None = not a stage).
@@ -229,21 +251,17 @@ fn traced_stage_run() -> Vec<(&'static str, f64)> {
     let ds = uug_like(UugConfig { n_nodes: 600, avg_degree: 6.0, ..UugConfig::default() });
     let (nodes, edges) = ds.graph().to_tables();
     let obs = Obs::enabled();
-    let flat = GraphFlat::new(FlatConfig {
-        k_hops: 2,
-        sampling: SamplingStrategy::Uniform { max_degree: 10 },
-        obs: obs.clone(),
-        ..FlatConfig::default()
-    })
+    let flat = GraphFlat::new(
+        FlatConfig { k_hops: 2, sampling: SamplingStrategy::Uniform { max_degree: 10 }, ..FlatConfig::default() }
+            .with_obs(obs.clone()),
+    )
     .run(&nodes, &edges, &TargetSpec::All)
     .expect("graphflat");
     let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 16, 1, 2, Loss::BceWithLogits));
-    let opts = |epochs| TrainOptions { epochs, batch_size: 32, obs: obs.clone(), ..TrainOptions::default() };
+    let opts = |epochs| TrainOptions { epochs, batch_size: 32, ..TrainOptions::default() }.with_obs(obs.clone());
     LocalTrainer::new(opts(1)).train(&mut model, &flat.examples);
     DistTrainer::new(2, opts(2)).train(&mut model, &flat.examples, None);
-    GraphInfer::new(InferConfig { obs: obs.clone(), ..InferConfig::default() })
-        .run(&model, &nodes, &edges)
-        .expect("graphinfer");
+    GraphInfer::new(InferConfig::default().with_obs(obs.clone())).run(&model, &nodes, &edges).expect("graphinfer");
 
     let mut totals: BTreeMap<&'static str, f64> = BTreeMap::new();
     for ev in obs.trace().expect("enabled handle").events() {
@@ -289,6 +307,7 @@ fn main() {
     bench_graphfeature_codec(&mut h);
     bench_graphflat_pipeline(&mut h);
     bench_transport(&mut h);
+    bench_serve(&mut h);
 
     let write = |path: &std::path::Path, json: String| {
         if let Some(parent) = path.parent() {

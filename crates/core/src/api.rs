@@ -3,18 +3,31 @@
 use agl_flat::{FlatConfig, FlatOutput, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_graph::{EdgeTable, NodeTable};
 use agl_infer::{GraphInfer, InferConfig, InferOutput};
-use agl_mapreduce::JobError;
+use agl_mapreduce::{EngineConfig, JobError};
 use agl_nn::GnnModel;
 use agl_trainer::metrics::Metrics;
 use agl_trainer::{Consistency, DistTrainer, LocalTrainer, TrainOptions};
 
-/// Builder for GraphFlat / GraphInfer / GraphTrainer runs with shared knobs
-/// — the command-line surface of §3.5 as a typed API.
+/// Builder for GraphFlat / GraphInfer / GraphTrainer / serving runs with
+/// shared knobs — the command-line surface of §3.5 as a typed API.
+///
+/// The shared execution knobs live in exactly one [`EngineConfig`]:
+/// [`seed`](Self::seed), [`obs`](Self::obs) and [`engine`](Self::engine)
+/// write it once, and the per-stage accessors overlay it onto the stage
+/// configs when a stage actually runs. Stage-specific knobs
+/// ([`hops`](Self::hops), [`train_options`](Self::train_options), ...) and
+/// the shared ones may therefore be chained in any order.
 #[derive(Debug, Clone, Default)]
 pub struct AglJob {
+    engine: EngineConfig,
     flat: FlatConfig,
     infer: InferConfig,
     train: TrainOptions,
+    /// Set by [`consistency`](Self::consistency); overlays
+    /// `train.consistency` so it survives a later
+    /// [`train_options`](Self::train_options) (merge, not clobber).
+    consistency: Option<Consistency>,
+    serve: agl_serve::ServeConfig,
 }
 
 impl AglJob {
@@ -43,64 +56,85 @@ impl AglJob {
         self
     }
 
-    /// Seed for the sampling framework.
+    /// Seed for everything sampled or shuffled under this job — written to
+    /// the shared [`EngineConfig`] exactly once.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.flat.seed = seed;
-        self.infer.seed = seed;
+        self.engine.seed = seed;
         self
     }
 
-    /// Engine sizing (map tasks, reduce tasks, thread parallelism).
+    /// Engine sizing (map tasks, reduce tasks, thread parallelism) —
+    /// written to the shared [`EngineConfig`] exactly once.
     pub fn engine(mut self, map_tasks: usize, reduce_tasks: usize, parallelism: usize) -> Self {
-        self.flat.map_tasks = map_tasks;
-        self.flat.reduce_tasks = reduce_tasks;
-        self.flat.parallelism = parallelism;
-        self.infer.map_tasks = map_tasks;
-        self.infer.reduce_tasks = reduce_tasks;
-        self.infer.parallelism = parallelism;
+        self.engine.map_tasks = map_tasks;
+        self.engine.reduce_tasks = reduce_tasks;
+        self.engine.parallelism = parallelism;
+        self
+    }
+
+    /// Replace the whole shared [`EngineConfig`] at once.
+    pub fn engine_config(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
     /// Worker-coordination mode for distributed training: `Sync`, `Async`,
-    /// or `Ssp { slack }` — the one place a job picks it.
+    /// or `Ssp { slack }` — the one place a job picks it. Survives a later
+    /// [`train_options`](Self::train_options) call (order-independent).
     pub fn consistency(mut self, c: Consistency) -> Self {
-        self.train.consistency = c;
+        self.consistency = Some(c);
         self
     }
 
     /// Training hyper-parameters (batch size, epochs, lr, ablation axes).
+    /// Merges with the shared knobs instead of clobbering them: an earlier
+    /// [`consistency`](Self::consistency), [`seed`](Self::seed) or
+    /// [`obs`](Self::obs) still applies.
     pub fn train_options(mut self, opts: TrainOptions) -> Self {
-        // `consistency(...)` and `train_options(...)` may be chained in
-        // either order; the explicit options win wholesale.
         self.train = opts;
         self
     }
 
-    /// Attach one observability handle to every stage this job runs:
-    /// GraphFlat, GraphInfer, and the trainer (parameter server included).
-    /// Spans land in the handle's trace sink, counters in its metrics
-    /// registry. Chain *after* [`train_options`](Self::train_options) —
-    /// explicit options replace the whole training config, handle included.
-    pub fn obs(mut self, obs: agl_obs::Obs) -> Self {
-        self.flat.obs = obs.clone();
-        self.infer.obs = obs.clone();
-        self.train.obs = obs;
+    /// Serving configuration (shard count, top-k defaults, load-generator
+    /// shape) — the read path joins the same builder.
+    pub fn serve(mut self, cfg: agl_serve::ServeConfig) -> Self {
+        self.serve = cfg;
         self
     }
 
-    /// Direct access to the full training configuration.
-    pub fn train_config(&self) -> &TrainOptions {
-        &self.train
+    /// Attach one observability handle to every stage this job runs:
+    /// GraphFlat, GraphInfer, the trainer (parameter server included) and
+    /// the serving store — written to the shared [`EngineConfig`] exactly
+    /// once. Spans land in the handle's trace sink, counters in its metrics
+    /// registry. May be chained in any order with the other setters.
+    pub fn obs(mut self, obs: agl_obs::Obs) -> Self {
+        self.engine.obs = obs;
+        self
     }
 
-    /// Direct access to the full GraphFlat configuration.
-    pub fn flat_config(&self) -> &FlatConfig {
-        &self.flat
+    /// The full training configuration: the chained options with the
+    /// job-wide engine knobs (and any explicit consistency) overlaid.
+    pub fn train_config(&self) -> TrainOptions {
+        let mut t = self.train.clone().with_engine(self.engine.clone());
+        if let Some(c) = self.consistency {
+            t.consistency = c;
+        }
+        t
     }
 
-    /// Direct access to the full GraphInfer configuration.
-    pub fn infer_config(&self) -> &InferConfig {
-        &self.infer
+    /// The full GraphFlat configuration (job-wide engine knobs overlaid).
+    pub fn flat_config(&self) -> FlatConfig {
+        self.flat.clone().with_engine(self.engine.clone())
+    }
+
+    /// The full GraphInfer configuration (job-wide engine knobs overlaid).
+    pub fn infer_config(&self) -> InferConfig {
+        self.infer.clone().with_engine(self.engine.clone())
+    }
+
+    /// The full serving configuration (job-wide engine knobs overlaid).
+    pub fn serve_config(&self) -> agl_serve::ServeConfig {
+        self.serve.clone().with_engine(self.engine.clone())
     }
 
     /// **GraphFlat**: generate `<TargetedNodeId, Label, GraphFeature>`
@@ -111,13 +145,13 @@ impl AglJob {
         edges: &EdgeTable,
         targets: &TargetSpec,
     ) -> Result<FlatOutput, JobError> {
-        GraphFlat::new(self.flat.clone()).run(nodes, edges, targets)
+        GraphFlat::new(self.flat_config()).run(nodes, edges, targets)
     }
 
     /// **GraphInfer**: score every node with a trained model via the
     /// K+1-slice MapReduce pipeline (§3.4).
     pub fn graph_infer(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
-        GraphInfer::new(self.infer.clone()).run(model, nodes, edges)
+        GraphInfer::new(self.infer_config()).run(model, nodes, edges)
     }
 
     /// **GraphTrainer**, distributed: data-parallel workers against an
@@ -130,7 +164,13 @@ impl AglJob {
         val: Option<&[agl_flat::TrainingExample]>,
         n_workers: usize,
     ) -> agl_trainer::DistTrainResult {
-        DistTrainer::new(n_workers, self.train.clone()).train(model, train, val)
+        DistTrainer::new(n_workers, self.train_config()).train(model, train, val)
+    }
+
+    /// **Serving**: build the sharded read-path store from a GraphInfer
+    /// output under this job's serve configuration.
+    pub fn build_serving(&self, output: &InferOutput) -> agl_serve::EmbeddingStore {
+        agl_serve::EmbeddingStore::build(output, &self.serve_config())
     }
 }
 
@@ -210,13 +250,59 @@ mod tests {
         assert_eq!(job.flat_config().k_hops, 3);
         assert_eq!(job.flat_config().hub_threshold, 100);
         assert_eq!(job.flat_config().reindex_fanout, 8);
-        assert_eq!(job.flat_config().reduce_tasks, 3);
-        assert_eq!(job.infer_config().parallelism, 5);
+        assert_eq!(job.flat_config().engine.reduce_tasks, 3);
+        assert_eq!(job.infer_config().engine.parallelism, 5);
         assert_eq!(job.infer_config().sampling, SamplingStrategy::TopK { max_degree: 7 });
-        assert_eq!(job.infer_config().seed, 9);
+        assert_eq!(job.infer_config().engine.seed, 9);
         assert_eq!(job.train_config().consistency, Consistency::Ssp { slack: 4 });
+        // The one shared EngineConfig reaches every stage, training and
+        // serving included.
+        assert_eq!(job.train_config().engine.seed, 9);
+        assert_eq!(job.serve_config().engine.seed, 9);
+        assert_eq!(job.serve_config().engine.map_tasks, 2);
         // Defaults elsewhere stay intact.
         assert_eq!(job.train_config().batch_size, TrainOptions::default().batch_size);
+    }
+
+    /// Regression: `train_options(...)` used to clobber a previously
+    /// chained `consistency(...)` ("explicit options win wholesale").
+    /// The builder now merges — chain order must not matter.
+    #[test]
+    fn consistency_survives_train_options_in_either_order() {
+        let opts = TrainOptions { epochs: 3, batch_size: 5, ..TrainOptions::default() };
+        let a = AglJob::new().consistency(Consistency::Ssp { slack: 2 }).train_options(opts.clone());
+        let b = AglJob::new().train_options(opts).consistency(Consistency::Ssp { slack: 2 });
+        for job in [&a, &b] {
+            let t = job.train_config();
+            assert_eq!(t.consistency, Consistency::Ssp { slack: 2 });
+            assert_eq!((t.epochs, t.batch_size), (3, 5));
+        }
+        // Same for the other shared knobs: obs and seed survive a later
+        // train_options(...) because they live on the job's EngineConfig.
+        let obs = agl_obs::Obs::enabled_logical();
+        let job = AglJob::new()
+            .obs(obs.clone())
+            .seed(77)
+            .train_options(TrainOptions { epochs: 2, ..TrainOptions::default() });
+        assert!(job.train_config().engine.obs.is_enabled());
+        assert_eq!(job.train_config().engine.seed, 77);
+    }
+
+    #[test]
+    fn serving_joins_the_builder() {
+        let (nodes, edges) = toy();
+        let job = AglJob::new().hops(1).seed(3).serve(agl_serve::ServeConfig::default().with_shards(2));
+        let mut model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, 2, 4, 2, 1, Loss::SoftmaxCrossEntropy));
+        let flat = job.graph_flat(&nodes, &edges, &TargetSpec::All).unwrap();
+        let opts = TrainOptions { epochs: 2, ..TrainOptions::default() };
+        train_and_evaluate(&mut model, &flat.examples, &flat.examples, &opts);
+        let output = job.graph_infer(&model, &nodes, &edges).unwrap();
+        let store = job.build_serving(&output);
+        assert_eq!(store.n_shards(), 2);
+        assert_eq!(store.len(), 20);
+        let emb = store.get(agl_graph::NodeId(0)).unwrap();
+        assert_eq!(emb.len(), 2, "stored vector is the score vector");
+        assert_eq!(store.topk(&[1.0, 0.0], 3).len(), 3);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!               --epochs 5 --workers 4 --consistency ssp:4
 //! agl-cli infer --model data/model.agl --nodes data/nodes.tsv \
 //!               --edges data/edges.tsv --out data/scores.tsv
+//! agl-cli serve-bench --synthetic-nodes 1000 --shards 4     # online read path
+//! agl-cli serve --workers 2 --synthetic-nodes 300           # multi-process shards
 //! ```
 //!
 //! Node table: `id \t f1,f2,... \t l1,l2,...` (labels optional).
@@ -43,8 +45,13 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&parse_flags(&args[1..])),
         Some("dist-run") => cmd_dist_run(&parse_flags(&args[1..])),
         Some("dist-worker") => cmd_dist_worker(&parse_flags(&args[1..])),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])),
+        Some("serve-bench") => cmd_serve_bench(&parse_flags(&args[1..])),
+        Some("serve-worker") => cmd_serve_worker(&parse_flags(&args[1..])),
         _ => {
-            eprintln!("usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker> [--flag value]...");
+            eprintln!(
+                "usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker|serve|serve-bench|serve-worker> [--flag value]..."
+            );
             eprintln!("see crate docs for the table formats and flags");
             return ExitCode::from(2);
         }
@@ -319,9 +326,9 @@ fn cmd_train(flags: &Flags) -> CliResult {
         pruning: flag_or(flags, "pruning", "true").parse()?,
         partitions: flag_or(flags, "partitions", "1").parse()?,
         consistency: parse_consistency(flag_or(flags, "consistency", "sync"))?,
-        obs: obs.clone(),
         ..TrainOptions::default()
-    };
+    }
+    .with_obs(obs.clone());
     let workers: usize = flag_or(flags, "workers", "1").parse()?;
     println!(
         "training {} ({} params) on {} triples, {} workers ({})",
@@ -421,6 +428,145 @@ fn cmd_dist_worker(flags: &Flags) -> CliResult {
         "ps" => agl::ps::serve_ps_shard(&listener, accept_timeout_ns)?,
         other => return Err(format!("unknown role {other:?} (shuffle|ps)").into()),
     }
+    Ok(())
+}
+
+/// Shared serving setup: an [`AglJob`] carrying the seed/obs/serve knobs.
+fn serve_job(flags: &Flags, obs: &Obs) -> Result<AglJob, Box<dyn std::error::Error>> {
+    Ok(AglJob::new()
+        .sampling(parse_sampling(flag_or(flags, "sampling", "none"))?)
+        .seed(flag_or(flags, "seed", "42").parse()?)
+        .obs(obs.clone())
+        .serve(agl::serve::ServeConfig {
+            shards: flag_or(flags, "shards", "4").parse()?,
+            topk: flag_or(flags, "topk", "8").parse()?,
+            ..agl::serve::ServeConfig::default()
+        }))
+}
+
+/// The `InferOutput` to serve: `--model/--nodes/--edges` files when given
+/// (same inputs as `infer`), otherwise a synthetic UUG-like graph scored by
+/// a freshly seeded model (`--synthetic-nodes`, default 1000). Both paths
+/// are deterministic under `--seed`.
+fn serving_output(flags: &Flags, job: &AglJob) -> Result<InferOutput, Box<dyn std::error::Error>> {
+    if flags.contains_key("model") {
+        let model = model_from_bytes(&fs::read(flag(flags, "model")?)?)?;
+        let nodes = read_node_table(flag(flags, "nodes")?)?;
+        let edges = read_edge_table(flag(flags, "edges")?)?;
+        Ok(job.graph_infer(&model, &nodes, &edges)?)
+    } else {
+        let n: usize = flag_or(flags, "synthetic-nodes", "1000").parse()?;
+        let seed: u64 = flag_or(flags, "seed", "42").parse()?;
+        let ds = uug_like(UugConfig { n_nodes: n, feature_dim: 8, seed, ..UugConfig::default() });
+        let (nodes, edges) = ds.graph().to_tables();
+        let model =
+            GnnModel::new(ModelConfig::new(ModelKind::Gcn, 8, 16, 8, 2, Loss::SoftmaxCrossEntropy).with_seed(seed));
+        Ok(job.graph_infer(&model, &nodes, &edges)?)
+    }
+}
+
+/// `agl-cli serve-bench` — build the sharded store and drive the seeded
+/// power-law closed-loop workload against it:
+///
+/// ```text
+/// agl-cli serve-bench --synthetic-nodes 1000 --shards 4 --topk 8 \
+///                     --load-workers 4 --batches 250 --batch-size 16
+/// ```
+///
+/// Prints the latency/QPS report plus machine-readable `qps=` /
+/// `lookup_p99_ns=` lines (the CI smoke suite and EXPERIMENTS.md parse
+/// these).
+fn cmd_serve_bench(flags: &Flags) -> CliResult {
+    let obs = parse_obs(flags)?;
+    let job = serve_job(flags, &obs)?;
+    let output = serving_output(flags, &job)?;
+    let store = job.build_serving(&output);
+    let load = LoadConfig {
+        workers: flag_or(flags, "load-workers", "4").parse()?,
+        batches_per_worker: flag_or(flags, "batches", "250").parse()?,
+        batch_size: flag_or(flags, "batch-size", "16").parse()?,
+        topk_every: flag_or(flags, "topk-every", "10").parse()?,
+        gamma: flag_or(flags, "gamma", "2.1").parse()?,
+    };
+    println!(
+        "serve-bench: {} vectors (dim {}) across {} shards, {} closed-loop workers",
+        store.len(),
+        store.dim(),
+        store.n_shards(),
+        load.workers
+    );
+    let report = run_load(&store, &job.serve_config(), &load);
+    println!("{}", report.render());
+    println!("qps={}", report.qps);
+    println!("lookup_p50_ns={}", report.lookup_p50);
+    println!("lookup_p99_ns={}", report.lookup_p99);
+    println!("topk_p99_ns={}", report.topk_p99);
+    write_obs_outputs(flags, &obs)
+}
+
+/// `agl-cli serve --workers N` — sharded multi-process serving: spawn one
+/// `serve-worker` per shard under the `ChildReaper` supervision `dist-run`
+/// uses, load each with its hash-partition, then verify a sample of point
+/// lookups and one top-k fan-out against the in-process store
+/// (bit-identical by construction). Exits non-zero on any mismatch.
+fn cmd_serve(flags: &Flags) -> CliResult {
+    let obs = parse_obs(flags)?;
+    let workers: usize = flag_or(flags, "workers", "2").parse()?;
+    if workers == 0 {
+        return Err("--workers must be > 0".into());
+    }
+    let dir = Path::new(flag_or(flags, "dir", "/tmp/agl-serve")).to_path_buf();
+    fs::create_dir_all(&dir)?;
+    let job = serve_job(flags, &obs)?;
+    let output = serving_output(flags, &job)?;
+    let local = job.build_serving(&output);
+
+    let reaper = agl::ChildReaper::new();
+    let bin = std::env::current_exe()?;
+    let mut eps = Vec::new();
+    for i in 0..workers {
+        let sock = dir.join(format!("serve{i}.sock"));
+        let _ = fs::remove_file(&sock);
+        let ep = agl::mapreduce::Endpoint::Unix(sock.clone());
+        let args = vec!["serve-worker".to_string(), "--listen".to_string(), ep.to_string()];
+        reaper.spawn(&bin, &args, sock)?;
+        eps.push(ep);
+    }
+    let clock = Clock::monotonic();
+    let timeout_ns = flag_or(flags, "connect-timeout-secs", "10").parse::<u64>()? * 1_000_000_000;
+    let vectors = output.scores.iter().map(|s| (s.node, s.probs.clone()));
+    let mut remote = agl::serve::RemoteStore::connect(&eps, vectors, &clock, timeout_ns)?;
+    println!("serve: {} vectors (dim {}) across {} worker processes", local.len(), remote.dim(), workers);
+
+    // Spot-check: a deterministic sample of point lookups plus one top-k
+    // fan-out, each compared against the in-process store.
+    let stride = (output.scores.len() / 16).max(1);
+    let sample: Vec<NodeId> = output.scores.iter().step_by(stride).map(|s| s.node).collect();
+    let answers = remote.lookup(&sample)?;
+    let mut verified = true;
+    for (id, got) in sample.iter().zip(&answers) {
+        verified &= got.as_deref() == local.get(*id).as_deref();
+    }
+    let probe = sample[0];
+    let want = local.topk_neighbors(probe, job.serve_config().topk).unwrap_or_default();
+    let query = local.get(probe).map(|r| r.to_vec()).unwrap_or_default();
+    let have = remote.topk(&query, job.serve_config().topk, Some(probe))?;
+    verified &= have == want;
+    remote.shutdown();
+    println!("lookups={} topk={}", sample.len(), have.len());
+    println!("verified={verified}");
+    if !verified {
+        return Err("remote answers diverged from the in-process store".into());
+    }
+    write_obs_outputs(flags, &obs)
+}
+
+/// `agl-cli serve-worker --listen unix:<path>` — one shard-host process:
+/// binds the endpoint, serves the owning driver until `Shutdown` or EOF.
+/// Spawned by `serve`; runnable by hand for debugging.
+fn cmd_serve_worker(flags: &Flags) -> CliResult {
+    let ep = agl::mapreduce::Endpoint::parse(flag(flags, "listen")?)?;
+    agl::serve::serve_shard_worker(&ep)?;
     Ok(())
 }
 

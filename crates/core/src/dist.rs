@@ -227,7 +227,7 @@ fn synthetic_tables(cfg: &DistRunConfig) -> (NodeTable, EdgeTable) {
 }
 
 fn flat_config(cfg: &DistRunConfig) -> FlatConfig {
-    FlatConfig { k_hops: cfg.hops, seed: cfg.seed, ..FlatConfig::default() }
+    FlatConfig { k_hops: cfg.hops, ..FlatConfig::default() }.with_seed(cfg.seed)
 }
 
 fn train_options(cfg: &DistRunConfig) -> TrainOptions {

@@ -44,8 +44,9 @@
 //! (`agl_tensor`), graph structures (`agl_graph`), the MapReduce engine
 //! (`agl_mapreduce`), layers/losses (`agl_nn`), the parameter server
 //! (`agl_ps`), the three AGL modules (`agl_flat`, `agl_trainer`,
-//! `agl_infer`), the in-memory comparison engine (`agl_baseline`), dataset
-//! generators (`agl_datasets`) and the cluster model (`agl_cluster_sim`).
+//! `agl_infer`), the online serving read path (`agl_serve`), the in-memory
+//! comparison engine (`agl_baseline`), dataset generators (`agl_datasets`)
+//! and the cluster model (`agl_cluster_sim`).
 
 pub use agl_baseline as baseline;
 pub use agl_cluster_sim as cluster_sim;
@@ -57,6 +58,7 @@ pub use agl_mapreduce as mapreduce;
 pub use agl_nn as nn;
 pub use agl_obs as obs;
 pub use agl_ps as ps;
+pub use agl_serve as serve;
 pub use agl_tensor as tensor;
 pub use agl_trainer as trainer;
 

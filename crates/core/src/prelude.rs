@@ -13,10 +13,14 @@ pub use agl_flat::{
 };
 pub use agl_graph::{EdgeTable, Graph, NodeId, NodeTable, SubEdge, Subgraph};
 pub use agl_infer::{GraphInfer, InferConfig, InferOutput, NodeScore, OriginalInference};
-pub use agl_mapreduce::{JobReport, RoundReport};
+pub use agl_mapreduce::{EngineConfig, JobReport, RoundReport};
 pub use agl_nn::{model_from_bytes, model_to_bytes, Adam, GnnModel, Loss, ModelConfig, ModelKind, Optimizer, Sgd};
 pub use agl_obs::{Clock, MetricsRegistry, Obs, TraceSink};
 pub use agl_ps::{Consistency, ParameterServer};
+pub use agl_serve::{
+    run_load, update_incremental, EmbeddingStore, GraphDelta, LoadConfig, LoadReport, Neighbor, RequestBatcher,
+    ServeConfig, UpdateReport,
+};
 pub use agl_tensor::{seeded_rng, Coo, Csr, ExecCtx, Matrix, Rng, SliceRandom, SmallRng};
 pub use agl_trainer::{
     accuracy, auc, macro_f1, micro_f1, precision_recall, DistTrainer, LocalTrainer, Metrics, TrainOptions, TrainResult,

@@ -18,11 +18,13 @@
 //!   3.38e11 edges as the (simulated-only) reference point.
 
 pub mod cora;
+pub mod popularity;
 pub mod ppi;
 pub mod summary;
 pub mod uug;
 
 pub use cora::cora_like;
+pub use popularity::PowerLaw;
 pub use ppi::{ppi_like, PpiConfig};
 pub use summary::DatasetSummary;
 pub use uug::{uug_like, UugConfig};

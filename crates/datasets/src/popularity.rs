@@ -1,0 +1,97 @@
+//! Power-law popularity sampling — the heavy-tailed skew shared by the
+//! UUG-like generator (degree distribution) and the serving load generator
+//! (request popularity).
+//!
+//! Industrial request streams follow the same shape as the graphs they
+//! read: a few hub users absorb most of the traffic. Factoring the
+//! Chung–Lu weight machinery out of `uug.rs` lets `agl-serve`'s load
+//! generator draw node popularity from the identical distribution the
+//! graph was grown with, seeded and deterministic.
+
+use agl_tensor::rng::{Rng, SmallRng};
+
+/// A discrete power-law distribution over `0..n`: item `i` has weight
+/// `(i+1)^(-1/(γ-1))`, so index 0 is the hottest item (the biggest hub).
+///
+/// Sampling is an O(log n) binary search over the cumulative weights; the
+/// float evaluation order is fixed (sequential accumulation) so a given
+/// `(n, gamma)` pair always yields bit-identical draws for a given rng
+/// stream.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    cumulative: Vec<f64>,
+    w_sum: f64,
+}
+
+impl PowerLaw {
+    /// Build the distribution over `0..n` with exponent `gamma` (> 1).
+    pub fn new(n: usize, gamma: f64) -> Self {
+        assert!(n > 0, "empty distribution");
+        assert!(gamma > 1.0, "power-law exponent must exceed 1, got {gamma}");
+        // Chung–Lu weights: w_i ∝ (i+1)^(-1/(γ-1)), normalised to the
+        // target edge count by the caller. Index 0 becomes the biggest hub.
+        let alpha = 1.0 / (gamma - 1.0);
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        // `w_sum` is summed independently of the running accumulation —
+        // both orders predate this type and seeded draws pin them.
+        let w_sum: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Self { cumulative, w_sum }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one index, consuming one `f64` from the rng stream.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let x = rng.gen_range(0.0..self.w_sum);
+        self.cumulative.partition_point(|&c| c < x).min(self.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_tensor::seeded_rng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = PowerLaw::new(1000, 2.1);
+        let draw = |seed| {
+            let mut rng = seeded_rng(seed);
+            (0..64).map(|_| p.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn head_is_heavy() {
+        let p = PowerLaw::new(10_000, 2.1);
+        let mut rng = seeded_rng(3);
+        let draws = 20_000;
+        let hot = (0..draws).filter(|_| p.sample(&mut rng) < 100).count();
+        // 1% of the items should absorb far more than 1% of the draws.
+        assert!(hot as f64 / draws as f64 > 0.2, "head share {}", hot as f64 / draws as f64);
+    }
+
+    #[test]
+    fn all_indices_in_range() {
+        let p = PowerLaw::new(17, 3.0);
+        let mut rng = seeded_rng(11);
+        for _ in 0..500 {
+            assert!(p.sample(&mut rng) < 17);
+        }
+    }
+}

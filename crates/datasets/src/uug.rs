@@ -8,6 +8,7 @@
 //! limited labeled subset) at a configurable scale; `agl-cluster-sim`
 //! extrapolates measured per-record costs to the paper's scale.
 
+use crate::popularity::PowerLaw;
 use crate::{Dataset, Split};
 use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
 use agl_tensor::rng::Rng;
@@ -67,21 +68,10 @@ pub fn uug_like(cfg: UugConfig) -> Dataset {
     let mut rng = seeded_rng(cfg.seed);
     let n = cfg.n_nodes;
 
-    // Chung–Lu weights: w_i ∝ (i+1)^(-1/(γ-1)), normalised to the target
-    // edge count. Index 0 becomes the biggest hub.
-    let alpha = 1.0 / (cfg.gamma - 1.0);
-    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
-    let w_sum: f64 = weights.iter().sum();
-    let mut cumulative = Vec::with_capacity(n);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w;
-        cumulative.push(acc);
-    }
-    let sample_node = |rng: &mut agl_tensor::rng::SmallRng| -> usize {
-        let x = rng.gen_range(0.0..w_sum);
-        cumulative.partition_point(|&c| c < x).min(n - 1)
-    };
+    // Chung–Lu popularity: shared with the serving load generator, which
+    // replays the same hub-heavy skew as request traffic.
+    let popularity = PowerLaw::new(n, cfg.gamma);
+    let sample_node = |rng: &mut agl_tensor::rng::SmallRng| -> usize { popularity.sample(rng) };
 
     // Two communities; class = community; edges 80% intra-community.
     let class: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();

@@ -24,8 +24,8 @@ use agl_graph::{EdgeTable, NodeId, NodeTable, Subgraph};
 use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
 use agl_mapreduce::hash::fnv1a;
 use agl_mapreduce::{
-    Counters, DistJob, DistOptions, Endpoint, FaultPlan, JobConfig, JobError, JobPlan, JobResult, MapReduceJob, Mapper,
-    Reducer, SpillMode, WireSig,
+    Counters, DistJob, DistOptions, Endpoint, EngineConfig, FaultPlan, JobConfig, JobError, JobPlan, JobResult,
+    MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
 };
 use agl_tensor::rng::derive_seed;
 use std::collections::{HashMap, HashSet};
@@ -44,17 +44,13 @@ pub struct FlatConfig {
     pub hub_threshold: usize,
     /// Number of sub-keys a hub key is split into.
     pub reindex_fanout: u32,
-    /// Seed for the sampling framework.
-    pub seed: u64,
-    pub map_tasks: usize,
-    pub reduce_tasks: usize,
-    pub parallelism: usize,
     pub spill: SpillMode,
     pub fault_plan: FaultPlan,
-    /// Observability handle: spans for the driver phases (and the engine's
-    /// per-round/per-task spans underneath), counters into the shared
-    /// registry. Disabled by default.
-    pub obs: agl_obs::Obs,
+    /// Shared engine knobs: task counts, parallelism, the sampling seed,
+    /// and the observability handle (spans for the driver phases and the
+    /// engine's per-round/per-task spans underneath, counters into the
+    /// shared registry — disabled by default).
+    pub engine: EngineConfig,
 }
 
 impl Default for FlatConfig {
@@ -64,14 +60,30 @@ impl Default for FlatConfig {
             sampling: SamplingStrategy::None,
             hub_threshold: usize::MAX,
             reindex_fanout: 4,
-            seed: 42,
-            map_tasks: 4,
-            reduce_tasks: 4,
-            parallelism: 4,
             spill: SpillMode::InMemory,
             fault_plan: FaultPlan::none(),
-            obs: agl_obs::Obs::default(),
+            engine: EngineConfig::default(),
         }
+    }
+}
+
+impl FlatConfig {
+    /// Builder-style seed override (writes `engine.seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Builder-style obs-handle override (writes `engine.obs`).
+    pub fn with_obs(mut self, obs: agl_obs::Obs) -> Self {
+        self.engine.obs = obs;
+        self
+    }
+
+    /// Builder-style engine-block override.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -485,7 +497,7 @@ impl GraphFlat {
         let routing = Arc::new(Routing { hubs, fanout: self.cfg.reindex_fanout });
 
         // Serialise the warehouse tables into opaque input records.
-        let encode_span = self.cfg.obs.span("driver", "graphflat.encode_inputs");
+        let encode_span = self.cfg.engine.obs.span("driver", "graphflat.encode_inputs");
         let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
         let empty: Vec<f32> = Vec::new();
         for (i, (id, feat)) in nodes.iter().enumerate() {
@@ -499,7 +511,7 @@ impl GraphFlat {
 
         // With observability on, pipeline counters report into the run's
         // shared registry — the same one the engine writes to.
-        let counters = match self.cfg.obs.metrics() {
+        let counters = match self.cfg.engine.obs.metrics() {
             Some(m) => Counters::with_registry(m.clone()),
             None => Counters::new(),
         };
@@ -509,10 +521,10 @@ impl GraphFlat {
     /// The engine configuration both drivers share.
     fn job_config(&self) -> JobConfig {
         JobConfig {
-            map_tasks: self.cfg.map_tasks,
-            reduce_tasks: self.cfg.reduce_tasks,
+            map_tasks: self.cfg.engine.map_tasks,
+            reduce_tasks: self.cfg.engine.reduce_tasks,
             reduce_rounds: self.cfg.k_hops + 1,
-            parallelism: self.cfg.parallelism,
+            parallelism: self.cfg.engine.parallelism,
             max_attempts: 4,
             fault_plan: self.cfg.fault_plan.clone(),
             spill: self.cfg.spill.clone(),
@@ -520,7 +532,7 @@ impl GraphFlat {
             // records; debug builds verify the chain at construction.
             plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
             verify_determinism: cfg!(debug_assertions),
-            obs: self.cfg.obs.clone(),
+            obs: self.cfg.engine.obs.clone(),
         }
     }
 
@@ -532,7 +544,7 @@ impl GraphFlat {
         FlatWorkerSpec {
             k_hops: self.cfg.k_hops,
             sampling: self.cfg.sampling,
-            seed: self.cfg.seed,
+            seed: self.cfg.engine.seed,
             fanout: self.cfg.reindex_fanout,
             hubs,
         }
@@ -541,14 +553,14 @@ impl GraphFlat {
     /// Run the pipeline over the tables, producing GraphFeatures for the
     /// targets.
     pub fn run(&self, nodes: &NodeTable, edges: &EdgeTable, targets: &TargetSpec) -> Result<FlatOutput, JobError> {
-        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
+        let mut flat_span = self.cfg.engine.obs.span("driver", "graphflat");
         let (routing, inputs, counters) = self.prepare(nodes, edges, targets);
         let mapper = FlatMapper { routing: routing.clone() };
         let reducer = FlatReducer {
             routing,
             k_hops: self.cfg.k_hops,
             sampling: self.cfg.sampling,
-            seed: self.cfg.seed,
+            seed: self.cfg.engine.seed,
             counters: counters.clone(),
         };
         let job = MapReduceJob::new(self.job_config());
@@ -586,7 +598,7 @@ impl GraphFlat {
         opts: &DistOptions,
         on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
     ) -> Result<FlatOutput, JobError> {
-        let mut flat_span = self.cfg.obs.span("driver", "graphflat");
+        let mut flat_span = self.cfg.engine.obs.span("driver", "graphflat");
         let (routing, inputs, counters) = self.prepare(nodes, edges, targets);
         let spec = self.worker_spec(&routing).to_bytes();
         let mapper = FlatMapper { routing };
@@ -603,14 +615,14 @@ impl GraphFlat {
         counters: Counters,
         flat_span: &mut agl_obs::Span,
     ) -> Result<FlatOutput, JobError> {
-        if !self.cfg.obs.is_enabled() {
+        if !self.cfg.engine.obs.is_enabled() {
             // Shared-registry runs already see the engine counters; only
             // detached runs need the merge.
             for (name, v) in result.counters.snapshot() {
                 counters.add(&name, v);
             }
         }
-        let store_span = self.cfg.obs.span("driver", "graphflat.store");
+        let store_span = self.cfg.engine.obs.span("driver", "graphflat.store");
         let mut by_target: HashMap<u64, (Vec<Subgraph>, Vec<f32>)> = HashMap::new();
         for kv in &result.output {
             let key = FlatKey::from_bytes(&kv.key).map_err(|e| JobError::Corrupt(format!("final key: {e}")))?;

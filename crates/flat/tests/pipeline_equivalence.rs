@@ -149,7 +149,7 @@ fn sampling_is_deterministic_across_runs() {
         assert_eq!(x.graph_feature, y.graph_feature);
     }
     // Different seed -> different sample.
-    let c = run_flat(FlatConfig { seed: 1234, ..cfg() }, &nodes, &edges, TargetSpec::All);
+    let c = run_flat(cfg().with_seed(1234), &nodes, &edges, TargetSpec::All);
     let differs = a.examples.iter().zip(&c.examples).any(|(x, y)| x.graph_feature != y.graph_feature);
     assert!(differs, "a different sampling seed must pick different neighbors somewhere");
 }

@@ -14,7 +14,7 @@ use agl_graph::{EdgeTable, NodeId, NodeTable};
 use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec};
 use agl_mapreduce::hash::fnv1a;
 use agl_mapreduce::{
-    Counters, FaultPlan, JobConfig, JobError, JobPlan, MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
+    Counters, EngineConfig, FaultPlan, JobConfig, JobError, JobPlan, MapReduceJob, Mapper, Reducer, SpillMode, WireSig,
 };
 use agl_nn::layer::NeighborView;
 use agl_nn::{GnnModel, ModelSlice};
@@ -27,30 +27,42 @@ pub struct InferConfig {
     /// Sampling, kept consistent with the GraphFlat run that produced the
     /// training data ("unbiased inference", §3.4).
     pub sampling: SamplingStrategy,
-    /// Seed for the sampling framework (same role as in GraphFlat).
-    pub seed: u64,
-    pub map_tasks: usize,
-    pub reduce_tasks: usize,
-    pub parallelism: usize,
     pub spill: SpillMode,
     pub fault_plan: FaultPlan,
-    /// Observability handle (spans + shared metrics registry); disabled by
-    /// default.
-    pub obs: agl_obs::Obs,
+    /// Shared engine knobs: task counts, parallelism, the sampling seed
+    /// (same role as in GraphFlat), and the observability handle (spans +
+    /// shared metrics registry; disabled by default).
+    pub engine: EngineConfig,
 }
 
 impl Default for InferConfig {
     fn default() -> Self {
         Self {
             sampling: SamplingStrategy::None,
-            seed: 42,
-            map_tasks: 4,
-            reduce_tasks: 4,
-            parallelism: 4,
             spill: SpillMode::InMemory,
             fault_plan: FaultPlan::none(),
-            obs: agl_obs::Obs::default(),
+            engine: EngineConfig::default(),
         }
+    }
+}
+
+impl InferConfig {
+    /// Builder-style seed override (writes `engine.seed`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Builder-style obs-handle override (writes `engine.obs`).
+    pub fn with_obs(mut self, obs: agl_obs::Obs) -> Self {
+        self.engine.obs = obs;
+        self
+    }
+
+    /// Builder-style engine-block override.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -306,10 +318,10 @@ impl GraphInfer {
     ) -> Result<(Vec<agl_mapreduce::KeyValue>, Counters), JobError> {
         let slices = Arc::new(model.segment());
         let k = model.n_layers();
-        let _infer_span = self.cfg.obs.span("driver", "graphinfer");
+        let _infer_span = self.cfg.engine.obs.span("driver", "graphinfer");
         // With observability on, pipeline counters report into the run's
         // shared registry — the same one the engine writes to.
-        let counters = match self.cfg.obs.metrics() {
+        let counters = match self.cfg.engine.obs.metrics() {
             Some(m) => Counters::with_registry(m.clone()),
             None => Counters::new(),
         };
@@ -322,23 +334,28 @@ impl GraphInfer {
             inputs.push(encode_edge_record(row.src, row.dst, row.weight));
         }
 
-        let reducer =
-            InferReducer { slices, k, sampling: self.cfg.sampling, seed: self.cfg.seed, counters: counters.clone() };
+        let reducer = InferReducer {
+            slices,
+            k,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.engine.seed,
+            counters: counters.clone(),
+        };
         let job = MapReduceJob::new(JobConfig {
-            map_tasks: self.cfg.map_tasks,
-            reduce_tasks: self.cfg.reduce_tasks,
+            map_tasks: self.cfg.engine.map_tasks,
+            reduce_tasks: self.cfg.engine.reduce_tasks,
             reduce_rounds: rounds,
-            parallelism: self.cfg.parallelism,
+            parallelism: self.cfg.engine.parallelism,
             max_attempts: 4,
             fault_plan: self.cfg.fault_plan.clone(),
             spill: self.cfg.spill.clone(),
             // join + K slice rounds + prediction all speak InferMsg.
             plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
             verify_determinism: cfg!(debug_assertions),
-            obs: self.cfg.obs.clone(),
+            obs: self.cfg.engine.obs.clone(),
         });
         let result = job.run(&inputs, &InferMapper, &reducer)?;
-        if !self.cfg.obs.is_enabled() {
+        if !self.cfg.engine.obs.is_enabled() {
             // Shared-registry runs already see the engine counters; only
             // detached runs need the merge.
             for (name, v) in result.counters.snapshot() {

@@ -170,10 +170,11 @@ fn sampled_graphinfer_matches_sampled_original_inference() {
     let (nodes, edges) = random_tables(35, 8, 3, 23);
     let model = trained_like(ModelKind::Sage, 3, 2);
     let sampling = SamplingStrategy::Uniform { max_degree: 3 };
-    let fast = GraphInfer::new(InferConfig { sampling, seed: 42, ..InferConfig::default() })
+    let fast = GraphInfer::new(InferConfig { sampling, ..InferConfig::default() }.with_seed(42))
         .run(&model, &nodes, &edges)
         .unwrap();
-    let mut original = OriginalInference::new(FlatConfig { k_hops: 2, sampling, seed: 42, ..FlatConfig::default() });
+    let mut original =
+        OriginalInference::new(FlatConfig { k_hops: 2, sampling, ..FlatConfig::default() }.with_seed(42));
     original.batch_size = 1; // strictly per-GraphFeature, no cross-target merging
     let orig = original.run(&model, &nodes, &edges).unwrap();
     assert_eq!(fast.scores.len(), orig.scores.len());

@@ -1,0 +1,98 @@
+//! [`EngineConfig`] — the shared execution knobs every AGL stage takes.
+//!
+//! GraphFlat, GraphInfer and GraphTrainer each ran on the same small block
+//! of engine settings (task counts, thread parallelism, the sampling seed,
+//! the observability handle, the time source), historically triplicated
+//! field-by-field across `FlatConfig`, `InferConfig` and `TrainOptions`.
+//! This type is that block factored out once: the stage configs embed it,
+//! and `AglJob`'s `engine()`/`seed()`/`obs()` setters write it in exactly
+//! one place instead of fanning out per stage.
+
+use agl_obs::{Clock, Obs};
+
+/// Execution knobs shared by every AGL stage (GraphFlat, GraphInfer,
+/// GraphTrainer, and the serving layer).
+///
+/// Embedded by the stage configs (`FlatConfig::engine`,
+/// `InferConfig::engine`, `TrainOptions::engine`, `ServeConfig::engine`);
+/// the [`Default`] mirrors the engine defaults those configs always had.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Map tasks per MapReduce job.
+    pub map_tasks: usize,
+    /// Reduce tasks per MapReduce job.
+    pub reduce_tasks: usize,
+    /// Worker-thread parallelism of the in-process engine.
+    pub parallelism: usize,
+    /// Seed for everything sampled or shuffled under this config: the
+    /// GraphFlat/GraphInfer sampling framework and the trainer's batch
+    /// shuffle.
+    pub seed: u64,
+    /// Observability handle: spans into the run's trace sink, counters and
+    /// histograms into its metrics registry. Disabled (inert, zero-cost)
+    /// by default.
+    pub obs: Obs,
+    /// Time source for stages that measure durations outside an enabled
+    /// obs handle (an enabled handle's trace clock always wins, keeping
+    /// logical-clock runs wallclock-free).
+    pub clock: Clock,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { map_tasks: 4, reduce_tasks: 4, parallelism: 4, seed: 42, obs: Obs::default(), clock: Clock::monotonic() }
+    }
+}
+
+impl EngineConfig {
+    /// `Default` with the given seed — the most common deviation.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style obs-handle override.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Builder-style task-count/parallelism override.
+    pub fn with_tasks(mut self, map_tasks: usize, reduce_tasks: usize, parallelism: usize) -> Self {
+        self.map_tasks = map_tasks;
+        self.reduce_tasks = reduce_tasks;
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The effective time source: an enabled obs handle's trace clock
+    /// (keeping logical-clock runs deterministic), else the configured one.
+    pub fn effective_clock(&self) -> Clock {
+        self.obs.trace().map_or_else(|| self.clock.clone(), |t| t.clock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_historical_stage_defaults() {
+        let e = EngineConfig::default();
+        assert_eq!((e.map_tasks, e.reduce_tasks, e.parallelism, e.seed), (4, 4, 4, 42));
+        assert!(!e.obs.is_enabled());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = EngineConfig::seeded(9).with_tasks(2, 3, 5).with_obs(Obs::enabled_logical());
+        assert_eq!((e.map_tasks, e.reduce_tasks, e.parallelism, e.seed), (2, 3, 5, 9));
+        assert!(e.obs.is_enabled());
+        assert!(e.effective_clock().is_logical(), "enabled handle's clock wins");
+    }
+}

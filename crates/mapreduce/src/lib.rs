@@ -28,6 +28,7 @@
 //!   the benches to report records/bytes shuffled per round.
 
 pub mod codec;
+pub mod config;
 pub mod counters;
 pub mod dist;
 pub mod engine;
@@ -39,6 +40,7 @@ pub mod spill;
 pub mod transport;
 
 pub use codec::{Codec, CodecError};
+pub use config::EngineConfig;
 pub use counters::Counters;
 pub use dist::{serve_shuffle, DistJob, DistOptions};
 pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};

@@ -1,0 +1,112 @@
+//! Per-shard request batching.
+//!
+//! Under heavy traffic, many concurrent lookups land on the same shard.
+//! Touching a shard costs a read-lock acquisition and an `Arc` clone; the
+//! batcher pays that once per shard per batch instead of once per request,
+//! and answers every request in the batch from the same slab snapshot (so
+//! one batch observes one store version, never a torn mix).
+//!
+//! The response contract is positional: `submit(ids)[i]` is always the
+//! answer for `ids[i]`, no matter how requests were regrouped per shard —
+//! pinned by the `never_reorders` tests.
+
+use crate::store::{shard_of, EmbeddingStore};
+use agl_graph::NodeId;
+
+/// Coalesces lookups per shard against a store.
+#[derive(Debug)]
+pub struct RequestBatcher<'a> {
+    store: &'a EmbeddingStore,
+}
+
+impl<'a> RequestBatcher<'a> {
+    pub fn new(store: &'a EmbeddingStore) -> Self {
+        Self { store }
+    }
+
+    /// Answer a batch of point lookups. Responses are positional: slot `i`
+    /// answers `ids[i]` (`None` for absent nodes), even with duplicate or
+    /// interleaved ids.
+    pub fn submit(&self, ids: &[NodeId]) -> Vec<Option<Vec<f32>>> {
+        let n_shards = self.store.n_shards();
+        // Gather request positions per shard, preserving submission order
+        // within each shard group.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (pos, id) in ids.iter().enumerate() {
+            groups[shard_of(*id, n_shards)].push(pos);
+        }
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; ids.len()];
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // One snapshot per shard per batch: every request in the group
+            // reads the same slab version.
+            let slab = self.store.shard(shard);
+            for pos in group {
+                out[pos] = slab.get(ids[pos]).map(<[f32]>::to_vec);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct shards a batch of ids would touch — the lock
+    /// traffic a batch costs.
+    pub fn shards_touched(&self, ids: &[NodeId]) -> usize {
+        let n = self.store.n_shards();
+        let mut hit = vec![false; n];
+        for id in ids {
+            hit[shard_of(*id, n)] = true;
+        }
+        hit.iter().filter(|h| **h).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+
+    fn store(n: u64, shards: usize) -> EmbeddingStore {
+        let cfg = ServeConfig { shards, ..ServeConfig::default() };
+        EmbeddingStore::from_vectors((0..n).map(|i| (NodeId(i), vec![i as f32, -(i as f32)])), &cfg)
+    }
+
+    /// The pinned contract: responses never reorder relative to request
+    /// ids, whatever the shard layout does to the processing order.
+    #[test]
+    fn never_reorders_responses() {
+        let s = store(64, 4);
+        let b = RequestBatcher::new(&s);
+        // Adversarial order: interleave shards, include misses and dups.
+        let ids: Vec<NodeId> = [63, 0, 7, 0, 99, 21, 63, 5, 100, 13].map(NodeId).to_vec();
+        let got = b.submit(&ids);
+        assert_eq!(got.len(), ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            match got[i].as_deref() {
+                Some(v) => assert_eq!(v, &[id.0 as f32, -(id.0 as f32)], "slot {i}"),
+                None => assert!(id.0 >= 64, "slot {i} should have hit"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_pointwise_lookups() {
+        let s = store(40, 3);
+        let b = RequestBatcher::new(&s);
+        let ids: Vec<NodeId> = (0..50).rev().map(NodeId).collect();
+        let batched = b.submit(&ids);
+        for (i, id) in ids.iter().enumerate() {
+            let point = s.get(*id).map(|r| r.to_vec());
+            assert_eq!(batched[i], point, "id {}", id.0);
+        }
+    }
+
+    #[test]
+    fn coalesces_to_one_touch_per_shard() {
+        let s = store(64, 4);
+        let b = RequestBatcher::new(&s);
+        let ids: Vec<NodeId> = (0..64).map(NodeId).collect();
+        assert_eq!(b.shards_touched(&ids), 4, "64 ids cost 4 shard touches, not 64");
+    }
+}

@@ -1,0 +1,188 @@
+//! Closed-loop load generator: seeded power-law request skew, latency
+//! histograms through `agl-obs`.
+//!
+//! Industrial read traffic is as hub-heavy as the graph itself — a few hot
+//! users absorb most lookups. The generator replays that shape by drawing
+//! request targets from the same [`PowerLaw`] distribution the UUG-like
+//! generator grows graphs with: the hottest store entry is item 0 of the
+//! popularity ranking. Each worker is closed-loop (the next batch is
+//! issued only after the previous one completed — latency feedback throttles
+//! offered load) and owns a seed derived from `(seed, worker)`, so a run
+//! is deterministic in which requests it issues.
+
+use crate::batch::RequestBatcher;
+use crate::store::EmbeddingStore;
+use crate::ServeConfig;
+use agl_datasets::PowerLaw;
+use agl_graph::NodeId;
+use agl_obs::{MetricValue, Obs};
+use agl_tensor::rng::derive_seed;
+use agl_tensor::seeded_rng;
+
+/// Histogram of point-lookup batch latencies (nanoseconds).
+pub const LOOKUP_HIST: &str = "serve.lookup_nanos";
+/// Histogram of top-k query latencies (nanoseconds).
+pub const TOPK_HIST: &str = "serve.topk_nanos";
+
+/// Load-generator shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop workers.
+    pub workers: usize,
+    /// Batches each worker issues.
+    pub batches_per_worker: usize,
+    /// Point lookups per batch.
+    pub batch_size: usize,
+    /// Issue one top-k query after every this many batches (0 = never).
+    pub topk_every: usize,
+    /// Power-law exponent of the popularity skew (γ of `agl-datasets`).
+    pub gamma: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self { workers: 4, batches_per_worker: 250, batch_size: 16, topk_every: 10, gamma: 2.1 }
+    }
+}
+
+/// What a run measured. Latencies are nanoseconds from the configured
+/// clock; percentiles come from the obs log2 histograms.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub lookups: u64,
+    pub topk_queries: u64,
+    pub elapsed_nanos: u64,
+    /// Point lookups per second (0 when the clock measured no elapsed time,
+    /// e.g. a logical clock).
+    pub qps: u64,
+    pub lookup_p50: u64,
+    pub lookup_p95: u64,
+    pub lookup_p99: u64,
+    pub topk_p99: u64,
+}
+
+impl LoadReport {
+    /// One-line human summary (the `serve-bench` output).
+    pub fn render(&self) -> String {
+        format!(
+            "lookups={} topk={} elapsed={:.3}s qps={} p50={}ns p95={}ns p99={}ns topk_p99={}ns",
+            self.lookups,
+            self.topk_queries,
+            self.elapsed_nanos as f64 / 1e9,
+            self.qps,
+            self.lookup_p50,
+            self.lookup_p95,
+            self.lookup_p99,
+            self.topk_p99,
+        )
+    }
+}
+
+fn histogram_percentiles(obs: &Obs, name: &str) -> (u64, u64, u64) {
+    let Some(m) = obs.metrics() else { return (0, 0, 0) };
+    for (n, v) in m.snapshot() {
+        if n == name {
+            if let MetricValue::Histogram(h) = v {
+                return (h.p50, h.p95, h.p99);
+            }
+        }
+    }
+    (0, 0, 0)
+}
+
+/// Run the closed-loop workload against a store. Latency histograms,
+/// QPS counters and occupancy gauges land in `cfg.engine.obs` when it is
+/// enabled; when it is disabled a private enabled handle is used so the
+/// report still carries percentiles.
+pub fn run_load(store: &EmbeddingStore, cfg: &ServeConfig, load: &LoadConfig) -> LoadReport {
+    let obs = if cfg.engine.obs.is_enabled() { cfg.engine.obs.clone() } else { Obs::enabled() };
+    let clock = cfg.engine.effective_clock();
+
+    // Popularity ranking: store ids sorted ascending; rank r maps to the
+    // r-th id, so low ids of a freshly built store are the hot set.
+    let mut ids: Vec<u64> = Vec::with_capacity(store.len());
+    for s in 0..store.n_shards() {
+        ids.extend(store.shard(s).iter().map(|(id, _)| id.0));
+    }
+    ids.sort_unstable();
+    assert!(!ids.is_empty(), "load generator needs a non-empty store");
+    let popularity = PowerLaw::new(ids.len(), load.gamma);
+
+    let start = clock.now();
+    std::thread::scope(|s| {
+        for w in 0..load.workers {
+            let (ids, popularity, obs, clock) = (&ids, &popularity, &obs, &clock);
+            let batcher = RequestBatcher::new(store);
+            s.spawn(move || {
+                let mut rng = seeded_rng(derive_seed(cfg.engine.seed, w as u64));
+                for b in 0..load.batches_per_worker {
+                    let batch: Vec<NodeId> =
+                        (0..load.batch_size).map(|_| NodeId(ids[popularity.sample(&mut rng)])).collect();
+                    let t0 = clock.now();
+                    let answers = batcher.submit(&batch);
+                    obs.observe(LOOKUP_HIST, clock.since(t0));
+                    obs.metric_add("serve.requests", answers.len() as u64);
+                    if load.topk_every > 0 && (b + 1) % load.topk_every == 0 {
+                        let probe = NodeId(ids[popularity.sample(&mut rng)]);
+                        let t1 = clock.now();
+                        let found = store.topk_neighbors(probe, cfg.topk);
+                        obs.observe(TOPK_HIST, clock.since(t1));
+                        obs.metric_add("serve.topk_queries", 1);
+                        debug_assert!(found.is_some(), "probe ids come from the store");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed_nanos = clock.since(start);
+
+    store.publish_occupancy(&obs);
+    let metrics = obs.metrics();
+    let lookups = metrics.map_or(0, |m| m.get("serve.requests"));
+    let topk_queries = metrics.map_or(0, |m| m.get("serve.topk_queries"));
+    let (lookup_p50, lookup_p95, lookup_p99) = histogram_percentiles(&obs, LOOKUP_HIST);
+    let (_, _, topk_p99) = histogram_percentiles(&obs, TOPK_HIST);
+    let qps = if elapsed_nanos == 0 { 0 } else { (lookups as u128 * 1_000_000_000 / elapsed_nanos as u128) as u64 };
+    LoadReport { lookups, topk_queries, elapsed_nanos, qps, lookup_p50, lookup_p95, lookup_p99, topk_p99 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: u64) -> EmbeddingStore {
+        let cfg = ServeConfig::default();
+        EmbeddingStore::from_vectors((0..n).map(|i| (NodeId(i), vec![(i % 5) as f32, 1.0])), &cfg)
+    }
+
+    #[test]
+    fn reports_latency_percentiles_and_counts() {
+        let s = store(200);
+        let cfg = ServeConfig::default().with_obs(Obs::enabled());
+        let load = LoadConfig { workers: 2, batches_per_worker: 30, batch_size: 8, topk_every: 5, gamma: 2.1 };
+        let r = run_load(&s, &cfg, &load);
+        assert_eq!(r.lookups, 2 * 30 * 8);
+        assert_eq!(r.topk_queries, 2 * (30 / 5));
+        assert!(r.lookup_p99 > 0, "nonzero p99");
+        assert!(r.lookup_p50 <= r.lookup_p95 && r.lookup_p95 <= r.lookup_p99);
+        assert!(r.qps > 0);
+    }
+
+    #[test]
+    fn request_stream_is_seeded_and_heavy_tailed() {
+        // Same seed → same histogram counts; and the hot head absorbs a
+        // disproportionate share of lookups.
+        let s = store(500);
+        let run = |seed| {
+            let obs = Obs::enabled();
+            let cfg = ServeConfig::default().with_obs(obs.clone()).with_seed(seed);
+            let load = LoadConfig { workers: 1, batches_per_worker: 50, batch_size: 4, topk_every: 0, gamma: 2.1 };
+            run_load(&s, &cfg, &load).lookups
+        };
+        assert_eq!(run(3), run(3));
+        let p = PowerLaw::new(500, 2.1);
+        let mut rng = seeded_rng(1);
+        let hot = (0..4000).filter(|_| p.sample(&mut rng) < 5).count();
+        assert!(hot > 400, "1% of items should take >10% of draws, got {hot}/4000");
+    }
+}

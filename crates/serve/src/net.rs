@@ -1,0 +1,363 @@
+//! Multi-process serving: shard workers behind the length-prefixed
+//! transport.
+//!
+//! One worker process hosts one store shard. The driver (`agl-cli serve
+//! --workers N`) spawns them under the same `ChildReaper` supervision
+//! `dist-run` uses, loads each worker with its hash-partition of the
+//! vectors, and then routes queries: point lookups go only to the owning
+//! shard, top-k fans out to every worker and merges the per-shard
+//! candidates by the same total order the in-process store uses — so the
+//! distributed answer is bit-identical to the single-process one.
+
+use crate::store::{shard_of, Neighbor, ShardSlab};
+use agl_graph::NodeId;
+use agl_mapreduce::codec::{
+    get_f32, get_f32s, get_u32, get_u64, get_u8, put_f32, put_f32s, put_u32, put_u64, put_u8, CodecError,
+};
+use agl_mapreduce::transport::connect;
+use agl_mapreduce::{Endpoint, Framed, Listener, TransportError};
+use agl_obs::Clock;
+
+/// Serving wire protocol (u32-le length-prefixed frames via [`Framed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeWireMsg {
+    /// Driver → worker: replace the shard contents.
+    Load { dim: u32, entries: Vec<(u64, Vec<f32>)> },
+    /// Worker → driver: load acknowledged, with the entry count.
+    Loaded { n: u64 },
+    /// Driver → worker: point lookups (only ids this shard owns).
+    Lookup { ids: Vec<u64> },
+    /// Worker → driver: positional answers (empty vec = miss).
+    LookupResp { answers: Vec<Vec<f32>> },
+    /// Driver → worker: per-shard top-k candidates for a query vector.
+    TopK { query: Vec<f32>, k: u32, exclude: Option<u64> },
+    /// Worker → driver: this shard's candidates, (score, id) best-first.
+    TopKResp { candidates: Vec<(f32, u64)> },
+    /// Driver → worker: exit cleanly.
+    Shutdown,
+}
+
+const TAG_LOAD: u8 = 0;
+const TAG_LOADED: u8 = 1;
+const TAG_LOOKUP: u8 = 2;
+const TAG_LOOKUP_RESP: u8 = 3;
+const TAG_TOPK: u8 = 4;
+const TAG_TOPK_RESP: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+impl ServeWireMsg {
+    /// Serialise to a frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Self::Load { dim, entries } => {
+                put_u8(&mut buf, TAG_LOAD);
+                put_u32(&mut buf, *dim);
+                put_u64(&mut buf, entries.len() as u64);
+                for (id, v) in entries {
+                    put_u64(&mut buf, *id);
+                    put_f32s(&mut buf, v);
+                }
+            }
+            Self::Loaded { n } => {
+                put_u8(&mut buf, TAG_LOADED);
+                put_u64(&mut buf, *n);
+            }
+            Self::Lookup { ids } => {
+                put_u8(&mut buf, TAG_LOOKUP);
+                put_u64(&mut buf, ids.len() as u64);
+                for id in ids {
+                    put_u64(&mut buf, *id);
+                }
+            }
+            Self::LookupResp { answers } => {
+                put_u8(&mut buf, TAG_LOOKUP_RESP);
+                put_u64(&mut buf, answers.len() as u64);
+                for v in answers {
+                    put_f32s(&mut buf, v);
+                }
+            }
+            Self::TopK { query, k, exclude } => {
+                put_u8(&mut buf, TAG_TOPK);
+                put_f32s(&mut buf, query);
+                put_u32(&mut buf, *k);
+                match exclude {
+                    Some(id) => {
+                        put_u8(&mut buf, 1);
+                        put_u64(&mut buf, *id);
+                    }
+                    None => put_u8(&mut buf, 0),
+                }
+            }
+            Self::TopKResp { candidates } => {
+                put_u8(&mut buf, TAG_TOPK_RESP);
+                put_u64(&mut buf, candidates.len() as u64);
+                for (score, id) in candidates {
+                    put_f32(&mut buf, *score);
+                    put_u64(&mut buf, *id);
+                }
+            }
+            Self::Shutdown => put_u8(&mut buf, TAG_SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Parse a frame payload.
+    pub fn from_bytes(mut input: &[u8]) -> Result<Self, CodecError> {
+        let input = &mut input;
+        let msg = match get_u8(input)? {
+            TAG_LOAD => {
+                let dim = get_u32(input)?;
+                let n = get_u64(input)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = get_u64(input)?;
+                    entries.push((id, get_f32s(input)?));
+                }
+                Self::Load { dim, entries }
+            }
+            TAG_LOADED => Self::Loaded { n: get_u64(input)? },
+            TAG_LOOKUP => {
+                let n = get_u64(input)? as usize;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(get_u64(input)?);
+                }
+                Self::Lookup { ids }
+            }
+            TAG_LOOKUP_RESP => {
+                let n = get_u64(input)? as usize;
+                let mut answers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    answers.push(get_f32s(input)?);
+                }
+                Self::LookupResp { answers }
+            }
+            TAG_TOPK => {
+                let query = get_f32s(input)?;
+                let k = get_u32(input)?;
+                let exclude = if get_u8(input)? == 1 { Some(get_u64(input)?) } else { None };
+                Self::TopK { query, k, exclude }
+            }
+            TAG_TOPK_RESP => {
+                let n = get_u64(input)? as usize;
+                let mut candidates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let score = get_f32(input)?;
+                    candidates.push((score, get_u64(input)?));
+                }
+                Self::TopKResp { candidates }
+            }
+            TAG_SHUTDOWN => Self::Shutdown,
+            t => return Err(CodecError(format!("serve wire msg: bad tag {t}"))),
+        };
+        Ok(msg)
+    }
+}
+
+fn sort_candidates(c: &mut Vec<(f32, u64)>, k: usize) {
+    c.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    c.truncate(k);
+}
+
+/// Host one shard: accept a single driver connection and answer requests
+/// until `Shutdown` or EOF. Blocks the calling thread; `agl-cli
+/// serve-worker` calls this as the child process's whole life.
+pub fn serve_shard_worker(ep: &Endpoint) -> Result<(), TransportError> {
+    let listener = Listener::bind(ep)?;
+    let mut framed = Framed::new(listener.accept()?);
+    let mut slab = ShardSlab::default();
+    while let Some(frame) = framed.recv()? {
+        let msg = ServeWireMsg::from_bytes(&frame)
+            .map_err(|e| TransportError::Protocol(format!("serve worker: bad frame: {e}")))?;
+        let reply = match msg {
+            ServeWireMsg::Load { dim, entries } => {
+                slab = ShardSlab::build(entries, dim as usize);
+                ServeWireMsg::Loaded { n: slab.len() as u64 }
+            }
+            ServeWireMsg::Lookup { ids } => ServeWireMsg::LookupResp {
+                answers: ids.iter().map(|&id| slab.get(NodeId(id)).map(<[f32]>::to_vec).unwrap_or_default()).collect(),
+            },
+            ServeWireMsg::TopK { query, k, exclude } => {
+                let mut candidates: Vec<(f32, u64)> = slab
+                    .iter()
+                    .filter(|(node, _)| Some(node.0) != exclude)
+                    .map(|(node, v)| (v.iter().zip(&query).map(|(a, b)| a * b).sum::<f32>(), node.0))
+                    .collect();
+                sort_candidates(&mut candidates, k as usize);
+                ServeWireMsg::TopKResp { candidates }
+            }
+            ServeWireMsg::Shutdown => break,
+            other => {
+                return Err(TransportError::Protocol(format!("serve worker: unexpected request {other:?}")));
+            }
+        };
+        framed.send(&reply.to_bytes())?;
+    }
+    Ok(())
+}
+
+/// Driver-side handle over `N` shard workers — the same query surface as
+/// the in-process store, answered over sockets.
+pub struct RemoteStore {
+    conns: Vec<Framed>,
+    dim: usize,
+}
+
+impl RemoteStore {
+    /// Connect to every worker (in shard order) and load each with its
+    /// hash-partition of `vectors`.
+    pub fn connect(
+        endpoints: &[Endpoint],
+        vectors: impl IntoIterator<Item = (NodeId, Vec<f32>)>,
+        clock: &Clock,
+        timeout_ns: u64,
+    ) -> Result<Self, TransportError> {
+        let n = endpoints.len();
+        assert!(n > 0, "need at least one shard worker");
+        let mut buckets: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); n];
+        let mut dim = 0usize;
+        for (node, v) in vectors {
+            dim = v.len();
+            buckets[shard_of(node, n)].push((node.0, v));
+        }
+        let mut conns = Vec::with_capacity(n);
+        for (ep, bucket) in endpoints.iter().zip(buckets) {
+            let mut framed = Framed::new(connect(ep, clock, timeout_ns)?);
+            let loaded = bucket.len() as u64;
+            framed.send(&ServeWireMsg::Load { dim: dim as u32, entries: bucket }.to_bytes())?;
+            match Self::expect(&mut framed)? {
+                ServeWireMsg::Loaded { n } if n == loaded => {}
+                other => return Err(TransportError::Protocol(format!("bad load ack: {other:?}"))),
+            }
+            conns.push(framed);
+        }
+        Ok(Self { conns, dim })
+    }
+
+    fn expect(framed: &mut Framed) -> Result<ServeWireMsg, TransportError> {
+        let frame = framed.recv()?.ok_or_else(|| TransportError::Protocol("worker closed connection".into()))?;
+        ServeWireMsg::from_bytes(&frame).map_err(|e| TransportError::Protocol(format!("bad reply: {e}")))
+    }
+
+    /// Vector dimension of the loaded store.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Batched point lookups: ids grouped per owning shard (one round trip
+    /// per touched shard), answers returned positionally.
+    pub fn lookup(&mut self, ids: &[NodeId]) -> Result<Vec<Option<Vec<f32>>>, TransportError> {
+        let n = self.conns.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pos, id) in ids.iter().enumerate() {
+            groups[shard_of(*id, n)].push(pos);
+        }
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; ids.len()];
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let req = ServeWireMsg::Lookup { ids: group.iter().map(|&p| ids[p].0).collect() };
+            self.conns[shard].send(&req.to_bytes())?;
+            match Self::expect(&mut self.conns[shard])? {
+                ServeWireMsg::LookupResp { answers } if answers.len() == group.len() => {
+                    for (&pos, v) in group.iter().zip(answers) {
+                        out[pos] = if v.is_empty() { None } else { Some(v) };
+                    }
+                }
+                other => return Err(TransportError::Protocol(format!("bad lookup reply: {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact top-k across all shards: fan out, merge candidates by
+    /// (score desc, id asc) — bit-identical to the in-process store.
+    pub fn topk(&mut self, query: &[f32], k: usize, exclude: Option<NodeId>) -> Result<Vec<Neighbor>, TransportError> {
+        let req = ServeWireMsg::TopK { query: query.to_vec(), k: k as u32, exclude: exclude.map(|n| n.0) };
+        let bytes = req.to_bytes();
+        let mut merged: Vec<(f32, u64)> = Vec::new();
+        for conn in &mut self.conns {
+            conn.send(&bytes)?;
+        }
+        for conn in &mut self.conns {
+            match Self::expect(conn)? {
+                ServeWireMsg::TopKResp { candidates } => merged.extend(candidates),
+                other => return Err(TransportError::Protocol(format!("bad topk reply: {other:?}"))),
+            }
+        }
+        sort_candidates(&mut merged, k);
+        Ok(merged.into_iter().map(|(score, id)| Neighbor { node: NodeId(id), score }).collect())
+    }
+
+    /// Ask every worker to exit.
+    pub fn shutdown(&mut self) {
+        let bytes = ServeWireMsg::Shutdown.to_bytes();
+        for conn in &mut self.conns {
+            let _ = conn.send(&bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EmbeddingStore;
+    use crate::ServeConfig;
+
+    #[test]
+    fn wire_roundtrip() {
+        let msgs = [
+            ServeWireMsg::Load { dim: 3, entries: vec![(7, vec![1.0, 2.0, 3.0]), (9, vec![0.0, -1.0, 0.5])] },
+            ServeWireMsg::Loaded { n: 2 },
+            ServeWireMsg::Lookup { ids: vec![7, 11] },
+            ServeWireMsg::LookupResp { answers: vec![vec![1.0, 2.0, 3.0], vec![]] },
+            ServeWireMsg::TopK { query: vec![0.5, 0.5, 0.5], k: 4, exclude: Some(7) },
+            ServeWireMsg::TopKResp { candidates: vec![(2.5, 9), (1.0, 7)] },
+            ServeWireMsg::Shutdown,
+        ];
+        for m in msgs {
+            assert_eq!(ServeWireMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    /// Two in-process "workers" over UDS answer bit-identically to the
+    /// single-process store.
+    #[test]
+    fn remote_matches_local_store() {
+        let dir = std::env::temp_dir().join(format!("agl-serve-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("shard{i}.sock")))).collect();
+        let vectors: Vec<(NodeId, Vec<f32>)> =
+            (0..40u64).map(|i| (NodeId(i), vec![i as f32 * 0.1, 1.0 - i as f32 * 0.05, 0.3])).collect();
+        let local = EmbeddingStore::from_vectors(vectors.clone(), &ServeConfig { shards: 2, ..ServeConfig::default() });
+
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || serve_shard_worker(ep).unwrap());
+            }
+            let clock = Clock::monotonic();
+            let mut remote = RemoteStore::connect(&eps, vectors.clone(), &clock, 2_000_000_000).unwrap();
+
+            let ids: Vec<NodeId> = [5u64, 0, 39, 99, 12].map(NodeId).to_vec();
+            let got = remote.lookup(&ids).unwrap();
+            for (i, id) in ids.iter().enumerate() {
+                assert_eq!(got[i], local.get(*id).map(|r| r.to_vec()), "id {}", id.0);
+            }
+
+            let query = [1.0f32, -0.5, 2.0];
+            let want = local.topk(&query, 6);
+            let have = remote.topk(&query, 6, None).unwrap();
+            assert_eq!(have, want);
+
+            let want_nb = local.topk_neighbors(NodeId(3), 5).unwrap();
+            let q = local.get(NodeId(3)).unwrap().to_vec();
+            let have_nb = remote.topk(&q, 5, Some(NodeId(3))).unwrap();
+            assert_eq!(have_nb, want_nb);
+
+            remote.shutdown();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,245 @@
+//! Incremental store maintenance: re-infer only the dirty k-hop
+//! neighborhood, byte-identically to a full recompute.
+//!
+//! When a node's features (or its in-edges) change, the only stale store
+//! entries are the nodes whose k-hop *in*-neighborhood contains the change
+//! — i.e. the **forward** BFS (along out-edges) of depth ≤ k from the
+//! touched nodes, because embeddings aggregate upstream along edge
+//! direction. Recomputing those dirty nodes needs their own k-hop
+//! in-neighborhoods, the **backward** closure of the dirty set.
+//!
+//! Byte-identity with a full re-infer holds because the GraphInfer
+//! sampling framework seeds per *node id* (not per task or slice) over a
+//! canonically sorted candidate set: any node at backward distance `< k`
+//! of the dirty set keeps its complete in-edge set inside the closure, so
+//! it samples the same neighbors and aggregates the same partials, in the
+//! same order, as in the full graph. Nodes at distance exactly `k`
+//! contribute only their raw features. The dirty nodes' recomputed vectors
+//! are therefore bit-for-bit those of a full recompute, and they are the
+//! only entries [`EmbeddingStore::patch`] swaps in.
+
+use crate::store::EmbeddingStore;
+use agl_graph::bfs::{multi_source_distances, UNREACHED};
+use agl_graph::tables::EdgeRow;
+use agl_graph::{EdgeTable, Graph, NodeId, NodeTable};
+use agl_infer::{GraphInfer, InferConfig};
+use agl_mapreduce::JobError;
+use agl_nn::GnnModel;
+use agl_tensor::Matrix;
+
+/// A graph change: the set of nodes whose inputs changed — nodes with new
+/// features, plus the `dst` endpoint of every added/removed edge (the
+/// aggregation that edge feeds).
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    pub touched: Vec<NodeId>,
+}
+
+impl GraphDelta {
+    /// Delta for feature changes at the given nodes.
+    pub fn features(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        Self { touched: nodes.into_iter().collect() }
+    }
+
+    /// Record an added or removed edge: its `dst` aggregation changed.
+    #[must_use]
+    pub fn with_edge(mut self, _src: NodeId, dst: NodeId) -> Self {
+        self.touched.push(dst);
+        self
+    }
+}
+
+/// What an incremental update did.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Directly changed nodes (the delta).
+    pub touched: usize,
+    /// Stale store entries recomputed and patched.
+    pub dirty: usize,
+    /// Nodes of the backward closure the re-infer ran over.
+    pub closure_nodes: usize,
+    /// Edges of the closure sub-graph.
+    pub closure_edges: usize,
+}
+
+/// Re-infer the dirty neighborhood of `delta` over the *post-update*
+/// tables and patch the affected store shards (atomic per-shard swap).
+///
+/// `cfg` must be the configuration the store's vectors were produced with
+/// (same sampling strategy and `engine.seed`), or byte-identity with a
+/// full recompute is forfeit. `k` is the model's layer count.
+pub fn update_incremental(
+    store: &EmbeddingStore,
+    model: &GnnModel,
+    nodes: &NodeTable,
+    edges: &EdgeTable,
+    delta: &GraphDelta,
+    cfg: &InferConfig,
+) -> Result<UpdateReport, JobError> {
+    let obs = cfg.engine.obs.clone();
+    let _span = obs.span("serve", "serve.update");
+    let k = model.n_layers() as u32;
+    let graph = Graph::from_tables(nodes, edges);
+
+    let touched_locals: Vec<u32> = delta.touched.iter().filter_map(|id| graph.local(*id)).collect();
+    if touched_locals.is_empty() {
+        return Ok(UpdateReport { touched: delta.touched.len(), dirty: 0, closure_nodes: 0, closure_edges: 0 });
+    }
+
+    // Dirty = forward BFS ≤ k along out-edges: every node whose k-hop
+    // in-neighborhood contains a touched node.
+    let fwd = multi_source_distances(graph.out_adj(), &touched_locals, Some(k));
+    let dirty_locals: Vec<u32> = (0..graph.n_nodes() as u32).filter(|&v| fwd[v as usize] != UNREACHED).collect();
+
+    // Closure = backward BFS ≤ k along in-edges from the dirty set: the
+    // support needed to recompute every dirty node.
+    let back = multi_source_distances(graph.in_adj(), &dirty_locals, Some(k));
+    let closure_locals: Vec<u32> = (0..graph.n_nodes() as u32).filter(|&v| back[v as usize] != UNREACHED).collect();
+
+    // Sub-tables. Edge rule: keep every in-edge of a node at backward
+    // distance < k — that node's sampling candidate set must stay complete
+    // — and nothing else (distance-k nodes only contribute features).
+    let ids: Vec<NodeId> = closure_locals.iter().map(|&v| graph.node_id(v)).collect();
+    let rows: Vec<&[f32]> = closure_locals.iter().map(|&v| graph.features().row(v as usize)).collect();
+    let sub_nodes = NodeTable::new(ids, Matrix::from_rows(&rows), None);
+    let mut sub_rows = Vec::new();
+    for (row, _) in edges.iter() {
+        let (Some(s), Some(d)) = (graph.local(row.src), graph.local(row.dst)) else { continue };
+        if back[d as usize] < k && back[s as usize] != UNREACHED {
+            sub_rows.push(EdgeRow { src: row.src, dst: row.dst, weight: row.weight });
+        }
+    }
+    let closure_edges = sub_rows.len();
+    let sub_edges = EdgeTable::new(sub_rows, None);
+
+    // Re-infer the closure through the normal pipeline and keep only the
+    // dirty nodes' vectors.
+    let output = GraphInfer::new(cfg.clone()).run(model, &sub_nodes, &sub_edges)?;
+    let dirty: std::collections::HashSet<u64> = dirty_locals.iter().map(|&v| graph.node_id(v).0).collect();
+    let patched: Vec<(NodeId, Vec<f32>)> =
+        output.scores.into_iter().filter(|s| dirty.contains(&s.node.0)).map(|s| (s.node, s.probs)).collect();
+    let report = UpdateReport {
+        touched: delta.touched.len(),
+        dirty: patched.len(),
+        closure_nodes: closure_locals.len(),
+        closure_edges,
+    };
+    store.patch(patched);
+    store.publish_occupancy(&obs);
+    obs.metric_add("serve.update.dirty", report.dirty as u64);
+    obs.metric_add("serve.update.closure_nodes", report.closure_nodes as u64);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use agl_flat::SamplingStrategy;
+    use agl_nn::{Loss, ModelConfig, ModelKind};
+    use agl_tensor::rng::Rng;
+    use agl_tensor::seeded_rng;
+
+    fn toy(n: u64, seed: u64) -> (NodeTable, EdgeTable) {
+        let mut rng = seeded_rng(seed);
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut feats = Matrix::zeros(n as usize, 4);
+        for i in 0..n as usize {
+            for d in 0..4 {
+                feats[(i, d)] = rng.gen_range(-1.0..1.0f32);
+            }
+        }
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if i != j {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        (NodeTable::new(ids, feats, None), EdgeTable::from_pairs(pairs))
+    }
+
+    fn model() -> GnnModel {
+        GnnModel::new(ModelConfig::new(ModelKind::Gcn, 4, 8, 3, 2, Loss::SoftmaxCrossEntropy))
+    }
+
+    fn infer_cfg() -> InferConfig {
+        // Weighted sampling exercises the seeded sampling framework — the
+        // part byte-identity most depends on.
+        InferConfig { sampling: SamplingStrategy::Weighted { max_degree: 2 }, ..InferConfig::default() }.with_seed(5)
+    }
+
+    /// The pinned contract: dirty re-infer ≡ full recompute, byte-identical.
+    #[test]
+    fn incremental_update_matches_full_recompute_byte_identically() {
+        let (nodes, edges) = toy(60, 9);
+        let m = model();
+        let cfg = infer_cfg();
+        let scfg = ServeConfig { shards: 4, ..ServeConfig::default() };
+
+        let store = EmbeddingStore::build(&GraphInfer::new(cfg.clone()).run(&m, &nodes, &edges).unwrap(), &scfg);
+
+        // Perturb three nodes' features (post-update tables).
+        let touched = [NodeId(3), NodeId(17), NodeId(42)];
+        let mut feats = nodes.features().clone();
+        for t in &touched {
+            for d in 0..4 {
+                feats[(t.0 as usize, d)] += 0.5;
+            }
+        }
+        let new_nodes = NodeTable::new(nodes.ids().to_vec(), feats, None);
+
+        let report = update_incremental(&store, &m, &new_nodes, &edges, &GraphDelta::features(touched), &cfg).unwrap();
+        assert!(report.dirty >= touched.len(), "dirty {} < touched", report.dirty);
+        assert!(report.closure_nodes >= report.dirty);
+
+        // Reference: full recompute over the new tables.
+        let full = GraphInfer::new(cfg).run(&m, &new_nodes, &edges).unwrap();
+        for s in &full.scores {
+            let got = store.get(s.node).unwrap();
+            let got_bytes: Vec<[u8; 4]> = got.iter().map(|f| f.to_le_bytes()).collect();
+            let want_bytes: Vec<[u8; 4]> = s.probs.iter().map(|f| f.to_le_bytes()).collect();
+            assert_eq!(got_bytes, want_bytes, "node {} diverged", s.node.0);
+        }
+    }
+
+    #[test]
+    fn untouched_far_nodes_are_not_recomputed() {
+        // A long chain: 0→1→2→...→9. Touching node 0 with a 2-layer model
+        // dirties exactly {0, 1, 2}.
+        let n = 10u64;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut feats = Matrix::zeros(n as usize, 4);
+        for i in 0..n as usize {
+            feats[(i, 0)] = i as f32;
+        }
+        let edges = EdgeTable::from_pairs((0..n - 1).map(|i| (i, i + 1)));
+        let nodes = NodeTable::new(ids, feats, None);
+        let m = model();
+        let cfg = InferConfig::default();
+        let store = EmbeddingStore::build(
+            &GraphInfer::new(cfg.clone()).run(&m, &nodes, &edges).unwrap(),
+            &ServeConfig::default(),
+        );
+        let report = update_incremental(&store, &m, &nodes, &edges, &GraphDelta::features([NodeId(0)]), &cfg).unwrap();
+        assert_eq!(report.dirty, 3, "chain: touched + 2 hops downstream");
+        assert_eq!(report.closure_nodes, 3, "backward closure adds nothing new on a chain head");
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let (nodes, edges) = toy(20, 1);
+        let m = model();
+        let cfg = InferConfig::default();
+        let store = EmbeddingStore::build(
+            &GraphInfer::new(cfg.clone()).run(&m, &nodes, &edges).unwrap(),
+            &ServeConfig::default(),
+        );
+        let report = update_incremental(&store, &m, &nodes, &edges, &GraphDelta::default(), &cfg).unwrap();
+        assert_eq!(report.dirty, 0);
+    }
+}

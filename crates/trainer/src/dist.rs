@@ -84,7 +84,7 @@ impl DistTrainer {
             ParameterServer::new(model.param_vector(), self.n_shards, self.n_workers, self.opts.consistency, || {
                 Box::new(Adam::new(lr))
             })
-            .with_obs(self.opts.obs.clone());
+            .with_obs(self.opts.engine.obs.clone());
         match self.train_with_client(model, train, val, &server) {
             Ok(r) => r,
             // agl-lint: allow(no-panic) — the in-process PsClient impl is infallible; Err is unreachable.
@@ -124,14 +124,14 @@ impl DistTrainer {
         let mut val_curve = Vec::new();
         for epoch in 0..self.opts.epochs {
             let start = clock.now();
-            let mut epoch_span = if self.opts.obs.is_enabled() {
-                self.opts.obs.span("trainer", "train.epoch")
+            let mut epoch_span = if self.opts.engine.obs.is_enabled() {
+                self.opts.engine.obs.span("trainer", "train.epoch")
             } else {
                 agl_obs::Span::disabled()
             };
             run_client_workers(server, self.n_workers, |w, ps| {
                 let mut replica = template.clone();
-                let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed, (epoch * 1000 + w) as u64));
+                let mut rng = seeded_rng(derive_seed(self.opts.engine.seed, (epoch * 1000 + w) as u64));
                 let mut order = partitions[w].clone();
                 order.shuffle(&mut rng);
                 for b in 0..batches_per_worker {
@@ -168,7 +168,7 @@ impl DistTrainer {
             model.load_param_vector(&server.snapshot()?);
             epoch_span.counter("batches", batches_per_worker as u64);
             drop(epoch_span);
-            self.opts.obs.metric_add("trainer.epochs", 1);
+            self.opts.engine.obs.metric_add("trainer.epochs", 1);
             // Mean train loss after the epoch's updates (cheap re-pass over
             // a sample keeps the run fast at large scale).
             let probe = &train[..train.len().min(512)];
@@ -414,8 +414,10 @@ mod tests {
         let data = dataset(16);
         let obs = agl_obs::Obs::enabled();
         let mut m = model();
-        let trainer =
-            DistTrainer::new(2, TrainOptions { epochs: 2, batch_size: 8, obs: obs.clone(), ..TrainOptions::default() });
+        let trainer = DistTrainer::new(
+            2,
+            TrainOptions { epochs: 2, batch_size: 8, ..TrainOptions::default() }.with_obs(obs.clone()),
+        );
         trainer.train(&mut m, &data, None);
         let events = obs.trace().unwrap().events();
         assert_eq!(events.iter().filter(|e| e.name == "train.epoch").count(), 2);

@@ -5,6 +5,7 @@
 use crate::metrics::Metrics;
 use crate::pipeline::{prepare_batch, BatchPipeline, PrepSpec, PreparedBatch};
 use agl_flat::TrainingExample;
+use agl_mapreduce::EngineConfig;
 use agl_nn::{Adam, GnnModel, Optimizer};
 use agl_obs::{Clock, Obs};
 use agl_tensor::rng::derive_seed;
@@ -26,14 +27,15 @@ pub struct TrainOptions {
     /// Prefetch pipeline (`AGL_base` keeps this on — the paper's baseline
     /// "trains only with the pipeline strategy").
     pub pipeline: bool,
-    pub shuffle_seed: u64,
     /// Worker-coordination mode for distributed training (`DistTrainer`);
     /// the standalone `LocalTrainer` has a single worker and ignores it.
     pub consistency: agl_ps::Consistency,
-    /// Observability handle: when enabled, epochs and pipeline stages emit
-    /// spans, and the parameter server joins the run's metrics registry.
-    /// Disabled (inert, allocation-free) by default.
-    pub obs: Obs,
+    /// Shared engine knobs. The trainer consumes `engine.seed` (batch
+    /// shuffle), `engine.obs` (epoch/pipeline spans, PS metrics) and the
+    /// effective clock; the MapReduce task counts only matter to the
+    /// flatten/infer stages but ride along so one [`EngineConfig`] can be
+    /// written across a whole job.
+    pub engine: EngineConfig,
 }
 
 impl Default for TrainOptions {
@@ -45,18 +47,45 @@ impl Default for TrainOptions {
             pruning: false,
             partitions: 1,
             pipeline: true,
-            shuffle_seed: 7,
             consistency: agl_ps::Consistency::Sync,
-            obs: Obs::default(),
+            // Seed 7 is the historical `shuffle_seed` default; keeping it
+            // preserves every seeded training curve bit-for-bit.
+            engine: EngineConfig::seeded(7),
         }
     }
 }
 
 impl TrainOptions {
+    /// Builder-style obs-handle override (writes `engine.obs`).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.engine.obs = obs;
+        self
+    }
+
+    /// Builder-style shuffle-seed override (writes `engine.seed`).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Builder-style engine override.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured obs handle.
+    pub fn obs(&self) -> &Obs {
+        &self.engine.obs
+    }
+
     /// Epoch-timing source: the obs handle's clock when one is attached
     /// (keeping logical-clock runs wallclock-free), monotonic otherwise.
     pub(crate) fn clock(&self) -> Clock {
-        self.obs.trace().map_or_else(Clock::monotonic, |t| t.clock().clone())
+        self.engine.effective_clock()
     }
 
     fn ctx(&self) -> ExecCtx {
@@ -125,7 +154,7 @@ impl LocalTrainer {
     /// Batch index plan for one epoch (shuffled).
     fn plan(&self, n: usize, epoch: usize) -> Vec<Vec<usize>> {
         let mut idx: Vec<usize> = (0..n).collect();
-        let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed, epoch as u64));
+        let mut rng = seeded_rng(derive_seed(self.opts.engine.seed, epoch as u64));
         idx.shuffle(&mut rng);
         idx.chunks(self.opts.batch_size).map(<[usize]>::to_vec).collect()
     }
@@ -152,14 +181,14 @@ impl LocalTrainer {
         let mut epochs = Vec::with_capacity(self.opts.epochs);
         for epoch in 0..self.opts.epochs {
             let start = clock.now();
-            let mut epoch_span = if self.opts.obs.is_enabled() {
-                self.opts.obs.span("trainer", "train.epoch")
+            let mut epoch_span = if self.opts.engine.obs.is_enabled() {
+                self.opts.engine.obs.span("trainer", "train.epoch")
             } else {
                 agl_obs::Span::disabled()
             };
             let order = self.plan(examples.len(), epoch);
             let n_batches = order.len();
-            let mut rng = seeded_rng(derive_seed(self.opts.shuffle_seed ^ 0xD07, epoch as u64));
+            let mut rng = seeded_rng(derive_seed(self.opts.engine.seed ^ 0xD07, epoch as u64));
             let mut loss_sum = 0.0f64;
             let mut step = |prepared: PreparedBatch, model: &mut GnnModel, opt: &mut Adam| {
                 model.zero_grads();
@@ -179,7 +208,9 @@ impl LocalTrainer {
                 loss_sum += loss as f64;
             };
             if self.opts.pipeline {
-                for prepared in BatchPipeline::spawn_with_obs(shared.clone(), order, spec, 2, self.opts.obs.clone()) {
+                for prepared in
+                    BatchPipeline::spawn_with_obs(shared.clone(), order, spec, 2, self.opts.engine.obs.clone())
+                {
                     step(prepared, model, &mut opt);
                 }
             } else {
@@ -190,7 +221,7 @@ impl LocalTrainer {
             }
             epoch_span.counter("batches", n_batches as u64);
             drop(epoch_span);
-            self.opts.obs.metric_add("trainer.epochs", 1);
+            self.opts.engine.obs.metric_add("trainer.epochs", 1);
             epochs.push(EpochStats {
                 epoch,
                 loss: loss_sum / n_batches as f64,
@@ -382,7 +413,7 @@ mod tests {
         let data = dataset(16);
         let obs = agl_obs::Obs::enabled();
         let mut m = model();
-        let opts = TrainOptions { epochs: 2, batch_size: 4, obs: obs.clone(), ..TrainOptions::default() };
+        let opts = TrainOptions { epochs: 2, batch_size: 4, ..TrainOptions::default() }.with_obs(obs.clone());
         LocalTrainer::new(opts).train(&mut m, &data);
         let metrics = obs.metrics().unwrap();
         assert_eq!(metrics.get("trainer.epochs"), 2);

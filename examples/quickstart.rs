@@ -4,7 +4,8 @@
 //! cargo run --example quickstart --release
 //! ```
 //!
-//! Mirrors the demo of paper §3.5: GraphFlat → GraphTrainer → GraphInfer.
+//! Mirrors the demo of paper §3.5 — GraphFlat → GraphTrainer → GraphInfer —
+//! then loads the scores into the online serving store.
 
 use agl::prelude::*;
 
@@ -63,4 +64,15 @@ fn main() {
         scores.counters.get("infer.embeddings_computed"),
         n
     );
+
+    // 5. Serving: load the scores into the sharded read-optimized store and
+    //    answer a point lookup plus an exact top-k-neighbor query.
+    let job = job.serve(ServeConfig { shards: 2, topk: 3, ..ServeConfig::default() });
+    let store = job.build_serving(&scores);
+    let probe = NodeId(0);
+    println!("serving {} vectors from {} shards", store.len(), store.n_shards());
+    println!("  lookup {probe} -> {:?}", store.get(probe).map(|v| v.to_vec()));
+    for nb in store.topk_neighbors(probe, 3).unwrap() {
+        println!("  neighbor {} (score {:.4})", nb.node, nb.score);
+    }
 }

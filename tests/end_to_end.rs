@@ -105,7 +105,8 @@ fn sampling_consistency_between_flat_and_infer() {
     let job = AglJob::new().hops(2).sampling(S::Weighted { max_degree: 9 }).seed(123);
     assert_eq!(job.flat_config().sampling, S::Weighted { max_degree: 9 });
     assert_eq!(job.infer_config().sampling, S::Weighted { max_degree: 9 });
-    assert_eq!(job.flat_config().seed, job.infer_config().seed);
+    assert_eq!(job.flat_config().engine.seed, job.infer_config().engine.seed);
+    assert_eq!(job.flat_config().engine.seed, 123);
 
     // And end-to-end: two sampled GraphInfer runs agree bit-for-bit.
     let (_, nodes, edges) = world();
