@@ -119,6 +119,40 @@ dist_smoke() {
   fi
 }
 
+# Observability smoke: two same-seed traced dist-runs under the logical
+# clock must write byte-identical merged trace + metrics artifacts; the
+# obs-report analyzer must parse them (schema gate), see every worker
+# span causally parented under a driver RPC span, nonzero RPC telemetry,
+# and itself render byte-identically across the two runs.
+obs_smoke() {
+  local dir out
+  dir=$(mktemp -d -t agl-obs-smoke.XXXXXX)
+  trap 'pkill -f "dist-worker -[-]role" 2>/dev/null || true; rm -rf "'"$dir"'"' RETURN
+  local i
+  for i in 1 2; do
+    ./target/release/agl-cli dist-run --dir "$dir/run$i" \
+      --nodes 300 --hops 2 --epochs 2 \
+      --shuffle-workers 2 --ps-shards 2 --train-workers 2 \
+      --clock logical --trace-out "$dir/trace$i.json" \
+      --metrics-out "$dir/metrics$i.json" >/dev/null || return 1
+  done
+  cmp -s "$dir/trace1.json" "$dir/trace2.json" \
+    || { echo "obs smoke: merged traces differ between same-seed runs" >&2; return 1; }
+  cmp -s "$dir/metrics1.json" "$dir/metrics2.json" \
+    || { echo "obs smoke: metrics dumps differ between same-seed runs" >&2; return 1; }
+  out=$(./target/release/agl-cli obs-report --trace "$dir/trace1.json" \
+    --metrics "$dir/metrics1.json") || return 1
+  echo "$out" | grep -qE "^obs-report: [1-9][0-9]* spans" \
+    || { echo "obs smoke: report parsed no spans" >&2; return 1; }
+  echo "$out" | grep -qE "^parented_worker_spans=[1-9]" \
+    || { echo "obs smoke: no worker spans parented under driver RPCs" >&2; return 1; }
+  echo "$out" | grep -qE "^rpc_histograms=[1-9]" \
+    || { echo "obs smoke: no RPC histograms recorded" >&2; return 1; }
+  [ "$out" = "$(./target/release/agl-cli obs-report --trace "$dir/trace2.json" \
+      --metrics "$dir/metrics2.json")" ] \
+    || { echo "obs smoke: obs-report not byte-identical across runs" >&2; return 1; }
+}
+
 # Online read-path smoke: build a store from a small InferOutput, drive
 # the seeded power-law load generator in-process, then the sharded
 # multi-process mode (2 serve-worker processes, answers verified against
@@ -165,6 +199,7 @@ step "cargo build --release" cargo build --release
 step "cargo test -q" cargo test -q
 step "dist smoke (2 shuffle + 2 ps processes, byte-identical)" dist_smoke
 step "dist kill-a-worker (SIGKILL mid-job, deterministic re-run)" dist_kill
+step "obs smoke (traced dist-run, deterministic merged trace + obs-report)" obs_smoke
 step "serve smoke (load generator + 2 serve-worker processes, verified)" serve_smoke
 step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
 # Rustdoc is part of the contract: broken intra-doc links or missing docs

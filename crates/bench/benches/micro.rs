@@ -156,8 +156,69 @@ fn bench_transport(h: &mut Harness) {
         framed.send(&payload).unwrap();
         framed.recv().unwrap().unwrap()
     });
+
+    // Instrumented framing with an *inert* `Obs`: `FrameStats::from_obs`
+    // returns `None`, so the only added cost is the per-message
+    // `Option<Arc<FrameStats>>` check — the claim is that telemetry is free
+    // unless switched on. The `_vs_plain` entry is the paired ratio
+    // (instrumented / plain, unitless), measured in adjacent batches so
+    // machine noise cancels; `bench_compare` gates it at <= 1.02 absolutely.
+    fn echo_msg_name(_tag: u8) -> &'static str {
+        "echo"
+    }
+    let (c, d) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let echo2 = std::thread::spawn(move || {
+        let mut framed = Framed::new(Conn::from(d));
+        while let Ok(Some(msg)) = framed.recv() {
+            if framed.send(&msg).is_err() {
+                break;
+            }
+        }
+    });
+    let mut instrumented = Framed::new(Conn::from(c)).with_stats(agl_mapreduce::FrameStats::from_obs(
+        &Obs::default(),
+        "bench",
+        echo_msg_name,
+        echo_msg_name,
+    ));
+    h.bench("transport/framed_instrumented_inert_1kib", || {
+        instrumented.send(&payload).unwrap();
+        instrumented.recv().unwrap().unwrap()
+    });
+    // Per-op interleaving (plain, instrumented, plain, …) with the ratio
+    // taken over each round's *sums*: frequency drift, scheduler stalls and
+    // cache effects hit both sides of a pair equally, so they cancel instead
+    // of landing on whichever side ran second. Median across rounds guards
+    // against a single disturbed round.
+    let rounds = if h.iters <= 3 { 7 } else { 11 };
+    let pairs = 500;
+    let mut ratios: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let (mut plain_s, mut instr_s) = (0.0f64, 0.0f64);
+            for _ in 0..pairs {
+                let t0 = Instant::now();
+                framed.send(&payload).unwrap();
+                black_box(framed.recv().unwrap().unwrap());
+                plain_s += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                instrumented.send(&payload).unwrap();
+                black_box(instrumented.recv().unwrap().unwrap());
+                instr_s += t1.elapsed().as_secs_f64();
+            }
+            instr_s / plain_s
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    println!(
+        "{:<40} {ratio:>10.3} x   (median of {rounds} interleaved rounds, {pairs} pairs each)",
+        "transport/framed_instrumented_vs_plain"
+    );
+    h.results.push(("transport/framed_instrumented_vs_plain".to_string(), ratio));
     drop(framed);
+    drop(instrumented);
     echo.join().unwrap();
+    echo2.join().unwrap();
 
     // One pull+push round, 4096 params sharded in two, single worker.
     let dim = 4096;

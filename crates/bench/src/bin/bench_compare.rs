@@ -50,7 +50,13 @@ fn main() -> ExitCode {
     };
 
     let cmp = compare_snapshots(&baseline, &current, tolerance);
-    println!("bench_compare: {} vs {} (tolerance {:.0}%)", cur_path, base_path, tolerance * 100.0);
+    println!(
+        "bench_compare: {} vs {} (tolerance {:.0}%, noise floor {:.0}us)",
+        cur_path,
+        base_path,
+        tolerance * 100.0,
+        agl_bench::compare::NOISE_FLOOR_MS * 1000.0
+    );
     for d in &cmp.unchanged {
         println!(
             "  ok      {:<40} {:>9.3} -> {:>9.3} ms  ({:+.1}%)",

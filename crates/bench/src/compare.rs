@@ -89,14 +89,50 @@ impl BenchComparison {
     }
 }
 
+/// Benches named `*_vs_plain` hold a unitless ratio (instrumented /
+/// plain), not a time: they are gated *absolutely* at [`RATIO_LIMIT`]
+/// instead of relative to the baseline, so an overhead regression fails CI
+/// even on the very first snapshot that records the bench.
+pub const RATIO_SUFFIX: &str = "_vs_plain";
+/// Maximum allowed `*_vs_plain` ratio: 1.02 = 2 % overhead.
+pub const RATIO_LIMIT: f64 = 1.02;
+
+/// Absolute slowdown a time bench must exceed — on top of the relative
+/// tolerance — before it counts as a regression. Micro-benches in the low
+/// microseconds swing well past 20 % run-to-run from scheduler and
+/// frequency noise alone; a relative gate with no floor turns that noise
+/// into CI flakes. 50 µs is far above timer jitter but far below any
+/// slowdown worth failing a build over. Ratio (`*_vs_plain`) benches are
+/// exempt: their interleaved paired measurement cancels machine drift, so
+/// they stay gated purely on [`RATIO_LIMIT`].
+pub const NOISE_FLOOR_MS: f64 = 0.05;
+
 /// Compare medians bench-by-bench. `tolerance` is the allowed fractional
-/// slowdown (0.20 = a bench may be up to 20 % slower before CI fails).
+/// slowdown (0.20 = a bench may be up to 20 % slower before CI fails); a
+/// slowdown additionally has to exceed [`NOISE_FLOOR_MS`] in absolute
+/// terms before it fails. `*_vs_plain` ratio benches are instead gated
+/// absolutely at [`RATIO_LIMIT`].
 pub fn compare_snapshots(baseline: &BenchSnapshot, current: &BenchSnapshot, tolerance: f64) -> BenchComparison {
     assert!(tolerance >= 0.0, "tolerance must be non-negative");
     let mut out = BenchComparison::default();
     let base: BTreeMap<&str, f64> = baseline.benches.iter().map(|b| (b.name.as_str(), b.median_ms)).collect();
     let cur: BTreeMap<&str, f64> = current.benches.iter().map(|b| (b.name.as_str(), b.median_ms)).collect();
     for b in &current.benches {
+        if b.name.ends_with(RATIO_SUFFIX) {
+            let old = base.get(b.name.as_str()).copied().unwrap_or(1.0);
+            let delta = BenchDelta {
+                name: b.name.clone(),
+                baseline_ms: old,
+                current_ms: b.median_ms,
+                change: b.median_ms - 1.0,
+            };
+            if b.median_ms > RATIO_LIMIT {
+                out.regressions.push(delta);
+            } else {
+                out.unchanged.push(delta);
+            }
+            continue;
+        }
         match base.get(b.name.as_str()) {
             None => out.added.push(b.name.clone()),
             Some(&old) => {
@@ -106,7 +142,7 @@ pub fn compare_snapshots(baseline: &BenchSnapshot, current: &BenchSnapshot, tole
                     current_ms: b.median_ms,
                     change: if old > 0.0 { b.median_ms / old - 1.0 } else { 0.0 },
                 };
-                if delta.change > tolerance {
+                if delta.change > tolerance && b.median_ms - old > NOISE_FLOOR_MS {
                     out.regressions.push(delta);
                 } else {
                     out.unchanged.push(delta);
@@ -373,6 +409,51 @@ mod tests {
         assert!(cmp.is_pass());
         assert_eq!(cmp.added, vec!["new".to_string()]);
         assert_eq!(cmp.removed, vec!["old".to_string()]);
+    }
+
+    #[test]
+    fn sub_floor_slowdowns_are_noise_not_regressions() {
+        // +50 % relative but only 1.5 µs absolute: below NOISE_FLOOR_MS,
+        // so it must not fail CI. The same relative slowdown above the
+        // floor still does.
+        let base = snap(&[("tiny", 0.003), ("big", 1.0)]);
+        let cur = snap(&[("tiny", 0.0045), ("big", 1.5)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].name, "big");
+        // A ratio bench never benefits from the floor: ratios are unitless
+        // and measured drift-free, so 1.05 fails even though 0.05 < floor
+        // would pass for a time bench.
+        let base = snap(&[("x_vs_plain", 1.0)]);
+        let cur = snap(&[("x_vs_plain", 1.05)]);
+        assert!(!compare_snapshots(&base, &cur, 0.20).is_pass());
+    }
+
+    #[test]
+    fn ratio_benches_gate_absolutely_at_the_limit() {
+        // Under the limit passes even with a worse baseline; over the limit
+        // fails even when it *improved* on the baseline — the gate is
+        // absolute, not relative.
+        let base = snap(&[("transport/framed_instrumented_vs_plain", 1.10)]);
+        let cur = snap(&[("transport/framed_instrumented_vs_plain", 1.015)]);
+        assert!(compare_snapshots(&base, &cur, 0.20).is_pass());
+        let cur = snap(&[("transport/framed_instrumented_vs_plain", 1.05)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!((cmp.regressions[0].change - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_benches_gate_without_a_baseline_entry() {
+        // First snapshot ever recording the ratio: still gated, never
+        // `added`-and-ignored.
+        let base = snap(&[]);
+        let cur = snap(&[("x_vs_plain", 1.5)]);
+        let cmp = compare_snapshots(&base, &cur, 0.20);
+        assert!(!cmp.is_pass());
+        assert!(cmp.added.is_empty());
+        let cur = snap(&[("x_vs_plain", 0.99)]);
+        assert!(compare_snapshots(&base, &cur, 0.20).is_pass());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!               --edges data/edges.tsv --out data/scores.tsv
 //! agl-cli serve-bench --synthetic-nodes 1000 --shards 4     # online read path
 //! agl-cli serve --workers 2 --synthetic-nodes 300           # multi-process shards
+//! agl-cli obs-report --trace t.json --metrics m.json        # analyze artifacts
 //! ```
 //!
 //! Node table: `id \t f1,f2,... \t l1,l2,...` (labels optional).
@@ -48,9 +49,10 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&parse_flags(&args[1..])),
         Some("serve-bench") => cmd_serve_bench(&parse_flags(&args[1..])),
         Some("serve-worker") => cmd_serve_worker(&parse_flags(&args[1..])),
+        Some("obs-report") => cmd_obs_report(&parse_flags(&args[1..])),
         _ => {
             eprintln!(
-                "usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker|serve|serve-bench|serve-worker> [--flag value]..."
+                "usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker|serve|serve-bench|serve-worker|obs-report> [--flag value]..."
             );
             eprintln!("see crate docs for the table formats and flags");
             return ExitCode::from(2);
@@ -379,6 +381,7 @@ fn cmd_train(flags: &Flags) -> CliResult {
 /// in-process and asserts bit-identical output.
 fn cmd_dist_run(flags: &Flags) -> CliResult {
     let dir = flag(flags, "dir")?;
+    let obs = parse_obs(flags)?;
     let cfg = agl::DistRunConfig {
         n_nodes: flag_or(flags, "nodes", "300").parse()?,
         hops: flag_or(flags, "hops", "2").parse()?,
@@ -396,6 +399,7 @@ fn cmd_dist_run(flags: &Flags) -> CliResult {
             connect_timeout_ns: flag_or(flags, "connect-timeout-secs", "10").parse::<u64>()? * 1_000_000_000,
             io_timeout_ns: flag_or(flags, "io-timeout-secs", "30").parse::<u64>()? * 1_000_000_000,
         },
+        obs: obs.clone(),
     };
     let summary = agl::run_distributed_job(&cfg)?;
     println!(
@@ -412,6 +416,20 @@ fn cmd_dist_run(flags: &Flags) -> CliResult {
     println!("verified={}", summary.verified);
     println!("job report:");
     print!("{}", summary.report);
+    write_obs_outputs(flags, &obs)
+}
+
+/// `agl-cli obs-report --trace trace.json [--metrics metrics.json]` —
+/// offline analysis of the artifacts a traced run wrote: per-stage span
+/// medians, per-round straggler ranking, shuffle bytes per worker, RPC
+/// telemetry totals, and the count of worker spans causally parented under
+/// driver RPC spans. Output is deterministic for a logical-clock trace, so
+/// CI can diff it across same-seed runs.
+fn cmd_obs_report(flags: &Flags) -> CliResult {
+    let trace = fs::read_to_string(flag(flags, "trace")?)?;
+    let metrics = flags.get("metrics").map(|p| fs::read_to_string(p)).transpose()?;
+    let report = agl::mapreduce::ObsReport::from_artifacts(&trace, metrics.as_deref())?;
+    print!("{}", report.render());
     Ok(())
 }
 
@@ -535,7 +553,9 @@ fn cmd_serve(flags: &Flags) -> CliResult {
     let clock = Clock::monotonic();
     let timeout_ns = flag_or(flags, "connect-timeout-secs", "10").parse::<u64>()? * 1_000_000_000;
     let vectors = output.scores.iter().map(|s| (s.node, s.probs.clone()));
-    let mut remote = agl::serve::RemoteStore::connect(&eps, vectors, &clock, timeout_ns)?;
+    let flush_every: u64 = flag_or(flags, "metrics-flush-every", "4").parse()?;
+    let mut remote =
+        agl::serve::RemoteStore::connect_with_obs(&eps, vectors, &clock, timeout_ns, obs.clone(), flush_every)?;
     println!("serve: {} vectors (dim {}) across {} worker processes", local.len(), remote.dim(), workers);
 
     // Spot-check: a deterministic sample of point lookups plus one top-k

@@ -28,7 +28,7 @@ use agl_graph::{EdgeTable, NodeTable};
 use agl_mapreduce::transport::Endpoint;
 use agl_mapreduce::{DistOptions, JobReport};
 use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
-use agl_obs::Clock;
+use agl_obs::{Clock, Obs};
 use agl_ps::{Consistency, OptSpec, PsClient, PsNetError, PsStats, RemotePs};
 use agl_trainer::{DistTrainer, TrainOptions};
 use std::path::{Path, PathBuf};
@@ -65,6 +65,11 @@ pub struct DistRunConfig {
     pub kill_ps_after: Option<u64>,
     /// Socket connect / RPC-read deadlines.
     pub opts: DistOptions,
+    /// Observability sink for the whole job. When enabled, the driver's
+    /// trace identity is propagated to every worker process over the wire,
+    /// worker spans/counters are merged back on shutdown, and RPC telemetry
+    /// is recorded per shard. Inert by default (zero cost).
+    pub obs: Obs,
 }
 
 impl Default for DistRunConfig {
@@ -83,6 +88,7 @@ impl Default for DistRunConfig {
             kill_shuffle_after: None,
             kill_ps_after: None,
             opts: DistOptions::default(),
+            obs: Obs::default(),
         }
     }
 }
@@ -292,7 +298,9 @@ pub fn run_distributed_job(cfg: &DistRunConfig) -> Result<DistRunSummary, Box<dy
     // ---- GraphFlat across shuffle-worker processes ----
     let (nodes, edges) = synthetic_tables(cfg);
     let targets = TargetSpec::All;
-    let flat = GraphFlat::new(flat_config(cfg));
+    let mut flat_cfg = flat_config(cfg);
+    flat_cfg.engine.obs = cfg.obs.clone();
+    let flat = GraphFlat::new(flat_cfg);
     let killed = AtomicBool::new(false);
     let kill_hook = cfg.kill_shuffle_after.map(|after| {
         let reaper = &reaper;
@@ -316,9 +324,10 @@ pub fn run_distributed_job(cfg: &DistRunConfig) -> Result<DistRunSummary, Box<dy
     }
 
     // ---- distributed training across PS-shard processes ----
-    let opts = train_options(cfg);
+    let mut opts = train_options(cfg);
+    opts.engine.obs = cfg.obs.clone();
     let mut model = build_model(&out.examples, cfg.seed)?;
-    let remote = RemotePs::connect(
+    let remote = RemotePs::connect_with_obs(
         &ps_eps,
         &model.param_vector(),
         cfg.train_workers,
@@ -326,8 +335,9 @@ pub fn run_distributed_job(cfg: &DistRunConfig) -> Result<DistRunSummary, Box<dy
         OptSpec::Adam { lr: opts.lr },
         cfg.opts.connect_timeout_ns,
         cfg.opts.io_timeout_ns,
+        cfg.obs.clone(),
     )?;
-    let mut trainer = DistTrainer::new(cfg.train_workers, opts.clone());
+    let mut trainer = DistTrainer::new(cfg.train_workers, opts);
     trainer.n_shards = cfg.ps_shards;
     let train_start = clock.now();
     let result = match cfg.kill_ps_after {
@@ -366,7 +376,9 @@ pub fn run_distributed_job(cfg: &DistRunConfig) -> Result<DistRunSummary, Box<dy
             }
         }
         let mut local_model = build_model(&local_flat.examples, cfg.seed)?;
-        let mut local_trainer = DistTrainer::new(cfg.train_workers, opts);
+        // Fresh options: the in-process re-run must stay off the job trace,
+        // or its spans would duplicate the distributed run's.
+        let mut local_trainer = DistTrainer::new(cfg.train_workers, train_options(cfg));
         local_trainer.n_shards = cfg.ps_shards;
         local_trainer.train(&mut local_model, &local_flat.examples, None);
         let (dist_p, local_p) = (model.param_vector(), local_model.param_vector());

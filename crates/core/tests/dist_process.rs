@@ -127,6 +127,67 @@ fn sigkilled_ps_shard_fails_typed_and_bounded() {
 }
 
 #[test]
+fn traced_dist_run_is_deterministic_and_golden_pinned() {
+    // Two same-seed 2-worker runs under the logical clock must produce
+    // byte-identical merged trace and metrics artifacts, and the trace is
+    // additionally pinned to a golden file so cross-process span-merge
+    // drift (ordering, ids, parenting) shows up as a diff. Regenerate a
+    // deliberate change with
+    // `AGL_UPDATE_GOLDEN=1 cargo test -p agl --test dist_process`.
+    let mut artifacts = Vec::new();
+    for run in 0..2 {
+        let dir = temp_dir(&format!("traced{run}"));
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let out = dist_run(
+            &dir,
+            &[
+                "--epochs",
+                "1",
+                "--clock",
+                "logical",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ],
+        );
+        assert!(
+            out.status.success(),
+            "traced dist-run failed:\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        artifacts.push((std::fs::read_to_string(&trace).unwrap(), std::fs::read_to_string(&metrics).unwrap()));
+        assert_no_leaks(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(artifacts[0].0, artifacts[1].0, "logical-clock merged trace must be byte-identical across runs");
+    assert_eq!(artifacts[0].1, artifacts[1].1, "logical-clock metrics dump must be byte-identical across runs");
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/dist_trace.json");
+    if std::env::var_os("AGL_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &artifacts[0].0).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — regenerate with AGL_UPDATE_GOLDEN=1 cargo test -p agl --test dist_process");
+    assert_eq!(
+        artifacts[0].0, golden,
+        "merged dist trace drifted from tests/golden/dist_trace.json; if the change \
+         is deliberate, regenerate with AGL_UPDATE_GOLDEN=1"
+    );
+
+    // The offline analyzer must see the merge as causally linked: every
+    // worker span parented under a driver RPC span, RPC telemetry nonzero.
+    let report = agl::mapreduce::ObsReport::from_artifacts(&golden, None).expect("obs-report parses the golden");
+    assert!(report.worker_spans > 0, "no worker spans in the merged trace");
+    assert_eq!(
+        report.parented_worker_spans, report.worker_spans,
+        "every worker span must parent under a driver RPC span"
+    );
+}
+
+#[test]
 fn dist_worker_rejects_unknown_role() {
     let out = Command::new(cli())
         .args(["dist-worker", "--role", "mapper", "--listen", "unix:/tmp/never-bound.sock"])

@@ -532,6 +532,7 @@ impl GraphFlat {
             // records; debug builds verify the chain at construction.
             plan: Some(JobPlan::homogeneous(WireSig("flat-key/flat-msg"), self.cfg.k_hops + 1)),
             verify_determinism: cfg!(debug_assertions),
+            metrics_flush_every: 4,
             obs: self.cfg.engine.obs.clone(),
         }
     }

@@ -352,6 +352,7 @@ impl GraphInfer {
             // join + K slice rounds + prediction all speak InferMsg.
             plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
             verify_determinism: cfg!(debug_assertions),
+            metrics_flush_every: 4,
             obs: self.cfg.engine.obs.clone(),
         });
         let result = job.run(&inputs, &InferMapper, &reducer)?;

@@ -119,6 +119,102 @@ pub fn get_f32s(input: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
     Ok(out)
 }
 
+/// Version byte for the span-context wire header; bump on layout change.
+const SPAN_CTX_VERSION: u8 = 1;
+
+/// Append an optional span context header: a presence/version byte (`0` =
+/// absent, `1` = v1) followed by `trace_id` and `span_id` for v1. Every RPC
+/// request carries one so server-side spans can parent under the caller.
+pub fn put_span_ctx(buf: &mut Vec<u8>, ctx: Option<agl_obs::SpanContext>) {
+    match ctx {
+        None => put_u8(buf, 0),
+        Some(c) => {
+            put_u8(buf, SPAN_CTX_VERSION);
+            put_u64(buf, c.trace_id);
+            put_u64(buf, c.span_id);
+        }
+    }
+}
+
+/// Decode a span context header written by [`put_span_ctx`]. An unknown
+/// version byte is an error — a silently dropped context would sever the
+/// causal chain without anyone noticing.
+pub fn get_span_ctx(input: &mut &[u8]) -> Result<Option<agl_obs::SpanContext>, CodecError> {
+    match get_u8(input)? {
+        0 => Ok(None),
+        1 => {
+            let trace_id = get_u64(input)?;
+            let span_id = get_u64(input)?;
+            Ok(Some(agl_obs::SpanContext { trace_id, span_id }))
+        }
+        v => Err(CodecError(format!("unknown span context version {v}"))),
+    }
+}
+
+/// Append a counter snapshot: `u32` count, then `(name, value)` pairs.
+/// Used by the `MetricsSnapshot` / `Bye` messages that ship worker-side
+/// metrics to the driver.
+pub fn put_counters(buf: &mut Vec<u8>, counters: &[(String, u64)]) {
+    put_u32(buf, counters.len() as u32);
+    for (name, value) in counters {
+        put_bytes(buf, name.as_bytes());
+        put_u64(buf, *value);
+    }
+}
+
+/// Decode a counter snapshot written by [`put_counters`].
+pub fn get_counters(input: &mut &[u8]) -> Result<Vec<(String, u64)>, CodecError> {
+    let n = get_u32(input)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = String::from_utf8(get_bytes(input)?.to_vec()).map_err(|e| CodecError(e.to_string()))?;
+        out.push((name, get_u64(input)?));
+    }
+    Ok(out)
+}
+
+/// Append one [`agl_obs::TraceEvent`] — the unit every `Bye`/shutdown
+/// message uses to ship a worker's spans back to its driver.
+pub fn put_trace_event(buf: &mut Vec<u8>, e: &agl_obs::TraceEvent) {
+    put_bytes(buf, e.track.as_bytes());
+    put_u64(buf, e.seq);
+    put_bytes(buf, e.name.as_bytes());
+    put_u64(buf, e.ts);
+    put_u64(buf, e.dur);
+    put_u64(buf, e.depth as u64);
+    put_u64(buf, e.span_id);
+    put_u64(buf, e.parent_id);
+    put_u32(buf, e.args.len() as u32);
+    for (k, v) in &e.args {
+        put_bytes(buf, k.as_bytes());
+        put_u64(buf, *v);
+    }
+}
+
+fn get_string(input: &mut &[u8]) -> Result<String, CodecError> {
+    String::from_utf8(get_bytes(input)?.to_vec()).map_err(|e| CodecError(format!("non-utf8 string: {e}")))
+}
+
+/// Decode a trace event written by [`put_trace_event`].
+pub fn get_trace_event(input: &mut &[u8]) -> Result<agl_obs::TraceEvent, CodecError> {
+    let track = get_string(input)?;
+    let seq = get_u64(input)?;
+    let name = get_string(input)?;
+    let ts = get_u64(input)?;
+    let dur = get_u64(input)?;
+    let depth = get_u64(input)? as usize;
+    let span_id = get_u64(input)?;
+    let parent_id = get_u64(input)?;
+    let n_args = get_u32(input)? as usize;
+    let mut args = Vec::with_capacity(n_args);
+    for _ in 0..n_args {
+        let k = get_string(input)?;
+        let v = get_u64(input)?;
+        args.push((k, v));
+    }
+    Ok(agl_obs::TraceEvent { track, seq, name, ts, dur, depth, span_id, parent_id, args })
+}
+
 impl Codec for u64 {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_u64(buf, *self);
@@ -216,6 +312,67 @@ mod tests {
             let b = s.clone().to_bytes();
             assert_eq!(String::from_bytes(&b).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn span_ctx_header_round_trips() {
+        let mut buf = Vec::new();
+        put_span_ctx(&mut buf, None);
+        put_span_ctx(&mut buf, Some(agl_obs::SpanContext { trace_id: 7, span_id: u64::MAX - 1 }));
+        let mut r: &[u8] = &buf;
+        assert_eq!(get_span_ctx(&mut r).unwrap(), None);
+        let ctx = get_span_ctx(&mut r).unwrap().unwrap();
+        assert_eq!((ctx.trace_id, ctx.span_id), (7, u64::MAX - 1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn span_ctx_unknown_version_rejected() {
+        let mut r: &[u8] = &[9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let err = get_span_ctx(&mut r).unwrap_err();
+        assert!(err.0.contains("unknown span context version 9"), "{err}");
+    }
+
+    #[test]
+    fn span_ctx_truncated_rejected() {
+        let mut buf = Vec::new();
+        put_span_ctx(&mut buf, Some(agl_obs::SpanContext { trace_id: 1, span_id: 2 }));
+        let mut r: &[u8] = &buf[..buf.len() - 3];
+        assert!(get_span_ctx(&mut r).is_err());
+    }
+
+    #[test]
+    fn counters_round_trip() {
+        let counters = vec![("a.b".to_string(), 0u64), ("w0.reduce".to_string(), u64::MAX)];
+        let mut buf = Vec::new();
+        put_counters(&mut buf, &counters);
+        let mut r: &[u8] = &buf;
+        assert_eq!(get_counters(&mut r).unwrap(), counters);
+        assert!(r.is_empty());
+        // Truncated: count claims more entries than the payload holds.
+        let mut short: &[u8] = &buf[..buf.len() - 4];
+        assert!(get_counters(&mut short).is_err());
+    }
+
+    #[test]
+    fn trace_event_round_trips_span_identities() {
+        let e = agl_obs::TraceEvent {
+            track: "w0/reduce.r0.p1".to_string(),
+            seq: 3,
+            name: "reduce".to_string(),
+            ts: 10,
+            dur: 5,
+            depth: 1,
+            span_id: u64::MAX - 7,
+            parent_id: 42,
+            args: vec![("records".to_string(), 9)],
+        };
+        let mut buf = Vec::new();
+        put_trace_event(&mut buf, &e);
+        let mut r: &[u8] = &buf;
+        let back = get_trace_event(&mut r).unwrap();
+        assert_eq!(format!("{e:?}"), format!("{back:?}"));
+        assert!(r.is_empty());
     }
 
     #[test]

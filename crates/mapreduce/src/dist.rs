@@ -34,7 +34,7 @@ use crate::engine::{
     lock_ignoring_poison, reduce_partition, JobConfig, JobError, JobResult, KeyValue, Mapper, Reducer,
 };
 use crate::hash::partition;
-use crate::transport::{connect, Endpoint, Framed, Listener, TransportError};
+use crate::transport::{connect, Endpoint, FrameStats, Framed, Listener, TransportError};
 use agl_obs::{Clock, Obs, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -89,50 +89,22 @@ fn get_kvs(input: &mut &[u8]) -> Result<Vec<KeyValue>, CodecError> {
     Ok(out)
 }
 
-fn put_trace_event(buf: &mut Vec<u8>, e: &TraceEvent) {
-    codec::put_bytes(buf, e.track.as_bytes());
-    codec::put_u64(buf, e.seq);
-    codec::put_bytes(buf, e.name.as_bytes());
-    codec::put_u64(buf, e.ts);
-    codec::put_u64(buf, e.dur);
-    codec::put_u64(buf, e.depth as u64);
-    codec::put_u32(buf, e.args.len() as u32);
-    for (k, v) in &e.args {
-        codec::put_bytes(buf, k.as_bytes());
-        codec::put_u64(buf, *v);
-    }
-}
-
 fn get_string(input: &mut &[u8]) -> Result<String, CodecError> {
     String::from_utf8(codec::get_bytes(input)?.to_vec()).map_err(|e| CodecError(format!("non-utf8 string: {e}")))
-}
-
-fn get_trace_event(input: &mut &[u8]) -> Result<TraceEvent, CodecError> {
-    let track = get_string(input)?;
-    let seq = codec::get_u64(input)?;
-    let name = get_string(input)?;
-    let ts = codec::get_u64(input)?;
-    let dur = codec::get_u64(input)?;
-    let depth = codec::get_u64(input)? as usize;
-    let n_args = codec::get_u32(input)? as usize;
-    let mut args = Vec::with_capacity(n_args);
-    for _ in 0..n_args {
-        let k = get_string(input)?;
-        let v = codec::get_u64(input)?;
-        args.push((k, v));
-    }
-    Ok(TraceEvent { track, seq, name, ts, dur, depth, args })
 }
 
 /// Driver → worker messages.
 #[derive(Debug)]
 enum DriverMsg {
     /// First message on the connection: the pipeline-defined reducer spec
-    /// (opaque to this crate), the shuffle fan-out, and whether the worker
-    /// should record a trace to ship back.
-    Init { spec: Vec<u8>, r_parts: u32, trace: bool },
-    /// Reduce one partition's records for `round`.
-    Reduce { round: u32, part: u32, records: Vec<KeyValue> },
+    /// (opaque to this crate), the shuffle fan-out, whether the worker
+    /// should record a trace to ship back, the job's shared trace identity
+    /// (`trace_id` + this worker's span-id `salt`), and the metrics flush
+    /// cadence (`flush_every` tasks; 0 disables mid-flight snapshots).
+    Init { spec: Vec<u8>, r_parts: u32, trace: bool, trace_id: u64, salt: u64, flush_every: u64 },
+    /// Reduce one partition's records for `round`. `ctx` is the driver-side
+    /// RPC span issuing this task; the worker's reduce span parents under it.
+    Reduce { round: u32, part: u32, ctx: Option<agl_obs::SpanContext>, records: Vec<KeyValue> },
     /// Finish up: reply with `Bye` and exit.
     Shutdown,
 }
@@ -141,19 +113,34 @@ const DM_INIT: u8 = 0;
 const DM_REDUCE: u8 = 1;
 const DM_SHUTDOWN: u8 = 2;
 
+/// Metric name for a driver→worker shuffle message tag (see
+/// [`crate::transport::FrameStats`]).
+pub fn driver_msg_name(tag: u8) -> &'static str {
+    match tag {
+        DM_INIT => "init",
+        DM_REDUCE => "reduce",
+        DM_SHUTDOWN => "shutdown",
+        _ => "unknown",
+    }
+}
+
 impl Codec for DriverMsg {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            DriverMsg::Init { spec, r_parts, trace } => {
+            DriverMsg::Init { spec, r_parts, trace, trace_id, salt, flush_every } => {
                 codec::put_u8(buf, DM_INIT);
                 codec::put_bytes(buf, spec);
                 codec::put_u32(buf, *r_parts);
                 codec::put_u8(buf, u8::from(*trace));
+                codec::put_u64(buf, *trace_id);
+                codec::put_u64(buf, *salt);
+                codec::put_u64(buf, *flush_every);
             }
-            DriverMsg::Reduce { round, part, records } => {
+            DriverMsg::Reduce { round, part, ctx, records } => {
                 codec::put_u8(buf, DM_REDUCE);
                 codec::put_u32(buf, *round);
                 codec::put_u32(buf, *part);
+                codec::put_span_ctx(buf, *ctx);
                 put_kvs(buf, records);
             }
             DriverMsg::Shutdown => codec::put_u8(buf, DM_SHUTDOWN),
@@ -166,13 +153,17 @@ impl Codec for DriverMsg {
                 let spec = codec::get_bytes(input)?.to_vec();
                 let r_parts = codec::get_u32(input)?;
                 let trace = codec::get_u8(input)? != 0;
-                Ok(DriverMsg::Init { spec, r_parts, trace })
+                let trace_id = codec::get_u64(input)?;
+                let salt = codec::get_u64(input)?;
+                let flush_every = codec::get_u64(input)?;
+                Ok(DriverMsg::Init { spec, r_parts, trace, trace_id, salt, flush_every })
             }
             DM_REDUCE => {
                 let round = codec::get_u32(input)?;
                 let part = codec::get_u32(input)?;
+                let ctx = codec::get_span_ctx(input)?;
                 let records = get_kvs(input)?;
-                Ok(DriverMsg::Reduce { round, part, records })
+                Ok(DriverMsg::Reduce { round, part, ctx, records })
             }
             DM_SHUTDOWN => Ok(DriverMsg::Shutdown),
             t => Err(CodecError(format!("unknown driver message tag {t}"))),
@@ -190,6 +181,11 @@ enum WorkerMsg {
     /// Shutdown acknowledgement: worker-local counters and trace events
     /// for the driver's merged report.
     Bye { counters: Vec<(String, u64)>, trace: Vec<TraceEvent> },
+    /// Mid-flight metrics snapshot: a *cumulative* view of the worker's
+    /// counters, flushed every `flush_every` completed tasks so the driver
+    /// sees progress before shutdown. Cumulative + merged with `record_max`
+    /// means a lost or duplicated snapshot never skews totals.
+    Metrics { counters: Vec<(String, u64)> },
     /// Worker-side setup failure (bad spec).
     Err { msg: String },
 }
@@ -198,6 +194,20 @@ const WM_INIT_OK: u8 = 0;
 const WM_REDUCE_DONE: u8 = 1;
 const WM_BYE: u8 = 2;
 const WM_ERR: u8 = 3;
+const WM_METRICS: u8 = 4;
+
+/// Metric name for a worker→driver shuffle message tag (see
+/// [`crate::transport::FrameStats`]).
+pub fn worker_msg_name(tag: u8) -> &'static str {
+    match tag {
+        WM_INIT_OK => "init_ok",
+        WM_REDUCE_DONE => "reduce_done",
+        WM_BYE => "bye",
+        WM_ERR => "err",
+        WM_METRICS => "metrics",
+        _ => "unknown",
+    }
+}
 
 impl Codec for WorkerMsg {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -214,15 +224,15 @@ impl Codec for WorkerMsg {
             }
             WorkerMsg::Bye { counters, trace } => {
                 codec::put_u8(buf, WM_BYE);
-                codec::put_u32(buf, counters.len() as u32);
-                for (k, v) in counters {
-                    codec::put_bytes(buf, k.as_bytes());
-                    codec::put_u64(buf, *v);
-                }
+                codec::put_counters(buf, counters);
                 codec::put_u32(buf, trace.len() as u32);
                 for e in trace {
-                    put_trace_event(buf, e);
+                    codec::put_trace_event(buf, e);
                 }
+            }
+            WorkerMsg::Metrics { counters } => {
+                codec::put_u8(buf, WM_METRICS);
+                codec::put_counters(buf, counters);
             }
             WorkerMsg::Err { msg } => {
                 codec::put_u8(buf, WM_ERR);
@@ -245,20 +255,15 @@ impl Codec for WorkerMsg {
                 Ok(WorkerMsg::ReduceDone { part, emitted, out_buckets })
             }
             WM_BYE => {
-                let n = codec::get_u32(input)? as usize;
-                let mut counters = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let k = get_string(input)?;
-                    let v = codec::get_u64(input)?;
-                    counters.push((k, v));
-                }
+                let counters = codec::get_counters(input)?;
                 let n = codec::get_u32(input)? as usize;
                 let mut trace = Vec::with_capacity(n);
                 for _ in 0..n {
-                    trace.push(get_trace_event(input)?);
+                    trace.push(codec::get_trace_event(input)?);
                 }
                 Ok(WorkerMsg::Bye { counters, trace })
             }
+            WM_METRICS => Ok(WorkerMsg::Metrics { counters: codec::get_counters(input)? }),
             WM_ERR => Ok(WorkerMsg::Err { msg: get_string(input)? }),
             t => Err(CodecError(format!("unknown worker message tag {t}"))),
         }
@@ -291,14 +296,17 @@ pub fn serve_shuffle(
     let Some(first) = framed.recv()? else {
         return Ok(());
     };
-    let (spec, r_parts, trace) = match DriverMsg::from_bytes(&first).map_err(proto)? {
-        DriverMsg::Init { spec, r_parts, trace } => (spec, r_parts as usize, trace),
+    let (spec, r_parts, trace, trace_id, salt, flush_every) = match DriverMsg::from_bytes(&first).map_err(proto)? {
+        DriverMsg::Init { spec, r_parts, trace, trace_id, salt, flush_every } => {
+            (spec, r_parts as usize, trace, trace_id, salt, flush_every)
+        }
         other => return Err(TransportError::Protocol(format!("expected Init, got {other:?}"))),
     };
     // A logical clock makes the shipped trace deterministic for a seeded
     // job; monotonic worker timestamps would not merge meaningfully with
-    // the driver's clock anyway.
-    let obs = if trace { Obs::enabled_logical() } else { Obs::default() };
+    // the driver's clock anyway. The driver-assigned identity keeps span
+    // ids collision-free when this trace merges into the driver's.
+    let obs = if trace { Obs::enabled_with_identity(Clock::logical(), trace_id, salt) } else { Obs::default() };
     let counters = Counters::new();
     let reducer = match factory(&spec, &counters) {
         Ok(r) => r,
@@ -308,6 +316,7 @@ pub fn serve_shuffle(
         }
     };
     framed.send(&WorkerMsg::InitOk.to_bytes())?;
+    let mut tasks_done = 0u64;
     loop {
         let Some(bytes) = framed.recv()? else {
             // Driver vanished between frames: exit cleanly so no process
@@ -318,8 +327,11 @@ pub fn serve_shuffle(
             DriverMsg::Init { .. } => {
                 return Err(TransportError::Protocol("duplicate Init".to_string()));
             }
-            DriverMsg::Reduce { round, part, records } => {
-                let span = obs.span(&format!("reduce.r{round}.p{part}"), "reduce");
+            DriverMsg::Reduce { round, part, ctx, records } => {
+                // Parent under the driver RPC span that issued this task —
+                // the causal edge the merged Chrome trace renders as a flow
+                // arrow from `dist.w{i}` into this worker's lane.
+                let span = obs.span_child_of(&format!("reduce.r{round}.p{part}"), "reduce", ctx);
                 counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
                 // verify_determinism=false: the debug double-run never
                 // changes output (pinned by an engine test), and the
@@ -328,6 +340,13 @@ pub fn serve_shuffle(
                 counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
                 counters.inc("worker.tasks");
                 drop(span);
+                tasks_done += 1;
+                // Task-count pacing is the logical-clock analogue of a
+                // periodic timer: deterministic for a seeded job, and it
+                // fires exactly when there is something new to report.
+                if flush_every > 0 && tasks_done % flush_every == 0 {
+                    framed.send(&WorkerMsg::Metrics { counters: counters.snapshot() }.to_bytes())?;
+                }
                 framed.send(
                     &WorkerMsg::ReduceDone { part, emitted: reduced.emitted, out_buckets: reduced.out_buckets }
                         .to_bytes(),
@@ -354,9 +373,17 @@ pub struct DistJob {
 }
 
 /// Per-round dispatch state shared by the driver's per-worker threads.
+///
+/// Dispatch is *static*: partition `p` is homed on worker `p % W` via
+/// per-worker queues, so a fault-free run assigns every task to the same
+/// worker on every execution — the property that makes the merged trace
+/// byte-identical for seeded runs. The shared `overflow` queue only ever
+/// holds tasks re-queued from a dead worker; survivors steal from it after
+/// draining their own queue, restoring the failure-recovery behaviour.
 struct RoundState<'a> {
     partition_data: &'a [Vec<KeyValue>],
-    queue: Mutex<VecDeque<(usize, usize)>>,
+    queues: Vec<Mutex<VecDeque<(usize, usize)>>>,
+    overflow: Mutex<VecDeque<(usize, usize)>>,
     slots: Vec<Mutex<Option<Vec<Vec<KeyValue>>>>>,
     filled: AtomicUsize,
     fatal: Mutex<Option<JobError>>,
@@ -414,15 +441,26 @@ impl DistJob {
         // Connect to every worker and initialise it. Startup is all-or-
         // nothing: a worker that cannot be reached here is a deployment
         // failure, not a mid-job fault.
+        let trace_id = obs.trace().map(|t| t.trace_id()).unwrap_or(0);
         let mut conns: Vec<Option<Framed>> = Vec::with_capacity(endpoints.len());
-        for ep in endpoints {
+        for (w, ep) in endpoints.iter().enumerate() {
             let conn = connect(ep, &clock, self.opts.connect_timeout_ns)?;
             conn.set_read_timeout(Some(Duration::from_nanos(self.opts.io_timeout_ns))).map_err(JobError::Transport)?;
-            let mut framed = Framed::new(conn);
+            let stats = FrameStats::from_obs(obs, &format!("shuffle.w{w}"), driver_msg_name, worker_msg_name);
+            let mut framed = Framed::new(conn).with_stats(stats);
             framed
                 .send(
-                    &DriverMsg::Init { spec: spec.to_vec(), r_parts: r_parts as u32, trace: obs.is_enabled() }
-                        .to_bytes(),
+                    &DriverMsg::Init {
+                        spec: spec.to_vec(),
+                        r_parts: r_parts as u32,
+                        trace: obs.is_enabled(),
+                        trace_id,
+                        // Salt 0 is the driver's; worker `w` gets `w + 1` so
+                        // merged span ids stay collision-free.
+                        salt: w as u64 + 1,
+                        flush_every: self.cfg.metrics_flush_every,
+                    }
+                    .to_bytes(),
                 )
                 .map_err(JobError::Transport)?;
             match framed.recv().map_err(JobError::Transport)? {
@@ -489,9 +527,14 @@ impl DistJob {
             }
             round_span.counter("input_records", round_records);
 
+            let mut queues: Vec<VecDeque<(usize, usize)>> = (0..endpoints.len()).map(|_| VecDeque::new()).collect();
+            for p in 0..r_parts {
+                queues[p % endpoints.len()].push_back((p, 0usize));
+            }
             let state = RoundState {
                 partition_data: &partitions,
-                queue: Mutex::new((0..r_parts).map(|p| (p, 0usize)).collect()),
+                queues: queues.into_iter().map(Mutex::new).collect(),
+                overflow: Mutex::new(VecDeque::new()),
                 slots: (0..r_parts).map(|_| Mutex::new(None)).collect(),
                 filled: AtomicUsize::new(0),
                 fatal: Mutex::new(None),
@@ -507,7 +550,15 @@ impl DistJob {
                         let counters = &counters;
                         scope.spawn(move || match framed {
                             Some(f) => self.drive_worker(w, f, round, state, counters, obs, on_dispatch),
-                            None => None,
+                            None => {
+                                // A worker lost in an earlier round still
+                                // has a home queue this round: hand its
+                                // tasks to the survivors.
+                                let mut overflow = lock_ignoring_poison(&state.overflow);
+                                let mut own = lock_ignoring_poison(&state.queues[w]);
+                                overflow.extend(own.drain(..));
+                                None
+                            }
                         })
                     })
                     .collect();
@@ -563,8 +614,11 @@ impl DistJob {
             match bye {
                 Ok(Some(bytes)) => {
                     if let Ok(WorkerMsg::Bye { counters: wc, trace }) = WorkerMsg::from_bytes(&bytes) {
+                        // `record_max`, not `add`: mid-flight `Metrics`
+                        // snapshots already merged prefixes of these
+                        // cumulative values, and adding would double-count.
                         for (name, v) in wc {
-                            counters.add(&format!("w{w}.{name}"), v);
+                            counters.record_max(&format!("w{w}.{name}"), v);
                         }
                         obs.import_trace(&format!("w{w}/"), trace);
                     }
@@ -603,49 +657,80 @@ impl DistJob {
             if state.filled.load(Ordering::SeqCst) == state.slots.len() {
                 return Some(framed);
             }
-            let task = lock_ignoring_poison(&state.queue).pop_front();
+            // Home queue first (static assignment), then stolen work from
+            // dead workers.
+            let task = lock_ignoring_poison(&state.queues[w])
+                .pop_front()
+                .or_else(|| lock_ignoring_poison(&state.overflow).pop_front());
             let Some((p, attempt)) = task else {
-                // Queue drained but slots outstanding: another worker is
+                // Queues drained but slots outstanding: another worker is
                 // in flight (or just died and is about to re-queue). Poll.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             };
             let mut span = obs.span(&format!("dist.w{w}"), &format!("rpc.reduce.r{round}"));
             span.counter("partition", p as u64);
+            let ctx = span.context();
             let sent = framed.send(
-                &DriverMsg::Reduce { round: round as u32, part: p as u32, records: state.partition_data[p].clone() }
-                    .to_bytes(),
+                &DriverMsg::Reduce {
+                    round: round as u32,
+                    part: p as u32,
+                    ctx,
+                    records: state.partition_data[p].clone(),
+                }
+                .to_bytes(),
             );
             if sent.is_ok() {
+                counters.inc("reduce.attempted_tasks");
                 let n = state.dispatched.fetch_add(1, Ordering::SeqCst) + 1;
                 if let Some(hook) = on_dispatch {
                     hook(n);
                 }
             }
-            let reply = match sent.and_then(|()| framed.recv()) {
-                Ok(Some(bytes)) => bytes,
-                Ok(None) | Err(_) => {
-                    // Worker died (EOF / timeout / reset): re-queue the
-                    // partition for a surviving worker, retire this
-                    // connection.
-                    counters.inc("task_retries");
-                    span.counter("retries", 1);
-                    if attempt + 1 >= self.cfg.max_attempts {
-                        lock_ignoring_poison(&state.fatal).get_or_insert_with(|| {
-                            JobError::Transport(TransportError::Protocol(format!(
-                                "partition {p} of round {round} exhausted {} attempts across workers",
-                                self.cfg.max_attempts
-                            )))
-                        });
-                    } else {
-                        lock_ignoring_poison(&state.queue).push_back((p, attempt + 1));
+            // Absorb any mid-flight metrics snapshots the worker flushed
+            // ahead of its reply. Snapshots are cumulative, so merging with
+            // `record_max` is idempotent and a final `Bye` supersedes them.
+            let mut outcome = sent.and_then(|()| framed.recv());
+            let reply = loop {
+                let bytes = match outcome {
+                    Ok(Some(bytes)) => bytes,
+                    Ok(None) | Err(_) => {
+                        // Worker died (EOF / timeout / reset): re-queue the
+                        // partition for a surviving worker, retire this
+                        // connection (and push its remaining home queue to
+                        // the survivors too).
+                        counters.inc("task_retries");
+                        span.counter("retries", 1);
+                        if attempt + 1 >= self.cfg.max_attempts {
+                            lock_ignoring_poison(&state.fatal).get_or_insert_with(|| {
+                                JobError::Transport(TransportError::Protocol(format!(
+                                    "partition {p} of round {round} exhausted {} attempts across workers",
+                                    self.cfg.max_attempts
+                                )))
+                            });
+                        } else {
+                            let mut overflow = lock_ignoring_poison(&state.overflow);
+                            overflow.push_back((p, attempt + 1));
+                            let mut own = lock_ignoring_poison(&state.queues[w]);
+                            overflow.extend(own.drain(..));
+                        }
+                        return None;
                     }
-                    return None;
+                };
+                match WorkerMsg::from_bytes(&bytes) {
+                    Ok(WorkerMsg::Metrics { counters: snapshot }) => {
+                        for (name, v) in snapshot {
+                            counters.record_max(&format!("w{w}.{name}"), v);
+                        }
+                        outcome = framed.recv();
+                    }
+                    other => break other,
                 }
             };
-            match WorkerMsg::from_bytes(&reply) {
+            match reply {
                 Ok(WorkerMsg::ReduceDone { part, emitted, out_buckets }) if part as usize == p => {
                     counters.add(&format!("reduce.r{round}.output_records"), emitted);
+                    counters.inc("reduce.committed_tasks");
                     *lock_ignoring_poison(&state.slots[p]) = Some(out_buckets);
                     state.filled.fetch_add(1, Ordering::SeqCst);
                 }
@@ -810,8 +895,14 @@ mod tests {
     #[test]
     fn driver_msg_codec_round_trips() {
         let msgs = [
-            DriverMsg::Init { spec: vec![1, 2, 3], r_parts: 4, trace: true },
-            DriverMsg::Reduce { round: 1, part: 2, records: vec![KeyValue::new(b"k".to_vec(), b"v".to_vec())] },
+            DriverMsg::Init { spec: vec![1, 2, 3], r_parts: 4, trace: true, trace_id: 77, salt: 2, flush_every: 4 },
+            DriverMsg::Reduce {
+                round: 1,
+                part: 2,
+                ctx: Some(agl_obs::SpanContext { trace_id: 77, span_id: 0xFEED }),
+                records: vec![KeyValue::new(b"k".to_vec(), b"v".to_vec())],
+            },
+            DriverMsg::Reduce { round: 0, part: 0, ctx: None, records: vec![] },
             DriverMsg::Shutdown,
         ];
         for m in msgs {
@@ -819,6 +910,21 @@ mod tests {
             let back = DriverMsg::from_bytes(&bytes).unwrap();
             assert_eq!(format!("{m:?}"), format!("{back:?}"));
         }
+    }
+
+    #[test]
+    fn reduce_with_unknown_ctx_version_is_rejected() {
+        let msg = DriverMsg::Reduce {
+            round: 0,
+            part: 0,
+            ctx: Some(agl_obs::SpanContext { trace_id: 1, span_id: 2 }),
+            records: vec![],
+        };
+        let mut bytes = msg.to_bytes();
+        // The ctx header version byte sits right after tag + round + part.
+        bytes[9] = 250;
+        let err = DriverMsg::from_bytes(&bytes).unwrap_err();
+        assert!(err.0.contains("unknown span context version 250"), "{err}");
     }
 
     #[test]
@@ -839,9 +945,12 @@ mod tests {
                     ts: 1,
                     dur: 2,
                     depth: 0,
+                    span_id: 11,
+                    parent_id: 12,
                     args: vec![("records".to_string(), 5)],
                 }],
             },
+            WorkerMsg::Metrics { counters: vec![("worker.tasks".to_string(), 3)] },
             WorkerMsg::Err { msg: "bad spec".to_string() },
         ];
         for m in msgs {
@@ -849,5 +958,79 @@ mod tests {
             let back = WorkerMsg::from_bytes(&bytes).unwrap();
             assert_eq!(format!("{m:?}"), format!("{back:?}"));
         }
+    }
+
+    #[test]
+    fn truncated_metrics_snapshot_is_rejected() {
+        let msg = WorkerMsg::Metrics { counters: vec![("a".to_string(), 1), ("b".to_string(), 2)] };
+        let bytes = msg.to_bytes();
+        let err = WorkerMsg::from_bytes(&bytes[..bytes.len() - 5]).unwrap_err();
+        assert!(err.0.contains("need"), "truncated decode is a typed error: {err}");
+    }
+
+    #[test]
+    fn worker_spans_parent_under_driver_rpc_spans() {
+        let dir = temp_dir("causal");
+        let obs = Obs::enabled_logical();
+        let cfg = JobConfig { reduce_rounds: 2, obs: obs.clone(), ..JobConfig::default() };
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("w{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        std::thread::scope(|s| {
+            for l in &listeners {
+                s.spawn(move || serve_shuffle(l, 5_000_000_000, &sum_factory).unwrap());
+            }
+            DistJob::new(cfg, opts()).run(&eps, b"spec", &word_inputs(), &WordMap).unwrap()
+        });
+        let events = obs.trace().unwrap().events();
+        let driver_ids: std::collections::BTreeSet<u64> =
+            events.iter().filter(|e| e.track.starts_with("dist.w")).map(|e| e.span_id).collect();
+        let worker_reduces: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.track.contains("/reduce.") && e.name == "reduce").collect();
+        assert!(!worker_reduces.is_empty(), "worker spans merged into the driver trace");
+        for e in &worker_reduces {
+            assert!(
+                driver_ids.contains(&e.parent_id),
+                "worker span {}/{} must parent under a driver rpc span, got parent {}",
+                e.track,
+                e.name,
+                e.parent_id
+            );
+        }
+        // Metrics flushed mid-flight and merged without double-counting:
+        // per-worker task counters equal the whole job's committed tasks.
+        let m = obs.metrics().unwrap();
+        let total_worker_tasks = m.get("w0.worker.tasks") + m.get("w1.worker.tasks");
+        assert_eq!(total_worker_tasks, m.get("reduce.committed_tasks"), "attempts == committed when nothing fails");
+        assert_eq!(m.get("reduce.attempted_tasks"), m.get("reduce.committed_tasks"));
+        assert!(m.get("rpc.shuffle.w0.send.reduce.frames") > 0, "rpc telemetry populated");
+        assert!(m.get("rpc.shuffle.w1.recv.reduce_done.bytes") > 0, "rpc byte totals populated");
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_worker_keeps_committed_tasks_exact() {
+        // The de-duplication pin: a worker that dies mid-task inflates
+        // attempts but never the committed count, and merged per-worker
+        // counters (record_max over cumulative snapshots) stay exact.
+        let dir = temp_dir("dedup");
+        let obs = Obs::enabled_logical();
+        let cfg = JobConfig { reduce_rounds: 2, obs: obs.clone(), metrics_flush_every: 1, ..JobConfig::default() };
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("w{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| serve_flaky(&listeners[0]));
+            s.spawn(|| serve_shuffle(&listeners[1], 5_000_000_000, &sum_factory).unwrap());
+            DistJob::new(cfg, opts()).run(&eps, b"spec", &word_inputs(), &WordMap).unwrap()
+        });
+        let m = obs.metrics().unwrap();
+        let committed = m.get("reduce.committed_tasks");
+        let attempted = m.get("reduce.attempted_tasks");
+        let total = (JobConfig::default().reduce_tasks * 2) as u64;
+        assert_eq!(committed, total, "every partition committed exactly once");
+        assert!(attempted > committed, "the killed task counts as an attempt: {attempted} vs {committed}");
+        assert_eq!(m.get("w1.worker.tasks"), committed, "survivor ran everything, snapshots not double-counted");
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -108,6 +108,11 @@ pub struct JobConfig {
     /// per-task spans and lands the job counters in the shared metrics
     /// registry. Disabled (`Obs::default()`) costs nothing on hot paths.
     pub obs: agl_obs::Obs,
+    /// Multi-process jobs only: every `metrics_flush_every` completed tasks
+    /// a worker ships a cumulative counter snapshot to the driver, so the
+    /// merged registry reflects mid-flight progress. Task-count pacing is
+    /// deterministic under the logical clock; `0` disables flushing.
+    pub metrics_flush_every: u64,
 }
 
 impl Default for JobConfig {
@@ -123,6 +128,7 @@ impl Default for JobConfig {
             plan: None,
             verify_determinism: cfg!(debug_assertions),
             obs: agl_obs::Obs::default(),
+            metrics_flush_every: 4,
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod dist;
 pub mod engine;
 pub mod fault;
 pub mod hash;
+pub mod obsreport;
 pub mod plan;
 pub mod report;
 pub mod spill;
@@ -45,7 +46,8 @@ pub use counters::Counters;
 pub use dist::{serve_shuffle, DistJob, DistOptions};
 pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
 pub use fault::{FaultPlan, TaskId, TaskKind};
+pub use obsreport::ObsReport;
 pub use plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};
 pub use report::{JobReport, RoundReport};
 pub use spill::SpillMode;
-pub use transport::{Conn, Endpoint, Framed, Listener, TransportError};
+pub use transport::{Conn, Endpoint, FrameStats, Framed, Listener, TransportError};

@@ -1,0 +1,385 @@
+//! Offline analysis of observability artifacts: the engine behind
+//! `agl-cli obs-report`.
+//!
+//! A distributed run writes two files — a merged Chrome trace (spans from
+//! the driver and every worker, causally linked by `sid`/`psid`) and a
+//! metrics JSON dump (counters + histograms, including the per-connection
+//! RPC telemetry from [`crate::transport::FrameStats`]). [`ObsReport`]
+//! reloads them, schema-validates the span identities, and derives the
+//! operational questions the ROADMAP's straggler/skew work needs answered:
+//! per-stage medians, a per-round straggler ranking across workers, and
+//! shuffle bytes per worker. Output is deterministic: every aggregation
+//! sorts on stable keys, so a logical-clock run renders byte-identically.
+
+use agl_obs::json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One span reloaded from the Chrome trace export.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// Track (lane) name, reconstructed from `thread_name` metadata.
+    pub track: String,
+    /// Span name.
+    pub name: String,
+    /// Begin timestamp (clock units as exported).
+    pub ts: f64,
+    /// Duration (clock units as exported).
+    pub dur: f64,
+    /// Stable span id (`sid` field).
+    pub span_id: u64,
+    /// Parent span id (`psid` field, 0 = root).
+    pub parent_id: u64,
+}
+
+/// Aggregate duration statistics for one span name.
+#[derive(Debug, Clone)]
+pub struct StageStat {
+    /// Span name the row aggregates.
+    pub name: String,
+    /// Number of spans with that name.
+    pub count: usize,
+    /// Median duration.
+    pub median: f64,
+    /// Maximum duration.
+    pub max: f64,
+    /// Summed duration.
+    pub total: f64,
+}
+
+/// One worker's reduce-span statistics within one round — a row of the
+/// straggler ranking.
+#[derive(Debug, Clone)]
+pub struct WorkerRoundStat {
+    /// Reduce round.
+    pub round: u32,
+    /// Worker lane prefix (e.g. `w0`).
+    pub worker: String,
+    /// Reduce tasks the worker executed in the round.
+    pub tasks: usize,
+    /// Median reduce-span duration.
+    pub median: f64,
+    /// Maximum reduce-span duration — the straggler sort key.
+    pub max: f64,
+    /// Summed reduce-span duration.
+    pub total: f64,
+}
+
+/// The assembled report. Build with [`ObsReport::from_artifacts`], print
+/// with [`ObsReport::render`].
+#[derive(Debug)]
+pub struct ObsReport {
+    /// All spans, in export order.
+    pub spans: Vec<SpanRow>,
+    /// Per-span-name statistics, sorted by name.
+    pub stages: Vec<StageStat>,
+    /// Per-round worker ranking, slowest (by max duration) first.
+    pub stragglers: Vec<WorkerRoundStat>,
+    /// `(worker, bytes)` sent to each worker over its shuffle connection,
+    /// from `rpc.shuffle.{worker}.send.*.bytes` counters. Empty without a
+    /// metrics artifact.
+    pub shuffle_bytes: Vec<(String, u64)>,
+    /// Spans on worker lanes (track contains `/`).
+    pub worker_spans: usize,
+    /// Worker-lane spans whose `psid` resolves to another span in the
+    /// trace — the causal-linkage health check.
+    pub parented_worker_spans: usize,
+    /// Total RPC frames across all `rpc.*.frames` counters.
+    pub rpc_messages: u64,
+    /// Number of `rpc.*` histograms present in the metrics artifact.
+    pub rpc_histograms: usize,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Format a duration: integral values (logical ticks) print without a
+/// fraction, fractional ones (monotonic microseconds) keep three decimals.
+fn fmt_dur(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// `w0/reduce.r1.p3` → `(worker "w0", round 1)`.
+fn worker_round(track: &str) -> Option<(String, u32)> {
+    let (worker, rest) = track.split_once('/')?;
+    let after = rest.strip_prefix("reduce.r")?;
+    let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let round = digits.parse().ok()?;
+    Some((worker.to_string(), round))
+}
+
+impl ObsReport {
+    /// Parse the trace artifact (required) and metrics artifact (optional),
+    /// validating the schema: a `traceEvents` array whose `X` events all
+    /// carry numeric `sid`/`psid` span identities.
+    pub fn from_artifacts(trace_json: &str, metrics_json: Option<&str>) -> Result<Self, String> {
+        let trace = Value::parse(trace_json).map_err(|e| format!("trace artifact: {e}"))?;
+        let events =
+            trace.get("traceEvents").and_then(Value::as_arr).ok_or("trace artifact: missing traceEvents array")?;
+
+        let mut tracks: BTreeMap<u64, String> = BTreeMap::new();
+        for ev in events {
+            if ev.get("ph").and_then(Value::as_str) == Some("M")
+                && ev.get("name").and_then(Value::as_str) == Some("thread_name")
+            {
+                let tid = ev.get("tid").and_then(Value::as_u64).ok_or("metadata event without tid")?;
+                let name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .ok_or("thread_name metadata without args.name")?;
+                tracks.insert(tid, name.to_string());
+            }
+        }
+
+        let mut spans = Vec::new();
+        for ev in events {
+            if ev.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let tid = ev.get("tid").and_then(Value::as_u64).ok_or("X event without tid")?;
+            let track = tracks.get(&tid).cloned().ok_or_else(|| format!("X event on unnamed tid {tid}"))?;
+            let name = ev.get("name").and_then(Value::as_str).ok_or("X event without name")?.to_string();
+            let ts = ev.get("ts").and_then(Value::as_f64).ok_or("X event without ts")?;
+            let dur = ev.get("dur").and_then(Value::as_f64).ok_or("X event without dur")?;
+            let span_id = ev.get("sid").and_then(Value::as_u64).ok_or("X event without sid span identity")?;
+            let parent_id = ev.get("psid").and_then(Value::as_u64).ok_or("X event without psid span identity")?;
+            spans.push(SpanRow { track, name, ts, dur, span_id, parent_id });
+        }
+
+        // Per-stage (span name) statistics.
+        let mut by_name: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for s in &spans {
+            by_name.entry(&s.name).or_default().push(s.dur);
+        }
+        let stages = by_name
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_by(f64::total_cmp);
+                StageStat {
+                    name: name.to_string(),
+                    count: durs.len(),
+                    median: median_of(&durs),
+                    max: durs.last().copied().unwrap_or(0.0),
+                    total: durs.iter().sum(),
+                }
+            })
+            .collect();
+
+        // Straggler ranking: reduce spans on worker lanes, keyed
+        // (round, worker), ranked within each round by max duration.
+        let mut by_rw: BTreeMap<(u32, String), Vec<f64>> = BTreeMap::new();
+        for s in &spans {
+            if let Some((worker, round)) = worker_round(&s.track) {
+                by_rw.entry((round, worker)).or_default().push(s.dur);
+            }
+        }
+        let mut stragglers: Vec<WorkerRoundStat> = by_rw
+            .into_iter()
+            .map(|((round, worker), mut durs)| {
+                durs.sort_by(f64::total_cmp);
+                WorkerRoundStat {
+                    round,
+                    worker,
+                    tasks: durs.len(),
+                    median: median_of(&durs),
+                    max: durs.last().copied().unwrap_or(0.0),
+                    total: durs.iter().sum(),
+                }
+            })
+            .collect();
+        stragglers.sort_by(|a, b| a.round.cmp(&b.round).then(b.max.total_cmp(&a.max)).then(a.worker.cmp(&b.worker)));
+
+        // Causal linkage health: worker spans whose parent exists.
+        let all_ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let worker_spans = spans.iter().filter(|s| s.track.contains('/')).count();
+        let parented_worker_spans =
+            spans.iter().filter(|s| s.track.contains('/') && all_ids.contains(&s.parent_id)).count();
+
+        // Metrics-side aggregates.
+        let mut shuffle: BTreeMap<String, u64> = BTreeMap::new();
+        let mut rpc_messages = 0u64;
+        let mut rpc_histograms = 0usize;
+        if let Some(mj) = metrics_json {
+            let metrics = Value::parse(mj).map_err(|e| format!("metrics artifact: {e}"))?;
+            if let Some(Value::Obj(counters)) = metrics.get("counters") {
+                for (name, v) in counters {
+                    let v = v.as_u64().unwrap_or(0);
+                    if name.starts_with("rpc.") && name.ends_with(".frames") {
+                        rpc_messages += v;
+                    }
+                    if let Some(rest) = name.strip_prefix("rpc.shuffle.") {
+                        if let Some((worker, tail)) = rest.split_once(".send.") {
+                            if tail.ends_with(".bytes") {
+                                *shuffle.entry(worker.to_string()).or_insert(0) += v;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(Value::Obj(hists)) = metrics.get("histograms") {
+                rpc_histograms = hists.iter().filter(|(name, _)| name.starts_with("rpc.")).count();
+            }
+        }
+
+        Ok(Self {
+            spans,
+            stages,
+            stragglers,
+            shuffle_bytes: shuffle.into_iter().collect(),
+            worker_spans,
+            parented_worker_spans,
+            rpc_messages,
+            rpc_histograms,
+        })
+    }
+
+    /// Deterministic human-readable rendering. The `parented_worker_spans=`,
+    /// `rpc_messages=` and `rpc_histograms=` lines are stable key=value
+    /// pairs for CI assertions.
+    pub fn render(&self) -> String {
+        let n_tracks: BTreeSet<&str> = self.spans.iter().map(|s| s.track.as_str()).collect();
+        let mut out = format!("obs-report: {} spans on {} tracks\n", self.spans.len(), n_tracks.len());
+        out.push_str("stages (per span name):\n");
+        out.push_str(&format!("  {:<32} {:>6} {:>10} {:>10} {:>10}\n", "stage", "count", "median", "max", "total"));
+        for st in &self.stages {
+            out.push_str(&format!(
+                "  {:<32} {:>6} {:>10} {:>10} {:>10}\n",
+                st.name,
+                st.count,
+                fmt_dur(st.median),
+                fmt_dur(st.max),
+                fmt_dur(st.total)
+            ));
+        }
+        if !self.stragglers.is_empty() {
+            out.push_str("stragglers (per round, slowest max first):\n");
+            for s in &self.stragglers {
+                out.push_str(&format!(
+                    "  round {:<3} {:<6} tasks={} max={} median={} total={}\n",
+                    s.round,
+                    s.worker,
+                    s.tasks,
+                    fmt_dur(s.max),
+                    fmt_dur(s.median),
+                    fmt_dur(s.total)
+                ));
+            }
+        }
+        if !self.shuffle_bytes.is_empty() {
+            out.push_str("shuffle bytes sent per worker:\n");
+            for (worker, bytes) in &self.shuffle_bytes {
+                out.push_str(&format!("  {worker:<6} {bytes}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "parented_worker_spans={} (of {} worker spans)\n",
+            self.parented_worker_spans, self.worker_spans
+        ));
+        out.push_str(&format!("rpc_messages={}\n", self.rpc_messages));
+        out.push_str(&format!("rpc_histograms={}\n", self.rpc_histograms));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agl_obs::{Clock, Obs};
+
+    fn sample_artifacts() -> (String, String) {
+        let obs = Obs::enabled_with_identity(Clock::logical(), 9, 0);
+        {
+            let rpc = obs.span("dist.w0", "rpc.reduce.r0");
+            let ctx = rpc.context();
+            let worker = Obs::enabled_with_identity(Clock::logical(), 9, 1);
+            {
+                let _t = worker.span_child_of("reduce.r0.p0", "reduce", ctx);
+            }
+            {
+                let _t = worker.span_child_of("reduce.r0.p1", "reduce", ctx);
+            }
+            drop(rpc);
+            obs.import_trace("w0/", worker.trace().unwrap().events());
+        }
+        obs.metric_add("rpc.shuffle.w0.send.reduce.frames", 2);
+        obs.metric_add("rpc.shuffle.w0.send.reduce.bytes", 640);
+        obs.metric_add("rpc.shuffle.w0.recv.reduce_done.frames", 2);
+        obs.observe("rpc.shuffle.w0.send.reduce.frame_bytes", 320);
+        let trace = obs.trace().unwrap().to_chrome_json();
+        let metrics = obs.metrics().unwrap().to_json();
+        (trace, metrics)
+    }
+
+    #[test]
+    fn report_links_worker_spans_and_ranks_stages() {
+        let (trace, metrics) = sample_artifacts();
+        let r = ObsReport::from_artifacts(&trace, Some(&metrics)).unwrap();
+        assert_eq!(r.worker_spans, 2);
+        assert_eq!(r.parented_worker_spans, 2, "both reduce spans parent under the rpc span");
+        assert_eq!(r.rpc_messages, 4);
+        assert_eq!(r.rpc_histograms, 1);
+        assert_eq!(r.shuffle_bytes, vec![("w0".to_string(), 640)]);
+        let reduce = r.stages.iter().find(|s| s.name == "reduce").unwrap();
+        assert_eq!(reduce.count, 2);
+        assert_eq!(r.stragglers.len(), 1);
+        assert_eq!(r.stragglers[0].worker, "w0");
+        assert_eq!(r.stragglers[0].tasks, 2);
+        let text = r.render();
+        assert!(text.contains("parented_worker_spans=2 (of 2 worker spans)"), "{text}");
+        assert!(text.contains("rpc_messages=4"), "{text}");
+        assert!(text.contains("stragglers"), "{text}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let (trace, metrics) = sample_artifacts();
+        let a = ObsReport::from_artifacts(&trace, Some(&metrics)).unwrap().render();
+        let b = ObsReport::from_artifacts(&trace, Some(&metrics)).unwrap().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schema_violations_are_typed_errors() {
+        assert!(ObsReport::from_artifacts("{}", None).unwrap_err().contains("traceEvents"));
+        assert!(ObsReport::from_artifacts("not json", None).is_err());
+        // An X event without span identities fails validation.
+        let bad = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},
+            {"name":"x","cat":"agl","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{}}
+        ]}"#;
+        assert!(ObsReport::from_artifacts(bad, None).unwrap_err().contains("sid"));
+    }
+
+    #[test]
+    fn works_without_metrics_artifact() {
+        let (trace, _) = sample_artifacts();
+        let r = ObsReport::from_artifacts(&trace, None).unwrap();
+        assert_eq!(r.rpc_messages, 0);
+        assert!(r.shuffle_bytes.is_empty());
+        assert_eq!(r.parented_worker_spans, 2);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of(&[]), 0.0);
+        assert_eq!(median_of(&[3.0]), 3.0);
+        assert_eq!(median_of(&[1.0, 2.0, 10.0]), 2.0);
+        assert_eq!(median_of(&[1.0, 3.0]), 2.0);
+        assert_eq!(worker_round("w3/reduce.r12.p1"), Some(("w3".to_string(), 12)));
+        assert_eq!(worker_round("driver"), None);
+        assert_eq!(worker_round("w0/other"), None);
+    }
+}

@@ -30,6 +30,14 @@ pub struct JobReport {
     pub spill_records: u64,
     /// Task attempts discarded by injected (or real) failures.
     pub task_retries: u64,
+    /// Multi-process jobs: reduce tasks dispatched to workers, *including*
+    /// attempts that died with their worker and re-ran. The per-worker
+    /// `w{i}.`-prefixed counters describe this executed-attempt view.
+    pub attempted_tasks: u64,
+    /// Multi-process jobs: reduce tasks whose result the driver accepted —
+    /// the de-duplicated view, exactly `reduce_tasks × rounds` on success
+    /// no matter how many attempts retried.
+    pub committed_tasks: u64,
     pub output_records: u64,
     pub rounds: Vec<RoundReport>,
 }
@@ -55,6 +63,8 @@ impl JobReport {
             spill_bytes: counters.get("spill.bytes"),
             spill_records: counters.get("spill.records"),
             task_retries: counters.get("task_retries"),
+            attempted_tasks: counters.get("reduce.attempted_tasks"),
+            committed_tasks: counters.get("reduce.committed_tasks"),
             output_records: counters.get("output_records"),
             rounds,
         }
@@ -85,6 +95,12 @@ impl JobReport {
         if self.task_retries > 0 {
             out.push_str(&format!("  retries   {} task attempts discarded and re-run\n", self.task_retries));
         }
+        if self.attempted_tasks > 0 {
+            out.push_str(&format!(
+                "  tasks     {} committed / {} attempted\n",
+                self.committed_tasks, self.attempted_tasks
+            ));
+        }
         out.push_str(&format!("  output    {} records\n", self.output_records));
         out
     }
@@ -102,6 +118,9 @@ mod tests {
         c.add("spill.bytes", 200);
         c.add("spill.records", 9);
         c.add("task_retries", 2);
+        c.inc("reduce.attempted_tasks");
+        c.add("reduce.attempted_tasks", 9);
+        c.add("reduce.committed_tasks", 8);
         c.add("output_records", 6);
         c.record_max("reduce.rounds", 2);
         c.add("reduce.r0.input_records", 9);
@@ -128,9 +147,11 @@ mod tests {
         let noisy = JobReport::from_counters(&seeded_counters()).render();
         assert!(noisy.contains("retries   2"), "{noisy}");
         assert!(noisy.contains("spill     200 bytes / 9 records"), "{noisy}");
+        assert!(noisy.contains("tasks     8 committed / 10 attempted"), "{noisy}");
         let quiet = JobReport::from_counters(&Counters::new()).render();
         assert!(!quiet.contains("retries"), "{quiet}");
         assert!(!quiet.contains("spill"), "{quiet}");
+        assert!(!quiet.contains("attempted"), "in-process jobs have no attempt ledger: {quiet}");
         assert!(quiet.contains("output    0 records"), "{quiet}");
     }
 }

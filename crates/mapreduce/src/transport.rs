@@ -24,11 +24,12 @@
 //!   clock-derived deadline, because the driver races worker processes that
 //!   are still binding their listeners.
 
-use agl_obs::Clock;
+use agl_obs::{Clock, Obs};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default cap on a single frame's payload (64 MiB) — far above any shuffle
@@ -379,22 +380,98 @@ pub fn connect(ep: &Endpoint, clock: &Clock, timeout_ns: u64) -> Result<Conn, Tr
     }
 }
 
+/// Maps a protocol tag byte (the first payload byte of a frame) to a stable
+/// message-type name for metric naming. Each RPC protocol in the workspace
+/// exports one namer per direction (e.g. [`crate::dist::driver_msg_name`]).
+pub type TagNamer = fn(u8) -> &'static str;
+
+/// Per-message-type telemetry for a [`Framed`] connection, feeding the
+/// shared [`MetricsRegistry`](agl_obs::MetricsRegistry) behind an [`Obs`].
+///
+/// Every frame in the workspace's RPC protocols starts with a one-byte
+/// protocol tag, so the stats layer can attribute frames to message types
+/// without parsing payloads. Per direction and message type it maintains:
+///
+/// - counter `rpc.{label}.{dir}.{msg}.frames` — frames moved,
+/// - counter `rpc.{label}.{dir}.{msg}.bytes` — payload bytes moved,
+/// - histogram `rpc.{label}.{dir}.{msg}.frame_bytes` — payload size spread,
+/// - histogram `rpc.{label}.{dir}.{msg}.nanos` — send/recv latency,
+///   recorded **only under a monotonic clock**: logical-clock tick deltas
+///   depend on thread interleaving and would break byte-identical metrics
+///   artifacts for seeded runs.
+///
+/// Construction returns `None` when `obs` is inert, so the per-frame cost
+/// on an uninstrumented connection is a single `Option` branch.
+#[derive(Debug)]
+pub struct FrameStats {
+    obs: Obs,
+    /// Real-time clock for latency histograms; `None` under a logical clock.
+    timing: Option<Clock>,
+    send_prefix: String,
+    recv_prefix: String,
+    send_namer: TagNamer,
+    recv_namer: TagNamer,
+}
+
+impl FrameStats {
+    /// Build stats for a connection labelled `label` (e.g. `shuffle.w0`,
+    /// `ps.s1`). `send_namer`/`recv_namer` translate the leading tag byte of
+    /// outgoing/incoming frames — the two directions usually speak different
+    /// message enums. Returns `None` when `obs` is disabled.
+    pub fn from_obs(obs: &Obs, label: &str, send_namer: TagNamer, recv_namer: TagNamer) -> Option<Arc<FrameStats>> {
+        if !obs.is_enabled() {
+            return None;
+        }
+        let timing = obs.clock().filter(|c| !c.is_logical()).cloned();
+        Some(Arc::new(FrameStats {
+            obs: obs.clone(),
+            timing,
+            send_prefix: format!("rpc.{label}.send"),
+            recv_prefix: format!("rpc.{label}.recv"),
+            send_namer,
+            recv_namer,
+        }))
+    }
+
+    fn record(&self, prefix: &str, namer: TagNamer, payload: &[u8], started: Option<u64>) {
+        let msg = payload.first().map(|&t| namer(t)).unwrap_or("empty");
+        self.obs.metric_add(&format!("{prefix}.{msg}.frames"), 1);
+        self.obs.metric_add(&format!("{prefix}.{msg}.bytes"), payload.len() as u64);
+        self.obs.observe(&format!("{prefix}.{msg}.frame_bytes"), payload.len() as u64);
+        if let (Some(clock), Some(t0)) = (&self.timing, started) {
+            self.obs.observe(&format!("{prefix}.{msg}.nanos"), clock.since(t0));
+        }
+    }
+
+    fn start(&self) -> Option<u64> {
+        self.timing.as_ref().map(|c| c.now())
+    }
+}
+
 /// A framed connection: `u32` little-endian length prefix, then the payload.
 #[derive(Debug)]
 pub struct Framed {
     conn: Conn,
     max_frame: u32,
+    stats: Option<Arc<FrameStats>>,
 }
 
 impl Framed {
     /// Wrap `conn` with the default frame cap.
     pub fn new(conn: Conn) -> Self {
-        Self { conn, max_frame: DEFAULT_MAX_FRAME }
+        Self { conn, max_frame: DEFAULT_MAX_FRAME, stats: None }
     }
 
     /// Override the frame cap (tests use tiny caps to exercise rejection).
     pub fn with_max_frame(mut self, max: u32) -> Self {
         self.max_frame = max;
+        self
+    }
+
+    /// Attach (or detach, with `None`) per-message telemetry. Stats are
+    /// shared via `Arc` so many connections can report under one label.
+    pub fn with_stats(mut self, stats: Option<Arc<FrameStats>>) -> Self {
+        self.stats = stats;
         self
     }
 
@@ -410,15 +487,23 @@ impl Framed {
         if payload.len() as u64 > self.max_frame as u64 {
             return Err(TransportError::FrameTooLarge { len: payload.len() as u32, max: self.max_frame });
         }
+        let started = self.stats.as_ref().and_then(|s| s.start());
         let len = (payload.len() as u32).to_le_bytes();
         self.conn.write_all(&len).map_err(TransportError::from_io)?;
         self.conn.write_all(payload).map_err(TransportError::from_io)?;
-        self.conn.flush().map_err(TransportError::from_io)
+        self.conn.flush().map_err(TransportError::from_io)?;
+        if let Some(stats) = &self.stats {
+            stats.record(&stats.send_prefix, stats.send_namer, payload, started);
+        }
+        Ok(())
     }
 
     /// Receive one frame. `Ok(None)` is a clean EOF (peer closed between
     /// frames); EOF inside a frame is [`TransportError::TruncatedFrame`].
     pub fn recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // Latency includes the blocking wait for the peer's frame — recv
+        // telemetry measures "time to obtain a message", not wire transit.
+        let started = self.stats.as_ref().and_then(|s| s.start());
         let mut header = [0u8; 4];
         let mut got = 0;
         while got < header.len() {
@@ -447,6 +532,9 @@ impl Framed {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(TransportError::from_io(e)),
             }
+        }
+        if let Some(stats) = &self.stats {
+            stats.record(&stats.recv_prefix, stats.recv_namer, &payload, started);
         }
         Ok(Some(payload))
     }
@@ -541,6 +629,57 @@ mod tests {
             assert!(h.join().unwrap().is_ok());
         });
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn test_namer(tag: u8) -> &'static str {
+        match tag {
+            1 => "ping",
+            2 => "pong",
+            _ => "unknown",
+        }
+    }
+
+    #[test]
+    fn frame_stats_none_when_obs_inert() {
+        assert!(FrameStats::from_obs(&Obs::default(), "t", test_namer, test_namer).is_none());
+    }
+
+    #[test]
+    fn frame_stats_count_frames_bytes_and_latency() {
+        let obs = Obs::enabled();
+        let stats = FrameStats::from_obs(&obs, "t", test_namer, test_namer).unwrap();
+        let (a, b) = pair();
+        let mut a = a.with_stats(Some(stats.clone()));
+        let mut b = b.with_stats(Some(stats));
+        a.send(&[1, 9, 9]).unwrap();
+        a.send(&[1]).unwrap();
+        b.recv().unwrap().unwrap();
+        b.recv().unwrap().unwrap();
+        b.send(&[2, 0]).unwrap();
+        a.recv().unwrap().unwrap();
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.get("rpc.t.send.ping.frames"), 2);
+        assert_eq!(m.get("rpc.t.send.ping.bytes"), 4);
+        assert_eq!(m.get("rpc.t.recv.ping.frames"), 2);
+        assert_eq!(m.get("rpc.t.send.pong.frames"), 1);
+        assert_eq!(m.get("rpc.t.recv.pong.bytes"), 2);
+        let json = m.to_json();
+        assert!(json.contains("rpc.t.send.ping.frame_bytes"), "byte histogram present: {json}");
+        assert!(json.contains("rpc.t.send.ping.nanos"), "latency histogram present under monotonic clock");
+    }
+
+    #[test]
+    fn frame_stats_skip_latency_under_logical_clock() {
+        let obs = Obs::enabled_logical();
+        let stats = FrameStats::from_obs(&obs, "t", test_namer, test_namer).unwrap();
+        let (a, b) = pair();
+        let mut a = a.with_stats(Some(stats.clone()));
+        let mut b = b.with_stats(Some(stats));
+        a.send(&[1]).unwrap();
+        b.recv().unwrap().unwrap();
+        let json = obs.metrics().unwrap().to_json();
+        assert!(json.contains("rpc.t.send.ping.frame_bytes"), "{json}");
+        assert!(!json.contains(".nanos"), "no tick-delta histograms under a logical clock: {json}");
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! Minimal JSON emission helpers (no external deps, no floats-from-nowhere).
+//! Minimal JSON emission helpers and a strict reader (no external deps,
+//! no floats-from-nowhere).
+//!
+//! The [`Value`] parser exists for `obs-report`: it reloads the Chrome
+//! trace and metrics artifacts this crate writes. Numbers keep their raw
+//! token so 64-bit span ids round-trip exactly — an `f64` intermediate
+//! would silently corrupt ids above 2^53.
 
 /// Escape a string for inclusion inside a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -26,6 +32,222 @@ pub fn float(v: f64) -> String {
     }
 }
 
+/// A parsed JSON value. Object member order is preserved (`Obj` is a
+/// vector, not a map) so traversal order is deterministic; numbers keep
+/// their raw text (see [`Value::as_u64`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw token.
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse `text` strictly: the whole input must be one JSON value.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (first match, document order).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64` — only for non-negative integral
+    /// tokens, parsed from the raw text so ids above 2^53 stay exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&b[start..*pos]).map_err(|_| format!("bad number at byte {start}"))?;
+    // Validate once; keep the raw token.
+    raw.parse::<f64>().map_err(|_| format!("bad number at byte {start}"))?;
+    Ok(Value::Num(raw.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
+                            16,
+                        )
+                        .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    Some(c) => return Err(format!("unsupported escape '\\{}'", *c as char)),
+                    None => return Err("unterminated escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8".to_string())?;
+                let ch = rest.chars().next().ok_or("invalid utf-8")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +262,38 @@ mod tests {
     fn floats_are_fixed_width() {
         assert_eq!(float(1.5), "1.500000");
         assert_eq!(float(f64::NAN), "null");
+    }
+
+    #[test]
+    fn parses_objects_arrays_and_raw_numbers() {
+        let v = Value::parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny"}, "t": true, "z": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("z"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn u64_span_ids_survive_exactly() {
+        // 2^63 + 3 is not representable in f64; the raw token must survive.
+        let v = Value::parse("{\"sid\":9223372036854775811}").unwrap();
+        assert_eq!(v.get("sid").unwrap().as_u64(), Some(9_223_372_036_854_775_811));
+        assert!(v.get("sid").unwrap().as_f64().is_some(), "f64 view still available (lossy)");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{} junk").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn round_trips_the_escape_helper() {
+        let original = "a\"b\\c\nd\u{1}e";
+        let parsed = Value::parse(&format!("\"{}\"", escape(original))).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
     }
 }

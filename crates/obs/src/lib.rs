@@ -23,7 +23,7 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use metrics::{Histogram, HistogramKind, HistogramSnapshot, MetricValue, MetricsRegistry};
-pub use trace::{Span, TraceEvent, TraceSink};
+pub use trace::{Span, SpanContext, TraceEvent, TraceSink};
 
 use std::sync::Arc;
 
@@ -51,6 +51,18 @@ impl Obs {
         Self { inner: Some(Arc::new(ObsInner { trace: TraceSink::new(clock), metrics: MetricsRegistry::new() })) }
     }
 
+    /// Collect with an explicit trace identity: `trace_id` is shared by
+    /// every process of a job, `salt` must be unique per process (it keeps
+    /// span ids collision-free when worker traces merge into the driver's).
+    pub fn enabled_with_identity(clock: Clock, trace_id: u64, salt: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                trace: TraceSink::with_identity(clock, trace_id, salt),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
     /// Collect with a monotonic (real-time) clock.
     pub fn enabled() -> Self {
         Self::enabled_with(Clock::monotonic())
@@ -75,9 +87,23 @@ impl Obs {
         }
     }
 
+    /// Open a span with an explicit parent context (typically one carried
+    /// on an RPC from another process) — inert if disabled.
+    pub fn span_child_of(&self, track: &str, name: &str, parent: Option<SpanContext>) -> Span {
+        match &self.inner {
+            Some(i) => i.trace.span_child_of(track, name, parent),
+            None => Span::disabled(),
+        }
+    }
+
     /// The trace sink, if enabled.
     pub fn trace(&self) -> Option<&TraceSink> {
         self.inner.as_deref().map(|i| &i.trace)
+    }
+
+    /// The active clock, if enabled.
+    pub fn clock(&self) -> Option<&Clock> {
+        self.inner.as_deref().map(|i| i.trace.clock())
     }
 
     /// Merge events from another process's trace into this one (dropped
@@ -92,6 +118,32 @@ impl Obs {
     /// The metrics registry, if enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Snapshot of every *counter* (sorted by name) — the cumulative
+    /// payload a worker process ships to its driver in `Metrics`/`Bye`
+    /// messages. Empty when disabled.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        match self.metrics() {
+            None => Vec::new(),
+            Some(m) => m
+                .snapshot()
+                .into_iter()
+                .filter_map(|(k, v)| match v {
+                    MetricValue::Counter(c) => Some((k, c)),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Raise counter `name` to at least `value` (dropped when disabled).
+    /// The merge primitive for cumulative snapshots from other processes:
+    /// idempotent, so re-delivered snapshots never double-count.
+    pub fn counter_max(&self, name: &str, value: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.counter_max(name, value);
+        }
     }
 
     /// Bump counter `name` by `delta` (dropped when disabled).

@@ -22,8 +22,21 @@ use crate::json;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+/// A span's identity as seen from another process: which trace it belongs
+/// to and which span it is. Small enough to ride as a header on every RPC,
+/// so a worker-side span can parent under the driver span that issued the
+/// request (see [`TraceSink::span_child_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Identifier of the trace this span belongs to (shared by every
+    /// process participating in one job).
+    pub trace_id: u64,
+    /// This span's stable identifier (nonzero).
+    pub span_id: u64,
+}
+
 /// One completed span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Track (thread/stage lane) the span ran on.
     pub track: String,
@@ -39,6 +52,14 @@ pub struct TraceEvent {
     pub depth: usize,
     /// Counters attached while the span was open, in attach order.
     pub args: Vec<(String, u64)>,
+    /// Stable span identity — a hash of `(salt, track, seq)`, so ids are
+    /// deterministic per run and unique across processes (each process of
+    /// a job hashes with a distinct salt). Never zero.
+    pub span_id: u64,
+    /// The enclosing span: an explicit cross-process parent when the span
+    /// was opened with [`TraceSink::span_child_of`], otherwise the
+    /// innermost span open on the same track at begin time. Zero = root.
+    pub parent_id: u64,
 }
 
 #[derive(Debug, Default)]
@@ -46,6 +67,30 @@ struct TrackState {
     tick: u64,
     next_seq: u64,
     depth: usize,
+    /// Span ids currently open on this track, begin order. The top is the
+    /// default parent for the next span; drops remove by id (not pop) so
+    /// out-of-order guard drops cannot corrupt the stack.
+    open: Vec<u64>,
+}
+
+/// 64-bit FNV-1a over `(salt, track, seq)`, forced nonzero — the stable,
+/// cross-process-unique span id.
+fn span_id_for(salt: u64, track: &str, seq: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&salt.to_le_bytes());
+    eat(track.as_bytes());
+    eat(&seq.to_le_bytes());
+    if h == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        h
+    }
 }
 
 #[derive(Debug, Default)]
@@ -57,6 +102,8 @@ struct SinkState {
 #[derive(Debug)]
 struct SinkInner {
     clock: Clock,
+    trace_id: u64,
+    salt: u64,
     state: Mutex<SinkState>,
 }
 
@@ -67,9 +114,23 @@ pub struct TraceSink {
 }
 
 impl TraceSink {
-    /// Empty sink timestamping with `clock`.
+    /// Empty sink timestamping with `clock`, with the default identity
+    /// (trace id 1, salt 0 — the driver process of a single-process run).
     pub fn new(clock: Clock) -> Self {
-        Self { inner: Arc::new(SinkInner { clock, state: Mutex::new(SinkState::default()) }) }
+        Self::with_identity(clock, 1, 0)
+    }
+
+    /// Empty sink with an explicit identity: `trace_id` names the job-wide
+    /// trace this sink contributes to; `salt` must be unique per process of
+    /// the job (it feeds the span-id hash, keeping ids collision-free when
+    /// worker traces are merged into the driver's).
+    pub fn with_identity(clock: Clock, trace_id: u64, salt: u64) -> Self {
+        Self { inner: Arc::new(SinkInner { clock, trace_id, salt, state: Mutex::new(SinkState::default()) }) }
+    }
+
+    /// The job-wide trace identifier this sink stamps on span contexts.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
     }
 
     /// The clock spans are stamped with.
@@ -84,11 +145,19 @@ impl TraceSink {
     }
 
     /// Open a span named `name` on `track`. The span ends (and the event is
-    /// recorded) when the returned guard drops.
+    /// recorded) when the returned guard drops. Parents under the innermost
+    /// span already open on the same track, if any.
     pub fn span(&self, track: &str, name: &str) -> Span {
+        self.span_child_of(track, name, None)
+    }
+
+    /// Open a span with an explicit parent — typically a [`SpanContext`]
+    /// shipped over the wire by the driver RPC that caused this work. With
+    /// `None` the parent defaults to the innermost open span on the track.
+    pub fn span_child_of(&self, track: &str, name: &str, parent: Option<SpanContext>) -> Span {
         let inner = self.inner.clone();
         let logical = inner.clock.is_logical();
-        let (seq, ts, depth) = {
+        let (seq, ts, depth, span_id, parent_id) = {
             let mut st = Self::lock(&inner);
             let tr = st.tracks.entry(track.to_string()).or_default();
             let seq = tr.next_seq;
@@ -102,9 +171,25 @@ impl TraceSink {
             } else {
                 inner.clock.now()
             };
-            (seq, ts, depth)
+            let span_id = span_id_for(inner.salt, track, seq);
+            let parent_id = match parent {
+                Some(ctx) => ctx.span_id,
+                None => tr.open.last().copied().unwrap_or(0),
+            };
+            tr.open.push(span_id);
+            (seq, ts, depth, span_id, parent_id)
         };
-        Span { sink: Some(inner), track: track.to_string(), name: name.to_string(), seq, ts, depth, args: Vec::new() }
+        Span {
+            sink: Some(inner),
+            track: track.to_string(),
+            name: name.to_string(),
+            seq,
+            ts,
+            depth,
+            span_id,
+            parent_id,
+            args: Vec::new(),
+        }
     }
 
     /// Import events recorded by another sink — typically a worker
@@ -134,6 +219,13 @@ impl TraceSink {
     /// `thread_name` metadata events). Timestamps are exported in
     /// microseconds for a monotonic clock and in raw ticks for a logical
     /// clock.
+    ///
+    /// Every complete (`"X"`) event carries its span identity as top-level
+    /// `sid`/`psid` fields (ignored by trace viewers, consumed by
+    /// `obs-report`). Parent/child links that cross tracks — the causal
+    /// edges between a driver RPC span and the worker span it caused —
+    /// additionally emit a flow-event pair (`ph:"s"` at the parent,
+    /// `ph:"f"` at the child) so the arrows render in the viewer.
     pub fn to_chrome_json(&self) -> String {
         let evs = self.events();
         let logical = self.inner.clock.is_logical();
@@ -142,6 +234,16 @@ impl TraceSink {
             let next = tids.len() + 1;
             tids.entry(ev.track.as_str()).or_insert(next);
         }
+        // Span id → (track, begin ts) of the parent end of each flow arrow.
+        let by_id: BTreeMap<u64, &TraceEvent> = evs.iter().map(|e| (e.span_id, e)).collect();
+        let fmt_ts = |n: u64| {
+            if logical {
+                n.to_string()
+            } else {
+                // Nanoseconds → microseconds with three decimals.
+                format!("{}.{:03}", n / 1000, n % 1000)
+            }
+        };
         let mut parts: Vec<String> = Vec::with_capacity(evs.len() + tids.len() + 1);
         for (track, tid) in &tids {
             parts.push(format!(
@@ -151,13 +253,7 @@ impl TraceSink {
         }
         for ev in &evs {
             let tid = tids.get(ev.track.as_str()).copied().unwrap_or(0);
-            let (ts, dur) = if logical {
-                (ev.ts.to_string(), ev.dur.max(1).to_string())
-            } else {
-                // Nanoseconds → microseconds with three decimals.
-                let us = |n: u64| format!("{}.{:03}", n / 1000, n % 1000);
-                (us(ev.ts), us(ev.dur.max(1)))
-            };
+            let (ts, dur) = (fmt_ts(ev.ts), fmt_ts(ev.dur.max(1)));
             let mut args = String::new();
             for (k, v) in &ev.args {
                 if !args.is_empty() {
@@ -166,8 +262,34 @@ impl TraceSink {
                 args.push_str(&format!("\"{}\":{v}", json::escape(k)));
             }
             parts.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"agl\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{tid},\"args\":{{{args}}}}}",
-                json::escape(&ev.name)
+                "{{\"name\":\"{}\",\"cat\":\"agl\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{tid},\
+                 \"sid\":{},\"psid\":{},\"args\":{{{args}}}}}",
+                json::escape(&ev.name),
+                ev.span_id,
+                ev.parent_id,
+            ));
+        }
+        // Flow arrows for cross-track causal edges, in child event order
+        // (deterministic: `evs` is already sorted).
+        for ev in &evs {
+            if ev.parent_id == 0 {
+                continue;
+            }
+            let Some(parent) = by_id.get(&ev.parent_id) else { continue };
+            if parent.track == ev.track {
+                continue; // same-track nesting renders as containment already
+            }
+            let ptid = tids.get(parent.track.as_str()).copied().unwrap_or(0);
+            let ctid = tids.get(ev.track.as_str()).copied().unwrap_or(0);
+            parts.push(format!(
+                "{{\"name\":\"causal\",\"cat\":\"agl.flow\",\"ph\":\"s\",\"id\":{},\"pid\":1,\"tid\":{ptid},\"ts\":{}}}",
+                ev.span_id,
+                fmt_ts(parent.ts),
+            ));
+            parts.push(format!(
+                "{{\"name\":\"causal\",\"cat\":\"agl.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":1,\"tid\":{ctid},\"ts\":{}}}",
+                ev.span_id,
+                fmt_ts(ev.ts),
             ));
         }
         format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}", parts.join(","))
@@ -230,18 +352,36 @@ pub struct Span {
     seq: u64,
     ts: u64,
     depth: usize,
+    span_id: u64,
+    parent_id: u64,
     args: Vec<(String, u64)>,
 }
 
 impl Span {
     /// An inert span for disabled observability paths.
     pub fn disabled() -> Self {
-        Self { sink: None, track: String::new(), name: String::new(), seq: 0, ts: 0, depth: 0, args: Vec::new() }
+        Self {
+            sink: None,
+            track: String::new(),
+            name: String::new(),
+            seq: 0,
+            ts: 0,
+            depth: 0,
+            span_id: 0,
+            parent_id: 0,
+            args: Vec::new(),
+        }
     }
 
     /// Is this span recording? (`false` for [`Span::disabled`].)
     pub fn is_enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// This span's wire identity, for propagating to the process that will
+    /// do the work this span describes. `None` for a disabled span.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.sink.as_ref().map(|inner| SpanContext { trace_id: inner.trace_id, span_id: self.span_id })
     }
 
     /// Attach a named counter to this span's event `args`. Repeated keys
@@ -269,6 +409,7 @@ impl Drop for Span {
         let end = match st.tracks.get_mut(&self.track) {
             Some(tr) => {
                 tr.depth = tr.depth.saturating_sub(1);
+                tr.open.retain(|&id| id != self.span_id);
                 if logical {
                     let t = tr.tick;
                     tr.tick += 1;
@@ -289,6 +430,8 @@ impl Drop for Span {
             dur: end.saturating_sub(self.ts),
             depth: self.depth,
             args: std::mem::take(&mut self.args),
+            span_id: self.span_id,
+            parent_id: self.parent_id,
         });
     }
 }
@@ -408,5 +551,100 @@ mod tests {
         let mut s = Span::disabled();
         assert!(!s.is_enabled());
         s.counter("n", 5); // no-op, no panic
+        assert!(s.context().is_none());
+    }
+
+    #[test]
+    fn same_track_nesting_sets_parent_ids() {
+        let sink = TraceSink::new(Clock::logical());
+        {
+            let outer = sink.span("driver", "job");
+            let outer_id = outer.context().unwrap().span_id;
+            {
+                let inner = sink.span("driver", "round0");
+                assert_ne!(inner.context().unwrap().span_id, outer_id);
+            }
+        }
+        let evs = sink.events();
+        let outer = evs.iter().find(|e| e.name == "job").unwrap();
+        let inner = evs.iter().find(|e| e.name == "round0").unwrap();
+        assert_eq!(outer.parent_id, 0, "top-level span is a root");
+        assert_eq!(inner.parent_id, outer.span_id, "nested span parents under the open span");
+        assert_ne!(outer.span_id, 0);
+        assert_ne!(inner.span_id, 0);
+    }
+
+    #[test]
+    fn explicit_context_overrides_track_nesting() {
+        let driver = TraceSink::with_identity(Clock::logical(), 42, 0);
+        let rpc = driver.span("dist.w0", "rpc.reduce.r0");
+        let ctx = rpc.context().unwrap();
+        assert_eq!(ctx.trace_id, 42);
+
+        // A different process (distinct salt), parenting under the shipped
+        // context rather than its own track stack.
+        let worker = TraceSink::with_identity(Clock::logical(), 42, 7);
+        {
+            let _task = worker.span_child_of("reduce.r0.p0", "reduce", Some(ctx));
+        }
+        let evs = worker.events();
+        assert_eq!(evs[0].parent_id, ctx.span_id);
+        drop(rpc);
+        let driver_evs = driver.events();
+        assert_eq!(driver_evs[0].span_id, ctx.span_id);
+        assert_ne!(evs[0].span_id, driver_evs[0].span_id, "distinct salts keep ids collision-free");
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_per_identity() {
+        let run = |salt| {
+            let sink = TraceSink::with_identity(Clock::logical(), 1, salt);
+            let _a = sink.span("t", "a");
+            let _b = sink.span("t", "b");
+            drop((_a, _b));
+            sink.events().iter().map(|e| e.span_id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3), "same salt → same ids");
+        assert_ne!(run(3), run(4), "different salt → different ids");
+    }
+
+    #[test]
+    fn chrome_export_emits_flow_events_for_cross_track_parents() {
+        let sink = TraceSink::new(Clock::logical());
+        let rpc = sink.span("dist.w0", "rpc.reduce.r0");
+        let ctx = rpc.context();
+        {
+            let _task = sink.span_child_of("w0/reduce.r0.p0", "reduce", ctx);
+        }
+        drop(rpc);
+        let j = sink.to_chrome_json();
+        assert_eq!(j.matches("\"ph\":\"s\"").count(), 1, "one flow start: {j}");
+        assert_eq!(j.matches("\"ph\":\"f\"").count(), 1, "one flow finish: {j}");
+        assert!(j.contains("\"cat\":\"agl.flow\""), "{j}");
+        assert!(j.contains("\"sid\":"), "span ids exported: {j}");
+        // Same-track nesting must NOT add arrows.
+        let sink2 = TraceSink::new(Clock::logical());
+        {
+            let _outer = sink2.span("driver", "job");
+            let _inner = sink2.span("driver", "round0");
+        }
+        let j2 = sink2.to_chrome_json();
+        assert_eq!(j2.matches("\"ph\":\"s\"").count(), 0, "{j2}");
+    }
+
+    #[test]
+    fn out_of_order_drops_keep_the_open_stack_consistent() {
+        let sink = TraceSink::new(Clock::logical());
+        let a = sink.span("t", "a");
+        let b = sink.span("t", "b");
+        drop(a); // dropped before its child — remove-by-id, not pop
+        let c = sink.span("t", "c");
+        let b_id = b.context().unwrap().span_id;
+        assert_ne!(c.context().unwrap().span_id, 0);
+        drop(c);
+        drop(b);
+        let evs = sink.events();
+        let c_ev = evs.iter().find(|e| e.name == "c").unwrap();
+        assert_eq!(c_ev.parent_id, b_id, "c parents under the still-open b");
     }
 }

@@ -34,9 +34,9 @@
 use crate::hb::{Handoff, JoinPool};
 use crate::server::{Consistency, ParameterServer, PsStats, WorkerPsStats};
 use agl_mapreduce::codec::{self, Codec, CodecError};
-use agl_mapreduce::transport::{connect, Endpoint, Framed, Listener, TransportError};
+use agl_mapreduce::transport::{connect, Endpoint, FrameStats, Framed, Listener, TransportError};
 use agl_nn::{Adam, Optimizer, Sgd};
-use agl_obs::Clock;
+use agl_obs::{Clock, Obs, SpanContext, TraceEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -230,12 +230,16 @@ fn get_stats(input: &mut &[u8]) -> Result<PsStats, CodecError> {
 #[derive(Debug)]
 enum PsRequest {
     /// First message on the control connection: this shard's parameter
-    /// slice, the worker count, the consistency mode, the optimizer.
-    Init { params: Vec<f32>, n_workers: u32, mode: Consistency, opt: OptSpec },
-    /// Pull the shard slice (consistent with its version).
-    Pull { worker: u32 },
+    /// slice, the worker count, the consistency mode, the optimizer, and
+    /// the trace identity (`trace` turns shard-side tracing on; `trace_id`
+    /// is shared by the job, `salt` is unique per shard so span ids stay
+    /// collision-free when shard traces merge into the driver's).
+    Init { params: Vec<f32>, n_workers: u32, mode: Consistency, opt: OptSpec, trace: bool, trace_id: u64, salt: u64 },
+    /// Pull the shard slice (consistent with its version). `ctx` is the
+    /// trainer-side RPC span; the shard's pull span parents under it.
+    Pull { worker: u32, ctx: Option<SpanContext> },
     /// Push this worker's gradient slice.
-    Push { worker: u32, grads: Vec<f32> },
+    Push { worker: u32, ctx: Option<SpanContext>, grads: Vec<f32> },
     /// Retire the worker from the consistency gate.
     Retire { worker: u32 },
     /// Read the shard slice without counting as a worker pull.
@@ -254,23 +258,42 @@ const PQ_SNAPSHOT: u8 = 4;
 const PQ_STATS: u8 = 5;
 const PQ_SHUTDOWN: u8 = 6;
 
+/// Metric-name for a request frame's leading tag byte (RPC telemetry).
+fn ps_request_name(tag: u8) -> &'static str {
+    match tag {
+        PQ_INIT => "init",
+        PQ_PULL => "pull",
+        PQ_PUSH => "push",
+        PQ_RETIRE => "retire",
+        PQ_SNAPSHOT => "snapshot",
+        PQ_STATS => "stats",
+        PQ_SHUTDOWN => "shutdown",
+        _ => "unknown",
+    }
+}
+
 impl Codec for PsRequest {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            PsRequest::Init { params, n_workers, mode, opt } => {
+            PsRequest::Init { params, n_workers, mode, opt, trace, trace_id, salt } => {
                 codec::put_u8(buf, PQ_INIT);
                 codec::put_f32s(buf, params);
                 codec::put_u32(buf, *n_workers);
                 put_consistency(buf, *mode);
                 opt.encode(buf);
+                codec::put_u8(buf, u8::from(*trace));
+                codec::put_u64(buf, *trace_id);
+                codec::put_u64(buf, *salt);
             }
-            PsRequest::Pull { worker } => {
+            PsRequest::Pull { worker, ctx } => {
                 codec::put_u8(buf, PQ_PULL);
                 codec::put_u32(buf, *worker);
+                codec::put_span_ctx(buf, *ctx);
             }
-            PsRequest::Push { worker, grads } => {
+            PsRequest::Push { worker, ctx, grads } => {
                 codec::put_u8(buf, PQ_PUSH);
                 codec::put_u32(buf, *worker);
+                codec::put_span_ctx(buf, *ctx);
                 codec::put_f32s(buf, grads);
             }
             PsRequest::Retire { worker } => {
@@ -290,13 +313,21 @@ impl Codec for PsRequest {
                 let n_workers = codec::get_u32(input)?;
                 let mode = get_consistency(input)?;
                 let opt = OptSpec::decode(input)?;
-                Ok(PsRequest::Init { params, n_workers, mode, opt })
+                let trace = codec::get_u8(input)? != 0;
+                let trace_id = codec::get_u64(input)?;
+                let salt = codec::get_u64(input)?;
+                Ok(PsRequest::Init { params, n_workers, mode, opt, trace, trace_id, salt })
             }
-            PQ_PULL => Ok(PsRequest::Pull { worker: codec::get_u32(input)? }),
+            PQ_PULL => {
+                let worker = codec::get_u32(input)?;
+                let ctx = codec::get_span_ctx(input)?;
+                Ok(PsRequest::Pull { worker, ctx })
+            }
             PQ_PUSH => {
                 let worker = codec::get_u32(input)?;
+                let ctx = codec::get_span_ctx(input)?;
                 let grads = codec::get_f32s(input)?;
-                Ok(PsRequest::Push { worker, grads })
+                Ok(PsRequest::Push { worker, ctx, grads })
             }
             PQ_RETIRE => Ok(PsRequest::Retire { worker: codec::get_u32(input)? }),
             PQ_SNAPSHOT => Ok(PsRequest::Snapshot),
@@ -322,8 +353,9 @@ enum PsResponse {
     Snapshot { params: Vec<f32> },
     /// Shard stats.
     Stats { stats: PsStats },
-    /// Shutdown acknowledged; the shard process is exiting.
-    Bye,
+    /// Shutdown acknowledged; the shard process is exiting. Carries the
+    /// shard's counters and trace events for the driver's merged view.
+    Bye { counters: Vec<(String, u64)>, trace: Vec<TraceEvent> },
     /// Request-level failure (bad worker id, wrong gradient length).
     Err { msg: String },
 }
@@ -336,6 +368,21 @@ const PR_SNAPSHOT: u8 = 4;
 const PR_STATS: u8 = 5;
 const PR_BYE: u8 = 6;
 const PR_ERR: u8 = 7;
+
+/// Metric-name for a response frame's leading tag byte (RPC telemetry).
+fn ps_response_name(tag: u8) -> &'static str {
+    match tag {
+        PR_INIT_OK => "init_ok",
+        PR_PULLED => "pulled",
+        PR_PUSHED => "pushed",
+        PR_RETIRED => "retired",
+        PR_SNAPSHOT => "snapshot",
+        PR_STATS => "stats",
+        PR_BYE => "bye",
+        PR_ERR => "err",
+        _ => "unknown",
+    }
+}
 
 impl Codec for PsResponse {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -356,7 +403,14 @@ impl Codec for PsResponse {
                 codec::put_u8(buf, PR_STATS);
                 put_stats(buf, stats);
             }
-            PsResponse::Bye => codec::put_u8(buf, PR_BYE),
+            PsResponse::Bye { counters, trace } => {
+                codec::put_u8(buf, PR_BYE);
+                codec::put_counters(buf, counters);
+                codec::put_u32(buf, trace.len() as u32);
+                for e in trace {
+                    codec::put_trace_event(buf, e);
+                }
+            }
             PsResponse::Err { msg } => {
                 codec::put_u8(buf, PR_ERR);
                 codec::put_bytes(buf, msg.as_bytes());
@@ -376,7 +430,15 @@ impl Codec for PsResponse {
             PR_RETIRED => Ok(PsResponse::Retired),
             PR_SNAPSHOT => Ok(PsResponse::Snapshot { params: codec::get_f32s(input)? }),
             PR_STATS => Ok(PsResponse::Stats { stats: get_stats(input)? }),
-            PR_BYE => Ok(PsResponse::Bye),
+            PR_BYE => {
+                let counters = codec::get_counters(input)?;
+                let n = codec::get_u32(input)? as usize;
+                let mut trace = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    trace.push(codec::get_trace_event(input)?);
+                }
+                Ok(PsResponse::Bye { counters, trace })
+            }
             PR_ERR => {
                 let msg = String::from_utf8(codec::get_bytes(input)?.to_vec())
                     .map_err(|e| CodecError(format!("non-utf8 error message: {e}")))?;
@@ -461,6 +523,9 @@ pub struct RemotePs {
     /// its own connection per shard because sync/SSP pushes block
     /// server-side — workers must not serialize on a shared socket.
     conns: Vec<Vec<Mutex<Framed>>>,
+    /// Trainer-side observability: RPC spans, frame telemetry, and the
+    /// merge target for shard traces/counters shipped back in `Bye`.
+    obs: Obs,
 }
 
 fn rpc(framed: &mut Framed, req: &PsRequest) -> Result<PsResponse, PsNetError> {
@@ -491,6 +556,34 @@ impl RemotePs {
         connect_timeout_ns: u64,
         io_timeout_ns: u64,
     ) -> Result<Self, PsNetError> {
+        Self::connect_with_obs(
+            endpoints,
+            initial,
+            n_workers,
+            mode,
+            opt,
+            connect_timeout_ns,
+            io_timeout_ns,
+            Obs::default(),
+        )
+    }
+
+    /// [`RemotePs::connect`] with observability: every connection gets RPC
+    /// frame telemetry (`rpc.ps.s{shard}.*`), pull/push carry the caller's
+    /// span context so shard spans parent under trainer RPCs, and
+    /// [`RemotePs::shutdown`] merges each shard's trace and counters back
+    /// into `obs` under a `ps{shard}/` prefix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with_obs(
+        endpoints: &[Endpoint],
+        initial: &[f32],
+        n_workers: usize,
+        mode: Consistency,
+        opt: OptSpec,
+        connect_timeout_ns: u64,
+        io_timeout_ns: u64,
+        obs: Obs,
+    ) -> Result<Self, PsNetError> {
         if endpoints.is_empty() {
             return Err(PsNetError::Protocol("no shard endpoints".to_string()));
         }
@@ -512,16 +605,28 @@ impl RemotePs {
             bounds.push(off);
         }
         let timeout = Duration::from_nanos(io_timeout_ns);
+        let trace_id = obs.trace().map(|t| t.trace_id()).unwrap_or(0);
+        // One FrameStats per shard label, shared by the control and every
+        // worker's data connection to that shard (counters are additive).
+        let stats: Vec<_> = (0..n_shards)
+            .map(|i| FrameStats::from_obs(&obs, &format!("ps.s{i}"), ps_request_name, ps_response_name))
+            .collect();
         let mut controls = Vec::with_capacity(n_shards);
         for (i, ep) in endpoints.iter().take(n_shards).enumerate() {
             let conn = connect(ep, &clock, connect_timeout_ns)?;
             conn.set_read_timeout(Some(timeout))?;
-            let mut framed = Framed::new(conn);
+            let mut framed = Framed::new(conn).with_stats(stats[i].clone());
             let req = PsRequest::Init {
                 params: initial[bounds[i]..bounds[i + 1]].to_vec(),
                 n_workers: n_workers as u32,
                 mode,
                 opt,
+                trace: obs.is_enabled(),
+                trace_id,
+                // Shard salts live above the shuffle workers' range
+                // (driver 0, shuffle worker w → w+1) so merged span ids
+                // never collide across subsystems.
+                salt: 1001 + i as u64,
             };
             match rpc(&mut framed, &req)? {
                 PsResponse::InitOk => {}
@@ -532,14 +637,14 @@ impl RemotePs {
         let mut conns = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
             let mut per_shard = Vec::with_capacity(n_shards);
-            for ep in endpoints.iter().take(n_shards) {
+            for (i, ep) in endpoints.iter().take(n_shards).enumerate() {
                 let conn = connect(ep, &clock, connect_timeout_ns)?;
                 conn.set_read_timeout(Some(timeout))?;
-                per_shard.push(Mutex::new(Framed::new(conn)));
+                per_shard.push(Mutex::new(Framed::new(conn).with_stats(stats[i].clone())));
             }
             conns.push(per_shard);
         }
-        Ok(Self { bounds, dim, mode, controls, conns })
+        Ok(Self { bounds, dim, mode, controls, conns, obs })
     }
 
     /// Number of shard processes.
@@ -549,14 +654,24 @@ impl RemotePs {
 
     /// Tell every shard process to exit (replying `Bye`), closing all
     /// connections. Errors are swallowed: a shard that already died has
-    /// already "shut down".
+    /// already "shut down". When observability is on, each shard's `Bye`
+    /// trace merges into this client's sink under a `ps{shard}/` track
+    /// prefix and its counters land as `ps{shard}.{name}` (via
+    /// `counter_max`, so a re-delivered snapshot cannot double-count).
     pub fn shutdown(self) {
         // Close data connections first so shard-side handlers drain.
         drop(self.conns);
-        for control in &self.controls {
+        for (shard, control) in self.controls.iter().enumerate() {
             let mut framed = lock_plain(control);
             let _ = framed.send(&PsRequest::Shutdown.to_bytes());
-            let _ = framed.recv();
+            if let Ok(Some(bytes)) = framed.recv() {
+                if let Ok(PsResponse::Bye { counters, trace }) = PsResponse::from_bytes(&bytes) {
+                    self.obs.import_trace(&format!("ps{shard}/"), trace);
+                    for (name, v) in counters {
+                        self.obs.counter_max(&format!("ps{shard}.{name}"), v);
+                    }
+                }
+            }
         }
     }
 
@@ -570,11 +685,15 @@ impl RemotePs {
 
 impl PsClient for RemotePs {
     fn pull_with_version(&self, worker: usize) -> Result<(Vec<f32>, u64), PsNetError> {
+        // One RPC span per pull on this worker's own track; its context
+        // rides every shard request so shard-side spans parent under it.
+        let span = self.obs.span(&format!("ps.w{worker}"), "rpc.ps.pull");
+        let ctx = span.context();
         let mut params = Vec::with_capacity(self.dim);
         let mut version = 0u64;
         for shard in 0..self.n_shards() {
             let mut framed = lock_plain(self.conn(worker, shard)?);
-            match rpc(&mut framed, &PsRequest::Pull { worker: worker as u32 })? {
+            match rpc(&mut framed, &PsRequest::Pull { worker: worker as u32, ctx })? {
                 PsResponse::Pulled { params: slice, version: v } => {
                     if shard == 0 {
                         version = v;
@@ -594,6 +713,8 @@ impl PsClient for RemotePs {
         if grads.len() != self.dim {
             return Err(PsNetError::Protocol(format!("pushed {} gradients, model has {}", grads.len(), self.dim)));
         }
+        let span = self.obs.span(&format!("ps.w{worker}"), "rpc.ps.push");
+        let ctx = span.context();
         // Ascending shard order on every worker: sync-mode pushes barrier
         // per shard, and a uniform traversal order keeps the rounds in
         // lockstep (no worker can hold shard k's round open while another
@@ -601,7 +722,7 @@ impl PsClient for RemotePs {
         for shard in 0..self.n_shards() {
             let slice = &grads[self.bounds[shard]..self.bounds[shard + 1]];
             let mut framed = lock_plain(self.conn(worker, shard)?);
-            match rpc(&mut framed, &PsRequest::Push { worker: worker as u32, grads: slice.to_vec() })? {
+            match rpc(&mut framed, &PsRequest::Push { worker: worker as u32, ctx, grads: slice.to_vec() })? {
                 PsResponse::Pushed => {}
                 other => return Err(PsNetError::Protocol(format!("unexpected push reply: {other:?}"))),
             }
@@ -713,10 +834,19 @@ pub fn serve_ps_shard(listener: &Listener, accept_timeout_ns: u64) -> Result<(),
     let Some(first) = control.recv()? else {
         return Ok(());
     };
-    let (params, n_workers, mode, opt) = match PsRequest::from_bytes(&first)? {
-        PsRequest::Init { params, n_workers, mode, opt } => (params, n_workers as usize, mode, opt),
+    let (params, n_workers, mode, opt, trace, trace_id, salt) = match PsRequest::from_bytes(&first)? {
+        PsRequest::Init { params, n_workers, mode, opt, trace, trace_id, salt } => {
+            (params, n_workers as usize, mode, opt, trace, trace_id, salt)
+        }
         other => return Err(PsNetError::Protocol(format!("expected Init, got {other:?}"))),
     };
+    // Shard-side observability under the *logical* clock: per-request spans
+    // land on per-worker tracks (`ps.w{n}`), so timestamps depend only on
+    // each worker's own request order and the merged trace is byte-stable.
+    // The inner ParameterServer stays uninstrumented — its apply spans
+    // would be emitted by whichever worker's push closes the round, a
+    // nondeterministic track assignment.
+    let obs = if trace { Obs::enabled_with_identity(Clock::logical(), trace_id, salt) } else { Obs::default() };
     let server = Arc::new(ParameterServer::new(params, 1, n_workers.max(1), mode, move || opt.build()));
     control.send(&PsResponse::InitOk.to_bytes())?;
 
@@ -724,11 +854,12 @@ pub fn serve_ps_shard(listener: &Listener, accept_timeout_ns: u64) -> Result<(),
     std::thread::scope(|scope| {
         let server = &server;
         let shutdown = &shutdown;
+        let obs = &obs;
         // The control connection is just another request stream; when it
         // ends (Shutdown, or the driver process dying and the kernel
         // closing its sockets) the accept loop stops.
         scope.spawn(move || {
-            let _ = serve_conn(control, server, shutdown);
+            let _ = serve_conn(control, server, shutdown, obs);
             shutdown.store(true, Ordering::SeqCst);
         });
         loop {
@@ -738,7 +869,7 @@ pub fn serve_ps_shard(listener: &Listener, accept_timeout_ns: u64) -> Result<(),
             match listener.accept_deadline(&clock, 50_000_000) {
                 Ok(conn) => {
                     scope.spawn(move || {
-                        let _ = serve_conn(Framed::new(conn), server, shutdown);
+                        let _ = serve_conn(Framed::new(conn), server, shutdown, obs);
                     });
                 }
                 Err(TransportError::Timeout { .. }) => continue,
@@ -749,15 +880,26 @@ pub fn serve_ps_shard(listener: &Listener, accept_timeout_ns: u64) -> Result<(),
     Ok(())
 }
 
-/// Serve one connection's request stream against the shard server.
-fn serve_conn(mut framed: Framed, server: &ParameterServer, shutdown: &AtomicBool) -> Result<(), PsNetError> {
+/// Serve one connection's request stream against the shard server. Pull
+/// and push requests open spans on the requesting worker's track
+/// (`ps.w{n}`), parented under the trainer-side RPC span whose context
+/// rode the request — a deterministic assignment, unlike instrumenting the
+/// inner [`ParameterServer`] (whose applies run on the last pusher).
+fn serve_conn(
+    mut framed: Framed,
+    server: &ParameterServer,
+    shutdown: &AtomicBool,
+    obs: &Obs,
+) -> Result<(), PsNetError> {
     loop {
         let Some(bytes) = framed.recv()? else {
             return Ok(());
         };
         let resp = match PsRequest::from_bytes(&bytes)? {
             PsRequest::Init { .. } => PsResponse::Err { msg: "duplicate Init".to_string() },
-            PsRequest::Pull { worker } => {
+            PsRequest::Pull { worker, ctx } => {
+                let _span = obs.span_child_of(&format!("ps.w{worker}"), "ps.pull", ctx);
+                obs.metric_add("ps.pulls", 1);
                 if (worker as usize) < server.n_workers() {
                     let (params, version) = ParameterServer::pull_with_version(server, worker as usize);
                     PsResponse::Pulled { params, version }
@@ -765,7 +907,9 @@ fn serve_conn(mut framed: Framed, server: &ParameterServer, shutdown: &AtomicBoo
                     PsResponse::Err { msg: format!("worker {worker} out of range") }
                 }
             }
-            PsRequest::Push { worker, grads } => {
+            PsRequest::Push { worker, ctx, grads } => {
+                let _span = obs.span_child_of(&format!("ps.w{worker}"), "ps.push", ctx);
+                obs.metric_add("ps.pushes", 1);
                 if (worker as usize) >= server.n_workers() {
                     PsResponse::Err { msg: format!("worker {worker} out of range") }
                 } else if grads.len() != ParameterServer::len(server) {
@@ -786,7 +930,9 @@ fn serve_conn(mut framed: Framed, server: &ParameterServer, shutdown: &AtomicBoo
             PsRequest::Snapshot => PsResponse::Snapshot { params: ParameterServer::snapshot(server) },
             PsRequest::Stats => PsResponse::Stats { stats: ParameterServer::stats(server) },
             PsRequest::Shutdown => {
-                framed.send(&PsResponse::Bye.to_bytes())?;
+                let trace = obs.trace().map(|t| t.events()).unwrap_or_default();
+                let bye = PsResponse::Bye { counters: obs.counter_snapshot(), trace };
+                framed.send(&bye.to_bytes())?;
                 shutdown.store(true, Ordering::SeqCst);
                 return Ok(());
             }
@@ -986,6 +1132,61 @@ mod tests {
     }
 
     #[test]
+    fn obs_parents_shard_spans_under_trainer_rpcs() {
+        let dir = temp_dir("obs");
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("s{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        let obs = Obs::enabled_with_identity(Clock::logical(), 77, 0);
+        std::thread::scope(|s| {
+            for l in &listeners {
+                s.spawn(move || serve_ps_shard(l, 5_000_000_000).unwrap());
+            }
+            let remote = RemotePs::connect_with_obs(
+                &eps,
+                &[0.0; 8],
+                2,
+                Consistency::Sync,
+                OptSpec::Sgd { lr: 0.1 },
+                5_000_000_000,
+                10_000_000_000,
+                obs.clone(),
+            )
+            .unwrap();
+            run_client_workers(&remote, 2, |w, c| {
+                let (x, _v) = c.pull_with_version(w)?;
+                c.push(w, &vec![0.1; x.len()])?;
+                Ok(())
+            })
+            .unwrap();
+            remote.shutdown();
+        });
+        let events = obs.trace().unwrap().events();
+        let client_ids: std::collections::HashSet<u64> =
+            events.iter().filter(|e| e.name.starts_with("rpc.ps.")).map(|e| e.span_id).collect();
+        assert!(!client_ids.is_empty(), "trainer-side RPC spans recorded");
+        let shard_spans: Vec<_> =
+            events.iter().filter(|e| e.track.starts_with("ps") && e.track.contains('/')).collect();
+        assert!(!shard_spans.is_empty(), "shard traces merged into the client sink");
+        for e in &shard_spans {
+            assert!(
+                client_ids.contains(&e.parent_id),
+                "shard span {} on {} has parent {} outside the trainer RPC spans",
+                e.name,
+                e.track,
+                e.parent_id
+            );
+        }
+        let m = obs.metrics().unwrap();
+        // Each worker's single pull/push touches both shards once.
+        assert_eq!(m.get("ps0.ps.pulls"), 2, "{}", m.render());
+        assert_eq!(m.get("ps1.ps.pushes"), 2, "{}", m.render());
+        assert!(m.get("rpc.ps.s0.send.pull.frames") >= 2, "{}", m.render());
+        assert!(m.get("rpc.ps.s1.recv.pulled.bytes") > 0, "{}", m.render());
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn wire_codecs_round_trip() {
         let reqs = [
             PsRequest::Init {
@@ -993,9 +1194,12 @@ mod tests {
                 n_workers: 3,
                 mode: Consistency::Ssp { slack: 4 },
                 opt: OptSpec::Adam { lr: 0.001 },
+                trace: true,
+                trace_id: 42,
+                salt: 1001,
             },
-            PsRequest::Pull { worker: 7 },
-            PsRequest::Push { worker: 1, grads: vec![0.5; 3] },
+            PsRequest::Pull { worker: 7, ctx: Some(SpanContext { trace_id: 42, span_id: 99 }) },
+            PsRequest::Push { worker: 1, ctx: None, grads: vec![0.5; 3] },
             PsRequest::Retire { worker: 2 },
             PsRequest::Snapshot,
             PsRequest::Stats,
@@ -1031,7 +1235,20 @@ mod tests {
                     }],
                 },
             },
-            PsResponse::Bye,
+            PsResponse::Bye {
+                counters: vec![("ps.pulls".to_string(), 4)],
+                trace: vec![TraceEvent {
+                    track: "ps.w0".to_string(),
+                    seq: 0,
+                    name: "ps.pull".to_string(),
+                    ts: 1,
+                    dur: 2,
+                    depth: 0,
+                    args: vec![("bytes".to_string(), 8)],
+                    span_id: 11,
+                    parent_id: 12,
+                }],
+            },
             PsResponse::Err { msg: "nope".to_string() },
         ];
         for r in resps {

@@ -12,29 +12,42 @@
 use crate::store::{shard_of, Neighbor, ShardSlab};
 use agl_graph::NodeId;
 use agl_mapreduce::codec::{
-    get_f32, get_f32s, get_u32, get_u64, get_u8, put_f32, put_f32s, put_u32, put_u64, put_u8, CodecError,
+    get_counters, get_f32, get_f32s, get_span_ctx, get_trace_event, get_u32, get_u64, get_u8, put_counters, put_f32,
+    put_f32s, put_span_ctx, put_trace_event, put_u32, put_u64, put_u8, CodecError,
 };
-use agl_mapreduce::transport::connect;
+use agl_mapreduce::transport::{connect, FrameStats};
 use agl_mapreduce::{Endpoint, Framed, Listener, TransportError};
-use agl_obs::Clock;
+use agl_obs::{Clock, Obs, SpanContext, TraceEvent};
 
 /// Serving wire protocol (u32-le length-prefixed frames via [`Framed`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeWireMsg {
-    /// Driver → worker: replace the shard contents.
-    Load { dim: u32, entries: Vec<(u64, Vec<f32>)> },
+    /// Driver → worker: replace the shard contents. Also carries the trace
+    /// identity (`trace` enables worker-side tracing under the shared
+    /// `trace_id`; `salt` keeps this shard's span ids collision-free in
+    /// the merged trace) and the metrics flush cadence (`flush_every`
+    /// answered requests; 0 disables mid-flight snapshots).
+    Load { dim: u32, entries: Vec<(u64, Vec<f32>)>, trace: bool, trace_id: u64, salt: u64, flush_every: u64 },
     /// Worker → driver: load acknowledged, with the entry count.
     Loaded { n: u64 },
-    /// Driver → worker: point lookups (only ids this shard owns).
-    Lookup { ids: Vec<u64> },
+    /// Driver → worker: point lookups (only ids this shard owns). `ctx` is
+    /// the driver-side RPC span; the worker span parents under it.
+    Lookup { ids: Vec<u64>, ctx: Option<SpanContext> },
     /// Worker → driver: positional answers (empty vec = miss).
     LookupResp { answers: Vec<Vec<f32>> },
     /// Driver → worker: per-shard top-k candidates for a query vector.
-    TopK { query: Vec<f32>, k: u32, exclude: Option<u64> },
+    TopK { query: Vec<f32>, k: u32, exclude: Option<u64>, ctx: Option<SpanContext> },
     /// Worker → driver: this shard's candidates, (score, id) best-first.
     TopKResp { candidates: Vec<(f32, u64)> },
-    /// Driver → worker: exit cleanly.
+    /// Driver → worker: exit cleanly (the worker answers [`Self::Bye`]).
     Shutdown,
+    /// Worker → driver, ahead of a reply: *cumulative* counter snapshot,
+    /// flushed every `flush_every` answered requests. Merged with
+    /// `counter_max`, so a repeated snapshot never double-counts.
+    Metrics { counters: Vec<(String, u64)> },
+    /// Worker → driver: shutdown acknowledged; final counters and trace
+    /// events for the driver's merged view.
+    Bye { counters: Vec<(String, u64)>, trace: Vec<TraceEvent> },
 }
 
 const TAG_LOAD: u8 = 0;
@@ -44,13 +57,32 @@ const TAG_LOOKUP_RESP: u8 = 3;
 const TAG_TOPK: u8 = 4;
 const TAG_TOPK_RESP: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_METRICS: u8 = 7;
+const TAG_BYE: u8 = 8;
+
+/// Metric-name for a frame's leading tag byte (RPC telemetry); the serve
+/// protocol is symmetric, so one namer covers both directions.
+fn serve_msg_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_LOAD => "load",
+        TAG_LOADED => "loaded",
+        TAG_LOOKUP => "lookup",
+        TAG_LOOKUP_RESP => "lookup_resp",
+        TAG_TOPK => "topk",
+        TAG_TOPK_RESP => "topk_resp",
+        TAG_SHUTDOWN => "shutdown",
+        TAG_METRICS => "metrics",
+        TAG_BYE => "bye",
+        _ => "unknown",
+    }
+}
 
 impl ServeWireMsg {
     /// Serialise to a frame payload.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Self::Load { dim, entries } => {
+            Self::Load { dim, entries, trace, trace_id, salt, flush_every } => {
                 put_u8(&mut buf, TAG_LOAD);
                 put_u32(&mut buf, *dim);
                 put_u64(&mut buf, entries.len() as u64);
@@ -58,17 +90,22 @@ impl ServeWireMsg {
                     put_u64(&mut buf, *id);
                     put_f32s(&mut buf, v);
                 }
+                put_u8(&mut buf, u8::from(*trace));
+                put_u64(&mut buf, *trace_id);
+                put_u64(&mut buf, *salt);
+                put_u64(&mut buf, *flush_every);
             }
             Self::Loaded { n } => {
                 put_u8(&mut buf, TAG_LOADED);
                 put_u64(&mut buf, *n);
             }
-            Self::Lookup { ids } => {
+            Self::Lookup { ids, ctx } => {
                 put_u8(&mut buf, TAG_LOOKUP);
                 put_u64(&mut buf, ids.len() as u64);
                 for id in ids {
                     put_u64(&mut buf, *id);
                 }
+                put_span_ctx(&mut buf, *ctx);
             }
             Self::LookupResp { answers } => {
                 put_u8(&mut buf, TAG_LOOKUP_RESP);
@@ -77,7 +114,7 @@ impl ServeWireMsg {
                     put_f32s(&mut buf, v);
                 }
             }
-            Self::TopK { query, k, exclude } => {
+            Self::TopK { query, k, exclude, ctx } => {
                 put_u8(&mut buf, TAG_TOPK);
                 put_f32s(&mut buf, query);
                 put_u32(&mut buf, *k);
@@ -88,6 +125,7 @@ impl ServeWireMsg {
                     }
                     None => put_u8(&mut buf, 0),
                 }
+                put_span_ctx(&mut buf, *ctx);
             }
             Self::TopKResp { candidates } => {
                 put_u8(&mut buf, TAG_TOPK_RESP);
@@ -98,6 +136,18 @@ impl ServeWireMsg {
                 }
             }
             Self::Shutdown => put_u8(&mut buf, TAG_SHUTDOWN),
+            Self::Metrics { counters } => {
+                put_u8(&mut buf, TAG_METRICS);
+                put_counters(&mut buf, counters);
+            }
+            Self::Bye { counters, trace } => {
+                put_u8(&mut buf, TAG_BYE);
+                put_counters(&mut buf, counters);
+                put_u32(&mut buf, trace.len() as u32);
+                for e in trace {
+                    put_trace_event(&mut buf, e);
+                }
+            }
         }
         buf
     }
@@ -114,7 +164,11 @@ impl ServeWireMsg {
                     let id = get_u64(input)?;
                     entries.push((id, get_f32s(input)?));
                 }
-                Self::Load { dim, entries }
+                let trace = get_u8(input)? != 0;
+                let trace_id = get_u64(input)?;
+                let salt = get_u64(input)?;
+                let flush_every = get_u64(input)?;
+                Self::Load { dim, entries, trace, trace_id, salt, flush_every }
             }
             TAG_LOADED => Self::Loaded { n: get_u64(input)? },
             TAG_LOOKUP => {
@@ -123,7 +177,8 @@ impl ServeWireMsg {
                 for _ in 0..n {
                     ids.push(get_u64(input)?);
                 }
-                Self::Lookup { ids }
+                let ctx = get_span_ctx(input)?;
+                Self::Lookup { ids, ctx }
             }
             TAG_LOOKUP_RESP => {
                 let n = get_u64(input)? as usize;
@@ -137,7 +192,8 @@ impl ServeWireMsg {
                 let query = get_f32s(input)?;
                 let k = get_u32(input)?;
                 let exclude = if get_u8(input)? == 1 { Some(get_u64(input)?) } else { None };
-                Self::TopK { query, k, exclude }
+                let ctx = get_span_ctx(input)?;
+                Self::TopK { query, k, exclude, ctx }
             }
             TAG_TOPK_RESP => {
                 let n = get_u64(input)? as usize;
@@ -149,6 +205,16 @@ impl ServeWireMsg {
                 Self::TopKResp { candidates }
             }
             TAG_SHUTDOWN => Self::Shutdown,
+            TAG_METRICS => Self::Metrics { counters: get_counters(input)? },
+            TAG_BYE => {
+                let counters = get_counters(input)?;
+                let n = get_u32(input)? as usize;
+                let mut trace = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    trace.push(get_trace_event(input)?);
+                }
+                Self::Bye { counters, trace }
+            }
             t => return Err(CodecError(format!("serve wire msg: bad tag {t}"))),
         };
         Ok(msg)
@@ -163,22 +229,50 @@ fn sort_candidates(c: &mut Vec<(f32, u64)>, k: usize) {
 /// Host one shard: accept a single driver connection and answer requests
 /// until `Shutdown` or EOF. Blocks the calling thread; `agl-cli
 /// serve-worker` calls this as the child process's whole life.
+///
+/// When the `Load` message enables tracing, every lookup/top-k opens a
+/// span on the `serve` track parented under the driver RPC span whose
+/// context rode the request, a cumulative counter snapshot is flushed
+/// every `flush_every` answered requests, and `Shutdown` is acknowledged
+/// with a `Bye` carrying the final counters and trace.
 pub fn serve_shard_worker(ep: &Endpoint) -> Result<(), TransportError> {
     let listener = Listener::bind(ep)?;
     let mut framed = Framed::new(listener.accept()?);
     let mut slab = ShardSlab::default();
+    let mut obs = Obs::default();
+    let mut flush_every = 0u64;
+    let mut answered = 0u64;
     while let Some(frame) = framed.recv()? {
         let msg = ServeWireMsg::from_bytes(&frame)
             .map_err(|e| TransportError::Protocol(format!("serve worker: bad frame: {e}")))?;
         let reply = match msg {
-            ServeWireMsg::Load { dim, entries } => {
+            ServeWireMsg::Load { dim, entries, trace, trace_id, salt, flush_every: fe } => {
+                // Logical clock: span timestamps depend only on this
+                // worker's own request order, so merged traces from a
+                // seeded run are byte-stable.
+                obs = if trace { Obs::enabled_with_identity(Clock::logical(), trace_id, salt) } else { Obs::default() };
+                flush_every = fe;
                 slab = ShardSlab::build(entries, dim as usize);
+                obs.metric_add("serve.loaded_entries", slab.len() as u64);
                 ServeWireMsg::Loaded { n: slab.len() as u64 }
             }
-            ServeWireMsg::Lookup { ids } => ServeWireMsg::LookupResp {
-                answers: ids.iter().map(|&id| slab.get(NodeId(id)).map(<[f32]>::to_vec).unwrap_or_default()).collect(),
-            },
-            ServeWireMsg::TopK { query, k, exclude } => {
+            ServeWireMsg::Lookup { ids, ctx } => {
+                let mut span = obs.span_child_of("serve", "serve.lookup", ctx);
+                span.counter("ids", ids.len() as u64);
+                obs.metric_add("serve.lookups", 1);
+                answered += 1;
+                ServeWireMsg::LookupResp {
+                    answers: ids
+                        .iter()
+                        .map(|&id| slab.get(NodeId(id)).map(<[f32]>::to_vec).unwrap_or_default())
+                        .collect(),
+                }
+            }
+            ServeWireMsg::TopK { query, k, exclude, ctx } => {
+                let mut span = obs.span_child_of("serve", "serve.topk", ctx);
+                span.counter("k", u64::from(k));
+                obs.metric_add("serve.topks", 1);
+                answered += 1;
                 let mut candidates: Vec<(f32, u64)> = slab
                     .iter()
                     .filter(|(node, _)| Some(node.0) != exclude)
@@ -187,14 +281,41 @@ pub fn serve_shard_worker(ep: &Endpoint) -> Result<(), TransportError> {
                 sort_candidates(&mut candidates, k as usize);
                 ServeWireMsg::TopKResp { candidates }
             }
-            ServeWireMsg::Shutdown => break,
+            ServeWireMsg::Shutdown => {
+                let trace = obs.trace().map(|t| t.events()).unwrap_or_default();
+                framed.send(&ServeWireMsg::Bye { counters: obs.counter_snapshot(), trace }.to_bytes())?;
+                break;
+            }
             other => {
                 return Err(TransportError::Protocol(format!("serve worker: unexpected request {other:?}")));
             }
         };
+        // Flush ahead of the reply so the driver always reads the snapshot
+        // before the answer it is waiting on.
+        if flush_every > 0 && answered > 0 && answered % flush_every == 0 {
+            framed.send(&ServeWireMsg::Metrics { counters: obs.counter_snapshot() }.to_bytes())?;
+        }
         framed.send(&reply.to_bytes())?;
     }
     Ok(())
+}
+
+/// Read the next *reply* from a shard connection, absorbing any
+/// mid-flight `Metrics` snapshots the worker flushed ahead of it
+/// (cumulative, merged with `counter_max` under a `shard{i}.` prefix —
+/// idempotent, so a re-read snapshot never double-counts).
+fn expect(framed: &mut Framed, obs: &Obs, shard: usize) -> Result<ServeWireMsg, TransportError> {
+    loop {
+        let frame = framed.recv()?.ok_or_else(|| TransportError::Protocol("worker closed connection".into()))?;
+        let msg = ServeWireMsg::from_bytes(&frame).map_err(|e| TransportError::Protocol(format!("bad reply: {e}")))?;
+        if let ServeWireMsg::Metrics { counters } = msg {
+            for (name, v) in counters {
+                obs.counter_max(&format!("shard{shard}.{name}"), v);
+            }
+            continue;
+        }
+        return Ok(msg);
+    }
 }
 
 /// Driver-side handle over `N` shard workers — the same query surface as
@@ -202,6 +323,9 @@ pub fn serve_shard_worker(ep: &Endpoint) -> Result<(), TransportError> {
 pub struct RemoteStore {
     conns: Vec<Framed>,
     dim: usize,
+    /// Driver-side observability: RPC spans and frame telemetry, plus the
+    /// merge target for worker snapshots and `Bye` traces.
+    obs: Obs,
 }
 
 impl RemoteStore {
@@ -213,6 +337,23 @@ impl RemoteStore {
         clock: &Clock,
         timeout_ns: u64,
     ) -> Result<Self, TransportError> {
+        Self::connect_with_obs(endpoints, vectors, clock, timeout_ns, Obs::default(), 0)
+    }
+
+    /// [`RemoteStore::connect`] with observability: every connection gets
+    /// RPC frame telemetry (`rpc.serve.s{i}.*`), queries carry the caller's
+    /// span context so worker spans parent under driver RPCs, mid-flight
+    /// worker snapshots land as `shard{i}.{name}` counters, and
+    /// [`RemoteStore::shutdown`] merges each worker's trace under a
+    /// `shard{i}/` track prefix.
+    pub fn connect_with_obs(
+        endpoints: &[Endpoint],
+        vectors: impl IntoIterator<Item = (NodeId, Vec<f32>)>,
+        clock: &Clock,
+        timeout_ns: u64,
+        obs: Obs,
+        flush_every: u64,
+    ) -> Result<Self, TransportError> {
         let n = endpoints.len();
         assert!(n > 0, "need at least one shard worker");
         let mut buckets: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); n];
@@ -221,23 +362,30 @@ impl RemoteStore {
             dim = v.len();
             buckets[shard_of(node, n)].push((node.0, v));
         }
+        let trace_id = obs.trace().map(|t| t.trace_id()).unwrap_or(0);
         let mut conns = Vec::with_capacity(n);
-        for (ep, bucket) in endpoints.iter().zip(buckets) {
-            let mut framed = Framed::new(connect(ep, clock, timeout_ns)?);
+        for (i, (ep, bucket)) in endpoints.iter().zip(buckets).enumerate() {
+            let stats = FrameStats::from_obs(&obs, &format!("serve.s{i}"), serve_msg_name, serve_msg_name);
+            let mut framed = Framed::new(connect(ep, clock, timeout_ns)?).with_stats(stats);
             let loaded = bucket.len() as u64;
-            framed.send(&ServeWireMsg::Load { dim: dim as u32, entries: bucket }.to_bytes())?;
-            match Self::expect(&mut framed)? {
+            let load = ServeWireMsg::Load {
+                dim: dim as u32,
+                entries: bucket,
+                trace: obs.is_enabled(),
+                trace_id,
+                // Serve shards salt above the PS shards (2001+i vs 1001+s)
+                // so merged span ids never collide across subsystems.
+                salt: 2001 + i as u64,
+                flush_every,
+            };
+            framed.send(&load.to_bytes())?;
+            match expect(&mut framed, &obs, i)? {
                 ServeWireMsg::Loaded { n } if n == loaded => {}
                 other => return Err(TransportError::Protocol(format!("bad load ack: {other:?}"))),
             }
             conns.push(framed);
         }
-        Ok(Self { conns, dim })
-    }
-
-    fn expect(framed: &mut Framed) -> Result<ServeWireMsg, TransportError> {
-        let frame = framed.recv()?.ok_or_else(|| TransportError::Protocol("worker closed connection".into()))?;
-        ServeWireMsg::from_bytes(&frame).map_err(|e| TransportError::Protocol(format!("bad reply: {e}")))
+        Ok(Self { conns, dim, obs })
     }
 
     /// Vector dimension of the loaded store.
@@ -248,6 +396,8 @@ impl RemoteStore {
     /// Batched point lookups: ids grouped per owning shard (one round trip
     /// per touched shard), answers returned positionally.
     pub fn lookup(&mut self, ids: &[NodeId]) -> Result<Vec<Option<Vec<f32>>>, TransportError> {
+        let span = self.obs.span("serve.driver", "rpc.serve.lookup");
+        let ctx = span.context();
         let n = self.conns.len();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (pos, id) in ids.iter().enumerate() {
@@ -258,9 +408,9 @@ impl RemoteStore {
             if group.is_empty() {
                 continue;
             }
-            let req = ServeWireMsg::Lookup { ids: group.iter().map(|&p| ids[p].0).collect() };
+            let req = ServeWireMsg::Lookup { ids: group.iter().map(|&p| ids[p].0).collect(), ctx };
             self.conns[shard].send(&req.to_bytes())?;
-            match Self::expect(&mut self.conns[shard])? {
+            match expect(&mut self.conns[shard], &self.obs, shard)? {
                 ServeWireMsg::LookupResp { answers } if answers.len() == group.len() => {
                     for (&pos, v) in group.iter().zip(answers) {
                         out[pos] = if v.is_empty() { None } else { Some(v) };
@@ -275,14 +425,16 @@ impl RemoteStore {
     /// Exact top-k across all shards: fan out, merge candidates by
     /// (score desc, id asc) — bit-identical to the in-process store.
     pub fn topk(&mut self, query: &[f32], k: usize, exclude: Option<NodeId>) -> Result<Vec<Neighbor>, TransportError> {
-        let req = ServeWireMsg::TopK { query: query.to_vec(), k: k as u32, exclude: exclude.map(|n| n.0) };
+        let span = self.obs.span("serve.driver", "rpc.serve.topk");
+        let ctx = span.context();
+        let req = ServeWireMsg::TopK { query: query.to_vec(), k: k as u32, exclude: exclude.map(|n| n.0), ctx };
         let bytes = req.to_bytes();
         let mut merged: Vec<(f32, u64)> = Vec::new();
         for conn in &mut self.conns {
             conn.send(&bytes)?;
         }
-        for conn in &mut self.conns {
-            match Self::expect(conn)? {
+        for (shard, conn) in self.conns.iter_mut().enumerate() {
+            match expect(conn, &self.obs, shard)? {
                 ServeWireMsg::TopKResp { candidates } => merged.extend(candidates),
                 other => return Err(TransportError::Protocol(format!("bad topk reply: {other:?}"))),
             }
@@ -291,11 +443,23 @@ impl RemoteStore {
         Ok(merged.into_iter().map(|(score, id)| Neighbor { node: NodeId(id), score }).collect())
     }
 
-    /// Ask every worker to exit.
+    /// Ask every worker to exit. Each worker acknowledges with a `Bye`;
+    /// its trace merges into this driver's sink under a `shard{i}/` track
+    /// prefix and its final counters land as `shard{i}.{name}` (via
+    /// `counter_max`, superseding any mid-flight snapshots). Errors are
+    /// swallowed: a worker that already died has already shut down.
     pub fn shutdown(&mut self) {
         let bytes = ServeWireMsg::Shutdown.to_bytes();
-        for conn in &mut self.conns {
-            let _ = conn.send(&bytes);
+        for (shard, conn) in self.conns.iter_mut().enumerate() {
+            if conn.send(&bytes).is_err() {
+                continue;
+            }
+            if let Ok(ServeWireMsg::Bye { counters, trace }) = expect(conn, &self.obs, shard) {
+                self.obs.import_trace(&format!("shard{shard}/"), trace);
+                for (name, v) in counters {
+                    self.obs.counter_max(&format!("shard{shard}.{name}"), v);
+                }
+            }
         }
     }
 }
@@ -309,17 +473,89 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let msgs = [
-            ServeWireMsg::Load { dim: 3, entries: vec![(7, vec![1.0, 2.0, 3.0]), (9, vec![0.0, -1.0, 0.5])] },
+            ServeWireMsg::Load {
+                dim: 3,
+                entries: vec![(7, vec![1.0, 2.0, 3.0]), (9, vec![0.0, -1.0, 0.5])],
+                trace: true,
+                trace_id: 42,
+                salt: 2001,
+                flush_every: 8,
+            },
             ServeWireMsg::Loaded { n: 2 },
-            ServeWireMsg::Lookup { ids: vec![7, 11] },
+            ServeWireMsg::Lookup { ids: vec![7, 11], ctx: Some(SpanContext { trace_id: 42, span_id: 9 }) },
             ServeWireMsg::LookupResp { answers: vec![vec![1.0, 2.0, 3.0], vec![]] },
-            ServeWireMsg::TopK { query: vec![0.5, 0.5, 0.5], k: 4, exclude: Some(7) },
+            ServeWireMsg::TopK { query: vec![0.5, 0.5, 0.5], k: 4, exclude: Some(7), ctx: None },
             ServeWireMsg::TopKResp { candidates: vec![(2.5, 9), (1.0, 7)] },
             ServeWireMsg::Shutdown,
+            ServeWireMsg::Metrics { counters: vec![("serve.lookups".to_string(), 3)] },
+            ServeWireMsg::Bye {
+                counters: vec![("serve.topks".to_string(), 2)],
+                trace: vec![TraceEvent {
+                    track: "serve".to_string(),
+                    seq: 0,
+                    name: "serve.topk".to_string(),
+                    ts: 1,
+                    dur: 2,
+                    depth: 0,
+                    args: vec![("k".to_string(), 4)],
+                    span_id: 11,
+                    parent_id: 12,
+                }],
+            },
         ];
         for m in msgs {
             assert_eq!(ServeWireMsg::from_bytes(&m.to_bytes()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn truncated_bye_and_bad_ctx_version_are_rejected() {
+        let bye = ServeWireMsg::Bye { counters: vec![("c".to_string(), 1)], trace: vec![] }.to_bytes();
+        assert!(ServeWireMsg::from_bytes(&bye[..bye.len() - 2]).is_err());
+        let mut lookup = ServeWireMsg::Lookup { ids: vec![], ctx: None }.to_bytes();
+        *lookup.last_mut().unwrap() = 250; // span-ctx version byte
+        let err = ServeWireMsg::from_bytes(&lookup).unwrap_err();
+        assert!(err.0.contains("unknown span context version 250"), "{}", err.0);
+    }
+
+    #[test]
+    fn obs_parents_worker_spans_and_flushes_metrics() {
+        let dir = std::env::temp_dir().join(format!("agl-serve-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("shard{i}.sock")))).collect();
+        let vectors: Vec<(NodeId, Vec<f32>)> = (0..16u64).map(|i| (NodeId(i), vec![i as f32, 1.0])).collect();
+        let obs = Obs::enabled_with_identity(Clock::logical(), 5, 0);
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || serve_shard_worker(ep).unwrap());
+            }
+            let clock = Clock::monotonic();
+            let mut remote =
+                RemoteStore::connect_with_obs(&eps, vectors, &clock, 2_000_000_000, obs.clone(), 1).unwrap();
+            remote.lookup(&[NodeId(3), NodeId(8)]).unwrap();
+            remote.topk(&[1.0, 0.0], 4, None).unwrap();
+            remote.shutdown();
+        });
+        let events = obs.trace().unwrap().events();
+        let driver_ids: std::collections::HashSet<u64> =
+            events.iter().filter(|e| e.track == "serve.driver").map(|e| e.span_id).collect();
+        assert!(!driver_ids.is_empty(), "driver RPC spans recorded");
+        let worker_spans: Vec<_> = events.iter().filter(|e| e.track.starts_with("shard")).collect();
+        assert!(!worker_spans.is_empty(), "worker traces merged");
+        for e in &worker_spans {
+            assert!(
+                driver_ids.contains(&e.parent_id),
+                "worker span {} on {} has parent {} outside the driver RPC spans",
+                e.name,
+                e.track,
+                e.parent_id
+            );
+        }
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.get("shard0.serve.topks") + m.get("shard1.serve.topks"), 2, "{}", m.render());
+        assert!(m.get("rpc.serve.s0.send.topk.frames") > 0, "{}", m.render());
+        assert!(m.get("rpc.serve.s0.recv.metrics.frames") > 0, "flush_every=1 must snapshot: {}", m.render());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Two in-process "workers" over UDS answer bit-identically to the

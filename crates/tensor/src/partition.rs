@@ -209,29 +209,48 @@ impl WriteSetTracker {
 }
 
 /// Execution context for aggregation kernels: how many partitions/threads to
-/// use. A context with `threads == 1` degenerates to the sequential kernel,
-/// which is what `AGL_base` (no `+partition`) uses in the Table 4 ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// use, plus the observability handle kernel spans report through. A context
+/// with `threads == 1` degenerates to the sequential kernel, which is what
+/// `AGL_base` (no `+partition`) uses in the Table 4 ablation.
+#[derive(Debug, Clone)]
 pub struct ExecCtx {
     /// Number of aggregation threads (and edge partitions).
     pub threads: usize,
+    /// Span/metric sink; `Obs::default()` keeps the kernels inert.
+    pub obs: agl_obs::Obs,
+    /// Trace track kernel spans land on. Per-worker contexts (one trainer
+    /// worker per thread) must use distinct tracks — e.g. `tensor.w0` — so
+    /// logical-clock timestamps stay deterministic per worker.
+    pub track: String,
 }
 
 impl Default for ExecCtx {
     fn default() -> Self {
-        Self { threads: 1 }
+        Self::sequential()
     }
 }
 
 impl ExecCtx {
     /// Sequential execution (the `AGL_base` configuration).
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self { threads: 1, obs: agl_obs::Obs::default(), track: "tensor".to_string() }
     }
 
     /// Parallel execution with `t` edge partitions (`AGL+partition`).
     pub fn parallel(t: usize) -> Self {
-        Self { threads: t.max(1) }
+        Self { threads: t.max(1), ..Self::sequential() }
+    }
+
+    /// Attach an observability handle (builder-style).
+    pub fn with_obs(mut self, obs: agl_obs::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Put kernel spans on `track` instead of the default `tensor` lane.
+    pub fn with_track(mut self, track: &str) -> Self {
+        self.track = track.to_string();
+        self
     }
 
     /// `csr @ dense` using edge-partitioned multithreaded aggregation when
@@ -240,6 +259,9 @@ impl ExecCtx {
     /// row is accumulated in the same order.
     pub fn spmm(&self, csr: &Csr, dense: &Matrix) -> Matrix {
         if self.threads <= 1 {
+            let mut span = self.obs.span(&self.track, "spmm.sequential");
+            span.counter("rows", csr.n_rows() as u64);
+            span.counter("nnz", csr.nnz() as u64);
             return csr.spmm(dense);
         }
         let part = EdgePartition::new(csr, self.threads);
@@ -250,6 +272,10 @@ impl ExecCtx {
             "EdgePartition::new produced a conflicting partition: {:?}",
             part.check_conflict_free(csr.n_rows())
         );
+        let mut span = self.obs.span(&self.track, "spmm.edge_partitioned");
+        span.counter("rows", csr.n_rows() as u64);
+        span.counter("nnz", csr.nnz() as u64);
+        span.counter("parts", part.len() as u64);
         let mut out = Matrix::zeros(csr.n_rows(), dense.cols());
         let cols = dense.cols();
         #[cfg(debug_assertions)]
@@ -267,12 +293,31 @@ impl ExecCtx {
             offset += take;
         }
         debug_assert_eq!(offset, csr.n_rows() * cols);
+        let obs = &self.obs;
+        let kernel_ctx = span.context();
+        // Tile track names are formatted up front, outside the hot spawn
+        // loop (and only when tracing is live).
+        let tile_tracks: Vec<String> = if obs.is_enabled() {
+            (0..slices.len()).map(|i| format!("{}.p{i}", self.track)).collect()
+        } else {
+            Vec::new()
+        };
         std::thread::scope(|scope| {
             for (_worker, (range, out_rows)) in slices.into_iter().enumerate() {
                 #[cfg(debug_assertions)]
                 let tracker = &tracker;
                 let (start, end) = (range.start, range.end);
+                let nnz = csr.indptr()[end] - csr.indptr()[start];
+                let tile_track = tile_tracks.get(_worker).map_or("", String::as_str);
                 scope.spawn(move || {
+                    // Each tile spans on its own `{track}.p{i}` lane: under
+                    // the logical clock a track's timestamps depend only on
+                    // its own span order, so per-tile lanes keep the trace
+                    // byte-stable however the threads interleave. Tiles
+                    // parent under the kernel span for causal linkage.
+                    let mut tile = obs.span_child_of(tile_track, "spmm.tile", kernel_ctx);
+                    tile.counter("rows", (end - start) as u64);
+                    tile.counter("nnz", nnz as u64);
                     for r in start..end {
                         #[cfg(debug_assertions)]
                         tracker.claim(r, _worker);
@@ -396,6 +441,29 @@ mod tests {
             let par = ExecCtx::parallel(t).spmm(&csr, &x);
             assert_eq!(seq.max_abs_diff(&par), 0.0, "t={t} must be bit-identical");
         }
+    }
+
+    #[test]
+    fn spmm_kernels_emit_spans_with_tile_parents() {
+        let csr = random_csr(64, 5, 9);
+        let x = random_dense(64, 4, 10);
+        let obs = agl_obs::Obs::enabled_logical();
+        let ctx = ExecCtx::parallel(3).with_obs(obs.clone()).with_track("tensor.w0");
+        ctx.spmm(&csr, &x);
+        let events = obs.trace().unwrap().events();
+        let kernel: Vec<_> = events.iter().filter(|e| e.name == "spmm.edge_partitioned").collect();
+        assert_eq!(kernel.len(), 1, "one kernel span per call");
+        assert_eq!(kernel[0].track, "tensor.w0");
+        assert!(kernel[0].args.iter().any(|(k, v)| k == "nnz" && *v == csr.nnz() as u64));
+        let tiles: Vec<_> = events.iter().filter(|e| e.name == "spmm.tile").collect();
+        assert!(!tiles.is_empty(), "tile spans recorded");
+        for t in &tiles {
+            assert_eq!(t.parent_id, kernel[0].span_id, "tile parents under the kernel span");
+            assert!(t.track.starts_with("tensor.w0.p"), "{}", t.track);
+        }
+        let obs2 = agl_obs::Obs::enabled_logical();
+        ExecCtx::sequential().with_obs(obs2.clone()).spmm(&csr, &x);
+        assert_eq!(obs2.trace().unwrap().events()[0].name, "spmm.sequential");
     }
 
     #[test]

@@ -130,6 +130,10 @@ impl DistTrainer {
                 agl_obs::Span::disabled()
             };
             run_client_workers(server, self.n_workers, |w, ps| {
+                // Per-worker kernel track: each worker's spans land on its
+                // own `tensor.w{w}` lane, keeping logical-clock timestamps
+                // independent of cross-worker thread interleaving.
+                let ctx = ctx.clone().with_track(&format!("tensor.w{w}"));
                 let mut replica = template.clone();
                 let mut rng = seeded_rng(derive_seed(self.opts.engine.seed, (epoch * 1000 + w) as u64));
                 let mut order = partitions[w].clone();
@@ -214,11 +218,12 @@ impl TrainOptions {
     }
 
     pub fn ctx_public(&self) -> agl_tensor::ExecCtx {
-        if self.partitions > 1 {
+        let base = if self.partitions > 1 {
             agl_tensor::ExecCtx::parallel(self.partitions)
         } else {
             agl_tensor::ExecCtx::sequential()
-        }
+        };
+        base.with_obs(self.engine.obs.clone())
     }
 }
 

@@ -89,11 +89,8 @@ impl TrainOptions {
     }
 
     fn ctx(&self) -> ExecCtx {
-        if self.partitions > 1 {
-            ExecCtx::parallel(self.partitions)
-        } else {
-            ExecCtx::sequential()
-        }
+        let base = if self.partitions > 1 { ExecCtx::parallel(self.partitions) } else { ExecCtx::sequential() };
+        base.with_obs(self.engine.obs.clone())
     }
 
     fn spec(&self, model: &GnnModel) -> PrepSpec {
