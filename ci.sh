@@ -175,6 +175,44 @@ serve_smoke() {
   fi
 }
 
+# Streaming-inference smoke: (1) single-process streamed run verified
+# bit-identical to the materialized baseline, with a nonzero peak-memory
+# gauge and combiner savings; (2) the same job across 2 infer-shuffle
+# worker processes, verified and leak-checked; (3) two same-seed runs
+# under the logical clock must write byte-identical traces (the obs smoke
+# harness applied to the inference path).
+infer_stream_smoke() {
+  local dir out
+  dir=$(mktemp -d -t agl-infer-smoke.XXXXXX)
+  trap 'pkill -f "dist-worker -[-]role" 2>/dev/null || true; rm -rf "'"$dir"'"' RETURN
+  out=$(./target/release/agl-cli infer-stream --synthetic-nodes 300 --verify true) || return 1
+  echo "$out" | grep -q "verified=true" \
+    || { echo "infer-stream smoke: streamed output diverged from materialized" >&2; return 1; }
+  echo "$out" | grep -qE "^peak_resident_bytes=[1-9]" \
+    || { echo "infer-stream smoke: peak-memory gauge is zero" >&2; return 1; }
+  echo "$out" | grep -qE "combine_bytes_saved=[1-9]" \
+    || { echo "infer-stream smoke: combiner saved no shuffle bytes" >&2; return 1; }
+  out=$(./target/release/agl-cli infer-stream --synthetic-nodes 300 --verify true \
+    --workers 2 --dir "$dir/sock") || return 1
+  echo "$out" | grep -q "verified=true" \
+    || { echo "infer-stream smoke: dist output diverged from materialized" >&2; return 1; }
+  if pgrep -f "dist-worker -[-]role" >/dev/null; then
+    echo "infer-stream smoke: leaked worker processes" >&2
+    return 1
+  fi
+  if compgen -G "$dir/sock/*.sock" >/dev/null; then
+    echo "infer-stream smoke: leaked socket files in $dir/sock" >&2
+    return 1
+  fi
+  local i
+  for i in 1 2; do
+    ./target/release/agl-cli infer-stream --synthetic-nodes 300 \
+      --clock logical --trace-out "$dir/trace$i.json" >/dev/null || return 1
+  done
+  cmp -s "$dir/trace1.json" "$dir/trace2.json" \
+    || { echo "infer-stream smoke: traces differ between same-seed runs" >&2; return 1; }
+}
+
 # SIGKILL a shuffle worker after its first reduce dispatch: the job must
 # recover (surviving worker re-runs the lost partitions), still verify
 # byte-identical, and record the retry. Bounded by the transport
@@ -201,6 +239,7 @@ step "dist smoke (2 shuffle + 2 ps processes, byte-identical)" dist_smoke
 step "dist kill-a-worker (SIGKILL mid-job, deterministic re-run)" dist_kill
 step "obs smoke (traced dist-run, deterministic merged trace + obs-report)" obs_smoke
 step "serve smoke (load generator + 2 serve-worker processes, verified)" serve_smoke
+step "infer-stream smoke (streamed == materialized, 2-worker dist, deterministic)" infer_stream_smoke
 step "agl-lint --workspace" cargo run -q --release -p agl-analysis --bin agl-lint -- --workspace
 # Rustdoc is part of the contract: broken intra-doc links or missing docs
 # on public items (crates with #![warn(missing_docs)]) fail the build.

@@ -264,6 +264,39 @@ fn bench_transport(h: &mut Harness) {
     std::fs::remove_dir_all(&tmp).ok();
 }
 
+/// Streaming full-graph inference vs the materialized engine on the same
+/// graph: both medians land in the snapshot, plus their unitless ratio
+/// `infer/stream_vs_materialized` (streamed / materialized, measured in
+/// interleaved rounds so machine noise cancels). The ratio is the number
+/// EXPERIMENTS.md quotes as the streaming cost overhead; `bench_compare`
+/// gates its drift like any other bench (>20% fails).
+fn bench_stream_infer(h: &mut Harness) {
+    use agl_infer::StreamInfer;
+
+    let ds = uug_like(UugConfig { n_nodes: 600, avg_degree: 6.0, ..UugConfig::default() });
+    let (nodes, edges) = ds.graph().to_tables();
+    let model = GnnModel::new(ModelConfig::new(ModelKind::Gcn, ds.feature_dim(), 16, 1, 2, Loss::BceWithLogits));
+    let si = StreamInfer::new(InferConfig::default());
+    h.bench("infer/streamed_full_graph", || si.run(&model, &nodes, &edges).unwrap());
+    h.bench("infer/materialized_full_graph", || si.run_materialized(&model, &nodes, &edges).unwrap());
+    let rounds = if h.iters <= 3 { 3 } else { 5 };
+    let mut ratios: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(si.run_materialized(&model, &nodes, &edges).unwrap());
+            let mat = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            black_box(si.run(&model, &nodes, &edges).unwrap());
+            let streamed = t1.elapsed().as_secs_f64();
+            streamed / mat
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    println!("{:<40} {ratio:>10.3} x   (median of {rounds} interleaved rounds)", "infer/stream_vs_materialized");
+    h.results.push(("infer/stream_vs_materialized".to_string(), ratio));
+}
+
 /// Read-path cost: one batched point-lookup round (16 ids drawn from the
 /// power-law popularity skew) and one exact top-8 neighbor query, against
 /// a 4-shard store of 2 000 × 16-dim vectors. The pair `serve/point_lookup`
@@ -368,6 +401,7 @@ fn main() {
     bench_graphfeature_codec(&mut h);
     bench_graphflat_pipeline(&mut h);
     bench_transport(&mut h);
+    bench_stream_infer(&mut h);
     bench_serve(&mut h);
 
     let write = |path: &std::path::Path, json: String| {

@@ -2,8 +2,8 @@
 
 use agl_flat::{FlatConfig, FlatOutput, GraphFlat, SamplingStrategy, TargetSpec};
 use agl_graph::{EdgeTable, NodeTable};
-use agl_infer::{GraphInfer, InferConfig, InferOutput};
-use agl_mapreduce::{EngineConfig, JobError};
+use agl_infer::{GraphInfer, InferConfig, InferOutput, StreamInfer};
+use agl_mapreduce::{DistOptions, Endpoint, EngineConfig, JobError};
 use agl_nn::GnnModel;
 use agl_trainer::metrics::Metrics;
 use agl_trainer::{Consistency, DistTrainer, LocalTrainer, TrainOptions};
@@ -27,6 +27,10 @@ pub struct AglJob {
     /// `train.consistency` so it survives a later
     /// [`train_options`](Self::train_options) (merge, not clobber).
     consistency: Option<Consistency>,
+    /// Set by [`combine_threshold`](Self::combine_threshold); `None` keeps
+    /// [`StreamInfer`]'s default, `Some(t)` overrides it (with
+    /// `Some(None)` disabling the combiner).
+    combine_threshold: Option<Option<usize>>,
     serve: agl_serve::ServeConfig,
 }
 
@@ -152,6 +156,54 @@ impl AglJob {
     /// K+1-slice MapReduce pipeline (§3.4).
     pub fn graph_infer(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
         GraphInfer::new(self.infer_config()).run(model, nodes, edges)
+    }
+
+    /// The [`StreamInfer`] driver under this job's configuration — the
+    /// entry point behind [`graph_infer_stream`](Self::graph_infer_stream)
+    /// and the `agl-cli infer-stream` subcommand.
+    pub fn stream_infer(&self) -> StreamInfer {
+        let si = StreamInfer::new(self.infer_config());
+        match self.combine_threshold {
+            None => si,
+            Some(t) => si.with_degree_threshold(t),
+        }
+    }
+
+    /// Combiner degree threshold for streaming inference: `Some(t)` folds
+    /// shuffle groups of at least `t` messages, `None` disables the
+    /// combiner. Either way the output stays bit-identical — see the
+    /// `agl_infer::combine` docs.
+    pub fn combine_threshold(mut self, t: Option<usize>) -> Self {
+        self.combine_threshold = Some(t);
+        self
+    }
+
+    /// **Streaming GraphInfer**: the same scores as
+    /// [`graph_infer`](Self::graph_infer) computed by the bounded-memory
+    /// GAS pipeline with shuffle combining (the InferTurbo-style path).
+    pub fn graph_infer_stream(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+    ) -> Result<InferOutput, JobError> {
+        self.stream_infer().run(model, nodes, edges)
+    }
+
+    /// Streaming GraphInfer with the reduce work farmed out to shuffle
+    /// worker processes (each running
+    /// `agl_mapreduce::serve_shuffle_combining` with the
+    /// `agl_infer::dist` factories). Bit-identical to
+    /// [`graph_infer_stream`](Self::graph_infer_stream).
+    pub fn graph_infer_stream_distributed(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        endpoints: &[Endpoint],
+        opts: &DistOptions,
+    ) -> Result<InferOutput, JobError> {
+        self.stream_infer().run_distributed(model, nodes, edges, endpoints, opts)
     }
 
     /// **GraphTrainer**, distributed: data-parallel workers against an

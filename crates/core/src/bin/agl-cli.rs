@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         Some("flat") => cmd_flat(&parse_flags(&args[1..])),
         Some("train") => cmd_train(&parse_flags(&args[1..])),
         Some("infer") => cmd_infer(&parse_flags(&args[1..])),
+        Some("infer-stream") => cmd_infer_stream(&parse_flags(&args[1..])),
         Some("dist-run") => cmd_dist_run(&parse_flags(&args[1..])),
         Some("dist-worker") => cmd_dist_worker(&parse_flags(&args[1..])),
         Some("serve") => cmd_serve(&parse_flags(&args[1..])),
@@ -52,7 +53,7 @@ fn main() -> ExitCode {
         Some("obs-report") => cmd_obs_report(&parse_flags(&args[1..])),
         _ => {
             eprintln!(
-                "usage: agl-cli <demo|flat|train|infer|dist-run|dist-worker|serve|serve-bench|serve-worker|obs-report> [--flag value]..."
+                "usage: agl-cli <demo|flat|train|infer|infer-stream|dist-run|dist-worker|serve|serve-bench|serve-worker|obs-report> [--flag value]..."
             );
             eprintln!("see crate docs for the table formats and flags");
             return ExitCode::from(2);
@@ -433,18 +434,27 @@ fn cmd_obs_report(flags: &Flags) -> CliResult {
     Ok(())
 }
 
-/// `agl-cli dist-worker --role shuffle|ps --listen unix:<path>` — one
-/// worker process: binds the endpoint, serves its protocol until the
-/// driver shuts it down (or vanishes), then exits. Spawned by `dist-run`;
-/// runnable by hand for debugging.
+/// `agl-cli dist-worker --role shuffle|infer-shuffle|ps --listen
+/// unix:<path>` — one worker process: binds the endpoint, serves its
+/// protocol until the driver shuts it down (or vanishes), then exits.
+/// Spawned by `dist-run` (`shuffle`/`ps`) and `infer-stream --workers N`
+/// (`infer-shuffle`, a combining shuffle worker that rebuilds the
+/// GraphInfer reducer/combiner pair from the shipped spec); runnable by
+/// hand for debugging.
 fn cmd_dist_worker(flags: &Flags) -> CliResult {
     let ep = agl::mapreduce::Endpoint::parse(flag(flags, "listen")?)?;
     let accept_timeout_ns = flag_or(flags, "accept-timeout-secs", "60").parse::<u64>()? * 1_000_000_000;
     let listener = agl::mapreduce::Listener::bind(&ep)?;
     match flag(flags, "role")? {
         "shuffle" => agl::mapreduce::serve_shuffle(&listener, accept_timeout_ns, &agl::flat::flat_reducer_from_spec)?,
+        "infer-shuffle" => agl::mapreduce::serve_shuffle_combining(
+            &listener,
+            accept_timeout_ns,
+            &agl::infer::infer_reducer_from_spec,
+            &agl::infer::infer_combiner_from_spec,
+        )?,
         "ps" => agl::ps::serve_ps_shard(&listener, accept_timeout_ns)?,
-        other => return Err(format!("unknown role {other:?} (shuffle|ps)").into()),
+        other => return Err(format!("unknown role {other:?} (shuffle|infer-shuffle|ps)").into()),
     }
     Ok(())
 }
@@ -587,6 +597,132 @@ fn cmd_serve(flags: &Flags) -> CliResult {
 fn cmd_serve_worker(flags: &Flags) -> CliResult {
     let ep = agl::mapreduce::Endpoint::parse(flag(flags, "listen")?)?;
     agl::serve::serve_shard_worker(&ep)?;
+    Ok(())
+}
+
+/// `agl-cli infer-stream` — streaming full-graph inference (the
+/// InferTurbo-style GAS pipeline with shuffle combining):
+///
+/// ```text
+/// agl-cli infer-stream --model data/model.agl --nodes data/nodes.tsv \
+///                      --edges data/edges.tsv --out data/scores.tsv
+/// agl-cli infer-stream --synthetic-nodes 400 --verify true       # smoke
+/// agl-cli infer-stream --synthetic-nodes 400 --workers 2 \
+///                      --dir /tmp/agl-infer --verify true        # multi-process
+/// ```
+///
+/// `--degree-threshold N|none` tunes (or disables) the combiner;
+/// `--mode materialized` runs the fully-materialized engine instead of the
+/// bounded-memory streamed one (the EXPERIMENTS.md cost-ratio baseline);
+/// `--workers N` farms the reduce rounds out to `dist-worker
+/// --role infer-shuffle` child processes; `--verify true` re-runs the
+/// materialized in-process baseline and asserts the scores are
+/// bit-identical. Prints machine-readable `key=value` lines (the CI smoke
+/// suite and EXPERIMENTS.md parse these).
+fn cmd_infer_stream(flags: &Flags) -> CliResult {
+    let obs = parse_obs(flags)?;
+    let (model, nodes, edges) = if flags.contains_key("model") {
+        let model = model_from_bytes(&fs::read(flag(flags, "model")?)?)?;
+        let nodes = read_node_table(flag(flags, "nodes")?)?;
+        let edges = read_edge_table(flag(flags, "edges")?)?;
+        (model, nodes, edges)
+    } else {
+        let n: usize = flag_or(flags, "synthetic-nodes", "400").parse()?;
+        let seed: u64 = flag_or(flags, "seed", "42").parse()?;
+        let ds = uug_like(UugConfig { n_nodes: n, feature_dim: 8, seed, ..UugConfig::default() });
+        let (nodes, edges) = ds.graph().to_tables();
+        let model =
+            GnnModel::new(ModelConfig::new(ModelKind::Gcn, 8, 16, 8, 2, Loss::SoftmaxCrossEntropy).with_seed(seed));
+        (model, nodes, edges)
+    };
+    let mut job = AglJob::new()
+        .sampling(parse_sampling(flag_or(flags, "sampling", "none"))?)
+        .seed(flag_or(flags, "seed", "42").parse()?)
+        .obs(obs.clone());
+    match flags.get("degree-threshold").map(String::as_str) {
+        None => {}
+        Some("none") => job = job.combine_threshold(None),
+        Some(t) => job = job.combine_threshold(Some(t.parse()?)),
+    }
+    let si = job.stream_infer();
+    let workers: usize = flag_or(flags, "workers", "0").parse()?;
+    let mode = flag_or(flags, "mode", "streamed");
+    let wall = agl::obs::Clock::monotonic();
+    let t0 = wall.now();
+
+    let result = if mode == "materialized" {
+        si.run_materialized(&model, &nodes, &edges)?
+    } else if workers > 0 {
+        let dir = Path::new(flag_or(flags, "dir", "/tmp/agl-infer-stream")).to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let reaper = agl::ChildReaper::new();
+        let bin = std::env::current_exe()?;
+        let mut eps = Vec::new();
+        for i in 0..workers {
+            let sock = dir.join(format!("infer{i}.sock"));
+            let _ = fs::remove_file(&sock);
+            let ep = agl::mapreduce::Endpoint::Unix(sock.clone());
+            let args = vec![
+                "dist-worker".to_string(),
+                "--role".to_string(),
+                "infer-shuffle".to_string(),
+                "--listen".to_string(),
+                ep.to_string(),
+            ];
+            reaper.spawn(&bin, &args, sock)?;
+            eps.push(ep);
+        }
+        let opts = agl::mapreduce::DistOptions {
+            connect_timeout_ns: flag_or(flags, "connect-timeout-secs", "10").parse::<u64>()? * 1_000_000_000,
+            io_timeout_ns: flag_or(flags, "io-timeout-secs", "30").parse::<u64>()? * 1_000_000_000,
+        };
+        job.graph_infer_stream_distributed(&model, &nodes, &edges, &eps, &opts)?
+        // `reaper` drops here: surviving children are killed and reaped,
+        // socket files removed — the CI leak checks rely on this.
+    } else {
+        si.run(&model, &nodes, &edges)?
+    };
+    let elapsed_ms = wall.since(t0) as f64 / 1e6;
+
+    if let Some(out) = flags.get("out") {
+        let mut f = fs::File::create(out)?;
+        for s in &result.scores {
+            let probs: Vec<String> = s.probs.iter().map(|p| format!("{p:.6}")).collect();
+            writeln!(f, "{}\t{}", s.node.0, probs.join(","))?;
+        }
+        println!("infer-stream: {} scores -> {out}", result.scores.len());
+    }
+
+    let mut verified = true;
+    if flag_or(flags, "verify", "false").parse::<bool>()? {
+        let baseline = si.run_materialized(&model, &nodes, &edges)?;
+        // NodeScore is PartialEq over f32 — equality is bit-identity.
+        verified = result.scores == baseline.scores;
+    }
+
+    // Machine-readable lines (the CI smoke suite and EXPERIMENTS.md parse
+    // these).
+    println!("scores={}", result.scores.len());
+    println!("mode={mode}");
+    println!("elapsed_ms={elapsed_ms:.1}");
+    println!("gas={}", si.gas_eligible(&model));
+    println!("embeddings_computed={}", result.counters.get("infer.embeddings_computed"));
+    println!("peak_resident_bytes={}", result.counters.get("stream.peak_resident_bytes"));
+    println!(
+        "combine_records_in={} combine_records_out={} combine_bytes_saved={}",
+        result.counters.get("combine.records_in"),
+        result.counters.get("combine.records_out"),
+        result.counters.get("combine.bytes_saved")
+    );
+    if flag_or(flags, "verify", "false").parse::<bool>()? {
+        println!("verified={verified}");
+    }
+    println!("job report:");
+    print!("{}", JobReport::from_counters(&result.counters).render());
+    write_obs_outputs(flags, &obs)?;
+    if !verified {
+        return Err("streamed scores diverged from the materialized baseline".into());
+    }
     Ok(())
 }
 

@@ -12,7 +12,9 @@ pub use agl_flat::{
     TrainingExample,
 };
 pub use agl_graph::{EdgeTable, Graph, NodeId, NodeTable, SubEdge, Subgraph};
-pub use agl_infer::{GraphInfer, InferConfig, InferOutput, NodeScore, OriginalInference};
+pub use agl_infer::{
+    GraphInfer, InferConfig, InferOutput, NodeScore, OriginalInference, StreamInfer, DEFAULT_DEGREE_THRESHOLD,
+};
 pub use agl_mapreduce::{EngineConfig, JobReport, RoundReport};
 pub use agl_nn::{model_from_bytes, model_to_bytes, Adam, GnnModel, Loss, ModelConfig, ModelKind, Optimizer, Sgd};
 pub use agl_obs::{Clock, MetricsRegistry, Obs, TraceSink};

@@ -49,4 +49,4 @@ pub use pipeline::{
     flat_reducer_from_spec, FlatConfig, FlatOutput, FlatWorkerSpec, GraphFlat, TargetSpec, TrainingExample,
 };
 pub use sampling::SamplingStrategy;
-pub use store::{FeatureStore, StoreFormat};
+pub use store::{FeatureStore, ShardIter, StoreFormat};

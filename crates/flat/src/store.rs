@@ -151,8 +151,11 @@ impl FeatureStore {
         &self.dir
     }
 
-    /// Read one shard's triples.
-    pub fn read_shard(&self, shard: usize) -> Result<Vec<TrainingExample>, StoreError> {
+    /// Stream one shard's triples record by record: the reader holds one
+    /// record resident at a time, never the shard — the bounded-memory
+    /// ingest `agl-cli infer-stream` and large-store consumers are built
+    /// on. Record order matches [`FeatureStore::read_shard`] exactly.
+    pub fn stream_shard(&self, shard: usize) -> Result<ShardIter, StoreError> {
         assert!(shard < self.shards, "shard {shard} of {}", self.shards);
         let path = self.dir.join(format!("part-{shard:05}.agl"));
         let mut r = BufReader::new(File::open(&path)?);
@@ -165,44 +168,27 @@ impl FeatureStore {
         if &magic != expected {
             return Err(StoreError::Corrupt(format!("{}: bad magic", path.display())));
         }
-        let mut out = Vec::new();
-        loop {
-            let mut id8 = [0u8; 8];
-            match r.read_exact(&mut id8) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e.into()),
-            }
-            let mut len4 = [0u8; 4];
-            r.read_exact(&mut len4)?;
-            let label_len = u32::from_le_bytes(len4) as usize;
-            let mut label = Vec::with_capacity(label_len);
-            for _ in 0..label_len {
-                let mut f4 = [0u8; 4];
-                r.read_exact(&mut f4)?;
-                label.push(f32::from_le_bytes(f4));
-            }
-            r.read_exact(&mut len4)?;
-            let gf_len = u32::from_le_bytes(len4) as usize;
-            let mut graph_feature = vec![0u8; gf_len];
-            r.read_exact(&mut graph_feature)?;
-            if self.format == StoreFormat::Compact {
-                let sub = crate::compact::decode_graph_feature_compact(&graph_feature)
-                    .map_err(|e| StoreError::Corrupt(e.to_string()))?;
-                graph_feature = crate::graphfeature::encode_graph_feature(&sub);
-            }
-            out.push(TrainingExample { target: NodeId(u64::from_le_bytes(id8)), label, graph_feature });
-        }
-        Ok(out)
+        Ok(ShardIter { reader: r, format: self.format, done: false })
+    }
+
+    /// Stream every shard in shard order (record order matches
+    /// [`FeatureStore::read_all`] — deterministic). Shards are opened
+    /// lazily, one at a time.
+    pub fn stream_all(&self) -> impl Iterator<Item = Result<TrainingExample, StoreError>> + '_ {
+        (0..self.shards).flat_map(move |s| match self.stream_shard(s) {
+            Ok(it) => Box::new(it) as Box<dyn Iterator<Item = Result<TrainingExample, StoreError>>>,
+            Err(e) => Box::new(std::iter::once(Err(e))),
+        })
+    }
+
+    /// Read one shard's triples.
+    pub fn read_shard(&self, shard: usize) -> Result<Vec<TrainingExample>, StoreError> {
+        self.stream_shard(shard)?.collect()
     }
 
     /// Read every shard (shard order, then record order — deterministic).
     pub fn read_all(&self) -> Result<Vec<TrainingExample>, StoreError> {
-        let mut out = Vec::new();
-        for s in 0..self.shards {
-            out.extend(self.read_shard(s)?);
-        }
-        Ok(out)
+        self.stream_all().collect()
     }
 
     /// The shards assigned to worker `w` of `n_workers` — the static data
@@ -224,6 +210,66 @@ impl FeatureStore {
     pub fn remove(self) -> Result<(), StoreError> {
         fs::remove_dir_all(&self.dir)?;
         Ok(())
+    }
+}
+
+/// Streaming reader over one shard file — see
+/// [`FeatureStore::stream_shard`]. Ends the stream after the first error
+/// (a truncated or corrupt shard yields one `Err` and then `None`).
+pub struct ShardIter {
+    reader: BufReader<File>,
+    format: StoreFormat,
+    done: bool,
+}
+
+impl ShardIter {
+    fn read_record(&mut self) -> Result<Option<TrainingExample>, StoreError> {
+        let mut id8 = [0u8; 8];
+        match self.reader.read_exact(&mut id8) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let mut len4 = [0u8; 4];
+        self.reader.read_exact(&mut len4)?;
+        let label_len = u32::from_le_bytes(len4) as usize;
+        let mut label = Vec::with_capacity(label_len);
+        for _ in 0..label_len {
+            let mut f4 = [0u8; 4];
+            self.reader.read_exact(&mut f4)?;
+            label.push(f32::from_le_bytes(f4));
+        }
+        self.reader.read_exact(&mut len4)?;
+        let gf_len = u32::from_le_bytes(len4) as usize;
+        let mut graph_feature = vec![0u8; gf_len];
+        self.reader.read_exact(&mut graph_feature)?;
+        if self.format == StoreFormat::Compact {
+            let sub = crate::compact::decode_graph_feature_compact(&graph_feature)
+                .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+            graph_feature = crate::graphfeature::encode_graph_feature(&sub);
+        }
+        Ok(Some(TrainingExample { target: NodeId(u64::from_le_bytes(id8)), label, graph_feature }))
+    }
+}
+
+impl Iterator for ShardIter {
+    type Item = Result<TrainingExample, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(ex)) => Some(Ok(ex)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -319,6 +365,39 @@ mod tests {
     #[test]
     fn open_missing_dir_fails() {
         assert!(FeatureStore::open(tmp("missing")).is_err());
+    }
+
+    #[test]
+    fn streaming_matches_batch_reads_and_stops_after_a_torn_record() {
+        let dir = tmp("stream");
+        let exs = examples(40);
+        let store = FeatureStore::create(&dir, 3, &exs).unwrap();
+        let streamed: Vec<TrainingExample> = store.stream_all().collect::<Result<_, _>>().unwrap();
+        let batch = store.read_all().unwrap();
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!((a.target, &a.label, &a.graph_feature), (b.target, &b.label, &b.graph_feature));
+        }
+        // A partially-consumed iterator is fine — records decode one at a
+        // time, nothing requires draining the shard.
+        let mut it = store.stream_shard(0).unwrap();
+        assert!(it.next().unwrap().is_ok());
+        drop(it);
+        // Truncating mid-record turns the stream into one Err then None.
+        let path = dir.join("part-00000.agl");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let mut it = store.stream_shard(0).unwrap();
+        let mut saw_err = false;
+        for r in &mut it {
+            if r.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "torn tail record must surface as an error");
+        assert!(it.next().is_none(), "the stream ends after the first error");
+        store.remove().unwrap();
     }
 
     #[test]

@@ -23,9 +23,22 @@
 //! computed so the repetition factor is measurable, and both support the
 //! GraphFlat sampling strategy for consistency (§3.4's unbiasedness note).
 
+//!
+//! Beyond the paper, the [`stream`] module adds **streaming GAS inference**
+//! (the InferTurbo follow-up idea): the same rounds driven in bounded
+//! memory, with a shuffle [`combine`]r that pre-folds the in-edge messages
+//! of high-degree nodes into per-segment partials before they cross the
+//! wire — bit-identical to the materialized run by construction.
+
+pub mod combine;
+pub mod dist;
 pub mod messages;
 pub mod original;
 pub mod pipeline;
+pub mod stream;
 
+pub use combine::{combine_kinds, InferCombiner, PartialAgg};
+pub use dist::{infer_combiner_from_spec, infer_reducer_from_spec, InferWorkerSpec};
 pub use original::{OriginalInference, OriginalInferenceReport};
 pub use pipeline::{GraphInfer, InferConfig, InferOutput, NodeEmbedding, NodeScore};
+pub use stream::{StreamInfer, DEFAULT_DEGREE_THRESHOLD};

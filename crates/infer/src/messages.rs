@@ -3,7 +3,9 @@
 //! what flows between rounds is one vector per node per edge, not a growing
 //! neighborhood.
 
-use agl_mapreduce::codec::{get_f32, get_f32s, get_u64, get_u8, put_f32, put_f32s, put_u64, put_u8, Codec, CodecError};
+use agl_mapreduce::codec::{
+    get_f32, get_f32s, get_u32, get_u64, get_u8, put_f32, put_f32s, put_u32, put_u64, put_u8, Codec, CodecError,
+};
 
 /// A value record of the GraphInfer pipeline. Keys are plain node ids
 /// (little-endian `u64`).
@@ -24,6 +26,12 @@ pub enum InferMsg {
     Emb { h: Vec<f32> },
     /// Predicted score(s) — the job output.
     Score { probs: Vec<f32> },
+    /// A shuffle-combined partial aggregate of the [`InferMsg::InEmb`]
+    /// messages one producer partition (`segment`) sent to this key: `n`
+    /// in-edges folded, their `Σ w`, and the elementwise accumulator (see
+    /// [`agl_nn::CombineKind`]). Only the streaming GAS pipeline emits and
+    /// consumes these.
+    Partial { segment: u32, n: u32, total_w: f32, acc: Vec<f32> },
 }
 
 impl InferMsg {
@@ -34,6 +42,7 @@ impl InferMsg {
     const TAG_OUT: u8 = 4;
     const TAG_EMB: u8 = 5;
     const TAG_SCORE: u8 = 6;
+    const TAG_PARTIAL: u8 = 7;
 }
 
 impl Codec for InferMsg {
@@ -71,6 +80,13 @@ impl Codec for InferMsg {
                 put_u8(buf, Self::TAG_SCORE);
                 put_f32s(buf, probs);
             }
+            InferMsg::Partial { segment, n, total_w, acc } => {
+                put_u8(buf, Self::TAG_PARTIAL);
+                put_u32(buf, *segment);
+                put_u32(buf, *n);
+                put_f32(buf, *total_w);
+                put_f32s(buf, acc);
+            }
         }
     }
 
@@ -83,6 +99,12 @@ impl Codec for InferMsg {
             Self::TAG_OUT => InferMsg::OutEdge { dst: get_u64(input)?, weight: get_f32(input)? },
             Self::TAG_EMB => InferMsg::Emb { h: get_f32s(input)? },
             Self::TAG_SCORE => InferMsg::Score { probs: get_f32s(input)? },
+            Self::TAG_PARTIAL => InferMsg::Partial {
+                segment: get_u32(input)?,
+                n: get_u32(input)?,
+                total_w: get_f32(input)?,
+                acc: get_f32s(input)?,
+            },
             t => return Err(CodecError(format!("unknown InferMsg tag {t}"))),
         })
     }
@@ -102,6 +124,7 @@ mod tests {
             InferMsg::OutEdge { dst: 7, weight: 2.0 },
             InferMsg::Emb { h: vec![-1.0] },
             InferMsg::Score { probs: vec![0.25, 0.75] },
+            InferMsg::Partial { segment: 3, n: 17, total_w: 4.5, acc: vec![1.0, -2.0] },
         ];
         for m in msgs {
             assert_eq!(InferMsg::from_bytes(&m.to_bytes()).unwrap(), m);

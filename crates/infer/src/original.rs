@@ -16,7 +16,7 @@ use agl_mapreduce::{Counters, JobError};
 use agl_nn::GnnModel;
 use agl_obs::Clock;
 use agl_tensor::seeded_rng;
-use agl_trainer::pipeline::{prepare_batch, PrepSpec};
+use agl_trainer::pipeline::{prepare_batch_canonical, PrepSpec};
 use std::time::Duration;
 
 /// Timing/cost breakdown of an original-inference run (mirrors Table 5's
@@ -78,7 +78,12 @@ impl OriginalInference {
         let mut scores = Vec::with_capacity(flat_out.examples.len());
         for chunk in flat_out.examples.chunks(self.batch_size) {
             let owned: Vec<TrainingExample> = chunk.to_vec();
-            let prepared = prepare_batch(&owned, &spec);
+            // Canonical (ascending global source-id) row order: the same
+            // node's neighbor fold must not depend on which batch it landed
+            // in, and must match the GraphInfer reducers' fold order — the
+            // regression suite pins this path and the streaming path
+            // against the same golden scores.
+            let prepared = prepare_batch_canonical(&owned, &spec);
             // Every node of the merged neighborhoods gets its embedding
             // recomputed at every layer (pruning trims the upper layers).
             for adj in &prepared.adjs {

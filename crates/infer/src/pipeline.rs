@@ -8,6 +8,7 @@
 //! | 1..=K        | slice k: merge in-embeddings, per-node forward   |
 //! | K+1          | prediction slice: final score                    |
 
+use crate::combine::{finish, fold_in_embs, PartialAgg};
 use crate::messages::InferMsg;
 use agl_flat::SamplingStrategy;
 use agl_graph::{EdgeTable, NodeId, NodeTable};
@@ -96,7 +97,7 @@ pub struct InferOutput {
 const REC_NODE: u8 = 0;
 const REC_EDGE: u8 = 1;
 
-fn encode_node_record(id: NodeId, features: &[f32]) -> Vec<u8> {
+pub(crate) fn encode_node_record(id: NodeId, features: &[f32]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(13 + 4 * features.len());
     put_u8(&mut buf, REC_NODE);
     put_u64(&mut buf, id.0);
@@ -104,7 +105,7 @@ fn encode_node_record(id: NodeId, features: &[f32]) -> Vec<u8> {
     buf
 }
 
-fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32) -> Vec<u8> {
+pub(crate) fn encode_edge_record(src: NodeId, dst: NodeId, weight: f32) -> Vec<u8> {
     let mut buf = Vec::with_capacity(21);
     put_u8(&mut buf, REC_EDGE);
     put_u64(&mut buf, src.0);
@@ -128,7 +129,7 @@ fn must<T>(r: Result<T, agl_mapreduce::codec::CodecError>, what: &str) -> T {
 /// Shuffle keys in this pipeline are always the 8-byte little-endian node
 /// id (shorter keys decode as zero-padded — unreachable for records this
 /// pipeline emitted).
-fn key_id(key: &[u8]) -> u64 {
+pub(crate) fn key_id(key: &[u8]) -> u64 {
     let mut b = [0u8; 8];
     for (d, s) in b.iter_mut().zip(key) {
         *d = *s;
@@ -136,7 +137,7 @@ fn key_id(key: &[u8]) -> u64 {
     u64::from_le_bytes(b)
 }
 
-struct InferMapper;
+pub(crate) struct InferMapper;
 
 impl Mapper for InferMapper {
     fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
@@ -159,13 +160,21 @@ impl Mapper for InferMapper {
     }
 }
 
-struct InferReducer {
-    slices: Arc<Vec<ModelSlice>>,
+pub(crate) struct InferReducer {
+    pub(crate) slices: Arc<Vec<ModelSlice>>,
     /// K — number of GNN layers.
-    k: usize,
-    sampling: SamplingStrategy,
-    seed: u64,
-    counters: Counters,
+    pub(crate) k: usize,
+    pub(crate) sampling: SamplingStrategy,
+    pub(crate) seed: u64,
+    /// GAS mode: fold in-embeddings with the two-level segment fold of
+    /// [`crate::combine`] and run the layer's `forward_node_combined`, so
+    /// shuffle combiners are exact. Requires `sampling == None` and a model
+    /// whose every layer decomposes ([`crate::combine::combine_kinds`]).
+    pub(crate) gas: bool,
+    /// Reduce-partition count of the running job — the segment space of the
+    /// two-level fold. Only read in GAS mode.
+    pub(crate) r_parts: usize,
+    pub(crate) counters: Counters,
 }
 
 impl Reducer for InferReducer {
@@ -182,6 +191,7 @@ impl Reducer for InferReducer {
         let mut in_embs: Vec<(u64, f32, Vec<f32>)> = Vec::new();
         let mut out_edges: Vec<(u64, f32)> = Vec::new();
         let mut final_emb: Option<Vec<f32>> = None;
+        let mut partials: Vec<PartialAgg> = Vec::new();
         for v in values {
             match must(InferMsg::from_bytes(v), "infer message") {
                 InferMsg::NodeRow { features } => node_row = Some(features),
@@ -192,6 +202,11 @@ impl Reducer for InferReducer {
                 InferMsg::Emb { h } => final_emb = Some(h),
                 // agl-lint: allow(no-panic) — Score is only emitted by the terminal prediction round.
                 InferMsg::Score { .. } => panic!("Score re-entered the pipeline"),
+                InferMsg::Partial { segment, n, total_w, acc } if self.gas => {
+                    partials.push(PartialAgg { segment, n, total_w, acc });
+                }
+                // agl-lint: allow(no-panic) — only GAS jobs install the combiner that emits partials.
+                InferMsg::Partial { .. } => panic!("Partial received by a non-GAS reducer"),
             }
         }
 
@@ -212,33 +227,52 @@ impl Reducer for InferReducer {
         if round <= self.k {
             // ---- Slice k: merge + per-node layer forward + propagate ----
             let Some(h_self) = self_emb else {
-                self.counters.add("infer.dangling_edge_destinations", in_embs.len() as u64);
+                let dangling = in_embs.len() as u64 + partials.iter().map(|p| u64::from(p.n)).sum::<u64>();
+                self.counters.add("infer.dangling_edge_destinations", dangling);
                 return;
             };
-            // Consistent sampling with GraphFlat: canonical candidate order
-            // (sorted by source id, with weight/payload tie-breaks so
-            // parallel edges order identically regardless of shuffle
-            // delivery) + a seed derived from the node id only, so with the
-            // same seed/strategy this reducer keeps exactly the neighbor
-            // subset GraphFlat kept when building the training data (§3.4's
-            // unbiasedness requirement).
-            in_embs.sort_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then_with(|| a.1.total_cmp(&b.1))
-                    .then_with(|| a.2.iter().map(|f| f.to_bits()).cmp(b.2.iter().map(|f| f.to_bits())))
-            });
-            let weights: Vec<f32> = in_embs.iter().map(|(_, w, _)| *w).collect();
-            let node_id = key_id(key);
-            let sample_seed = derive_seed(self.seed, fnv1a(&node_id.to_le_bytes()));
-            let kept = self.sampling.select(&weights, sample_seed);
-            let neighbor_h: Vec<Vec<f32>> = kept.iter().map(|&i| in_embs[i].2.clone()).collect();
-            let kept_w: Vec<f32> = kept.iter().map(|&i| in_embs[i].1).collect();
             let ModelSlice::Gnn(layer) = &self.slices[round - 1] else {
                 // agl-lint: allow(no-panic) — GnnModel::segment() puts exactly one Gnn slice per layer round.
                 panic!("slice {round} is not a GNN layer");
             };
-            let view = NeighborView { self_h: &h_self, neighbor_h: &neighbor_h, weights: &kept_w };
-            let h_next = layer.forward_node(&view);
+            let h_next = if self.gas {
+                // ---- GAS merge: the two-level segment fold (see the
+                // crate::combine module docs). Raw in-embeddings fold to one
+                // partial per producer segment with the exact code the
+                // shuffle combiner runs, then locally-folded and received
+                // partials merge in ascending segment order — so the result
+                // bits never depend on whether, or where, combining
+                // happened.
+                let Some(kind) = layer.combine_kind() else {
+                    // agl-lint: allow(no-panic) — GAS drivers validate combine_kinds() before launching the job.
+                    panic!("GAS round {round} reached a non-decomposable layer");
+                };
+                let mut all = fold_in_embs(kind, self.r_parts, std::mem::take(&mut in_embs));
+                all.append(&mut partials);
+                let agg = finish(kind, all, h_self.len());
+                layer.forward_node_combined(&h_self, &agg)
+            } else {
+                // Consistent sampling with GraphFlat: canonical candidate
+                // order (sorted by source id, with weight/payload tie-breaks
+                // so parallel edges order identically regardless of shuffle
+                // delivery) + a seed derived from the node id only, so with
+                // the same seed/strategy this reducer keeps exactly the
+                // neighbor subset GraphFlat kept when building the training
+                // data (§3.4's unbiasedness requirement).
+                in_embs.sort_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| a.1.total_cmp(&b.1))
+                        .then_with(|| a.2.iter().map(|f| f.to_bits()).cmp(b.2.iter().map(|f| f.to_bits())))
+                });
+                let weights: Vec<f32> = in_embs.iter().map(|(_, w, _)| *w).collect();
+                let node_id = key_id(key);
+                let sample_seed = derive_seed(self.seed, fnv1a(&node_id.to_le_bytes()));
+                let kept = self.sampling.select(&weights, sample_seed);
+                let neighbor_h: Vec<Vec<f32>> = kept.iter().map(|&i| in_embs[i].2.clone()).collect();
+                let kept_w: Vec<f32> = kept.iter().map(|&i| in_embs[i].1).collect();
+                let view = NeighborView { self_h: &h_self, neighbor_h: &neighbor_h, weights: &kept_w };
+                layer.forward_node(&view)
+            };
             self.counters.inc("infer.embeddings_computed");
             if round < self.k {
                 emit(key.to_vec(), InferMsg::SelfEmb { h: h_next.clone() }.to_bytes());
@@ -339,6 +373,8 @@ impl GraphInfer {
             k,
             sampling: self.cfg.sampling,
             seed: self.cfg.engine.seed,
+            gas: false,
+            r_parts: self.cfg.engine.reduce_tasks,
             counters: counters.clone(),
         };
         let job = MapReduceJob::new(JobConfig {

@@ -1,0 +1,261 @@
+//! **Streaming full-graph inference** — the GAS (gather-apply-scatter)
+//! pipeline of `agl-cli infer-stream`.
+//!
+//! [`StreamInfer`] runs the same round layout as [`crate::pipeline`]'s
+//! GraphInfer, with two changes:
+//!
+//! * **GAS merge.** Reducers fold in-edge embeddings through the two-level
+//!   segment fold of [`crate::combine`] and call the layer's
+//!   `forward_node_combined`, which lets a shuffle combiner pre-fold the
+//!   messages of high-degree nodes *before they cross the wire* — one
+//!   [`crate::messages::InferMsg::Partial`] per producer segment instead of
+//!   one `InEmb` per in-edge.
+//! * **Bounded-memory execution.** [`StreamInfer::run`] drives the job on
+//!   [`agl_mapreduce::StreamJob`], which keeps one shuffle partition
+//!   resident at a time and parks the rest in the configured spill mode;
+//!   the `stream.peak_resident_bytes` counter gauges the bound.
+//!   [`StreamInfer::run_materialized`] drives the identical GAS job on the
+//!   thread-pool engine — the baseline the streamed output is pinned
+//!   bit-identical to.
+//!
+//! Both paths assert the paper's **exactly-once invariant** on the way out:
+//! every node of the input table is scored exactly once, and the
+//! `infer.embeddings_computed` counter equals `|V| · K`. Violations surface
+//! as [`JobError::Corrupt`], never as silently wrong output.
+
+use crate::combine::{combine_kinds, InferCombiner};
+use crate::dist::InferWorkerSpec;
+use crate::messages::InferMsg;
+use crate::pipeline::{
+    encode_edge_record, encode_node_record, key_id, InferConfig, InferMapper, InferOutput, InferReducer, NodeScore,
+};
+use agl_flat::SamplingStrategy;
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_mapreduce::{
+    Codec, Counters, DistJob, DistOptions, Endpoint, JobConfig, JobError, JobPlan, MapReduceJob, StreamJob, WireSig,
+};
+use agl_nn::GnnModel;
+use std::sync::Arc;
+
+/// How [`StreamInfer::run_inner`] drives the job.
+enum Exec<'a> {
+    /// Sequential bounded-memory [`StreamJob`].
+    Streamed,
+    /// Thread-pool [`MapReduceJob`] — the materialized baseline.
+    Materialized,
+    /// [`DistJob`] over shuffle-worker processes.
+    Dist(&'a [Endpoint], &'a DistOptions),
+}
+
+/// Default bucket-local degree threshold: groups with at least this many
+/// messages in one producer bucket are pre-folded by the combiner. Low
+/// enough to fire on real hubs, high enough that tiny groups skip the
+/// encode/decode round-trip.
+pub const DEFAULT_DEGREE_THRESHOLD: usize = 8;
+
+/// Driver for streaming (and materialized-baseline) GAS inference.
+pub struct StreamInfer {
+    cfg: InferConfig,
+    degree_threshold: Option<usize>,
+}
+
+impl StreamInfer {
+    /// A driver with the combiner enabled at [`DEFAULT_DEGREE_THRESHOLD`].
+    pub fn new(cfg: InferConfig) -> Self {
+        Self { cfg, degree_threshold: Some(DEFAULT_DEGREE_THRESHOLD) }
+    }
+
+    /// Override the combiner degree threshold; `None` disables combining
+    /// entirely (the GAS fold still runs reducer-side, so the output is
+    /// bit-identical either way — that equality is pinned by tests).
+    pub fn with_degree_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.degree_threshold = threshold;
+        self
+    }
+
+    pub fn config(&self) -> &InferConfig {
+        &self.cfg
+    }
+
+    /// Whether this configuration runs the GAS merge: sampling must be off
+    /// (partial aggregation folds *every* in-edge) and every layer's
+    /// aggregation must decompose. Otherwise both entry points fall back to
+    /// the classic per-neighbor fold — still streamed, just uncombinable.
+    pub fn gas_eligible(&self, model: &GnnModel) -> bool {
+        matches!(self.cfg.sampling, SamplingStrategy::None) && combine_kinds(&model.segment()).is_some()
+    }
+
+    /// Streaming run: sequential bounded-memory execution over
+    /// [`StreamJob`]. Output is bit-identical to [`Self::run_materialized`].
+    pub fn run(&self, model: &GnnModel, nodes: &NodeTable, edges: &EdgeTable) -> Result<InferOutput, JobError> {
+        self.run_inner(model, nodes, edges, Exec::Streamed)
+    }
+
+    /// Materialized baseline: the identical GAS job on the thread-pool
+    /// engine, every round's shuffle fully resident.
+    pub fn run_materialized(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+    ) -> Result<InferOutput, JobError> {
+        self.run_inner(model, nodes, edges, Exec::Materialized)
+    }
+
+    /// The *same* job with the reduce work farmed out to shuffle-worker
+    /// processes at `endpoints` (each running
+    /// `agl_mapreduce::serve_shuffle_combining` with
+    /// [`crate::dist::infer_reducer_from_spec`] and
+    /// [`crate::dist::infer_combiner_from_spec`]). Output is byte-identical
+    /// to [`Self::run_materialized`] — and therefore bit-identical to
+    /// [`Self::run`].
+    pub fn run_distributed(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        endpoints: &[Endpoint],
+        opts: &DistOptions,
+    ) -> Result<InferOutput, JobError> {
+        self.run_inner(model, nodes, edges, Exec::Dist(endpoints, opts))
+    }
+
+    fn run_inner(
+        &self,
+        model: &GnnModel,
+        nodes: &NodeTable,
+        edges: &EdgeTable,
+        exec: Exec<'_>,
+    ) -> Result<InferOutput, JobError> {
+        let slices = Arc::new(model.segment());
+        let k = model.n_layers();
+        let rounds = k + 2; // join + K slices + prediction
+        let gas = self.gas_eligible(model);
+        let r_parts = self.cfg.engine.reduce_tasks;
+        let combiner =
+            if gas { self.degree_threshold.and_then(|t| InferCombiner::for_slices(&slices, t, r_parts)) } else { None };
+
+        let span_name = match exec {
+            Exec::Streamed => "infer.stream",
+            Exec::Materialized => "infer.materialized",
+            Exec::Dist(..) => "infer.dist",
+        };
+        let _span = self.cfg.engine.obs.span("driver", span_name);
+        let counters = match self.cfg.engine.obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
+
+        let mut inputs = Vec::with_capacity(nodes.len() + edges.len());
+        for (id, feat) in nodes.iter() {
+            inputs.push(encode_node_record(id, feat));
+        }
+        for (row, _) in edges.iter() {
+            inputs.push(encode_edge_record(row.src, row.dst, row.weight));
+        }
+
+        let reducer = InferReducer {
+            slices,
+            k,
+            sampling: self.cfg.sampling,
+            seed: self.cfg.engine.seed,
+            gas,
+            r_parts,
+            counters: counters.clone(),
+        };
+        let job_cfg = JobConfig {
+            map_tasks: self.cfg.engine.map_tasks,
+            reduce_tasks: r_parts,
+            reduce_rounds: rounds,
+            parallelism: self.cfg.engine.parallelism,
+            max_attempts: 4,
+            fault_plan: self.cfg.fault_plan.clone(),
+            spill: self.cfg.spill.clone(),
+            plan: Some(JobPlan::homogeneous(WireSig("infer-key/infer-msg"), rounds)),
+            verify_determinism: cfg!(debug_assertions),
+            metrics_flush_every: 4,
+            obs: self.cfg.engine.obs.clone(),
+        };
+        let result = match (&exec, &combiner) {
+            (Exec::Streamed, Some(c)) => {
+                StreamJob::new(job_cfg).run_with_shuffle_combiner(&inputs, &InferMapper, &reducer, c)
+            }
+            (Exec::Streamed, None) => StreamJob::new(job_cfg).run(&inputs, &InferMapper, &reducer),
+            (Exec::Materialized, Some(c)) => {
+                MapReduceJob::new(job_cfg).run_with_shuffle_combiner(&inputs, &InferMapper, &reducer, c)
+            }
+            (Exec::Materialized, None) => MapReduceJob::new(job_cfg).run(&inputs, &InferMapper, &reducer),
+            (Exec::Dist(endpoints, opts), _) => {
+                let threshold = if combiner.is_some() { self.degree_threshold.unwrap_or(0) as u32 } else { 0 };
+                let spec = InferWorkerSpec::new(model, &self.cfg, gas, threshold).to_bytes();
+                let job = DistJob::new(job_cfg, (*opts).clone());
+                match &combiner {
+                    Some(c) => job.run_with_combiner(endpoints, &spec, &spec, c, &inputs, &InferMapper),
+                    None => job.run(endpoints, &spec, &inputs, &InferMapper),
+                }
+            }
+        }?;
+        if matches!(exec, Exec::Dist(..)) {
+            // Worker-side pipeline counters ride back namespaced per worker
+            // (`w3.infer.embeddings_computed`); fold them into the job-wide
+            // names the invariant check and the CLI read.
+            for (name, v) in result.counters.snapshot() {
+                let Some(rest) = name.strip_prefix('w') else { continue };
+                let Some((_, base)) = rest.split_once('.') else { continue };
+                if base.starts_with("infer.") || base.starts_with("combine.") {
+                    result.counters.add(base, v);
+                }
+            }
+        }
+        if !self.cfg.engine.obs.is_enabled() {
+            for (name, v) in result.counters.snapshot() {
+                counters.add(&name, v);
+            }
+        }
+
+        let mut scores = Vec::with_capacity(result.output.len());
+        for kv in &result.output {
+            let msg = InferMsg::from_bytes(&kv.value).map_err(|e| JobError::Corrupt(format!("score record: {e}")))?;
+            match msg {
+                InferMsg::Score { probs } => scores.push(NodeScore { node: NodeId(key_id(&kv.key)), probs }),
+                other => return Err(JobError::Corrupt(format!("unexpected output record {other:?}"))),
+            }
+        }
+        scores.sort_by_key(|s| s.node);
+        // Distributed retries (a worker died and its partitions re-ran on a
+        // survivor) legally re-count side effects, like injected faults.
+        let recounted = self.cfg.fault_plan.is_active() || counters.get("task_retries") > 0;
+        check_exactly_once(&scores, nodes.len(), k, &counters, recounted)?;
+        Ok(InferOutput { scores, counters })
+    }
+}
+
+/// The exactly-once invariant: every input node scored once (no misses, no
+/// duplicates), and `infer.embeddings_computed == |V| · K`. The counter leg
+/// is skipped under fault injection, where re-executed attempts legally
+/// re-count side effects (the scored-once legs still hold — re-executed
+/// output is deduplicated by the deterministic shuffle, not by counting).
+fn check_exactly_once(
+    scores: &[NodeScore],
+    n_nodes: usize,
+    k: usize,
+    counters: &Counters,
+    faults_injected: bool,
+) -> Result<(), JobError> {
+    for pair in scores.windows(2) {
+        if pair[0].node == pair[1].node {
+            return Err(JobError::Corrupt(format!("node {} served more than once", pair[0].node.0)));
+        }
+    }
+    if scores.len() != n_nodes {
+        return Err(JobError::Corrupt(format!("served {} nodes, expected exactly {n_nodes}", scores.len())));
+    }
+    let computed = counters.get("infer.embeddings_computed");
+    let expected = (n_nodes * k) as u64;
+    if !faults_injected && computed != expected {
+        return Err(JobError::Corrupt(format!(
+            "embeddings computed {computed} ≠ |V|·K = {expected}: exactly-once violated"
+        )));
+    }
+    Ok(())
+}

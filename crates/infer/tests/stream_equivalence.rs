@@ -1,0 +1,148 @@
+//! Streaming GAS inference equivalence: the streamed, materialized,
+//! combiner-on and combiner-off paths must be **bit-identical** to each
+//! other (they all compute the same two-level segment fold — see the
+//! `combine` module docs), and must agree with classic GraphInfer to
+//! floating-point tolerance (the classic path folds neighbors in global
+//! source order, the GAS path in segment-major order).
+
+use agl_graph::{EdgeTable, NodeId, NodeTable};
+use agl_infer::{GraphInfer, InferConfig, StreamInfer};
+use agl_mapreduce::SpillMode;
+use agl_nn::{GnnModel, Loss, ModelConfig, ModelKind};
+use agl_tensor::rng::Rng;
+use agl_tensor::{seeded_rng, Matrix};
+
+fn random_tables(n: u64, avg_deg: usize, f_dim: usize, seed: u64) -> (NodeTable, EdgeTable) {
+    let mut rng = seeded_rng(seed);
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let feats =
+        Matrix::from_vec(n as usize, f_dim, (0..n as usize * f_dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
+    let nodes = NodeTable::new(ids, feats, None);
+    let mut pairs = Vec::new();
+    for src in 0..n {
+        for _ in 0..rng.gen_range(0..=2 * avg_deg) {
+            let dst = rng.gen_range(0..n);
+            if dst != src && !pairs.contains(&(src, dst)) {
+                pairs.push((src, dst));
+            }
+        }
+        // A hub: every node also feeds node 0, so the combiner has a
+        // high-degree destination to fold.
+        if src != 0 && !pairs.contains(&(src, 0)) {
+            pairs.push((src, 0));
+        }
+    }
+    (nodes, EdgeTable::from_pairs(pairs))
+}
+
+fn trained_like(kind: ModelKind, in_dim: usize, n_layers: usize) -> GnnModel {
+    let mut m = GnnModel::new(ModelConfig::new(kind, in_dim, 6, 2, n_layers, Loss::SoftmaxCrossEntropy).with_seed(99));
+    let v: Vec<f32> = m.param_vector().iter().enumerate().map(|(i, x)| x + ((i % 13) as f32) * 0.01).collect();
+    m.load_param_vector(&v);
+    m
+}
+
+#[test]
+fn streamed_matches_materialized_and_combining_is_exact() {
+    for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gin] {
+        for n_layers in [1usize, 2] {
+            let (nodes, edges) = random_tables(30, 3, 4, 5);
+            let model = trained_like(kind, 4, n_layers);
+            let si = || StreamInfer::new(InferConfig::default());
+            assert!(si().gas_eligible(&model), "{kind:?} decomposes");
+            let streamed = si().run(&model, &nodes, &edges).unwrap();
+            let materialized = si().run_materialized(&model, &nodes, &edges).unwrap();
+            let uncombined = si().with_degree_threshold(None).run(&model, &nodes, &edges).unwrap();
+            let eager = si().with_degree_threshold(Some(1)).run(&model, &nodes, &edges).unwrap();
+            // NodeScore is PartialEq over f32 — equality here is bit-identity.
+            assert_eq!(streamed.scores, materialized.scores, "{kind:?} K={n_layers}: streamed vs materialized");
+            assert_eq!(streamed.scores, uncombined.scores, "{kind:?} K={n_layers}: combiner must not change bits");
+            assert_eq!(streamed.scores, eager.scores, "{kind:?} K={n_layers}: threshold must not change bits");
+            assert_eq!(
+                streamed.counters.get("infer.embeddings_computed"),
+                (30 * n_layers) as u64,
+                "{kind:?} K={n_layers}: exactly once"
+            );
+            assert!(
+                streamed.counters.get("stream.peak_resident_bytes") > 0,
+                "{kind:?}: streamed run gauges its memory bound"
+            );
+        }
+    }
+}
+
+#[test]
+fn gas_matches_classic_graphinfer_within_tolerance() {
+    for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gin] {
+        let (nodes, edges) = random_tables(25, 3, 4, 11);
+        let model = trained_like(kind, 4, 2);
+        let classic = GraphInfer::new(InferConfig::default()).run(&model, &nodes, &edges).unwrap();
+        let gas = StreamInfer::new(InferConfig::default()).run(&model, &nodes, &edges).unwrap();
+        assert_eq!(classic.scores.len(), gas.scores.len());
+        for (a, b) in classic.scores.iter().zip(&gas.scores) {
+            assert_eq!(a.node, b.node);
+            for (x, y) in a.probs.iter().zip(&b.probs) {
+                assert!((x - y).abs() < 1e-4, "{kind:?} node {}: {x} vs {y}", a.node);
+            }
+        }
+    }
+}
+
+#[test]
+fn combiner_shrinks_the_shuffle() {
+    let (nodes, edges) = random_tables(60, 4, 4, 17);
+    let model = trained_like(ModelKind::Gcn, 4, 2);
+    let combined =
+        StreamInfer::new(InferConfig::default()).with_degree_threshold(Some(2)).run(&model, &nodes, &edges).unwrap();
+    let records_in = combined.counters.get("combine.records_in");
+    let records_out = combined.counters.get("combine.records_out");
+    assert!(records_in > records_out, "combiner folded messages: {records_in} in, {records_out} out");
+    assert!(combined.counters.get("combine.bytes_saved") > 0, "partials are smaller than the raw messages");
+    let plain =
+        StreamInfer::new(InferConfig::default()).with_degree_threshold(None).run(&model, &nodes, &edges).unwrap();
+    assert_eq!(combined.scores, plain.scores, "savings must be free: identical bits");
+    assert_eq!(plain.counters.get("combine.records_in"), 0, "no combiner installed");
+}
+
+#[test]
+fn attention_models_fall_back_to_the_classic_fold() {
+    let (nodes, edges) = random_tables(20, 3, 4, 29);
+    let model = trained_like(ModelKind::Gat { heads: 2 }, 4, 2);
+    let si = StreamInfer::new(InferConfig::default());
+    assert!(!si.gas_eligible(&model), "attention does not decompose");
+    let streamed = si.run(&model, &nodes, &edges).unwrap();
+    // Non-GAS streaming runs the exact classic reducer sequentially, so it
+    // is bit-identical to the engine-driven GraphInfer.
+    let classic = GraphInfer::new(InferConfig::default()).run(&model, &nodes, &edges).unwrap();
+    assert_eq!(streamed.scores, classic.scores);
+    assert_eq!(streamed.counters.get("combine.records_in"), 0, "no combiner for attention models");
+}
+
+#[test]
+fn sampling_disables_gas_but_not_streaming() {
+    use agl_flat::SamplingStrategy;
+    let (nodes, edges) = random_tables(40, 8, 3, 23);
+    let model = trained_like(ModelKind::Gcn, 3, 2);
+    let cfg = || InferConfig { sampling: SamplingStrategy::Uniform { max_degree: 3 }, ..InferConfig::default() };
+    let si = StreamInfer::new(cfg());
+    assert!(!si.gas_eligible(&model), "partial aggregation must fold every in-edge");
+    let streamed = si.run(&model, &nodes, &edges).unwrap();
+    let classic = GraphInfer::new(cfg()).run(&model, &nodes, &edges).unwrap();
+    assert_eq!(streamed.scores, classic.scores, "sampled streaming equals sampled classic, bit for bit");
+}
+
+#[test]
+fn disk_spill_streaming_is_identical_and_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("agl-infer-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (nodes, edges) = random_tables(30, 3, 4, 41);
+    let model = trained_like(ModelKind::Sage, 4, 2);
+    let in_mem = StreamInfer::new(InferConfig::default()).run(&model, &nodes, &edges).unwrap();
+    let spilled = StreamInfer::new(InferConfig { spill: SpillMode::Disk(dir.clone()), ..InferConfig::default() })
+        .run(&model, &nodes, &edges)
+        .unwrap();
+    assert_eq!(in_mem.scores, spilled.scores, "spill mode must not change bits");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(leftovers.is_empty(), "all pending partitions consumed: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -31,7 +31,8 @@
 use crate::codec::{self, Codec, CodecError};
 use crate::counters::Counters;
 use crate::engine::{
-    lock_ignoring_poison, reduce_partition, JobConfig, JobError, JobResult, KeyValue, Mapper, Reducer,
+    combine_bucket, lock_ignoring_poison, reduce_partition, JobConfig, JobError, JobResult, KeyValue, Mapper, Reducer,
+    ShuffleCombiner,
 };
 use crate::hash::partition;
 use crate::transport::{connect, Endpoint, FrameStats, Framed, Listener, TransportError};
@@ -102,6 +103,14 @@ enum DriverMsg {
     /// (`trace_id` + this worker's span-id `salt`), and the metrics flush
     /// cadence (`flush_every` tasks; 0 disables mid-flight snapshots).
     Init { spec: Vec<u8>, r_parts: u32, trace: bool, trace_id: u64, salt: u64, flush_every: u64 },
+    /// Optional second message (combining jobs only — a separate frame so
+    /// the `Init` codec, and every golden trace built on it, is unchanged):
+    /// the pipeline-defined combiner spec and the job's total reduce-round
+    /// count, which the worker needs to skip combining the final round's
+    /// output (the job output's record order must match the engine's, and
+    /// combining sorts a bucket by key). Acknowledged with `InitOk`; only
+    /// [`serve_shuffle_combining`] workers accept it.
+    CombineSpec { rounds: u32, spec: Vec<u8> },
     /// Reduce one partition's records for `round`. `ctx` is the driver-side
     /// RPC span issuing this task; the worker's reduce span parents under it.
     Reduce { round: u32, part: u32, ctx: Option<agl_obs::SpanContext>, records: Vec<KeyValue> },
@@ -112,6 +121,7 @@ enum DriverMsg {
 const DM_INIT: u8 = 0;
 const DM_REDUCE: u8 = 1;
 const DM_SHUTDOWN: u8 = 2;
+const DM_COMBINE: u8 = 3;
 
 /// Metric name for a driver→worker shuffle message tag (see
 /// [`crate::transport::FrameStats`]).
@@ -120,6 +130,7 @@ pub fn driver_msg_name(tag: u8) -> &'static str {
         DM_INIT => "init",
         DM_REDUCE => "reduce",
         DM_SHUTDOWN => "shutdown",
+        DM_COMBINE => "combine_spec",
         _ => "unknown",
     }
 }
@@ -143,6 +154,11 @@ impl Codec for DriverMsg {
                 codec::put_span_ctx(buf, *ctx);
                 put_kvs(buf, records);
             }
+            DriverMsg::CombineSpec { rounds, spec } => {
+                codec::put_u8(buf, DM_COMBINE);
+                codec::put_u32(buf, *rounds);
+                codec::put_bytes(buf, spec);
+            }
             DriverMsg::Shutdown => codec::put_u8(buf, DM_SHUTDOWN),
         }
     }
@@ -164,6 +180,11 @@ impl Codec for DriverMsg {
                 let ctx = codec::get_span_ctx(input)?;
                 let records = get_kvs(input)?;
                 Ok(DriverMsg::Reduce { round, part, ctx, records })
+            }
+            DM_COMBINE => {
+                let rounds = codec::get_u32(input)?;
+                let spec = codec::get_bytes(input)?.to_vec();
+                Ok(DriverMsg::CombineSpec { rounds, spec })
             }
             DM_SHUTDOWN => Ok(DriverMsg::Shutdown),
             t => Err(CodecError(format!("unknown driver message tag {t}"))),
@@ -290,6 +311,31 @@ pub fn serve_shuffle(
     accept_timeout_ns: u64,
     factory: &dyn Fn(&[u8], &Counters) -> Result<Box<dyn Reducer>, String>,
 ) -> Result<(), TransportError> {
+    serve_inner(listener, accept_timeout_ns, factory, None)
+}
+
+/// [`serve_shuffle`] plus combiner support: when the driver follows `Init`
+/// with a `DriverMsg::CombineSpec` frame, `combiner_factory` builds the
+/// pipeline's [`ShuffleCombiner`] from the opaque spec, and every non-final
+/// round's output buckets are partially aggregated *before* they travel
+/// back over the wire — the shuffle-byte saving the combiner exists for.
+/// A driver that never sends `CombineSpec` gets plain [`serve_shuffle`]
+/// behaviour.
+pub fn serve_shuffle_combining(
+    listener: &Listener,
+    accept_timeout_ns: u64,
+    factory: &dyn Fn(&[u8], &Counters) -> Result<Box<dyn Reducer>, String>,
+    combiner_factory: &dyn Fn(&[u8], &Counters) -> Result<Box<dyn ShuffleCombiner>, String>,
+) -> Result<(), TransportError> {
+    serve_inner(listener, accept_timeout_ns, factory, Some(combiner_factory))
+}
+
+fn serve_inner(
+    listener: &Listener,
+    accept_timeout_ns: u64,
+    factory: &dyn Fn(&[u8], &Counters) -> Result<Box<dyn Reducer>, String>,
+    combiner_factory: Option<&dyn Fn(&[u8], &Counters) -> Result<Box<dyn ShuffleCombiner>, String>>,
+) -> Result<(), TransportError> {
     let clock = Clock::monotonic();
     let conn = listener.accept_deadline(&clock, accept_timeout_ns)?;
     let mut framed = Framed::new(conn);
@@ -317,6 +363,8 @@ pub fn serve_shuffle(
     };
     framed.send(&WorkerMsg::InitOk.to_bytes())?;
     let mut tasks_done = 0u64;
+    // `(total_rounds, combiner)` once a CombineSpec arrives.
+    let mut combiner: Option<(usize, Box<dyn ShuffleCombiner>)> = None;
     loop {
         let Some(bytes) = framed.recv()? else {
             // Driver vanished between frames: exit cleanly so no process
@@ -326,6 +374,21 @@ pub fn serve_shuffle(
         match DriverMsg::from_bytes(&bytes).map_err(proto)? {
             DriverMsg::Init { .. } => {
                 return Err(TransportError::Protocol("duplicate Init".to_string()));
+            }
+            DriverMsg::CombineSpec { rounds, spec: cspec } => {
+                let Some(build) = combiner_factory else {
+                    return Err(TransportError::Protocol(
+                        "driver sent CombineSpec to a worker without combiner support".to_string(),
+                    ));
+                };
+                match build(&cspec, &counters) {
+                    Ok(c) => combiner = Some((rounds as usize, c)),
+                    Err(msg) => {
+                        framed.send(&WorkerMsg::Err { msg }.to_bytes())?;
+                        return Ok(());
+                    }
+                }
+                framed.send(&WorkerMsg::InitOk.to_bytes())?;
             }
             DriverMsg::Reduce { round, part, ctx, records } => {
                 // Parent under the driver RPC span that issued this task —
@@ -339,6 +402,18 @@ pub fn serve_shuffle(
                 let reduced = reduce_partition(reducer.as_ref(), round as usize, records, r_parts, false);
                 counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
                 counters.inc("worker.tasks");
+                // Pre-fold the next round's input while it is still on this
+                // side of the wire. The final round is exempt: its buckets
+                // are the job output, whose record order must match the
+                // engine's (and whose consumer decodes no partials).
+                let out_buckets = match &combiner {
+                    Some((rounds, c)) if (round as usize) + 1 < *rounds => reduced
+                        .out_buckets
+                        .into_iter()
+                        .map(|b| combine_bucket(c.as_ref(), round as usize + 1, b, &counters))
+                        .collect(),
+                    _ => reduced.out_buckets,
+                };
                 drop(span);
                 tasks_done += 1;
                 // Task-count pacing is the logical-clock analogue of a
@@ -347,10 +422,7 @@ pub fn serve_shuffle(
                 if flush_every > 0 && tasks_done % flush_every == 0 {
                     framed.send(&WorkerMsg::Metrics { counters: counters.snapshot() }.to_bytes())?;
                 }
-                framed.send(
-                    &WorkerMsg::ReduceDone { part, emitted: reduced.emitted, out_buckets: reduced.out_buckets }
-                        .to_bytes(),
-                )?;
+                framed.send(&WorkerMsg::ReduceDone { part, emitted: reduced.emitted, out_buckets }.to_bytes())?;
             }
             DriverMsg::Shutdown => {
                 let trace_events = obs.trace().map(|t| t.events()).unwrap_or_default();
@@ -408,7 +480,26 @@ impl DistJob {
         inputs: &[Vec<u8>],
         mapper: &M,
     ) -> Result<JobResult, JobError> {
-        self.run_with_hook(endpoints, spec, inputs, mapper, None)
+        self.run_inner(endpoints, spec, inputs, mapper, None, None)
+    }
+
+    /// [`DistJob::run`] with shuffle combining: `combine_spec` is shipped to
+    /// every worker (which must be a [`serve_shuffle_combining`] process and
+    /// builds its own combiner from it), while the driver applies its local
+    /// `combiner` to the map phase's buckets — together they pre-fold every
+    /// wire hop except the final output. Output is byte-identical to
+    /// [`crate::engine::MapReduceJob::run_with_shuffle_combiner`] for a
+    /// combiner honouring the [`ShuffleCombiner`] exactness contract.
+    pub fn run_with_combiner<M: Mapper>(
+        &self,
+        endpoints: &[Endpoint],
+        spec: &[u8],
+        combine_spec: &[u8],
+        combiner: &dyn ShuffleCombiner,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(endpoints, spec, inputs, mapper, Some((combine_spec, combiner)), None)
     }
 
     /// [`DistJob::run`] with a fault-injection hook: `on_dispatch(n)` fires
@@ -421,6 +512,18 @@ impl DistJob {
         spec: &[u8],
         inputs: &[Vec<u8>],
         mapper: &M,
+        on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(endpoints, spec, inputs, mapper, None, on_dispatch)
+    }
+
+    fn run_inner<M: Mapper>(
+        &self,
+        endpoints: &[Endpoint],
+        spec: &[u8],
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        combine: Option<(&[u8], &dyn ShuffleCombiner)>,
         on_dispatch: Option<&(dyn Fn(usize) + Sync)>,
     ) -> Result<JobResult, JobError> {
         if endpoints.is_empty() {
@@ -483,6 +586,34 @@ impl DistJob {
                     ))))
                 }
             }
+            if let Some((combine_spec, _)) = combine {
+                framed
+                    .send(
+                        &DriverMsg::CombineSpec { rounds: self.cfg.reduce_rounds as u32, spec: combine_spec.to_vec() }
+                            .to_bytes(),
+                    )
+                    .map_err(JobError::Transport)?;
+                match framed.recv().map_err(JobError::Transport)? {
+                    Some(bytes) => match WorkerMsg::from_bytes(&bytes).map_err(|e| JobError::Corrupt(e.0))? {
+                        WorkerMsg::InitOk => {}
+                        WorkerMsg::Err { msg } => {
+                            return Err(JobError::Transport(TransportError::Protocol(format!(
+                                "worker at {ep} rejected combine spec: {msg}"
+                            ))))
+                        }
+                        other => {
+                            return Err(JobError::Transport(TransportError::Protocol(format!(
+                                "unexpected combine-spec reply from {ep}: {other:?}"
+                            ))))
+                        }
+                    },
+                    None => {
+                        return Err(JobError::Transport(TransportError::Protocol(format!(
+                            "worker at {ep} closed during combine-spec handshake"
+                        ))))
+                    }
+                }
+            }
             conns.push(Some(framed));
         }
 
@@ -502,6 +633,12 @@ impl DistJob {
                 });
             }
             counters.add("map.output_records", emitted);
+            // Map-side combining, mirroring the engine: the driver owns the
+            // whole map output, so it pre-folds round 0's input locally.
+            let buckets = match combine {
+                Some((_, c)) => buckets.into_iter().map(|b| combine_bucket(c, 0, b, &counters)).collect(),
+                None => buckets,
+            };
             buckets_by_task.push(buckets);
         }
         drop(map_span);
@@ -799,6 +936,24 @@ mod tests {
         Ok(Box::new(SumReduce))
     }
 
+    /// Pre-sums a group's `u64` values into one record — exact for the
+    /// commutative+associative integer sum `SumReduce` computes.
+    struct SumCombiner;
+    impl ShuffleCombiner for SumCombiner {
+        fn combines(&self, _round: usize, _key: &[u8], n_values: usize) -> bool {
+            n_values >= 2
+        }
+        fn combine(&self, _round: usize, _key: &[u8], values: &mut Vec<Vec<u8>>) {
+            let total: u64 = values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+            values.clear();
+            values.push(total.to_bytes());
+        }
+    }
+
+    fn sum_combiner_factory(_spec: &[u8], _c: &Counters) -> Result<Box<dyn ShuffleCombiner>, String> {
+        Ok(Box::new(SumCombiner))
+    }
+
     fn opts() -> DistOptions {
         DistOptions { connect_timeout_ns: 5_000_000_000, io_timeout_ns: 10_000_000_000 }
     }
@@ -823,6 +978,59 @@ mod tests {
         }
         assert_eq!(result.counters.get("task_retries"), 0);
         drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn combining_dist_run_is_byte_identical_to_combining_engine_run() {
+        let dir = temp_dir("combine");
+        let cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let expected = MapReduceJob::new(cfg.clone())
+            .run_with_shuffle_combiner(&word_inputs(), &WordMap, &SumReduce, &SumCombiner)
+            .unwrap();
+        let plain = MapReduceJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+
+        let eps: Vec<Endpoint> = (0..2).map(|i| Endpoint::Unix(dir.join(format!("w{i}.sock")))).collect();
+        let listeners: Vec<Listener> = eps.iter().map(|e| Listener::bind(e).unwrap()).collect();
+        let result = std::thread::scope(|s| {
+            for l in &listeners {
+                s.spawn(move || {
+                    serve_shuffle_combining(l, 5_000_000_000, &sum_factory, &sum_combiner_factory).unwrap()
+                });
+            }
+            DistJob::new(cfg, opts())
+                .run_with_combiner(&eps, b"spec", b"cspec", &SumCombiner, &word_inputs(), &WordMap)
+                .unwrap()
+        });
+        assert_eq!(result.output, expected.output, "byte-identical to the combining engine run");
+        let mut sorted_plain = plain.output.clone();
+        let mut sorted_combined = result.output.clone();
+        sorted_plain.sort_by(|a, b| (&a.key, &a.value).cmp(&(&b.key, &b.value)));
+        sorted_combined.sort_by(|a, b| (&a.key, &a.value).cmp(&(&b.key, &b.value)));
+        assert_eq!(sorted_combined, sorted_plain, "combining never changes the result multiset");
+        assert!(result.counters.get("combine.records_in") > result.counters.get("combine.records_out"));
+        drop(listeners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plain_worker_rejects_combine_spec() {
+        let dir = temp_dir("nocombine");
+        let cfg = JobConfig { reduce_rounds: 1, ..JobConfig::default() };
+        let ep = Endpoint::Unix(dir.join("w0.sock"));
+        let listener = Listener::bind(&ep).unwrap();
+        let err = std::thread::scope(|s| {
+            // The worker errors out on the CombineSpec frame; the driver
+            // sees the connection close during the handshake.
+            s.spawn(|| {
+                let _ = serve_shuffle(&listener, 5_000_000_000, &sum_factory);
+            });
+            DistJob::new(cfg, opts())
+                .run_with_combiner(std::slice::from_ref(&ep), b"spec", b"cspec", &SumCombiner, &word_inputs(), &WordMap)
+                .unwrap_err()
+        });
+        assert!(matches!(err, JobError::Transport(_)), "{err}");
+        drop(listener);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -903,6 +1111,7 @@ mod tests {
                 records: vec![KeyValue::new(b"k".to_vec(), b"v".to_vec())],
             },
             DriverMsg::Reduce { round: 0, part: 0, ctx: None, records: vec![] },
+            DriverMsg::CombineSpec { rounds: 3, spec: vec![9, 8] },
             DriverMsg::Shutdown,
         ];
         for m in msgs {

@@ -78,6 +78,72 @@ where
     }
 }
 
+/// A shuffle-stage combiner: partially aggregates one shuffle bucket's
+/// records *before* they cross a task (or, in [`crate::dist`], a process)
+/// boundary — the InferTurbo-style hub optimisation, distinct from the
+/// map-side [`MapReduceJob::run_with_combiner`] path in that it sees the
+/// emissions of *reduce* rounds too.
+///
+/// Contract:
+///
+/// * `round` is the round that will **consume** the bucket. The combiner is
+///   offered every bucket, including the final round's job output — it must
+///   opt in (return `true` from [`ShuffleCombiner::combines`]) only for
+///   rounds whose consumer can decode its partial records.
+/// * [`ShuffleCombiner::combine`] must be deterministic in the value
+///   *multiset* (the engine's reorder determinism harness applies to the
+///   downstream reducer, which must absorb partials order-insensitively).
+/// * Combining must preserve the reducer's result exactly — for float
+///   aggregation that means the reducer folds raw records through the same
+///   partial representation the combiner produces (see `agl-infer`'s
+///   segmented fold).
+pub trait ShuffleCombiner: Sync {
+    /// Whether to touch `key`'s group of `n_values` records heading into
+    /// `round` — e.g. a degree threshold on the bucket-local message count.
+    fn combines(&self, round: usize, key: &[u8], n_values: usize) -> bool;
+
+    /// Replace `values` (all of `key`'s records in this bucket, producer
+    /// order) with fewer partially-aggregated records.
+    fn combine(&self, round: usize, key: &[u8], values: &mut Vec<Vec<u8>>);
+}
+
+/// Apply `combiner` to one shuffle bucket whose records will be consumed by
+/// `round`: group by key (stable, so within-key producer order reaches the
+/// combiner intact), rewrite opted-in groups, account the saving.
+pub(crate) fn combine_bucket(
+    combiner: &dyn ShuffleCombiner,
+    round: usize,
+    mut bucket: Vec<KeyValue>,
+    counters: &Counters,
+) -> Vec<KeyValue> {
+    bucket.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out = Vec::with_capacity(bucket.len());
+    let mut i = 0;
+    while i < bucket.len() {
+        let mut j = i + 1;
+        while j < bucket.len() && bucket[j].key == bucket[i].key {
+            j += 1;
+        }
+        if combiner.combines(round, &bucket[i].key, j - i) {
+            let key = bucket[i].key.clone();
+            let mut values: Vec<Vec<u8>> = bucket[i..j].iter().map(|kv| kv.value.clone()).collect();
+            let bytes_in: u64 = values.iter().map(|v| (key.len() + v.len()) as u64).sum();
+            counters.add("combine.records_in", values.len() as u64);
+            combiner.combine(round, &key, &mut values);
+            let bytes_out: u64 = values.iter().map(|v| (key.len() + v.len()) as u64).sum();
+            counters.add("combine.records_out", values.len() as u64);
+            counters.add("combine.bytes_saved", bytes_in.saturating_sub(bytes_out));
+            for v in values {
+                out.push(KeyValue::new(key.clone(), v));
+            }
+        } else {
+            out.extend(bucket[i..j].iter().cloned());
+        }
+        i = j;
+    }
+    out
+}
+
 /// Job configuration.
 #[derive(Debug, Clone)]
 pub struct JobConfig {
@@ -326,12 +392,36 @@ impl MapReduceJob {
         self.run(inputs, &CombiningMapper { inner: mapper, combiner }, reducer)
     }
 
+    /// Run the job with a **shuffle combiner** (see [`ShuffleCombiner`]):
+    /// every shuffle bucket — map output and each intermediate round's
+    /// emissions — is offered to `combiner` before it crosses the task
+    /// boundary. Savings land on the `combine.*` counters.
+    pub fn run_with_shuffle_combiner<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+        combiner: &dyn ShuffleCombiner,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(inputs, mapper, reducer, Some(combiner))
+    }
+
     /// Run the job over `inputs` (each element is one opaque input record).
     pub fn run<M: Mapper, R: Reducer>(
         &self,
         inputs: &[Vec<u8>],
         mapper: &M,
         reducer: &R,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(inputs, mapper, reducer, None)
+    }
+
+    fn run_inner<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+        combiner: Option<&dyn ShuffleCombiner>,
     ) -> Result<JobResult, JobError> {
         // When observability is on, the job counters report straight into
         // the run's shared metrics registry.
@@ -367,7 +457,11 @@ impl MapReduceJob {
                     });
                 }
                 counters.add("map.output_records", emitted);
-                buckets
+                match combiner {
+                    // Map emissions are consumed by round 0.
+                    Some(c) => buckets.into_iter().map(|b| combine_bucket(c, 0, b, &counters)).collect(),
+                    None => buckets,
+                }
             })?;
         drop(map_phase_span);
 
@@ -415,7 +509,17 @@ impl MapReduceJob {
                     }
                     counters.add(&format!("reduce.r{round}.verified_groups"), reduced.verified_groups);
                     counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
-                    reduced.out_buckets
+                    match (combiner, is_last) {
+                        // Emissions of round r are consumed by round r+1;
+                        // the last round's buckets are the job output and
+                        // must pass through untouched.
+                        (Some(c), false) => reduced
+                            .out_buckets
+                            .into_iter()
+                            .map(|b| combine_bucket(c, round + 1, b, &counters))
+                            .collect(),
+                        _ => reduced.out_buckets,
+                    }
                 },
             )?;
             if let Some(report) = lock_ignoring_poison(&determinism_violation).take() {

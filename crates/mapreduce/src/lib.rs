@@ -26,6 +26,10 @@
 //!   rounds.
 //! * **Counters** ([`counters`]): named atomic counters à la Hadoop, used by
 //!   the benches to report records/bytes shuffled per round.
+//! * **Streaming executor** ([`stream`]): the same job shape run
+//!   sequentially in bounded memory — one partition resident at a time,
+//!   pending partitions parked in the spill mode — with byte-identical
+//!   output to the engine (the substrate of `agl-cli infer-stream`).
 
 pub mod codec;
 pub mod config;
@@ -38,16 +42,18 @@ pub mod obsreport;
 pub mod plan;
 pub mod report;
 pub mod spill;
+pub mod stream;
 pub mod transport;
 
 pub use codec::{Codec, CodecError};
 pub use config::EngineConfig;
 pub use counters::Counters;
-pub use dist::{serve_shuffle, DistJob, DistOptions};
-pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer};
+pub use dist::{serve_shuffle, serve_shuffle_combining, DistJob, DistOptions};
+pub use engine::{JobConfig, JobError, JobResult, KeyValue, MapReduceJob, Mapper, Reducer, ShuffleCombiner};
 pub use fault::{FaultPlan, TaskId, TaskKind};
 pub use obsreport::ObsReport;
 pub use plan::{JobPlan, JobPlanValidator, PlanError, RoundPlan, WireSig};
 pub use report::{JobReport, RoundReport};
 pub use spill::SpillMode;
+pub use stream::StreamJob;
 pub use transport::{Conn, Endpoint, FrameStats, Framed, Listener, TransportError};

@@ -1,0 +1,411 @@
+//! Streaming MapReduce executor: the same `Map → (shuffle → Reduce)^K`
+//! job shape as [`crate::engine::MapReduceJob`], run **sequentially in
+//! bounded memory**.
+//!
+//! The thread-pool engine materialises every partition of a round — plus
+//! the whole next round's output — in memory at once. This executor instead
+//! streams: one map task's buckets, then one reduce partition's records and
+//! its emissions, are resident at a time; everything pending is parked in
+//! the configured [`SpillMode`] (per-partition files under `Disk`, plain
+//! vectors under `InMemory`). The high-water mark is reported on the
+//! `stream.peak_resident_bytes` counter, which is what makes the
+//! InferTurbo-style full-graph inference claim *checkable*: peak memory is
+//! `O(largest partition + its output)`, not `O(graph)`.
+//!
+//! **Byte-identity.** The executor reproduces the engine's record order
+//! exactly — same map striping, same producer-task merge order per
+//! partition, same final-round flatten — so for any deterministic job
+//! `StreamJob::run` output is byte-identical to `MapReduceJob::run` output
+//! (pinned by tests here and by the `infer-stream` CI smoke).
+
+use crate::counters::Counters;
+use crate::engine::{
+    combine_bucket, lock_ignoring_poison, reduce_partition, JobConfig, JobError, JobResult, KeyValue, Mapper, Reducer,
+    ShuffleCombiner,
+};
+use crate::hash::partition;
+use crate::spill::SpillMode;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Payload bytes of one record as accounted by the shuffle counters.
+fn kv_bytes(kv: &KeyValue) -> u64 {
+    (kv.key.len() + kv.value.len()) as u64
+}
+
+fn bucket_bytes(records: &[KeyValue]) -> u64 {
+    records.iter().map(kv_bytes).sum()
+}
+
+/// Where one round's pending partitions live until they are reduced.
+enum Pending {
+    /// One vector per partition, appended in producer order.
+    Mem(Vec<Vec<KeyValue>>),
+    /// One append-only file per partition (`stream-r{round}-p{p}.bin`),
+    /// length-framed records, no header; read back at consume time.
+    Disk { dir: PathBuf, round: usize, counts: Vec<u64> },
+}
+
+impl Pending {
+    fn new(spill: &SpillMode, round: usize, r_parts: usize) -> Self {
+        match spill {
+            SpillMode::InMemory => Pending::Mem((0..r_parts).map(|_| Vec::new()).collect()),
+            SpillMode::Disk(dir) => Pending::Disk { dir: dir.clone(), round, counts: vec![0; r_parts] },
+        }
+    }
+
+    /// Bytes this store currently holds in memory (0 for `Disk`).
+    fn mem_bytes(&self) -> u64 {
+        match self {
+            Pending::Mem(parts) => parts.iter().map(|p| bucket_bytes(p)).sum(),
+            Pending::Disk { .. } => 0,
+        }
+    }
+
+    fn path(dir: &std::path::Path, round: usize, p: usize) -> PathBuf {
+        dir.join(format!("stream-r{round}-p{p}.bin"))
+    }
+
+    /// Append one producer bucket to partition `p`. Disk appends report on
+    /// the same `spill.*` counters the engine's round-trip uses.
+    fn append(&mut self, p: usize, bucket: Vec<KeyValue>, counters: &Counters) -> Result<(), JobError> {
+        match self {
+            Pending::Mem(parts) => {
+                parts[p].extend(bucket);
+                Ok(())
+            }
+            Pending::Disk { dir, round, counts } => {
+                if bucket.is_empty() {
+                    return Ok(());
+                }
+                std::fs::create_dir_all(&*dir)?;
+                let mut w =
+                    BufWriter::new(OpenOptions::new().create(true).append(true).open(Self::path(dir, *round, p))?);
+                let mut bytes = 0u64;
+                for kv in &bucket {
+                    w.write_all(&(kv.key.len() as u32).to_le_bytes())?;
+                    w.write_all(&kv.key)?;
+                    w.write_all(&(kv.value.len() as u32).to_le_bytes())?;
+                    w.write_all(&kv.value)?;
+                    bytes += 8 + kv_bytes(kv);
+                }
+                w.flush()?;
+                counts[p] += bucket.len() as u64;
+                counters.add("spill.bytes", bytes);
+                counters.add("spill.records", bucket.len() as u64);
+                Ok(())
+            }
+        }
+    }
+
+    /// Consume partition `p`: producer-order records, file removed.
+    fn take(&mut self, p: usize, counters: &Counters) -> Result<Vec<KeyValue>, JobError> {
+        match self {
+            Pending::Mem(parts) => Ok(std::mem::take(&mut parts[p])),
+            Pending::Disk { dir, round, counts } => {
+                if counts[p] == 0 {
+                    return Ok(Vec::new());
+                }
+                let path = Self::path(dir, *round, p);
+                let mut r = BufReader::new(File::open(&path)?);
+                let mut out = Vec::with_capacity(counts[p] as usize);
+                let mut len4 = [0u8; 4];
+                for _ in 0..counts[p] {
+                    r.read_exact(&mut len4)?;
+                    let mut key = vec![0u8; u32::from_le_bytes(len4) as usize];
+                    r.read_exact(&mut key)?;
+                    r.read_exact(&mut len4)?;
+                    let mut value = vec![0u8; u32::from_le_bytes(len4) as usize];
+                    r.read_exact(&mut value)?;
+                    out.push(KeyValue { key, value });
+                }
+                std::fs::remove_file(&path).ok();
+                counters.inc("spill.partitions");
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// The streaming driver. Construction validates the [`crate::plan::JobPlan`]
+/// exactly like the engine; `parallelism` is ignored (execution is
+/// deliberately sequential — bounded memory is the point).
+pub struct StreamJob {
+    cfg: JobConfig,
+}
+
+impl StreamJob {
+    pub fn new(cfg: JobConfig) -> Self {
+        assert!(cfg.map_tasks > 0 && cfg.reduce_tasks > 0);
+        #[cfg(debug_assertions)]
+        if let Some(plan) = &cfg.plan {
+            let checked = crate::plan::JobPlanValidator::new(plan).validate(&cfg);
+            assert!(checked.is_ok(), "invalid job plan: {}", checked.err().map(|e| e.to_string()).unwrap_or_default());
+        }
+        Self { cfg }
+    }
+
+    /// Run the job streaming, with a [`ShuffleCombiner`] applied to every
+    /// bucket before it is parked (map output and intermediate rounds).
+    pub fn run_with_shuffle_combiner<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+        combiner: &dyn ShuffleCombiner,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(inputs, mapper, reducer, Some(combiner))
+    }
+
+    /// Run the job streaming. Output is byte-identical to
+    /// [`crate::engine::MapReduceJob::run`] with the same config.
+    pub fn run<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+    ) -> Result<JobResult, JobError> {
+        self.run_inner(inputs, mapper, reducer, None)
+    }
+
+    fn run_inner<M: Mapper, R: Reducer>(
+        &self,
+        inputs: &[Vec<u8>],
+        mapper: &M,
+        reducer: &R,
+        combiner: Option<&dyn ShuffleCombiner>,
+    ) -> Result<JobResult, JobError> {
+        let counters = match self.cfg.obs.metrics() {
+            Some(m) => Counters::with_registry(m.clone()),
+            None => Counters::new(),
+        };
+        let mut job_span = self.cfg.obs.span("driver", "stream.job");
+        counters.add("map.input_records", inputs.len() as u64);
+        counters.record_max("reduce.rounds", self.cfg.reduce_rounds as u64);
+        let verify_determinism = cfg!(debug_assertions) && self.cfg.verify_determinism;
+        let determinism_violation: Mutex<Option<String>> = Mutex::new(None);
+        let r_parts = self.cfg.reduce_tasks;
+
+        // ---- Map phase, one task resident at a time ----
+        // Zero-round jobs keep the engine's task-major output order, so
+        // buckets bypass the per-partition stores entirely.
+        let mut zero_round_output = Vec::new();
+        let mut pending = Pending::new(&self.cfg.spill, 0, r_parts);
+        let map_span = self.cfg.obs.span("driver", "stream.map");
+        for task in 0..self.cfg.map_tasks {
+            let mut buckets: Vec<Vec<KeyValue>> = (0..r_parts).map(|_| Vec::new()).collect();
+            let mut emitted = 0u64;
+            for input in inputs.iter().skip(task).step_by(self.cfg.map_tasks) {
+                mapper.map(input, &mut |k, v| {
+                    emitted += 1;
+                    let p = partition(&k, r_parts);
+                    buckets[p].push(KeyValue::new(k, v));
+                });
+            }
+            counters.add("map.output_records", emitted);
+            if let Some(c) = combiner {
+                buckets = buckets.into_iter().map(|b| combine_bucket(c, 0, b, &counters)).collect();
+            }
+            let task_bytes: u64 = buckets.iter().map(|b| bucket_bytes(b)).sum();
+            counters.record_max("stream.peak_resident_bytes", pending.mem_bytes() + task_bytes);
+            if self.cfg.reduce_rounds == 0 {
+                for bucket in buckets {
+                    zero_round_output.extend(bucket);
+                }
+            } else {
+                for (p, bucket) in buckets.into_iter().enumerate() {
+                    pending.append(p, bucket, &counters)?;
+                }
+            }
+        }
+        drop(map_span);
+        if self.cfg.reduce_rounds == 0 {
+            counters.add("output_records", zero_round_output.len() as u64);
+            job_span.counter("output_records", zero_round_output.len() as u64);
+            return Ok(JobResult { output: zero_round_output, counters });
+        }
+
+        // ---- Reduce rounds, one partition resident at a time ----
+        let mut final_output = Vec::new();
+        for round in 0..self.cfg.reduce_rounds {
+            let is_last = round + 1 == self.cfg.reduce_rounds;
+            let mut round_span = self.cfg.obs.span("driver", &format!("stream.round{round}"));
+            let mut next = Pending::new(&self.cfg.spill, round + 1, r_parts);
+            let mut round_records = 0u64;
+            for p in 0..r_parts {
+                let records = pending.take(p, &counters)?;
+                let part_bytes = bucket_bytes(&records);
+                round_records += records.len() as u64;
+                counters.add("shuffle.bytes", part_bytes);
+                counters.add(&format!("reduce.r{round}.input_records"), records.len() as u64);
+                let reduced = reduce_partition(reducer, round, records, r_parts, verify_determinism);
+                if let Some(v) = reduced.violation {
+                    lock_ignoring_poison(&determinism_violation).get_or_insert(v);
+                }
+                counters.add(&format!("reduce.r{round}.verified_groups"), reduced.verified_groups);
+                counters.add(&format!("reduce.r{round}.output_records"), reduced.emitted);
+                let out_buckets: Vec<Vec<KeyValue>> = match (combiner, is_last) {
+                    (Some(c), false) => {
+                        reduced.out_buckets.into_iter().map(|b| combine_bucket(c, round + 1, b, &counters)).collect()
+                    }
+                    _ => reduced.out_buckets,
+                };
+                let out_bytes: u64 = out_buckets.iter().map(|b| bucket_bytes(b)).sum();
+                let resident = pending.mem_bytes()
+                    + next.mem_bytes()
+                    + part_bytes
+                    + out_bytes
+                    + if is_last { bucket_bytes(&final_output) } else { 0 };
+                counters.record_max("stream.peak_resident_bytes", resident);
+                if is_last {
+                    for bucket in out_buckets {
+                        final_output.extend(bucket);
+                    }
+                } else {
+                    for (q, bucket) in out_buckets.into_iter().enumerate() {
+                        next.append(q, bucket, &counters)?;
+                    }
+                }
+            }
+            round_span.counter("input_records", round_records);
+            if let Some(report) = lock_ignoring_poison(&determinism_violation).take() {
+                // Same debug-only gate as the engine: an order-sensitive
+                // reducer breaks the retry story — fail the test run loudly.
+                // agl-lint: allow(no-panic) — see above.
+                panic!("{report}");
+            }
+            pending = next;
+        }
+        counters.add("output_records", final_output.len() as u64);
+        job_span.counter("output_records", final_output.len() as u64);
+        job_span.counter("peak_resident_bytes", counters.get("stream.peak_resident_bytes"));
+        Ok(JobResult { output: final_output, counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+    use crate::engine::MapReduceJob;
+
+    struct WordMap;
+    impl Mapper for WordMap {
+        fn map(&self, input: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+            for w in input.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                emit(w.to_vec(), 1u64.to_bytes());
+            }
+        }
+    }
+
+    struct SumReduce;
+    impl Reducer for SumReduce {
+        fn reduce(
+            &self,
+            _round: usize,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
+        ) {
+            let total: u64 = values.map(|v| u64::from_bytes(v).unwrap()).sum();
+            emit(key.to_vec(), total.to_bytes());
+        }
+    }
+
+    fn word_inputs() -> Vec<Vec<u8>> {
+        vec![
+            b"the quick brown fox jumps over".to_vec(),
+            b"the lazy dog naps".to_vec(),
+            b"the fox naps too".to_vec(),
+            b"quick quick fox".to_vec(),
+        ]
+    }
+
+    /// A u64-sum shuffle combiner: collapses every group of counts into one
+    /// partial sum whenever the group has at least `threshold` records.
+    struct SumCombiner {
+        threshold: usize,
+    }
+    impl ShuffleCombiner for SumCombiner {
+        fn combines(&self, _round: usize, _key: &[u8], n_values: usize) -> bool {
+            n_values >= self.threshold
+        }
+        fn combine(&self, _round: usize, _key: &[u8], values: &mut Vec<Vec<u8>>) {
+            let total: u64 = values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+            values.clear();
+            values.push(total.to_bytes());
+        }
+    }
+
+    #[test]
+    fn streamed_output_is_byte_identical_to_engine() {
+        for rounds in [1usize, 2, 3] {
+            let cfg = JobConfig { reduce_rounds: rounds, map_tasks: 3, reduce_tasks: 5, ..JobConfig::default() };
+            let engine = MapReduceJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+            let stream = StreamJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+            assert_eq!(stream.output, engine.output, "rounds={rounds}: emission order preserved, not just multiset");
+            for name in ["map.output_records", "reduce.r0.input_records", "output_records"] {
+                assert_eq!(stream.counters.get(name), engine.counters.get(name), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn disk_spill_matches_in_memory_and_bounds_memory() {
+        let dir = std::env::temp_dir().join(format!("agl-stream-test-{}", std::process::id()));
+        let mem_cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let disk_cfg = JobConfig { spill: SpillMode::Disk(dir.clone()), ..mem_cfg.clone() };
+        let mem = StreamJob::new(mem_cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        let disk = StreamJob::new(disk_cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(mem.output, disk.output);
+        assert!(disk.counters.get("spill.bytes") > 0, "pending partitions went through disk");
+        assert!(
+            disk.counters.get("stream.peak_resident_bytes") <= mem.counters.get("stream.peak_resident_bytes"),
+            "disk-parked pending never exceeds the in-memory high-water mark"
+        );
+        assert!(mem.counters.get("stream.peak_resident_bytes") > 0);
+        // All pending files consumed and removed.
+        assert!(std::fs::read_dir(&dir).map(|d| d.count() == 0).unwrap_or(true), "no leaked pending files");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_rounds_passes_map_output_through_in_engine_order() {
+        let cfg = JobConfig { reduce_rounds: 0, ..JobConfig::default() };
+        let engine = MapReduceJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        let stream = StreamJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(stream.output, engine.output);
+    }
+
+    #[test]
+    fn shuffle_combiner_cuts_records_without_changing_u64_sums() {
+        let cfg = JobConfig { reduce_rounds: 2, ..JobConfig::default() };
+        let plain = StreamJob::new(cfg.clone()).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        let combined = StreamJob::new(cfg.clone())
+            .run_with_shuffle_combiner(&word_inputs(), &WordMap, &SumReduce, &SumCombiner { threshold: 2 })
+            .unwrap();
+        // Integer sums are exactly associative, so the output matches even
+        // without a partial-aware reducer.
+        assert_eq!(plain.output, combined.output);
+        assert!(combined.counters.get("combine.records_in") > combined.counters.get("combine.records_out"));
+        assert!(combined.counters.get("combine.bytes_saved") > 0);
+        // Engine path agrees with the streaming path under the combiner too.
+        let engine = MapReduceJob::new(cfg)
+            .run_with_shuffle_combiner(&word_inputs(), &WordMap, &SumReduce, &SumCombiner { threshold: 2 })
+            .unwrap();
+        assert_eq!(engine.output, combined.output);
+    }
+
+    #[test]
+    fn threshold_gates_combining() {
+        let cfg = JobConfig::default();
+        let never = StreamJob::new(cfg.clone())
+            .run_with_shuffle_combiner(&word_inputs(), &WordMap, &SumReduce, &SumCombiner { threshold: usize::MAX })
+            .unwrap();
+        assert_eq!(never.counters.get("combine.records_in"), 0, "threshold too high: combiner never fires");
+        let plain = StreamJob::new(cfg).run(&word_inputs(), &WordMap, &SumReduce).unwrap();
+        assert_eq!(never.output, plain.output);
+    }
+}

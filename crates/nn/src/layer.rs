@@ -57,6 +57,42 @@ impl NeighborView<'_> {
     }
 }
 
+/// How a layer's neighbor aggregation decomposes into shuffle-combinable
+/// partials (the InferTurbo combiner contract): two partial aggregates over
+/// disjoint neighbor subsets can be merged into the aggregate over their
+/// union without seeing the raw embeddings again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineKind {
+    /// `acc = Σ w·h` — weighted sum (GIN; ε·self enters at apply time).
+    Sum,
+    /// `acc = Σ w·h` with `total_w = Σ w` kept for the normalisation at
+    /// apply time (GCN's mean-with-self-loop, GraphSAGE's neighbor mean).
+    Mean,
+    /// `acc = elementwise max of w·h`. No shipped layer consumes it yet;
+    /// it completes the aggregator set the combiner suite exercises.
+    Max,
+}
+
+/// A partially-aggregated neighborhood: what a shuffle combiner ships in
+/// place of raw per-neighbor embeddings, and what
+/// [`GnnLayer::forward_node_combined`] consumes after all partials merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborAggregate {
+    /// Neighbors folded in.
+    pub n: u64,
+    /// `Σ w` over the folded neighbors.
+    pub total_w: f32,
+    /// The elementwise accumulator (see [`CombineKind`]).
+    pub acc: Vec<f32>,
+}
+
+impl NeighborAggregate {
+    /// The empty aggregate (isolated node) at embedding width `dim`.
+    pub fn empty(dim: usize) -> Self {
+        Self { n: 0, total_w: 0.0, acc: vec![0.0; dim] }
+    }
+}
+
 /// A GNN layer. Closed enum rather than a trait object so caches stay
 /// concrete, `Send`, and serialisable.
 #[derive(Debug, Clone)]
@@ -162,6 +198,36 @@ impl GnnLayer {
             GnnLayer::Gat(l) => l.forward_node(view),
             GnnLayer::Gin(l) => l.forward_node(view),
             GnnLayer::GeniePath(l) => l.forward_node(view),
+        }
+    }
+
+    /// How this layer's aggregation decomposes into combinable partials.
+    /// `None` for attention layers (GAT, GeniePath): their coefficients
+    /// depend on every raw neighbor embedding jointly, so partial
+    /// aggregation before the attention softmax is unsound — the streaming
+    /// pipeline falls back to shipping raw embeddings for them.
+    pub fn combine_kind(&self) -> Option<CombineKind> {
+        match self {
+            GnnLayer::Gcn(_) => Some(CombineKind::Mean),
+            GnnLayer::Sage(_) => Some(CombineKind::Mean),
+            GnnLayer::Gin(_) => Some(CombineKind::Sum),
+            GnnLayer::Gat(_) | GnnLayer::GeniePath(_) => None,
+        }
+    }
+
+    /// Per-node forward from a merged [`NeighborAggregate`] instead of raw
+    /// neighbor embeddings — the apply step of the gather-apply-scatter
+    /// pipeline. Same maths as [`GnnLayer::forward_node`]; the fold order
+    /// over neighbors is fixed by whoever built the aggregate, which is
+    /// exactly what makes combiner-on and combiner-off runs bit-identical.
+    /// Callers must gate on [`GnnLayer::combine_kind`].
+    pub fn forward_node_combined(&self, self_h: &[f32], agg: &NeighborAggregate) -> Vec<f32> {
+        match self {
+            GnnLayer::Gcn(l) => l.forward_node_combined(self_h, agg),
+            GnnLayer::Sage(l) => l.forward_node_combined(self_h, agg),
+            GnnLayer::Gin(l) => l.forward_node_combined(self_h, agg),
+            // agl-lint: allow(no-panic) — combine_kind() is None for attention layers; callers gate on it.
+            GnnLayer::Gat(_) | GnnLayer::GeniePath(_) => panic!("{} has no combinable aggregation", self.kind_name()),
         }
     }
 

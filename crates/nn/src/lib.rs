@@ -45,7 +45,7 @@ pub use gat::{GatLayer, HeadCombine};
 pub use gcn::GcnLayer;
 pub use geniepath::GeniePathLayer;
 pub use gin::GinLayer;
-pub use layer::{AdjPrep, GnnLayer, LayerCache, NeighborView};
+pub use layer::{AdjPrep, CombineKind, GnnLayer, LayerCache, NeighborAggregate, NeighborView};
 pub use loss::Loss;
 pub use model::{GnnModel, ModelConfig, ModelKind, ModelSlice};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -8,7 +8,7 @@
 //! into a small bounded channel the compute loop drains.
 
 use crate::pruning::batch_keep_masks;
-use crate::vectorize::{vectorize, VectorizedBatch};
+use crate::vectorize::{canonicalize_adj_rows, vectorize, VectorizedBatch};
 use agl_flat::TrainingExample;
 use agl_nn::layer::{prepare_adj, AdjPrep};
 use agl_obs::{Clock, Obs};
@@ -47,6 +47,18 @@ pub fn prepare_batch(examples: &[TrainingExample], spec: &PrepSpec) -> PreparedB
         vec![prepared; spec.n_layers]
     };
     PreparedBatch { batch, adjs }
+}
+
+/// [`prepare_batch`] with every adjacency row re-sorted into ascending
+/// **global** source-id order ([`canonicalize_adj_rows`]) — the fold order
+/// of the GraphInfer reducers. The original-inference baseline uses this so
+/// its per-node sums are independent of batch composition and comparable to
+/// the streaming path; training keeps the cheaper local order (fold order
+/// is a deterministic function of the batch either way).
+pub fn prepare_batch_canonical(examples: &[TrainingExample], spec: &PrepSpec) -> PreparedBatch {
+    let mut p = prepare_batch(examples, spec);
+    p.adjs = p.adjs.iter().map(|a| canonicalize_adj_rows(a, &p.batch.node_ids)).collect();
+    p
 }
 
 /// A two-stage pipeline: preprocessing on a background thread, compute on

@@ -29,6 +29,9 @@ pub struct VectorizedBatch {
     pub labels: Matrix,
     /// Global ids of the targets, aligned with `targets`.
     pub target_ids: Vec<NodeId>,
+    /// Global ids of *every* local node, aligned with `features` rows —
+    /// what [`canonicalize_adj_rows`] keys its per-row sort on.
+    pub node_ids: Vec<NodeId>,
 }
 
 impl VectorizedBatch {
@@ -84,7 +87,33 @@ pub fn from_subgraph(merged: &Subgraph, labels: Matrix) -> VectorizedBatch {
         targets: merged.target_locals.iter().map(|&t| t as usize).collect(),
         labels,
         target_ids: merged.target_ids(),
+        node_ids: merged.node_ids.clone(),
     }
+}
+
+/// Reorder every adjacency row's entries into ascending **global** source
+/// node-id order.
+///
+/// `Coo::into_csr` sorts rows by *local* column index, and the local
+/// numbering depends on how a batch merged (targets first, then neighbors
+/// in absorb order) — so a float fold over a row depends on which batch
+/// the node landed in. Consumers that must agree with the canonical global
+/// fold of the GraphInfer reducers (ascending source id) apply this to the
+/// *final* per-layer adjacencies — after `prepare_adj`, whose
+/// `with_self_loops` rebuilds rows in local order.
+pub fn canonicalize_adj_rows(adj: &Csr, node_ids: &[NodeId]) -> Csr {
+    let mut indices = Vec::with_capacity(adj.nnz());
+    let mut values = Vec::with_capacity(adj.nnz());
+    for r in 0..adj.n_rows() {
+        let (srcs, ws) = adj.row(r);
+        let mut entries: Vec<(u32, f32)> = srcs.iter().copied().zip(ws.iter().copied()).collect();
+        entries.sort_by_key(|&(c, _)| node_ids[c as usize]);
+        for (c, w) in entries {
+            indices.push(c);
+            values.push(w);
+        }
+    }
+    Csr::from_raw(adj.n_rows(), adj.n_cols(), adj.indptr().to_vec(), indices, values)
 }
 
 #[cfg(test)]
